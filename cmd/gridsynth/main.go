@@ -1,0 +1,39 @@
+// Command gridsynth exposes the Ross–Selinger Rz synthesizer: the
+// number-theoretic baseline (grid problems + norm equations + exact
+// synthesis), useful stand-alone exactly like the original tool.
+//
+// Usage:
+//
+//	gridsynth -theta 0.5236 -eps 1e-4
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"time"
+
+	"repro"
+)
+
+func main() {
+	var (
+		theta = flag.Float64("theta", 0.5235987755982988, "rotation angle")
+		eps   = flag.Float64("eps", 1e-4, "error threshold")
+		quiet = flag.Bool("q", false, "print only the sequence")
+	)
+	flag.Parse()
+	start := time.Now()
+	res, err := repro.GridsynthRz(*theta, *eps)
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "gridsynth: %v\n", err)
+		os.Exit(1)
+	}
+	if *quiet {
+		fmt.Println(res.Seq)
+		return
+	}
+	fmt.Printf("Rz(%g) @ eps %.1e\n", *theta, *eps)
+	fmt.Printf("T=%d Clifford=%d error=%.3e time=%s\n", res.TCount, res.Clifford, res.Error, time.Since(start))
+	fmt.Println(res.Seq)
+}

@@ -1,0 +1,60 @@
+// Command suite lists or exports the 187-circuit benchmark corpus.
+//
+// Usage:
+//
+//	suite -list                 # name, category, qubits, rotations
+//	suite -dump qasm_out/       # write every circuit as OpenQASM 2.0
+//	suite -name qft_n8          # print one circuit's QASM to stdout
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"path/filepath"
+
+	"repro/internal/suite"
+)
+
+func main() {
+	var (
+		list = flag.Bool("list", false, "list benchmarks")
+		dump = flag.String("dump", "", "directory to write QASM files into")
+		name = flag.String("name", "", "print one benchmark's QASM")
+	)
+	flag.Parse()
+	benches := suite.Suite()
+	switch {
+	case *name != "":
+		for _, b := range benches {
+			if b.Name == *name {
+				fmt.Print(b.Circuit.QASM())
+				return
+			}
+		}
+		fmt.Fprintf(os.Stderr, "suite: unknown benchmark %q\n", *name)
+		os.Exit(1)
+	case *dump != "":
+		if err := os.MkdirAll(*dump, 0o755); err != nil {
+			fmt.Fprintln(os.Stderr, err)
+			os.Exit(1)
+		}
+		for _, b := range benches {
+			path := filepath.Join(*dump, b.Name+".qasm")
+			if err := os.WriteFile(path, []byte(b.Circuit.QASM()), 0o644); err != nil {
+				fmt.Fprintln(os.Stderr, err)
+				os.Exit(1)
+			}
+		}
+		fmt.Printf("wrote %d circuits to %s\n", len(benches), *dump)
+	default:
+		*list = true
+		fallthrough
+	case *list:
+		fmt.Printf("%-28s %-24s %7s %10s %8s\n", "name", "category", "qubits", "rotations", "ops")
+		for _, b := range benches {
+			fmt.Printf("%-28s %-24s %7d %10d %8d\n",
+				b.Name, b.Category, b.Circuit.N, b.Circuit.CountRotations(), len(b.Circuit.Ops))
+		}
+	}
+}

@@ -1,0 +1,62 @@
+// Hamiltonian-simulation workflow: compile a Heisenberg-chain Trotter
+// circuit (X/Y/Z rotations — the "quantum Hamiltonian" category that
+// benefits most from the U3 IR) through both workflows and check the final
+// state fidelity of the lowered circuit by simulation.
+package main
+
+import (
+	"fmt"
+	"log"
+	"math/rand"
+
+	"repro/internal/core"
+	"repro/internal/gates"
+	"repro/internal/gridsynth"
+	"repro/internal/pipeline"
+	"repro/internal/sim"
+	"repro/internal/suite"
+)
+
+func main() {
+	h := suite.Heisenberg(5, 1.0)
+	circ := h.EvolutionCircuit(0.4, 2)
+	fmt.Printf("Heisenberg(5) Trotter circuit: %d ops, %d rotations\n",
+		len(circ.Ops), circ.CountRotations())
+
+	cfg := core.DefaultConfig(gates.Shared(5), 5, 4, 2500)
+	cfg.Epsilon = 0.005
+	cfg.Rng = rand.New(rand.NewSource(4))
+	u3res, err := pipeline.RunU3Workflow(circ, cfg)
+	if err != nil {
+		log.Fatal(err)
+	}
+	epsRz := 0.005
+	if u3res.Stats.Rotations > 0 {
+		epsRz = u3res.Stats.ErrorBound / float64(u3res.Stats.Rotations)
+	}
+	rzres, err := pipeline.RunRzWorkflow(circ, epsRz, gridsynth.Options{})
+	if err != nil {
+		log.Fatal(err)
+	}
+
+	fmt.Printf("\n%-10s %8s %8s %10s %12s\n", "workflow", "T", "Cliff", "T-depth", "Σ synth err")
+	fmt.Printf("%-10s %8d %8d %10d %12.2e\n", "trasyn",
+		u3res.Circuit.TCount(), u3res.Circuit.CliffordCount(), u3res.Circuit.TDepth(), u3res.Stats.ErrorBound)
+	fmt.Printf("%-10s %8d %8d %10d %12.2e\n", "gridsynth",
+		rzres.Circuit.TCount(), rzres.Circuit.CliffordCount(), rzres.Circuit.TDepth(), rzres.Stats.ErrorBound)
+
+	// End-to-end check: the lowered circuits must reproduce the original
+	// state on |0…0⟩ to within the synthesis budget.
+	ideal := sim.RunCircuit(circ)
+	fU3 := sim.StateFidelity(ideal, sim.RunCircuit(u3res.Circuit))
+	fRz := sim.StateFidelity(ideal, sim.RunCircuit(rzres.Circuit))
+	fmt.Printf("\nstate fidelity vs. original: trasyn %.6f, gridsynth %.6f\n", fU3, fRz)
+
+	// Under logical noise, fewer gates win (RQ4's mechanism).
+	nm := sim.NoiseModel{Rate: 1e-4}
+	rng := rand.New(rand.NewSource(5))
+	nU3 := sim.ImportanceFidelity(u3res.Circuit, nm, 400, rng)
+	nRz := sim.ImportanceFidelity(rzres.Circuit, nm, 400, rng)
+	fmt.Printf("under 1e-4 depolarizing on non-Pauli gates: trasyn %.5f, gridsynth %.5f\n", nU3, nRz)
+	fmt.Printf("infidelity ratio: %.2fx (higher favors trasyn)\n", (1-nRz)/(1-nU3))
+}

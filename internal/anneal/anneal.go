@@ -1,0 +1,129 @@
+// Package anneal is the Synthetiq-style baseline: simulated annealing over
+// fixed-length Clifford+T gate sequences minimizing the unitary distance of
+// Eq. (2), with random restarts under a wall-clock budget. Like the
+// original, it is a Monte-Carlo search with no optimality or termination
+// guarantee — the paper's evaluation shows it failing to reach tight
+// thresholds within its time limit, and this implementation reproduces
+// that scaling behavior.
+package anneal
+
+import (
+	"math"
+	"math/rand"
+	"time"
+
+	"repro/internal/gates"
+	"repro/internal/qmat"
+)
+
+// Options configures the annealer.
+type Options struct {
+	// Length is the sequence length (identity slots allowed). 0 derives a
+	// length from the error target.
+	Length int
+	// InitTemp and CoolRate control the geometric temperature schedule.
+	InitTemp float64
+	CoolRate float64
+	// ItersPerRestart bounds one annealing run; Budget bounds wall clock.
+	ItersPerRestart int
+	Budget          time.Duration
+	Rng             *rand.Rand
+}
+
+// Result reports the best sequence found.
+type Result struct {
+	Seq      gates.Sequence
+	Error    float64
+	TCount   int
+	Clifford int
+	Restarts int
+	Success  bool // Error ≤ the requested eps within the budget
+}
+
+var alphabet = []gates.Gate{
+	gates.I, gates.X, gates.Y, gates.Z, gates.H,
+	gates.S, gates.Sdg, gates.T, gates.Tdg,
+}
+
+func (o Options) filled(eps float64) Options {
+	if o.Length <= 0 {
+		// ~3 gates per T and ~3·log2(1/ε) T gates.
+		o.Length = 24 + int(9*math.Log2(1/eps))
+	}
+	if o.InitTemp <= 0 {
+		o.InitTemp = 0.3
+	}
+	if o.CoolRate <= 0 {
+		o.CoolRate = 0.9997
+	}
+	if o.ItersPerRestart <= 0 {
+		o.ItersPerRestart = 20000
+	}
+	if o.Budget <= 0 {
+		o.Budget = 2 * time.Second
+	}
+	if o.Rng == nil {
+		o.Rng = rand.New(rand.NewSource(time.Now().UnixNano()))
+	}
+	return o
+}
+
+// Synthesize searches for a sequence with D(U, seq) ≤ eps.
+func Synthesize(u qmat.M2, eps float64, opt Options) Result {
+	opt = opt.filled(eps)
+	deadline := time.Now().Add(opt.Budget)
+	best := Result{Error: math.Inf(1)}
+	rng := opt.Rng
+	for time.Now().Before(deadline) {
+		best.Restarts++
+		seq := make(gates.Sequence, opt.Length)
+		for i := range seq {
+			seq[i] = alphabet[rng.Intn(len(alphabet))]
+		}
+		cur := qmat.Distance(u, seq.Matrix())
+		temp := opt.InitTemp
+		for it := 0; it < opt.ItersPerRestart; it++ {
+			if it%512 == 0 && !time.Now().Before(deadline) {
+				break
+			}
+			pos := rng.Intn(opt.Length)
+			old := seq[pos]
+			seq[pos] = alphabet[rng.Intn(len(alphabet))]
+			next := qmat.Distance(u, seq.Matrix())
+			accept := next <= cur
+			if !accept && temp > 1e-12 {
+				accept = rng.Float64() < math.Exp((cur-next)/temp)
+			}
+			if accept {
+				cur = next
+			} else {
+				seq[pos] = old
+			}
+			temp *= opt.CoolRate
+			if cur < best.Error {
+				clean := compact(seq)
+				best.Seq = clean
+				best.Error = cur
+				best.TCount = clean.TCount()
+				best.Clifford = clean.CliffordCount()
+				if best.Error <= eps {
+					best.Success = true
+					return best
+				}
+			}
+		}
+	}
+	best.Success = best.Error <= eps
+	return best
+}
+
+// compact removes identity slots.
+func compact(seq gates.Sequence) gates.Sequence {
+	out := make(gates.Sequence, 0, len(seq))
+	for _, g := range seq {
+		if g != gates.I {
+			out = append(out, g)
+		}
+	}
+	return out
+}

@@ -1,0 +1,126 @@
+package circuit
+
+import (
+	"math"
+	"strings"
+	"testing"
+
+	"repro/internal/gates"
+	"repro/internal/qmat"
+)
+
+func TestMetrics(t *testing.T) {
+	c := New(3)
+	c.H(0).T(0).CX(0, 1).T(1).Tdg(0).S(2).RZ(2, 0.3).CZ(1, 2).X(0)
+	if got := c.TCount(); got != 3 {
+		t.Errorf("TCount = %d, want 3", got)
+	}
+	if got := c.CliffordCount(); got != 4 { // H, CX, S, CZ
+		t.Errorf("CliffordCount = %d, want 4", got)
+	}
+	if got := c.TwoQubitCount(); got != 2 {
+		t.Errorf("TwoQubitCount = %d, want 2", got)
+	}
+	if got := c.CountRotations(); got != 1 {
+		t.Errorf("CountRotations = %d, want 1", got)
+	}
+}
+
+func TestTDepthSequentialVsParallel(t *testing.T) {
+	// Ts on distinct qubits: depth 1. Ts chained on one qubit: depth = count.
+	par := New(3)
+	par.T(0).T(1).T(2)
+	if par.TDepth() != 1 {
+		t.Errorf("parallel TDepth = %d, want 1", par.TDepth())
+	}
+	seq := New(1)
+	seq.T(0).T(0).T(0)
+	if seq.TDepth() != 3 {
+		t.Errorf("sequential TDepth = %d, want 3", seq.TDepth())
+	}
+	// CX synchronizes depths.
+	mix := New(2)
+	mix.T(0).T(0).CX(0, 1).T(1)
+	if mix.TDepth() != 3 {
+		t.Errorf("mixed TDepth = %d, want 3", mix.TDepth())
+	}
+}
+
+func TestTrivialAngle(t *testing.T) {
+	for m := -8; m <= 8; m++ {
+		if !TrivialAngle(float64(m) * math.Pi / 4) {
+			t.Errorf("m·π/4 should be trivial (m=%d)", m)
+		}
+	}
+	for _, a := range []float64{0.3, 1.0, math.Pi / 3, 2.5} {
+		if TrivialAngle(a) {
+			t.Errorf("%v should be nontrivial", a)
+		}
+	}
+}
+
+func TestTrivialU3Detection(t *testing.T) {
+	c := New(1)
+	c.U3Gate(0, 0, math.Pi/4, 0) // ≅ Rz(π/4) ≅ T: trivial
+	if c.CountRotations() != 0 {
+		t.Error("T-equivalent U3 counted as rotation")
+	}
+	c2 := New(1)
+	c2.U3Gate(0, 0.4, 0.2, 0.9)
+	if c2.CountRotations() != 1 {
+		t.Error("generic U3 not counted")
+	}
+}
+
+func TestMatrix1QMatchesQmat(t *testing.T) {
+	cases := []struct {
+		op   Op
+		want qmat.M2
+	}{
+		{Op{G: H, Q: [2]int{0, -1}}, qmat.H()},
+		{Op{G: RZ, Q: [2]int{0, -1}, P: [3]float64{0.7}}, qmat.Rz(0.7)},
+		{Op{G: U3, Q: [2]int{0, -1}, P: [3]float64{0.5, 1.1, -0.2}}, qmat.U3(0.5, 1.1, -0.2)},
+	}
+	for _, tc := range cases {
+		if !qmat.ApproxEqual(tc.op.Matrix1Q(), tc.want, 1e-12) {
+			t.Errorf("Matrix1Q(%v) mismatch", tc.op.G)
+		}
+	}
+}
+
+func TestQASMOutput(t *testing.T) {
+	c := New(2)
+	c.H(0).CX(0, 1).RZ(1, 0.5).U3Gate(0, 1, 2, 3)
+	q := c.QASM()
+	for _, want := range []string{"OPENQASM 2.0", "qreg q[2]", "h q[0]", "cx q[0],q[1]", "rz(0.5) q[1]", "u3(1,2,3) q[0]"} {
+		if !strings.Contains(q, want) {
+			t.Errorf("QASM missing %q:\n%s", want, q)
+		}
+	}
+}
+
+func TestFromSequenceReversesOrder(t *testing.T) {
+	// Matrix-product order [H, T] means T applied first: ops = [T, H].
+	ops := FromSequence(gates.Sequence{gates.H, gates.T}, 3)
+	if len(ops) != 2 || ops[0].G != T || ops[1].G != H {
+		t.Fatalf("FromSequence wrong: %v", ops)
+	}
+	if ops[0].Q[0] != 3 {
+		t.Fatal("wrong qubit")
+	}
+	// Identity gates dropped.
+	ops = FromSequence(gates.Sequence{gates.I, gates.S}, 0)
+	if len(ops) != 1 || ops[0].G != S {
+		t.Fatal("identity not dropped")
+	}
+}
+
+func TestCloneIsDeep(t *testing.T) {
+	c := New(1)
+	c.H(0)
+	d := c.Clone()
+	d.T(0)
+	if len(c.Ops) != 1 {
+		t.Fatal("clone aliases ops")
+	}
+}

@@ -1,0 +1,237 @@
+package circuit
+
+import (
+	"fmt"
+	"math"
+	"strconv"
+	"strings"
+)
+
+// ParseQASM parses the OpenQASM 2.0 subset emitted by (*Circuit).QASM —
+// one quantum register, the discrete/rotation gate alphabet of this IR,
+// and cx/cz — so circuits round-trip through text and external circuits in
+// this dialect can be imported.
+func ParseQASM(src string) (*Circuit, error) {
+	var c *Circuit
+	regName := "q"
+	for ln, rawLine := range strings.Split(src, "\n") {
+		line := strings.TrimSpace(rawLine)
+		if i := strings.Index(line, "//"); i >= 0 {
+			line = strings.TrimSpace(line[:i])
+		}
+		if line == "" {
+			continue
+		}
+		if !strings.HasSuffix(line, ";") {
+			return nil, fmt.Errorf("qasm line %d: missing ';': %q", ln+1, line)
+		}
+		stmt := strings.TrimSuffix(line, ";")
+		switch {
+		case strings.HasPrefix(stmt, "OPENQASM"), strings.HasPrefix(stmt, "include"):
+			continue
+		case strings.HasPrefix(stmt, "qreg"):
+			name, size, err := parseQreg(stmt)
+			if err != nil {
+				return nil, fmt.Errorf("qasm line %d: %v", ln+1, err)
+			}
+			if c != nil {
+				return nil, fmt.Errorf("qasm line %d: multiple qregs unsupported", ln+1)
+			}
+			regName = name
+			c = New(size)
+		case strings.HasPrefix(stmt, "creg"), strings.HasPrefix(stmt, "barrier"),
+			strings.HasPrefix(stmt, "measure"):
+			continue // ignored: no classical semantics in this IR
+		default:
+			if c == nil {
+				return nil, fmt.Errorf("qasm line %d: gate before qreg", ln+1)
+			}
+			if err := parseGateStmt(c, regName, stmt); err != nil {
+				return nil, fmt.Errorf("qasm line %d: %v", ln+1, err)
+			}
+		}
+	}
+	if c == nil {
+		return nil, fmt.Errorf("qasm: no qreg declaration found")
+	}
+	return c, nil
+}
+
+func parseQreg(stmt string) (string, int, error) {
+	// qreg q[N]
+	rest := strings.TrimSpace(strings.TrimPrefix(stmt, "qreg"))
+	open := strings.Index(rest, "[")
+	closeB := strings.Index(rest, "]")
+	if open < 0 || closeB < open {
+		return "", 0, fmt.Errorf("malformed qreg %q", stmt)
+	}
+	size, err := strconv.Atoi(rest[open+1 : closeB])
+	if err != nil || size <= 0 {
+		return "", 0, fmt.Errorf("bad qreg size in %q", stmt)
+	}
+	return strings.TrimSpace(rest[:open]), size, nil
+}
+
+func parseGateStmt(c *Circuit, reg, stmt string) error {
+	// <name>[(params)] q[i][,q[j]]
+	var name, params, args string
+	if i := strings.Index(stmt, "("); i >= 0 {
+		j := strings.Index(stmt, ")")
+		if j < i {
+			return fmt.Errorf("malformed params in %q", stmt)
+		}
+		name = strings.TrimSpace(stmt[:i])
+		params = stmt[i+1 : j]
+		args = strings.TrimSpace(stmt[j+1:])
+	} else {
+		fields := strings.Fields(stmt)
+		if len(fields) < 2 {
+			return fmt.Errorf("malformed gate %q", stmt)
+		}
+		name = fields[0]
+		args = strings.TrimSpace(strings.Join(fields[1:], " "))
+	}
+	qubits, err := parseArgs(reg, args, c.N)
+	if err != nil {
+		return err
+	}
+	var angles []float64
+	if params != "" {
+		for _, p := range strings.Split(params, ",") {
+			v, err := parseAngle(strings.TrimSpace(p))
+			if err != nil {
+				return err
+			}
+			angles = append(angles, v)
+		}
+	}
+	return applyParsed(c, strings.ToLower(name), qubits, angles)
+}
+
+func parseArgs(reg, args string, n int) ([]int, error) {
+	var out []int
+	for _, a := range strings.Split(args, ",") {
+		a = strings.TrimSpace(a)
+		if !strings.HasPrefix(a, reg+"[") || !strings.HasSuffix(a, "]") {
+			return nil, fmt.Errorf("bad qubit reference %q", a)
+		}
+		idx, err := strconv.Atoi(a[len(reg)+1 : len(a)-1])
+		if err != nil || idx < 0 || idx >= n {
+			return nil, fmt.Errorf("qubit index out of range in %q", a)
+		}
+		out = append(out, idx)
+	}
+	return out, nil
+}
+
+// parseAngle evaluates the tiny expression grammar QASM angles use:
+// float literals, pi, unary minus, and '*' / '/' with two operands.
+func parseAngle(s string) (float64, error) {
+	s = strings.TrimSpace(s)
+	if s == "" {
+		return 0, fmt.Errorf("empty angle")
+	}
+	if i := strings.LastIndex(s, "/"); i > 0 {
+		num, err := parseAngle(s[:i])
+		if err != nil {
+			return 0, err
+		}
+		den, err := parseAngle(s[i+1:])
+		if err != nil {
+			return 0, err
+		}
+		if den == 0 {
+			return 0, fmt.Errorf("division by zero in angle %q", s)
+		}
+		return num / den, nil
+	}
+	if i := strings.LastIndex(s, "*"); i > 0 {
+		a, err := parseAngle(s[:i])
+		if err != nil {
+			return 0, err
+		}
+		b, err := parseAngle(s[i+1:])
+		if err != nil {
+			return 0, err
+		}
+		return a * b, nil
+	}
+	neg := false
+	for strings.HasPrefix(s, "-") {
+		neg = !neg
+		s = strings.TrimSpace(s[1:])
+	}
+	var v float64
+	switch s {
+	case "pi":
+		v = math.Pi
+	default:
+		f, err := strconv.ParseFloat(s, 64)
+		if err != nil {
+			return 0, fmt.Errorf("bad angle %q", s)
+		}
+		v = f
+	}
+	if neg {
+		v = -v
+	}
+	return v, nil
+}
+
+func applyParsed(c *Circuit, name string, qubits []int, angles []float64) error {
+	need := func(nq, na int) error {
+		if len(qubits) != nq || len(angles) != na {
+			return fmt.Errorf("gate %s: want %d qubits/%d params, got %d/%d",
+				name, nq, na, len(qubits), len(angles))
+		}
+		return nil
+	}
+	oneQ := map[string]GateType{
+		"id": I, "x": X, "y": Y, "z": Z, "h": H,
+		"s": S, "sdg": Sdg, "t": T, "tdg": Tdg,
+	}
+	if g, ok := oneQ[name]; ok {
+		if err := need(1, 0); err != nil {
+			return err
+		}
+		c.Gate1(g, qubits[0])
+		return nil
+	}
+	switch name {
+	case "rx", "ry", "rz", "u1", "p":
+		if err := need(1, 1); err != nil {
+			return err
+		}
+		switch name {
+		case "rx":
+			c.RX(qubits[0], angles[0])
+		case "ry":
+			c.RY(qubits[0], angles[0])
+		default: // rz, u1, p — all diagonal (u1/p differ by phase only)
+			c.RZ(qubits[0], angles[0])
+		}
+	case "u3", "u":
+		if err := need(1, 3); err != nil {
+			return err
+		}
+		c.U3Gate(qubits[0], angles[0], angles[1], angles[2])
+	case "u2":
+		if err := need(1, 2); err != nil {
+			return err
+		}
+		c.U3Gate(qubits[0], math.Pi/2, angles[0], angles[1])
+	case "cx", "cnot":
+		if err := need(2, 0); err != nil {
+			return err
+		}
+		c.CX(qubits[0], qubits[1])
+	case "cz":
+		if err := need(2, 0); err != nil {
+			return err
+		}
+		c.CZ(qubits[0], qubits[1])
+	default:
+		return fmt.Errorf("unsupported gate %q", name)
+	}
+	return nil
+}

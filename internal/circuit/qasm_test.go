@@ -1,0 +1,119 @@
+package circuit
+
+import (
+	"math"
+	"math/rand"
+	"strings"
+	"testing"
+)
+
+func TestQASMRoundTrip(t *testing.T) {
+	rng := rand.New(rand.NewSource(1))
+	c := New(4)
+	for i := 0; i < 40; i++ {
+		switch rng.Intn(6) {
+		case 0:
+			c.H(rng.Intn(4))
+		case 1:
+			c.RZ(rng.Intn(4), rng.Float64()*6-3)
+		case 2:
+			c.U3Gate(rng.Intn(4), rng.Float64()*3, rng.Float64()*6, rng.Float64()*6)
+		case 3:
+			a := rng.Intn(4)
+			c.CX(a, (a+1)%4)
+		case 4:
+			c.Tdg(rng.Intn(4))
+		case 5:
+			c.CZ(rng.Intn(4), (rng.Intn(3)+1+rng.Intn(4))%4)
+		}
+	}
+	// Fix accidental same-qubit CZ.
+	for i, op := range c.Ops {
+		if op.G.IsTwoQubit() && op.Q[0] == op.Q[1] {
+			c.Ops[i].Q[1] = (op.Q[0] + 1) % 4
+		}
+	}
+	parsed, err := ParseQASM(c.QASM())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if parsed.N != c.N || len(parsed.Ops) != len(c.Ops) {
+		t.Fatalf("round trip shape mismatch: %d/%d ops", len(parsed.Ops), len(c.Ops))
+	}
+	for i := range c.Ops {
+		a, b := c.Ops[i], parsed.Ops[i]
+		if a.G != b.G || a.Q != b.Q {
+			t.Fatalf("op %d mismatch: %+v vs %+v", i, a, b)
+		}
+		for j := range a.P {
+			if math.Abs(a.P[j]-b.P[j]) > 1e-9 {
+				t.Fatalf("op %d angle mismatch: %v vs %v", i, a.P, b.P)
+			}
+		}
+	}
+}
+
+func TestQASMAngleExpressions(t *testing.T) {
+	src := `OPENQASM 2.0;
+include "qelib1.inc";
+qreg q[1];
+rz(pi/2) q[0];
+rz(-pi/4) q[0];
+rz(2*pi) q[0];
+rz(0.25) q[0];
+u2(0,pi) q[0];
+`
+	c, err := ParseQASM(src)
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := []float64{math.Pi / 2, -math.Pi / 4, 2 * math.Pi, 0.25}
+	for i, w := range want {
+		if math.Abs(c.Ops[i].P[0]-w) > 1e-12 {
+			t.Fatalf("angle %d = %v, want %v", i, c.Ops[i].P[0], w)
+		}
+	}
+	// u2(φ,λ) = u3(π/2,φ,λ).
+	last := c.Ops[len(c.Ops)-1]
+	if last.G != U3 || math.Abs(last.P[0]-math.Pi/2) > 1e-12 {
+		t.Fatalf("u2 not lowered to u3: %+v", last)
+	}
+}
+
+func TestQASMErrors(t *testing.T) {
+	cases := []string{
+		"qreg q[2];\nfoo q[0];",      // unknown gate
+		"h q[0];",                    // gate before qreg
+		"qreg q[2];\ncx q[0];",       // arity
+		"qreg q[2];\nh q[5];",        // out of range
+		"qreg q[2];\nrz(pi/0) q[0];", // division by zero
+		"qreg q[2]\nh q[0];",         // missing semicolon
+		"",                           // empty
+	}
+	for _, src := range cases {
+		if _, err := ParseQASM(src); err == nil {
+			t.Errorf("expected error for %q", src)
+		}
+	}
+}
+
+func TestQASMIgnoresClassical(t *testing.T) {
+	src := `OPENQASM 2.0;
+qreg q[2];
+creg c[2];
+h q[0];
+barrier q[0],q[1];
+measure q[0] -> c[0];
+cx q[0],q[1];
+`
+	c, err := ParseQASM(src)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(c.Ops) != 2 {
+		t.Fatalf("expected 2 ops, got %d", len(c.Ops))
+	}
+	if !strings.Contains(c.QASM(), "cx q[0],q[1]") {
+		t.Fatal("re-emission broken")
+	}
+}

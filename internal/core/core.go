@@ -1,0 +1,371 @@
+// Package core implements trasyn, the paper's tensor-network-guided
+// synthesis of arbitrary single-qubit unitaries over Clifford+T (§3).
+//
+// Step 0 (the enumeration) lives in package gates; this package builds the
+// trace-value MPS over the enumerated building blocks (step 1), samples
+// high-trace-value gate sequences (step 2), rewrites suboptimal junctions
+// with the lookup table (step 3), and wraps everything in the Algorithm 1
+// outer loop that trades T budget against synthesis error.
+package core
+
+import (
+	"math"
+	"math/rand"
+	"sort"
+	"time"
+
+	"repro/internal/gates"
+	"repro/internal/mps"
+	"repro/internal/qmat"
+)
+
+// Config controls a synthesis run. The zero value is not usable; start from
+// DefaultConfig.
+type Config struct {
+	// Table is the step-0 enumeration (shared, immutable).
+	Table *gates.Table
+	// Budgets is the per-tensor T-count budget list (the paper's m). Site i
+	// draws from all enumerated operators with T count ≤ Budgets[i].
+	Budgets []int
+	// MinSites is Algorithm 1's l: the first attempt uses Budgets[:MinSites].
+	MinSites int
+	// Samples is the number of MPS samples k per attempt.
+	Samples int
+	// EnvCap bounds concurrently tracked sample groups (0 = unlimited).
+	EnvCap int
+	// Attempts is Algorithm 1's r: sampling retries per budget prefix.
+	Attempts int
+	// Epsilon, when positive, turns the run into the Eq. (4) form: stop as
+	// soon as the error threshold is met.
+	Epsilon float64
+	// UseBeam switches step 2 from sampling to a deterministic beam search
+	// of width BeamWidth (an extension; the paper samples).
+	UseBeam   bool
+	BeamWidth int
+	// KeepBest is how many top-trace samples are post-processed per attempt.
+	KeepBest int
+	// Rng drives sampling; nil seeds from the clock.
+	Rng *rand.Rand
+}
+
+// DefaultConfig returns a CPU-friendly configuration: per-site budget m,
+// nSites tensors, k samples. The paper's reference configuration is
+// m=10, nSites∈{1,2,3}, k=40000 on an A100; defaults here are scaled for
+// laptop-class hardware and can be raised freely.
+func DefaultConfig(table *gates.Table, m, nSites, k int) Config {
+	budgets := make([]int, nSites)
+	for i := range budgets {
+		budgets[i] = m
+	}
+	return Config{
+		Table:     table,
+		Budgets:   budgets,
+		MinSites:  1,
+		Samples:   k,
+		EnvCap:    0, // unbounded: marginals at early sites are nearly flat
+		Attempts:  1,
+		KeepBest:  32,
+		BeamWidth: 192,
+	}
+}
+
+// Result is a synthesized approximation of the target.
+type Result struct {
+	Seq      gates.Sequence // gate sequence in matrix-product order
+	Error    float64        // unitary distance Eq. (2) to the target
+	TCount   int
+	Clifford int // non-Pauli Clifford gates (H, S, S†)
+	Sites    int // tensors used in the MPS for the winning attempt
+	Evals    int // configurations examined across all attempts
+}
+
+// Synthesize solves the Eq. (3) form: minimize the distance to u subject to
+// the per-site budgets (steps 1–3, no outer loop). The returned sequence's
+// product equals the sampled operator up to global phase.
+func Synthesize(u qmat.M2, cfg Config) Result {
+	cfg = fill(cfg)
+	return synthesizeOnce(u, cfg, cfg.Budgets)
+}
+
+// TRASYN is Algorithm 1: attempts budgets[:l], budgets[:l+1], …, r times
+// each, keeping the best solution; with Epsilon > 0 it returns as soon as
+// the threshold is met, effectively solving Eq. (4).
+func TRASYN(u qmat.M2, cfg Config) Result {
+	cfg = fill(cfg)
+	best := Result{Error: math.Inf(1)}
+	evals := 0
+	for i := cfg.MinSites; i <= len(cfg.Budgets); i++ {
+		for j := 0; j < cfg.Attempts; j++ {
+			res := synthesizeOnce(u, cfg, cfg.Budgets[:i])
+			evals += res.Evals
+			if res.Error < best.Error ||
+				(res.Error == best.Error && res.TCount < best.TCount) {
+				best = res
+			}
+			if cfg.Epsilon > 0 && best.Error < cfg.Epsilon {
+				best.Evals = evals
+				return best
+			}
+		}
+	}
+	best.Evals = evals
+	return best
+}
+
+func fill(cfg Config) Config {
+	if cfg.Table == nil {
+		panic("core: Config.Table is required")
+	}
+	if len(cfg.Budgets) == 0 {
+		panic("core: Config.Budgets is required")
+	}
+	if cfg.MinSites <= 0 {
+		cfg.MinSites = 1
+	}
+	if cfg.MinSites > len(cfg.Budgets) {
+		cfg.MinSites = len(cfg.Budgets)
+	}
+	if cfg.Samples <= 0 {
+		cfg.Samples = 1024
+	}
+	if cfg.Attempts <= 0 {
+		cfg.Attempts = 1
+	}
+	if cfg.KeepBest <= 0 {
+		cfg.KeepBest = 16
+	}
+	if cfg.BeamWidth <= 0 {
+		cfg.BeamWidth = 128
+	}
+	if cfg.Rng == nil {
+		cfg.Rng = rand.New(rand.NewSource(time.Now().UnixNano()))
+	}
+	return cfg
+}
+
+func synthesizeOnce(u qmat.M2, cfg Config, budgets []int) Result {
+	// Assemble per-site candidate lists from the enumeration.
+	entries := make([][]*gates.Entry, len(budgets))
+	mats := make([][]qmat.M2, len(budgets))
+	for i, b := range budgets {
+		if b > cfg.Table.MaxT {
+			b = cfg.Table.MaxT
+		}
+		es := cfg.Table.Collect(0, b)
+		ms := make([]qmat.M2, len(es))
+		for j, e := range es {
+			ms[j] = e.M
+		}
+		entries[i] = es
+		mats[i] = ms
+	}
+	chain := mps.Build(u, mats)
+
+	var samples []mps.Sampled
+	if cfg.UseBeam || len(budgets) == 1 {
+		// A single site is a lookup table: the beam scan is exact (§4.1).
+		samples = chain.Beam(cfg.BeamWidth)
+	} else {
+		// Error-aware sampling with an exact argmax completion of the last
+		// tensor per sampled prefix (same cost as a plain draw, strictly
+		// better for the Eq. (3) objective).
+		samples = chain.SampleBestTail(cfg.Rng, cfg.Samples, cfg.EnvCap)
+	}
+	best := Result{Error: math.Inf(1), Sites: len(budgets), Evals: len(samples)}
+	if len(samples) == 0 {
+		return best
+	}
+	// Examine the top KeepBest by trace value.
+	top := topByTrace(samples, cfg.KeepBest)
+	for _, s := range top {
+		err := qmat.DistanceFromTrace(s.Trace)
+		var seq gates.Sequence
+		for site, idx := range s.Indices {
+			seq = append(seq, entries[site][idx].Sequence()...)
+		}
+		seq = Rewrite(seq, cfg.Table)
+		t, c := seq.TCount(), seq.CliffordCount()
+		if err < best.Error ||
+			(err == best.Error && (t < best.TCount || (t == best.TCount && c < best.Clifford))) {
+			best.Error = err
+			best.Seq = seq
+			best.TCount = t
+			best.Clifford = c
+		}
+	}
+	return best
+}
+
+// Candidates returns up to cfg.KeepBest distinct post-processed
+// approximations of u, best error first — the raw material for ensemble
+// techniques such as probabilistic mixing (paper §5), which consume several
+// nearby approximations rather than a single winner.
+func Candidates(u qmat.M2, cfg Config) []Result {
+	cfg = fill(cfg)
+	budgets := cfg.Budgets
+	entries := make([][]*gates.Entry, len(budgets))
+	mats := make([][]qmat.M2, len(budgets))
+	for i, b := range budgets {
+		if b > cfg.Table.MaxT {
+			b = cfg.Table.MaxT
+		}
+		es := cfg.Table.Collect(0, b)
+		ms := make([]qmat.M2, len(es))
+		for j, e := range es {
+			ms[j] = e.M
+		}
+		entries[i] = es
+		mats[i] = ms
+	}
+	chain := mps.Build(u, mats)
+	var samples []mps.Sampled
+	if cfg.UseBeam || len(budgets) == 1 {
+		samples = chain.Beam(cfg.BeamWidth)
+	} else {
+		samples = chain.SampleBestTail(cfg.Rng, cfg.Samples, cfg.EnvCap)
+	}
+	top := topByTrace(samples, cfg.KeepBest)
+	out := make([]Result, 0, len(top))
+	seen := map[string]bool{}
+	for _, s := range top {
+		var seq gates.Sequence
+		for site, idx := range s.Indices {
+			seq = append(seq, entries[site][idx].Sequence()...)
+		}
+		seq = Rewrite(seq, cfg.Table)
+		key := seq.String()
+		if seen[key] {
+			continue
+		}
+		seen[key] = true
+		out = append(out, Result{
+			Seq:      seq,
+			Error:    qmat.DistanceFromTrace(s.Trace),
+			TCount:   seq.TCount(),
+			Clifford: seq.CliffordCount(),
+			Sites:    len(budgets),
+		})
+	}
+	sort.Slice(out, func(i, j int) bool { return out[i].Error < out[j].Error })
+	return out
+}
+
+// topByTrace selects up to n samples with the largest |trace| (selection
+// without a full sort; sample lists can be large).
+func topByTrace(samples []mps.Sampled, n int) []mps.Sampled {
+	if len(samples) <= n {
+		return samples
+	}
+	out := make([]mps.Sampled, 0, n)
+	absv := func(c complex128) float64 {
+		return real(c)*real(c) + imag(c)*imag(c)
+	}
+	worst := -1.0
+	worstIdx := -1
+	recomputeWorst := func() {
+		worst, worstIdx = math.Inf(1), -1
+		for i, s := range out {
+			if v := absv(s.Trace); v < worst {
+				worst, worstIdx = v, i
+			}
+		}
+	}
+	for _, s := range samples {
+		v := absv(s.Trace)
+		if len(out) < n {
+			out = append(out, s)
+			if len(out) == n {
+				recomputeWorst()
+			}
+			continue
+		}
+		if v > worst {
+			out[worstIdx] = s
+			recomputeWorst()
+		}
+	}
+	return out
+}
+
+// Rewrite is step 3: scan the sequence for windows whose exact product has
+// a cheaper enumerated form and substitute it. Every window with T count ≤
+// Table.MaxT is guaranteed to be found (MA normal forms are exhaustive), so
+// segments are replaced by their canonical minimal form; alternating
+// segmentation offsets across passes catches junction reductions. The
+// product is preserved up to global phase.
+func Rewrite(seq gates.Sequence, tab *gates.Table) gates.Sequence {
+	if tab == nil || len(seq) == 0 {
+		return seq
+	}
+	cost := func(s gates.Sequence) (int, int, int) {
+		return s.TCount(), s.CliffordCount(), len(s)
+	}
+	better := func(a, b gates.Sequence) bool {
+		at, ac, al := cost(a)
+		bt, bc, bl := cost(b)
+		if at != bt {
+			return at < bt
+		}
+		if ac != bc {
+			return ac < bc
+		}
+		return al < bl
+	}
+	cur := seq
+	for pass := 0; pass < 12; pass++ {
+		offset := 0
+		if pass%2 == 1 && len(cur) > 1 {
+			offset = 1 // shift segmentation to heal junctions
+		}
+		next := append(gates.Sequence{}, cur[:offset]...)
+		i := offset
+		changed := false
+		for i < len(cur) {
+			// Grow the window to the maximal T budget.
+			j := i
+			tcount := 0
+			u := gates.Sequence(nil).UMat()
+			for j < len(cur) {
+				g := cur[j]
+				if g.IsT() && tcount == tab.MaxT {
+					break
+				}
+				u = u.Mul(g.UMat())
+				if g.IsT() {
+					tcount++
+				}
+				j++
+			}
+			window := cur[i:j]
+			if e, ok := tab.Find(u); ok {
+				rep := e.Sequence()
+				if better(rep, window) {
+					next = append(next, rep...)
+					changed = true
+					i = j
+					continue
+				}
+			}
+			next = append(next, window...)
+			i = j
+		}
+		if !changed && pass >= 1 {
+			return dropLeadingPaulis(next)
+		}
+		cur = next
+	}
+	return dropLeadingPaulis(cur)
+}
+
+// dropLeadingPaulis removes no-cost identity gates (I) anywhere; Paulis are
+// kept (they are free but still part of the operator).
+func dropLeadingPaulis(seq gates.Sequence) gates.Sequence {
+	out := seq[:0]
+	for _, g := range seq {
+		if g == gates.I {
+			continue
+		}
+		out = append(out, g)
+	}
+	return out
+}

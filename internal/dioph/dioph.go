@@ -1,0 +1,244 @@
+// Package dioph solves the norm equation t·t† = ξ over Z[ω] for totally
+// positive ξ ∈ Z[√2] — the Diophantine step of Ross–Selinger gridsynth.
+//
+// Strategy (the standard one): factor the rational norm N(ξ) = ξ·ξ•
+// (trial division + Pollard–Brent rho with a budget), split each rational
+// prime according to its class mod 8 using square roots mod p
+// (big.Int.ModSqrt) and Euclidean gcds in Z[√2] and Z[ω], assemble t from
+// the prime pieces, fix the leftover unit λ^{2s}, and verify t·t† = ξ
+// exactly. A failed factorization or verification returns ok=false and the
+// caller simply moves to the next grid candidate (standard gridsynth
+// practice; completeness is heuristic, soundness is exact).
+package dioph
+
+import (
+	"math"
+	"math/big"
+
+	"repro/internal/ring"
+)
+
+// MaxRhoIter bounds Pollard rho work per composite (tunable for tests).
+var MaxRhoIter = 1 << 17
+
+// SolveNormEquation returns t with t·t† = ξ, or ok=false if ξ is not
+// expressible (or the factoring budget was exceeded).
+func SolveNormEquation(xi ring.BSqrt2) (ring.BOmega, bool) {
+	if xi.IsZero() {
+		return ring.BOmegaFromInt(0), true
+	}
+	// ξ must be totally non-negative.
+	if xi.Sign() < 0 || xi.Bullet().Sign() < 0 {
+		return ring.BOmega{}, false
+	}
+	t := ring.BOmegaFromInt(1)
+	rem := xi.Clone()
+	// Remove √2 factors: √2 | (a + b√2) iff a is even; quotient is b + (a/2)√2.
+	delta := ring.NewBOmega(1, 1, 0, 0) // 1 + ω, with δ·δ† = √2·λ
+	for rem.A.Bit(0) == 0 && !rem.IsZero() {
+		half := new(big.Int).Rsh(rem.A, 1)
+		rem = ring.BSqrt2{A: rem.B, B: half}
+		t = t.Mul(delta)
+	}
+	n := rem.NormZ()
+	n.Abs(n)
+	if n.Sign() == 0 {
+		return ring.BOmega{}, false
+	}
+	factors, ok := Factor(n)
+	if !ok {
+		return ring.BOmega{}, false
+	}
+	for _, pf := range factors {
+		p := pf.P
+		mod8 := new(big.Int).And(p, big.NewInt(7)).Int64()
+		switch mod8 {
+		case 1, 7:
+			// p splits in Z[√2]: π = gcd(p, x − √2), x² ≡ 2 (mod p).
+			x := new(big.Int).ModSqrt(big.NewInt(2), p)
+			if x == nil {
+				return ring.BOmega{}, false
+			}
+			pi := gcdZSqrt2(ring.BSqrt2{A: new(big.Int).Set(p), B: big.NewInt(0)},
+				ring.BSqrt2{A: new(big.Int).Set(x), B: big.NewInt(-1)})
+			if pi.NormZ().CmpAbs(big.NewInt(1)) == 0 {
+				return ring.BOmega{}, false
+			}
+			for _, prime := range []ring.BSqrt2{pi, pi.Bullet()} {
+				e := 0
+				for {
+					q, divides := rem.DivExact(prime)
+					if !divides {
+						break
+					}
+					rem = q
+					e++
+				}
+				if e == 0 {
+					continue
+				}
+				if mod8 == 7 {
+					// Inert in Z[ω]: even exponent required.
+					if e%2 == 1 {
+						return ring.BOmega{}, false
+					}
+					half := ring.BOmegaFromBSqrt2(prime)
+					for i := 0; i < e/2; i++ {
+						t = t.Mul(half)
+					}
+					continue
+				}
+				// p ≡ 1 (mod 8): split π further in Z[ω] via y² ≡ −1.
+				eta, found := splitOmega(prime, p, big.NewInt(-1), ring.NewBOmega(0, 0, 1, 0))
+				if !found {
+					return ring.BOmega{}, false
+				}
+				for i := 0; i < e; i++ {
+					t = t.Mul(eta)
+				}
+			}
+		case 3:
+			// Inert in Z[√2]; split in Z[ω] via w² ≡ −2, i√2 = ω + ω³.
+			e, newRem, found := divideOutRational(rem, p)
+			if !found {
+				return ring.BOmega{}, false
+			}
+			rem = newRem
+			if e > 0 {
+				mu, got := splitOmega(ring.BSqrt2{A: new(big.Int).Set(p), B: big.NewInt(0)},
+					p, big.NewInt(-2), ring.NewBOmega(0, 1, 0, 1))
+				if !got {
+					return ring.BOmega{}, false
+				}
+				for i := 0; i < e; i++ {
+					t = t.Mul(mu)
+				}
+			}
+		case 5:
+			// Inert in Z[√2]; split in Z[ω] via y² ≡ −1, i = ω².
+			e, newRem, found := divideOutRational(rem, p)
+			if !found {
+				return ring.BOmega{}, false
+			}
+			rem = newRem
+			if e > 0 {
+				nu, got := splitOmega(ring.BSqrt2{A: new(big.Int).Set(p), B: big.NewInt(0)},
+					p, big.NewInt(-1), ring.NewBOmega(0, 0, 1, 0))
+				if !got {
+					return ring.BOmega{}, false
+				}
+				for i := 0; i < e; i++ {
+					t = t.Mul(nu)
+				}
+			}
+		default: // p = 2 cannot appear: √2 factors were removed
+			return ring.BOmega{}, false
+		}
+	}
+	// Fix the leftover unit: ξ/(t·t†) must be λ^{2s} (totally positive unit).
+	tt := t.Norm2()
+	q, divides := xi.DivExact(tt)
+	if !divides {
+		return ring.BOmega{}, false
+	}
+	j := unitLambdaExponent(q)
+	if j == nil || *j%2 != 0 {
+		return ring.BOmega{}, false
+	}
+	t = t.Mul(ring.BOmegaFromBSqrt2(ring.PowLambda(*j / 2)))
+	// Exact verification — the soundness guarantee.
+	if !t.Norm2().Equal(xi) {
+		return ring.BOmega{}, false
+	}
+	return t, true
+}
+
+// divideOutRational removes all factors of rational prime p from x ∈ Z[√2].
+func divideOutRational(x ring.BSqrt2, p *big.Int) (int, ring.BSqrt2, bool) {
+	e := 0
+	d := ring.BSqrt2{A: new(big.Int).Set(p), B: big.NewInt(0)}
+	for {
+		q, ok := x.DivExact(d)
+		if !ok {
+			return e, x, true
+		}
+		x = q
+		e++
+		if e > 512 {
+			return e, x, false
+		}
+	}
+}
+
+// splitOmega finds η ∈ Z[ω] with η·η† = π·(unit), where π is a prime of
+// Z[√2] above rational prime p, by computing gcd(π, r − root) with
+// r² ≡ square (mod p) and root² = square in Z[ω].
+func splitOmega(pi ring.BSqrt2, p, square *big.Int, root ring.BOmega) (ring.BOmega, bool) {
+	r := new(big.Int).ModSqrt(new(big.Int).Mod(square, p), p)
+	if r == nil {
+		return ring.BOmega{}, false
+	}
+	target := ring.BOmega{A: new(big.Int).Set(r), B: big.NewInt(0), C: big.NewInt(0), D: big.NewInt(0)}.Sub(root)
+	eta := ring.GCD(ring.BOmegaFromBSqrt2(pi), target)
+	// η must be a proper divisor (not a unit, not an associate of π itself
+	// when π splits).
+	normEta := eta.NormZ()
+	if normEta.CmpAbs(big.NewInt(1)) == 0 {
+		return ring.BOmega{}, false
+	}
+	return eta, true
+}
+
+// unitLambdaExponent returns j with q = λ^j, or nil if q is not a positive
+// power-of-λ unit.
+func unitLambdaExponent(q ring.BSqrt2) *int {
+	if q.Sign() <= 0 {
+		return nil
+	}
+	f := q.Float()
+	if f <= 0 || math.IsInf(f, 0) || math.IsNaN(f) {
+		return nil
+	}
+	j := int(math.Round(math.Log(f) / math.Log(1+ring.Sqrt2)))
+	if j < -4096 || j > 4096 {
+		return nil
+	}
+	if ring.PowLambda(j).Equal(q) {
+		return &j
+	}
+	return nil
+}
+
+// gcdZSqrt2 computes a gcd in Z[√2] via the Euclidean algorithm with
+// coefficient-rounding division (always norm-reducing in Z[√2]).
+func gcdZSqrt2(a, b ring.BSqrt2) ring.BSqrt2 {
+	for !b.IsZero() {
+		_, r := euclidZSqrt2(a, b)
+		a, b = b, r
+	}
+	return a
+}
+
+// euclidZSqrt2 returns q, r with a = q·b + r and |N(r)| < |N(b)|.
+func euclidZSqrt2(a, b ring.BSqrt2) (q, r ring.BSqrt2) {
+	n := b.NormZ() // may be negative
+	num := a.Mul(b.Bullet())
+	q = ring.BSqrt2{A: roundQuo(num.A, n), B: roundQuo(num.B, n)}
+	r = a.Sub(q.Mul(b))
+	return q, r
+}
+
+// roundQuo returns the nearest integer to x/n for nonzero n.
+func roundQuo(x, n *big.Int) *big.Int {
+	q0 := new(big.Int).Quo(x, n)
+	best := new(big.Int).Set(q0)
+	bestErr := new(big.Int).Abs(new(big.Int).Sub(x, new(big.Int).Mul(best, n)))
+	for _, d := range []int64{-1, 1} {
+		c := new(big.Int).Add(q0, big.NewInt(d))
+		e := new(big.Int).Abs(new(big.Int).Sub(x, new(big.Int).Mul(c, n)))
+		if e.Cmp(bestErr) < 0 {
+			best, bestErr = c, e
+		}
+	}
+	return best
+}

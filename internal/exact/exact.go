@@ -1,0 +1,235 @@
+// Package exact implements exact synthesis of unitaries over D[ω] =
+// Z[ω, 1/√2] into Clifford+T gate sequences (Kliuchnikov–Maslov–Mosca /
+// Giles–Selinger style): peel T^j·H factors from the left to reduce the
+// least denominator exponent, then finish with the step-0 enumeration
+// table. The output sequence reproduces the input matrix exactly up to a
+// global phase ω^m.
+package exact
+
+import (
+	"errors"
+	"fmt"
+
+	"repro/internal/gates"
+	"repro/internal/ring"
+)
+
+// BUMat is an exact 2x2 matrix (1/√2^K)·[entries ∈ Z[ω]] with
+// arbitrary-precision coefficients, kept in reduced form.
+type BUMat struct {
+	E [2][2]ring.BOmega
+	K int
+}
+
+// NewBUMat builds a reduced matrix from entries and denominator exponent.
+func NewBUMat(e00, e01, e10, e11 ring.BOmega, k int) BUMat {
+	m := BUMat{E: [2][2]ring.BOmega{{e00, e01}, {e10, e11}}, K: k}
+	m.reduce()
+	return m
+}
+
+// FromColumns builds V = (1/√2^k)·[[u, −t†·ω^g], [t, u†·ω^g]], the
+// gridsynth unitary with det ω^g; u·u† + t·t† = 2^k makes it unitary.
+func FromColumns(u, t ring.BOmega, k, g int) BUMat {
+	return NewBUMat(u, t.Conj().Neg().MulPhase(g), t, u.Conj().MulPhase(g), k)
+}
+
+func (m *BUMat) reduce() {
+	for m.K > 0 &&
+		m.E[0][0].DivisibleBySqrt2() && m.E[0][1].DivisibleBySqrt2() &&
+		m.E[1][0].DivisibleBySqrt2() && m.E[1][1].DivisibleBySqrt2() {
+		for i := 0; i < 2; i++ {
+			for j := 0; j < 2; j++ {
+				m.E[i][j] = m.E[i][j].DivSqrt2()
+			}
+		}
+		m.K--
+	}
+}
+
+// Mul returns a·b, reduced.
+func (a BUMat) Mul(b BUMat) BUMat {
+	var r BUMat
+	r.K = a.K + b.K
+	for i := 0; i < 2; i++ {
+		for j := 0; j < 2; j++ {
+			r.E[i][j] = a.E[i][0].Mul(b.E[0][j]).Add(a.E[i][1].Mul(b.E[1][j]))
+		}
+	}
+	r.reduce()
+	return r
+}
+
+// ToUMat converts to the int64 representation when coefficients fit.
+func (a BUMat) ToUMat() (ring.UMat, bool) {
+	var u ring.UMat
+	u.K = a.K
+	for i := 0; i < 2; i++ {
+		for j := 0; j < 2; j++ {
+			z, ok := a.E[i][j].ToZOmega()
+			if !ok {
+				return ring.UMat{}, false
+			}
+			u.E[i][j] = z
+		}
+	}
+	return u, true
+}
+
+// EqualUpToPhase reports a = ω^j·b for some j.
+func (a BUMat) EqualUpToPhase(b BUMat) bool {
+	if a.K != b.K {
+		return false
+	}
+	for j := 0; j < 8; j++ {
+		match := true
+		for r := 0; r < 2 && match; r++ {
+			for c := 0; c < 2 && match; c++ {
+				if !a.E[r][c].Equal(b.E[r][c].MulPhase(j)) {
+					match = false
+				}
+			}
+		}
+		if match {
+			return true
+		}
+	}
+	return false
+}
+
+// gateBU returns the exact big matrix of a discrete gate.
+func gateBU(g gates.Gate) BUMat {
+	u := g.UMat()
+	var b BUMat
+	b.K = u.K
+	for i := 0; i < 2; i++ {
+		for j := 0; j < 2; j++ {
+			b.E[i][j] = ring.BOmegaFromZOmega(u.E[i][j])
+		}
+	}
+	return b
+}
+
+// SequenceBU returns the exact big product of a gate sequence.
+func SequenceBU(seq gates.Sequence) BUMat {
+	m := gateBU(gates.I)
+	for _, g := range seq {
+		m = m.Mul(gateBU(g))
+	}
+	return m
+}
+
+// reducers[j] = H·T^{−j}, the left-multipliers used to peel a T^j·H prefix.
+var reducers = func() [4]BUMat {
+	var r [4]BUMat
+	tdg := gateBU(gates.Tdg)
+	m := gateBU(gates.H)
+	for j := 0; j < 4; j++ {
+		r[j] = m
+		m = m.Mul(tdg) // H·T^{−j} → H·T^{−(j+1)}
+	}
+	return r
+}()
+
+// prefixFor returns the emitted gates for reducer j (the peeled factor
+// T^j·H in matrix-product order).
+func prefixFor(j int) gates.Sequence {
+	switch j {
+	case 0:
+		return gates.Sequence{gates.H}
+	case 1:
+		return gates.Sequence{gates.T, gates.H}
+	case 2:
+		return gates.Sequence{gates.S, gates.H}
+	default:
+		return gates.Sequence{gates.S, gates.T, gates.H}
+	}
+}
+
+// ErrNotUnitary is returned when the input is not exactly unitary over D[ω].
+var ErrNotUnitary = errors.New("exact: matrix is not unitary over D[ω]")
+
+// ErrStuck is returned if no T^j·H peel reduces the denominator exponent
+// (cannot happen for genuine unitaries; kept as a loud failure mode).
+var ErrStuck = errors.New("exact: no reduction step applies")
+
+// Synthesize decomposes the exact unitary m into a Clifford+T sequence
+// whose product equals m up to a global phase ω^g. tab supplies minimal
+// sequences for the residual low-denominator operators (any table with
+// MaxT ≥ 4 works; larger tables trim a few gates).
+func Synthesize(m BUMat, tab *gates.Table) (gates.Sequence, error) {
+	if !isUnitary(m) {
+		return nil, ErrNotUnitary
+	}
+	var seq gates.Sequence
+	w := m
+	for iter := 0; ; iter++ {
+		if iter > 100000 {
+			return nil, ErrStuck
+		}
+		// Handoff: if the residual fits the enumeration, finish optimally.
+		if w.K <= 4 {
+			if u, ok := w.ToUMat(); ok {
+				if e, found := tab.Find(u); found {
+					return append(seq, e.Sequence()...), nil
+				}
+			}
+		}
+		if w.K == 0 {
+			// Every K=0 unitary over Z[ω] is a phase-monomial (diag or
+			// antidiag with ω^j entries) and lives in any table with
+			// MaxT ≥ 1; reaching here means the table was too small.
+			return nil, fmt.Errorf("exact: K=0 residual not in table (MaxT=%d)", tab.MaxT)
+		}
+		reducedAny := false
+		for j := 0; j < 4 && !reducedAny; j++ {
+			cand := reducers[j].Mul(w)
+			if cand.K < w.K {
+				seq = append(seq, prefixFor(j)...)
+				w = cand
+				reducedAny = true
+			}
+		}
+		if !reducedAny {
+			// No single peel reduces K: a K-neutral step followed by a
+			// reducing one is required (this is why exact synthesis costs
+			// ~2 T gates per unit of denominator exponent).
+		pairs:
+			for j1 := 0; j1 < 4; j1++ {
+				mid := reducers[j1].Mul(w)
+				if mid.K > w.K {
+					continue
+				}
+				for j2 := 0; j2 < 4; j2++ {
+					cand := reducers[j2].Mul(mid)
+					if cand.K < w.K {
+						seq = append(seq, prefixFor(j1)...)
+						seq = append(seq, prefixFor(j2)...)
+						w = cand
+						reducedAny = true
+						break pairs
+					}
+				}
+			}
+		}
+		if !reducedAny {
+			return nil, ErrStuck
+		}
+	}
+}
+
+// isUnitary checks m·m† = I exactly.
+func isUnitary(m BUMat) bool {
+	d := BUMat{K: m.K}
+	d.E[0][0] = m.E[0][0].Conj()
+	d.E[0][1] = m.E[1][0].Conj()
+	d.E[1][0] = m.E[0][1].Conj()
+	d.E[1][1] = m.E[1][1].Conj()
+	p := m.Mul(d)
+	if p.K != 0 {
+		return false
+	}
+	one := ring.BOmegaFromInt(1)
+	return p.E[0][0].Equal(one) && p.E[1][1].Equal(one) &&
+		p.E[0][1].IsZero() && p.E[1][0].IsZero()
+}

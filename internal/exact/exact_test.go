@@ -1,0 +1,161 @@
+package exact
+
+import (
+	"math/rand"
+	"testing"
+
+	"repro/internal/gates"
+	"repro/internal/qmat"
+	"repro/internal/ring"
+)
+
+func randomWord(r *rand.Rand, n int) gates.Sequence {
+	alphabet := []gates.Gate{gates.X, gates.Y, gates.Z, gates.H, gates.S, gates.Sdg, gates.T, gates.Tdg}
+	s := make(gates.Sequence, n)
+	for i := range s {
+		s[i] = alphabet[r.Intn(len(alphabet))]
+	}
+	return s
+}
+
+// TestSynthesizeRoundTrip: synthesizing the exact matrix of a random word
+// must reproduce the operator exactly (up to phase).
+func TestSynthesizeRoundTrip(t *testing.T) {
+	tab := gates.Shared(5)
+	rng := rand.New(rand.NewSource(1))
+	for trial := 0; trial < 150; trial++ {
+		w := randomWord(rng, 3+rng.Intn(40))
+		m := SequenceBU(w)
+		seq, err := Synthesize(m, tab)
+		if err != nil {
+			t.Fatalf("Synthesize failed on %v: %v", w, err)
+		}
+		got := SequenceBU(seq)
+		if !got.EqualUpToPhase(m) {
+			t.Fatalf("synthesis differs from target:\nword %v\nout  %v", w, seq)
+		}
+	}
+}
+
+// TestSynthesizeTCountNearOptimal: the output of exact synthesis should not
+// use wildly more T gates than the input word (the sde bound: T ≈ 2K).
+func TestSynthesizeTCountBound(t *testing.T) {
+	tab := gates.Shared(5)
+	rng := rand.New(rand.NewSource(2))
+	for trial := 0; trial < 60; trial++ {
+		w := randomWord(rng, 10+rng.Intn(30))
+		m := SequenceBU(w)
+		seq, err := Synthesize(m, tab)
+		if err != nil {
+			t.Fatal(err)
+		}
+		// The minimal T count for an operator with sde K is ≥ 2K−4-ish; the
+		// peeling algorithm achieves ≤ 2K+const. Check against the input.
+		if seq.TCount() > w.TCount()+4 {
+			t.Fatalf("T count blew up: word T=%d, synth T=%d (K=%d)", w.TCount(), seq.TCount(), m.K)
+		}
+	}
+}
+
+// TestFromColumnsUnitary: the gridsynth form must be exactly unitary
+// whenever u·u† + t·t† = 2^k.
+func TestFromColumnsUnitary(t *testing.T) {
+	// u = 1+ω, t chosen so that norms sum to 2^k: try u·u†+t·t† for simple
+	// pairs by brute scan over small elements.
+	rng := rand.New(rand.NewSource(3))
+	found := 0
+	for trial := 0; trial < 4000 && found < 20; trial++ {
+		u := ring.NewBOmega(rng.Int63n(5)-2, rng.Int63n(5)-2, rng.Int63n(5)-2, rng.Int63n(5)-2)
+		tt := ring.NewBOmega(rng.Int63n(5)-2, rng.Int63n(5)-2, rng.Int63n(5)-2, rng.Int63n(5)-2)
+		sum := u.Norm2().Add(tt.Norm2())
+		if sum.B.Sign() != 0 || sum.A.Sign() <= 0 {
+			continue
+		}
+		// Is sum.A a power of two?
+		a := sum.A.Int64()
+		k := 0
+		for a > 1 && a%2 == 0 {
+			a /= 2
+			k++
+		}
+		if a != 1 {
+			continue
+		}
+		for g := 0; g < 2; g++ {
+			m := FromColumns(u, tt, k, g)
+			if !isUnitary(m) {
+				t.Fatalf("FromColumns not unitary: u=%v t=%v k=%d g=%d", u, tt, k, g)
+			}
+			found++
+			seq, err := Synthesize(m, gates.Shared(5))
+			if err != nil {
+				t.Fatalf("Synthesize failed on gridsynth form: %v", err)
+			}
+			if !SequenceBU(seq).EqualUpToPhase(m) {
+				t.Fatal("gridsynth form round trip failed")
+			}
+		}
+	}
+	if found < 10 {
+		t.Fatalf("only %d unitary instances found; test too weak", found)
+	}
+}
+
+// TestSynthesizeRejectsNonUnitary.
+func TestSynthesizeRejectsNonUnitary(t *testing.T) {
+	bad := NewBUMat(ring.BOmegaFromInt(1), ring.BOmegaFromInt(1),
+		ring.BOmegaFromInt(0), ring.BOmegaFromInt(1), 0)
+	if _, err := Synthesize(bad, gates.Shared(4)); err == nil {
+		t.Error("expected error for non-unitary input")
+	}
+}
+
+// TestSynthesizeCliffordsAndPhases: pure Cliffords must come back with
+// zero T gates.
+func TestSynthesizeCliffords(t *testing.T) {
+	tab := gates.Shared(4)
+	for _, c := range gates.CliffordGroup() {
+		m := SequenceBU(c.Seq)
+		seq, err := Synthesize(m, tab)
+		if err != nil {
+			t.Fatalf("Clifford synthesis failed: %v", err)
+		}
+		if seq.TCount() != 0 {
+			t.Fatalf("Clifford %v synthesized with %d T gates", c.Seq, seq.TCount())
+		}
+		if !SequenceBU(seq).EqualUpToPhase(m) {
+			t.Fatal("Clifford round trip failed")
+		}
+	}
+}
+
+// TestNumericAgreement: exact product and float product agree.
+func TestNumericAgreement(t *testing.T) {
+	rng := rand.New(rand.NewSource(4))
+	for trial := 0; trial < 30; trial++ {
+		w := randomWord(rng, 20)
+		m := SequenceBU(w)
+		seq, err := Synthesize(m, gates.Shared(5))
+		if err != nil {
+			t.Fatal(err)
+		}
+		if d := qmat.Distance(w.Matrix(), seq.Matrix()); d > 1e-7 {
+			t.Fatalf("numeric distance %v after exact synthesis", d)
+		}
+	}
+}
+
+func BenchmarkSynthesize(b *testing.B) {
+	tab := gates.Shared(5)
+	rng := rand.New(rand.NewSource(5))
+	words := make([]BUMat, 16)
+	for i := range words {
+		words[i] = SequenceBU(randomWord(rng, 40))
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := Synthesize(words[i%len(words)], tab); err != nil {
+			b.Fatal(err)
+		}
+	}
+}

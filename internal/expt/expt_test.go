@@ -1,0 +1,98 @@
+package expt
+
+import (
+	"bytes"
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+)
+
+// tiny returns a configuration that keeps every experiment in test time.
+func tiny(t *testing.T) Config {
+	t.Helper()
+	return Config{
+		N:          4,
+		Samples:    300,
+		MaxT:       5,
+		Sites:      2,
+		BenchLimit: 6,
+		SimQubits:  5,
+		FidTrials:  60,
+		Seed:       7,
+		Workers:    4,
+	}
+}
+
+// TestAllExperimentsRun: every registered experiment must produce a
+// non-empty table at miniature scale. This is the end-to-end smoke test of
+// the whole reproduction pipeline.
+func TestAllExperimentsRun(t *testing.T) {
+	if testing.Short() {
+		t.Skip("expensive end-to-end test")
+	}
+	cfg := tiny(t)
+	for _, e := range Registry() {
+		e := e
+		t.Run(e.ID, func(t *testing.T) {
+			tab, err := e.Run(cfg)
+			if err != nil {
+				t.Fatalf("%s failed: %v", e.ID, err)
+			}
+			if len(tab.Rows) == 0 {
+				t.Fatalf("%s produced no rows", e.ID)
+			}
+			var buf bytes.Buffer
+			tab.Print(&buf)
+			if !strings.Contains(buf.String(), e.ID) {
+				t.Fatalf("%s print output missing id", e.ID)
+			}
+		})
+	}
+}
+
+func TestFindRegistry(t *testing.T) {
+	if _, err := Find("fig9"); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := Find("nope"); err == nil {
+		t.Fatal("expected error for unknown id")
+	}
+}
+
+func TestWriteCSV(t *testing.T) {
+	dir := t.TempDir()
+	tab := &Table{ID: "unit", Header: []string{"a", "b"}}
+	tab.Add(1, 2.5)
+	if err := tab.WriteCSV(dir); err != nil {
+		t.Fatal(err)
+	}
+	data, err := os.ReadFile(filepath.Join(dir, "unit.csv"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(string(data), "a,b") {
+		t.Fatalf("csv content wrong: %q", data)
+	}
+}
+
+func TestStatHelpers(t *testing.T) {
+	xs := []float64{1, 2, 4}
+	if g := geomean(xs); g < 1.9 || g > 2.1 {
+		t.Errorf("geomean = %v", g)
+	}
+	if m := median(xs); m != 2 {
+		t.Errorf("median = %v", m)
+	}
+	if m := mean(xs); m < 2.3 || m > 2.4 {
+		t.Errorf("mean = %v", m)
+	}
+	lo, hi := minMax(xs)
+	if lo != 1 || hi != 4 {
+		t.Errorf("minMax = %v %v", lo, hi)
+	}
+	slope, _ := linFit([]float64{0, 1, 2}, []float64{1, 3, 5})
+	if slope < 1.99 || slope > 2.01 {
+		t.Errorf("linFit slope = %v", slope)
+	}
+}

@@ -1,0 +1,216 @@
+package gates
+
+import (
+	"math/rand"
+	"testing"
+	"testing/quick"
+
+	"repro/internal/qmat"
+	"repro/internal/ring"
+)
+
+func TestGateMatricesConsistent(t *testing.T) {
+	for g := I; g < numGates; g++ {
+		if !qmat.ApproxEqual(g.M2(), g.UMat().Complex(), 1e-12) {
+			t.Errorf("%v: numeric and exact matrices disagree", g)
+		}
+		adj := qmat.Mul(g.M2(), g.Adjoint().M2())
+		if !qmat.ApproxEqual(adj, qmat.I2(), 1e-12) {
+			t.Errorf("%v: g·g† ≠ I", g)
+		}
+	}
+}
+
+func TestSequenceRoundTrip(t *testing.T) {
+	s := Sequence{H, T, S, H, T, Z, Sdg, Tdg, X}
+	parsed, err := Parse(s.String())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if parsed.String() != s.String() {
+		t.Fatalf("parse round trip: %q vs %q", parsed.String(), s.String())
+	}
+	if _, err := Parse("H FOO"); err == nil {
+		t.Error("expected parse error")
+	}
+}
+
+func TestSequenceCounts(t *testing.T) {
+	s := Sequence{H, T, S, H, T, Z, Sdg, Tdg, X}
+	if s.TCount() != 3 {
+		t.Errorf("TCount = %d, want 3", s.TCount())
+	}
+	if s.CliffordCount() != 4 {
+		t.Errorf("CliffordCount = %d, want 4 (H S H Sdg)", s.CliffordCount())
+	}
+}
+
+func TestSequenceAdjoint(t *testing.T) {
+	rng := rand.New(rand.NewSource(1))
+	f := func(seed int64) bool {
+		r := rand.New(rand.NewSource(seed))
+		s := randomWord(r, 10)
+		p := qmat.Mul(s.Matrix(), s.Adjoint().Matrix())
+		return qmat.ApproxEqual(p, qmat.I2(), 1e-9)
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 200, Rand: rng}); err != nil {
+		t.Error(err)
+	}
+}
+
+func randomWord(r *rand.Rand, n int) Sequence {
+	alphabet := []Gate{X, Y, Z, H, S, Sdg, T, Tdg}
+	s := make(Sequence, n)
+	for i := range s {
+		s[i] = alphabet[r.Intn(len(alphabet))]
+	}
+	return s
+}
+
+func TestCliffordGroupSize(t *testing.T) {
+	cl := CliffordGroup()
+	if len(cl) != 24 {
+		t.Fatalf("Clifford group has %d elements, want 24", len(cl))
+	}
+	if len(cl[0].Seq) != 0 {
+		t.Errorf("first Clifford should be identity, got %v", cl[0].Seq)
+	}
+	seen := map[ring.Key]bool{}
+	for _, c := range cl {
+		if seen[c.Key] {
+			t.Fatal("duplicate Clifford")
+		}
+		seen[c.Key] = true
+		if got := c.Seq.UMat(); !got.EqualUpToPhase(c.U) {
+			t.Fatal("Clifford sequence does not reproduce its matrix")
+		}
+		if c.Seq.TCount() != 0 {
+			t.Fatal("Clifford sequence contains T gates")
+		}
+	}
+}
+
+func TestCliffordClosure(t *testing.T) {
+	cl := CliffordGroup()
+	for _, a := range cl {
+		for _, b := range cl {
+			if CliffordIndex(a.U.Mul(b.U)) < 0 {
+				t.Fatalf("product of Cliffords not in group")
+			}
+		}
+	}
+}
+
+func TestCliffordIndexRejectsT(t *testing.T) {
+	if CliffordIndex(T.UMat()) >= 0 {
+		t.Error("T should not be a Clifford")
+	}
+}
+
+// TestEnumerationCountLaw checks the paper's count of unique matrices:
+// 24·(3·2^t − 2) operators with T count ≤ t (§3.3, step 0).
+func TestEnumerationCountLaw(t *testing.T) {
+	tab := BuildTable(7)
+	cum := 0
+	for lvl := 0; lvl <= 7; lvl++ {
+		cum += len(tab.Levels[lvl])
+		want := 24 * (3*(1<<uint(lvl)) - 2)
+		if cum != want {
+			t.Fatalf("cumulative count at T=%d is %d, want %d", lvl, cum, want)
+		}
+	}
+}
+
+func TestEnumerationEntriesAreConsistent(t *testing.T) {
+	tab := Shared(5)
+	rng := rand.New(rand.NewSource(2))
+	for lvl := 0; lvl <= 5; lvl++ {
+		for trial := 0; trial < 40; trial++ {
+			es := tab.Levels[lvl]
+			e := &es[rng.Intn(len(es))]
+			seq := e.Sequence()
+			if seq.TCount() != int(e.TCount) || int(e.TCount) != lvl {
+				t.Fatalf("entry T count mismatch: seq=%d entry=%d level=%d", seq.TCount(), e.TCount, lvl)
+			}
+			if seq.CliffordCount() != int(e.NonPauli) {
+				t.Fatalf("entry NonPauli mismatch: %d vs %d", seq.CliffordCount(), e.NonPauli)
+			}
+			if !qmat.ApproxEqual(seq.Matrix(), e.M, 1e-9) {
+				t.Fatal("entry matrix does not match its sequence")
+			}
+		}
+	}
+}
+
+// TestLookupFindsMinimalTCount: the exact product of ANY Clifford+T word
+// with w T gates must be found in the table with T count ≤ w. This is the
+// property trasyn's step-3 rewriting and exact synthesis both rely on.
+func TestLookupFindsMinimalTCount(t *testing.T) {
+	tab := Shared(6)
+	rng := rand.New(rand.NewSource(3))
+	for trial := 0; trial < 300; trial++ {
+		w := randomWord(rng, 3+rng.Intn(15))
+		tc := w.TCount()
+		if tc > 6 {
+			continue
+		}
+		e, ok := tab.Find(w.UMat())
+		if !ok {
+			t.Fatalf("word %v (T=%d) not found in table", w, tc)
+		}
+		if int(e.TCount) > tc {
+			t.Fatalf("table entry T=%d exceeds word T=%d for %v", e.TCount, tc, w)
+		}
+		// The found entry must be the same operator up to phase.
+		if d := qmat.Distance(e.M, w.Matrix()); d > 1e-7 {
+			t.Fatalf("lookup returned wrong operator: distance %v", d)
+		}
+	}
+}
+
+func TestCollect(t *testing.T) {
+	tab := Shared(4)
+	all := tab.Collect(0, 4)
+	if len(all) != tab.Count() {
+		t.Fatalf("Collect(0,4) returned %d, want %d", len(all), tab.Count())
+	}
+	only3 := tab.Collect(3, 3)
+	if len(only3) != 24*3*(1<<2) {
+		t.Fatalf("Collect(3,3) returned %d, want %d", len(only3), 24*3*(1<<2))
+	}
+	for _, e := range only3 {
+		if e.TCount != 3 {
+			t.Fatal("Collect returned wrong level")
+		}
+	}
+	if got := tab.Collect(5, 9); got != nil {
+		t.Fatal("Collect beyond MaxT should be empty")
+	}
+}
+
+func TestSharedCaches(t *testing.T) {
+	a := Shared(3)
+	b := Shared(3)
+	if a != b {
+		t.Error("Shared should cache tables")
+	}
+}
+
+func BenchmarkBuildTableT8(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		BuildTable(8)
+	}
+}
+
+func BenchmarkTableLookup(b *testing.B) {
+	tab := Shared(6)
+	rng := rand.New(rand.NewSource(4))
+	words := make([]ring.UMat, 64)
+	for i := range words {
+		words[i] = randomWord(rng, 12).UMat()
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		tab.Find(words[i%len(words)])
+	}
+}

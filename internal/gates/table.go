@@ -1,0 +1,193 @@
+package gates
+
+import (
+	"fmt"
+	"sync"
+
+	"repro/internal/qmat"
+	"repro/internal/ring"
+)
+
+// Entry is one unique Clifford+T operator (up to global phase), stored as
+// its Matsumoto–Amano normal form (ε|T)(HT|SHT)*·C. The MA form realizes
+// the minimal T count for the operator.
+type Entry struct {
+	M        qmat.M2 // numeric matrix of the normal form
+	TPart    uint32  // syllable bits: bit i = 1 means syllable i is SHT, else HT
+	NSyl     uint8   // number of (HT|SHT) syllables
+	LeadT    bool    // leading T factor present
+	Cliff    uint8   // index into CliffordGroup()
+	TCount   uint8   // minimal T count (NSyl + LeadT)
+	NonPauli uint8   // H+S+S† gates in Sequence() (Clifford cost)
+}
+
+// Sequence reconstructs the gate sequence (matrix-product order).
+func (e *Entry) Sequence() Sequence {
+	s := make(Sequence, 0, int(e.NSyl)*3+6)
+	if e.LeadT {
+		s = append(s, T)
+	}
+	for i := 0; i < int(e.NSyl); i++ {
+		if e.TPart>>i&1 == 1 {
+			s = append(s, S, H, T)
+		} else {
+			s = append(s, H, T)
+		}
+	}
+	s = append(s, CliffordGroup()[e.Cliff].Seq...)
+	return s
+}
+
+// Ref locates an Entry inside a Table.
+type Ref struct {
+	Level uint8
+	Idx   int32
+}
+
+// Table is the step-0 enumeration: all unique Clifford+T operators with
+// minimal T count ≤ MaxT, indexed by canonical (phase-invariant) key.
+// It doubles as the equivalence lookup table used by trasyn's
+// post-processing and by exact synthesis.
+type Table struct {
+	MaxT   int
+	Levels [][]Entry // Levels[t] = operators with minimal T count exactly t
+	lookup map[ring.Key]Ref
+}
+
+type maPart struct {
+	bits uint32
+	nsyl uint8
+	lead bool
+	u    ring.UMat
+}
+
+// BuildTable enumerates all unique operators with T count ≤ maxT.
+// The number of entries is 24·(3·2^maxT − 2); maxT ≤ 12 is practical.
+func BuildTable(maxT int) *Table {
+	if maxT < 0 || maxT > 24 {
+		panic(fmt.Sprintf("gates: unreasonable maxT %d", maxT))
+	}
+	cliffs := CliffordGroup()
+	ht := Sequence{H, T}.UMat()
+	sht := Sequence{S, H, T}.UMat()
+
+	tab := &Table{MaxT: maxT, Levels: make([][]Entry, maxT+1)}
+	total := 24 * (3*(1<<uint(maxT)) - 2)
+	tab.lookup = make(map[ring.Key]Ref, total)
+
+	level := []maPart{{u: ring.UIdentity()}}
+	for t := 0; t <= maxT; t++ {
+		entries := make([]Entry, 0, len(level)*24)
+		for _, p := range level {
+			partNP := uint8(0)
+			for i := 0; i < int(p.nsyl); i++ {
+				if p.bits>>i&1 == 1 {
+					partNP += 2 // S H
+				} else {
+					partNP++ // H
+				}
+			}
+			for ci, c := range cliffs {
+				u := p.u.Mul(c.U)
+				e := Entry{
+					M:        u.Complex(),
+					TPart:    p.bits,
+					NSyl:     p.nsyl,
+					LeadT:    p.lead,
+					Cliff:    uint8(ci),
+					TCount:   uint8(t),
+					NonPauli: partNP + uint8(c.Seq.CliffordCount()),
+				}
+				key := u.CanonicalKey()
+				if _, dup := tab.lookup[key]; dup {
+					// MA normal forms are unique; a collision signals a bug.
+					panic("gates: duplicate canonical key during MA enumeration")
+				}
+				tab.lookup[key] = Ref{Level: uint8(t), Idx: int32(len(entries))}
+				entries = append(entries, e)
+			}
+		}
+		tab.Levels[t] = entries
+		if t == maxT {
+			break
+		}
+		// Next level of T-parts.
+		var next []maPart
+		if t == 0 {
+			next = []maPart{
+				{lead: true, u: T.UMat()},
+				{nsyl: 1, bits: 0, u: ht},
+				{nsyl: 1, bits: 1, u: sht},
+			}
+		} else {
+			next = make([]maPart, 0, 2*len(level))
+			for _, p := range level {
+				next = append(next,
+					maPart{bits: p.bits, nsyl: p.nsyl + 1, lead: p.lead, u: p.u.Mul(ht)},
+					maPart{bits: p.bits | 1<<p.nsyl, nsyl: p.nsyl + 1, lead: p.lead, u: p.u.Mul(sht)},
+				)
+			}
+		}
+		level = next
+	}
+	return tab
+}
+
+// Count returns the total number of enumerated operators.
+func (t *Table) Count() int {
+	n := 0
+	for _, l := range t.Levels {
+		n += len(l)
+	}
+	return n
+}
+
+// Find returns the entry equal to u up to global phase, if enumerated.
+func (t *Table) Find(u ring.UMat) (*Entry, bool) {
+	return t.FindKey(u.CanonicalKey())
+}
+
+// FindKey looks up a canonical key directly.
+func (t *Table) FindKey(k ring.Key) (*Entry, bool) {
+	ref, ok := t.lookup[k]
+	if !ok {
+		return nil, false
+	}
+	return &t.Levels[ref.Level][ref.Idx], true
+}
+
+// Collect returns pointers to all entries with T count in [loT, hiT].
+func (t *Table) Collect(loT, hiT int) []*Entry {
+	if hiT > t.MaxT {
+		hiT = t.MaxT
+	}
+	var out []*Entry
+	for lvl := loT; lvl <= hiT; lvl++ {
+		if lvl < 0 {
+			continue
+		}
+		es := t.Levels[lvl]
+		for i := range es {
+			out = append(out, &es[i])
+		}
+	}
+	return out
+}
+
+var (
+	sharedMu  sync.Mutex
+	sharedTab = map[int]*Table{}
+)
+
+// Shared returns a process-wide cached table for the given budget, building
+// it on first use. Tables are immutable after construction.
+func Shared(maxT int) *Table {
+	sharedMu.Lock()
+	defer sharedMu.Unlock()
+	if t, ok := sharedTab[maxT]; ok {
+		return t
+	}
+	t := BuildTable(maxT)
+	sharedTab[maxT] = t
+	return t
+}

@@ -1,0 +1,238 @@
+// Package grid solves the one- and two-dimensional scaled grid problems of
+// Ross–Selinger style Rz synthesis: enumerating points of Z[√2] (and, via a
+// coset construction, Z[ω]) whose two field embeddings fall in prescribed
+// intervals/regions.
+//
+// The 2-D problem enumerated here is the gridsynth candidate search: find
+// u ∈ Z[ω] with u/√2^k in the ε-sliver {|z| ≤ 1, Re(z·e^{iθ/2}) ≥ √(1−ε²)}
+// and u•/√2^k in the closed unit disk. Candidates are produced by slicing
+// the sliver's bounding box along x with a 1-D grid solve, then solving a
+// second 1-D problem for y on the exact sliver/disk sections; λ-rescaling
+// keeps every 1-D solve proportional to its output size.
+package grid
+
+import (
+	"math"
+
+	"repro/internal/ring"
+)
+
+// Interval is a closed real interval [Lo, Hi].
+type Interval struct {
+	Lo, Hi float64
+}
+
+// Len returns the interval length (negative if empty).
+func (iv Interval) Len() float64 { return iv.Hi - iv.Lo }
+
+// widen returns the interval expanded by a relative fuzz to absorb float64
+// rounding; exactness is restored by downstream verification.
+func (iv Interval) widen(abs float64) Interval {
+	return Interval{iv.Lo - abs, iv.Hi + abs}
+}
+
+const lnLambda = 0.881373587019543 // ln(1+√2)
+
+// Solve1D returns all α = m + n√2 ∈ Z[√2] with α ∈ a and α• ∈ b.
+// Rescaling by λ = 1+√2 balances the interval lengths first (λ·λ• = −1), so
+// the scan is proportional to the expected number of solutions plus O(1).
+func Solve1D(a, b Interval) []ring.ZSqrt2 {
+	if a.Len() < 0 || b.Len() < 0 {
+		return nil
+	}
+	la, lb := a.Len(), b.Len()
+	j := 0
+	if la > 0 && lb > 0 {
+		j = int(math.Round(math.Log(math.Sqrt(lb/la)) / lnLambda))
+	} else if la == 0 && lb > 0 {
+		j = int(math.Round(math.Log(lb) / lnLambda))
+	} else if lb == 0 && la > 0 {
+		j = -int(math.Round(math.Log(la) / lnLambda))
+	}
+	const maxScale = 52
+	if j > maxScale {
+		j = maxScale
+	}
+	if j < -maxScale {
+		j = -maxScale
+	}
+	// β = λ^j α: β ∈ λ^j·a, β• = (−1/λ)^j α•.
+	lj := math.Exp(lnLambda * float64(j))
+	sa := Interval{a.Lo * lj, a.Hi * lj}
+	var sb Interval
+	ljInv := 1 / lj
+	if j%2 == 0 {
+		sb = Interval{b.Lo * ljInv, b.Hi * ljInv}
+	} else {
+		sb = Interval{-b.Hi * ljInv, -b.Lo * ljInv}
+	}
+	sols := solve1DDirect(sa, sb)
+	if j == 0 {
+		return sols
+	}
+	// Map back: α = λ^{−j}·β, exactly in Z[√2].
+	linv := ring.ZSqrt2{A: -1, B: 1} // λ⁻¹
+	if j < 0 {
+		linv = ring.ZSqrt2{A: 1, B: 1} // λ
+	}
+	steps := j
+	if steps < 0 {
+		steps = -steps
+	}
+	scale := ring.ZSqrt2{A: 1, B: 0}
+	for i := 0; i < steps; i++ {
+		scale = scale.Mul(linv)
+	}
+	out := sols[:0]
+	for _, s := range sols {
+		out = append(out, s.Mul(scale))
+	}
+	return out
+}
+
+// solve1DDirect scans n = (α − α•)/(2√2) over its feasible range.
+func solve1DDirect(a, b Interval) []ring.ZSqrt2 {
+	const fuzz = 1e-9
+	a = a.widen(fuzz * (1 + math.Abs(a.Lo) + math.Abs(a.Hi)))
+	b = b.widen(fuzz * (1 + math.Abs(b.Lo) + math.Abs(b.Hi)))
+	nLo := int64(math.Ceil((a.Lo - b.Hi) / (2 * ring.Sqrt2)))
+	nHi := int64(math.Floor((a.Hi - b.Lo) / (2 * ring.Sqrt2)))
+	if nHi-nLo > 1<<22 {
+		// Pathologically unbalanced intervals: refuse rather than spin.
+		return nil
+	}
+	var out []ring.ZSqrt2
+	for n := nLo; n <= nHi; n++ {
+		f := float64(n) * ring.Sqrt2
+		mLo := math.Ceil(math.Max(a.Lo-f, b.Lo+f))
+		mHi := math.Floor(math.Min(a.Hi-f, b.Hi+f))
+		for m := mLo; m <= mHi; m++ {
+			out = append(out, ring.ZSqrt2{A: int64(m), B: n})
+		}
+	}
+	return out
+}
+
+// Candidate is one Z[ω] grid point u (candidate numerator for gridsynth).
+type Candidate struct {
+	U ring.ZOmega
+}
+
+// SliverParams describes the scaled candidate region for angle theta, error
+// eps and denominator exponent k.
+type SliverParams struct {
+	Theta float64
+	Eps   float64
+	K     int
+}
+
+// SliverCandidates enumerates u ∈ Z[ω] with u/√2^k in the ε-sliver for
+// Rz(θ) and u•/√2^k in the unit disk, stopping after limit candidates
+// (limit ≤ 0 means no limit). The sliver is
+// {z : |z| ≤ 1, Re(z·e^{iθ/2}) ≥ c}, c = √(1−ε²).
+func SliverCandidates(p SliverParams, limit int) []Candidate {
+	s := math.Pow(2, float64(p.K)/2) // √2^k
+	c := math.Sqrt(math.Max(0, 1-p.Eps*p.Eps))
+	phi := p.Theta / 2
+	cosP, sinP := math.Cos(phi), math.Sin(phi)
+
+	// Scaled sliver extreme points (see DESIGN.md): chord endpoints z± and
+	// arc apex z0, plus axis-aligned arc extremes when inside the segment.
+	w := math.Sqrt(math.Max(0, 1-c*c))
+	pts := [][2]float64{
+		{s * (c*cosP + w*sinP), s * (-c*sinP + w*cosP)}, // z+ = e^{−iφ}(c+iw)·s
+		{s * (c*cosP - w*sinP), s * (-c*sinP - w*cosP)}, // z−
+		{s * cosP, s * -sinP},                           // z0 = e^{−iφ}·s
+	}
+	xLo, xHi := pts[0][0], pts[0][0]
+	yLo, yHi := pts[0][1], pts[0][1]
+	for _, pt := range pts[1:] {
+		xLo, xHi = math.Min(xLo, pt[0]), math.Max(xHi, pt[0])
+		yLo, yHi = math.Min(yLo, pt[1]), math.Max(yHi, pt[1])
+	}
+	// Axis extreme points of the arc (e.g. z = ±s or ±is) belong to the
+	// sliver iff they satisfy the chord constraint.
+	axes := [][2]float64{{s, 0}, {-s, 0}, {0, s}, {0, -s}}
+	for _, pt := range axes {
+		if pt[0]*cosP-pt[1]*sinP >= c*s {
+			xLo, xHi = math.Min(xLo, pt[0]), math.Max(xHi, pt[0])
+			yLo, yHi = math.Min(yLo, pt[1]), math.Max(yHi, pt[1])
+		}
+	}
+
+	inSliver := func(x, y float64) bool {
+		const tol = 1e-9
+		if x*x+y*y > s*s*(1+tol)+tol {
+			return false
+		}
+		return x*cosP-y*sinP >= c*s-tol*s-tol
+	}
+
+	// Work in primed coordinates x' = √2·x so both cosets of Z[ω] are plain
+	// Z[√2] points with a parity coupling (see package ring).
+	xInt := Interval{xLo * ring.Sqrt2, xHi * ring.Sqrt2}
+	// |x•| ≤ s ⇒ x'• = −√2·x• ∈ [−√2 s, √2 s].
+	xBullet := Interval{-s * ring.Sqrt2, s * ring.Sqrt2}
+
+	var out []Candidate
+	for _, xp := range Solve1D(xInt, xBullet) {
+		x := xp.Float() / ring.Sqrt2
+		xb := -xp.Bullet().Float() / ring.Sqrt2 // x• (the bullet of x, not x')
+		// y-range of the sliver section at this x.
+		disc := s*s - x*x
+		if disc < 0 {
+			continue
+		}
+		r := math.Sqrt(disc)
+		ylo, yhi := -r, r
+		// Chord: x cosφ − y sinφ ≥ c·s.
+		switch {
+		case sinP > 1e-300:
+			yhi = math.Min(yhi, (x*cosP-c*s)/sinP)
+		case sinP < -1e-300:
+			ylo = math.Max(ylo, (x*cosP-c*s)/sinP)
+		default:
+			if x*cosP < c*s {
+				continue
+			}
+		}
+		if yhi < ylo {
+			continue
+		}
+		// y'• section: |y•| ≤ sqrt(s² − x•²).
+		discB := s*s - xb*xb
+		if discB < 0 {
+			continue
+		}
+		rb := math.Sqrt(discB)
+		yInt := Interval{ylo * ring.Sqrt2, yhi * ring.Sqrt2}
+		yBullet := Interval{-rb * ring.Sqrt2, rb * ring.Sqrt2}
+		for _, yp := range Solve1D(yInt, yBullet) {
+			// Parity coupling: int parts of x' and y' must match mod 2.
+			if (xp.A-yp.A)&1 != 0 {
+				continue
+			}
+			u := ring.ZOmega{
+				A: xp.B, // a = √2-coefficient of x'
+				B: (yp.A + xp.A) / 2,
+				C: yp.B,
+				D: (yp.A - xp.A) / 2,
+			}
+			// Exact-ish final membership check in float (downstream
+			// verification is exact).
+			z := u.Complex()
+			if !inSliver(real(z), imag(z)) {
+				continue
+			}
+			zb := u.Bullet().Complex()
+			if real(zb)*real(zb)+imag(zb)*imag(zb) > s*s*(1+1e-9) {
+				continue
+			}
+			out = append(out, Candidate{U: u})
+			if limit > 0 && len(out) >= limit {
+				return out
+			}
+		}
+	}
+	return out
+}

@@ -1,0 +1,153 @@
+// Package gridsynth is the Ross–Selinger baseline: ancilla-free Clifford+T
+// approximation of Rz(θ) rotations (the paper's primary comparison point).
+//
+// For increasing denominator exponents k it enumerates numerator candidates
+// u ∈ Z[ω] in the ε-sliver (package grid), solves the norm equation
+// t·t† = 2^k − u·u† (package dioph), assembles the exact unitary
+// V = (1/√2^k)[[u, −t†ω^g],[t, u†ω^g]] and synthesizes it into gates
+// (package exact). Solutions are found "up to global phase": both the
+// integer (g=0) and half (g=1) phase grids are searched, matching the
+// paper's use of gridsynth's phase flag. T count grows as
+// ≈ 3·log2(1/ε) + O(1), the known gridsynth shape.
+package gridsynth
+
+import (
+	"errors"
+	"fmt"
+	"math"
+
+	"repro/internal/dioph"
+	"repro/internal/exact"
+	"repro/internal/gates"
+	"repro/internal/grid"
+	"repro/internal/qmat"
+	"repro/internal/ring"
+)
+
+// Options tunes the search; zero values select sensible defaults.
+type Options struct {
+	// MaxK caps the denominator exponent (default 120 ≈ ε ~ 1e-18).
+	MaxK int
+	// CandidatesPerK bounds grid candidates examined per (k, phase grid).
+	CandidatesPerK int
+	// Table supplies the residual lookup for exact synthesis (default
+	// gates.Shared(4)).
+	Table *gates.Table
+}
+
+// Result is a synthesized Rz approximation.
+type Result struct {
+	Seq      gates.Sequence // product equals Rz(θ) up to global phase, within Error
+	Error    float64        // unitary distance Eq. (2)
+	TCount   int
+	Clifford int // non-Pauli Clifford gates
+	K        int // denominator exponent of the solution
+}
+
+// ErrNoSolution is returned when no solution is found within MaxK.
+var ErrNoSolution = errors.New("gridsynth: no solution within MaxK")
+
+func (o Options) filled() Options {
+	if o.MaxK <= 0 {
+		o.MaxK = 120
+	}
+	if o.CandidatesPerK <= 0 {
+		o.CandidatesPerK = 24
+	}
+	if o.Table == nil {
+		o.Table = gates.Shared(4)
+	}
+	return o
+}
+
+// Rz synthesizes Rz(theta) to unitary distance ≤ eps.
+func Rz(theta, eps float64, opt Options) (Result, error) {
+	opt = opt.filled()
+	if eps <= 0 || eps >= 1 {
+		return Result{}, fmt.Errorf("gridsynth: eps %v out of range (0,1)", eps)
+	}
+	target := qmat.Rz(theta)
+	pow2k := ring.NewBSqrt2(1, 0)
+	two := ring.NewBSqrt2(2, 0)
+	for k := 0; k <= opt.MaxK; k++ {
+		for g := 0; g < 2; g++ {
+			// Phase grid g: direction rotated by ω^{g/2} = e^{igπ/8}
+			// (see package doc); equivalent to synthesizing at θ − gπ/4.
+			cands := grid.SliverCandidates(grid.SliverParams{
+				Theta: theta - float64(g)*math.Pi/4,
+				Eps:   eps,
+				K:     k,
+			}, opt.CandidatesPerK)
+			for _, cand := range cands {
+				u := ring.BOmegaFromZOmega(cand.U)
+				xi := pow2k.Sub(u.Norm2())
+				t, ok := dioph.SolveNormEquation(xi)
+				if !ok {
+					continue
+				}
+				v := exact.FromColumns(u, t, k, g)
+				seq, err := exact.Synthesize(v, opt.Table)
+				if err != nil {
+					continue
+				}
+				d := qmat.Distance(target, seq.Matrix())
+				if d > eps*(1+1e-6)+1e-7 {
+					// Boundary fuzz pushed us out; try the next candidate.
+					continue
+				}
+				return Result{
+					Seq:      seq,
+					Error:    d,
+					TCount:   seq.TCount(),
+					Clifford: seq.CliffordCount(),
+					K:        k,
+				}, nil
+			}
+		}
+		pow2k = pow2k.Mul(two)
+	}
+	return Result{}, ErrNoSolution
+}
+
+// U3 synthesizes an arbitrary single-qubit unitary by decomposing it into
+// three Rz rotations via Eq. (1) — the paper's "Rz workflow" applied to a
+// fused U3 — and synthesizing each rotation at eps/3 (the error-budget
+// split the paper applies to the baseline).
+func U3(u qmat.M2, eps float64, opt Options) (Result, error) {
+	theta, phi, lambda := qmat.ZYZAngles(u)
+	part := eps / 3
+	r1, err := Rz(phi+math.Pi/2, part, opt)
+	if err != nil {
+		return Result{}, err
+	}
+	r2, err := Rz(theta, part, opt)
+	if err != nil {
+		return Result{}, err
+	}
+	r3, err := Rz(lambda-math.Pi/2, part, opt)
+	if err != nil {
+		return Result{}, err
+	}
+	// U3 = Rz(φ+π/2)·H·Rz(θ)·H·Rz(λ−π/2) up to phase.
+	seq := make(gates.Sequence, 0, len(r1.Seq)+len(r2.Seq)+len(r3.Seq)+2)
+	seq = append(seq, r1.Seq...)
+	seq = append(seq, gates.H)
+	seq = append(seq, r2.Seq...)
+	seq = append(seq, gates.H)
+	seq = append(seq, r3.Seq...)
+	d := qmat.Distance(u, seq.Matrix())
+	return Result{
+		Seq:      seq,
+		Error:    d,
+		TCount:   seq.TCount(),
+		Clifford: seq.CliffordCount(),
+		K:        maxInt(r1.K, maxInt(r2.K, r3.K)),
+	}, nil
+}
+
+func maxInt(a, b int) int {
+	if a > b {
+		return a
+	}
+	return b
+}

@@ -1,0 +1,173 @@
+package linalg
+
+import (
+	"math"
+	"math/cmplx"
+	"math/rand"
+	"testing"
+	"testing/quick"
+)
+
+func randMatrix(r *rand.Rand, rows, cols int) Matrix {
+	m := New(rows, cols)
+	for i := range m.Data {
+		m.Data[i] = complex(r.NormFloat64(), r.NormFloat64())
+	}
+	return m
+}
+
+func matApproxEqual(a, b Matrix, tol float64) bool {
+	if a.Rows != b.Rows || a.Cols != b.Cols {
+		return false
+	}
+	for i := range a.Data {
+		if cmplx.Abs(a.Data[i]-b.Data[i]) > tol {
+			return false
+		}
+	}
+	return true
+}
+
+func TestMulIdentity(t *testing.T) {
+	rng := rand.New(rand.NewSource(1))
+	m := randMatrix(rng, 5, 7)
+	if !matApproxEqual(Identity(5).Mul(m), m, 1e-12) {
+		t.Error("I·m ≠ m")
+	}
+	if !matApproxEqual(m.Mul(Identity(7)), m, 1e-12) {
+		t.Error("m·I ≠ m")
+	}
+}
+
+func TestDaggerInvolution(t *testing.T) {
+	rng := rand.New(rand.NewSource(2))
+	m := randMatrix(rng, 4, 6)
+	if !matApproxEqual(m.Dagger().Dagger(), m, 0) {
+		t.Error("(m†)† ≠ m")
+	}
+}
+
+func TestQRReconstructs(t *testing.T) {
+	rng := rand.New(rand.NewSource(3))
+	f := func(seed int64) bool {
+		r := rand.New(rand.NewSource(seed))
+		rows := 2 + r.Intn(10)
+		cols := 2 + r.Intn(10)
+		m := randMatrix(r, rows, cols)
+		q, rr := QR(m)
+		if !matApproxEqual(q.Mul(rr), m, 1e-9) {
+			return false
+		}
+		// Q†Q = I
+		g := q.Dagger().Mul(q)
+		return matApproxEqual(g, Identity(g.Rows), 1e-9)
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 150, Rand: rng}); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestQRRankDeficient(t *testing.T) {
+	// Two identical columns.
+	m := FromRows([][]complex128{
+		{1, 1, 2},
+		{1i, 1i, 0},
+		{0, 0, 1},
+	})
+	q, r := QR(m)
+	if !matApproxEqual(q.Mul(r), m, 1e-9) {
+		t.Error("QR failed on rank-deficient input")
+	}
+	g := q.Dagger().Mul(q)
+	if !matApproxEqual(g, Identity(g.Rows), 1e-9) {
+		t.Error("Q not orthonormal on rank-deficient input")
+	}
+}
+
+func TestLQReconstructs(t *testing.T) {
+	rng := rand.New(rand.NewSource(4))
+	for trial := 0; trial < 100; trial++ {
+		rows := 1 + rng.Intn(6)
+		cols := rows + rng.Intn(20) // wide, the MPS case
+		m := randMatrix(rng, rows, cols)
+		l, q := LQ(m)
+		if !matApproxEqual(l.Mul(q), m, 1e-9) {
+			t.Fatal("L·Q ≠ m")
+		}
+		// Q rows orthonormal: Q·Q† = I.
+		g := q.Mul(q.Dagger())
+		if !matApproxEqual(g, Identity(g.Rows), 1e-9) {
+			t.Fatal("Q rows not orthonormal")
+		}
+	}
+}
+
+func TestSVDReconstructs(t *testing.T) {
+	rng := rand.New(rand.NewSource(5))
+	for trial := 0; trial < 80; trial++ {
+		rows := 1 + rng.Intn(9)
+		cols := 1 + rng.Intn(9)
+		m := randMatrix(rng, rows, cols)
+		u, s, v := SVD(m)
+		// Reconstruct U·diag(s)·V†.
+		k := len(s)
+		us := u.Clone()
+		for j := 0; j < k; j++ {
+			for i := 0; i < us.Rows; i++ {
+				us.Set(i, j, us.At(i, j)*complex(s[j], 0))
+			}
+		}
+		rec := us.Mul(v.Dagger())
+		if !matApproxEqual(rec, m, 1e-8) {
+			t.Fatalf("SVD reconstruction failed (%dx%d): err=%v", rows, cols, 0)
+		}
+		// Singular values decreasing and non-negative.
+		for j := 1; j < k; j++ {
+			if s[j] > s[j-1]+1e-12 || s[j] < 0 {
+				t.Fatal("singular values not sorted/non-negative")
+			}
+		}
+		// U, V orthonormal columns.
+		if !matApproxEqual(u.Dagger().Mul(u), Identity(k), 1e-8) {
+			t.Fatal("U not orthonormal")
+		}
+		if !matApproxEqual(v.Dagger().Mul(v), Identity(k), 1e-8) {
+			t.Fatal("V not orthonormal")
+		}
+	}
+}
+
+func TestSVDSingularValuesMatchFrobenius(t *testing.T) {
+	rng := rand.New(rand.NewSource(6))
+	m := randMatrix(rng, 6, 4)
+	_, s, _ := SVD(m)
+	sum := 0.0
+	for _, x := range s {
+		sum += x * x
+	}
+	f := m.FrobNorm()
+	if math.Abs(sum-f*f) > 1e-9*(1+f*f) {
+		t.Errorf("Σσ² = %v, ‖m‖² = %v", sum, f*f)
+	}
+}
+
+func TestSVDRankDeficient(t *testing.T) {
+	m := FromRows([][]complex128{
+		{1, 2, 3},
+		{2, 4, 6},
+		{1i, 2i, 3i},
+	})
+	u, s, v := SVD(m)
+	if s[1] > 1e-9 || s[2] > 1e-9 {
+		t.Errorf("rank-1 matrix should have one nonzero singular value: %v", s)
+	}
+	us := u.Clone()
+	for j := range s {
+		for i := 0; i < us.Rows; i++ {
+			us.Set(i, j, us.At(i, j)*complex(s[j], 0))
+		}
+	}
+	if !matApproxEqual(us.Mul(v.Dagger()), m, 1e-8) {
+		t.Error("rank-deficient reconstruction failed")
+	}
+}

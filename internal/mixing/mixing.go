@@ -1,0 +1,135 @@
+// Package mixing implements probabilistic unitary mixing (Campbell 2017 /
+// Hastings 2016), the ensemble extension the paper's related-work section
+// points at: "using trasyn as a blackbox algorithm, mixing unitaries can
+// reduce the error quadratically."
+//
+// A single Clifford+T approximation V of U carries a coherent error: up to
+// phase, U†V = exp(i h·σ/…) with a small Bloch drift vector h, |h| ≈ D(U,V).
+// Executing V_i with probability p_i yields a channel whose FIRST-ORDER
+// error is Σ p_i h_i — choosing approximations whose drifts nearly cancel
+// leaves only the second-order (incoherent) part, improving the worst-case
+// (diamond) error from ε to ~ε². This costs nothing at runtime beyond
+// randomizing which sequence is executed.
+package mixing
+
+import (
+	"math"
+	"math/cmplx"
+
+	"repro/internal/gates"
+	"repro/internal/qmat"
+	"repro/internal/sim"
+)
+
+// Candidate is one approximation with its gate sequence.
+type Candidate struct {
+	Seq gates.Sequence
+}
+
+// Result describes the chosen two-component mixture.
+type Result struct {
+	IndexA, IndexB int     // indices into the input candidates
+	ProbA          float64 // probability of IndexA (IndexB gets 1−ProbA)
+	// ResidualDrift is |p·h_A + (1−p)·h_B|: the remaining first-order
+	// coherent error of the mixture.
+	ResidualDrift float64
+	// BestSingleDrift is min_i |h_i| — the drift of the best single
+	// candidate, for comparison.
+	BestSingleDrift float64
+	// ProcessInfidelity of the mixed channel vs the target (PTM-exact).
+	ProcessInfidelity float64
+}
+
+// BlochDrift extracts the first-order error vector h of V vs target U:
+// align the global phase, write U†V = cos(θ)I − i·sin(θ)(n̂·σ), and return
+// θ·n̂ (for θ ≪ 1 this is the rotation generator).
+func BlochDrift(u, v qmat.M2) [3]float64 {
+	m := qmat.Mul(qmat.Dagger(u), v)
+	// Remove global phase: rotate so Tr(m) is real positive.
+	tr := qmat.Trace(m)
+	if a := cmplx.Abs(tr); a > 1e-300 {
+		m = qmat.Scale(complex(a, 0)/tr, m)
+	}
+	c := real(qmat.Trace(m)) / 2
+	if c > 1 {
+		c = 1
+	}
+	if c < -1 {
+		c = -1
+	}
+	theta := math.Acos(c)
+	s := math.Sin(theta)
+	if math.Abs(s) < 1e-14 {
+		return [3]float64{}
+	}
+	// m = c·I − i·s·(n·σ): extract n from the anti-Hermitian part.
+	nx := -imag(m[0][1]+m[1][0]) / (2 * s)
+	ny := real(m[1][0]-m[0][1]) / (2 * s)
+	nz := -imag(m[0][0]-m[1][1]) / (2 * s)
+	return [3]float64{theta * nx, theta * ny, theta * nz}
+}
+
+func norm3(v [3]float64) float64 {
+	return math.Sqrt(v[0]*v[0] + v[1]*v[1] + v[2]*v[2])
+}
+
+// Mix selects the two-candidate convex combination minimizing the residual
+// first-order drift. Requires at least two candidates; returns ok=false if
+// fewer are supplied.
+func Mix(target qmat.M2, cands []Candidate) (Result, bool) {
+	if len(cands) < 2 {
+		return Result{}, false
+	}
+	drifts := make([][3]float64, len(cands))
+	best := math.Inf(1)
+	for i, c := range cands {
+		drifts[i] = BlochDrift(target, c.Seq.Matrix())
+		if n := norm3(drifts[i]); n < best {
+			best = n
+		}
+	}
+	res := Result{ResidualDrift: math.Inf(1), BestSingleDrift: best}
+	for i := 0; i < len(cands); i++ {
+		for j := i + 1; j < len(cands); j++ {
+			hi, hj := drifts[i], drifts[j]
+			// Minimize |w·hi + (1−w)·hj|² over w ∈ [0,1]:
+			// w* = −hj·(hi−hj) / |hi−hj|².
+			var diff [3]float64
+			var dot, dd float64
+			for k := 0; k < 3; k++ {
+				diff[k] = hi[k] - hj[k]
+				dot += hj[k] * diff[k]
+				dd += diff[k] * diff[k]
+			}
+			w := 0.5
+			if dd > 1e-30 {
+				w = -dot / dd
+			}
+			if w < 0 {
+				w = 0
+			}
+			if w > 1 {
+				w = 1
+			}
+			var resid [3]float64
+			for k := 0; k < 3; k++ {
+				resid[k] = w*hi[k] + (1-w)*hj[k]
+			}
+			if n := norm3(resid); n < res.ResidualDrift {
+				res.ResidualDrift = n
+				res.IndexA, res.IndexB, res.ProbA = i, j, w
+			}
+		}
+	}
+	// Exact channel-level check via PTMs.
+	a := sim.PTMFromUnitary(cands[res.IndexA].Seq.Matrix())
+	b := sim.PTMFromUnitary(cands[res.IndexB].Seq.Matrix())
+	var mixed sim.PTM
+	for i := 0; i < 4; i++ {
+		for j := 0; j < 4; j++ {
+			mixed[i][j] = res.ProbA*a[i][j] + (1-res.ProbA)*b[i][j]
+		}
+	}
+	res.ProcessInfidelity = 1 - sim.ProcessFidelity(target, mixed)
+	return res, true
+}

@@ -1,0 +1,482 @@
+// Package mps implements steps 1 and 2 of trasyn: building the matrix
+// product state whose entries are the trace values Tr(U†·M_{s1}···M_{sl})
+// for every combination of candidate matrices, bringing it to canonical
+// form, and sampling high-trace-value gate sequences from it.
+//
+// The trace network is a ring (the trace couples the last matrix back to
+// the first). We cut the ring by fusing the trace index into the bond, so
+// bond dimensions are at most 4 = 2·2 and the whole chain canonicalizes
+// with tiny LQ factorizations — the algebraic equivalent of the paper's
+// "shift the target's dimension by contractions and SVDs".
+package mps
+
+import (
+	"math"
+	"math/cmplx"
+	"math/rand"
+	"sort"
+
+	"repro/internal/linalg"
+	"repro/internal/qmat"
+)
+
+// site is one canonicalized MPS tensor with layout data[s*dl*dr + l*dr + r].
+type site struct {
+	m      int // physical dimension (number of candidate matrices)
+	dl, dr int // bond dimensions
+	data   []complex128
+}
+
+// Chain is the canonicalized trace-value MPS.
+type Chain struct {
+	sites []site
+	norm2 float64 // Σ |trace value|² over all configurations
+}
+
+// Build constructs the trace-value MPS for the target unitary and the given
+// per-site candidate matrix lists. len(siteMats) ≥ 1; each site must be
+// non-empty.
+func Build(target qmat.M2, siteMats [][]qmat.M2) *Chain {
+	l := len(siteMats)
+	if l == 0 {
+		panic("mps: no sites")
+	}
+	ud := qmat.Dagger(target)
+	c := &Chain{sites: make([]site, l)}
+	if l == 1 {
+		ms := siteMats[0]
+		st := site{m: len(ms), dl: 1, dr: 1, data: make([]complex128, len(ms))}
+		for s, mm := range ms {
+			st.data[s] = qmat.Trace(qmat.Mul(mm, ud))
+		}
+		c.sites[0] = st
+		c.canonicalize()
+		return c
+	}
+	for i, ms := range siteMats {
+		switch {
+		case i == 0:
+			// A[s, 1, (a1,a0)] = M_s[a0, a1]; bond index = a1*2 + a0.
+			st := site{m: len(ms), dl: 1, dr: 4, data: make([]complex128, len(ms)*4)}
+			for s, mm := range ms {
+				for a0 := 0; a0 < 2; a0++ {
+					for a1 := 0; a1 < 2; a1++ {
+						st.data[s*4+a1*2+a0] = mm[a0][a1]
+					}
+				}
+			}
+			c.sites[i] = st
+		case i == l-1:
+			// A[s, (a,a0), 1] = (M_s·U†)[a, a0].
+			st := site{m: len(ms), dl: 4, dr: 1, data: make([]complex128, len(ms)*4)}
+			for s, mm := range ms {
+				p := qmat.Mul(mm, ud)
+				for a := 0; a < 2; a++ {
+					for a0 := 0; a0 < 2; a0++ {
+						st.data[s*4+a*2+a0] = p[a][a0]
+					}
+				}
+			}
+			c.sites[i] = st
+		default:
+			// A[s, (ap,a0), (an,a0')] = M_s[ap, an]·δ_{a0,a0'}.
+			st := site{m: len(ms), dl: 4, dr: 4, data: make([]complex128, len(ms)*16)}
+			for s, mm := range ms {
+				for ap := 0; ap < 2; ap++ {
+					for an := 0; an < 2; an++ {
+						for a0 := 0; a0 < 2; a0++ {
+							st.data[s*16+(ap*2+a0)*4+an*2+a0] = mm[ap][an]
+						}
+					}
+				}
+			}
+			c.sites[i] = st
+		}
+	}
+	c.canonicalize()
+	return c
+}
+
+// canonicalize sweeps right to left, leaving every site but the first
+// right-canonical (Σ_{s,r} B[s,l,r]·conj(B[s,l',r]) = δ).
+func (c *Chain) canonicalize() {
+	for i := len(c.sites) - 1; i >= 1; i-- {
+		st := c.sites[i]
+		// Matricize as (dl) × (m·dr).
+		mat := linalg.New(st.dl, st.m*st.dr)
+		for s := 0; s < st.m; s++ {
+			for l := 0; l < st.dl; l++ {
+				for r := 0; r < st.dr; r++ {
+					mat.Set(l, s*st.dr+r, st.data[s*st.dl*st.dr+l*st.dr+r])
+				}
+			}
+		}
+		lm, q := linalg.LQ(mat)
+		newDl := q.Rows
+		ns := site{m: st.m, dl: newDl, dr: st.dr, data: make([]complex128, st.m*newDl*st.dr)}
+		for s := 0; s < st.m; s++ {
+			for l := 0; l < newDl; l++ {
+				for r := 0; r < st.dr; r++ {
+					ns.data[s*newDl*st.dr+l*st.dr+r] = q.At(l, s*st.dr+r)
+				}
+			}
+		}
+		c.sites[i] = ns
+		// Absorb L (dl_prev_right × newDl) into site i-1's right bond.
+		prev := c.sites[i-1]
+		np := site{m: prev.m, dl: prev.dl, dr: newDl, data: make([]complex128, prev.m*prev.dl*newDl)}
+		for s := 0; s < prev.m; s++ {
+			for l := 0; l < prev.dl; l++ {
+				for rn := 0; rn < newDl; rn++ {
+					var acc complex128
+					for r := 0; r < prev.dr; r++ {
+						acc += prev.data[s*prev.dl*prev.dr+l*prev.dr+r] * lm.At(r, rn)
+					}
+					np.data[s*prev.dl*newDl+l*newDl+rn] = acc
+				}
+			}
+		}
+		c.sites[i-1] = np
+	}
+	// Total norm² from the (non-canonical) first site.
+	n := 0.0
+	for _, v := range c.sites[0].data {
+		n += real(v)*real(v) + imag(v)*imag(v)
+	}
+	c.norm2 = n
+}
+
+// NumSites returns the chain length.
+func (c *Chain) NumSites() int { return len(c.sites) }
+
+// SiteDim returns the physical dimension of site i.
+func (c *Chain) SiteDim(i int) int { return c.sites[i].m }
+
+// Norm2 returns Σ |trace value|² over all configurations.
+func (c *Chain) Norm2() float64 { return c.norm2 }
+
+// Eval contracts the chain at a specific configuration, returning the exact
+// trace value Tr(U†·M_{s1}···M_{sl}) for that configuration.
+func (c *Chain) Eval(idx []int32) complex128 {
+	if len(idx) != len(c.sites) {
+		panic("mps: wrong index length")
+	}
+	env := []complex128{1}
+	for i, st := range c.sites {
+		s := int(idx[i])
+		next := make([]complex128, st.dr)
+		base := s * st.dl * st.dr
+		for l := 0; l < st.dl; l++ {
+			e := env[l]
+			if e == 0 {
+				continue
+			}
+			row := st.data[base+l*st.dr : base+(l+1)*st.dr]
+			for r, v := range row {
+				next[r] += e * v
+			}
+		}
+		env = next
+	}
+	return env[0]
+}
+
+// Sampled is one distinct sampled configuration.
+type Sampled struct {
+	Indices []int32    // one physical index per site
+	Trace   complex128 // exact trace value of this configuration
+	Count   int        // how many of the k samples landed here
+}
+
+type group struct {
+	env    []complex128
+	prefix []int32
+	count  int
+}
+
+// Sample draws k configurations from p ∝ |trace value|² (perfect MPS
+// sampling) and returns the distinct ones. envCap bounds the number of
+// concurrently tracked distinct prefixes (0 = unlimited); when exceeded,
+// the lowest-count groups are dropped, which biases the search slightly
+// toward high-probability sequences — acceptable for a search heuristic.
+func (c *Chain) Sample(rng *rand.Rand, k, envCap int) []Sampled {
+	if c.norm2 <= 0 || k <= 0 {
+		return nil
+	}
+	groups := []group{{env: []complex128{1}, count: k}}
+	for i := range c.sites {
+		st := &c.sites[i]
+		var next []group
+		for _, g := range groups {
+			next = append(next, c.expandGroup(rng, st, g)...)
+		}
+		if envCap > 0 && len(next) > envCap {
+			sort.Slice(next, func(a, b int) bool { return next[a].count > next[b].count })
+			next = next[:envCap]
+		}
+		groups = next
+	}
+	out := make([]Sampled, 0, len(groups))
+	for _, g := range groups {
+		out = append(out, Sampled{Indices: g.prefix, Trace: g.env[0], Count: g.count})
+	}
+	return out
+}
+
+// expandGroup samples site st for all g.count samples in the group at once.
+// Weights are computed in a first pass without materializing environment
+// vectors; envs are rebuilt only for the (few) selected indices.
+func (c *Chain) expandGroup(rng *rand.Rand, st *site, g group) []group {
+	m, dl, dr := st.m, st.dl, st.dr
+	weights := make([]float64, m)
+	total := 0.0
+	var v [4]complex128 // dr ≤ 4 by construction
+	env := g.env
+	for s := 0; s < m; s++ {
+		base := s * dl * dr
+		for r := 0; r < dr; r++ {
+			v[r] = 0
+		}
+		for l := 0; l < dl; l++ {
+			e := env[l]
+			if e == 0 {
+				continue
+			}
+			row := st.data[base+l*dr : base+(l+1)*dr]
+			for r, x := range row {
+				v[r] += e * x
+			}
+		}
+		w := 0.0
+		for r := 0; r < dr; r++ {
+			x := v[r]
+			w += real(x)*real(x) + imag(x)*imag(x)
+		}
+		weights[s] = w
+		total += w
+	}
+	if total <= 0 {
+		return nil
+	}
+	// Multinomial draw of g.count samples.
+	counts := multinomial(rng, weights, total, g.count)
+	out := make([]group, 0, len(counts))
+	for _, sc := range counts {
+		s, n := sc.idx, sc.n
+		ev := make([]complex128, dr)
+		base := s * dl * dr
+		for l := 0; l < dl; l++ {
+			e := env[l]
+			if e == 0 {
+				continue
+			}
+			row := st.data[base+l*dr : base+(l+1)*dr]
+			for r, x := range row {
+				ev[r] += e * x
+			}
+		}
+		prefix := make([]int32, len(g.prefix)+1)
+		copy(prefix, g.prefix)
+		prefix[len(g.prefix)] = int32(s)
+		out = append(out, group{env: ev, prefix: prefix, count: n})
+	}
+	return out
+}
+
+type idxCount struct {
+	idx, n int
+}
+
+// multinomial draws n samples from the weight vector; returns the sparse
+// counts in deterministic (increasing index) order so sampling is
+// reproducible for a fixed rng seed.
+func multinomial(rng *rand.Rand, w []float64, total float64, n int) []idxCount {
+	// Cumulative + binary search; n draws.
+	cum := make([]float64, len(w))
+	acc := 0.0
+	for i, x := range w {
+		acc += x
+		cum[i] = acc
+	}
+	m := make(map[int]int, minInt(n, 16))
+	for i := 0; i < n; i++ {
+		u := rng.Float64() * total
+		j := sort.SearchFloat64s(cum, u)
+		if j >= len(w) {
+			j = len(w) - 1
+		}
+		m[j]++
+	}
+	out := make([]idxCount, 0, len(m))
+	for idx, cnt := range m {
+		out = append(out, idxCount{idx, cnt})
+	}
+	sort.Slice(out, func(a, b int) bool { return out[a].idx < out[b].idx })
+	return out
+}
+
+// SampleBestTail draws k prefixes through sites 1..l−1 like Sample, but
+// completes each distinct prefix with the argmax over the last site's
+// physical index instead of a random draw. The amplitude of a completion
+// is the exact trace value, so the argmax is the best completion for that
+// prefix at no extra cost — a strict quality improvement over pure
+// sampling when the caller wants the maximum-|trace| configuration.
+func (c *Chain) SampleBestTail(rng *rand.Rand, k, envCap int) []Sampled {
+	if c.norm2 <= 0 || k <= 0 {
+		return nil
+	}
+	if len(c.sites) == 1 {
+		return c.Beam(minInt(k, c.sites[0].m))
+	}
+	groups := []group{{env: []complex128{1}, count: k}}
+	for i := 0; i < len(c.sites)-1; i++ {
+		st := &c.sites[i]
+		var next []group
+		for _, g := range groups {
+			next = append(next, c.expandGroup(rng, st, g)...)
+		}
+		if envCap > 0 && len(next) > envCap {
+			sort.Slice(next, func(a, b int) bool { return next[a].count > next[b].count })
+			next = next[:envCap]
+		}
+		groups = next
+	}
+	last := &c.sites[len(c.sites)-1]
+	out := make([]Sampled, 0, len(groups))
+	for _, g := range groups {
+		bestS, bestW := -1, -1.0
+		var bestAmp complex128
+		for s := 0; s < last.m; s++ {
+			var amp complex128
+			base := s * last.dl * last.dr
+			for l := 0; l < last.dl; l++ {
+				amp += g.env[l] * last.data[base+l*last.dr]
+			}
+			w := real(amp)*real(amp) + imag(amp)*imag(amp)
+			if w > bestW {
+				bestS, bestW, bestAmp = s, w, amp
+			}
+		}
+		if bestS < 0 {
+			continue
+		}
+		idx := make([]int32, len(g.prefix)+1)
+		copy(idx, g.prefix)
+		idx[len(g.prefix)] = int32(bestS)
+		out = append(out, Sampled{Indices: idx, Trace: bestAmp, Count: g.count})
+	}
+	return out
+}
+
+// Beam runs a deterministic beam search for the configurations with the
+// largest |trace value|, keeping `width` prefixes per site. Returned
+// entries have Count = 1 and are sorted by decreasing |Trace|.
+func (c *Chain) Beam(width int) []Sampled {
+	type beamEntry struct {
+		env    []complex128
+		prefix []int32
+		w      float64
+	}
+	beams := []beamEntry{{env: []complex128{1}}}
+	for i := range c.sites {
+		st := &c.sites[i]
+		m, dl, dr := st.m, st.dl, st.dr
+		// Stream all (beam, s) candidates through a fixed-size selection.
+		var next []beamEntry
+		worst := math.Inf(-1)
+		push := func(e beamEntry) {
+			if len(next) < width {
+				next = append(next, e)
+				if e.w < worst || len(next) == 1 {
+					worst = e.w
+				}
+				if len(next) == width {
+					worst = math.Inf(1)
+					for _, x := range next {
+						if x.w < worst {
+							worst = x.w
+						}
+					}
+				}
+				return
+			}
+			if e.w <= worst {
+				return
+			}
+			// Replace the current worst.
+			wi, wv := 0, math.Inf(1)
+			for j, x := range next {
+				if x.w < wv {
+					wi, wv = j, x.w
+				}
+			}
+			next[wi] = e
+			worst = math.Inf(1)
+			for _, x := range next {
+				if x.w < worst {
+					worst = x.w
+				}
+			}
+		}
+		for _, b := range beams {
+			for s := 0; s < m; s++ {
+				v := make([]complex128, dr)
+				base := s * dl * dr
+				for l := 0; l < dl; l++ {
+					e := b.env[l]
+					if e == 0 {
+						continue
+					}
+					row := st.data[base+l*dr : base+(l+1)*dr]
+					for r, x := range row {
+						v[r] += e * x
+					}
+				}
+				w := 0.0
+				for _, x := range v {
+					w += real(x)*real(x) + imag(x)*imag(x)
+				}
+				if len(next) == width && w <= worst {
+					continue
+				}
+				prefix := make([]int32, len(b.prefix)+1)
+				copy(prefix, b.prefix)
+				prefix[len(b.prefix)] = int32(s)
+				push(beamEntry{env: v, prefix: prefix, w: w})
+			}
+		}
+		beams = next
+		if len(beams) == 0 {
+			return nil
+		}
+	}
+	sort.Slice(beams, func(a, b int) bool { return beams[a].w > beams[b].w })
+	out := make([]Sampled, len(beams))
+	for i, b := range beams {
+		out[i] = Sampled{Indices: b.prefix, Trace: b.env[0], Count: 1}
+	}
+	return out
+}
+
+// Best returns the sampled configuration with the largest |Trace| and the
+// corresponding absolute trace value; ok=false for an empty slice.
+func Best(samples []Sampled) (Sampled, bool) {
+	if len(samples) == 0 {
+		return Sampled{}, false
+	}
+	best := samples[0]
+	bv := cmplx.Abs(best.Trace)
+	for _, s := range samples[1:] {
+		if v := cmplx.Abs(s.Trace); v > bv {
+			best, bv = s, v
+		}
+	}
+	return best, true
+}
+
+func minInt(a, b int) int {
+	if a < b {
+		return a
+	}
+	return b
+}

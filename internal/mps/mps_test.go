@@ -1,0 +1,223 @@
+package mps
+
+import (
+	"math"
+	"math/cmplx"
+	"math/rand"
+	"testing"
+
+	"repro/internal/qmat"
+)
+
+// randomSites builds small random unitary candidate lists.
+func randomSites(rng *rand.Rand, dims ...int) [][]qmat.M2 {
+	sites := make([][]qmat.M2, len(dims))
+	for i, d := range dims {
+		sites[i] = make([]qmat.M2, d)
+		for j := range sites[i] {
+			sites[i][j] = qmat.HaarRandom(rng)
+		}
+	}
+	return sites
+}
+
+// bruteTrace computes Tr(U†·M_{s1}···M_{sl}) directly.
+func bruteTrace(u qmat.M2, sites [][]qmat.M2, idx []int32) complex128 {
+	v := qmat.I2()
+	for i, s := range idx {
+		v = qmat.Mul(v, sites[i][s])
+	}
+	return qmat.HSTrace(u, v)
+}
+
+// TestEvalMatchesBruteForce: the MPS must reproduce every trace value
+// exactly — the central correctness property of step 1.
+func TestEvalMatchesBruteForce(t *testing.T) {
+	rng := rand.New(rand.NewSource(1))
+	for _, dims := range [][]int{{5}, {3, 4}, {2, 3, 4}, {3, 2, 2, 3}} {
+		sites := randomSites(rng, dims...)
+		u := qmat.HaarRandom(rng)
+		chain := Build(u, sites)
+		// Exhaustive over all configurations.
+		idx := make([]int32, len(dims))
+		var walk func(site int)
+		walk = func(site int) {
+			if site == len(dims) {
+				got := chain.Eval(idx)
+				want := bruteTrace(u, sites, idx)
+				if cmplx.Abs(got-want) > 1e-9 {
+					t.Fatalf("dims %v idx %v: Eval=%v brute=%v", dims, idx, got, want)
+				}
+				return
+			}
+			for s := 0; s < dims[site]; s++ {
+				idx[site] = int32(s)
+				walk(site + 1)
+			}
+		}
+		walk(0)
+	}
+}
+
+// TestNorm2MatchesSum: chain.Norm2 must equal Σ|T|² over all configs
+// (guaranteed by right-canonical form).
+func TestNorm2MatchesSum(t *testing.T) {
+	rng := rand.New(rand.NewSource(2))
+	dims := []int{3, 4, 2}
+	sites := randomSites(rng, dims...)
+	u := qmat.HaarRandom(rng)
+	chain := Build(u, sites)
+	sum := 0.0
+	for a := 0; a < 3; a++ {
+		for b := 0; b < 4; b++ {
+			for c := 0; c < 2; c++ {
+				v := bruteTrace(u, sites, []int32{int32(a), int32(b), int32(c)})
+				sum += real(v)*real(v) + imag(v)*imag(v)
+			}
+		}
+	}
+	if math.Abs(chain.Norm2()-sum) > 1e-9*(1+sum) {
+		t.Fatalf("Norm2 = %v, brute sum = %v", chain.Norm2(), sum)
+	}
+}
+
+// TestSampleDistribution: empirical frequencies must approach |T|²/Z.
+func TestSampleDistribution(t *testing.T) {
+	rng := rand.New(rand.NewSource(3))
+	dims := []int{3, 3}
+	sites := randomSites(rng, dims...)
+	u := qmat.HaarRandom(rng)
+	chain := Build(u, sites)
+	const k = 200000
+	samples := chain.Sample(rng, k, 0)
+	freq := map[[2]int32]float64{}
+	for _, s := range samples {
+		freq[[2]int32{s.Indices[0], s.Indices[1]}] += float64(s.Count) / k
+		// Trace must be exact for each sample.
+		want := bruteTrace(u, sites, s.Indices)
+		if cmplx.Abs(s.Trace-want) > 1e-9 {
+			t.Fatalf("sampled trace mismatch: %v vs %v", s.Trace, want)
+		}
+	}
+	z := chain.Norm2()
+	for a := int32(0); a < 3; a++ {
+		for b := int32(0); b < 3; b++ {
+			v := bruteTrace(u, sites, []int32{a, b})
+			p := (real(v)*real(v) + imag(v)*imag(v)) / z
+			if math.Abs(freq[[2]int32{a, b}]-p) > 0.01 {
+				t.Fatalf("config (%d,%d): freq %v vs p %v", a, b, freq[[2]int32{a, b}], p)
+			}
+		}
+	}
+}
+
+// TestSampleCountsConserved: the distinct samples must account for all k.
+func TestSampleCountsConserved(t *testing.T) {
+	rng := rand.New(rand.NewSource(4))
+	sites := randomSites(rng, 4, 5, 3)
+	chain := Build(qmat.HaarRandom(rng), sites)
+	samples := chain.Sample(rng, 1234, 0)
+	total := 0
+	for _, s := range samples {
+		total += s.Count
+	}
+	if total != 1234 {
+		t.Fatalf("sample counts sum to %d, want 1234", total)
+	}
+}
+
+// TestBeamFindsArgmax: with full width the beam must find the global
+// optimum of |T|.
+func TestBeamFindsArgmax(t *testing.T) {
+	rng := rand.New(rand.NewSource(5))
+	dims := []int{4, 5, 3}
+	sites := randomSites(rng, dims...)
+	u := qmat.HaarRandom(rng)
+	chain := Build(u, sites)
+	res := chain.Beam(4 * 5 * 3)
+	if len(res) == 0 {
+		t.Fatal("beam returned nothing")
+	}
+	best := res[0]
+	// Brute force argmax.
+	bestBrute := -1.0
+	for a := 0; a < dims[0]; a++ {
+		for b := 0; b < dims[1]; b++ {
+			for c := 0; c < dims[2]; c++ {
+				v := cmplx.Abs(bruteTrace(u, sites, []int32{int32(a), int32(b), int32(c)}))
+				if v > bestBrute {
+					bestBrute = v
+				}
+			}
+		}
+	}
+	if math.Abs(cmplx.Abs(best.Trace)-bestBrute) > 1e-9 {
+		t.Fatalf("beam best %v vs brute best %v", cmplx.Abs(best.Trace), bestBrute)
+	}
+	// Results must be sorted decreasing.
+	for i := 1; i < len(res); i++ {
+		if cmplx.Abs(res[i].Trace) > cmplx.Abs(res[i-1].Trace)+1e-12 {
+			t.Fatal("beam results not sorted")
+		}
+	}
+}
+
+// TestSingleSiteChain: l=1 degenerates to a direct lookup table.
+func TestSingleSiteChain(t *testing.T) {
+	rng := rand.New(rand.NewSource(6))
+	sites := randomSites(rng, 20)
+	u := qmat.HaarRandom(rng)
+	chain := Build(u, sites)
+	for s := int32(0); s < 20; s++ {
+		got := chain.Eval([]int32{s})
+		want := bruteTrace(u, sites, []int32{s})
+		if cmplx.Abs(got-want) > 1e-9 {
+			t.Fatalf("single-site Eval mismatch at %d", s)
+		}
+	}
+	res := chain.Beam(5)
+	if len(res) != 5 {
+		t.Fatalf("beam width 5 returned %d", len(res))
+	}
+}
+
+func TestEnvCapLimitsGroups(t *testing.T) {
+	rng := rand.New(rand.NewSource(7))
+	sites := randomSites(rng, 10, 10, 10)
+	chain := Build(qmat.HaarRandom(rng), sites)
+	samples := chain.Sample(rng, 5000, 8)
+	if len(samples) > 8 {
+		t.Fatalf("envCap violated: %d groups", len(samples))
+	}
+}
+
+func TestBestHelper(t *testing.T) {
+	if _, ok := Best(nil); ok {
+		t.Error("Best(nil) should report !ok")
+	}
+	s := []Sampled{{Trace: 1}, {Trace: 3i}, {Trace: -2}}
+	b, ok := Best(s)
+	if !ok || cmplx.Abs(b.Trace) != 3 {
+		t.Errorf("Best returned %v", b)
+	}
+}
+
+func BenchmarkSample3Sites(b *testing.B) {
+	rng := rand.New(rand.NewSource(8))
+	sites := randomSites(rng, 1000, 1000, 1000)
+	chain := Build(qmat.HaarRandom(rng), sites)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		chain.Sample(rng, 1000, 64)
+	}
+}
+
+func BenchmarkBeam3Sites(b *testing.B) {
+	rng := rand.New(rand.NewSource(9))
+	sites := randomSites(rng, 1000, 1000, 1000)
+	chain := Build(qmat.HaarRandom(rng), sites)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		chain.Beam(64)
+	}
+}

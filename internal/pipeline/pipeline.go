@@ -1,0 +1,179 @@
+// Package pipeline wires the compilation workflows of Figure 3(a):
+// transpile a circuit into an intermediate representation (CX+U3 or
+// CX+H+RZ, picking the best of the 16 transpiler settings), then lower
+// every nontrivial rotation to Clifford+T — with trasyn for the U3 workflow
+// and gridsynth for the Rz workflow. Synthesis results are cached by
+// (gate, angles), which mirrors how compilers amortize repeated rotations.
+package pipeline
+
+import (
+	"fmt"
+	"math"
+	"sync"
+
+	"repro/internal/circuit"
+	"repro/internal/core"
+	"repro/internal/gates"
+	"repro/internal/gridsynth"
+	"repro/internal/transpile"
+)
+
+// Lowerer synthesizes one rotation op into a discrete sequence
+// (matrix-product order) with its synthesis error.
+type Lowerer func(op circuit.Op) (gates.Sequence, float64, error)
+
+// Stats aggregates a lowering run.
+type Stats struct {
+	Rotations  int     // nontrivial rotations synthesized
+	ErrorBound float64 // additive bound: Σ per-rotation unitary distances
+	MaxError   float64
+}
+
+// Lower replaces every nontrivial rotation via f; trivial rotations are
+// snapped to discrete gates exactly.
+func Lower(c *circuit.Circuit, f Lowerer) (*circuit.Circuit, Stats, error) {
+	var st Stats
+	out := circuit.New(c.N)
+	for _, op := range c.Ops {
+		if !op.G.IsRotation() {
+			out.Add(op)
+			continue
+		}
+		if isTrivialRotation(op) {
+			snapTrivial(out, op)
+			continue
+		}
+		seq, err, e := f(op)
+		if e != nil {
+			return nil, st, fmt.Errorf("pipeline: lowering %v: %w", op.G, e)
+		}
+		for _, o := range circuit.FromSequence(seq, op.Q[0]) {
+			out.Add(o)
+		}
+		st.Rotations++
+		st.ErrorBound += err
+		if err > st.MaxError {
+			st.MaxError = err
+		}
+	}
+	return out, st, nil
+}
+
+func isTrivialRotation(op circuit.Op) bool {
+	tmp := circuit.New(1)
+	tmp.Add(circuit.Op{G: op.G, Q: [2]int{0, -1}, P: op.P})
+	return tmp.CountRotations() == 0
+}
+
+// snapTrivial lowers a trivial rotation exactly via the Rz-basis pass.
+func snapTrivial(out *circuit.Circuit, op circuit.Op) {
+	tmp := circuit.New(1)
+	tmp.Add(circuit.Op{G: op.G, Q: [2]int{0, -1}, P: op.P})
+	for _, o := range transpile.ToRzBasis(tmp).Ops {
+		o.Q[0] = op.Q[0]
+		out.Add(o)
+	}
+}
+
+// cacheKey quantizes angles so repeated rotations hit the cache.
+type cacheKey struct {
+	g       circuit.GateType
+	a, b, c int64
+}
+
+func keyOf(op circuit.Op) cacheKey {
+	q := func(x float64) int64 {
+		// Wrap to [0, 4π) (U3 angles are 2π-periodic up to phase; 4π is
+		// safe for every convention) and quantize at 1e-12.
+		x = math.Mod(x, 4*math.Pi)
+		if x < 0 {
+			x += 4 * math.Pi
+		}
+		return int64(math.Round(x * 1e12))
+	}
+	return cacheKey{g: op.G, a: q(op.P[0]), b: q(op.P[1]), c: q(op.P[2])}
+}
+
+type cachedResult struct {
+	seq gates.Sequence
+	err float64
+	e   error
+}
+
+// cachingLowerer memoizes an underlying lowerer; safe for concurrent use.
+func cachingLowerer(f Lowerer) Lowerer {
+	var mu sync.Mutex
+	cache := map[cacheKey]cachedResult{}
+	return func(op circuit.Op) (gates.Sequence, float64, error) {
+		k := keyOf(op)
+		mu.Lock()
+		if r, ok := cache[k]; ok {
+			mu.Unlock()
+			return r.seq, r.err, r.e
+		}
+		mu.Unlock()
+		seq, err, e := f(op)
+		mu.Lock()
+		cache[k] = cachedResult{seq, err, e}
+		mu.Unlock()
+		return seq, err, e
+	}
+}
+
+// TrasynLowerer synthesizes arbitrary rotations directly with trasyn
+// (the U3 workflow). cfg.Epsilon, when set, bounds per-rotation error.
+func TrasynLowerer(cfg core.Config) Lowerer {
+	return cachingLowerer(func(op circuit.Op) (gates.Sequence, float64, error) {
+		res := core.TRASYN(op.Matrix1Q(), cfg)
+		if res.Seq == nil {
+			return nil, 0, fmt.Errorf("trasyn returned no sequence")
+		}
+		return res.Seq, res.Error, nil
+	})
+}
+
+// GridsynthLowerer synthesizes rotations with gridsynth (the Rz workflow):
+// RZ gates go through one Rz synthesis; RX/RY/U3 are first decomposed into
+// Rz rotations (three for U3, the paper's Eq. (1) baseline), splitting the
+// error budget equally.
+func GridsynthLowerer(eps float64, opt gridsynth.Options) Lowerer {
+	return cachingLowerer(func(op circuit.Op) (gates.Sequence, float64, error) {
+		switch op.G {
+		case circuit.RZ:
+			r, err := gridsynth.Rz(op.P[0], eps, opt)
+			if err != nil {
+				return nil, 0, err
+			}
+			return r.Seq, r.Error, nil
+		default:
+			r, err := gridsynth.U3(op.Matrix1Q(), eps, opt)
+			if err != nil {
+				return nil, 0, err
+			}
+			return r.Seq, r.Error, nil
+		}
+	})
+}
+
+// WorkflowResult is one end-to-end compilation outcome.
+type WorkflowResult struct {
+	Circuit     *circuit.Circuit
+	Stats       Stats
+	Setting     transpile.Setting
+	IRRotations int // rotations in the IR before synthesis
+}
+
+// RunU3Workflow transpiles to the best CX+U3 setting and lowers with trasyn.
+func RunU3Workflow(c *circuit.Circuit, cfg core.Config) (WorkflowResult, error) {
+	ir, setting := transpile.BestSetting(c, transpile.BasisU3)
+	low, st, err := Lower(ir, TrasynLowerer(cfg))
+	return WorkflowResult{Circuit: low, Stats: st, Setting: setting, IRRotations: ir.CountRotations()}, err
+}
+
+// RunRzWorkflow transpiles to the best CX+H+RZ setting and lowers with
+// gridsynth at the given per-rotation threshold.
+func RunRzWorkflow(c *circuit.Circuit, eps float64, opt gridsynth.Options) (WorkflowResult, error) {
+	ir, setting := transpile.BestSetting(c, transpile.BasisRz)
+	low, st, err := Lower(ir, GridsynthLowerer(eps, opt))
+	return WorkflowResult{Circuit: low, Stats: st, Setting: setting, IRRotations: ir.CountRotations()}, err
+}

@@ -1,0 +1,274 @@
+// Package qmat provides dense 2x2 complex matrices and the standard
+// single-qubit gate constructors used throughout the repository, together
+// with the closeness metrics from the paper (Hilbert-Schmidt trace value and
+// the unitary distance of Eq. (2)).
+package qmat
+
+import (
+	"fmt"
+	"math"
+	"math/cmplx"
+	"math/rand"
+)
+
+// M2 is a 2x2 complex matrix stored row-major: [row][col].
+type M2 [2][2]complex128
+
+// I2 returns the identity matrix.
+func I2() M2 { return M2{{1, 0}, {0, 1}} }
+
+// Standard gate matrices of the Clifford+T set {H, S, T, X, Y, Z}.
+var (
+	X = M2{{0, 1}, {1, 0}}
+	Y = M2{{0, -1i}, {1i, 0}}
+	Z = M2{{1, 0}, {0, -1}}
+)
+
+// H returns the Hadamard gate.
+func H() M2 {
+	s := complex(1/math.Sqrt2, 0)
+	return M2{{s, s}, {s, -s}}
+}
+
+// S returns the phase gate diag(1, i).
+func S() M2 { return M2{{1, 0}, {0, 1i}} }
+
+// Sdg returns S†.
+func Sdg() M2 { return M2{{1, 0}, {0, -1i}} }
+
+// T returns the T gate diag(1, e^{iπ/4}).
+func T() M2 { return M2{{1, 0}, {0, cmplx.Exp(complex(0, math.Pi/4))}} }
+
+// Tdg returns T†.
+func Tdg() M2 { return M2{{1, 0}, {0, cmplx.Exp(complex(0, -math.Pi/4))}} }
+
+// Rz returns the z-rotation diag(e^{-iθ/2}, e^{iθ/2}).
+func Rz(theta float64) M2 {
+	return M2{
+		{cmplx.Exp(complex(0, -theta/2)), 0},
+		{0, cmplx.Exp(complex(0, theta/2))},
+	}
+}
+
+// Rx returns the x-rotation exp(-iθX/2).
+func Rx(theta float64) M2 {
+	c := complex(math.Cos(theta/2), 0)
+	s := complex(0, -math.Sin(theta/2))
+	return M2{{c, s}, {s, c}}
+}
+
+// Ry returns the y-rotation exp(-iθY/2).
+func Ry(theta float64) M2 {
+	c := complex(math.Cos(theta/2), 0)
+	s := complex(math.Sin(theta/2), 0)
+	return M2{{c, -s}, {s, c}}
+}
+
+// U3 returns the general single-qubit unitary with the OpenQASM convention:
+//
+//	U3(θ,φ,λ) = [[cos(θ/2), -e^{iλ} sin(θ/2)], [e^{iφ} sin(θ/2), e^{i(φ+λ)} cos(θ/2)]].
+//
+// Up to global phase, U3(θ,φ,λ) = Rz(φ)·Ry(θ)·Rz(λ).
+func U3(theta, phi, lambda float64) M2 {
+	c := complex(math.Cos(theta/2), 0)
+	s := complex(math.Sin(theta/2), 0)
+	return M2{
+		{c, -cmplx.Exp(complex(0, lambda)) * s},
+		{cmplx.Exp(complex(0, phi)) * s, cmplx.Exp(complex(0, phi+lambda)) * c},
+	}
+}
+
+// Mul returns a·b.
+func Mul(a, b M2) M2 {
+	return M2{
+		{a[0][0]*b[0][0] + a[0][1]*b[1][0], a[0][0]*b[0][1] + a[0][1]*b[1][1]},
+		{a[1][0]*b[0][0] + a[1][1]*b[1][0], a[1][0]*b[0][1] + a[1][1]*b[1][1]},
+	}
+}
+
+// MulAll multiplies the matrices left to right: MulAll(a,b,c) = a·b·c.
+func MulAll(ms ...M2) M2 {
+	p := I2()
+	for _, m := range ms {
+		p = Mul(p, m)
+	}
+	return p
+}
+
+// Dagger returns the conjugate transpose.
+func Dagger(a M2) M2 {
+	return M2{
+		{cmplx.Conj(a[0][0]), cmplx.Conj(a[1][0])},
+		{cmplx.Conj(a[0][1]), cmplx.Conj(a[1][1])},
+	}
+}
+
+// Scale returns s·a.
+func Scale(s complex128, a M2) M2 {
+	return M2{{s * a[0][0], s * a[0][1]}, {s * a[1][0], s * a[1][1]}}
+}
+
+// Add returns a+b.
+func Add(a, b M2) M2 {
+	return M2{
+		{a[0][0] + b[0][0], a[0][1] + b[0][1]},
+		{a[1][0] + b[1][0], a[1][1] + b[1][1]},
+	}
+}
+
+// Sub returns a-b.
+func Sub(a, b M2) M2 { return Add(a, Scale(-1, b)) }
+
+// Trace returns Tr(a).
+func Trace(a M2) complex128 { return a[0][0] + a[1][1] }
+
+// Det returns det(a).
+func Det(a M2) complex128 { return a[0][0]*a[1][1] - a[0][1]*a[1][0] }
+
+// HSTrace returns Tr(U†V), the (unnormalized) Hilbert-Schmidt inner product.
+func HSTrace(u, v M2) complex128 {
+	// Tr(U†V) = Σ_ij conj(U_ij)·V_ij.
+	return cmplx.Conj(u[0][0])*v[0][0] + cmplx.Conj(u[0][1])*v[0][1] +
+		cmplx.Conj(u[1][0])*v[1][0] + cmplx.Conj(u[1][1])*v[1][1]
+}
+
+// TraceValue returns |Tr(U†V)|/2, the paper's "trace value" (N = 2).
+func TraceValue(u, v M2) float64 { return cmplx.Abs(HSTrace(u, v)) / 2 }
+
+// Distance returns the unitary distance of Eq. (2):
+// D(U,V) = sqrt(1 - |Tr(U†V)|²/4). It is global-phase invariant and, for
+// small values, numerically close to the operator norm ‖U−V‖.
+func Distance(u, v M2) float64 {
+	t := TraceValue(u, v)
+	d := 1 - t*t
+	if d < 0 { // guard tiny negative rounding
+		return 0
+	}
+	return math.Sqrt(d)
+}
+
+// DistanceFromTrace converts an (unnormalized) trace value Tr(U†V) to the
+// unitary distance without re-multiplying matrices.
+func DistanceFromTrace(tr complex128) float64 {
+	t := cmplx.Abs(tr) / 2
+	d := 1 - t*t
+	if d < 0 {
+		return 0
+	}
+	return math.Sqrt(d)
+}
+
+// OpNormDiff returns the spectral norm of U−V, minimizing over global phase
+// if phaseFree is set. For 2x2 matrices the spectral norm is computed from
+// the eigenvalues of (U−V)†(U−V).
+func OpNormDiff(u, v M2, phaseFree bool) float64 {
+	norm := func(a M2) float64 {
+		g := Mul(Dagger(a), a) // Hermitian PSD
+		tr := real(g[0][0] + g[1][1])
+		det := real(g[0][0]*g[1][1] - g[0][1]*g[1][0])
+		disc := tr*tr/4 - det
+		if disc < 0 {
+			disc = 0
+		}
+		lmax := tr/2 + math.Sqrt(disc)
+		if lmax < 0 {
+			lmax = 0
+		}
+		return math.Sqrt(lmax)
+	}
+	if !phaseFree {
+		return norm(Sub(u, v))
+	}
+	// Optimal phase aligns Tr(U†V) to the positive real axis.
+	tr := HSTrace(u, v)
+	ph := complex(1, 0)
+	if cmplx.Abs(tr) > 0 {
+		ph = tr / complex(cmplx.Abs(tr), 0)
+	}
+	return norm(Sub(u, Scale(ph, v)))
+}
+
+// IsUnitary reports whether a†a = I within tol.
+func IsUnitary(a M2, tol float64) bool {
+	g := Mul(Dagger(a), a)
+	return cmplx.Abs(g[0][0]-1) < tol && cmplx.Abs(g[1][1]-1) < tol &&
+		cmplx.Abs(g[0][1]) < tol && cmplx.Abs(g[1][0]) < tol
+}
+
+// ApproxEqual reports whether a and b agree entrywise within tol.
+func ApproxEqual(a, b M2, tol float64) bool {
+	for i := 0; i < 2; i++ {
+		for j := 0; j < 2; j++ {
+			if cmplx.Abs(a[i][j]-b[i][j]) > tol {
+				return false
+			}
+		}
+	}
+	return true
+}
+
+// EqualUpToPhase reports whether a = e^{iγ}·b for some γ, within tol.
+func EqualUpToPhase(a, b M2, tol float64) bool {
+	return Distance(a, b) < tol && math.Abs(cmplx.Abs(Det(a))-cmplx.Abs(Det(b))) < tol
+}
+
+// HaarRandom returns a Haar-distributed SU(2) element drawn from rng,
+// via a uniform unit quaternion.
+func HaarRandom(rng *rand.Rand) M2 {
+	// Marsaglia: four independent normals normalized to the 3-sphere.
+	var q [4]float64
+	n := 0.0
+	for {
+		for i := range q {
+			q[i] = rng.NormFloat64()
+		}
+		n = math.Sqrt(q[0]*q[0] + q[1]*q[1] + q[2]*q[2] + q[3]*q[3])
+		if n > 1e-12 {
+			break
+		}
+	}
+	a, b, c, d := q[0]/n, q[1]/n, q[2]/n, q[3]/n
+	// SU(2) = a·I + i(b·X + c·Y + d·Z)
+	return M2{
+		{complex(a, d), complex(c, b)},
+		{complex(-c, b), complex(a, -d)},
+	}
+}
+
+// ZYZAngles decomposes a unitary (up to global phase) as
+// Rz(φ)·Ry(θ)·Rz(λ), returning θ, φ, λ such that U3(θ,φ,λ) equals u up to
+// global phase.
+func ZYZAngles(u M2) (theta, phi, lambda float64) {
+	// Remove global phase: make it special (det 1), then read angles.
+	det := Det(u)
+	ph := cmplx.Sqrt(det)
+	if cmplx.Abs(ph) < 1e-300 {
+		return 0, 0, 0
+	}
+	v := Scale(1/ph, u) // now det(v) = ±1; for unitary u it is 1 up to rounding
+	c := cmplx.Abs(v[0][0])
+	s := cmplx.Abs(v[1][0])
+	theta = 2 * math.Atan2(s, c)
+	switch {
+	case s < 1e-7:
+		// Diagonal (θ ≈ 0): only φ+λ matters; put it all in φ. Never read
+		// the phase of the ~0 off-diagonal entries — it is rounding noise.
+		theta = 0
+		phi = cmplx.Phase(v[1][1]) - cmplx.Phase(v[0][0])
+		lambda = 0
+	case c < 1e-7:
+		// Antidiagonal (θ ≈ π): U3(π,φ,λ) = [[0, −e^{iλ}], [e^{iφ}, 0]].
+		theta = math.Pi
+		phi = cmplx.Phase(v[1][0])
+		lambda = cmplx.Phase(-v[0][1])
+	default:
+		phi = cmplx.Phase(v[1][0]) - cmplx.Phase(v[0][0])
+		lambda = cmplx.Phase(-v[0][1]) - cmplx.Phase(v[0][0])
+	}
+	return theta, phi, lambda
+}
+
+// String renders the matrix for debugging.
+func (m M2) String() string {
+	return fmt.Sprintf("[[%v, %v], [%v, %v]]", m[0][0], m[0][1], m[1][0], m[1][1])
+}

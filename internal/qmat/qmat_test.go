@@ -1,0 +1,191 @@
+package qmat
+
+import (
+	"math"
+	"math/cmplx"
+	"math/rand"
+	"testing"
+	"testing/quick"
+)
+
+func TestGatesAreUnitary(t *testing.T) {
+	gates := map[string]M2{
+		"H": H(), "S": S(), "Sdg": Sdg(), "T": T(), "Tdg": Tdg(),
+		"X": X, "Y": Y, "Z": Z,
+		"Rz": Rz(0.7), "Rx": Rx(-1.3), "Ry": Ry(2.2), "U3": U3(0.3, 1.1, -0.4),
+	}
+	for name, g := range gates {
+		if !IsUnitary(g, 1e-12) {
+			t.Errorf("%s is not unitary: %v", name, g)
+		}
+	}
+}
+
+func TestAlgebraicIdentities(t *testing.T) {
+	tol := 1e-12
+	if !ApproxEqual(Mul(T(), T()), S(), tol) {
+		t.Error("T² ≠ S")
+	}
+	if !ApproxEqual(Mul(S(), S()), Z, tol) {
+		t.Error("S² ≠ Z")
+	}
+	if !ApproxEqual(Mul(H(), H()), I2(), tol) {
+		t.Error("H² ≠ I")
+	}
+	if !ApproxEqual(MulAll(H(), Z, H()), X, tol) {
+		t.Error("HZH ≠ X")
+	}
+	if !ApproxEqual(Mul(S(), Sdg()), I2(), tol) {
+		t.Error("S·S† ≠ I")
+	}
+	if !ApproxEqual(Mul(T(), Tdg()), I2(), tol) {
+		t.Error("T·T† ≠ I")
+	}
+	// Y = iXZ
+	if !ApproxEqual(Scale(1i, Mul(X, Z)), Y, tol) {
+		t.Error("Y ≠ iXZ")
+	}
+}
+
+func TestRzTAgreement(t *testing.T) {
+	// T = e^{iπ/8} Rz(π/4): equal up to global phase.
+	if !EqualUpToPhase(T(), Rz(math.Pi/4), 1e-12) {
+		t.Error("T not Rz(π/4) up to phase")
+	}
+	if !EqualUpToPhase(S(), Rz(math.Pi/2), 1e-12) {
+		t.Error("S not Rz(π/2) up to phase")
+	}
+}
+
+func TestHRzHIsRx(t *testing.T) {
+	for _, th := range []float64{0.1, 1.0, -2.5, math.Pi} {
+		got := MulAll(H(), Rz(th), H())
+		if !ApproxEqual(got, Rx(th), 1e-12) {
+			t.Errorf("H Rz(%v) H ≠ Rx(%v)", th, th)
+		}
+	}
+}
+
+// TestU3Decomposition checks the paper's Eq. (1):
+// U3(θ,φ,λ) ≅ Rz(φ+π/2)·H·Rz(θ)·H·Rz(λ−π/2) up to global phase.
+func TestU3Decomposition(t *testing.T) {
+	rng := rand.New(rand.NewSource(7))
+	for i := 0; i < 200; i++ {
+		th := rng.Float64() * math.Pi
+		ph := (rng.Float64() - 0.5) * 4 * math.Pi
+		la := (rng.Float64() - 0.5) * 4 * math.Pi
+		u := U3(th, ph, la)
+		v := MulAll(Rz(ph+math.Pi/2), H(), Rz(th), H(), Rz(la-math.Pi/2))
+		if d := Distance(u, v); d > 1e-7 {
+			t.Fatalf("Eq(1) violated: θ=%v φ=%v λ=%v dist=%v", th, ph, la, d)
+		}
+	}
+}
+
+func TestU3IsZYZ(t *testing.T) {
+	rng := rand.New(rand.NewSource(8))
+	for i := 0; i < 200; i++ {
+		th := rng.Float64() * math.Pi
+		ph := (rng.Float64() - 0.5) * 4 * math.Pi
+		la := (rng.Float64() - 0.5) * 4 * math.Pi
+		u := U3(th, ph, la)
+		v := MulAll(Rz(ph), Ry(th), Rz(la))
+		if d := Distance(u, v); d > 1e-7 {
+			t.Fatalf("U3 ≠ Rz·Ry·Rz up to phase: dist=%v", d)
+		}
+	}
+}
+
+func TestDistanceProperties(t *testing.T) {
+	rng := rand.New(rand.NewSource(9))
+	for i := 0; i < 200; i++ {
+		u := HaarRandom(rng)
+		v := HaarRandom(rng)
+		d := Distance(u, v)
+		if d < 0 || d > 1 {
+			t.Fatalf("distance out of range: %v", d)
+		}
+		if Distance(u, u) > 5e-8 {
+			t.Fatal("D(U,U) ≠ 0")
+		}
+		// Global phase invariance.
+		ph := cmplx.Exp(complex(0, rng.Float64()*2*math.Pi))
+		if math.Abs(Distance(u, Scale(ph, v))-d) > 1e-12 {
+			t.Fatal("distance not phase invariant")
+		}
+		// Symmetry.
+		if math.Abs(Distance(v, u)-d) > 1e-12 {
+			t.Fatal("distance not symmetric")
+		}
+	}
+}
+
+func TestDistanceApproximatesOpNorm(t *testing.T) {
+	// For small errors, D(U,V) ≈ min_phase ‖U − e^{iγ}V‖ (paper, footnote 4).
+	rng := rand.New(rand.NewSource(10))
+	for i := 0; i < 100; i++ {
+		u := HaarRandom(rng)
+		eps := 1e-3 * (1 + rng.Float64())
+		v := Mul(u, Rz(eps)) // small perturbation
+		d := Distance(u, v)
+		n := OpNormDiff(u, v, true)
+		if d == 0 || n == 0 {
+			continue
+		}
+		if r := d / n; r < 0.5 || r > 2.0 {
+			t.Fatalf("distance %v not close to phase-free opnorm %v (ratio %v)", d, n, r)
+		}
+	}
+}
+
+func TestHaarRandomIsUnitary(t *testing.T) {
+	rng := rand.New(rand.NewSource(11))
+	for i := 0; i < 100; i++ {
+		u := HaarRandom(rng)
+		if !IsUnitary(u, 1e-12) {
+			t.Fatalf("Haar sample not unitary: %v", u)
+		}
+		if cmplx.Abs(Det(u)-1) > 1e-12 {
+			t.Fatalf("Haar sample not special: det=%v", Det(u))
+		}
+	}
+}
+
+func TestZYZRoundTrip(t *testing.T) {
+	rng := rand.New(rand.NewSource(12))
+	f := func(seed int64) bool {
+		r := rand.New(rand.NewSource(seed))
+		u := HaarRandom(r)
+		th, ph, la := ZYZAngles(u)
+		v := U3(th, ph, la)
+		return Distance(u, v) < 1e-7
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 300, Rand: rng}); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestZYZEdgeCases(t *testing.T) {
+	for _, u := range []M2{I2(), Z, X, Y, S(), Rz(1e-13), Ry(math.Pi)} {
+		th, ph, la := ZYZAngles(u)
+		if d := Distance(u, U3(th, ph, la)); d > 1e-6 {
+			t.Errorf("ZYZ edge case failed for %v: d=%v", u, d)
+		}
+	}
+}
+
+func TestMulAllEmpty(t *testing.T) {
+	if MulAll() != I2() {
+		t.Error("MulAll() should be identity")
+	}
+}
+
+func TestDistanceFromTrace(t *testing.T) {
+	rng := rand.New(rand.NewSource(13))
+	for i := 0; i < 50; i++ {
+		u, v := HaarRandom(rng), HaarRandom(rng)
+		if math.Abs(DistanceFromTrace(HSTrace(u, v))-Distance(u, v)) > 1e-12 {
+			t.Fatal("DistanceFromTrace mismatch")
+		}
+	}
+}

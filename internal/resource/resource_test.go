@@ -1,0 +1,45 @@
+package resource
+
+import "testing"
+
+func TestCodeDistanceMonotone(t *testing.T) {
+	prev := 0
+	for _, target := range []float64{1e-3, 1e-5, 1e-7, 1e-9} {
+		d := CodeDistance(1e-3, target)
+		if d < prev {
+			t.Fatalf("distance must grow as target tightens: %d < %d", d, prev)
+		}
+		prev = d
+		if d%2 == 0 {
+			t.Fatal("code distance must be odd")
+		}
+	}
+}
+
+func TestEstimateScalesWithTCount(t *testing.T) {
+	p := DefaultParams()
+	small := p.Estimate(10, 100, 50)
+	large := p.Estimate(10, 1000, 500)
+	if large.ExecCycles <= small.ExecCycles {
+		t.Fatal("more T gates must cost more cycles")
+	}
+	if small.MagicStates != 100 || large.MagicStates != 1000 {
+		t.Fatal("magic states must equal T count")
+	}
+	if small.DataQubits != 10*small.PhysPerLogical {
+		t.Fatal("data qubits wrong")
+	}
+	if small.ExecSeconds <= 0 {
+		t.Fatal("execution time must be positive")
+	}
+}
+
+func TestFactoriesReduceTime(t *testing.T) {
+	p := DefaultParams()
+	p1 := p.Estimate(5, 10000, 10)
+	p.Factories = 4
+	p4 := p.Estimate(5, 10000, 10)
+	if p4.ExecCycles >= p1.ExecCycles {
+		t.Fatal("parallel factories must reduce execution time")
+	}
+}

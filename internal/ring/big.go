@@ -1,0 +1,391 @@
+package ring
+
+import (
+	"fmt"
+	"math/big"
+)
+
+// BSqrt2 is an element a + b√2 of Z[√2] with arbitrary-precision
+// coefficients. All operations allocate fresh big.Ints (value semantics).
+type BSqrt2 struct {
+	A, B *big.Int
+}
+
+// NewBSqrt2 returns a + b√2 from int64 coefficients.
+func NewBSqrt2(a, b int64) BSqrt2 {
+	return BSqrt2{big.NewInt(a), big.NewInt(b)}
+}
+
+// BSqrt2FromZSqrt2 lifts an int64-coefficient element.
+func BSqrt2FromZSqrt2(x ZSqrt2) BSqrt2 { return NewBSqrt2(x.A, x.B) }
+
+// Clone returns a deep copy.
+func (x BSqrt2) Clone() BSqrt2 {
+	return BSqrt2{new(big.Int).Set(x.A), new(big.Int).Set(x.B)}
+}
+
+// Add returns x + y.
+func (x BSqrt2) Add(y BSqrt2) BSqrt2 {
+	return BSqrt2{new(big.Int).Add(x.A, y.A), new(big.Int).Add(x.B, y.B)}
+}
+
+// Sub returns x − y.
+func (x BSqrt2) Sub(y BSqrt2) BSqrt2 {
+	return BSqrt2{new(big.Int).Sub(x.A, y.A), new(big.Int).Sub(x.B, y.B)}
+}
+
+// Neg returns −x.
+func (x BSqrt2) Neg() BSqrt2 {
+	return BSqrt2{new(big.Int).Neg(x.A), new(big.Int).Neg(x.B)}
+}
+
+// Mul returns x·y.
+func (x BSqrt2) Mul(y BSqrt2) BSqrt2 {
+	a := new(big.Int).Mul(x.A, y.A)
+	a.Add(a, new(big.Int).Lsh(new(big.Int).Mul(x.B, y.B), 1))
+	b := new(big.Int).Mul(x.A, y.B)
+	b.Add(b, new(big.Int).Mul(x.B, y.A))
+	return BSqrt2{a, b}
+}
+
+// Bullet returns the conjugate a − b√2.
+func (x BSqrt2) Bullet() BSqrt2 {
+	return BSqrt2{new(big.Int).Set(x.A), new(big.Int).Neg(x.B)}
+}
+
+// NormZ returns x·x• = a² − 2b² as a big integer.
+func (x BSqrt2) NormZ() *big.Int {
+	n := new(big.Int).Mul(x.A, x.A)
+	t := new(big.Int).Mul(x.B, x.B)
+	t.Lsh(t, 1)
+	return n.Sub(n, t)
+}
+
+// IsZero reports whether x = 0.
+func (x BSqrt2) IsZero() bool { return x.A.Sign() == 0 && x.B.Sign() == 0 }
+
+// Equal reports x = y.
+func (x BSqrt2) Equal(y BSqrt2) bool { return x.A.Cmp(y.A) == 0 && x.B.Cmp(y.B) == 0 }
+
+// Float returns the numeric embedding with ~200-bit intermediate precision.
+func (x BSqrt2) Float() float64 {
+	f, _ := x.BigFloat(200).Float64()
+	return f
+}
+
+// BigFloat returns the embedding a + b√2 at the given precision.
+func (x BSqrt2) BigFloat(prec uint) *big.Float {
+	s := big.NewFloat(2)
+	s.SetPrec(prec)
+	s.Sqrt(s)
+	bf := new(big.Float).SetPrec(prec).SetInt(x.B)
+	bf.Mul(bf, s)
+	af := new(big.Float).SetPrec(prec).SetInt(x.A)
+	return af.Add(af, bf)
+}
+
+// Sign returns the sign of the real embedding a + b√2 (exactly).
+func (x BSqrt2) Sign() int {
+	sa, sb := x.A.Sign(), x.B.Sign()
+	switch {
+	case sa == 0 && sb == 0:
+		return 0
+	case sa >= 0 && sb >= 0:
+		return 1
+	case sa <= 0 && sb <= 0:
+		return -1
+	}
+	// Mixed signs: compare a² with 2b² (sign decided by the larger magnitude).
+	a2 := new(big.Int).Mul(x.A, x.A)
+	b2 := new(big.Int).Mul(x.B, x.B)
+	b2.Lsh(b2, 1)
+	cmp := a2.Cmp(b2)
+	if cmp == 0 {
+		return 0 // impossible for nonzero integers, but be safe
+	}
+	if cmp > 0 { // |a| dominates
+		return sa
+	}
+	return sb
+}
+
+// DivExact returns x/y if y exactly divides x in Z[√2], with ok=false
+// otherwise. x/y = x·y• / N(y).
+func (x BSqrt2) DivExact(y BSqrt2) (BSqrt2, bool) {
+	n := y.NormZ()
+	if n.Sign() == 0 {
+		return BSqrt2{}, false
+	}
+	p := x.Mul(y.Bullet())
+	qa, ra := new(big.Int).QuoRem(p.A, n, new(big.Int))
+	qb, rb := new(big.Int).QuoRem(p.B, n, new(big.Int))
+	if ra.Sign() != 0 || rb.Sign() != 0 {
+		return BSqrt2{}, false
+	}
+	return BSqrt2{qa, qb}, true
+}
+
+// PowLambda returns λ^j for any integer j (λ = 1+√2, λ⁻¹ = √2−1).
+func PowLambda(j int) BSqrt2 {
+	base := NewBSqrt2(1, 1)
+	if j < 0 {
+		base = NewBSqrt2(-1, 1)
+		j = -j
+	}
+	r := NewBSqrt2(1, 0)
+	for i := 0; i < j; i++ {
+		r = r.Mul(base)
+	}
+	return r
+}
+
+// String renders x for debugging.
+func (x BSqrt2) String() string { return fmt.Sprintf("(%v%+v√2)", x.A, x.B) }
+
+// BOmega is an element a + bω + cω² + dω³ of Z[ω] with arbitrary-precision
+// coefficients.
+type BOmega struct {
+	A, B, C, D *big.Int
+}
+
+// NewBOmega returns the element with the given int64 coefficients.
+func NewBOmega(a, b, c, d int64) BOmega {
+	return BOmega{big.NewInt(a), big.NewInt(b), big.NewInt(c), big.NewInt(d)}
+}
+
+// BOmegaFromZOmega lifts an int64-coefficient element.
+func BOmegaFromZOmega(z ZOmega) BOmega { return NewBOmega(z.A, z.B, z.C, z.D) }
+
+// BOmegaFromBSqrt2 embeds x = a + b√2 (√2 = ω − ω³).
+func BOmegaFromBSqrt2(x BSqrt2) BOmega {
+	return BOmega{new(big.Int).Set(x.A), new(big.Int).Set(x.B),
+		big.NewInt(0), new(big.Int).Neg(x.B)}
+}
+
+// BOmegaFromInt returns the rational integer n.
+func BOmegaFromInt(n int64) BOmega { return NewBOmega(n, 0, 0, 0) }
+
+// Clone returns a deep copy.
+func (z BOmega) Clone() BOmega {
+	return BOmega{new(big.Int).Set(z.A), new(big.Int).Set(z.B),
+		new(big.Int).Set(z.C), new(big.Int).Set(z.D)}
+}
+
+// ToZOmega converts back to int64 coefficients; ok=false on overflow.
+func (z BOmega) ToZOmega() (ZOmega, bool) {
+	if !z.A.IsInt64() || !z.B.IsInt64() || !z.C.IsInt64() || !z.D.IsInt64() {
+		return ZOmega{}, false
+	}
+	return ZOmega{z.A.Int64(), z.B.Int64(), z.C.Int64(), z.D.Int64()}, true
+}
+
+// IsZero reports whether z = 0.
+func (z BOmega) IsZero() bool {
+	return z.A.Sign() == 0 && z.B.Sign() == 0 && z.C.Sign() == 0 && z.D.Sign() == 0
+}
+
+// Equal reports z = w.
+func (z BOmega) Equal(w BOmega) bool {
+	return z.A.Cmp(w.A) == 0 && z.B.Cmp(w.B) == 0 && z.C.Cmp(w.C) == 0 && z.D.Cmp(w.D) == 0
+}
+
+// Add returns z + w.
+func (z BOmega) Add(w BOmega) BOmega {
+	return BOmega{new(big.Int).Add(z.A, w.A), new(big.Int).Add(z.B, w.B),
+		new(big.Int).Add(z.C, w.C), new(big.Int).Add(z.D, w.D)}
+}
+
+// Sub returns z − w.
+func (z BOmega) Sub(w BOmega) BOmega {
+	return BOmega{new(big.Int).Sub(z.A, w.A), new(big.Int).Sub(z.B, w.B),
+		new(big.Int).Sub(z.C, w.C), new(big.Int).Sub(z.D, w.D)}
+}
+
+// Neg returns −z.
+func (z BOmega) Neg() BOmega {
+	return BOmega{new(big.Int).Neg(z.A), new(big.Int).Neg(z.B),
+		new(big.Int).Neg(z.C), new(big.Int).Neg(z.D)}
+}
+
+// MulOmega returns ω·z: (a,b,c,d) ↦ (−d,a,b,c).
+func (z BOmega) MulOmega() BOmega {
+	return BOmega{new(big.Int).Neg(z.D), new(big.Int).Set(z.A),
+		new(big.Int).Set(z.B), new(big.Int).Set(z.C)}
+}
+
+// MulPhase returns ω^j·z.
+func (z BOmega) MulPhase(j int) BOmega {
+	j = ((j % 8) + 8) % 8
+	r := z.Clone()
+	for i := 0; i < j; i++ {
+		r = r.MulOmega()
+	}
+	return r
+}
+
+// Mul returns z·w.
+func (z BOmega) Mul(w BOmega) BOmega {
+	mul := func(x, y *big.Int) *big.Int { return new(big.Int).Mul(x, y) }
+	a := mul(z.A, w.A)
+	a.Sub(a, mul(z.B, w.D))
+	a.Sub(a, mul(z.C, w.C))
+	a.Sub(a, mul(z.D, w.B))
+	b := mul(z.A, w.B)
+	b.Add(b, mul(z.B, w.A))
+	b.Sub(b, mul(z.C, w.D))
+	b.Sub(b, mul(z.D, w.C))
+	c := mul(z.A, w.C)
+	c.Add(c, mul(z.B, w.B))
+	c.Add(c, mul(z.C, w.A))
+	c.Sub(c, mul(z.D, w.D))
+	d := mul(z.A, w.D)
+	d.Add(d, mul(z.B, w.C))
+	d.Add(d, mul(z.C, w.B))
+	d.Add(d, mul(z.D, w.A))
+	return BOmega{a, b, c, d}
+}
+
+// Conj returns the complex conjugate: (a,b,c,d) ↦ (a,−d,−c,−b).
+func (z BOmega) Conj() BOmega {
+	return BOmega{new(big.Int).Set(z.A), new(big.Int).Neg(z.D),
+		new(big.Int).Neg(z.C), new(big.Int).Neg(z.B)}
+}
+
+// Bullet returns the √2-conjugate: (a,b,c,d) ↦ (a,−b,c,−d).
+func (z BOmega) Bullet() BOmega {
+	return BOmega{new(big.Int).Set(z.A), new(big.Int).Neg(z.B),
+		new(big.Int).Set(z.C), new(big.Int).Neg(z.D)}
+}
+
+// Norm2 returns z·z̄ = |z|² as an element of Z[√2].
+func (z BOmega) Norm2() BSqrt2 {
+	sq := func(x *big.Int) *big.Int { return new(big.Int).Mul(x, x) }
+	a := sq(z.A)
+	a.Add(a, sq(z.B))
+	a.Add(a, sq(z.C))
+	a.Add(a, sq(z.D))
+	b := new(big.Int).Mul(z.A, z.B)
+	b.Add(b, new(big.Int).Mul(z.B, z.C))
+	b.Add(b, new(big.Int).Mul(z.C, z.D))
+	b.Sub(b, new(big.Int).Mul(z.D, z.A))
+	return BSqrt2{a, b}
+}
+
+// NormZ returns the absolute rational norm N(z) = N_{Z[√2]/Z}(z·z̄) ≥ 0.
+func (z BOmega) NormZ() *big.Int {
+	n := z.Norm2().NormZ()
+	return n.Abs(n)
+}
+
+// DivisibleBySqrt2 reports whether z/√2 ∈ Z[ω].
+func (z BOmega) DivisibleBySqrt2() bool {
+	ac := new(big.Int).Sub(z.A, z.C)
+	bd := new(big.Int).Sub(z.B, z.D)
+	return ac.Bit(0) == 0 && bd.Bit(0) == 0
+}
+
+// DivSqrt2 returns z/√2 (caller ensures divisibility).
+func (z BOmega) DivSqrt2() BOmega {
+	half := func(x *big.Int) *big.Int { return new(big.Int).Rsh(x, 1) }
+	bd := new(big.Int).Sub(z.B, z.D)
+	ac := new(big.Int).Add(z.A, z.C)
+	bpd := new(big.Int).Add(z.B, z.D)
+	ca := new(big.Int).Sub(z.C, z.A)
+	// Rsh on negative big.Ints floors, which is exact when even.
+	return BOmega{half(bd), half(ac), half(bpd), half(ca)}
+}
+
+// MulSqrt2 returns z·√2.
+func (z BOmega) MulSqrt2() BOmega {
+	return BOmega{new(big.Int).Sub(z.B, z.D), new(big.Int).Add(z.A, z.C),
+		new(big.Int).Add(z.B, z.D), new(big.Int).Sub(z.C, z.A)}
+}
+
+// Complex returns the float64 embedding (valid while coefficients fit in
+// ~2^52; gridsynth at ε ≥ 1e-9 stays far below this).
+func (z BOmega) Complex() complex128 {
+	a, _ := new(big.Float).SetInt(z.A).Float64()
+	b, _ := new(big.Float).SetInt(z.B).Float64()
+	c, _ := new(big.Float).SetInt(z.C).Float64()
+	d, _ := new(big.Float).SetInt(z.D).Float64()
+	return complex(a+(b-d)/Sqrt2, c+(b+d)/Sqrt2)
+}
+
+// String renders z for debugging.
+func (z BOmega) String() string {
+	return fmt.Sprintf("(%v%+vω%+vω²%+vω³)", z.A, z.B, z.C, z.D)
+}
+
+// EuclideanDiv returns q, r with z = q·w + r, choosing q near z/w in Q[ω]
+// by coefficient-wise rounding. Coefficient rounding alone does not always
+// give N(r) < N(w) in Z[ω], so neighbors of the rounded quotient are also
+// tried and the smallest-norm remainder wins.
+func EuclideanDiv(z, w BOmega) (q, r BOmega) {
+	// z/w = z·w̄·(w·w̄)• / N(w), with N(w) = N(w·w̄) ∈ Z, positive since
+	// w·w̄ is totally positive.
+	ww := w.Norm2()        // w·w̄ ∈ Z[√2]
+	n := ww.NormZ()        // ∈ Z, > 0 for w ≠ 0
+	num := z.Mul(w.Conj()) // z·w̄
+	num = num.Mul(BOmegaFromBSqrt2(ww.Bullet()))
+	nearest := func(x *big.Int) *big.Int {
+		// Truncated quotient is within 1 of the nearest integer.
+		q0 := new(big.Int).Quo(x, n)
+		best := new(big.Int).Set(q0)
+		bestErr := new(big.Int).Abs(new(big.Int).Sub(x, new(big.Int).Mul(best, n)))
+		for _, delta := range []int64{-1, 1} {
+			cand := new(big.Int).Add(q0, big.NewInt(delta))
+			err := new(big.Int).Abs(new(big.Int).Sub(x, new(big.Int).Mul(cand, n)))
+			if err.Cmp(bestErr) < 0 {
+				best, bestErr = cand, err
+			}
+		}
+		return best
+	}
+	q = BOmega{nearest(num.A), nearest(num.B), nearest(num.C), nearest(num.D)}
+	r = z.Sub(q.Mul(w))
+	if r.IsZero() || r.NormZ().Cmp(w.NormZ()) < 0 {
+		return q, r
+	}
+	// Rescue: scan the 3^4 neighborhood of q for a norm-decreasing remainder.
+	bestQ, bestR := q, r
+	bestN := r.NormZ()
+	for da := int64(-1); da <= 1; da++ {
+		for db := int64(-1); db <= 1; db++ {
+			for dc := int64(-1); dc <= 1; dc++ {
+				for dd := int64(-1); dd <= 1; dd++ {
+					cand := q.Add(NewBOmega(da, db, dc, dd))
+					cr := z.Sub(cand.Mul(w))
+					if cn := cr.NormZ(); cn.Cmp(bestN) < 0 {
+						bestQ, bestR, bestN = cand, cr, cn
+					}
+				}
+			}
+		}
+	}
+	return bestQ, bestR
+}
+
+// GCD returns a greatest common divisor of z and w in Z[ω] (unique up to
+// units), via the Euclidean algorithm. If division ever fails to shrink the
+// norm (possible only through a rounding pathology), the current candidate
+// is returned; callers that need certainty verify divisibility afterwards.
+func GCD(z, w BOmega) BOmega {
+	a, b := z.Clone(), w.Clone()
+	for !b.IsZero() {
+		_, r := EuclideanDiv(a, b)
+		if !r.IsZero() && r.NormZ().Cmp(b.NormZ()) >= 0 {
+			return b
+		}
+		a, b = b, r
+	}
+	return a
+}
+
+// DivExactOmega returns z/w when w exactly divides z in Z[ω].
+func DivExactOmega(z, w BOmega) (BOmega, bool) {
+	q, r := EuclideanDiv(z, w)
+	if !r.IsZero() {
+		return BOmega{}, false
+	}
+	return q, true
+}

@@ -1,0 +1,315 @@
+package ring
+
+import (
+	"math/cmplx"
+	"math/rand"
+	"testing"
+	"testing/quick"
+
+	"repro/internal/qmat"
+)
+
+func randZOmega(r *rand.Rand, bound int64) ZOmega {
+	f := func() int64 { return r.Int63n(2*bound+1) - bound }
+	return ZOmega{f(), f(), f(), f()}
+}
+
+func TestZOmegaEmbeddingHomomorphism(t *testing.T) {
+	rng := rand.New(rand.NewSource(1))
+	f := func(seed int64) bool {
+		r := rand.New(rand.NewSource(seed))
+		z, w := randZOmega(r, 50), randZOmega(r, 50)
+		sum := z.Add(w).Complex()
+		if cmplx.Abs(sum-(z.Complex()+w.Complex())) > 1e-9 {
+			return false
+		}
+		prod := z.Mul(w).Complex()
+		if cmplx.Abs(prod-z.Complex()*w.Complex()) > 1e-6 {
+			return false
+		}
+		if cmplx.Abs(z.Conj().Complex()-cmplx.Conj(z.Complex())) > 1e-9 {
+			return false
+		}
+		if cmplx.Abs(z.MulOmega().Complex()-z.Complex()*cmplx.Exp(complex(0, 0.7853981633974483))) > 1e-9 {
+			return false
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 500, Rand: rng}); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestZOmegaNorm2(t *testing.T) {
+	rng := rand.New(rand.NewSource(2))
+	for i := 0; i < 500; i++ {
+		z := randZOmega(rng, 30)
+		n := z.Norm2()
+		want := cmplx.Abs(z.Complex())
+		got := n.Float()
+		if got < 0 || abs(got-want*want) > 1e-6*(1+want*want) {
+			t.Fatalf("Norm2(%v) = %v (%v), want |z|² = %v", z, n, got, want*want)
+		}
+	}
+}
+
+func TestSqrt2Divisibility(t *testing.T) {
+	rng := rand.New(rand.NewSource(3))
+	for i := 0; i < 500; i++ {
+		z := randZOmega(rng, 30)
+		m := z.MulSqrt2()
+		if !m.DivisibleBySqrt2() {
+			t.Fatalf("z·√2 should be divisible by √2: %v", m)
+		}
+		back := m.DivSqrt2()
+		if back != z {
+			t.Fatalf("(z·√2)/√2 = %v, want %v", back, z)
+		}
+		if cmplx.Abs(m.Complex()-z.Complex()*complex(Sqrt2, 0)) > 1e-9 {
+			t.Fatal("MulSqrt2 embedding mismatch")
+		}
+	}
+}
+
+func TestBulletIsRingAutomorphism(t *testing.T) {
+	rng := rand.New(rand.NewSource(4))
+	for i := 0; i < 300; i++ {
+		z, w := randZOmega(rng, 40), randZOmega(rng, 40)
+		if z.Mul(w).Bullet() != z.Bullet().Mul(w.Bullet()) {
+			t.Fatal("bullet not multiplicative")
+		}
+		if z.Add(w).Bullet() != z.Bullet().Add(w.Bullet()) {
+			t.Fatal("bullet not additive")
+		}
+		if z.Bullet().Bullet() != z {
+			t.Fatal("bullet not involutive")
+		}
+	}
+	// √2• = −√2, i• = i.
+	s2 := ZSqrt2{0, 1}.ToZOmega()
+	if s2.Bullet() != s2.Neg() {
+		t.Error("√2• ≠ −√2")
+	}
+	i := OmegaUnit(2)
+	if i.Bullet() != i {
+		t.Error("i• ≠ i")
+	}
+}
+
+func TestZSqrt2Arithmetic(t *testing.T) {
+	rng := rand.New(rand.NewSource(5))
+	for i := 0; i < 300; i++ {
+		x := ZSqrt2{rng.Int63n(200) - 100, rng.Int63n(200) - 100}
+		y := ZSqrt2{rng.Int63n(200) - 100, rng.Int63n(200) - 100}
+		if abs(x.Mul(y).Float()-x.Float()*y.Float()) > 1e-6 {
+			t.Fatal("ZSqrt2 Mul embedding mismatch")
+		}
+		if x.NormZ() != x.Mul(x.Bullet()).A || x.Mul(x.Bullet()).B != 0 {
+			t.Fatal("NormZ ≠ x·x•")
+		}
+	}
+	if Lambda.Mul(LambdaInv) != (ZSqrt2{1, 0}) {
+		t.Error("λ·λ⁻¹ ≠ 1")
+	}
+	if Lambda.Mul(Lambda.Bullet()) != (ZSqrt2{-1, 0}) {
+		t.Error("λ·λ• ≠ −1")
+	}
+}
+
+func TestUMatGatesMatchNumeric(t *testing.T) {
+	cases := []struct {
+		name string
+		u    UMat
+		m    qmat.M2
+	}{
+		{"I", UIdentity(), qmat.I2()},
+		{"T", UGateT(), qmat.T()},
+		{"Tdg", UGateTdg(), qmat.Tdg()},
+		{"S", UGateS(), qmat.S()},
+		{"Sdg", UGateSdg(), qmat.Sdg()},
+		{"X", UGateX(), qmat.X},
+		{"Y", UGateY(), qmat.Y},
+		{"Z", UGateZ(), qmat.Z},
+		{"H", UGateH(), qmat.H()},
+	}
+	for _, c := range cases {
+		if !qmat.ApproxEqual(c.u.Complex(), c.m, 1e-12) {
+			t.Errorf("%s: exact %v ≠ numeric %v", c.name, c.u.Complex(), c.m)
+		}
+	}
+}
+
+func TestUMatMulMatchesNumeric(t *testing.T) {
+	gatesU := []UMat{UGateT(), UGateS(), UGateH(), UGateX(), UGateY(), UGateZ()}
+	gatesM := []qmat.M2{qmat.T(), qmat.S(), qmat.H(), qmat.X, qmat.Y, qmat.Z}
+	rng := rand.New(rand.NewSource(6))
+	for trial := 0; trial < 200; trial++ {
+		u := UIdentity()
+		m := qmat.I2()
+		for i := 0; i < 12; i++ {
+			g := rng.Intn(len(gatesU))
+			u = u.Mul(gatesU[g])
+			m = qmat.Mul(m, gatesM[g])
+		}
+		if !qmat.ApproxEqual(u.Complex(), m, 1e-9) {
+			t.Fatalf("exact product diverged from numeric at trial %d", trial)
+		}
+		if u.K > 0 && u.E[0][0].DivisibleBySqrt2() && u.E[0][1].DivisibleBySqrt2() &&
+			u.E[1][0].DivisibleBySqrt2() && u.E[1][1].DivisibleBySqrt2() {
+			t.Fatal("UMat not reduced after Mul")
+		}
+	}
+}
+
+func TestCanonicalKeyPhaseInvariance(t *testing.T) {
+	rng := rand.New(rand.NewSource(7))
+	gatesU := []UMat{UGateT(), UGateS(), UGateH(), UGateX()}
+	for trial := 0; trial < 200; trial++ {
+		u := UIdentity()
+		for i := 0; i < 10; i++ {
+			u = u.Mul(gatesU[rng.Intn(len(gatesU))])
+		}
+		key := u.CanonicalKey()
+		for j := 0; j < 8; j++ {
+			if u.MulPhase(j).CanonicalKey() != key {
+				t.Fatalf("canonical key not phase invariant (j=%d)", j)
+			}
+		}
+		// A different matrix should (generically) have a different key.
+		v := u.Mul(UGateT())
+		if v.CanonicalKey() == key {
+			t.Fatal("distinct matrices share canonical key")
+		}
+	}
+}
+
+func TestBSqrt2MatchesSmall(t *testing.T) {
+	rng := rand.New(rand.NewSource(8))
+	for i := 0; i < 300; i++ {
+		x := ZSqrt2{rng.Int63n(1000) - 500, rng.Int63n(1000) - 500}
+		y := ZSqrt2{rng.Int63n(1000) - 500, rng.Int63n(1000) - 500}
+		bx, by := BSqrt2FromZSqrt2(x), BSqrt2FromZSqrt2(y)
+		if got := bx.Mul(by); got.A.Int64() != x.Mul(y).A || got.B.Int64() != x.Mul(y).B {
+			t.Fatal("BSqrt2 Mul mismatch with int64 path")
+		}
+		if bx.NormZ().Int64() != x.NormZ() {
+			t.Fatal("BSqrt2 NormZ mismatch")
+		}
+		if bx.Sign() != signFloat(x.Float()) {
+			t.Fatalf("BSqrt2 Sign mismatch for %v: %d vs %d", x, bx.Sign(), signFloat(x.Float()))
+		}
+	}
+}
+
+func TestBSqrt2DivExact(t *testing.T) {
+	rng := rand.New(rand.NewSource(9))
+	for i := 0; i < 200; i++ {
+		x := NewBSqrt2(rng.Int63n(100)-50, rng.Int63n(100)-50)
+		y := NewBSqrt2(rng.Int63n(20)-10, rng.Int63n(20)-10)
+		if y.IsZero() {
+			continue
+		}
+		p := x.Mul(y)
+		q, ok := p.DivExact(y)
+		if !ok || !q.Equal(x) {
+			t.Fatalf("DivExact((x·y), y) failed: x=%v y=%v got %v ok=%v", x, y, q, ok)
+		}
+	}
+	// Non-divisible case.
+	if _, ok := NewBSqrt2(1, 0).DivExact(NewBSqrt2(0, 1)); ok {
+		t.Error("1/√2 should not divide exactly in Z[√2]")
+	}
+}
+
+func TestPowLambda(t *testing.T) {
+	for j := -6; j <= 6; j++ {
+		l := PowLambda(j)
+		want := 1.0
+		lf := 1 + Sqrt2
+		for i := 0; i < j; i++ {
+			want *= lf
+		}
+		for i := 0; i < -j; i++ {
+			want /= lf
+		}
+		if abs(l.Float()-want) > 1e-9*want {
+			t.Errorf("λ^%d = %v, want %v", j, l.Float(), want)
+		}
+	}
+}
+
+func TestBOmegaMatchesSmall(t *testing.T) {
+	rng := rand.New(rand.NewSource(10))
+	for i := 0; i < 300; i++ {
+		z, w := randZOmega(rng, 100), randZOmega(rng, 100)
+		bz, bw := BOmegaFromZOmega(z), BOmegaFromZOmega(w)
+		prod, ok := bz.Mul(bw).ToZOmega()
+		if !ok || prod != z.Mul(w) {
+			t.Fatal("BOmega Mul mismatch with int64 path")
+		}
+		n2 := bz.Norm2()
+		if n2.A.Int64() != z.Norm2().A || n2.B.Int64() != z.Norm2().B {
+			t.Fatal("BOmega Norm2 mismatch")
+		}
+		if bz.DivisibleBySqrt2() != z.DivisibleBySqrt2() {
+			t.Fatal("divisibility mismatch")
+		}
+		if z.DivisibleBySqrt2() {
+			d, _ := bz.DivSqrt2().ToZOmega()
+			if d != z.DivSqrt2() {
+				t.Fatal("DivSqrt2 mismatch")
+			}
+		}
+	}
+}
+
+func TestEuclideanDivAndGCD(t *testing.T) {
+	rng := rand.New(rand.NewSource(11))
+	for i := 0; i < 200; i++ {
+		z := BOmegaFromZOmega(randZOmega(rng, 500))
+		w := BOmegaFromZOmega(randZOmega(rng, 50))
+		if w.IsZero() {
+			continue
+		}
+		q, r := EuclideanDiv(z, w)
+		if !q.Mul(w).Add(r).Equal(z) {
+			t.Fatal("z ≠ q·w + r")
+		}
+		if !r.IsZero() && r.NormZ().Cmp(w.NormZ()) >= 0 {
+			t.Fatalf("remainder norm not reduced: N(r)=%v N(w)=%v", r.NormZ(), w.NormZ())
+		}
+	}
+	// gcd(g·a, g·b) must be divisible by g.
+	for i := 0; i < 100; i++ {
+		g := BOmegaFromZOmega(randZOmega(rng, 5))
+		a := BOmegaFromZOmega(randZOmega(rng, 20))
+		b := BOmegaFromZOmega(randZOmega(rng, 20))
+		if g.IsZero() || a.IsZero() || b.IsZero() {
+			continue
+		}
+		d := GCD(g.Mul(a), g.Mul(b))
+		if d.IsZero() {
+			continue
+		}
+		if _, ok := DivExactOmega(d, g); !ok {
+			t.Fatalf("gcd(g·a, g·b) = %v not divisible by g = %v", d, g)
+		}
+	}
+}
+
+func abs(x float64) float64 {
+	if x < 0 {
+		return -x
+	}
+	return x
+}
+
+func signFloat(x float64) int {
+	switch {
+	case x > 0:
+		return 1
+	case x < 0:
+		return -1
+	}
+	return 0
+}

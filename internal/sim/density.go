@@ -1,0 +1,181 @@
+package sim
+
+import (
+	"math/cmplx"
+
+	"repro/internal/circuit"
+	"repro/internal/qmat"
+)
+
+// Density is a density matrix on N qubits (row-major 2^N × 2^N).
+type Density struct {
+	N   int
+	Rho []complex128
+	dim int
+}
+
+// NewDensity returns |0…0⟩⟨0…0| on n qubits (n ≤ 12 practical).
+func NewDensity(n int) *Density {
+	dim := 1 << uint(n)
+	d := &Density{N: n, Rho: make([]complex128, dim*dim), dim: dim}
+	d.Rho[0] = 1
+	return d
+}
+
+// DensityFromState returns |ψ⟩⟨ψ|.
+func DensityFromState(s *State) *Density {
+	dim := len(s.Amp)
+	d := &Density{N: s.N, Rho: make([]complex128, dim*dim), dim: dim}
+	for i := 0; i < dim; i++ {
+		for j := 0; j < dim; j++ {
+			d.Rho[i*dim+j] = s.Amp[i] * cmplx.Conj(s.Amp[j])
+		}
+	}
+	return d
+}
+
+// apply1QLeft computes ρ ← (M ⊗ rest)·ρ for a 1q gate on qubit q.
+func (d *Density) apply1QLeft(q int, m qmat.M2) {
+	bit := 1 << uint(q)
+	for col := 0; col < d.dim; col++ {
+		for row := 0; row < d.dim; row++ {
+			if row&bit != 0 {
+				continue
+			}
+			r2 := row | bit
+			a0, a1 := d.Rho[row*d.dim+col], d.Rho[r2*d.dim+col]
+			d.Rho[row*d.dim+col] = m[0][0]*a0 + m[0][1]*a1
+			d.Rho[r2*d.dim+col] = m[1][0]*a0 + m[1][1]*a1
+		}
+	}
+}
+
+// apply1QRight computes ρ ← ρ·(M† ⊗ rest).
+func (d *Density) apply1QRight(q int, m qmat.M2) {
+	bit := 1 << uint(q)
+	md := qmat.Dagger(m)
+	for row := 0; row < d.dim; row++ {
+		base := row * d.dim
+		for col := 0; col < d.dim; col++ {
+			if col&bit != 0 {
+				continue
+			}
+			c2 := col | bit
+			a0, a1 := d.Rho[base+col], d.Rho[base+c2]
+			d.Rho[base+col] = a0*md[0][0] + a1*md[1][0]
+			d.Rho[base+c2] = a0*md[0][1] + a1*md[1][1]
+		}
+	}
+}
+
+// ApplyUnitary1Q applies ρ ← MρM† on qubit q.
+func (d *Density) ApplyUnitary1Q(q int, m qmat.M2) {
+	d.apply1QLeft(q, m)
+	d.apply1QRight(q, m)
+}
+
+// ApplyCX applies the two-qubit unitary conjugation for CX.
+func (d *Density) ApplyCX(ctl, tgt int) {
+	cb, tb := 1<<uint(ctl), 1<<uint(tgt)
+	// Left multiply: swap rows.
+	for row := 0; row < d.dim; row++ {
+		if row&cb != 0 && row&tb == 0 {
+			r2 := row | tb
+			for col := 0; col < d.dim; col++ {
+				d.Rho[row*d.dim+col], d.Rho[r2*d.dim+col] = d.Rho[r2*d.dim+col], d.Rho[row*d.dim+col]
+			}
+		}
+	}
+	// Right multiply: swap columns.
+	for col := 0; col < d.dim; col++ {
+		if col&cb != 0 && col&tb == 0 {
+			c2 := col | tb
+			for row := 0; row < d.dim; row++ {
+				d.Rho[row*d.dim+col], d.Rho[row*d.dim+c2] = d.Rho[row*d.dim+c2], d.Rho[row*d.dim+col]
+			}
+		}
+	}
+}
+
+// ApplyCZ applies the CZ conjugation.
+func (d *Density) ApplyCZ(a, b int) {
+	ab, bb := 1<<uint(a), 1<<uint(b)
+	for row := 0; row < d.dim; row++ {
+		for col := 0; col < d.dim; col++ {
+			sign := 1.0
+			if row&ab != 0 && row&bb != 0 {
+				sign = -sign
+			}
+			if col&ab != 0 && col&bb != 0 {
+				sign = -sign
+			}
+			if sign < 0 {
+				d.Rho[row*d.dim+col] = -d.Rho[row*d.dim+col]
+			}
+		}
+	}
+}
+
+// ApplyDepolarizing applies the single-qubit depolarizing channel with
+// probability p: ρ ← (1−p)ρ + (p/3)(XρX + YρY + ZρZ).
+func (d *Density) ApplyDepolarizing(q int, p float64) {
+	if p <= 0 {
+		return
+	}
+	orig := append([]complex128(nil), d.Rho...)
+	acc := make([]complex128, len(d.Rho))
+	for i, v := range orig {
+		acc[i] = complex(1-p, 0) * v
+	}
+	for pi := 1; pi <= 3; pi++ {
+		copy(d.Rho, orig)
+		d.ApplyUnitary1Q(q, pauliMats[pi])
+		for i, v := range d.Rho {
+			acc[i] += complex(p/3, 0) * v
+		}
+	}
+	copy(d.Rho, acc)
+}
+
+// RunNoisy applies a circuit under the noise model (depolarizing after each
+// noisy gate, on every qubit the gate touches).
+func (d *Density) RunNoisy(c *circuit.Circuit, nm NoiseModel) {
+	for _, op := range c.Ops {
+		switch op.G {
+		case circuit.CX:
+			d.ApplyCX(op.Q[0], op.Q[1])
+		case circuit.CZ:
+			d.ApplyCZ(op.Q[0], op.Q[1])
+		case circuit.I:
+		default:
+			d.ApplyUnitary1Q(op.Q[0], op.Matrix1Q())
+		}
+		if nm.noisy(op) {
+			d.ApplyDepolarizing(op.Q[0], nm.Rate)
+			if op.G.IsTwoQubit() {
+				d.ApplyDepolarizing(op.Q[1], nm.Rate)
+			}
+		}
+	}
+}
+
+// FidelityWithState returns ⟨ψ|ρ|ψ⟩ (real part; imaginary is zero for
+// Hermitian ρ).
+func (d *Density) FidelityWithState(s *State) float64 {
+	var acc complex128
+	for i := 0; i < d.dim; i++ {
+		for j := 0; j < d.dim; j++ {
+			acc += cmplx.Conj(s.Amp[i]) * d.Rho[i*d.dim+j] * s.Amp[j]
+		}
+	}
+	return real(acc)
+}
+
+// Trace returns Tr(ρ).
+func (d *Density) Trace() complex128 {
+	var t complex128
+	for i := 0; i < d.dim; i++ {
+		t += d.Rho[i*d.dim+i]
+	}
+	return t
+}

@@ -1,0 +1,133 @@
+package sim
+
+import (
+	"repro/internal/gates"
+	"repro/internal/qmat"
+)
+
+// PTM is the Pauli transfer matrix of a single-qubit channel: the 4x4 real
+// matrix R with R[i][j] = Tr(P_i·Λ(P_j))/2 over the Pauli basis
+// (I, X, Y, Z). Channel composition is matrix multiplication, which makes
+// long gate sequences with interleaved noise exact and cheap — the engine
+// behind the RQ2 logical-vs-synthesis-error study.
+type PTM [4][4]float64
+
+// PTMIdentity returns the identity channel.
+func PTMIdentity() PTM {
+	var r PTM
+	for i := 0; i < 4; i++ {
+		r[i][i] = 1
+	}
+	return r
+}
+
+// PTMFromUnitary returns the PTM of ρ ↦ UρU†.
+func PTMFromUnitary(u qmat.M2) PTM {
+	var r PTM
+	ud := qmat.Dagger(u)
+	for j := 0; j < 4; j++ {
+		// Λ(P_j) = U·P_j·U†.
+		m := qmat.MulAll(u, pauliMats[j], ud)
+		for i := 0; i < 4; i++ {
+			r[i][j] = real(qmat.Trace(qmat.Mul(pauliMats[i], m))) / 2
+		}
+	}
+	return r
+}
+
+// PTMDepolarizing returns the depolarizing channel with probability p.
+func PTMDepolarizing(p float64) PTM {
+	var r PTM
+	r[0][0] = 1
+	s := 1 - 4*p/3
+	r[1][1], r[2][2], r[3][3] = s, s, s
+	return r
+}
+
+// Mul returns a·b (channel b applied first).
+func (a PTM) Mul(b PTM) PTM {
+	var r PTM
+	for i := 0; i < 4; i++ {
+		for k := 0; k < 4; k++ {
+			if a[i][k] == 0 {
+				continue
+			}
+			for j := 0; j < 4; j++ {
+				r[i][j] += a[i][k] * b[k][j]
+			}
+		}
+	}
+	return r
+}
+
+// ProcessFidelity returns the process (entanglement) fidelity between the
+// channel and the target unitary: F_pro = Tr(R_U^T · R_Λ)/4 for qubits.
+func ProcessFidelity(target qmat.M2, channel PTM) float64 {
+	ru := PTMFromUnitary(target)
+	s := 0.0
+	for i := 0; i < 4; i++ {
+		for j := 0; j < 4; j++ {
+			s += ru[i][j] * channel[i][j]
+		}
+	}
+	return s / 4
+}
+
+// SequencePTM composes the PTM of a discrete gate sequence (matrix-product
+// order, so the LAST element acts first) with depolarizing noise of rate p
+// attached to each T/T† gate (the paper's conservative logical error model:
+// Cliffords are error-free). Set p = 0 for the ideal channel.
+func SequencePTM(seq gates.Sequence, p float64) PTM {
+	r := PTMIdentity()
+	noise := PTMDepolarizing(p)
+	// Apply gates in time order: iterate the sequence from the right.
+	for i := len(seq) - 1; i >= 0; i-- {
+		g := seq[i]
+		r = PTMFromUnitary(g.M2()).Mul(r)
+		if p > 0 && g.IsT() {
+			r = noise.Mul(r)
+		}
+	}
+	return r
+}
+
+// ChoiFidelityFromStates cross-checks a PTM against density-matrix
+// simulation: it computes the process fidelity via the channel's action on
+// the four Pauli basis elements reconstructed from PTM columns. Exposed for
+// tests.
+func ChoiFidelityFromStates(target qmat.M2, channel PTM) float64 {
+	// J(Λ) = (1/2)Σ_ij |i⟩⟨j| ⊗ Λ(|i⟩⟨j|); F_pro = ⟨Φ_U|J(Λ)|Φ_U⟩ where
+	// |Φ_U⟩ = (U ⊗ I)|Φ⁺⟩. Reconstruct Λ(|i⟩⟨j|) from the PTM.
+	basisToPauli := func(i, j int) [4]complex128 {
+		// |i⟩⟨j| = Σ_k c_k P_k /2 with c_k = Tr(P_k |i⟩⟨j|) = ⟨j|P_k|i⟩.
+		var c [4]complex128
+		for k := 0; k < 4; k++ {
+			c[k] = pauliMats[k][j][i]
+		}
+		return c
+	}
+	lambdaOf := func(i, j int) qmat.M2 {
+		cin := basisToPauli(i, j)
+		var cout [4]complex128
+		for r := 0; r < 4; r++ {
+			for k := 0; k < 4; k++ {
+				cout[r] += complex(channel[r][k], 0) * cin[k]
+			}
+		}
+		var m qmat.M2
+		for k := 0; k < 4; k++ {
+			m = qmat.Add(m, qmat.Scale(cout[k]/2, pauliMats[k]))
+		}
+		return m
+	}
+	// F_pro = ⟨Φ_U|J(Λ)|Φ_U⟩ = (1/4)·Σ_ij (U†·Λ(|i⟩⟨j|)·U)[i][j].
+	var f complex128
+	ud := qmat.Dagger(target)
+	for i := 0; i < 2; i++ {
+		for j := 0; j < 2; j++ {
+			m := qmat.MulAll(ud, lambdaOf(i, j), target)
+			f += m[i][j]
+		}
+	}
+	return real(f) / 4
+}

@@ -1,0 +1,239 @@
+package sim
+
+import (
+	"math"
+	"math/cmplx"
+	"math/rand"
+	"testing"
+
+	"repro/internal/circuit"
+	"repro/internal/gates"
+	"repro/internal/qmat"
+)
+
+func bell() *circuit.Circuit {
+	c := circuit.New(2)
+	c.H(0).CX(0, 1)
+	return c
+}
+
+func TestBellState(t *testing.T) {
+	s := RunCircuit(bell())
+	want := complex(1/math.Sqrt2, 0)
+	if cmplx.Abs(s.Amp[0]-want) > 1e-12 || cmplx.Abs(s.Amp[3]-want) > 1e-12 ||
+		cmplx.Abs(s.Amp[1]) > 1e-12 || cmplx.Abs(s.Amp[2]) > 1e-12 {
+		t.Fatalf("Bell state wrong: %v", s.Amp)
+	}
+}
+
+func TestNormPreserved(t *testing.T) {
+	rng := rand.New(rand.NewSource(1))
+	c := circuit.New(4)
+	for i := 0; i < 60; i++ {
+		switch rng.Intn(4) {
+		case 0:
+			c.H(rng.Intn(4))
+		case 1:
+			c.RZ(rng.Intn(4), rng.Float64()*6)
+		case 2:
+			c.CX(rng.Intn(4), (rng.Intn(3)+1+rng.Intn(4))%4)
+		case 3:
+			c.U3Gate(rng.Intn(4), rng.Float64()*3, rng.Float64()*6, rng.Float64()*6)
+		}
+	}
+	// Fix any accidental same-qubit CX.
+	for i, op := range c.Ops {
+		if op.G == circuit.CX && op.Q[0] == op.Q[1] {
+			c.Ops[i].Q[1] = (op.Q[0] + 1) % 4
+		}
+	}
+	s := RunCircuit(c)
+	if math.Abs(s.Norm()-1) > 1e-10 {
+		t.Fatalf("norm drifted: %v", s.Norm())
+	}
+}
+
+func TestCZSymmetricAndMatchesCX(t *testing.T) {
+	// CZ = (I⊗H)·CX·(I⊗H).
+	a := circuit.New(2)
+	a.H(0).H(1).CZ(0, 1)
+	b := circuit.New(2)
+	b.H(0).H(1).H(1).CX(0, 1).H(1)
+	ua, ub := Unitary(a), Unitary(b)
+	if d := UnitaryDistance(ua, ub); d > 1e-9 {
+		t.Fatalf("CZ ≠ H·CX·H: %v", d)
+	}
+	// CZ symmetric in its qubits.
+	c1 := circuit.New(2)
+	c1.CZ(0, 1)
+	c2 := circuit.New(2)
+	c2.CZ(1, 0)
+	if d := UnitaryDistance(Unitary(c1), Unitary(c2)); d > 1e-12 {
+		t.Fatal("CZ not symmetric")
+	}
+}
+
+func TestUnitaryOfSingleGate(t *testing.T) {
+	c := circuit.New(1)
+	c.U3Gate(0, 1.1, 0.5, -0.3)
+	u := Unitary(c)
+	want := qmat.U3(1.1, 0.5, -0.3)
+	for i := 0; i < 2; i++ {
+		for j := 0; j < 2; j++ {
+			if cmplx.Abs(u[i][j]-want[i][j]) > 1e-12 {
+				t.Fatal("1q unitary mismatch")
+			}
+		}
+	}
+}
+
+func TestDensityMatchesStatevector(t *testing.T) {
+	c := circuit.New(3)
+	c.H(0).CX(0, 1).RZ(1, 0.7).CX(1, 2).U3Gate(2, 0.4, 1.0, -0.2).CZ(0, 2)
+	s := RunCircuit(c)
+	d := NewDensity(3)
+	d.RunNoisy(c, NoiseModel{})
+	ds := DensityFromState(s)
+	for i := range d.Rho {
+		if cmplx.Abs(d.Rho[i]-ds.Rho[i]) > 1e-10 {
+			t.Fatalf("density mismatch at %d", i)
+		}
+	}
+	if f := d.FidelityWithState(s); math.Abs(f-1) > 1e-10 {
+		t.Fatalf("fidelity with own state = %v", f)
+	}
+}
+
+func TestDepolarizingReducesFidelity(t *testing.T) {
+	c := circuit.New(2)
+	c.H(0).T(0).CX(0, 1).T(1).Tdg(0).CX(0, 1)
+	ideal := RunCircuit(c)
+	d := NewDensity(2)
+	nm := NoiseModel{Rate: 0.05, TGatesOnly: true}
+	d.RunNoisy(c, nm)
+	if math.Abs(real(d.Trace())-1) > 1e-9 {
+		t.Fatalf("trace not preserved: %v", d.Trace())
+	}
+	f := d.FidelityWithState(ideal)
+	if f >= 1 || f < 0.7 {
+		t.Fatalf("unexpected noisy fidelity %v", f)
+	}
+	// Trajectories must agree with the exact density matrix.
+	rng := rand.New(rand.NewSource(2))
+	mc := TrajectoryFidelity(c, nm, 30000, rng)
+	if math.Abs(mc-f) > 0.01 {
+		t.Fatalf("trajectory fidelity %v vs exact %v", mc, f)
+	}
+}
+
+func TestPTMIdentities(t *testing.T) {
+	// Unitary PTMs compose like the unitaries.
+	a, b := qmat.H(), qmat.T()
+	lhs := PTMFromUnitary(qmat.Mul(a, b))
+	rhs := PTMFromUnitary(a).Mul(PTMFromUnitary(b))
+	for i := 0; i < 4; i++ {
+		for j := 0; j < 4; j++ {
+			if math.Abs(lhs[i][j]-rhs[i][j]) > 1e-12 {
+				t.Fatal("PTM composition mismatch")
+			}
+		}
+	}
+	// Process fidelity of a channel with itself is 1.
+	if f := ProcessFidelity(qmat.T(), PTMFromUnitary(qmat.T())); math.Abs(f-1) > 1e-12 {
+		t.Fatalf("self process fidelity %v", f)
+	}
+	// Depolarizing p: F_pro = 1 − p for the identity target.
+	for _, p := range []float64{0.01, 0.1, 0.3} {
+		f := ProcessFidelity(qmat.I2(), PTMDepolarizing(p))
+		if math.Abs(f-(1-p)) > 1e-12 {
+			t.Fatalf("depolarizing F_pro(%v) = %v, want %v", p, f, 1-p)
+		}
+	}
+}
+
+func TestPTMAgainstChoi(t *testing.T) {
+	rng := rand.New(rand.NewSource(3))
+	for i := 0; i < 20; i++ {
+		u := qmat.HaarRandom(rng)
+		ch := PTMFromUnitary(qmat.HaarRandom(rng)).Mul(PTMDepolarizing(0.1 * rng.Float64()))
+		f1 := ProcessFidelity(u, ch)
+		f2 := ChoiFidelityFromStates(u, ch)
+		if math.Abs(f1-f2) > 1e-9 {
+			t.Fatalf("PTM fidelity %v vs Choi fidelity %v", f1, f2)
+		}
+	}
+}
+
+func TestSequencePTM(t *testing.T) {
+	seq := gates.Sequence{gates.H, gates.T, gates.S, gates.H, gates.Tdg}
+	// Noise-free: PTM must equal the PTM of the sequence product.
+	got := SequencePTM(seq, 0)
+	want := PTMFromUnitary(seq.Matrix())
+	for i := 0; i < 4; i++ {
+		for j := 0; j < 4; j++ {
+			if math.Abs(got[i][j]-want[i][j]) > 1e-12 {
+				t.Fatal("SequencePTM noise-free mismatch")
+			}
+		}
+	}
+	// With noise on T gates only: fidelity ≈ 1 − (4/3)·p·#T·(1 − small).
+	p := 1e-3
+	f := ProcessFidelity(seq.Matrix(), SequencePTM(seq, p))
+	expected := 1 - 2*p // 2 T gates, each costing ~p
+	if math.Abs(f-expected) > 3*p {
+		t.Fatalf("noisy sequence fidelity %v, expected ≈ %v", f, expected)
+	}
+}
+
+func TestUnitaryDistanceSelf(t *testing.T) {
+	c := bell()
+	u := Unitary(c)
+	if d := UnitaryDistance(u, u); d > 1e-7 {
+		t.Fatalf("self distance %v", d)
+	}
+}
+
+// TestImportanceFidelityAgreesWithExact: the conditioned estimator must
+// match the exact density matrix at moderate rates.
+func TestImportanceFidelityAgreesWithExact(t *testing.T) {
+	c := circuit.New(2)
+	c.H(0).T(0).CX(0, 1).T(1).Tdg(0).CX(0, 1).H(1).T(1)
+	nm := NoiseModel{Rate: 0.02, TGatesOnly: false}
+	d := NewDensity(2)
+	d.RunNoisy(c, nm)
+	exact := d.FidelityWithState(RunCircuit(c))
+	rng := rand.New(rand.NewSource(7))
+	est := ImportanceFidelity(c, nm, 20000, rng)
+	if math.Abs(est-exact) > 0.004 {
+		t.Fatalf("importance fidelity %v vs exact %v", est, exact)
+	}
+}
+
+// TestImportanceFidelityTinyRates: at tiny rates the infidelity must track
+// ~(4/3)·p·L to within sampling error (single-error regime) — and be far
+// less noisy than the infidelity itself.
+func TestImportanceFidelityTinyRates(t *testing.T) {
+	c := circuit.New(2)
+	for i := 0; i < 10; i++ {
+		c.H(0).T(0).CX(0, 1).T(1)
+	}
+	nm := NoiseModel{Rate: 1e-5, TGatesOnly: true}
+	rng := rand.New(rand.NewSource(8))
+	f := ImportanceFidelity(c, nm, 4000, rng)
+	infid := 1 - f
+	if infid <= 0 || infid > 1e-3 {
+		t.Fatalf("implausible tiny-rate infidelity %v", infid)
+	}
+	// 20 T locations at 1e-5 → P(≥1 error) ≈ 2e-4; most single Pauli
+	// errors hurt, so infidelity within [2e-5, 2e-4].
+	if infid < 2e-5 || infid > 2.5e-4 {
+		t.Fatalf("tiny-rate infidelity %v outside expected window", infid)
+	}
+}
+
+func TestImportanceFidelityNoNoise(t *testing.T) {
+	c := bell()
+	if f := ImportanceFidelity(c, NoiseModel{}, 100, rand.New(rand.NewSource(9))); f != 1 {
+		t.Fatalf("noise-free fidelity %v", f)
+	}
+}

@@ -1,0 +1,179 @@
+// Package sk implements the Solovay–Kitaev algorithm (Dawson–Nielsen
+// formulation) as a historical baseline (§2.3): recursive approximation of
+// SU(2) targets by Clifford+T words via balanced group commutators.
+// Sequence lengths grow as O(log^c(1/ε)) with c ≈ 3.97 — far from the
+// information-theoretic bound that gridsynth and trasyn approach, which is
+// exactly the paper's motivation for abandoning it.
+package sk
+
+import (
+	"math"
+	"math/cmplx"
+
+	"repro/internal/gates"
+	"repro/internal/qmat"
+)
+
+// Engine holds the base ε₀-net (from the step-0 enumeration) and caches.
+type Engine struct {
+	table *gates.Table
+	base  []*gates.Entry
+}
+
+// NewEngine builds an engine over the given enumeration table; larger
+// tables give a finer base net and faster convergence.
+func NewEngine(table *gates.Table) *Engine {
+	return &Engine{table: table, base: table.Collect(0, table.MaxT)}
+}
+
+// baseApprox returns the best table entry for u (exhaustive scan).
+func (e *Engine) baseApprox(u qmat.M2) gates.Sequence {
+	var best *gates.Entry
+	bestD := math.Inf(1)
+	for _, entry := range e.base {
+		if d := qmat.Distance(u, entry.M); d < bestD {
+			best, bestD = entry, d
+		}
+	}
+	return best.Sequence()
+}
+
+// Synthesize runs `depth` levels of Solovay–Kitaev recursion.
+func (e *Engine) Synthesize(u qmat.M2, depth int) (gates.Sequence, float64) {
+	seq := e.recurse(toSU2(u), depth)
+	return seq, qmat.Distance(u, seq.Matrix())
+}
+
+func (e *Engine) recurse(u qmat.M2, depth int) gates.Sequence {
+	if depth == 0 {
+		return e.baseApprox(u)
+	}
+	prev := e.recurse(u, depth-1)
+	uPrev := toSU2(prev.Matrix())
+	// Δ = U·U_{n-1}†, a small rotation to be expressed as a balanced group
+	// commutator Δ = V·W·V†·W†.
+	delta := toSU2(qmat.Mul(u, qmat.Dagger(uPrev)))
+	v, w := balancedCommutator(delta)
+	vSeq := e.recurse(v, depth-1)
+	wSeq := e.recurse(w, depth-1)
+	out := make(gates.Sequence, 0, 2*len(vSeq)+2*len(wSeq)+len(prev))
+	out = append(out, vSeq...)
+	out = append(out, wSeq...)
+	out = append(out, vSeq.Adjoint()...)
+	out = append(out, wSeq.Adjoint()...)
+	out = append(out, prev...)
+	return out
+}
+
+// toSU2 normalizes a unitary to determinant +1.
+func toSU2(u qmat.M2) qmat.M2 {
+	det := qmat.Det(u)
+	ph := cmplx.Sqrt(det)
+	if cmplx.Abs(ph) < 1e-300 {
+		return u
+	}
+	return qmat.Scale(1/ph, u)
+}
+
+// axisAngle extracts the rotation axis (unit 3-vector) and angle of an
+// SU(2) element U = cos(θ/2)·I − i·sin(θ/2)·(n̂·σ).
+func axisAngle(u qmat.M2) (axis [3]float64, theta float64) {
+	c := real(qmat.Trace(u)) / 2
+	if c > 1 {
+		c = 1
+	}
+	if c < -1 {
+		c = -1
+	}
+	theta = 2 * math.Acos(c)
+	s := math.Sin(theta / 2)
+	if math.Abs(s) < 1e-14 {
+		return [3]float64{0, 0, 1}, theta
+	}
+	// u = c·I − i·s·(n_x X + n_y Y + n_z Z).
+	nx := -imag(u[0][1]+u[1][0]) / (2 * s)
+	ny := real(u[1][0]-u[0][1]) / (2 * s)
+	nz := -imag(u[0][0]-u[1][1]) / (2 * s)
+	n := math.Sqrt(nx*nx + ny*ny + nz*nz)
+	if n < 1e-14 {
+		return [3]float64{0, 0, 1}, theta
+	}
+	return [3]float64{nx / n, ny / n, nz / n}, theta
+}
+
+// rotation builds the SU(2) rotation about the given axis by angle theta.
+func rotation(axis [3]float64, theta float64) qmat.M2 {
+	c := complex(math.Cos(theta/2), 0)
+	s := math.Sin(theta / 2)
+	// cos·I − i·sin·(n̂·σ)
+	return qmat.M2{
+		{c - 1i*complex(s*axis[2], 0), complex(-s*axis[1], 0) - 1i*complex(s*axis[0], 0)},
+		{complex(s*axis[1], 0) - 1i*complex(s*axis[0], 0), c + 1i*complex(s*axis[2], 0)},
+	}
+}
+
+// balancedCommutator factors a small rotation Δ (angle θ) into V·W·V†·W†
+// with V, W rotations by φ where sin(θ/2) = sin²(φ/2)·… (Dawson–Nielsen):
+// choose V, W as x- and y-rotations by φ, compute the commutator's actual
+// axis, and conjugate so the commutator matches Δ's axis exactly.
+func balancedCommutator(delta qmat.M2) (v, w qmat.M2) {
+	_, theta := axisAngle(delta)
+	// Solve for φ with commutator angle exactly θ by bisection (the
+	// leading-order relation sin(θ/2) = 2·sin²(φ/2) seeds the bracket).
+	commAngle := func(phi float64) float64 {
+		vx := rotation([3]float64{1, 0, 0}, phi)
+		wy := rotation([3]float64{0, 1, 0}, phi)
+		_, a := axisAngle(qmat.MulAll(vx, wy, qmat.Dagger(vx), qmat.Dagger(wy)))
+		return a
+	}
+	lo, hi := 0.0, math.Pi
+	for iter := 0; iter < 60; iter++ {
+		mid := (lo + hi) / 2
+		if commAngle(mid) < theta {
+			lo = mid
+		} else {
+			hi = mid
+		}
+	}
+	phi := (lo + hi) / 2
+	vx := rotation([3]float64{1, 0, 0}, phi)
+	wy := rotation([3]float64{0, 1, 0}, phi)
+	comm := qmat.MulAll(vx, wy, qmat.Dagger(vx), qmat.Dagger(wy))
+	// Similarity transform S maps comm's axis onto delta's axis:
+	// Δ = S·comm·S† with S = R(axis_comm → axis_delta).
+	s := axisAligner(comm, delta)
+	return qmat.MulAll(s, vx, qmat.Dagger(s)), qmat.MulAll(s, wy, qmat.Dagger(s))
+}
+
+// axisAligner returns an SU(2) element rotating a's axis onto b's axis.
+func axisAligner(a, b qmat.M2) qmat.M2 {
+	axA, _ := axisAngle(a)
+	axB, _ := axisAngle(b)
+	// Rotation axis = axA × axB, angle = angle between them.
+	cross := [3]float64{
+		axA[1]*axB[2] - axA[2]*axB[1],
+		axA[2]*axB[0] - axA[0]*axB[2],
+		axA[0]*axB[1] - axA[1]*axB[0],
+	}
+	dot := axA[0]*axB[0] + axA[1]*axB[1] + axA[2]*axB[2]
+	if dot > 1 {
+		dot = 1
+	}
+	if dot < -1 {
+		dot = -1
+	}
+	norm := math.Sqrt(cross[0]*cross[0] + cross[1]*cross[1] + cross[2]*cross[2])
+	if norm < 1e-12 {
+		if dot > 0 {
+			return qmat.I2()
+		}
+		// Opposite axes: rotate π about any perpendicular axis.
+		perp := [3]float64{1, 0, 0}
+		if math.Abs(axA[0]) > 0.9 {
+			perp = [3]float64{0, 1, 0}
+		}
+		return rotation(perp, math.Pi)
+	}
+	angle := math.Atan2(norm, dot)
+	return rotation([3]float64{cross[0] / norm, cross[1] / norm, cross[2] / norm}, angle)
+}

@@ -1,0 +1,99 @@
+package sk
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+
+	"repro/internal/gates"
+	"repro/internal/qmat"
+)
+
+func TestAxisAngleRoundTrip(t *testing.T) {
+	rng := rand.New(rand.NewSource(1))
+	for i := 0; i < 200; i++ {
+		axis := [3]float64{rng.NormFloat64(), rng.NormFloat64(), rng.NormFloat64()}
+		n := math.Sqrt(axis[0]*axis[0] + axis[1]*axis[1] + axis[2]*axis[2])
+		if n < 1e-9 {
+			continue
+		}
+		for k := range axis {
+			axis[k] /= n
+		}
+		theta := rng.Float64() * 3
+		u := rotation(axis, theta)
+		if !qmat.IsUnitary(u, 1e-12) {
+			t.Fatal("rotation not unitary")
+		}
+		ax, th := axisAngle(u)
+		if math.Abs(th-theta) > 1e-9 {
+			t.Fatalf("angle %v != %v", th, theta)
+		}
+		dot := ax[0]*axis[0] + ax[1]*axis[1] + ax[2]*axis[2]
+		if dot < 1-1e-9 {
+			t.Fatalf("axis mismatch: dot=%v", dot)
+		}
+	}
+}
+
+// TestBalancedCommutator: the commutator of the returned V, W must
+// approximate delta for small angles.
+func TestBalancedCommutator(t *testing.T) {
+	rng := rand.New(rand.NewSource(2))
+	for i := 0; i < 100; i++ {
+		axis := [3]float64{rng.NormFloat64(), rng.NormFloat64(), rng.NormFloat64()}
+		n := math.Sqrt(axis[0]*axis[0] + axis[1]*axis[1] + axis[2]*axis[2])
+		for k := range axis {
+			axis[k] /= n
+		}
+		theta := 0.05 + rng.Float64()*0.1
+		delta := rotation(axis, theta)
+		v, w := balancedCommutator(delta)
+		comm := qmat.MulAll(v, w, qmat.Dagger(v), qmat.Dagger(w))
+		if d := qmat.Distance(delta, comm); d > 0.02 {
+			t.Fatalf("commutator distance %v for theta=%v", d, theta)
+		}
+	}
+}
+
+// TestSKConverges: error must decrease with recursion depth (the defining
+// property), and depth-0 must match the base net quality.
+func TestSKConverges(t *testing.T) {
+	eng := NewEngine(gates.Shared(4))
+	rng := rand.New(rand.NewSource(3))
+	improvedCount := 0
+	const trials = 6
+	for i := 0; i < trials; i++ {
+		u := qmat.HaarRandom(rng)
+		_, e0 := eng.Synthesize(u, 0)
+		_, e2 := eng.Synthesize(u, 2)
+		if e2 < e0 {
+			improvedCount++
+		}
+	}
+	if improvedCount < trials-1 {
+		t.Fatalf("SK depth 2 improved on depth 0 only %d/%d times", improvedCount, trials)
+	}
+}
+
+// TestSKSequenceRealizesError.
+func TestSKSequenceRealizesError(t *testing.T) {
+	eng := NewEngine(gates.Shared(4))
+	u := qmat.HaarRandom(rand.New(rand.NewSource(4)))
+	seq, err := eng.Synthesize(u, 1)
+	if d := qmat.Distance(u, seq.Matrix()); math.Abs(d-err) > 1e-9 {
+		t.Fatalf("reported %v realized %v", err, d)
+	}
+}
+
+// TestSKLengthBlowup: sequence length must grow much faster than
+// gridsynth's for comparable error — the motivating weakness (§2.3).
+func TestSKLengthBlowup(t *testing.T) {
+	eng := NewEngine(gates.Shared(3))
+	u := qmat.HaarRandom(rand.New(rand.NewSource(5)))
+	s0, _ := eng.Synthesize(u, 0)
+	s2, _ := eng.Synthesize(u, 2)
+	if len(s2) < 5*len(s0) {
+		t.Fatalf("expected ~25x length growth at depth 2: %d vs %d", len(s2), len(s0))
+	}
+}

@@ -1,0 +1,190 @@
+package suite
+
+import (
+	"repro/internal/circuit"
+)
+
+// Category labels benchmarks the way the paper's Figure 10 groups them.
+type Category string
+
+// Benchmark categories.
+const (
+	CatQAOA         Category = "qaoa"
+	CatHamQuantum   Category = "quantum-hamiltonian"
+	CatHamClassical Category = "classical-hamiltonian"
+	CatFTAlgorithm  Category = "ft-algorithm"
+)
+
+// Benchmark is one suite entry.
+type Benchmark struct {
+	Name     string
+	Category Category
+	Dataset  string // benchpress | hamlib | qaoa (Table 2 grouping)
+	Circuit  *circuit.Circuit
+}
+
+// Suite generates the full 187-circuit corpus:
+//   - 60 QAOA MaxCut circuits (depths 1–5 × 12 sizes, 4–26 qubits),
+//   - 60 Hamlib-style Hamiltonian circuits (6 families × 10 sizes),
+//   - 67 Benchpress/QASMBench-style algorithm circuits.
+//
+// Everything is generated deterministically from fixed seeds.
+func Suite() []Benchmark {
+	var out []Benchmark
+
+	// --- QAOA: depths 1..5, qubits 4..26 step 2 (12 sizes) → 60.
+	for depth := 1; depth <= 5; depth++ {
+		for n := 4; n <= 26; n += 2 {
+			out = append(out, Benchmark{
+				Name:     fmtName("qaoa_maxcut", n, "p", depth),
+				Category: CatQAOA,
+				Dataset:  "qaoa",
+				Circuit:  QAOAMaxCut(n, depth, int64(n*100+depth)),
+			})
+		}
+	}
+
+	// --- Hamlib-style: 6 families × 10 sizes → 60.
+	sizes := []int{4, 5, 6, 7, 8, 9, 10, 11, 12, 14}
+	for _, n := range sizes {
+		out = append(out, Benchmark{
+			Name: fmtName("tfim", n), Category: CatHamQuantum, Dataset: "hamlib",
+			Circuit: TFIM(n, 1.0, 0.7).EvolutionCircuit(0.5, 2),
+		})
+	}
+	for _, n := range sizes {
+		out = append(out, Benchmark{
+			Name: fmtName("heisenberg", n), Category: CatHamQuantum, Dataset: "hamlib",
+			Circuit: Heisenberg(n, 1.0).EvolutionCircuit(0.4, 2),
+		})
+	}
+	for _, n := range sizes {
+		out = append(out, Benchmark{
+			Name: fmtName("xy", n), Category: CatHamQuantum, Dataset: "hamlib",
+			Circuit: XYChain(n, 1.0).EvolutionCircuit(0.6, 2),
+		})
+	}
+	for _, n := range sizes {
+		out = append(out, Benchmark{
+			Name: fmtName("molecular", n), Category: CatHamQuantum, Dataset: "hamlib",
+			Circuit: Molecular(n, 6*n, int64(n)).EvolutionCircuit(0.3, 1),
+		})
+	}
+	for _, n := range sizes {
+		out = append(out, Benchmark{
+			Name: fmtName("maxcut_ising", n), Category: CatHamClassical, Dataset: "hamlib",
+			Circuit: MaxCutIsing(n, int64(n*7)).EvolutionCircuit(1.2, 2),
+		})
+	}
+	for _, n := range sizes {
+		out = append(out, Benchmark{
+			Name: fmtName("spinglass", n), Category: CatHamClassical, Dataset: "hamlib",
+			Circuit: SpinGlass(n, int64(n*13)).EvolutionCircuit(0.5, 1),
+		})
+	}
+
+	// --- Benchpress/QASMBench-style: 67 circuits.
+	for n := 2; n <= 12; n++ { // 11 QFTs
+		out = append(out, Benchmark{
+			Name: fmtName("qft", n), Category: CatFTAlgorithm, Dataset: "benchpress",
+			Circuit: QFT(n),
+		})
+	}
+	for _, bits := range []int{2, 3, 4, 5, 6} { // 5 QPEs
+		out = append(out, Benchmark{
+			Name: fmtName("qpe", bits+1, "bits", bits), Category: CatFTAlgorithm, Dataset: "benchpress",
+			Circuit: QPE(bits, 0.1234),
+		})
+	}
+	for _, m := range []int{1, 2, 3, 4, 5, 6} { // 6 adders
+		out = append(out, Benchmark{
+			Name: fmtName("cuccaro_adder", 2*m+2, "m", m), Category: CatFTAlgorithm, Dataset: "benchpress",
+			Circuit: CuccaroAdder(m),
+		})
+	}
+	for n := 3; n <= 12; n++ { // 10 GHZ
+		out = append(out, Benchmark{
+			Name: fmtName("ghz_rot", n), Category: CatFTAlgorithm, Dataset: "benchpress",
+			Circuit: GHZWithRotations(n, int64(n*3)),
+		})
+	}
+	for n := 3; n <= 12; n++ { // 10 W states
+		out = append(out, Benchmark{
+			Name: fmtName("wstate", n), Category: CatFTAlgorithm, Dataset: "benchpress",
+			Circuit: WState(n),
+		})
+	}
+	for i, cfg := range [][2]int{{4, 1}, {4, 2}, {6, 1}, {6, 2}, {8, 1}, {8, 2}, {10, 1}, {10, 2}, {12, 1}, {12, 2}} { // 10 VQE
+		out = append(out, Benchmark{
+			Name: fmtName("vqe_hea", cfg[0], "l", cfg[1]), Category: CatFTAlgorithm, Dataset: "benchpress",
+			Circuit: VQEAnsatz(cfg[0], cfg[1], int64(i+1)),
+		})
+	}
+	for _, cfg := range [][2]int{{2, 1}, {3, 1}, {4, 2}} { // 3 Grover
+		out = append(out, Benchmark{
+			Name: fmtName("grover", cfg[0], "it", cfg[1]), Category: CatFTAlgorithm, Dataset: "benchpress",
+			Circuit: Grover(cfg[0], cfg[1], 1),
+		})
+	}
+	for i, cfg := range [][2]int{{3, 2}, {3, 4}, {4, 2}, {4, 4}, {5, 2}, {5, 4}, {6, 3}, {7, 3}, {8, 3}, {9, 3}, {10, 3}, {12, 3}} { // 12 random
+		out = append(out, Benchmark{
+			Name: fmtName("random", cfg[0], "d", cfg[1]), Category: CatFTAlgorithm, Dataset: "benchpress",
+			Circuit: RandomCircuit(cfg[0], cfg[1], int64(i+11)),
+		})
+	}
+	return out
+}
+
+// Stats summarizes a dataset for Table 2.
+type Stats struct {
+	Dataset        string
+	Count          int
+	MinQ, MaxQ     int
+	MeanQ          float64
+	MinRot, MaxRot int
+	MeanRot        float64
+}
+
+// DatasetStats computes Table 2's per-dataset qubit and rotation-count
+// statistics from the generated suite (rotations counted on the raw
+// circuits, before transpilation).
+func DatasetStats(benchmarks []Benchmark) []Stats {
+	order := []string{"benchpress", "hamlib", "qaoa"}
+	agg := map[string]*Stats{}
+	for _, name := range order {
+		agg[name] = &Stats{Dataset: name, MinQ: 1 << 30, MinRot: 1 << 30}
+	}
+	for _, b := range benchmarks {
+		s := agg[b.Dataset]
+		if s == nil {
+			continue
+		}
+		q := b.Circuit.N
+		r := b.Circuit.CountRotations()
+		s.Count++
+		s.MeanQ += float64(q)
+		s.MeanRot += float64(r)
+		if q < s.MinQ {
+			s.MinQ = q
+		}
+		if q > s.MaxQ {
+			s.MaxQ = q
+		}
+		if r < s.MinRot {
+			s.MinRot = r
+		}
+		if r > s.MaxRot {
+			s.MaxRot = r
+		}
+	}
+	out := make([]Stats, 0, len(order))
+	for _, name := range order {
+		s := agg[name]
+		if s.Count > 0 {
+			s.MeanQ /= float64(s.Count)
+			s.MeanRot /= float64(s.Count)
+		}
+		out = append(out, *s)
+	}
+	return out
+}

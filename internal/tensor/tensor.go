@@ -1,0 +1,160 @@
+// Package tensor provides dense complex tensors with reshaping, axis
+// permutation and pairwise contraction. It is the generic counterpart to
+// the specialized flat-slice hot loops in package mps; tests use it to
+// brute-force-verify the tensor-network constructions.
+package tensor
+
+import (
+	"fmt"
+
+	"repro/internal/linalg"
+)
+
+// Tensor is a dense complex tensor in row-major (last index fastest) layout.
+type Tensor struct {
+	Shape []int
+	Data  []complex128
+}
+
+// New returns a zero tensor with the given shape.
+func New(shape ...int) *Tensor {
+	n := 1
+	for _, s := range shape {
+		if s <= 0 {
+			panic("tensor: non-positive dimension")
+		}
+		n *= s
+	}
+	return &Tensor{Shape: append([]int(nil), shape...), Data: make([]complex128, n)}
+}
+
+// Size returns the total number of elements.
+func (t *Tensor) Size() int { return len(t.Data) }
+
+// Rank returns the number of axes.
+func (t *Tensor) Rank() int { return len(t.Shape) }
+
+// offset computes the flat index of a multi-index.
+func (t *Tensor) offset(idx []int) int {
+	if len(idx) != len(t.Shape) {
+		panic("tensor: wrong index rank")
+	}
+	off := 0
+	for i, x := range idx {
+		if x < 0 || x >= t.Shape[i] {
+			panic(fmt.Sprintf("tensor: index %d out of range for axis %d (dim %d)", x, i, t.Shape[i]))
+		}
+		off = off*t.Shape[i] + x
+	}
+	return off
+}
+
+// At returns the element at the multi-index.
+func (t *Tensor) At(idx ...int) complex128 { return t.Data[t.offset(idx)] }
+
+// Set assigns the element at the multi-index.
+func (t *Tensor) Set(v complex128, idx ...int) { t.Data[t.offset(idx)] = v }
+
+// Clone returns a deep copy.
+func (t *Tensor) Clone() *Tensor {
+	c := New(t.Shape...)
+	copy(c.Data, t.Data)
+	return c
+}
+
+// Reshape returns a view-copy with a new shape of equal size.
+func (t *Tensor) Reshape(shape ...int) *Tensor {
+	n := 1
+	for _, s := range shape {
+		n *= s
+	}
+	if n != len(t.Data) {
+		panic("tensor: reshape size mismatch")
+	}
+	c := &Tensor{Shape: append([]int(nil), shape...), Data: make([]complex128, len(t.Data))}
+	copy(c.Data, t.Data)
+	return c
+}
+
+// Permute returns the tensor with axes reordered: result axis i is input
+// axis perm[i].
+func (t *Tensor) Permute(perm ...int) *Tensor {
+	if len(perm) != len(t.Shape) {
+		panic("tensor: bad permutation")
+	}
+	shape := make([]int, len(perm))
+	for i, p := range perm {
+		shape[i] = t.Shape[p]
+	}
+	out := New(shape...)
+	srcIdx := make([]int, len(perm))
+	dstIdx := make([]int, len(perm))
+	var walk func(axis int)
+	walk = func(axis int) {
+		if axis == len(perm) {
+			for i, p := range perm {
+				srcIdx[p] = dstIdx[i]
+			}
+			out.Data[out.offset(dstIdx)] = t.Data[t.offset(srcIdx)]
+			return
+		}
+		for x := 0; x < shape[axis]; x++ {
+			dstIdx[axis] = x
+			walk(axis + 1)
+		}
+	}
+	walk(0)
+	return out
+}
+
+// Contract contracts axesA of a with axesB of b (paired in order) and
+// returns the result with a's free axes first, then b's.
+func Contract(a, b *Tensor, axesA, axesB []int) *Tensor {
+	if len(axesA) != len(axesB) {
+		panic("tensor: axis count mismatch")
+	}
+	for i := range axesA {
+		if a.Shape[axesA[i]] != b.Shape[axesB[i]] {
+			panic("tensor: contracted dimensions differ")
+		}
+	}
+	// Move contracted axes to the end of a and the start of b, then matmul.
+	freeA := complement(len(a.Shape), axesA)
+	freeB := complement(len(b.Shape), axesB)
+	pa := a.Permute(append(append([]int{}, freeA...), axesA...)...)
+	pb := b.Permute(append(append([]int{}, axesB...), freeB...)...)
+	m, k, n := 1, 1, 1
+	var outShape []int
+	for _, ax := range freeA {
+		m *= a.Shape[ax]
+		outShape = append(outShape, a.Shape[ax])
+	}
+	for _, ax := range axesA {
+		k *= a.Shape[ax]
+	}
+	for _, ax := range freeB {
+		n *= b.Shape[ax]
+		outShape = append(outShape, b.Shape[ax])
+	}
+	ma := linalg.Matrix{Rows: m, Cols: k, Data: pa.Data}
+	mb := linalg.Matrix{Rows: k, Cols: n, Data: pb.Data}
+	mc := ma.Mul(mb)
+	if len(outShape) == 0 {
+		outShape = []int{1}
+	}
+	return &Tensor{Shape: outShape, Data: mc.Data}
+}
+
+func complement(rank int, axes []int) []int {
+	used := make([]bool, rank)
+	for _, a := range axes {
+		used[a] = true
+	}
+	var out []int
+	for i := 0; i < rank; i++ {
+		if !used[i] {
+			out = append(out, i)
+		}
+	}
+	return out
+}

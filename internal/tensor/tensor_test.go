@@ -1,0 +1,125 @@
+package tensor
+
+import (
+	"math/cmplx"
+	"math/rand"
+	"testing"
+
+	"repro/internal/qmat"
+)
+
+func randTensor(r *rand.Rand, shape ...int) *Tensor {
+	t := New(shape...)
+	for i := range t.Data {
+		t.Data[i] = complex(r.NormFloat64(), r.NormFloat64())
+	}
+	return t
+}
+
+func TestAtSetRoundTrip(t *testing.T) {
+	x := New(2, 3, 4)
+	x.Set(5+1i, 1, 2, 3)
+	if x.At(1, 2, 3) != 5+1i {
+		t.Fatal("At/Set mismatch")
+	}
+	if x.Size() != 24 || x.Rank() != 3 {
+		t.Fatal("Size/Rank wrong")
+	}
+}
+
+func TestPermuteInverse(t *testing.T) {
+	rng := rand.New(rand.NewSource(1))
+	x := randTensor(rng, 2, 3, 4)
+	y := x.Permute(2, 0, 1) // axis order: old 2, old 0, old 1
+	z := y.Permute(1, 2, 0) // invert
+	for i := range x.Data {
+		if x.Data[i] != z.Data[i] {
+			t.Fatal("permute not invertible")
+		}
+	}
+	if y.Shape[0] != 4 || y.Shape[1] != 2 || y.Shape[2] != 3 {
+		t.Fatalf("permuted shape wrong: %v", y.Shape)
+	}
+}
+
+func TestContractIsMatMul(t *testing.T) {
+	rng := rand.New(rand.NewSource(2))
+	a := randTensor(rng, 3, 4)
+	b := randTensor(rng, 4, 5)
+	c := Contract(a, b, []int{1}, []int{0})
+	for i := 0; i < 3; i++ {
+		for j := 0; j < 5; j++ {
+			var want complex128
+			for k := 0; k < 4; k++ {
+				want += a.At(i, k) * b.At(k, j)
+			}
+			if cmplx.Abs(c.At(i, j)-want) > 1e-9 {
+				t.Fatalf("contract mismatch at (%d,%d)", i, j)
+			}
+		}
+	}
+}
+
+func TestContractMultiAxis(t *testing.T) {
+	rng := rand.New(rand.NewSource(3))
+	a := randTensor(rng, 2, 3, 4)
+	b := randTensor(rng, 3, 4, 5)
+	c := Contract(a, b, []int{1, 2}, []int{0, 1})
+	if len(c.Shape) != 2 || c.Shape[0] != 2 || c.Shape[1] != 5 {
+		t.Fatalf("bad output shape %v", c.Shape)
+	}
+	for i := 0; i < 2; i++ {
+		for j := 0; j < 5; j++ {
+			var want complex128
+			for x := 0; x < 3; x++ {
+				for y := 0; y < 4; y++ {
+					want += a.At(i, x, y) * b.At(x, y, j)
+				}
+			}
+			if cmplx.Abs(c.At(i, j)-want) > 1e-9 {
+				t.Fatal("multi-axis contract mismatch")
+			}
+		}
+	}
+}
+
+// TestTraceAsContraction reproduces Fig. 4(b): Tr(U·V†) as a tensor
+// contraction over both axes.
+func TestTraceAsContraction(t *testing.T) {
+	rng := rand.New(rand.NewSource(4))
+	u := qmat.HaarRandom(rng)
+	v := qmat.HaarRandom(rng)
+	tu, tv := New(2, 2), New(2, 2)
+	vd := qmat.Dagger(v)
+	for i := 0; i < 2; i++ {
+		for j := 0; j < 2; j++ {
+			tu.Set(u[i][j], i, j)
+			tv.Set(vd[i][j], i, j)
+		}
+	}
+	got := Contract(tu, tv, []int{0, 1}, []int{1, 0}).Data[0]
+	want := qmat.Trace(qmat.Mul(u, qmat.Dagger(v)))
+	if cmplx.Abs(got-want) > 1e-12 {
+		t.Fatalf("trace contraction: got %v want %v", got, want)
+	}
+}
+
+func TestReshapePreservesData(t *testing.T) {
+	rng := rand.New(rand.NewSource(5))
+	x := randTensor(rng, 6, 4)
+	y := x.Reshape(2, 3, 4)
+	for i := range x.Data {
+		if x.Data[i] != y.Data[i] {
+			t.Fatal("reshape changed data")
+		}
+	}
+}
+
+func TestCloneIndependent(t *testing.T) {
+	x := New(2, 2)
+	y := x.Clone()
+	y.Set(1, 0, 0)
+	if x.At(0, 0) != 0 {
+		t.Fatal("clone aliases data")
+	}
+}

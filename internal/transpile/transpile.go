@@ -1,0 +1,360 @@
+// Package transpile implements the circuit-level passes the paper's
+// compilation workflows rely on (§2.2, §3.4): merging adjacent single-qubit
+// gates into U3, commuting Rz through CX controls and Rx through CX
+// targets, conversion between the CX+U3 and CX+H+RZ intermediate
+// representations, CX cancellation, and the 16-setting optimization sweep
+// (levels 0–3 × {Rz, U3} × {±commutation}).
+package transpile
+
+import (
+	"math"
+
+	"repro/internal/circuit"
+	"repro/internal/qmat"
+)
+
+// Basis selects the intermediate representation.
+type Basis int
+
+// The two IRs compared throughout the paper.
+const (
+	BasisRz Basis = iota // CX + H + RZ
+	BasisU3              // CX + U3
+)
+
+// Setting is one transpilation configuration of the 16-way sweep.
+type Setting struct {
+	Basis   Basis
+	Level   int  // 0–3
+	Commute bool // run the commutation pass (not in default Qiskit levels)
+}
+
+// Merge1Q fuses maximal runs of adjacent single-qubit gates on each qubit
+// into a single U3 (dropping identity products). Two-qubit gates break
+// runs on the qubits they touch.
+func Merge1Q(c *circuit.Circuit) *circuit.Circuit {
+	out := circuit.New(c.N)
+	pending := make([]*qmat.M2, c.N) // accumulated 1q unitary per qubit
+	flush := func(q int) {
+		if pending[q] == nil {
+			return
+		}
+		m := *pending[q]
+		pending[q] = nil
+		if qmat.Distance(m, qmat.I2()) < 1e-9 {
+			return
+		}
+		th, ph, la := qmat.ZYZAngles(m)
+		out.U3Gate(q, th, ph, la)
+	}
+	for _, op := range c.Ops {
+		if op.G.IsTwoQubit() {
+			flush(op.Q[0])
+			flush(op.Q[1])
+			out.Add(op)
+			continue
+		}
+		if op.G == circuit.I {
+			continue
+		}
+		m := op.Matrix1Q()
+		if pending[op.Q[0]] == nil {
+			pending[op.Q[0]] = &m
+		} else {
+			// Time order: later gate multiplies on the left.
+			prod := qmat.Mul(m, *pending[op.Q[0]])
+			pending[op.Q[0]] = &prod
+		}
+	}
+	for q := 0; q < c.N; q++ {
+		flush(q)
+	}
+	return out
+}
+
+// Commute pushes RZ-like gates forward through CX controls and RX-like
+// gates forward through CX targets (both commute), so that later merges can
+// fuse them with following rotations. Ops acting on disjoint qubits are
+// transparent: a rotation bubbles rightward until the next gate on its
+// qubit, and hops over that gate when the commutation rule allows.
+func Commute(c *circuit.Circuit) *circuit.Circuit {
+	ops := append([]circuit.Op(nil), c.Ops...)
+	changed := true
+	for rounds := 0; changed && rounds < len(ops)+4; rounds++ {
+		changed = false
+		for i := 0; i < len(ops); i++ {
+			op := ops[i]
+			movable := diagonalLike(op.G) || xLike(op.G)
+			if !movable || op.G.IsTwoQubit() {
+				continue
+			}
+			q := op.Q[0]
+			// Next op touching q.
+			j := i + 1
+			for j < len(ops) {
+				nxt := ops[j]
+				touches := nxt.Q[0] == q || (nxt.G.IsTwoQubit() && nxt.Q[1] == q)
+				if touches {
+					break
+				}
+				j++
+			}
+			if j >= len(ops) {
+				continue
+			}
+			nxt := ops[j]
+			hop := nxt.G == circuit.CX &&
+				((diagonalLike(op.G) && nxt.Q[0] == q) || (xLike(op.G) && nxt.Q[1] == q))
+			if !hop {
+				continue
+			}
+			// Move op to just after the CX at j.
+			copy(ops[i:j], ops[i+1:j+1])
+			ops[j] = op
+			changed = true
+		}
+	}
+	out := circuit.New(c.N)
+	out.Ops = ops
+	return out
+}
+
+func diagonalLike(g circuit.GateType) bool {
+	switch g {
+	case circuit.RZ, circuit.Z, circuit.S, circuit.Sdg, circuit.T, circuit.Tdg:
+		return true
+	}
+	return false
+}
+
+func xLike(g circuit.GateType) bool {
+	return g == circuit.RX || g == circuit.X
+}
+
+// CancelCX removes adjacent identical CX/CZ pairs (with no intervening gate
+// on either qubit).
+func CancelCX(c *circuit.Circuit) *circuit.Circuit {
+	ops := append([]circuit.Op(nil), c.Ops...)
+	changed := true
+	for changed {
+		changed = false
+		for i := 0; i < len(ops); i++ {
+			if !ops[i].G.IsTwoQubit() {
+				continue
+			}
+			// Find the next op touching either qubit.
+			for j := i + 1; j < len(ops); j++ {
+				touches := ops[j].Q[0] == ops[i].Q[0] || ops[j].Q[0] == ops[i].Q[1] ||
+					(ops[j].G.IsTwoQubit() && (ops[j].Q[1] == ops[i].Q[0] || ops[j].Q[1] == ops[i].Q[1]))
+				if !touches {
+					continue
+				}
+				same := ops[j].G == ops[i].G && ((ops[j].Q == ops[i].Q) ||
+					(ops[i].G == circuit.CZ && ops[j].Q[0] == ops[i].Q[1] && ops[j].Q[1] == ops[i].Q[0]))
+				if same {
+					ops = append(ops[:j], ops[j+1:]...)
+					ops = append(ops[:i], ops[i+1:]...)
+					changed = true
+				}
+				break
+			}
+		}
+	}
+	out := circuit.New(c.N)
+	out.Ops = ops
+	return out
+}
+
+// ToRzBasis lowers every rotation to the CX + H + RZ IR using Eq. (1):
+// U3(θ,φ,λ) = Rz(φ+π/2)·H·Rz(θ)·H·Rz(λ−π/2) (time order reversed),
+// RX(θ) = H·RZ(θ)·H, RY(θ) = Sdg·H·RZ(θ)·H·S (up to global phase). Trivial
+// angles are snapped to discrete gates.
+func ToRzBasis(c *circuit.Circuit) *circuit.Circuit {
+	out := circuit.New(c.N)
+	for _, op := range c.Ops {
+		q := op.Q[0]
+		switch op.G {
+		case circuit.U3:
+			th, ph, la := op.P[0], op.P[1], op.P[2]
+			emitRz(out, q, la-math.Pi/2)
+			out.H(q)
+			emitRz(out, q, th)
+			out.H(q)
+			emitRz(out, q, ph+math.Pi/2)
+		case circuit.RX:
+			out.H(q)
+			emitRz(out, q, op.P[0])
+			out.H(q)
+		case circuit.RY:
+			// RY(θ) = S·H·RZ(θ)·H·S† in matrix order ⇒ time order S†,H,RZ,H,S.
+			out.Gate1(circuit.Sdg, q)
+			out.H(q)
+			emitRz(out, q, op.P[0])
+			out.H(q)
+			out.Gate1(circuit.S, q)
+		case circuit.RZ:
+			emitRz(out, q, op.P[0])
+		default:
+			out.Add(op)
+		}
+	}
+	return out
+}
+
+// emitRz appends RZ(θ), snapping trivial angles to discrete Z/S/T gates.
+func emitRz(c *circuit.Circuit, q int, theta float64) {
+	theta = math.Mod(theta, 2*math.Pi)
+	if theta < 0 {
+		theta += 2 * math.Pi
+	}
+	if !circuit.TrivialAngle(theta) {
+		c.RZ(q, theta)
+		return
+	}
+	// θ = m·π/4 up to tolerance; emit the discrete equivalent (up to phase).
+	m := int(math.Round(theta/(math.Pi/4))) % 8
+	switch m {
+	case 0:
+	case 1:
+		c.T(q)
+	case 2:
+		c.S(q)
+	case 3:
+		c.S(q)
+		c.T(q)
+	case 4:
+		c.Z(q)
+	case 5:
+		c.Z(q)
+		c.T(q)
+	case 6:
+		c.Gate1(circuit.Sdg, q)
+	case 7:
+		c.Tdg(q)
+	}
+}
+
+// ToU3Basis lowers to the CX + U3 IR (merging adjacent 1q gates).
+func ToU3Basis(c *circuit.Circuit) *circuit.Circuit { return Merge1Q(c) }
+
+// OptimizeWith applies the pass pipeline for a Setting and returns the
+// transpiled circuit in the requested basis.
+func OptimizeWith(c *circuit.Circuit, s Setting) *circuit.Circuit {
+	cur := c.Clone()
+	rounds := 1
+	switch {
+	case s.Level <= 0:
+		rounds = 0
+	case s.Level == 1:
+		rounds = 1
+	case s.Level == 2:
+		rounds = 2
+	default:
+		rounds = 4
+	}
+	for r := 0; r < rounds; r++ {
+		if s.Commute {
+			cur = Commute(cur)
+		}
+		cur = Merge1Q(cur)
+		if s.Level >= 2 {
+			cur = CancelCX(cur)
+		}
+	}
+	if s.Basis == BasisRz {
+		cur = ToRzBasis(cur)
+		if s.Level >= 1 {
+			cur = mergeAdjacentRz(cur)
+		}
+	} else {
+		cur = ToU3Basis(cur)
+	}
+	return cur
+}
+
+// mergeAdjacentRz fuses directly adjacent RZ/phase gates on the same qubit
+// (the only 1q merge available inside the Rz basis without changing IR).
+func mergeAdjacentRz(c *circuit.Circuit) *circuit.Circuit {
+	out := circuit.New(c.N)
+	pendingAngle := make([]float64, c.N)
+	hasPending := make([]bool, c.N)
+	flush := func(q int) {
+		if !hasPending[q] {
+			return
+		}
+		emitRz(out, q, pendingAngle[q])
+		pendingAngle[q] = 0
+		hasPending[q] = false
+	}
+	angleOf := func(op circuit.Op) (float64, bool) {
+		switch op.G {
+		case circuit.RZ:
+			return op.P[0], true
+		case circuit.Z:
+			return math.Pi, true
+		case circuit.S:
+			return math.Pi / 2, true
+		case circuit.Sdg:
+			return -math.Pi / 2, true
+		case circuit.T:
+			return math.Pi / 4, true
+		case circuit.Tdg:
+			return -math.Pi / 4, true
+		}
+		return 0, false
+	}
+	for _, op := range c.Ops {
+		if op.G.IsTwoQubit() {
+			// RZ commutes with CX control and CZ on both qubits; keep it
+			// simple: flush both.
+			flush(op.Q[0])
+			flush(op.Q[1])
+			out.Add(op)
+			continue
+		}
+		if a, ok := angleOf(op); ok {
+			pendingAngle[op.Q[0]] += a
+			hasPending[op.Q[0]] = true
+			continue
+		}
+		flush(op.Q[0])
+		out.Add(op)
+	}
+	for q := 0; q < c.N; q++ {
+		flush(q)
+	}
+	return out
+}
+
+// AllSettings returns the 16 configurations of the paper's Figure 6 sweep.
+func AllSettings() []Setting {
+	var out []Setting
+	for _, basis := range []Basis{BasisRz, BasisU3} {
+		for level := 0; level <= 3; level++ {
+			for _, commute := range []bool{false, true} {
+				out = append(out, Setting{Basis: basis, Level: level, Commute: commute})
+			}
+		}
+	}
+	return out
+}
+
+// BestSetting transpiles under all 16 settings for the given basis and
+// returns the circuit with the fewest nontrivial rotations, with its
+// setting. This mirrors the paper's "pick the optimization level with
+// minimum rotations" (§2.2, §4.3).
+func BestSetting(c *circuit.Circuit, basis Basis) (*circuit.Circuit, Setting) {
+	var best *circuit.Circuit
+	var bestSetting Setting
+	bestCount := math.MaxInt32
+	for _, s := range AllSettings() {
+		if s.Basis != basis {
+			continue
+		}
+		t := OptimizeWith(c, s)
+		if n := t.CountRotations(); n < bestCount {
+			best, bestSetting, bestCount = t, s, n
+		}
+	}
+	return best, bestSetting
+}

@@ -1,0 +1,173 @@
+package transpile
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+
+	"repro/internal/circuit"
+	"repro/internal/sim"
+)
+
+// randomCircuit builds a random circuit with rotations and CX gates.
+func randomCircuit(rng *rand.Rand, n, depth int) *circuit.Circuit {
+	c := circuit.New(n)
+	for i := 0; i < depth; i++ {
+		switch rng.Intn(6) {
+		case 0:
+			c.H(rng.Intn(n))
+		case 1:
+			c.RZ(rng.Intn(n), rng.Float64()*2*math.Pi)
+		case 2:
+			c.RX(rng.Intn(n), rng.Float64()*2*math.Pi)
+		case 3:
+			c.RY(rng.Intn(n), rng.Float64()*2*math.Pi)
+		case 4:
+			a := rng.Intn(n)
+			b := (a + 1 + rng.Intn(n-1)) % n
+			c.CX(a, b)
+		case 5:
+			c.T(rng.Intn(n))
+		}
+	}
+	return c
+}
+
+func assertSameUnitary(t *testing.T, a, b *circuit.Circuit, tol float64, msg string) {
+	t.Helper()
+	if d := sim.UnitaryDistance(sim.Unitary(a), sim.Unitary(b)); d > tol {
+		t.Fatalf("%s: unitary distance %v", msg, d)
+	}
+}
+
+func TestMerge1QPreservesUnitary(t *testing.T) {
+	rng := rand.New(rand.NewSource(1))
+	for trial := 0; trial < 20; trial++ {
+		c := randomCircuit(rng, 3, 30)
+		m := Merge1Q(c)
+		assertSameUnitary(t, c, m, 1e-6, "Merge1Q")
+		// Merged circuit must not have adjacent 1q gates on the same qubit.
+		last1q := make([]int, c.N)
+		for i := range last1q {
+			last1q[i] = -2
+		}
+		for i, op := range m.Ops {
+			if op.G.IsTwoQubit() {
+				last1q[op.Q[0]] = -2
+				last1q[op.Q[1]] = -2
+				continue
+			}
+			if last1q[op.Q[0]] >= 0 {
+				t.Fatal("adjacent 1q gates survived Merge1Q")
+			}
+			last1q[op.Q[0]] = i
+		}
+	}
+}
+
+func TestCommutePreservesUnitary(t *testing.T) {
+	rng := rand.New(rand.NewSource(2))
+	for trial := 0; trial < 20; trial++ {
+		c := randomCircuit(rng, 3, 30)
+		m := Commute(c)
+		assertSameUnitary(t, c, m, 1e-6, "Commute")
+	}
+}
+
+func TestToRzBasisPreservesUnitary(t *testing.T) {
+	rng := rand.New(rand.NewSource(3))
+	for trial := 0; trial < 20; trial++ {
+		c := randomCircuit(rng, 3, 25)
+		m := ToRzBasis(c)
+		assertSameUnitary(t, c, m, 1e-6, "ToRzBasis")
+		for _, op := range m.Ops {
+			if op.G == circuit.U3 || op.G == circuit.RX || op.G == circuit.RY {
+				t.Fatalf("non-RZ rotation %v survived ToRzBasis", op.G)
+			}
+		}
+	}
+}
+
+func TestCancelCX(t *testing.T) {
+	c := circuit.New(3)
+	c.CX(0, 1).CX(0, 1).H(2).CX(1, 2).RZ(0, 0.5).CX(1, 2)
+	m := CancelCX(c)
+	assertSameUnitary(t, c, m, 1e-9, "CancelCX")
+	if m.TwoQubitCount() != 0 {
+		t.Fatalf("expected all CX cancelled, %d left", m.TwoQubitCount())
+	}
+	// Blocking gate prevents cancellation.
+	c2 := circuit.New(2)
+	c2.CX(0, 1).H(1).CX(0, 1)
+	m2 := CancelCX(c2)
+	if m2.TwoQubitCount() != 2 {
+		t.Fatal("CX pairs across a blocker must not cancel")
+	}
+}
+
+// TestCommutationEnablesMerges: the QAOA pattern RX(q1)·CX(q0,q1)·RZ(q1)
+// where RX commutes through the CX target, enabling a merge.
+func TestCommutationEnablesMerges(t *testing.T) {
+	c := circuit.New(2)
+	c.RX(1, 0.7)
+	c.CX(0, 1)
+	c.RX(1, 0.9)
+	before, _ := BestSetting(c, BasisU3)
+	if before.CountRotations() != 1 {
+		t.Fatalf("expected commutation to merge the two RX: got %d rotations", before.CountRotations())
+	}
+	assertSameUnitary(t, c, before, 1e-6, "BestSetting")
+}
+
+// TestU3NeedsFewerRotations: diverse-rotation circuits must transpile to
+// fewer rotations in U3 than in the Rz basis (Fig. 3b's premise).
+func TestU3NeedsFewerRotations(t *testing.T) {
+	rng := rand.New(rand.NewSource(4))
+	wins, total := 0, 0
+	for trial := 0; trial < 10; trial++ {
+		c := randomCircuit(rng, 4, 40)
+		u3, _ := BestSetting(c, BasisU3)
+		rz, _ := BestSetting(c, BasisRz)
+		if u3.CountRotations() <= rz.CountRotations() {
+			wins++
+		}
+		total++
+	}
+	if wins < total-1 {
+		t.Fatalf("U3 basis beat Rz only %d/%d times", wins, total)
+	}
+}
+
+func TestOptimizeWithLevelsMonotone(t *testing.T) {
+	rng := rand.New(rand.NewSource(5))
+	c := randomCircuit(rng, 4, 50)
+	prev := math.MaxInt32
+	for level := 0; level <= 3; level++ {
+		s := Setting{Basis: BasisU3, Level: level, Commute: true}
+		tc := OptimizeWith(c, s)
+		assertSameUnitary(t, c, tc, 1e-6, "OptimizeWith")
+		n := tc.CountRotations()
+		if n > prev {
+			t.Fatalf("rotations increased from level %d: %d > %d", level-1, n, prev)
+		}
+		prev = n
+	}
+}
+
+func TestAllSettingsCount(t *testing.T) {
+	if n := len(AllSettings()); n != 16 {
+		t.Fatalf("expected 16 settings, got %d", n)
+	}
+}
+
+func TestEmitRzSnapsTrivialAngles(t *testing.T) {
+	for m := 0; m < 8; m++ {
+		c := circuit.New(1)
+		c.RZ(0, float64(m)*math.Pi/4)
+		lowered := ToRzBasis(c)
+		if lowered.CountRotations() != 0 {
+			t.Fatalf("RZ(%dπ/4) should snap to discrete gates", m)
+		}
+		assertSameUnitary(t, c, lowered, 1e-7, "snap")
+	}
+}

@@ -1,0 +1,135 @@
+package zxopt
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+
+	"repro/internal/circuit"
+	"repro/internal/gates"
+	"repro/internal/sim"
+)
+
+func randomCliffordT(rng *rand.Rand, n, depth int) *circuit.Circuit {
+	c := circuit.New(n)
+	for i := 0; i < depth; i++ {
+		switch rng.Intn(7) {
+		case 0:
+			c.H(rng.Intn(n))
+		case 1:
+			c.T(rng.Intn(n))
+		case 2:
+			c.Tdg(rng.Intn(n))
+		case 3:
+			c.S(rng.Intn(n))
+		case 4:
+			c.Z(rng.Intn(n))
+		case 5, 6:
+			a := rng.Intn(n)
+			b := (a + 1 + rng.Intn(n-1)) % n
+			c.CX(a, b)
+		}
+	}
+	return c
+}
+
+func TestFoldPhasesPreservesUnitary(t *testing.T) {
+	rng := rand.New(rand.NewSource(1))
+	for trial := 0; trial < 30; trial++ {
+		c := randomCliffordT(rng, 3, 40)
+		f := FoldPhases(c)
+		if d := sim.UnitaryDistance(sim.Unitary(c), sim.Unitary(f)); d > 1e-6 {
+			t.Fatalf("FoldPhases changed unitary: %v", d)
+		}
+	}
+}
+
+func TestFoldPhasesMergesAcrossCX(t *testing.T) {
+	// T(0)·CX(0,1)·T(0): the two T's share the control parity and must
+	// merge into one S.
+	c := circuit.New(2)
+	c.T(0).CX(0, 1).T(0)
+	f := FoldPhases(c)
+	if d := sim.UnitaryDistance(sim.Unitary(c), sim.Unitary(f)); d > 1e-7 {
+		t.Fatalf("unitary changed: %v", d)
+	}
+	if f.TCount() != 0 {
+		t.Fatalf("expected T count 0 after folding, got %d", f.TCount())
+	}
+}
+
+func TestFoldPhasesMergesParityPattern(t *testing.T) {
+	// CX(0,1)·T(1)·CX(0,1)·…·CX(0,1)·T(1)·CX(0,1): both T's act on the
+	// parity x0⊕x1 and must merge.
+	c := circuit.New(2)
+	c.CX(0, 1).T(1).CX(0, 1).H(0).H(0).CX(0, 1).T(1).CX(0, 1)
+	f := Optimize(c, gates.Shared(4))
+	if d := sim.UnitaryDistance(sim.Unitary(c), sim.Unitary(f)); d > 1e-6 {
+		t.Fatalf("unitary changed: %v", d)
+	}
+	if f.TCount() != 0 {
+		t.Fatalf("expected parity T's to fold to S: T=%d", f.TCount())
+	}
+}
+
+func TestFoldPhasesRespectsHBarrier(t *testing.T) {
+	// T·H·T on one qubit: the H separates parities; T count must stay 2.
+	c := circuit.New(1)
+	c.T(0).H(0).T(0)
+	f := FoldPhases(c)
+	if f.TCount() != 2 {
+		t.Fatalf("H barrier violated: T=%d", f.TCount())
+	}
+	if d := sim.UnitaryDistance(sim.Unitary(c), sim.Unitary(f)); d > 1e-7 {
+		t.Fatal("unitary changed")
+	}
+}
+
+func TestPeepholePreservesUnitaryAndShrinks(t *testing.T) {
+	rng := rand.New(rand.NewSource(2))
+	for trial := 0; trial < 20; trial++ {
+		c := randomCliffordT(rng, 2, 50)
+		p := Peephole(c, gates.Shared(5))
+		if d := sim.UnitaryDistance(sim.Unitary(c), sim.Unitary(p)); d > 1e-6 {
+			t.Fatalf("Peephole changed unitary: %v", d)
+		}
+		if p.TCount() > c.TCount() {
+			t.Fatalf("Peephole increased T count %d → %d", c.TCount(), p.TCount())
+		}
+	}
+}
+
+func TestOptimizeNeverIncreasesT(t *testing.T) {
+	rng := rand.New(rand.NewSource(3))
+	tab := gates.Shared(5)
+	saved := 0
+	for trial := 0; trial < 15; trial++ {
+		c := randomCliffordT(rng, 3, 60)
+		o := Optimize(c, tab)
+		if d := sim.UnitaryDistance(sim.Unitary(c), sim.Unitary(o)); d > 1e-6 {
+			t.Fatalf("Optimize changed unitary: %v", d)
+		}
+		if o.TCount() > c.TCount() {
+			t.Fatalf("Optimize increased T count %d → %d", c.TCount(), o.TCount())
+		}
+		saved += c.TCount() - o.TCount()
+	}
+	if saved == 0 {
+		t.Error("Optimize never saved a single T gate across 15 random circuits")
+	}
+}
+
+func TestEmitPhaseAngles(t *testing.T) {
+	for m := 0; m < 8; m++ {
+		c := circuit.New(1)
+		emitPhase(c, 0, float64(m)*math.Pi/4)
+		ref := circuit.New(1)
+		ref.RZ(0, float64(m)*math.Pi/4)
+		if d := sim.UnitaryDistance(sim.Unitary(c), sim.Unitary(ref)); d > 1e-7 {
+			t.Fatalf("emitPhase(%dπ/4) wrong: %v", m, d)
+		}
+		if c.CountRotations() != 0 {
+			t.Fatalf("emitPhase(%dπ/4) left a rotation", m)
+		}
+	}
+}

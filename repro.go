@@ -1,0 +1,145 @@
+// Package repro is a from-scratch Go reproduction of "Reducing T Gates
+// with Unitary Synthesis" (ASPLOS 2026): trasyn, a tensor-network-guided
+// synthesizer that compiles arbitrary single-qubit unitaries directly into
+// Clifford+T sequences, together with the full evaluation stack — a
+// Ross–Selinger gridsynth baseline, a Solovay–Kitaev baseline, a
+// Synthetiq-style annealer, a circuit IR and transpiler, simulators and a
+// 187-circuit benchmark suite.
+//
+// This file is the public facade; the implementation lives in internal/
+// packages (see DESIGN.md for the system inventory).
+//
+// Quick start:
+//
+//	u := repro.HaarRandom(rand.New(rand.NewSource(1)))
+//	res := repro.Synthesize(u, repro.SynthOptions{TBudget: 8, Tensors: 2})
+//	fmt.Println(res.Seq, res.TCount, res.Error)
+package repro
+
+import (
+	"math/rand"
+
+	"repro/internal/circuit"
+	"repro/internal/core"
+	"repro/internal/gates"
+	"repro/internal/gridsynth"
+	"repro/internal/qmat"
+	"repro/internal/sk"
+	"repro/internal/suite"
+	"repro/internal/transpile"
+)
+
+// M2 is a dense 2x2 complex matrix (row-major).
+type M2 = qmat.M2
+
+// Sequence is a discrete Clifford+T gate sequence in matrix-product order.
+type Sequence = gates.Sequence
+
+// Circuit is the multi-qubit circuit IR.
+type Circuit = circuit.Circuit
+
+// Gate constructors re-exported for target construction.
+var (
+	// HaarRandom draws a Haar-distributed SU(2) element.
+	HaarRandom = qmat.HaarRandom
+	// U3 builds the general single-qubit unitary U3(θ, φ, λ).
+	U3 = qmat.U3
+	// Rz, Rx, Ry build axis rotations.
+	Rz = qmat.Rz
+	Rx = qmat.Rx
+	Ry = qmat.Ry
+	// Distance is the unitary distance of Eq. (2).
+	Distance = qmat.Distance
+	// NewCircuit allocates an empty n-qubit circuit.
+	NewCircuit = circuit.New
+	// BenchmarkSuite generates the 187-circuit evaluation corpus.
+	BenchmarkSuite = suite.Suite
+)
+
+// SynthOptions configures trasyn synthesis.
+type SynthOptions struct {
+	// TBudget is the per-tensor T budget m (≤ 12 practical; default 5 —
+	// small budgets with longer chains sample better per FLOP).
+	TBudget int
+	// Tensors is the maximum MPS length l (default 4 → T ≤ 4·TBudget).
+	Tensors int
+	// Samples is the sample count k (default 2000).
+	Samples int
+	// Epsilon, if positive, stops at the first budget meeting it (Eq. 4).
+	Epsilon float64
+	// Beam switches to the deterministic beam-search sampler (extension).
+	Beam bool
+	// Seed fixes the sampling randomness (0 = fixed default seed).
+	Seed int64
+}
+
+// SynthResult is a synthesized Clifford+T approximation.
+type SynthResult struct {
+	Seq      Sequence
+	Error    float64
+	TCount   int
+	Clifford int
+}
+
+// Synthesize approximates the unitary u with trasyn (Algorithm 1).
+func Synthesize(u M2, opt SynthOptions) SynthResult {
+	if opt.TBudget <= 0 {
+		opt.TBudget = 5
+	}
+	if opt.Tensors <= 0 {
+		opt.Tensors = 4
+	}
+	if opt.Samples <= 0 {
+		opt.Samples = 2000
+	}
+	cfg := core.DefaultConfig(gates.Shared(opt.TBudget), opt.TBudget, opt.Tensors, opt.Samples)
+	cfg.Epsilon = opt.Epsilon
+	cfg.UseBeam = opt.Beam
+	seed := opt.Seed
+	if seed == 0 {
+		seed = 1
+	}
+	cfg.Rng = rand.New(rand.NewSource(seed))
+	res := core.TRASYN(u, cfg)
+	return SynthResult{Seq: res.Seq, Error: res.Error, TCount: res.TCount, Clifford: res.Clifford}
+}
+
+// GridsynthRz approximates Rz(theta) with the Ross–Selinger baseline.
+func GridsynthRz(theta, eps float64) (SynthResult, error) {
+	r, err := gridsynth.Rz(theta, eps, gridsynth.Options{})
+	if err != nil {
+		return SynthResult{}, err
+	}
+	return SynthResult{Seq: r.Seq, Error: r.Error, TCount: r.TCount, Clifford: r.Clifford}, nil
+}
+
+// GridsynthU3 approximates an arbitrary unitary with the three-rotation
+// Rz workflow (the paper's baseline for general unitaries).
+func GridsynthU3(u M2, eps float64) (SynthResult, error) {
+	r, err := gridsynth.U3(u, eps, gridsynth.Options{})
+	if err != nil {
+		return SynthResult{}, err
+	}
+	return SynthResult{Seq: r.Seq, Error: r.Error, TCount: r.TCount, Clifford: r.Clifford}, nil
+}
+
+// SolovayKitaev approximates u with the classic recursive algorithm at the
+// given depth (baseline from §2.3; lengths blow up quickly).
+func SolovayKitaev(u M2, depth int) (SynthResult, float64) {
+	eng := sk.NewEngine(gates.Shared(4))
+	seq, err := eng.Synthesize(u, depth)
+	return SynthResult{Seq: seq, Error: err, TCount: seq.TCount(), Clifford: seq.CliffordCount()}, err
+}
+
+// TranspileU3 converts a circuit to the CX+U3 IR with the best of the 16
+// transpiler settings (fewest nontrivial rotations).
+func TranspileU3(c *Circuit) *Circuit {
+	out, _ := transpile.BestSetting(c, transpile.BasisU3)
+	return out
+}
+
+// TranspileRz converts a circuit to the CX+H+RZ IR likewise.
+func TranspileRz(c *Circuit) *Circuit {
+	out, _ := transpile.BestSetting(c, transpile.BasisRz)
+	return out
+}

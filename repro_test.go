@@ -1,0 +1,86 @@
+package repro
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+)
+
+// TestFacadeSynthesize: the headline API must produce verified sequences.
+func TestFacadeSynthesize(t *testing.T) {
+	u := HaarRandom(rand.New(rand.NewSource(1)))
+	res := Synthesize(u, SynthOptions{Samples: 800, Seed: 2})
+	if res.Seq == nil {
+		t.Fatal("no sequence")
+	}
+	if d := Distance(u, res.Seq.Matrix()); math.Abs(d-res.Error) > 1e-6 {
+		t.Fatalf("reported %v realized %v", res.Error, d)
+	}
+	if res.TCount != res.Seq.TCount() {
+		t.Fatal("T count metadata mismatch")
+	}
+}
+
+// TestFacadeHeadlineClaim: trasyn must beat the three-rotation gridsynth
+// baseline on T count at a comparable error — the paper's core claim,
+// verified through the public API alone.
+func TestFacadeHeadlineClaim(t *testing.T) {
+	wins, total := 0, 0
+	for i := int64(0); i < 5; i++ {
+		u := HaarRandom(rand.New(rand.NewSource(10 + i)))
+		res := Synthesize(u, SynthOptions{Samples: 1500, Seed: i + 1})
+		g, err := GridsynthU3(u, math.Max(res.Error, 1e-4))
+		if err != nil {
+			t.Fatal(err)
+		}
+		total++
+		if g.TCount > res.TCount {
+			wins++
+		}
+	}
+	if wins < total {
+		t.Fatalf("trasyn won only %d/%d against gridsynth", wins, total)
+	}
+}
+
+func TestFacadeGridsynthRz(t *testing.T) {
+	res, err := GridsynthRz(0.731, 1e-3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Error > 1e-3 {
+		t.Fatalf("error %v > 1e-3", res.Error)
+	}
+	if d := Distance(Rz(0.731), res.Seq.Matrix()); d > 1e-3 {
+		t.Fatalf("sequence does not approximate Rz: %v", d)
+	}
+}
+
+func TestFacadeSolovayKitaev(t *testing.T) {
+	u := HaarRandom(rand.New(rand.NewSource(3)))
+	res0, e0 := SolovayKitaev(u, 0)
+	res1, e1 := SolovayKitaev(u, 1)
+	if res0.Seq == nil || res1.Seq == nil {
+		t.Fatal("SK returned nil")
+	}
+	if e1 > e0*1.5 {
+		t.Fatalf("SK depth 1 much worse than depth 0: %v vs %v", e1, e0)
+	}
+}
+
+func TestFacadeTranspile(t *testing.T) {
+	c := NewCircuit(2)
+	c.RZ(0, 0.4).H(0).RZ(0, 0.9).CX(0, 1).RX(1, 1.2)
+	u3 := TranspileU3(c)
+	rz := TranspileRz(c)
+	if u3.CountRotations() > rz.CountRotations() {
+		t.Fatalf("U3 IR has more rotations (%d) than Rz IR (%d)",
+			u3.CountRotations(), rz.CountRotations())
+	}
+}
+
+func TestFacadeBenchmarkSuite(t *testing.T) {
+	if got := len(BenchmarkSuite()); got != 187 {
+		t.Fatalf("suite has %d circuits, want 187", got)
+	}
+}
