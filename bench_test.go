@@ -1,20 +1,17 @@
 // Benchmarks regenerating every table and figure of the paper at
-// CI-friendly scale (one per artifact, named after it), plus
-// microbenchmarks and ablations for the design choices DESIGN.md calls
-// out. Custom metrics surface the headline numbers: reduction ratios are
-// reported via b.ReportMetric so `go test -bench` output doubles as a
-// miniature results table. Full-scale runs go through cmd/experiments.
+// CI-friendly scale (one per artifact, named after it). Custom metrics
+// surface the headline numbers: reduction ratios are reported via
+// b.ReportMetric so `go test -bench` output doubles as a miniature
+// results table. Full-scale runs go through cmd/experiments; the engine
+// microbenchmarks and design-choice ablations live next to their engines
+// (internal/core, internal/gridsynth, internal/gates), and the service
+// layer's BenchmarkCompileBatch lives in the synth package.
 package repro
 
 import (
-	"math/rand"
 	"testing"
 
-	"repro/internal/core"
 	"repro/internal/expt"
-	"repro/internal/gates"
-	"repro/internal/gridsynth"
-	"repro/internal/qmat"
 )
 
 // benchCfg is the shared miniature scale for artifact benches.
@@ -66,126 +63,3 @@ func BenchmarkFig11_CircuitInfidelity(b *testing.B) { runArtifact(b, "fig11") }
 func BenchmarkFig12_BQSKitCompare(b *testing.B)     { runArtifact(b, "fig12") }
 func BenchmarkFig13_AppFidelity(b *testing.B)       { runArtifact(b, "fig13") }
 func BenchmarkFig14_PostOptimize(b *testing.B)      { runArtifact(b, "fig14") }
-
-// --- Core microbenchmarks ---
-
-func BenchmarkTrasynSynthesizeT10(b *testing.B) {
-	cfg := core.DefaultConfig(gates.Shared(5), 5, 2, 1000)
-	cfg.Rng = rand.New(rand.NewSource(1))
-	u := qmat.HaarRandom(rand.New(rand.NewSource(2)))
-	b.ResetTimer()
-	for i := 0; i < b.N; i++ {
-		res := core.Synthesize(u, cfg)
-		if i == 0 {
-			b.ReportMetric(float64(res.TCount), "tcount")
-			b.ReportMetric(res.Error, "error")
-		}
-	}
-}
-
-func BenchmarkTrasynSynthesizeT20(b *testing.B) {
-	cfg := core.DefaultConfig(gates.Shared(5), 5, 4, 2000)
-	cfg.MinSites = 4
-	cfg.Rng = rand.New(rand.NewSource(1))
-	u := qmat.HaarRandom(rand.New(rand.NewSource(2)))
-	b.ResetTimer()
-	for i := 0; i < b.N; i++ {
-		res := core.Synthesize(u, cfg)
-		if i == 0 {
-			b.ReportMetric(float64(res.TCount), "tcount")
-			b.ReportMetric(res.Error, "error")
-		}
-	}
-}
-
-func BenchmarkGridsynthRz1e2(b *testing.B) {
-	for i := 0; i < b.N; i++ {
-		if _, err := gridsynth.Rz(1.0+float64(i%5)*0.21, 1e-2, gridsynth.Options{}); err != nil {
-			b.Fatal(err)
-		}
-	}
-}
-
-func BenchmarkGridsynthRz1e4(b *testing.B) {
-	for i := 0; i < b.N; i++ {
-		if _, err := gridsynth.Rz(1.0+float64(i%5)*0.21, 1e-4, gridsynth.Options{}); err != nil {
-			b.Fatal(err)
-		}
-	}
-}
-
-// --- Ablations (design choices from DESIGN.md) ---
-
-// AblationBudgetSplit: same total T budget, different per-tensor splits.
-// Small-budget/long chains are cheaper per sample and finer-grained.
-func BenchmarkAblationBudgetM5L4(b *testing.B)  { ablationSplit(b, 5, 4) }
-func BenchmarkAblationBudgetM10L2(b *testing.B) { ablationSplit(b, 10, 2) }
-
-func ablationSplit(b *testing.B, m, l int) {
-	u := qmat.HaarRandom(rand.New(rand.NewSource(3)))
-	cfg := core.DefaultConfig(gates.Shared(m), m, l, 1500)
-	cfg.MinSites = l
-	cfg.Rng = rand.New(rand.NewSource(4))
-	b.ResetTimer()
-	for i := 0; i < b.N; i++ {
-		res := core.Synthesize(u, cfg)
-		if i == 0 {
-			b.ReportMetric(res.Error, "error")
-			b.ReportMetric(float64(res.TCount), "tcount")
-		}
-	}
-}
-
-// AblationSamplerBeamVsRandom: deterministic beam search vs perfect
-// sampling at matched candidate counts.
-func BenchmarkAblationSamplerRandom(b *testing.B) { ablationSampler(b, false) }
-func BenchmarkAblationSamplerBeam(b *testing.B)   { ablationSampler(b, true) }
-
-func ablationSampler(b *testing.B, beam bool) {
-	u := qmat.HaarRandom(rand.New(rand.NewSource(5)))
-	cfg := core.DefaultConfig(gates.Shared(5), 5, 3, 1024)
-	cfg.MinSites = 3
-	cfg.UseBeam = beam
-	cfg.BeamWidth = 256
-	cfg.Rng = rand.New(rand.NewSource(6))
-	b.ResetTimer()
-	for i := 0; i < b.N; i++ {
-		res := core.Synthesize(u, cfg)
-		if i == 0 {
-			b.ReportMetric(res.Error, "error")
-		}
-	}
-}
-
-// AblationRewrite: step-3 post-processing on vs off (Clifford savings).
-func BenchmarkAblationWithRewrite(b *testing.B) {
-	seqLen := 0
-	tab := gates.Shared(5)
-	rng := rand.New(rand.NewSource(7))
-	alphabet := []gates.Gate{gates.H, gates.S, gates.T, gates.X, gates.Z, gates.Tdg, gates.Sdg}
-	seqs := make([]gates.Sequence, 32)
-	for i := range seqs {
-		s := make(gates.Sequence, 60)
-		for j := range s {
-			s[j] = alphabet[rng.Intn(len(alphabet))]
-		}
-		seqs[i] = s
-	}
-	b.ResetTimer()
-	for i := 0; i < b.N; i++ {
-		out := core.Rewrite(seqs[i%len(seqs)], tab)
-		seqLen += len(out)
-	}
-	if b.N > 0 {
-		b.ReportMetric(float64(seqLen)/float64(b.N), "outlen")
-	}
-}
-
-func BenchmarkEnumerationT8(b *testing.B) {
-	for i := 0; i < b.N; i++ {
-		tab := gates.BuildTable(8)
-		if tab.Count() != 24*(3*256-2) {
-			b.Fatal("bad count")
-		}
-	}
-}

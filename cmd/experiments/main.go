@@ -32,6 +32,7 @@ func main() {
 		simq    = flag.Int("simq", 0, "max qubits for noisy simulation")
 		out     = flag.String("out", "", "CSV output directory")
 		seed    = flag.Int64("seed", 0, "random seed")
+		workers = flag.Int("workers", 0, "worker-pool size (0 = GOMAXPROCS)")
 	)
 	flag.Parse()
 
@@ -44,7 +45,7 @@ func main() {
 	}
 	cfg := expt.Config{
 		N: *n, Samples: *samples, MaxT: *maxt, Sites: *sites,
-		SimQubits: *simq, OutDir: *out, Seed: *seed,
+		SimQubits: *simq, OutDir: *out, Seed: *seed, Workers: *workers,
 	}
 	if *benches == -1 {
 		cfg.BenchLimit = 187

@@ -1,6 +1,7 @@
-// Command gridsynth exposes the Ross–Selinger Rz synthesizer: the
-// number-theoretic baseline (grid problems + norm equations + exact
-// synthesis), useful stand-alone exactly like the original tool.
+// Command gridsynth exposes the Ross–Selinger Rz synthesizer through the
+// unified synth.Backend API: the number-theoretic baseline (grid problems
+// + norm equations + exact synthesis), useful stand-alone exactly like the
+// original tool.
 //
 // Usage:
 //
@@ -8,23 +9,31 @@
 package main
 
 import (
+	"context"
 	"flag"
 	"fmt"
 	"os"
 	"time"
 
-	"repro"
+	"repro/internal/qmat"
+	"repro/synth"
 )
 
 func main() {
 	var (
-		theta = flag.Float64("theta", 0.5235987755982988, "rotation angle")
-		eps   = flag.Float64("eps", 1e-4, "error threshold")
-		quiet = flag.Bool("q", false, "print only the sequence")
+		theta   = flag.Float64("theta", 0.5235987755982988, "rotation angle")
+		eps     = flag.Float64("eps", 1e-4, "error threshold")
+		timeout = flag.Duration("timeout", 0, "wall-clock budget (0 = none)")
+		quiet   = flag.Bool("q", false, "print only the sequence")
 	)
 	flag.Parse()
-	start := time.Now()
-	res, err := repro.GridsynthRz(*theta, *eps)
+	be, ok := synth.Lookup("gridsynth")
+	if !ok {
+		fmt.Fprintln(os.Stderr, "gridsynth: backend not registered")
+		os.Exit(1)
+	}
+	res, err := be.Synthesize(context.Background(), qmat.Rz(*theta),
+		synth.Request{Epsilon: *eps, Timeout: *timeout})
 	if err != nil {
 		fmt.Fprintf(os.Stderr, "gridsynth: %v\n", err)
 		os.Exit(1)
@@ -34,6 +43,7 @@ func main() {
 		return
 	}
 	fmt.Printf("Rz(%g) @ eps %.1e\n", *theta, *eps)
-	fmt.Printf("T=%d Clifford=%d error=%.3e time=%s\n", res.TCount, res.Clifford, res.Error, time.Since(start))
+	fmt.Printf("T=%d Clifford=%d error=%.3e time=%s\n",
+		res.TCount, res.Clifford, res.Error, res.Wall.Round(time.Microsecond))
 	fmt.Println(res.Seq)
 }

@@ -1,30 +1,68 @@
-// Command suite lists or exports the 187-circuit benchmark corpus.
+// Command suite lists or exports the 187-circuit benchmark corpus, and can
+// compile any of its circuits to Clifford+T through the unified
+// synth.Compiler service.
 //
 // Usage:
 //
 //	suite -list                 # name, category, qubits, rotations
 //	suite -dump qasm_out/       # write every circuit as OpenQASM 2.0
 //	suite -name qft_n8          # print one circuit's QASM to stdout
+//	suite -compile qft_n8 -backend auto -eps 0.01
 package main
 
 import (
+	"context"
 	"flag"
 	"fmt"
 	"os"
 	"path/filepath"
+	"time"
 
-	"repro/internal/suite"
+	"repro"
+	"repro/synth"
 )
 
 func main() {
 	var (
-		list = flag.Bool("list", false, "list benchmarks")
-		dump = flag.String("dump", "", "directory to write QASM files into")
-		name = flag.String("name", "", "print one benchmark's QASM")
+		list    = flag.Bool("list", false, "list benchmarks")
+		dump    = flag.String("dump", "", "directory to write QASM files into")
+		name    = flag.String("name", "", "print one benchmark's QASM")
+		compile = flag.String("compile", "", "compile one benchmark to Clifford+T")
+		backend = flag.String("backend", "trasyn", "synthesis backend for -compile")
+		eps     = flag.Float64("eps", 0.01, "per-rotation error threshold for -compile")
+		workers = flag.Int("workers", 0, "compiler worker-pool size (0 = GOMAXPROCS)")
 	)
 	flag.Parse()
-	benches := suite.Suite()
+	benches := repro.BenchmarkSuite()
 	switch {
+	case *compile != "":
+		for _, b := range benches {
+			if b.Name != *compile {
+				continue
+			}
+			comp, err := synth.NewCompilerFor(*backend, synth.Request{Epsilon: *eps})
+			if err != nil {
+				fmt.Fprintln(os.Stderr, err)
+				os.Exit(1)
+			}
+			comp.Workers = *workers
+			res, err := comp.CompileCircuit(context.Background(), b.Circuit)
+			if err != nil {
+				fmt.Fprintf(os.Stderr, "suite: compiling %s: %v\n", b.Name, err)
+				os.Exit(1)
+			}
+			fmt.Printf("%s via %s (eps %.1e)\n", b.Name, res.Backend, *eps)
+			fmt.Printf("  IR rotations : %d (setting level %d, commute %v)\n",
+				res.IRRotations, res.Setting.Level, res.Setting.Commute)
+			fmt.Printf("  synthesized  : %d unique (%d cache hits / %d misses)\n",
+				res.Unique, res.Hits, res.Misses)
+			fmt.Printf("  T=%d Clifford=%d T-depth=%d Σerr=%.2e wall=%s\n",
+				res.Circuit.TCount(), res.Circuit.CliffordCount(), res.Circuit.TDepth(),
+				res.Stats.ErrorBound, res.Wall.Round(time.Millisecond))
+			return
+		}
+		fmt.Fprintf(os.Stderr, "suite: unknown benchmark %q\n", *compile)
+		os.Exit(1)
 	case *name != "":
 		for _, b := range benches {
 			if b.Name == *name {

@@ -1,20 +1,18 @@
 // Hamiltonian-simulation workflow: compile a Heisenberg-chain Trotter
 // circuit (X/Y/Z rotations — the "quantum Hamiltonian" category that
-// benefits most from the U3 IR) through both workflows and check the final
-// state fidelity of the lowered circuit by simulation.
+// benefits most from the U3 IR) through synth.Compiler with both backends
+// and check the final state fidelity of the lowered circuit by simulation.
 package main
 
 import (
+	"context"
 	"fmt"
 	"log"
 	"math/rand"
 
-	"repro/internal/core"
-	"repro/internal/gates"
-	"repro/internal/gridsynth"
-	"repro/internal/pipeline"
 	"repro/internal/sim"
 	"repro/internal/suite"
+	"repro/synth"
 )
 
 func main() {
@@ -23,10 +21,14 @@ func main() {
 	fmt.Printf("Heisenberg(5) Trotter circuit: %d ops, %d rotations\n",
 		len(circ.Ops), circ.CountRotations())
 
-	cfg := core.DefaultConfig(gates.Shared(5), 5, 4, 2500)
-	cfg.Epsilon = 0.005
-	cfg.Rng = rand.New(rand.NewSource(4))
-	u3res, err := pipeline.RunU3Workflow(circ, cfg)
+	ctx := context.Background()
+	tc, err := synth.NewCompilerFor("trasyn", synth.Request{
+		Epsilon: 0.005, TBudget: 5, Tensors: 4, Samples: 2500, Seed: synth.Seed(4),
+	})
+	if err != nil {
+		log.Fatal(err)
+	}
+	u3res, err := tc.CompileCircuit(ctx, circ)
 	if err != nil {
 		log.Fatal(err)
 	}
@@ -34,7 +36,11 @@ func main() {
 	if u3res.Stats.Rotations > 0 {
 		epsRz = u3res.Stats.ErrorBound / float64(u3res.Stats.Rotations)
 	}
-	rzres, err := pipeline.RunRzWorkflow(circ, epsRz, gridsynth.Options{})
+	gc, err := synth.NewCompilerFor("gridsynth", synth.Request{Epsilon: epsRz})
+	if err != nil {
+		log.Fatal(err)
+	}
+	rzres, err := gc.CompileCircuit(ctx, circ)
 	if err != nil {
 		log.Fatal(err)
 	}

@@ -1,20 +1,18 @@
-// QAOA workflow (§3.4): build a 3-regular MaxCut QAOA circuit, transpile it
-// into both intermediate representations, and compile each to Clifford+T —
-// trasyn on the CX+U3 IR vs gridsynth on the CX+H+RZ IR. The commutation
-// pass merges the mixer RX gates through CX targets, which is where the
-// paper's consistent ~1.6x T reduction on QAOA comes from.
+// QAOA workflow (§3.4): build a 3-regular MaxCut QAOA circuit and compile
+// it to Clifford+T through synth.Compiler — trasyn on the CX+U3 IR vs
+// gridsynth on the CX+H+RZ IR. The commutation pass merges the mixer RX
+// gates through CX targets, which is where the paper's consistent ~1.6x T
+// reduction on QAOA comes from; the compiler's shared cache turns the many
+// repeated QAOA angles into cache hits.
 package main
 
 import (
+	"context"
 	"fmt"
 	"log"
-	"math/rand"
 
-	"repro/internal/core"
-	"repro/internal/gates"
-	"repro/internal/gridsynth"
-	"repro/internal/pipeline"
 	"repro/internal/suite"
+	"repro/synth"
 )
 
 func main() {
@@ -22,11 +20,16 @@ func main() {
 	fmt.Printf("QAOA MaxCut circuit: %d qubits, %d ops, %d rotations\n",
 		qaoa.N, len(qaoa.Ops), qaoa.CountRotations())
 
+	ctx := context.Background()
+
 	// U3 workflow with trasyn.
-	cfg := core.DefaultConfig(gates.Shared(5), 5, 4, 2500)
-	cfg.Epsilon = 0.007
-	cfg.Rng = rand.New(rand.NewSource(3))
-	u3res, err := pipeline.RunU3Workflow(qaoa, cfg)
+	tc, err := synth.NewCompilerFor("trasyn", synth.Request{
+		Epsilon: 0.007, TBudget: 5, Tensors: 4, Samples: 2500, Seed: synth.Seed(3),
+	})
+	if err != nil {
+		log.Fatal(err)
+	}
+	u3res, err := tc.CompileCircuit(ctx, qaoa)
 	if err != nil {
 		log.Fatal(err)
 	}
@@ -35,13 +38,19 @@ func main() {
 	fmt.Printf("trasyn-lowered:  T=%d  T-depth=%d  Clifford=%d  Σerr=%.2e\n",
 		u3res.Circuit.TCount(), u3res.Circuit.TDepth(), u3res.Circuit.CliffordCount(),
 		u3res.Stats.ErrorBound)
+	fmt.Printf("cache: %d unique syntheses for %d rotations (%d hits, %d misses)\n",
+		u3res.Unique, u3res.Stats.Rotations, u3res.Hits, u3res.Misses)
 
 	// Rz workflow with gridsynth at a matched per-rotation budget.
 	epsRz := 0.007
 	if u3res.Stats.Rotations > 0 {
 		epsRz = u3res.Stats.ErrorBound / float64(u3res.Stats.Rotations)
 	}
-	rzres, err := pipeline.RunRzWorkflow(qaoa, epsRz, gridsynth.Options{})
+	gc, err := synth.NewCompilerFor("gridsynth", synth.Request{Epsilon: epsRz})
+	if err != nil {
+		log.Fatal(err)
+	}
+	rzres, err := gc.CompileCircuit(ctx, qaoa)
 	if err != nil {
 		log.Fatal(err)
 	}
@@ -49,6 +58,8 @@ func main() {
 	fmt.Printf("gridsynth-lowered: T=%d  T-depth=%d  Clifford=%d  Σerr=%.2e\n",
 		rzres.Circuit.TCount(), rzres.Circuit.TDepth(), rzres.Circuit.CliffordCount(),
 		rzres.Stats.ErrorBound)
+	fmt.Printf("cache: %d unique syntheses for %d rotations (%d hits, %d misses)\n",
+		rzres.Unique, rzres.Stats.Rotations, rzres.Hits, rzres.Misses)
 
 	fmt.Printf("\nT-count ratio (gridsynth/trasyn): %.2fx  (paper: ~1.6x for QAOA)\n",
 		float64(rzres.Circuit.TCount())/float64(u3res.Circuit.TCount()))

@@ -1,37 +1,62 @@
-// Quickstart: synthesize one arbitrary single-qubit unitary with trasyn and
-// compare against the gridsynth (three-Rz) baseline — the paper's core
-// claim in ~40 lines.
+// Quickstart: synthesize one arbitrary single-qubit unitary through the
+// unified synth.Backend API — trasyn (the paper's tensor-network search)
+// against the gridsynth (three-Rz) baseline, plus the "auto" backend that
+// races the two and keeps the lower-T-count winner. The paper's core claim
+// in ~50 lines, with every engine behind the same Request/Result pair.
 package main
 
 import (
+	"context"
 	"fmt"
 	"log"
 	"math/rand"
 
-	"repro"
+	"repro/internal/qmat"
+	"repro/synth"
 )
 
 func main() {
 	rng := rand.New(rand.NewSource(42))
-	u := repro.HaarRandom(rng)
+	u := qmat.HaarRandom(rng)
 	fmt.Println("target: a Haar-random single-qubit unitary")
+	fmt.Println("registered backends:", synth.List())
 
-	// trasyn: direct U3 synthesis over Clifford+T.
-	res := repro.Synthesize(u, repro.SynthOptions{TBudget: 5, Tensors: 4, Samples: 3000})
-	fmt.Printf("\ntrasyn:    T=%d, Clifford=%d, error=%.2e\n", res.TCount, res.Clifford, res.Error)
+	ctx := context.Background()
+	trasyn, _ := synth.Lookup("trasyn")
+	gridsynth, _ := synth.Lookup("gridsynth")
+
+	// trasyn: direct U3 synthesis over Clifford+T. Seed is explicit — the
+	// new API distinguishes synth.Seed(0) from "unset" (default seed).
+	res, err := trasyn.Synthesize(ctx, u, synth.Request{
+		TBudget: 5, Tensors: 4, Samples: 3000, Seed: synth.Seed(1),
+	})
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("\ntrasyn:    T=%d, Clifford=%d, error=%.2e (wall %s)\n",
+		res.TCount, res.Clifford, res.Error, res.Wall.Round(1e6))
 	fmt.Printf("sequence:  %v\n", res.Seq)
 
 	// Verify independently: the sequence's product must realize the error.
-	d := repro.Distance(u, res.Seq.Matrix())
+	d := qmat.Distance(u, res.Seq.Matrix())
 	fmt.Printf("verified:  D(U, product) = %.2e\n", d)
 
 	// Baseline: decompose into three Rz rotations, synthesize each with
 	// gridsynth at a matched error budget.
-	g, err := repro.GridsynthU3(u, res.Error)
+	g, err := gridsynth.Synthesize(ctx, u, synth.Request{Epsilon: res.Error})
 	if err != nil {
 		log.Fatal(err)
 	}
 	fmt.Printf("\ngridsynth: T=%d, Clifford=%d, error=%.2e\n", g.TCount, g.Clifford, g.Error)
 	fmt.Printf("\nT-count reduction: %.2fx  (paper: ~3x at matched error)\n",
 		float64(g.TCount)/float64(res.TCount))
+
+	// The "auto" backend races both under one epsilon and reports the
+	// winner in Result.Backend.
+	auto, _ := synth.Lookup("auto")
+	a, err := auto.Synthesize(ctx, u, synth.Request{Epsilon: 1e-2, Samples: 3000})
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("\nauto @ 1e-2: winner=%s T=%d error=%.2e\n", a.Backend, a.TCount, a.Error)
 }

@@ -1,30 +1,32 @@
 // Resource estimation extension: translate the T-count savings of the U3
 // workflow into fault-tolerant machine resources (distillation rounds,
 // factory qubits, wall-clock) with the standard surface-code model — the
-// "why T gates matter" arithmetic from the paper's introduction.
+// "why T gates matter" arithmetic from the paper's introduction, with both
+// workflows compiled through synth.Compiler.
 package main
 
 import (
+	"context"
 	"fmt"
 	"log"
-	"math/rand"
 
-	"repro/internal/core"
-	"repro/internal/gates"
-	"repro/internal/gridsynth"
-	"repro/internal/pipeline"
 	"repro/internal/resource"
 	"repro/internal/suite"
+	"repro/synth"
 )
 
 func main() {
 	circ := suite.TFIM(10, 1.0, 0.7).EvolutionCircuit(0.5, 2)
 	fmt.Printf("TFIM(10) Trotter circuit: %d rotations\n", circ.CountRotations())
 
-	cfg := core.DefaultConfig(gates.Shared(5), 5, 4, 2000)
-	cfg.Epsilon = 0.007
-	cfg.Rng = rand.New(rand.NewSource(7))
-	u3res, err := pipeline.RunU3Workflow(circ, cfg)
+	ctx := context.Background()
+	tc, err := synth.NewCompilerFor("trasyn", synth.Request{
+		Epsilon: 0.007, TBudget: 5, Tensors: 4, Samples: 2000, Seed: synth.Seed(7),
+	})
+	if err != nil {
+		log.Fatal(err)
+	}
+	u3res, err := tc.CompileCircuit(ctx, circ)
 	if err != nil {
 		log.Fatal(err)
 	}
@@ -32,7 +34,11 @@ func main() {
 	if u3res.Stats.Rotations > 0 {
 		epsRz = u3res.Stats.ErrorBound / float64(u3res.Stats.Rotations)
 	}
-	rzres, err := pipeline.RunRzWorkflow(circ, epsRz, gridsynth.Options{})
+	gc, err := synth.NewCompilerFor("gridsynth", synth.Request{Epsilon: epsRz})
+	if err != nil {
+		log.Fatal(err)
+	}
+	rzres, err := gc.CompileCircuit(ctx, circ)
 	if err != nil {
 		log.Fatal(err)
 	}

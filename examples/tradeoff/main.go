@@ -2,28 +2,38 @@
 // sweep of synthesis thresholds, attach depolarizing noise to every T gate,
 // and locate the threshold minimizing total process infidelity. Reproduces
 // the Figure 9 phenomenon: pushing synthesis error far below the logical
-// error wastes T gates and *hurts* overall fidelity.
+// error wastes T gates and *hurts* overall fidelity. The per-threshold
+// angle sweep runs as one synth.Compiler batch job per epsilon.
 package main
 
 import (
+	"context"
 	"fmt"
 	"log"
 	"math"
 	"math/rand"
 
-	"repro/internal/gridsynth"
 	"repro/internal/qmat"
 	"repro/internal/sim"
+	"repro/synth"
 )
 
 func main() {
 	rng := rand.New(rand.NewSource(6))
 	angles := make([]float64, 30)
+	targets := make([]qmat.M2, len(angles))
 	for i := range angles {
 		angles[i] = rng.Float64()*2*math.Pi - math.Pi
+		targets[i] = qmat.Rz(angles[i])
 	}
 	epsGrid := []float64{1e-1, 3e-2, 1e-2, 3e-3, 1e-3, 3e-4, 1e-4}
 	rates := []float64{1e-5, 1e-6, 1e-7}
+
+	be, ok := synth.Lookup("gridsynth")
+	if !ok {
+		log.Fatal("gridsynth backend not registered")
+	}
+	ctx := context.Background()
 
 	fmt.Printf("%-10s", "eps \\ rate")
 	for _, r := range rates {
@@ -36,17 +46,20 @@ func main() {
 		bestV[r] = math.Inf(1)
 	}
 	for _, eps := range epsGrid {
+		// One batch job per threshold: the worker pool spreads the 30
+		// angles across cores, the shared cache absorbs duplicates.
+		comp := synth.NewCompiler(be, synth.Request{Epsilon: eps})
+		results, err := comp.CompileBatch(ctx, targets)
+		if err != nil {
+			log.Fatal(err)
+		}
 		infid := make([]float64, len(rates))
 		tAvg := 0.0
-		for _, th := range angles {
-			res, err := gridsynth.Rz(th, eps, gridsynth.Options{})
-			if err != nil {
-				log.Fatal(err)
-			}
+		for j, res := range results {
 			tAvg += float64(res.TCount) / float64(len(angles))
 			for i, rate := range rates {
 				ch := sim.SequencePTM(res.Seq, rate)
-				infid[i] += (1 - sim.ProcessFidelity(qmat.Rz(th), ch)) / float64(len(angles))
+				infid[i] += (1 - sim.ProcessFidelity(qmat.Rz(angles[j]), ch)) / float64(len(angles))
 			}
 		}
 		fmt.Printf("%-10.0e", eps)

@@ -27,7 +27,13 @@ type Options struct {
 	// ItersPerRestart bounds one annealing run; Budget bounds wall clock.
 	ItersPerRestart int
 	Budget          time.Duration
-	Rng             *rand.Rand
+	// Rng drives the search; nil selects a fixed default seed so runs are
+	// reproducible unless the caller opts into randomness.
+	Rng *rand.Rand
+	// Cancel, when non-nil, aborts the search early (checked at restart
+	// boundaries and every few hundred iterations); the best sequence so
+	// far is returned.
+	Cancel <-chan struct{}
 }
 
 // Result reports the best sequence found.
@@ -63,9 +69,22 @@ func (o Options) filled(eps float64) Options {
 		o.Budget = 2 * time.Second
 	}
 	if o.Rng == nil {
-		o.Rng = rand.New(rand.NewSource(time.Now().UnixNano()))
+		o.Rng = rand.New(rand.NewSource(1))
 	}
 	return o
+}
+
+// canceled polls o.Cancel without blocking.
+func (o Options) canceled() bool {
+	if o.Cancel == nil {
+		return false
+	}
+	select {
+	case <-o.Cancel:
+		return true
+	default:
+		return false
+	}
 }
 
 // Synthesize searches for a sequence with D(U, seq) ≤ eps.
@@ -74,7 +93,7 @@ func Synthesize(u qmat.M2, eps float64, opt Options) Result {
 	deadline := time.Now().Add(opt.Budget)
 	best := Result{Error: math.Inf(1)}
 	rng := opt.Rng
-	for time.Now().Before(deadline) {
+	for time.Now().Before(deadline) && !opt.canceled() {
 		best.Restarts++
 		seq := make(gates.Sequence, opt.Length)
 		for i := range seq {
@@ -83,7 +102,7 @@ func Synthesize(u qmat.M2, eps float64, opt Options) Result {
 		cur := qmat.Distance(u, seq.Matrix())
 		temp := opt.InitTemp
 		for it := 0; it < opt.ItersPerRestart; it++ {
-			if it%512 == 0 && !time.Now().Before(deadline) {
+			if it%512 == 0 && (!time.Now().Before(deadline) || opt.canceled()) {
 				break
 			}
 			pos := rng.Intn(opt.Length)

@@ -12,7 +12,6 @@ import (
 	"math"
 	"math/rand"
 	"sort"
-	"time"
 
 	"repro/internal/gates"
 	"repro/internal/mps"
@@ -44,8 +43,12 @@ type Config struct {
 	BeamWidth int
 	// KeepBest is how many top-trace samples are post-processed per attempt.
 	KeepBest int
-	// Rng drives sampling; nil seeds from the clock.
+	// Rng drives sampling; nil selects a fixed default seed so that runs
+	// are reproducible unless the caller opts into randomness.
 	Rng *rand.Rand
+	// Cancel, when non-nil, aborts TRASYN between attempts (the natural
+	// preemption granularity); the best result so far is returned.
+	Cancel <-chan struct{}
 }
 
 // DefaultConfig returns a CPU-friendly configuration: per-site budget m,
@@ -96,6 +99,14 @@ func TRASYN(u qmat.M2, cfg Config) Result {
 	evals := 0
 	for i := cfg.MinSites; i <= len(cfg.Budgets); i++ {
 		for j := 0; j < cfg.Attempts; j++ {
+			if cfg.Cancel != nil {
+				select {
+				case <-cfg.Cancel:
+					best.Evals = evals
+					return best
+				default:
+				}
+			}
 			res := synthesizeOnce(u, cfg, cfg.Budgets[:i])
 			evals += res.Evals
 			if res.Error < best.Error ||
@@ -138,7 +149,9 @@ func fill(cfg Config) Config {
 		cfg.BeamWidth = 128
 	}
 	if cfg.Rng == nil {
-		cfg.Rng = rand.New(rand.NewSource(time.Now().UnixNano()))
+		// A fixed default seed: reproducible batch runs must not depend on
+		// the clock (callers wanting fresh randomness pass their own Rng).
+		cfg.Rng = rand.New(rand.NewSource(1))
 	}
 	return cfg
 }

@@ -14,6 +14,7 @@ import (
 	"repro/internal/suite"
 	"repro/internal/transpile"
 	"repro/internal/zxopt"
+	"repro/synth"
 )
 
 // benchResult holds both workflow outcomes for one benchmark circuit.
@@ -68,8 +69,13 @@ func runStudy(cfg Config, eps float64) []benchResult {
 			// the paper's trasyn reports best-found rather than
 			// threshold-truncated solutions).
 			tcfg := cfg.trasynConfig(cfg.Sites+1, eps*0.6, cfg.Seed+int64(i*31))
+			// Per-circuit caches (seeds differ per circuit, so entries
+			// must not leak across circuits); repeated angles within a
+			// circuit synthesize once.
+			cache := synth.NewCache(0)
 			var err error
-			r.u3Out, r.u3Stats, err = pipeline.Lower(r.u3IR, pipeline.TrasynLowerer(tcfg))
+			r.u3Out, r.u3Stats, err = pipeline.Lower(r.u3IR,
+				cache.Wrap("trasyn", eps*0.6, pipeline.TrasynLowerer(tcfg)))
 			if err != nil {
 				r.err = err
 				return
@@ -80,7 +86,8 @@ func runStudy(cfg Config, eps float64) []benchResult {
 			if nRz > 0 && nU3 > 0 {
 				epsRz = eps * float64(nU3) / float64(nRz)
 			}
-			r.rzOut, r.rzStats, err = pipeline.Lower(r.rzIR, pipeline.GridsynthLowerer(epsRz, gridsynth.Options{}))
+			r.rzOut, r.rzStats, err = pipeline.Lower(r.rzIR,
+				cache.Wrap("gridsynth", epsRz, pipeline.GridsynthLowerer(epsRz, gridsynth.Options{})))
 			if err != nil {
 				r.err = err
 			}
@@ -375,7 +382,8 @@ func Fig12(cfg Config) (*Table, error) {
 				return
 			}
 			epsRz := defaultCircuitEps * float64(nU3) / math.Max(1, float64(nBq))
-			low, _, err := pipeline.Lower(bq, pipeline.GridsynthLowerer(epsRz, gridsynth.Options{}))
+			low, _, err := pipeline.Lower(bq,
+				synth.NewCache(0).Wrap("gridsynth", epsRz, pipeline.GridsynthLowerer(epsRz, gridsynth.Options{})))
 			if err != nil {
 				return
 			}

@@ -1,0 +1,12 @@
+package gates
+
+import "testing"
+
+func BenchmarkEnumerationT8(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		tab := BuildTable(8)
+		if tab.Count() != 24*(3*256-2) {
+			b.Fatal("bad count")
+		}
+	}
+}

@@ -1,0 +1,19 @@
+package gridsynth
+
+import "testing"
+
+func BenchmarkGridsynthRz1e2(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		if _, err := Rz(1.0+float64(i%5)*0.21, 1e-2, Options{}); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkGridsynthRz1e4(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		if _, err := Rz(1.0+float64(i%5)*0.21, 1e-4, Options{}); err != nil {
+			b.Fatal(err)
+		}
+	}
+}

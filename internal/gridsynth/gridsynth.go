@@ -33,6 +33,9 @@ type Options struct {
 	// Table supplies the residual lookup for exact synthesis (default
 	// gates.Shared(4)).
 	Table *gates.Table
+	// Cancel, when non-nil, aborts the search between denominator
+	// exponents, returning ErrCanceled.
+	Cancel <-chan struct{}
 }
 
 // Result is a synthesized Rz approximation.
@@ -46,6 +49,9 @@ type Result struct {
 
 // ErrNoSolution is returned when no solution is found within MaxK.
 var ErrNoSolution = errors.New("gridsynth: no solution within MaxK")
+
+// ErrCanceled is returned when Options.Cancel fires mid-search.
+var ErrCanceled = errors.New("gridsynth: canceled")
 
 func (o Options) filled() Options {
 	if o.MaxK <= 0 {
@@ -70,6 +76,13 @@ func Rz(theta, eps float64, opt Options) (Result, error) {
 	pow2k := ring.NewBSqrt2(1, 0)
 	two := ring.NewBSqrt2(2, 0)
 	for k := 0; k <= opt.MaxK; k++ {
+		if opt.Cancel != nil {
+			select {
+			case <-opt.Cancel:
+				return Result{}, ErrCanceled
+			default:
+			}
+		}
 		for g := 0; g < 2; g++ {
 			// Phase grid g: direction rotated by ω^{g/2} = e^{igπ/8}
 			// (see package doc); equivalent to synthesizing at θ − gπ/4.

@@ -2,14 +2,14 @@
 // transpile a circuit into an intermediate representation (CX+U3 or
 // CX+H+RZ, picking the best of the 16 transpiler settings), then lower
 // every nontrivial rotation to Clifford+T — with trasyn for the U3 workflow
-// and gridsynth for the Rz workflow. Synthesis results are cached by
-// (gate, angles), which mirrors how compilers amortize repeated rotations.
+// and gridsynth for the Rz workflow. Memoization of repeated rotations
+// lives one layer up in the public synth package (synth.Cache), which is
+// shared across batch jobs; wrap a Lowerer with (*synth.Cache).Wrap to
+// amortize repeats.
 package pipeline
 
 import (
 	"fmt"
-	"math"
-	"sync"
 
 	"repro/internal/circuit"
 	"repro/internal/core"
@@ -39,7 +39,7 @@ func Lower(c *circuit.Circuit, f Lowerer) (*circuit.Circuit, Stats, error) {
 			out.Add(op)
 			continue
 		}
-		if isTrivialRotation(op) {
+		if TrivialRotation(op) {
 			snapTrivial(out, op)
 			continue
 		}
@@ -59,7 +59,9 @@ func Lower(c *circuit.Circuit, f Lowerer) (*circuit.Circuit, Stats, error) {
 	return out, st, nil
 }
 
-func isTrivialRotation(op circuit.Op) bool {
+// TrivialRotation reports whether op is a π/4-multiple rotation that snaps
+// to discrete gates exactly, consuming no synthesis.
+func TrivialRotation(op circuit.Op) bool {
 	tmp := circuit.New(1)
 	tmp.Add(circuit.Op{G: op.G, Q: [2]int{0, -1}, P: op.P})
 	return tmp.CountRotations() == 0
@@ -75,69 +77,25 @@ func snapTrivial(out *circuit.Circuit, op circuit.Op) {
 	}
 }
 
-// cacheKey quantizes angles so repeated rotations hit the cache.
-type cacheKey struct {
-	g       circuit.GateType
-	a, b, c int64
-}
-
-func keyOf(op circuit.Op) cacheKey {
-	q := func(x float64) int64 {
-		// Wrap to [0, 4π) (U3 angles are 2π-periodic up to phase; 4π is
-		// safe for every convention) and quantize at 1e-12.
-		x = math.Mod(x, 4*math.Pi)
-		if x < 0 {
-			x += 4 * math.Pi
-		}
-		return int64(math.Round(x * 1e12))
-	}
-	return cacheKey{g: op.G, a: q(op.P[0]), b: q(op.P[1]), c: q(op.P[2])}
-}
-
-type cachedResult struct {
-	seq gates.Sequence
-	err float64
-	e   error
-}
-
-// cachingLowerer memoizes an underlying lowerer; safe for concurrent use.
-func cachingLowerer(f Lowerer) Lowerer {
-	var mu sync.Mutex
-	cache := map[cacheKey]cachedResult{}
-	return func(op circuit.Op) (gates.Sequence, float64, error) {
-		k := keyOf(op)
-		mu.Lock()
-		if r, ok := cache[k]; ok {
-			mu.Unlock()
-			return r.seq, r.err, r.e
-		}
-		mu.Unlock()
-		seq, err, e := f(op)
-		mu.Lock()
-		cache[k] = cachedResult{seq, err, e}
-		mu.Unlock()
-		return seq, err, e
-	}
-}
-
 // TrasynLowerer synthesizes arbitrary rotations directly with trasyn
 // (the U3 workflow). cfg.Epsilon, when set, bounds per-rotation error.
+// The lowerer is uncached; wrap it with (*synth.Cache).Wrap to memoize.
 func TrasynLowerer(cfg core.Config) Lowerer {
-	return cachingLowerer(func(op circuit.Op) (gates.Sequence, float64, error) {
+	return func(op circuit.Op) (gates.Sequence, float64, error) {
 		res := core.TRASYN(op.Matrix1Q(), cfg)
 		if res.Seq == nil {
 			return nil, 0, fmt.Errorf("trasyn returned no sequence")
 		}
 		return res.Seq, res.Error, nil
-	})
+	}
 }
 
 // GridsynthLowerer synthesizes rotations with gridsynth (the Rz workflow):
 // RZ gates go through one Rz synthesis; RX/RY/U3 are first decomposed into
 // Rz rotations (three for U3, the paper's Eq. (1) baseline), splitting the
-// error budget equally.
+// error budget equally. Uncached, like TrasynLowerer.
 func GridsynthLowerer(eps float64, opt gridsynth.Options) Lowerer {
-	return cachingLowerer(func(op circuit.Op) (gates.Sequence, float64, error) {
+	return func(op circuit.Op) (gates.Sequence, float64, error) {
 		switch op.G {
 		case circuit.RZ:
 			r, err := gridsynth.Rz(op.P[0], eps, opt)
@@ -152,7 +110,7 @@ func GridsynthLowerer(eps float64, opt gridsynth.Options) Lowerer {
 			}
 			return r.Seq, r.Error, nil
 		}
-	})
+	}
 }
 
 // WorkflowResult is one end-to-end compilation outcome.

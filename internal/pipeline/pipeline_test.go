@@ -78,21 +78,15 @@ func TestGridsynthLowerer(t *testing.T) {
 	}
 }
 
-// TestCachingLowererHitsCache: repeated angles must synthesize once.
-func TestCachingLowererHitsCache(t *testing.T) {
-	calls := 0
-	f := cachingLowerer(func(op circuit.Op) (gates.Sequence, float64, error) {
-		calls++
-		return gates.Sequence{gates.T}, 0.001, nil
-	})
-	op := circuit.Op{G: circuit.RZ, Q: [2]int{0, -1}, P: [3]float64{0.7}}
-	for i := 0; i < 5; i++ {
-		if _, _, err := f(op); err != nil {
-			t.Fatal(err)
-		}
+// TestTrivialRotation: π/4-multiples are trivial, others are not.
+func TestTrivialRotation(t *testing.T) {
+	trivial := circuit.Op{G: circuit.RZ, Q: [2]int{0, -1}, P: [3]float64{math.Pi / 2}}
+	if !TrivialRotation(trivial) {
+		t.Fatal("RZ(π/2) should be trivial")
 	}
-	if calls != 1 {
-		t.Fatalf("expected 1 underlying call, got %d", calls)
+	generic := circuit.Op{G: circuit.RZ, Q: [2]int{0, -1}, P: [3]float64{0.7}}
+	if TrivialRotation(generic) {
+		t.Fatal("RZ(0.7) should not be trivial")
 	}
 }
 

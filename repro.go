@@ -6,27 +6,29 @@
 // Synthetiq-style annealer, a circuit IR and transpiler, simulators and a
 // 187-circuit benchmark suite.
 //
-// This file is the public facade; the implementation lives in internal/
-// packages (see DESIGN.md for the system inventory).
+// This file is the legacy public facade; new code should use the synth
+// package — a unified Backend interface, named registry, batch Compiler
+// and shared synthesis cache — and the implementation lives in internal/
+// packages (see DESIGN.md for the system inventory and the migration
+// table from these facade functions to synth calls).
 //
-// Quick start:
+// Quick start (new API):
 //
-//	u := repro.HaarRandom(rand.New(rand.NewSource(1)))
-//	res := repro.Synthesize(u, repro.SynthOptions{TBudget: 8, Tensors: 2})
+//	be, _ := synth.Lookup("trasyn")
+//	res, _ := be.Synthesize(ctx, target, synth.Request{Epsilon: 1e-3})
 //	fmt.Println(res.Seq, res.TCount, res.Error)
 package repro
 
 import (
-	"math/rand"
+	"context"
 
 	"repro/internal/circuit"
-	"repro/internal/core"
 	"repro/internal/gates"
-	"repro/internal/gridsynth"
 	"repro/internal/qmat"
 	"repro/internal/sk"
 	"repro/internal/suite"
 	"repro/internal/transpile"
+	"repro/synth"
 )
 
 // M2 is a dense 2x2 complex matrix (row-major).
@@ -57,6 +59,10 @@ var (
 )
 
 // SynthOptions configures trasyn synthesis.
+//
+// Deprecated: use synth.Request, which additionally distinguishes an unset
+// seed from an explicit zero seed (here Seed 0 has always meant "default",
+// so seed 0 itself is unreachable — synth.Seed(0) reaches it).
 type SynthOptions struct {
 	// TBudget is the per-tensor T budget m (≤ 12 practical; default 5 —
 	// small budgets with longer chains sample better per FLOP).
@@ -74,6 +80,9 @@ type SynthOptions struct {
 }
 
 // SynthResult is a synthesized Clifford+T approximation.
+//
+// Deprecated: use synth.Result, which adds evals, wall time and the
+// backend name.
 type SynthResult struct {
 	Seq      Sequence
 	Error    float64
@@ -81,46 +90,68 @@ type SynthResult struct {
 	Clifford int
 }
 
+// request converts the legacy options to a synth.Request.
+func (o SynthOptions) request() synth.Request {
+	req := synth.Request{
+		Epsilon: o.Epsilon,
+		TBudget: o.TBudget,
+		Tensors: o.Tensors,
+		Samples: o.Samples,
+		Beam:    o.Beam,
+	}
+	if o.Seed != 0 {
+		req.Seed = synth.Seed(o.Seed)
+	}
+	return req
+}
+
+func fromSynth(r synth.Result) SynthResult {
+	return SynthResult{Seq: r.Seq, Error: r.Error, TCount: r.TCount, Clifford: r.Clifford}
+}
+
+// mustBackend resolves a built-in backend; the registry pre-populates all
+// of them in synth's init, so a miss is a programming error.
+func mustBackend(name string) synth.Backend {
+	b, ok := synth.Lookup(name)
+	if !ok {
+		panic("repro: backend " + name + " not registered")
+	}
+	return b
+}
+
 // Synthesize approximates the unitary u with trasyn (Algorithm 1).
+//
+// Deprecated: use synth.Lookup("trasyn") and Backend.Synthesize.
 func Synthesize(u M2, opt SynthOptions) SynthResult {
-	if opt.TBudget <= 0 {
-		opt.TBudget = 5
+	res, err := mustBackend("trasyn").Synthesize(context.Background(), u, opt.request())
+	if err != nil {
+		return SynthResult{}
 	}
-	if opt.Tensors <= 0 {
-		opt.Tensors = 4
-	}
-	if opt.Samples <= 0 {
-		opt.Samples = 2000
-	}
-	cfg := core.DefaultConfig(gates.Shared(opt.TBudget), opt.TBudget, opt.Tensors, opt.Samples)
-	cfg.Epsilon = opt.Epsilon
-	cfg.UseBeam = opt.Beam
-	seed := opt.Seed
-	if seed == 0 {
-		seed = 1
-	}
-	cfg.Rng = rand.New(rand.NewSource(seed))
-	res := core.TRASYN(u, cfg)
-	return SynthResult{Seq: res.Seq, Error: res.Error, TCount: res.TCount, Clifford: res.Clifford}
+	return fromSynth(res)
 }
 
 // GridsynthRz approximates Rz(theta) with the Ross–Selinger baseline.
+//
+// Deprecated: use synth.Lookup("gridsynth") with a qmat.Rz target.
 func GridsynthRz(theta, eps float64) (SynthResult, error) {
-	r, err := gridsynth.Rz(theta, eps, gridsynth.Options{})
+	res, err := mustBackend("gridsynth").Synthesize(context.Background(),
+		qmat.Rz(theta), synth.Request{Epsilon: eps})
 	if err != nil {
 		return SynthResult{}, err
 	}
-	return SynthResult{Seq: r.Seq, Error: r.Error, TCount: r.TCount, Clifford: r.Clifford}, nil
+	return fromSynth(res), nil
 }
 
 // GridsynthU3 approximates an arbitrary unitary with the three-rotation
 // Rz workflow (the paper's baseline for general unitaries).
+//
+// Deprecated: use synth.Lookup("gridsynth") and Backend.Synthesize.
 func GridsynthU3(u M2, eps float64) (SynthResult, error) {
-	r, err := gridsynth.U3(u, eps, gridsynth.Options{})
+	res, err := mustBackend("gridsynth").Synthesize(context.Background(), u, synth.Request{Epsilon: eps})
 	if err != nil {
 		return SynthResult{}, err
 	}
-	return SynthResult{Seq: r.Seq, Error: r.Error, TCount: r.TCount, Clifford: r.Clifford}, nil
+	return fromSynth(res), nil
 }
 
 // SolovayKitaev approximates u with the classic recursive algorithm at the

@@ -1,0 +1,253 @@
+package synth
+
+import (
+	"context"
+	"errors"
+	"fmt"
+	"math"
+	"math/cmplx"
+	"math/rand"
+	"sync"
+	"time"
+
+	"repro/internal/anneal"
+	"repro/internal/core"
+	"repro/internal/gates"
+	"repro/internal/gridsynth"
+	"repro/internal/qmat"
+	"repro/internal/sk"
+)
+
+// ErrNoSequence is returned when a backend produced nothing usable.
+var ErrNoSequence = errors.New("synth: backend produced no sequence")
+
+// --- trasyn ---
+
+// trasynBackend wraps core.TRASYN (Algorithm 1): the tensor-network-guided
+// search over Clifford+T sequences. Epsilon, when set, turns the run into
+// the Eq. (4) early-stopping form; otherwise the full budget ladder runs
+// and the best approximation wins.
+type trasynBackend struct{}
+
+func (trasynBackend) Name() string { return "trasyn" }
+
+func (trasynBackend) Synthesize(ctx context.Context, target qmat.M2, req Request) (Result, error) {
+	ctx, cancel := req.budget(ctx)
+	defer cancel()
+	req = req.withDefaults()
+	cfg := core.DefaultConfig(gates.Shared(req.TBudget), req.TBudget, req.Tensors, req.Samples)
+	cfg.Epsilon = req.Epsilon
+	cfg.UseBeam = req.Beam
+	cfg.Rng = rand.New(rand.NewSource(req.seed()))
+	cfg.Cancel = ctx.Done()
+	start := time.Now()
+	res := core.TRASYN(target, cfg)
+	if res.Seq == nil {
+		if err := ctx.Err(); err != nil {
+			return Result{}, err
+		}
+		return Result{}, ErrNoSequence
+	}
+	// A canceled run that nonetheless met its target is a success; a
+	// truncated one is not — returning (and caching) partial best-effort
+	// results would silently degrade later requests.
+	if err := ctx.Err(); err != nil && (req.Epsilon <= 0 || res.Error > req.Epsilon) {
+		return Result{}, err
+	}
+	return finish("trasyn", start, res.Seq, res.Error, res.Evals), nil
+}
+
+// --- gridsynth ---
+
+// gridsynthBackend wraps the Ross–Selinger baseline. Diagonal targets take
+// the single-Rz path; general unitaries go through the three-rotation U3
+// decomposition with the error budget split equally (the paper's Eq. (1)
+// baseline).
+type gridsynthBackend struct{}
+
+func (gridsynthBackend) Name() string { return "gridsynth" }
+
+func (gridsynthBackend) Synthesize(ctx context.Context, target qmat.M2, req Request) (Result, error) {
+	ctx, cancel := req.budget(ctx)
+	defer cancel()
+	opt := gridsynth.Options{Cancel: ctx.Done()}
+	start := time.Now()
+	var (
+		r   gridsynth.Result
+		err error
+	)
+	if theta, ok := rzAngle(target); ok {
+		r, err = gridsynth.Rz(theta, req.eps(), opt)
+	} else {
+		r, err = gridsynth.U3(target, req.eps(), opt)
+	}
+	if err != nil {
+		if cerr := ctx.Err(); cerr != nil {
+			return Result{}, cerr
+		}
+		return Result{}, err
+	}
+	return finish("gridsynth", start, r.Seq, r.Error, 0), nil
+}
+
+// rzAngle reports whether target is diagonal — i.e. an Rz rotation up to
+// global phase — and extracts its angle.
+func rzAngle(u qmat.M2) (float64, bool) {
+	if cmplx.Abs(u[0][1]) > 1e-12 || cmplx.Abs(u[1][0]) > 1e-12 {
+		return 0, false
+	}
+	return cmplx.Phase(u[1][1]) - cmplx.Phase(u[0][0]), true
+}
+
+// --- Solovay–Kitaev ---
+
+// skBackend wraps the recursive Solovay–Kitaev baseline. The engine is
+// depth-driven, so the backend deepens the recursion until req's epsilon is
+// met or maxSKDepth is reached (sequence lengths grow ~5^depth), returning
+// the best depth found.
+type skBackend struct {
+	once sync.Once
+	eng  *sk.Engine
+}
+
+const maxSKDepth = 4
+
+func (*skBackend) Name() string { return "sk" }
+
+func (b *skBackend) Synthesize(ctx context.Context, target qmat.M2, req Request) (Result, error) {
+	ctx, cancel := req.budget(ctx)
+	defer cancel()
+	b.once.Do(func() { b.eng = sk.NewEngine(gates.Shared(4)) })
+	start := time.Now()
+	best := Result{Error: math.Inf(1)}
+	for depth := 0; depth <= maxSKDepth; depth++ {
+		if err := ctx.Err(); err != nil {
+			// Only a best-so-far that already meets the target survives
+			// cancellation; a truncated recursion is an error.
+			if best.Seq != nil && best.Error <= req.eps() {
+				return best, nil
+			}
+			return Result{}, err
+		}
+		seq, d := b.eng.Synthesize(target, depth)
+		if d < best.Error {
+			best = finish("sk", start, seq, d, 0)
+		}
+		if best.Error <= req.eps() {
+			break
+		}
+	}
+	if best.Seq == nil {
+		return Result{}, ErrNoSequence
+	}
+	best.Wall = time.Since(start)
+	return best, nil
+}
+
+// --- annealer ---
+
+// annealBackend wraps the Synthetiq-style simulated annealer. Its restart
+// budget is Request.Timeout (default 2s) — a declared knob that is part of
+// the cache key, unlike an ambient context deadline. Like the original it
+// has no optimality guarantee: the best sequence found within the budget
+// is returned even when it misses epsilon — callers judge Result.Error
+// against their threshold. A run cut short by context cancellation (as
+// opposed to its own budget) only succeeds if it already met epsilon.
+type annealBackend struct{}
+
+func (annealBackend) Name() string { return "anneal" }
+
+func (annealBackend) Synthesize(ctx context.Context, target qmat.M2, req Request) (Result, error) {
+	opt := anneal.Options{
+		Budget: req.Timeout,
+		Rng:    rand.New(rand.NewSource(req.seed())),
+		Cancel: ctx.Done(),
+	}
+	start := time.Now()
+	res := anneal.Synthesize(target, req.eps(), opt)
+	if res.Seq == nil {
+		if err := ctx.Err(); err != nil {
+			return Result{}, err
+		}
+		return Result{}, ErrNoSequence
+	}
+	if err := ctx.Err(); err != nil && res.Error > req.eps() {
+		return Result{}, err
+	}
+	return finish("anneal", start, res.Seq, res.Error, res.Restarts), nil
+}
+
+// --- auto ---
+
+// autoBackend races trasyn against gridsynth under the caller's epsilon and
+// returns the lower-T-count result among those meeting it (falling back to
+// the lower-error result when neither does) — the pluggable-search framing
+// of T-count optimization from Kliuchnikov '13 / Davis et al.
+type autoBackend struct{}
+
+func (autoBackend) Name() string { return "auto" }
+
+func (autoBackend) Synthesize(ctx context.Context, target qmat.M2, req Request) (Result, error) {
+	ctx, cancel := req.budget(ctx)
+	defer cancel()
+	// trasyn needs an explicit epsilon to early-stop against the same
+	// threshold gridsynth targets.
+	sub := req
+	sub.Epsilon = req.eps()
+	type out struct {
+		res Result
+		err error
+	}
+	var wg sync.WaitGroup
+	outs := make([]out, 2)
+	for i, be := range []Backend{trasynBackend{}, gridsynthBackend{}} {
+		wg.Add(1)
+		go func(i int, be Backend) {
+			defer wg.Done()
+			r, err := be.Synthesize(ctx, target, sub)
+			outs[i] = out{r, err}
+		}(i, be)
+	}
+	wg.Wait()
+	best, found := Result{Error: math.Inf(1)}, false
+	for _, o := range outs {
+		if o.err != nil {
+			continue
+		}
+		if !found {
+			best, found = o.res, true
+			continue
+		}
+		best = pickWinner(best, o.res, sub.Epsilon)
+	}
+	if !found {
+		if err := ctx.Err(); err != nil {
+			return Result{}, err
+		}
+		return Result{}, fmt.Errorf("synth: auto: all backends failed (trasyn: %v; gridsynth: %v)",
+			outs[0].err, outs[1].err)
+	}
+	return best, nil
+}
+
+// pickWinner prefers the lower T count among results meeting eps, then the
+// lower error.
+func pickWinner(a, b Result, eps float64) Result {
+	aOK, bOK := a.Error <= eps, b.Error <= eps
+	switch {
+	case aOK && !bOK:
+		return a
+	case bOK && !aOK:
+		return b
+	case aOK && bOK:
+		if b.TCount < a.TCount || (b.TCount == a.TCount && b.Error < a.Error) {
+			return b
+		}
+		return a
+	default:
+		if b.Error < a.Error {
+			return b
+		}
+		return a
+	}
+}

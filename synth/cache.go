@@ -1,0 +1,224 @@
+package synth
+
+import (
+	"container/list"
+	"math"
+	"sync"
+
+	"repro/internal/circuit"
+	"repro/internal/gates"
+	"repro/internal/pipeline"
+	"repro/internal/qmat"
+)
+
+// DefaultCacheSize bounds a Cache when NewCache is given no capacity.
+const DefaultCacheSize = 4096
+
+// Key identifies one synthesis job up to angle quantization. Two requests
+// with the same Key are interchangeable: same rotation (angles wrapped to
+// [0, 4π) and quantized at 1e-12), same scope (backend name or caller
+// namespace), same epsilon, and same packed backend knobs — so a shared
+// cache never serves a loose approximation to a tight request or mixes
+// backends.
+type Key struct {
+	Gate    circuit.GateType
+	A, B, C int64
+	Eps     int64
+	Cfg     int64
+	Scope   string
+}
+
+// quantizeAngle wraps x to [0, 4π) (U3 angles are 2π-periodic up to phase;
+// 4π is safe for every convention) and quantizes at 1e-12.
+func quantizeAngle(x float64) int64 {
+	x = math.Mod(x, 4*math.Pi)
+	if x < 0 {
+		x += 4 * math.Pi
+	}
+	return int64(math.Round(x * 1e12))
+}
+
+// KeyOf builds the cache key for a rotation op under a scope and epsilon.
+func KeyOf(op circuit.Op, scope string, eps float64, cfg int64) Key {
+	return Key{
+		Gate:  op.G,
+		A:     quantizeAngle(op.P[0]),
+		B:     quantizeAngle(op.P[1]),
+		C:     quantizeAngle(op.P[2]),
+		Eps:   int64(math.Round(eps * 1e15)),
+		Cfg:   cfg,
+		Scope: scope,
+	}
+}
+
+// KeyOfTarget builds the cache key for a raw unitary via its ZYZ Euler
+// angles, so matrix-level batch jobs share entries with equivalent U3 ops.
+func KeyOfTarget(u qmat.M2, scope string, eps float64, cfg int64) Key {
+	theta, phi, lambda := qmat.ZYZAngles(u)
+	return KeyOf(circuit.Op{G: circuit.U3, P: [3]float64{theta, phi, lambda}}, scope, eps, cfg)
+}
+
+// cacheCfg hashes every Request knob that changes synthesis output —
+// budget shape, sampler, time budget, and the base seed (per-op seeds are
+// derived from the base seed and the key, so compilers with different base
+// seeds must not serve each other's entries).
+func (r Request) cacheCfg() int64 {
+	d := r.withDefaults()
+	h := fnv64(uint64(d.TBudget), uint64(d.Tensors), uint64(d.Samples),
+		uint64(d.Timeout), uint64(r.seed()))
+	if d.Beam {
+		h ^= 1
+	}
+	return int64(h)
+}
+
+// fnv64 is FNV-1a over a list of 64-bit words.
+func fnv64(vs ...uint64) uint64 {
+	const (
+		offset = 14695981039346656037
+		prime  = 1099511628211
+	)
+	h := uint64(offset)
+	for _, v := range vs {
+		for i := 0; i < 8; i++ {
+			h ^= v & 0xff
+			h *= prime
+			v >>= 8
+		}
+	}
+	return h
+}
+
+// Entry is one cached synthesis outcome.
+type Entry struct {
+	Seq gates.Sequence
+	Err float64 // realized unitary distance
+	// Backend records which backend produced the entry (meaningful for
+	// racing backends like "auto", whose winner varies per target).
+	Backend string
+}
+
+// CacheStats is a point-in-time counter snapshot.
+type CacheStats struct {
+	Hits, Misses int64
+	Size, Cap    int
+}
+
+// HitRate returns hits/(hits+misses), or 0 before any lookup.
+func (s CacheStats) HitRate() float64 {
+	if s.Hits+s.Misses == 0 {
+		return 0
+	}
+	return float64(s.Hits) / float64(s.Hits+s.Misses)
+}
+
+// Cache is a bounded, concurrency-safe synthesis cache with LRU eviction —
+// the promotion of internal/pipeline's former private memoizer into a
+// service-level object shared across batch jobs. Every Get counts a hit or
+// a miss; Stats exposes the accounting.
+type Cache struct {
+	mu           sync.Mutex
+	cap          int
+	ll           *list.List // front = most recent
+	m            map[Key]*list.Element
+	hits, misses int64
+}
+
+type cacheNode struct {
+	k Key
+	e Entry
+}
+
+// NewCache returns a cache bounded to capacity entries (<= 0 selects
+// DefaultCacheSize).
+func NewCache(capacity int) *Cache {
+	if capacity <= 0 {
+		capacity = DefaultCacheSize
+	}
+	return &Cache{cap: capacity, ll: list.New(), m: map[Key]*list.Element{}}
+}
+
+// Get looks up k, counting a hit or miss and refreshing recency.
+func (c *Cache) Get(k Key) (Entry, bool) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	if el, ok := c.m[k]; ok {
+		c.hits++
+		c.ll.MoveToFront(el)
+		return el.Value.(*cacheNode).e, true
+	}
+	c.misses++
+	return Entry{}, false
+}
+
+// creditHit records a hit for a lookup served without touching the map —
+// a job that reuses one in-flight synthesis for several ops charges the
+// extra ops here.
+func (c *Cache) creditHit() {
+	c.mu.Lock()
+	c.hits++
+	c.mu.Unlock()
+}
+
+// peek is Get without accounting or recency update; used when assembling
+// output from entries the caller already charged for.
+func (c *Cache) peek(k Key) (Entry, bool) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	if el, ok := c.m[k]; ok {
+		return el.Value.(*cacheNode).e, true
+	}
+	return Entry{}, false
+}
+
+// Put stores k → e, evicting the least-recently-used entry when full.
+func (c *Cache) Put(k Key, e Entry) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	if el, ok := c.m[k]; ok {
+		el.Value.(*cacheNode).e = e
+		c.ll.MoveToFront(el)
+		return
+	}
+	c.m[k] = c.ll.PushFront(&cacheNode{k: k, e: e})
+	for len(c.m) > c.cap {
+		last := c.ll.Back()
+		c.ll.Remove(last)
+		delete(c.m, last.Value.(*cacheNode).k)
+	}
+}
+
+// Len returns the current entry count.
+func (c *Cache) Len() int {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return len(c.m)
+}
+
+// Stats snapshots the counters.
+func (c *Cache) Stats() CacheStats {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return CacheStats{Hits: c.hits, Misses: c.misses, Size: len(c.m), Cap: c.cap}
+}
+
+// Wrap memoizes a pipeline lowerer through the cache under the given scope
+// and per-rotation epsilon, so a shared cache never serves a loose
+// approximation to a tighter pass. The scope must distinguish anything
+// else that changes the lowerer's output (backend name, engine config).
+// Errors are not cached. This is the drop-in replacement for the old
+// pipeline-private cachingLowerer, now shareable across runs.
+func (c *Cache) Wrap(scope string, eps float64, f pipeline.Lowerer) pipeline.Lowerer {
+	return func(op circuit.Op) (gates.Sequence, float64, error) {
+		k := KeyOf(op, scope, eps, 0)
+		if e, ok := c.Get(k); ok {
+			return e.Seq, e.Err, nil
+		}
+		seq, errDist, err := f(op)
+		if err != nil {
+			return nil, 0, err
+		}
+		c.Put(k, Entry{Seq: seq, Err: errDist})
+		return seq, errDist, nil
+	}
+}

@@ -1,0 +1,164 @@
+package synth
+
+import (
+	"fmt"
+	"sync"
+	"testing"
+	"time"
+
+	"repro/internal/circuit"
+	"repro/internal/gates"
+)
+
+func rzOp(theta float64) circuit.Op {
+	return circuit.Op{G: circuit.RZ, Q: [2]int{0, -1}, P: [3]float64{theta}}
+}
+
+// TestCacheHitAccounting: Get counts hits and misses exactly.
+func TestCacheHitAccounting(t *testing.T) {
+	c := NewCache(8)
+	k := KeyOf(rzOp(0.7), "t", 1e-3, 0)
+	if _, ok := c.Get(k); ok {
+		t.Fatal("hit on empty cache")
+	}
+	c.Put(k, Entry{Seq: gates.Sequence{gates.T}, Err: 0.001})
+	for i := 0; i < 3; i++ {
+		if _, ok := c.Get(k); !ok {
+			t.Fatal("miss after Put")
+		}
+	}
+	st := c.Stats()
+	if st.Hits != 3 || st.Misses != 1 || st.Size != 1 {
+		t.Fatalf("stats %+v, want 3 hits / 1 miss / size 1", st)
+	}
+	if got := st.HitRate(); got != 0.75 {
+		t.Fatalf("hit rate %v, want 0.75", got)
+	}
+}
+
+// TestCacheKeyScoping: same angle under different scope, epsilon, or
+// config must not collide; equivalent wrapped angles must.
+func TestCacheKeyScoping(t *testing.T) {
+	base := KeyOf(rzOp(0.7), "trasyn", 1e-3, 1)
+	if KeyOf(rzOp(0.7), "gridsynth", 1e-3, 1) == base {
+		t.Fatal("keys collide across backends")
+	}
+	if KeyOf(rzOp(0.7), "trasyn", 1e-4, 1) == base {
+		t.Fatal("keys collide across epsilons")
+	}
+	if KeyOf(rzOp(0.7), "trasyn", 1e-3, 2) == base {
+		t.Fatal("keys collide across configs")
+	}
+	if KeyOf(rzOp(0.7+16*3.141592653589793/4), "trasyn", 1e-3, 1) != base {
+		t.Fatal("4π-equivalent angles do not share a key")
+	}
+}
+
+// TestCacheCfgScoping: the packed config must separate entries whose
+// synthesis output differs — base seed and time budget included — while
+// treating a nil seed as DefaultSeed.
+func TestCacheCfgScoping(t *testing.T) {
+	base := Request{}.cacheCfg()
+	if (Request{Seed: Seed(7)}).cacheCfg() == (Request{Seed: Seed(9)}).cacheCfg() {
+		t.Fatal("base seed not part of the cache config")
+	}
+	if (Request{Seed: Seed(DefaultSeed)}).cacheCfg() != base {
+		t.Fatal("nil seed and explicit DefaultSeed should share entries")
+	}
+	if (Request{Timeout: time.Second}).cacheCfg() == base {
+		t.Fatal("timeout not part of the cache config")
+	}
+	if (Request{Beam: true}).cacheCfg() == base {
+		t.Fatal("beam flag not part of the cache config")
+	}
+}
+
+// TestCacheEviction: the cache is bounded, evicting least-recently-used.
+func TestCacheEviction(t *testing.T) {
+	c := NewCache(2)
+	k := func(i int) Key { return KeyOf(rzOp(float64(i)*0.1+0.05), "t", 0, 0) }
+	c.Put(k(1), Entry{})
+	c.Put(k(2), Entry{})
+	c.Get(k(1)) // refresh 1 → 2 is now LRU
+	c.Put(k(3), Entry{})
+	if c.Len() != 2 {
+		t.Fatalf("cache grew past capacity: %d", c.Len())
+	}
+	if _, ok := c.Get(k(2)); ok {
+		t.Fatal("LRU entry survived eviction")
+	}
+	if _, ok := c.Get(k(1)); !ok {
+		t.Fatal("recently used entry was evicted")
+	}
+	if _, ok := c.Get(k(3)); !ok {
+		t.Fatal("newest entry missing")
+	}
+}
+
+// TestCacheWrapMemoizes: the lowerer adapter synthesizes each distinct
+// angle once — the promoted replacement of pipeline's private memoizer.
+func TestCacheWrapMemoizes(t *testing.T) {
+	c := NewCache(0)
+	calls := 0
+	f := c.Wrap("scope", 1e-3, func(op circuit.Op) (gates.Sequence, float64, error) {
+		calls++
+		return gates.Sequence{gates.T}, 0.001, nil
+	})
+	for i := 0; i < 5; i++ {
+		if _, _, err := f(rzOp(0.7)); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if calls != 1 {
+		t.Fatalf("want 1 underlying call, got %d", calls)
+	}
+	// A tighter epsilon must not be served the loose entry.
+	tight := 0
+	h := c.Wrap("scope", 1e-6, func(op circuit.Op) (gates.Sequence, float64, error) {
+		tight++
+		return gates.Sequence{gates.T}, 1e-7, nil
+	})
+	if _, _, err := h(rzOp(0.7)); err != nil {
+		t.Fatal(err)
+	}
+	if tight != 1 {
+		t.Fatalf("tight-epsilon pass hit the loose entry (%d calls)", tight)
+	}
+	// Errors are not cached: the lowerer is retried.
+	fails := 0
+	g := c.Wrap("scope", 1e-3, func(op circuit.Op) (gates.Sequence, float64, error) {
+		fails++
+		return nil, 0, fmt.Errorf("boom")
+	})
+	g(rzOp(1.3))
+	g(rzOp(1.3))
+	if fails != 2 {
+		t.Fatalf("error was cached: %d calls", fails)
+	}
+}
+
+// TestCacheConcurrent: concurrent Get/Put/Wrap must be race-free (run
+// under -race in CI) and never exceed the bound.
+func TestCacheConcurrent(t *testing.T) {
+	c := NewCache(32)
+	var wg sync.WaitGroup
+	for w := 0; w < 8; w++ {
+		wg.Add(1)
+		go func(w int) {
+			defer wg.Done()
+			f := c.Wrap("s", 1e-3, func(op circuit.Op) (gates.Sequence, float64, error) {
+				return gates.Sequence{gates.T}, 0.001, nil
+			})
+			for i := 0; i < 200; i++ {
+				f(rzOp(float64(i%48)*0.07 + 0.01))
+			}
+		}(w)
+	}
+	wg.Wait()
+	if c.Len() > 32 {
+		t.Fatalf("cache exceeded bound: %d", c.Len())
+	}
+	if st := c.Stats(); st.Hits == 0 || st.Misses == 0 {
+		t.Fatalf("degenerate accounting: %+v", st)
+	}
+}

@@ -1,0 +1,342 @@
+package synth
+
+import (
+	"context"
+	"fmt"
+	"runtime"
+	"sync"
+	"time"
+
+	"repro/internal/circuit"
+	"repro/internal/gates"
+	"repro/internal/pipeline"
+	"repro/internal/qmat"
+	"repro/internal/transpile"
+)
+
+// IR selects the intermediate representation CompileCircuit lowers through.
+type IR int
+
+const (
+	// IRAuto picks the IR the backend was evaluated on in the paper:
+	// CX+H+RZ for gridsynth, CX+U3 for everything else.
+	IRAuto IR = iota
+	// IRU3 forces the CX+U3 workflow (one synthesis per fused rotation).
+	IRU3
+	// IRRz forces the CX+H+RZ workflow.
+	IRRz
+)
+
+// Compiler is the batch service layer over a Backend: a worker pool with
+// context cancellation, deterministic per-op seeding (seeds are derived
+// from the base seed and the op's cache key, so results are independent of
+// worker scheduling and batch order), and a shared synthesis cache.
+type Compiler struct {
+	// Backend performs the per-rotation synthesis. Required.
+	Backend Backend
+	// Req is the base request applied to every op; Req.Seed is the base of
+	// the per-op seed derivation.
+	Req Request
+	// Workers bounds pool size (0 = GOMAXPROCS).
+	Workers int
+	// Cache is shared across CompileBatch/CompileCircuit jobs; NewCompiler
+	// installs a fresh bounded cache, and several compilers may share one.
+	Cache *Cache
+	// IR selects the lowering workflow for CompileCircuit.
+	IR IR
+
+	// mu guards the lazy Cache initialization for zero-value compilers
+	// used concurrently.
+	mu sync.Mutex
+}
+
+// NewCompiler returns a Compiler over b with a fresh bounded cache.
+func NewCompiler(b Backend, req Request) *Compiler {
+	return &Compiler{Backend: b, Req: req, Cache: NewCache(0)}
+}
+
+// NewCompilerFor resolves name through the registry.
+func NewCompilerFor(name string, req Request) (*Compiler, error) {
+	b, ok := Lookup(name)
+	if !ok {
+		return nil, fmt.Errorf("synth: unknown backend %q (have %v)", name, List())
+	}
+	return NewCompiler(b, req), nil
+}
+
+func (c *Compiler) workers() int {
+	if c.Workers > 0 {
+		return c.Workers
+	}
+	return runtime.GOMAXPROCS(0)
+}
+
+func (c *Compiler) cache() *Cache {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	if c.Cache == nil {
+		c.Cache = NewCache(0)
+	}
+	return c.Cache
+}
+
+// perOpReq derives the request for one op from the base request and the
+// op's cache key.
+func (c *Compiler) perOpReq(k Key) Request {
+	req := c.Req
+	req.Seed = Seed(mixSeed(c.Req.seed(), keyHash(k)))
+	return req
+}
+
+// missingJob is one distinct key the worker pool must synthesize.
+type missingJob struct {
+	k      Key
+	target qmat.M2
+}
+
+// scanTargets performs the counted cache lookups for a job: the first
+// occurrence of an uncached key is a miss (and scheduled once); later
+// occurrences are hits — they will be served by that one synthesis.
+func (c *Compiler) scanTargets(keys []Key, targets []qmat.M2) (missing []missingJob, hits, misses int) {
+	cache := c.cache()
+	pending := map[Key]bool{}
+	for i, k := range keys {
+		if pending[k] {
+			cache.creditHit()
+			hits++
+			continue
+		}
+		if _, ok := cache.Get(k); ok {
+			hits++
+			continue
+		}
+		misses++
+		pending[k] = true
+		missing = append(missing, missingJob{k: k, target: targets[i]})
+	}
+	return missing, hits, misses
+}
+
+// synthesizeMissing runs the worker pool over the distinct missing keys,
+// storing entries in the cache and returning the full per-key Results.
+// The first error (including context cancellation) drains the pool.
+func (c *Compiler) synthesizeMissing(ctx context.Context, missing []missingJob) (map[Key]Result, error) {
+	computed := make(map[Key]Result, len(missing))
+	if len(missing) == 0 {
+		return computed, nil
+	}
+	cache := c.cache()
+	jobs := make(chan missingJob)
+	var (
+		mu       sync.Mutex
+		wg       sync.WaitGroup
+		errOnce  sync.Once
+		firstErr error
+	)
+	wctx, cancel := context.WithCancel(ctx)
+	defer cancel()
+	fail := func(err error) {
+		errOnce.Do(func() { firstErr = err })
+		cancel()
+	}
+	for w := 0; w < c.workers(); w++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for j := range jobs {
+				res, err := c.Backend.Synthesize(wctx, j.target, c.perOpReq(j.k))
+				if err != nil {
+					fail(err)
+					return
+				}
+				cache.Put(j.k, Entry{Seq: res.Seq, Err: res.Error, Backend: res.Backend})
+				mu.Lock()
+				computed[j.k] = res
+				mu.Unlock()
+			}
+		}()
+	}
+feed:
+	for _, j := range missing {
+		select {
+		case jobs <- j:
+		case <-wctx.Done():
+			fail(wctx.Err())
+			break feed
+		}
+	}
+	close(jobs)
+	wg.Wait()
+	return computed, firstErr
+}
+
+// CompileBatch synthesizes every target through the backend, serving
+// repeats — within the batch or from earlier jobs sharing the cache — with
+// a single synthesis each. Results are in input order. On error (including
+// context cancellation) the pool drains and the first error is returned;
+// the result slice then holds zero values for unfinished items.
+func (c *Compiler) CompileBatch(ctx context.Context, targets []qmat.M2) ([]Result, error) {
+	if c.Backend == nil {
+		return nil, fmt.Errorf("synth: Compiler has no Backend")
+	}
+	cache := c.cache()
+	scope := c.Backend.Name()
+	eps := c.Req.Epsilon
+	cfg := c.Req.cacheCfg()
+	keys := make([]Key, len(targets))
+	for i, u := range targets {
+		keys[i] = KeyOfTarget(u, scope, eps, cfg)
+	}
+	missing, _, _ := c.scanTargets(keys, targets)
+	computed, err := c.synthesizeMissing(ctx, missing)
+	results := make([]Result, len(targets))
+	if err != nil {
+		return results, err
+	}
+	for i, k := range keys {
+		if res, ok := computed[k]; ok {
+			// The freshly synthesized occurrence keeps its full metadata
+			// (wall time, evals); repeats read the amortized entry.
+			results[i] = res
+			delete(computed, k)
+			continue
+		}
+		if e, ok := cache.peek(k); ok {
+			results[i] = c.fromEntry(e)
+			continue
+		}
+		// Evicted between phases (cache smaller than the batch's distinct
+		// angles): recompute inline.
+		res, serr := c.Backend.Synthesize(ctx, targets[i], c.perOpReq(k))
+		if serr != nil {
+			return results, serr
+		}
+		cache.Put(k, Entry{Seq: res.Seq, Err: res.Error, Backend: res.Backend})
+		results[i] = res
+	}
+	return results, nil
+}
+
+// fromEntry rebuilds a Result from a cache entry (zero wall time: the work
+// was amortized by an earlier job).
+func (c *Compiler) fromEntry(e Entry) Result {
+	name := e.Backend
+	if name == "" {
+		name = c.Backend.Name()
+	}
+	return Result{
+		Seq:      e.Seq,
+		Error:    e.Err,
+		TCount:   e.Seq.TCount(),
+		Clifford: e.Seq.CliffordCount(),
+		Backend:  name,
+	}
+}
+
+// CircuitResult is one end-to-end circuit compilation.
+type CircuitResult struct {
+	// Circuit is the lowered Clifford+T circuit.
+	Circuit *circuit.Circuit
+	// Stats aggregates the lowering pass (rotation count, error bounds).
+	Stats pipeline.Stats
+	// Setting is the winning transpiler setting; IRRotations counts the
+	// nontrivial rotations in the IR before synthesis.
+	Setting     transpile.Setting
+	IRRotations int
+	// Unique is how many distinct rotations this job synthesized; Hits and
+	// Misses are this job's cache accounting (one lookup per nontrivial
+	// rotation op).
+	Unique       int
+	Hits, Misses int
+	// Backend names the backend; Wall is the end-to-end compile time.
+	Backend string
+	Wall    time.Duration
+}
+
+// CompileCircuit transpiles the circuit to the workflow IR (best of the 16
+// transpiler settings) and lowers every nontrivial rotation through the
+// backend: one cache lookup per rotation op, then a worker pool over the
+// distinct misses, then assembly. Repeated angles — within the circuit or
+// across jobs sharing the cache — synthesize once.
+func (c *Compiler) CompileCircuit(ctx context.Context, circ *circuit.Circuit) (CircuitResult, error) {
+	if c.Backend == nil {
+		return CircuitResult{}, fmt.Errorf("synth: Compiler has no Backend")
+	}
+	start := time.Now()
+	cache := c.cache()
+	scope := c.Backend.Name()
+	eps := c.Req.Epsilon
+	cfg := c.Req.cacheCfg()
+	basis := transpile.BasisU3
+	if c.IR == IRRz || (c.IR == IRAuto && scope == "gridsynth") {
+		basis = transpile.BasisRz
+	}
+	ir, setting := transpile.BestSetting(circ, basis)
+	out := CircuitResult{Setting: setting, IRRotations: ir.CountRotations(), Backend: scope}
+
+	// Phase 1: one counted lookup per nontrivial rotation (the first
+	// occurrence of an uncached angle is the miss; repeats are hits).
+	var (
+		keys   []Key
+		rotOps []qmat.M2
+	)
+	for _, op := range ir.Ops {
+		if !op.G.IsRotation() || pipeline.TrivialRotation(op) {
+			continue
+		}
+		keys = append(keys, KeyOf(op, scope, eps, cfg))
+		rotOps = append(rotOps, op.Matrix1Q())
+	}
+	missing, hits, misses := c.scanTargets(keys, rotOps)
+	out.Hits, out.Misses = hits, misses
+	out.Unique = len(missing)
+
+	// Phase 2: synthesize the distinct misses on the worker pool.
+	if _, err := c.synthesizeMissing(ctx, missing); err != nil {
+		return out, fmt.Errorf("synth: lowering %s IR: %w", scope, err)
+	}
+
+	// Phase 3: assemble. Lookups were charged in phase 1, so assembly reads
+	// quietly; an entry evicted between phases is recomputed inline.
+	lowered, stats, err := pipeline.Lower(ir, func(op circuit.Op) (gates.Sequence, float64, error) {
+		k := KeyOf(op, scope, eps, cfg)
+		if e, ok := cache.peek(k); ok {
+			return e.Seq, e.Err, nil
+		}
+		res, serr := c.Backend.Synthesize(ctx, op.Matrix1Q(), c.perOpReq(k))
+		if serr != nil {
+			return nil, 0, serr
+		}
+		cache.Put(k, Entry{Seq: res.Seq, Err: res.Error, Backend: res.Backend})
+		return res.Seq, res.Error, nil
+	})
+	if err != nil {
+		return out, err
+	}
+	out.Circuit = lowered
+	out.Stats = stats
+	out.Wall = time.Since(start)
+	return out, nil
+}
+
+// keyHash is FNV-1a over the key fields; mixSeed is splitmix64. Together
+// they derive a deterministic, well-spread per-op seed from the base seed.
+func keyHash(k Key) uint64 {
+	const prime = 1099511628211
+	h := fnv64(uint64(k.Gate), uint64(k.A), uint64(k.B), uint64(k.C), uint64(k.Eps), uint64(k.Cfg))
+	for i := 0; i < len(k.Scope); i++ {
+		h ^= uint64(k.Scope[i])
+		h *= prime
+	}
+	return h
+}
+
+func mixSeed(base int64, salt uint64) int64 {
+	z := uint64(base) + 0x9e3779b97f4a7c15*(salt|1)
+	z ^= z >> 30
+	z *= 0xbf58476d1ce4e5b9
+	z ^= z >> 27
+	z *= 0x94d049bb133111eb
+	z ^= z >> 31
+	return int64(z)
+}

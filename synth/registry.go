@@ -1,0 +1,66 @@
+package synth
+
+import (
+	"fmt"
+	"sort"
+	"sync"
+)
+
+var (
+	regMu    sync.RWMutex
+	registry = map[string]Backend{}
+)
+
+// Register adds a backend under name. It fails on an empty name, a nil
+// backend, or a name already taken — names are first-come, first-served so
+// a plugin cannot silently shadow a built-in.
+func Register(name string, b Backend) error {
+	if name == "" {
+		return fmt.Errorf("synth: Register with empty name")
+	}
+	if b == nil {
+		return fmt.Errorf("synth: Register %q with nil backend", name)
+	}
+	regMu.Lock()
+	defer regMu.Unlock()
+	if _, dup := registry[name]; dup {
+		return fmt.Errorf("synth: backend %q already registered", name)
+	}
+	registry[name] = b
+	return nil
+}
+
+// MustRegister is Register that panics on error; for init-time wiring.
+func MustRegister(name string, b Backend) {
+	if err := Register(name, b); err != nil {
+		panic(err)
+	}
+}
+
+// Lookup returns the backend registered under name.
+func Lookup(name string) (Backend, bool) {
+	regMu.RLock()
+	defer regMu.RUnlock()
+	b, ok := registry[name]
+	return b, ok
+}
+
+// List returns the registered backend names, sorted.
+func List() []string {
+	regMu.RLock()
+	defer regMu.RUnlock()
+	names := make([]string, 0, len(registry))
+	for n := range registry {
+		names = append(names, n)
+	}
+	sort.Strings(names)
+	return names
+}
+
+func init() {
+	MustRegister("trasyn", trasynBackend{})
+	MustRegister("gridsynth", gridsynthBackend{})
+	MustRegister("sk", &skBackend{})
+	MustRegister("anneal", annealBackend{})
+	MustRegister("auto", autoBackend{})
+}
