@@ -1,7 +1,14 @@
-// Package circuit provides the multi-qubit circuit IR used by the
-// transpiler, the benchmark suite and the simulators: a flat list of
-// operations in time order, with the resource metrics the paper reports
-// (T count, T depth, non-Pauli Clifford count, nontrivial rotation count).
+// Package circuit is the public multi-qubit circuit IR: a flat list of
+// operations in time order, with OpenQASM 2.0 input/output (ParseQASM /
+// (*Circuit).QASM) and the resource metrics the paper reports (T count,
+// T depth, non-Pauli Clifford count, nontrivial rotation count).
+//
+// It is the currency of the synth pass-pipeline API: synth passes consume
+// and produce *circuit.Circuit values, and user code can build circuits
+// programmatically (the fluent Add/H/RZ/... constructors) or import them
+// from QASM text. The package was promoted from internal/circuit so
+// callers outside this module can construct inputs for and inspect
+// outputs of synth.NewPipeline.
 package circuit
 
 import (

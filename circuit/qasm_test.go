@@ -1,0 +1,236 @@
+package circuit
+
+import (
+	"math"
+	"math/rand"
+	"strings"
+	"testing"
+)
+
+func TestQASMRoundTrip(t *testing.T) {
+	rng := rand.New(rand.NewSource(1))
+	c := New(4)
+	for i := 0; i < 40; i++ {
+		switch rng.Intn(6) {
+		case 0:
+			c.H(rng.Intn(4))
+		case 1:
+			c.RZ(rng.Intn(4), rng.Float64()*6-3)
+		case 2:
+			c.U3Gate(rng.Intn(4), rng.Float64()*3, rng.Float64()*6, rng.Float64()*6)
+		case 3:
+			a := rng.Intn(4)
+			c.CX(a, (a+1)%4)
+		case 4:
+			c.Tdg(rng.Intn(4))
+		case 5:
+			c.CZ(rng.Intn(4), (rng.Intn(3)+1+rng.Intn(4))%4)
+		}
+	}
+	// Fix accidental same-qubit CZ.
+	for i, op := range c.Ops {
+		if op.G.IsTwoQubit() && op.Q[0] == op.Q[1] {
+			c.Ops[i].Q[1] = (op.Q[0] + 1) % 4
+		}
+	}
+	parsed, err := ParseQASM(c.QASM())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if parsed.N != c.N || len(parsed.Ops) != len(c.Ops) {
+		t.Fatalf("round trip shape mismatch: %d/%d ops", len(parsed.Ops), len(c.Ops))
+	}
+	for i := range c.Ops {
+		a, b := c.Ops[i], parsed.Ops[i]
+		if a.G != b.G || a.Q != b.Q {
+			t.Fatalf("op %d mismatch: %+v vs %+v", i, a, b)
+		}
+		for j := range a.P {
+			if math.Abs(a.P[j]-b.P[j]) > 1e-9 {
+				t.Fatalf("op %d angle mismatch: %v vs %v", i, a.P, b.P)
+			}
+		}
+	}
+}
+
+func TestQASMAngleExpressions(t *testing.T) {
+	src := `OPENQASM 2.0;
+include "qelib1.inc";
+qreg q[1];
+rz(pi/2) q[0];
+rz(-pi/4) q[0];
+rz(2*pi) q[0];
+rz(0.25) q[0];
+u2(0,pi) q[0];
+`
+	c, err := ParseQASM(src)
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := []float64{math.Pi / 2, -math.Pi / 4, 2 * math.Pi, 0.25}
+	for i, w := range want {
+		if math.Abs(c.Ops[i].P[0]-w) > 1e-12 {
+			t.Fatalf("angle %d = %v, want %v", i, c.Ops[i].P[0], w)
+		}
+	}
+	// u2(φ,λ) = u3(π/2,φ,λ).
+	last := c.Ops[len(c.Ops)-1]
+	if last.G != U3 || math.Abs(last.P[0]-math.Pi/2) > 1e-12 {
+		t.Fatalf("u2 not lowered to u3: %+v", last)
+	}
+}
+
+func TestQASMErrors(t *testing.T) {
+	cases := []string{
+		"qreg q[2];\nfoo q[0];",      // unknown gate
+		"h q[0];",                    // gate before qreg
+		"qreg q[2];\ncx q[0];",       // arity
+		"qreg q[2];\nh q[5];",        // out of range
+		"qreg q[2];\nrz(pi/0) q[0];", // division by zero
+		"qreg q[2]\nh q[0];",         // missing semicolon
+		"",                           // empty
+	}
+	for _, src := range cases {
+		if _, err := ParseQASM(src); err == nil {
+			t.Errorf("expected error for %q", src)
+		}
+	}
+}
+
+func TestQASMIgnoresClassical(t *testing.T) {
+	src := `OPENQASM 2.0;
+qreg q[2];
+creg c[2];
+h q[0];
+barrier q[0],q[1];
+measure q[0] -> c[0];
+cx q[0],q[1];
+`
+	c, err := ParseQASM(src)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(c.Ops) != 2 {
+		t.Fatalf("expected 2 ops, got %d", len(c.Ops))
+	}
+	if !strings.Contains(c.QASM(), "cx q[0],q[1]") {
+		t.Fatal("re-emission broken")
+	}
+}
+
+// TestQASMRoundTripTable: external-dialect sources — pi-expression angles
+// (3*pi/2 style), u1/u2/p aliases, and ignored classical statements —
+// must parse, re-emit through (*Circuit).QASM, and re-parse to the same
+// op list (the emitted text is this package's dialect, so the second trip
+// is exact).
+func TestQASMRoundTripTable(t *testing.T) {
+	cases := []struct {
+		name   string
+		src    string
+		ops    int
+		angle0 float64 // first op's P[0]
+	}{
+		{
+			name: "pi-products",
+			src: `OPENQASM 2.0;
+include "qelib1.inc";
+qreg q[2];
+rz(3*pi/2) q[0];
+rx(-3*pi/4) q[1];
+ry(pi*0.5) q[0];
+rz(2*pi/3) q[1];
+`,
+			ops: 4, angle0: 3 * math.Pi / 2,
+		},
+		{
+			name: "classical-ignored",
+			src: `OPENQASM 2.0;
+qreg q[3];
+creg c[3];
+h q[0];
+barrier q[0],q[1],q[2];
+rz(3*pi/2) q[1];
+measure q[1] -> c[1];
+cx q[1],q[2];
+measure q[2] -> c[2];
+`,
+			ops: 3, angle0: 0,
+		},
+		{
+			name: "aliases",
+			src: `OPENQASM 2.0;
+qreg q[1];
+u1(3*pi/2) q[0];
+p(-pi/8) q[0];
+u(0.4,0.2,-1.1) q[0];
+u2(pi/2,3*pi/2) q[0];
+`,
+			ops: 4, angle0: 3 * math.Pi / 2,
+		},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			first, err := ParseQASM(tc.src)
+			if err != nil {
+				t.Fatal(err)
+			}
+			if len(first.Ops) != tc.ops {
+				t.Fatalf("parsed %d ops, want %d", len(first.Ops), tc.ops)
+			}
+			if tc.angle0 != 0 && math.Abs(first.Ops[0].P[0]-tc.angle0) > 1e-12 {
+				t.Fatalf("op 0 angle %v, want %v", first.Ops[0].P[0], tc.angle0)
+			}
+			second, err := ParseQASM(first.QASM())
+			if err != nil {
+				t.Fatalf("re-parsing emitted QASM: %v", err)
+			}
+			if second.N != first.N || len(second.Ops) != len(first.Ops) {
+				t.Fatalf("round trip shape: %d/%d ops", len(second.Ops), len(first.Ops))
+			}
+			for i := range first.Ops {
+				a, b := first.Ops[i], second.Ops[i]
+				if a.G != b.G || a.Q != b.Q {
+					t.Fatalf("op %d: %+v vs %+v", i, a, b)
+				}
+				for j := range a.P {
+					if math.Abs(a.P[j]-b.P[j]) > 1e-12 {
+						t.Fatalf("op %d angle %d: %v vs %v", i, j, a.P, b.P)
+					}
+				}
+			}
+		})
+	}
+}
+
+// FuzzQASMRoundTrip: any source ParseQASM accepts must re-emit to text
+// that parses back to the identical op list.
+func FuzzQASMRoundTrip(f *testing.F) {
+	f.Add("OPENQASM 2.0;\nqreg q[2];\nrz(3*pi/2) q[0];\ncx q[0],q[1];\n")
+	f.Add("qreg q[1];\ncreg c[1];\nh q[0];\nmeasure q[0] -> c[0];\n")
+	f.Add("qreg r[3];\nu2(0,pi) r[2];\nbarrier r[0];\ntdg r[1];\n")
+	f.Add("qreg q[2];\nrx(-pi/4) q[1];\nrz(0.125) q[0];\nu3(1,2,3) q[1];\n")
+	f.Fuzz(func(t *testing.T, src string) {
+		c, err := ParseQASM(src)
+		if err != nil {
+			return // invalid input: nothing to round-trip
+		}
+		again, err := ParseQASM(c.QASM())
+		if err != nil {
+			t.Fatalf("emitted QASM does not re-parse: %v\n%s", err, c.QASM())
+		}
+		if again.N != c.N || len(again.Ops) != len(c.Ops) {
+			t.Fatalf("round trip shape: %d/%d ops", len(again.Ops), len(c.Ops))
+		}
+		for i := range c.Ops {
+			a, b := c.Ops[i], again.Ops[i]
+			if a.G != b.G || a.Q != b.Q {
+				t.Fatalf("op %d: %+v vs %+v", i, a, b)
+			}
+			for j := range a.P {
+				if math.Abs(a.P[j]-b.P[j]) > 1e-9*(1+math.Abs(a.P[j])) {
+					t.Fatalf("op %d angle %d: %v vs %v", i, j, a.P, b.P)
+				}
+			}
+		}
+	})
+}

@@ -1,0 +1,196 @@
+// Command compile is the circuit front end to the synth pass-pipeline
+// API: it reads an OpenQASM 2.0 circuit from a file or stdin, runs a
+// configurable pipeline (backend, IR, passes, error budget), and emits the
+// lowered Clifford+T circuit as QASM plus a one-line JSON stats record.
+//
+// Usage:
+//
+//	compile circuit.qasm                          # default pipeline, auto backend
+//	compile -backend trasyn -eps 0.01 circuit.qasm
+//	cat circuit.qasm | compile -                  # read from stdin
+//	compile -ir rz -backend gridsynth -rot-eps 1e-3 circuit.qasm
+//	compile -passes transpile,lower circuit.qasm  # custom pass sequence
+//	compile -o out.qasm -v circuit.qasm           # QASM to file, progress to stderr
+//
+// The lowered QASM goes to stdout (or -o file); the JSON stats line goes
+// to stderr (or stdout when -o redirects the QASM), so pipelines can
+// split the two streams:
+//
+//	compile -eps 0.01 in.qasm > out.qasm 2> stats.json
+package main
+
+import (
+	"context"
+	"encoding/json"
+	"flag"
+	"fmt"
+	"io"
+	"os"
+	"strings"
+	"time"
+
+	"repro/circuit"
+	"repro/synth"
+)
+
+// stats is the JSON record emitted after a successful compile.
+type stats struct {
+	Backend     string  `json:"backend"`
+	IRRotations int     `json:"ir_rotations"`
+	Rotations   int     `json:"rotations"`
+	Unique      int     `json:"unique"`
+	Hits        int     `json:"cache_hits"`
+	Misses      int     `json:"cache_misses"`
+	TCount      int     `json:"t_count"`
+	TDepth      int     `json:"t_depth"`
+	Clifford    int     `json:"clifford"`
+	ErrorBound  float64 `json:"error_bound"`
+	CircuitEps  float64 `json:"circuit_eps,omitempty"`
+	Budget      string  `json:"budget,omitempty"`
+	Passes      string  `json:"passes"`
+	WallMs      float64 `json:"wall_ms"`
+}
+
+func fail(format string, args ...any) {
+	fmt.Fprintf(os.Stderr, "compile: "+format+"\n", args...)
+	os.Exit(1)
+}
+
+func main() {
+	var (
+		backend = flag.String("backend", "auto", "synthesis backend: "+strings.Join(synth.List(), ", "))
+		eps     = flag.Float64("eps", 0, "circuit-level error budget ε, split across rotations (0 = per-rotation mode)")
+		rotEps  = flag.Float64("rot-eps", 0, "per-rotation epsilon when -eps is 0 (0 = backend default)")
+		budget  = flag.String("budget", "uniform", "ε-splitting strategy for -eps: uniform, weighted")
+		irFlag  = flag.String("ir", "auto", "lowering IR: auto, u3, rz")
+		passes  = flag.String("passes", "", "comma-separated pass list (default: "+strings.Join(synth.PassNames(), ",")+")")
+		workers = flag.Int("workers", 0, "worker-pool size (0 = GOMAXPROCS)")
+		samples = flag.Int("samples", 0, "trasyn samples k (0 = default)")
+		tbudget = flag.Int("tbudget", 0, "trasyn per-tensor T budget m (0 = default)")
+		seed    = flag.Int64("seed", 1, "base seed for deterministic per-rotation seeding")
+		timeout = flag.Duration("timeout", 0, "whole-compile wall-clock budget (0 = none)")
+		outPath = flag.String("o", "", "write lowered QASM here instead of stdout")
+		verbose = flag.Bool("v", false, "report pass and synthesis progress on stderr")
+	)
+	flag.Parse()
+
+	src, name, err := readInput(flag.Arg(0))
+	if err != nil {
+		fail("%v", err)
+	}
+	circ, err := circuit.ParseQASM(src)
+	if err != nil {
+		fail("parsing %s: %v", name, err)
+	}
+
+	ir, ok := synth.ParseIR(*irFlag)
+	if !ok {
+		fail("unknown -ir %q (have auto, u3, rz)", *irFlag)
+	}
+	strat, ok := synth.ParseBudgetStrategy(*budget)
+	if !ok {
+		fail("unknown -budget %q (have uniform, weighted)", *budget)
+	}
+
+	opts := []synth.Option{
+		synth.WithRequest(synth.Request{
+			Epsilon: *rotEps, Samples: *samples, TBudget: *tbudget, Seed: synth.Seed(*seed),
+		}),
+		synth.WithWorkers(*workers),
+		synth.WithIR(ir),
+	}
+	if *eps > 0 {
+		opts = append(opts, synth.WithCircuitEpsilon(*eps), synth.WithBudgetStrategy(strat))
+	}
+	if *passes != "" {
+		var ps []synth.Pass
+		for _, n := range strings.Split(*passes, ",") {
+			p, ok := synth.LookupPass(strings.TrimSpace(n))
+			if !ok {
+				fail("unknown pass %q (have %s)", n, strings.Join(synth.PassNames(), ", "))
+			}
+			ps = append(ps, p)
+		}
+		opts = append(opts, synth.WithPasses(ps...))
+	}
+	if *verbose {
+		opts = append(opts, synth.WithProgress(func(ev synth.ProgressEvent) {
+			if ev.Total == 0 {
+				fmt.Fprintf(os.Stderr, "compile: pass %s\n", ev.Pass)
+			} else if ev.Done == ev.Total || ev.Done%16 == 0 {
+				fmt.Fprintf(os.Stderr, "compile: %s %d/%d\n", ev.Pass, ev.Done, ev.Total)
+			}
+		}))
+	}
+
+	pl, err := synth.NewPipelineFor(*backend, opts...)
+	if err != nil {
+		fail("%v", err)
+	}
+	ctx := context.Background()
+	if *timeout > 0 {
+		var cancel context.CancelFunc
+		ctx, cancel = context.WithTimeout(ctx, *timeout)
+		defer cancel()
+	}
+	res, err := pl.Run(ctx, circ)
+	if err != nil {
+		fail("compiling %s: %v", name, err)
+	}
+
+	qasmOut := os.Stdout
+	statsOut := io.Writer(os.Stderr)
+	if *outPath != "" {
+		f, err := os.Create(*outPath)
+		if err != nil {
+			fail("%v", err)
+		}
+		defer f.Close()
+		qasmOut = f
+		statsOut = os.Stdout
+	}
+	if _, err := io.WriteString(qasmOut, res.Circuit.QASM()); err != nil {
+		fail("writing QASM: %v", err)
+	}
+
+	st := stats{
+		Backend:     res.Backend,
+		IRRotations: res.Stats.IRRotations,
+		Rotations:   res.Stats.Rotations,
+		Unique:      res.Stats.Unique,
+		Hits:        res.Stats.Hits,
+		Misses:      res.Stats.Misses,
+		TCount:      res.Circuit.TCount(),
+		TDepth:      res.Circuit.TDepth(),
+		Clifford:    res.Circuit.CliffordCount(),
+		ErrorBound:  res.Stats.ErrorBound,
+		Passes:      strings.Join(pl.Passes(), ","),
+		WallMs:      float64(res.Wall) / float64(time.Millisecond),
+	}
+	if *eps > 0 {
+		st.CircuitEps = *eps
+		st.Budget = strat.String()
+	}
+	line, err := json.Marshal(st)
+	if err != nil {
+		fail("encoding stats: %v", err)
+	}
+	fmt.Fprintln(statsOut, string(line))
+}
+
+// readInput resolves the positional argument: a path, "-" or empty for
+// stdin.
+func readInput(arg string) (src, name string, err error) {
+	if arg == "" || arg == "-" {
+		b, err := io.ReadAll(os.Stdin)
+		if err != nil {
+			return "", "", fmt.Errorf("reading stdin: %w", err)
+		}
+		return string(b), "stdin", nil
+	}
+	b, err := os.ReadFile(arg)
+	if err != nil {
+		return "", "", err
+	}
+	return string(b), arg, nil
+}

@@ -1,6 +1,6 @@
 // Command suite lists or exports the 187-circuit benchmark corpus, and can
-// compile any of its circuits to Clifford+T through the unified
-// synth.Compiler service.
+// compile any of its circuits to Clifford+T through the synth pipeline
+// API.
 //
 // Usage:
 //
@@ -8,6 +8,7 @@
 //	suite -dump qasm_out/       # write every circuit as OpenQASM 2.0
 //	suite -name qft_n8          # print one circuit's QASM to stdout
 //	suite -compile qft_n8 -backend auto -eps 0.01
+//	suite -compile qft_n8 -ceps 0.05    # circuit-level error budget
 package main
 
 import (
@@ -30,7 +31,8 @@ func main() {
 		compile = flag.String("compile", "", "compile one benchmark to Clifford+T")
 		backend = flag.String("backend", "trasyn", "synthesis backend for -compile")
 		eps     = flag.Float64("eps", 0.01, "per-rotation error threshold for -compile")
-		workers = flag.Int("workers", 0, "compiler worker-pool size (0 = GOMAXPROCS)")
+		ceps    = flag.Float64("ceps", 0, "circuit-level error budget (overrides -eps; split across rotations)")
+		workers = flag.Int("workers", 0, "pipeline worker-pool size (0 = GOMAXPROCS)")
 	)
 	flag.Parse()
 	benches := repro.BenchmarkSuite()
@@ -40,25 +42,39 @@ func main() {
 			if b.Name != *compile {
 				continue
 			}
-			comp, err := synth.NewCompilerFor(*backend, synth.Request{Epsilon: *eps})
+			opts := []synth.Option{
+				synth.WithEpsilon(*eps),
+				synth.WithWorkers(*workers),
+			}
+			if *ceps > 0 {
+				opts = append(opts, synth.WithCircuitEpsilon(*ceps))
+			}
+			pl, err := synth.NewPipelineFor(*backend, opts...)
 			if err != nil {
 				fmt.Fprintln(os.Stderr, err)
 				os.Exit(1)
 			}
-			comp.Workers = *workers
-			res, err := comp.CompileCircuit(context.Background(), b.Circuit)
+			res, err := pl.Run(context.Background(), b.Circuit)
 			if err != nil {
 				fmt.Fprintf(os.Stderr, "suite: compiling %s: %v\n", b.Name, err)
 				os.Exit(1)
 			}
-			fmt.Printf("%s via %s (eps %.1e)\n", b.Name, res.Backend, *eps)
+			if *ceps > 0 {
+				fmt.Printf("%s via %s (circuit eps %.1e, %s split)\n", b.Name, res.Backend, *ceps, res.Stats.Strategy)
+			} else {
+				fmt.Printf("%s via %s (eps %.1e)\n", b.Name, res.Backend, *eps)
+			}
 			fmt.Printf("  IR rotations : %d (setting level %d, commute %v)\n",
-				res.IRRotations, res.Setting.Level, res.Setting.Commute)
+				res.Stats.IRRotations, res.Stats.Setting.Level, res.Stats.Setting.Commute)
 			fmt.Printf("  synthesized  : %d unique (%d cache hits / %d misses)\n",
-				res.Unique, res.Hits, res.Misses)
+				res.Stats.Unique, res.Stats.Hits, res.Stats.Misses)
 			fmt.Printf("  T=%d Clifford=%d T-depth=%d Σerr=%.2e wall=%s\n",
 				res.Circuit.TCount(), res.Circuit.CliffordCount(), res.Circuit.TDepth(),
 				res.Stats.ErrorBound, res.Wall.Round(time.Millisecond))
+			if est := res.Stats.Resources; est != nil {
+				fmt.Printf("  resources    : distance-%d surface code, %.2e cycles ≈ %.3f s\n",
+					est.CodeDistance, est.ExecCycles, est.ExecSeconds)
+			}
 			return
 		}
 		fmt.Fprintf(os.Stderr, "suite: unknown benchmark %q\n", *compile)

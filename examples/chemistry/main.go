@@ -1,7 +1,8 @@
 // Hamiltonian-simulation workflow: compile a Heisenberg-chain Trotter
 // circuit (X/Y/Z rotations — the "quantum Hamiltonian" category that
-// benefits most from the U3 IR) through synth.Compiler with both backends
-// and check the final state fidelity of the lowered circuit by simulation.
+// benefits most from the U3 IR) through the synth pass pipeline with both
+// backends under one circuit-level error budget, and check the final
+// state fidelity of the lowered circuit by simulation.
 package main
 
 import (
@@ -21,26 +22,25 @@ func main() {
 	fmt.Printf("Heisenberg(5) Trotter circuit: %d ops, %d rotations\n",
 		len(circ.Ops), circ.CountRotations())
 
+	// One error budget for the whole circuit; each pipeline splits it
+	// across the rotation count of its own IR (uniform strategy).
+	const circuitEps = 0.15
 	ctx := context.Background()
-	tc, err := synth.NewCompilerFor("trasyn", synth.Request{
-		Epsilon: 0.005, TBudget: 5, Tensors: 4, Samples: 2500, Seed: synth.Seed(4),
-	})
+	tp, err := synth.NewPipelineFor("trasyn",
+		synth.WithRequest(synth.Request{TBudget: 5, Tensors: 4, Samples: 2500, Seed: synth.Seed(4)}),
+		synth.WithCircuitEpsilon(circuitEps))
 	if err != nil {
 		log.Fatal(err)
 	}
-	u3res, err := tc.CompileCircuit(ctx, circ)
+	u3res, err := tp.Run(ctx, circ)
 	if err != nil {
 		log.Fatal(err)
 	}
-	epsRz := 0.005
-	if u3res.Stats.Rotations > 0 {
-		epsRz = u3res.Stats.ErrorBound / float64(u3res.Stats.Rotations)
-	}
-	gc, err := synth.NewCompilerFor("gridsynth", synth.Request{Epsilon: epsRz})
+	gp, err := synth.NewPipelineFor("gridsynth", synth.WithCircuitEpsilon(circuitEps))
 	if err != nil {
 		log.Fatal(err)
 	}
-	rzres, err := gc.CompileCircuit(ctx, circ)
+	rzres, err := gp.Run(ctx, circ)
 	if err != nil {
 		log.Fatal(err)
 	}
@@ -50,6 +50,7 @@ func main() {
 		u3res.Circuit.TCount(), u3res.Circuit.CliffordCount(), u3res.Circuit.TDepth(), u3res.Stats.ErrorBound)
 	fmt.Printf("%-10s %8d %8d %10d %12.2e\n", "gridsynth",
 		rzres.Circuit.TCount(), rzres.Circuit.CliffordCount(), rzres.Circuit.TDepth(), rzres.Stats.ErrorBound)
+	fmt.Printf("(both within the shared circuit budget %.2e)\n", circuitEps)
 
 	// End-to-end check: the lowered circuits must reproduce the original
 	// state on |0…0⟩ to within the synthesis budget.

@@ -1,8 +1,9 @@
 // Resource estimation extension: translate the T-count savings of the U3
 // workflow into fault-tolerant machine resources (distillation rounds,
 // factory qubits, wall-clock) with the standard surface-code model — the
-// "why T gates matter" arithmetic from the paper's introduction, with both
-// workflows compiled through synth.Compiler.
+// "why T gates matter" arithmetic from the paper's introduction. Both
+// workflows run through the synth pass pipeline, whose EstimateResources
+// pass attaches the footprint to the run's stats directly.
 package main
 
 import (
@@ -10,7 +11,6 @@ import (
 	"fmt"
 	"log"
 
-	"repro/internal/resource"
 	"repro/internal/suite"
 	"repro/synth"
 )
@@ -19,43 +19,38 @@ func main() {
 	circ := suite.TFIM(10, 1.0, 0.7).EvolutionCircuit(0.5, 2)
 	fmt.Printf("TFIM(10) Trotter circuit: %d rotations\n", circ.CountRotations())
 
+	const circuitEps = 0.3 // shared circuit-level budget for both IRs
 	ctx := context.Background()
-	tc, err := synth.NewCompilerFor("trasyn", synth.Request{
-		Epsilon: 0.007, TBudget: 5, Tensors: 4, Samples: 2000, Seed: synth.Seed(7),
-	})
+	tp, err := synth.NewPipelineFor("trasyn",
+		synth.WithRequest(synth.Request{TBudget: 5, Tensors: 4, Samples: 2000, Seed: synth.Seed(7)}),
+		synth.WithCircuitEpsilon(circuitEps))
 	if err != nil {
 		log.Fatal(err)
 	}
-	u3res, err := tc.CompileCircuit(ctx, circ)
+	u3res, err := tp.Run(ctx, circ)
 	if err != nil {
 		log.Fatal(err)
 	}
-	epsRz := 0.007
-	if u3res.Stats.Rotations > 0 {
-		epsRz = u3res.Stats.ErrorBound / float64(u3res.Stats.Rotations)
-	}
-	gc, err := synth.NewCompilerFor("gridsynth", synth.Request{Epsilon: epsRz})
+	gp, err := synth.NewPipelineFor("gridsynth", synth.WithCircuitEpsilon(circuitEps))
 	if err != nil {
 		log.Fatal(err)
 	}
-	rzres, err := gc.CompileCircuit(ctx, circ)
+	rzres, err := gp.Run(ctx, circ)
 	if err != nil {
 		log.Fatal(err)
 	}
 
-	params := resource.DefaultParams()
 	for _, w := range []struct {
 		name string
-		c    interface {
-			TCount() int
-			TDepth() int
-		}
+		res  *synth.PipelineResult
 	}{
-		{"trasyn (U3 IR)", u3res.Circuit},
-		{"gridsynth (Rz IR)", rzres.Circuit},
+		{"trasyn (U3 IR)", u3res},
+		{"gridsynth (Rz IR)", rzres},
 	} {
-		est := params.Estimate(circ.N, w.c.TCount(), w.c.TDepth())
-		fmt.Printf("\n%s:\n", w.name)
+		est := w.res.Stats.Resources // filled by the EstimateResources pass
+		fmt.Printf("\n%s: T=%d T-depth=%d (Σerr %.2e within budget %.1e)\n",
+			w.name, w.res.Circuit.TCount(), w.res.Circuit.TDepth(),
+			w.res.Stats.ErrorBound, circuitEps)
 		fmt.Printf("  T count / magic states : %d\n", est.MagicStates)
 		fmt.Printf("  code distance          : %d (%d phys/logical)\n", est.CodeDistance, est.PhysPerLogical)
 		fmt.Printf("  distillation rounds    : %d (factory: %d phys qubits)\n", est.DistillRounds, est.FactoryQubits)

@@ -1,14 +1,13 @@
 package expt
 
 import (
+	"context"
 	"fmt"
 	"math"
 	"math/rand"
 	"sync"
 
-	"repro/internal/circuit"
-	"repro/internal/gridsynth"
-	"repro/internal/pipeline"
+	"repro/circuit"
 	"repro/internal/resynth"
 	"repro/internal/sim"
 	"repro/internal/suite"
@@ -24,9 +23,20 @@ type benchResult struct {
 	rzIR    *circuit.Circuit // CX+H+RZ IR (best setting)
 	u3Out   *circuit.Circuit // trasyn-lowered
 	rzOut   *circuit.Circuit // gridsynth-lowered
-	u3Stats pipeline.Stats
-	rzStats pipeline.Stats
+	u3Stats synth.PipelineStats
+	rzStats synth.PipelineStats
 	err     error
+}
+
+// lowerOnly builds a synthesis-only pipeline (the Lower pass alone) for an
+// already-transpiled IR, sharing the given cache.
+func lowerOnly(backend string, req synth.Request, cache *synth.Cache) (*synth.Pipeline, error) {
+	return synth.NewPipelineFor(backend,
+		synth.WithRequest(req),
+		synth.WithCache(cache),
+		synth.WithWorkers(1), // outer loop already parallelizes per circuit
+		synth.WithPasses(synth.Lower()),
+	)
 }
 
 // selectBenchmarks subsamples the 187-circuit suite evenly (stable order).
@@ -68,29 +78,43 @@ func runStudy(cfg Config, eps float64) []benchResult {
 			// (gridsynth over-delivers its threshold by ~2.5x on average;
 			// the paper's trasyn reports best-found rather than
 			// threshold-truncated solutions).
-			tcfg := cfg.trasynConfig(cfg.Sites+1, eps*0.6, cfg.Seed+int64(i*31))
+			treq := synth.Request{
+				Epsilon: eps * 0.6, TBudget: cfg.MaxT, Tensors: cfg.Sites + 1,
+				Samples: cfg.Samples, Seed: synth.Seed(cfg.Seed + int64(i*31)),
+			}
 			// Per-circuit caches (seeds differ per circuit, so entries
 			// must not leak across circuits); repeated angles within a
-			// circuit synthesize once.
+			// circuit synthesize once. Both workflows lower through a
+			// synthesis-only pipeline over their pre-transpiled IR.
 			cache := synth.NewCache(0)
-			var err error
-			r.u3Out, r.u3Stats, err = pipeline.Lower(r.u3IR,
-				cache.Wrap("trasyn", eps*0.6, pipeline.TrasynLowerer(tcfg)))
+			tp, err := lowerOnly("trasyn", treq, cache)
 			if err != nil {
 				r.err = err
 				return
 			}
+			u3Res, err := tp.Run(context.Background(), r.u3IR)
+			if err != nil {
+				r.err = err
+				return
+			}
+			r.u3Out, r.u3Stats = u3Res.Circuit, u3Res.Stats
 			nU3 := r.u3IR.CountRotations()
 			nRz := r.rzIR.CountRotations()
 			epsRz := eps
 			if nRz > 0 && nU3 > 0 {
 				epsRz = eps * float64(nU3) / float64(nRz)
 			}
-			r.rzOut, r.rzStats, err = pipeline.Lower(r.rzIR,
-				cache.Wrap("gridsynth", epsRz, pipeline.GridsynthLowerer(epsRz, gridsynth.Options{})))
+			gp, err := lowerOnly("gridsynth", synth.Request{Epsilon: epsRz}, cache)
 			if err != nil {
 				r.err = err
+				return
 			}
+			rzRes, err := gp.Run(context.Background(), r.rzIR)
+			if err != nil {
+				r.err = err
+				return
+			}
+			r.rzOut, r.rzStats = rzRes.Circuit, rzRes.Stats
 		}(i, b)
 	}
 	wg.Wait()
@@ -382,11 +406,15 @@ func Fig12(cfg Config) (*Table, error) {
 				return
 			}
 			epsRz := defaultCircuitEps * float64(nU3) / math.Max(1, float64(nBq))
-			low, _, err := pipeline.Lower(bq,
-				synth.NewCache(0).Wrap("gridsynth", epsRz, pipeline.GridsynthLowerer(epsRz, gridsynth.Options{})))
+			gp, err := lowerOnly("gridsynth", synth.Request{Epsilon: epsRz}, synth.NewCache(0))
 			if err != nil {
 				return
 			}
+			lowRes, err := gp.Run(context.Background(), bq)
+			if err != nil {
+				return
+			}
+			low := lowRes.Circuit
 			mu.Lock()
 			defer mu.Unlock()
 			rr := float64(nBq) / float64(nU3)

@@ -11,7 +11,7 @@ package pipeline
 import (
 	"fmt"
 
-	"repro/internal/circuit"
+	"repro/circuit"
 	"repro/internal/core"
 	"repro/internal/gates"
 	"repro/internal/gridsynth"
@@ -57,6 +57,21 @@ func Lower(c *circuit.Circuit, f Lowerer) (*circuit.Circuit, Stats, error) {
 		}
 	}
 	return out, st, nil
+}
+
+// SnapTrivialRotations rewrites every trivial (π/4-multiple) rotation in c
+// into exact discrete gates, leaving all other operations — including the
+// nontrivial rotations a later Lower pass will synthesize — untouched.
+func SnapTrivialRotations(c *circuit.Circuit) *circuit.Circuit {
+	out := circuit.New(c.N)
+	for _, op := range c.Ops {
+		if op.G.IsRotation() && TrivialRotation(op) {
+			snapTrivial(out, op)
+			continue
+		}
+		out.Add(op)
+	}
+	return out
 }
 
 // TrivialRotation reports whether op is a π/4-multiple rotation that snaps

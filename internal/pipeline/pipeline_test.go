@@ -5,7 +5,7 @@ import (
 	"math/rand"
 	"testing"
 
-	"repro/internal/circuit"
+	"repro/circuit"
 	"repro/internal/core"
 	"repro/internal/gates"
 	"repro/internal/gridsynth"

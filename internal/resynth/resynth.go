@@ -11,7 +11,7 @@ package resynth
 import (
 	"math"
 
-	"repro/internal/circuit"
+	"repro/circuit"
 	"repro/internal/qmat"
 	"repro/internal/transpile"
 )

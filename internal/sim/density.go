@@ -3,7 +3,7 @@ package sim
 import (
 	"math/cmplx"
 
-	"repro/internal/circuit"
+	"repro/circuit"
 	"repro/internal/qmat"
 )
 

@@ -4,7 +4,7 @@ import (
 	"math"
 	"math/rand"
 
-	"repro/internal/circuit"
+	"repro/circuit"
 )
 
 // noiseLocations returns the indices of (op, qubit) pairs that carry noise.

@@ -11,7 +11,7 @@ import (
 	"math/cmplx"
 	"math/rand"
 
-	"repro/internal/circuit"
+	"repro/circuit"
 	"repro/internal/qmat"
 )
 

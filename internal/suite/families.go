@@ -4,7 +4,7 @@ import (
 	"math"
 	"math/rand"
 
-	"repro/internal/circuit"
+	"repro/circuit"
 )
 
 // --- Hamiltonian families (Hamlib-style) ---

@@ -10,7 +10,7 @@ import (
 	"fmt"
 	"math"
 
-	"repro/internal/circuit"
+	"repro/circuit"
 )
 
 // Pauli identifies a single-qubit Pauli operator in a term.

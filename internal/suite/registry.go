@@ -1,7 +1,7 @@
 package suite
 
 import (
-	"repro/internal/circuit"
+	"repro/circuit"
 )
 
 // Category labels benchmarks the way the paper's Figure 10 groups them.

@@ -5,7 +5,7 @@ import (
 	"math/cmplx"
 	"testing"
 
-	"repro/internal/circuit"
+	"repro/circuit"
 	"repro/internal/sim"
 )
 

@@ -9,7 +9,7 @@ package transpile
 import (
 	"math"
 
-	"repro/internal/circuit"
+	"repro/circuit"
 	"repro/internal/qmat"
 )
 
@@ -264,7 +264,7 @@ func OptimizeWith(c *circuit.Circuit, s Setting) *circuit.Circuit {
 	if s.Basis == BasisRz {
 		cur = ToRzBasis(cur)
 		if s.Level >= 1 {
-			cur = mergeAdjacentRz(cur)
+			cur = MergeRz(cur)
 		}
 	} else {
 		cur = ToU3Basis(cur)
@@ -272,9 +272,9 @@ func OptimizeWith(c *circuit.Circuit, s Setting) *circuit.Circuit {
 	return cur
 }
 
-// mergeAdjacentRz fuses directly adjacent RZ/phase gates on the same qubit
+// MergeRz fuses directly adjacent RZ/phase gates on the same qubit
 // (the only 1q merge available inside the Rz basis without changing IR).
-func mergeAdjacentRz(c *circuit.Circuit) *circuit.Circuit {
+func MergeRz(c *circuit.Circuit) *circuit.Circuit {
 	out := circuit.New(c.N)
 	pendingAngle := make([]float64, c.N)
 	hasPending := make([]bool, c.N)

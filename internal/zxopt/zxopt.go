@@ -16,7 +16,7 @@ import (
 	"math"
 	"sort"
 
-	"repro/internal/circuit"
+	"repro/circuit"
 	"repro/internal/core"
 	"repro/internal/gates"
 )

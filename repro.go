@@ -22,7 +22,7 @@ package repro
 import (
 	"context"
 
-	"repro/internal/circuit"
+	"repro/circuit"
 	"repro/internal/gates"
 	"repro/internal/qmat"
 	"repro/internal/sk"

@@ -5,7 +5,7 @@ import (
 	"math"
 	"sync"
 
-	"repro/internal/circuit"
+	"repro/circuit"
 	"repro/internal/gates"
 	"repro/internal/pipeline"
 	"repro/internal/qmat"
@@ -157,6 +157,16 @@ func (c *Cache) Get(k Key) (Entry, bool) {
 func (c *Cache) creditHit() {
 	c.mu.Lock()
 	c.hits++
+	c.mu.Unlock()
+}
+
+// creditMiss records a miss for a lookup performed via peek — a job that
+// finds its entry evicted between phases and recomputes inline charges
+// that second lookup here, keeping Hits+Misses equal to the lookups
+// actually performed.
+func (c *Cache) creditMiss() {
+	c.mu.Lock()
+	c.misses++
 	c.mu.Unlock()
 }
 

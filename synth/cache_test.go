@@ -6,7 +6,7 @@ import (
 	"testing"
 	"time"
 
-	"repro/internal/circuit"
+	"repro/circuit"
 	"repro/internal/gates"
 )
 

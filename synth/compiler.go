@@ -7,14 +7,14 @@ import (
 	"sync"
 	"time"
 
-	"repro/internal/circuit"
-	"repro/internal/gates"
+	"repro/circuit"
 	"repro/internal/pipeline"
 	"repro/internal/qmat"
 	"repro/internal/transpile"
 )
 
-// IR selects the intermediate representation CompileCircuit lowers through.
+// IR selects the intermediate representation circuit compilation lowers
+// through.
 type IR int
 
 const (
@@ -26,6 +26,19 @@ const (
 	// IRRz forces the CX+H+RZ workflow.
 	IRRz
 )
+
+// ParseIR resolves a CLI-flag spelling.
+func ParseIR(name string) (IR, bool) {
+	switch name {
+	case "auto", "":
+		return IRAuto, true
+	case "u3":
+		return IRU3, true
+	case "rz":
+		return IRRz, true
+	}
+	return IRAuto, false
+}
 
 // Compiler is the batch service layer over a Backend: a worker pool with
 // context cancellation, deterministic per-op seeding (seeds are derived
@@ -80,58 +93,65 @@ func (c *Compiler) cache() *Cache {
 	return c.Cache
 }
 
-// perOpReq derives the request for one op from the base request and the
-// op's cache key.
-func (c *Compiler) perOpReq(k Key) Request {
-	req := c.Req
-	req.Seed = Seed(mixSeed(c.Req.seed(), keyHash(k)))
+// opJob is one synthesis lookup: its cache key, the target unitary, and
+// the request it runs under. Requests vary per op when a circuit-level
+// budget allocates per-rotation epsilons (the key's Eps field tracks
+// that, so differently budgeted syntheses never share an entry).
+type opJob struct {
+	k      Key
+	target qmat.M2
+	req    Request
+}
+
+// derived returns the job's request with its deterministic per-op seed
+// (splitmix64 of the base seed and the key hash).
+func (j opJob) derived() Request {
+	req := j.req
+	req.Seed = Seed(mixSeed(req.seed(), keyHash(j.k)))
 	return req
 }
 
-// missingJob is one distinct key the worker pool must synthesize.
-type missingJob struct {
-	k      Key
-	target qmat.M2
-}
-
-// scanTargets performs the counted cache lookups for a job: the first
+// scanJobs performs the counted cache lookups for a job list: the first
 // occurrence of an uncached key is a miss (and scheduled once); later
 // occurrences are hits — they will be served by that one synthesis.
-func (c *Compiler) scanTargets(keys []Key, targets []qmat.M2) (missing []missingJob, hits, misses int) {
+func (c *Compiler) scanJobs(jobs []opJob) (missing []opJob, hits, misses int) {
 	cache := c.cache()
 	pending := map[Key]bool{}
-	for i, k := range keys {
-		if pending[k] {
+	for _, j := range jobs {
+		if pending[j.k] {
 			cache.creditHit()
 			hits++
 			continue
 		}
-		if _, ok := cache.Get(k); ok {
+		if _, ok := cache.Get(j.k); ok {
 			hits++
 			continue
 		}
 		misses++
-		pending[k] = true
-		missing = append(missing, missingJob{k: k, target: targets[i]})
+		pending[j.k] = true
+		missing = append(missing, j)
 	}
 	return missing, hits, misses
 }
 
-// synthesizeMissing runs the worker pool over the distinct missing keys,
-// storing entries in the cache and returning the full per-key Results.
-// The first error (including context cancellation) drains the pool.
-func (c *Compiler) synthesizeMissing(ctx context.Context, missing []missingJob) (map[Key]Result, error) {
+// synthesizeMissing runs the worker pool over the distinct missing jobs,
+// storing entries in the cache and returning the per-key Results. The
+// optional progress hook fires after each completed synthesis with
+// (done, total). The first error (including context cancellation) drains
+// the pool.
+func (c *Compiler) synthesizeMissing(ctx context.Context, missing []opJob, progress func(done, total int)) (map[Key]Result, error) {
 	computed := make(map[Key]Result, len(missing))
 	if len(missing) == 0 {
 		return computed, nil
 	}
 	cache := c.cache()
-	jobs := make(chan missingJob)
+	jobs := make(chan opJob)
 	var (
 		mu       sync.Mutex
 		wg       sync.WaitGroup
 		errOnce  sync.Once
 		firstErr error
+		done     int
 	)
 	wctx, cancel := context.WithCancel(ctx)
 	defer cancel()
@@ -144,7 +164,7 @@ func (c *Compiler) synthesizeMissing(ctx context.Context, missing []missingJob) 
 		go func() {
 			defer wg.Done()
 			for j := range jobs {
-				res, err := c.Backend.Synthesize(wctx, j.target, c.perOpReq(j.k))
+				res, err := c.Backend.Synthesize(wctx, j.target, j.derived())
 				if err != nil {
 					fail(err)
 					return
@@ -152,7 +172,12 @@ func (c *Compiler) synthesizeMissing(ctx context.Context, missing []missingJob) 
 				cache.Put(j.k, Entry{Seq: res.Seq, Err: res.Error, Backend: res.Backend})
 				mu.Lock()
 				computed[j.k] = res
+				done++
+				n := done
 				mu.Unlock()
+				if progress != nil {
+					progress(n, len(missing))
+				}
 			}
 		}()
 	}
@@ -181,37 +206,38 @@ func (c *Compiler) CompileBatch(ctx context.Context, targets []qmat.M2) ([]Resul
 	}
 	cache := c.cache()
 	scope := c.Backend.Name()
-	eps := c.Req.Epsilon
 	cfg := c.Req.cacheCfg()
-	keys := make([]Key, len(targets))
+	jobs := make([]opJob, len(targets))
 	for i, u := range targets {
-		keys[i] = KeyOfTarget(u, scope, eps, cfg)
+		jobs[i] = opJob{k: KeyOfTarget(u, scope, c.Req.Epsilon, cfg), target: u, req: c.Req}
 	}
-	missing, _, _ := c.scanTargets(keys, targets)
-	computed, err := c.synthesizeMissing(ctx, missing)
+	missing, _, _ := c.scanJobs(jobs)
+	computed, err := c.synthesizeMissing(ctx, missing, nil)
 	results := make([]Result, len(targets))
 	if err != nil {
 		return results, err
 	}
-	for i, k := range keys {
-		if res, ok := computed[k]; ok {
+	for i, j := range jobs {
+		if res, ok := computed[j.k]; ok {
 			// The freshly synthesized occurrence keeps its full metadata
 			// (wall time, evals); repeats read the amortized entry.
 			results[i] = res
-			delete(computed, k)
+			delete(computed, j.k)
 			continue
 		}
-		if e, ok := cache.peek(k); ok {
+		if e, ok := cache.peek(j.k); ok {
 			results[i] = c.fromEntry(e)
 			continue
 		}
 		// Evicted between phases (cache smaller than the batch's distinct
-		// angles): recompute inline.
-		res, serr := c.Backend.Synthesize(ctx, targets[i], c.perOpReq(k))
+		// angles): recompute inline. The scan never charged this second
+		// lookup, so credit the miss — Hits+Misses must count every lookup.
+		cache.creditMiss()
+		res, serr := c.Backend.Synthesize(ctx, j.target, j.derived())
 		if serr != nil {
 			return results, serr
 		}
-		cache.Put(k, Entry{Seq: res.Seq, Err: res.Error, Backend: res.Backend})
+		cache.Put(j.k, Entry{Seq: res.Seq, Err: res.Error, Backend: res.Backend})
 		results[i] = res
 	}
 	return results, nil
@@ -234,6 +260,10 @@ func (c *Compiler) fromEntry(e Entry) Result {
 }
 
 // CircuitResult is one end-to-end circuit compilation.
+//
+// Deprecated: run a Pipeline and read PipelineResult, which additionally
+// reports pass timings, the budget configuration and the resource
+// estimate.
 type CircuitResult struct {
 	// Circuit is the lowered Clifford+T circuit.
 	Circuit *circuit.Circuit
@@ -244,8 +274,8 @@ type CircuitResult struct {
 	Setting     transpile.Setting
 	IRRotations int
 	// Unique is how many distinct rotations this job synthesized; Hits and
-	// Misses are this job's cache accounting (one lookup per nontrivial
-	// rotation op).
+	// Misses count every cache lookup this job performed: one per
+	// nontrivial rotation op, plus one per eviction recompute.
 	Unique       int
 	Hits, Misses int
 	// Backend names the backend; Wall is the end-to-end compile time.
@@ -255,68 +285,45 @@ type CircuitResult struct {
 
 // CompileCircuit transpiles the circuit to the workflow IR (best of the 16
 // transpiler settings) and lowers every nontrivial rotation through the
-// backend: one cache lookup per rotation op, then a worker pool over the
-// distinct misses, then assembly. Repeated angles — within the circuit or
-// across jobs sharing the cache — synthesize once.
+// backend at the uniform per-rotation Req.Epsilon.
+//
+// Deprecated: CompileCircuit is a canned transpile→lower pipeline kept
+// for compatibility. Use NewPipeline, which adds circuit-level error
+// budgets (WithCircuitEpsilon), pass composition (WithPasses), progress
+// hooks and resource estimation:
+//
+//	pl := synth.NewPipeline(be, synth.WithRequest(req), synth.WithWorkers(8))
+//	res, err := pl.Run(ctx, circ)
 func (c *Compiler) CompileCircuit(ctx context.Context, circ *circuit.Circuit) (CircuitResult, error) {
 	if c.Backend == nil {
 		return CircuitResult{}, fmt.Errorf("synth: Compiler has no Backend")
 	}
-	start := time.Now()
-	cache := c.cache()
-	scope := c.Backend.Name()
-	eps := c.Req.Epsilon
-	cfg := c.Req.cacheCfg()
-	basis := transpile.BasisU3
-	if c.IR == IRRz || (c.IR == IRAuto && scope == "gridsynth") {
-		basis = transpile.BasisRz
-	}
-	ir, setting := transpile.BestSetting(circ, basis)
-	out := CircuitResult{Setting: setting, IRRotations: ir.CountRotations(), Backend: scope}
-
-	// Phase 1: one counted lookup per nontrivial rotation (the first
-	// occurrence of an uncached angle is the miss; repeats are hits).
-	var (
-		keys   []Key
-		rotOps []qmat.M2
+	pl := NewPipeline(c.Backend,
+		WithRequest(c.Req),
+		WithWorkers(c.Workers),
+		WithCache(c.cache()),
+		WithIR(c.IR),
+		WithPasses(Transpile(), Lower()),
 	)
-	for _, op := range ir.Ops {
-		if !op.G.IsRotation() || pipeline.TrivialRotation(op) {
-			continue
-		}
-		keys = append(keys, KeyOf(op, scope, eps, cfg))
-		rotOps = append(rotOps, op.Matrix1Q())
-	}
-	missing, hits, misses := c.scanTargets(keys, rotOps)
-	out.Hits, out.Misses = hits, misses
-	out.Unique = len(missing)
-
-	// Phase 2: synthesize the distinct misses on the worker pool.
-	if _, err := c.synthesizeMissing(ctx, missing); err != nil {
-		return out, fmt.Errorf("synth: lowering %s IR: %w", scope, err)
-	}
-
-	// Phase 3: assemble. Lookups were charged in phase 1, so assembly reads
-	// quietly; an entry evicted between phases is recomputed inline.
-	lowered, stats, err := pipeline.Lower(ir, func(op circuit.Op) (gates.Sequence, float64, error) {
-		k := KeyOf(op, scope, eps, cfg)
-		if e, ok := cache.peek(k); ok {
-			return e.Seq, e.Err, nil
-		}
-		res, serr := c.Backend.Synthesize(ctx, op.Matrix1Q(), c.perOpReq(k))
-		if serr != nil {
-			return nil, 0, serr
-		}
-		cache.Put(k, Entry{Seq: res.Seq, Err: res.Error, Backend: res.Backend})
-		return res.Seq, res.Error, nil
-	})
+	res, err := pl.Run(ctx, circ)
 	if err != nil {
-		return out, err
+		return CircuitResult{Backend: c.Backend.Name()}, err
 	}
-	out.Circuit = lowered
-	out.Stats = stats
-	out.Wall = time.Since(start)
-	return out, nil
+	return CircuitResult{
+		Circuit: res.Circuit,
+		Stats: pipeline.Stats{
+			Rotations:  res.Stats.Rotations,
+			ErrorBound: res.Stats.ErrorBound,
+			MaxError:   res.Stats.MaxError,
+		},
+		Setting:     res.Stats.Setting,
+		IRRotations: res.Stats.IRRotations,
+		Unique:      res.Stats.Unique,
+		Hits:        res.Stats.Hits,
+		Misses:      res.Stats.Misses,
+		Backend:     res.Backend,
+		Wall:        res.Wall,
+	}, nil
 }
 
 // keyHash is FNV-1a over the key fields; mixSeed is splitmix64. Together

@@ -8,7 +8,7 @@ import (
 	"testing"
 	"time"
 
-	"repro/internal/circuit"
+	"repro/circuit"
 	"repro/internal/gates"
 	"repro/internal/qmat"
 	"repro/internal/sim"

@@ -1,0 +1,309 @@
+package synth
+
+import (
+	"context"
+	"fmt"
+	"sync"
+	"time"
+
+	"repro/circuit"
+	"repro/internal/pipeline"
+	"repro/internal/resource"
+	"repro/internal/transpile"
+)
+
+// Pass is one circuit-to-circuit compilation stage. Passes are composed by
+// a Pipeline and share a PassContext carrying the backend, error budget,
+// cache, stats and progress hooks; each pass returns a new circuit (or the
+// input unchanged) and records what it learned in pc.Stats.
+type Pass interface {
+	// Name is the stable identifier used by WithPasses callers, the
+	// cmd/compile -passes flag, and progress events.
+	Name() string
+	// Run transforms c under the shared context. Implementations must not
+	// mutate c in place — callers may retain it.
+	Run(pc *PassContext, c *circuit.Circuit) (*circuit.Circuit, error)
+}
+
+// PassContext is the shared state of one pipeline run: the synthesis
+// backend and base request, the concurrency and cache configuration, the
+// circuit-level error budget, and the accumulating stats. It is created by
+// (*Pipeline).Run; passes read the configuration and write Stats.
+type PassContext struct {
+	// Ctx is the run's cancellation context.
+	Ctx context.Context
+	// Backend performs per-rotation synthesis for the Lower pass.
+	Backend Backend
+	// Req is the base request. In per-rotation mode (CircuitEpsilon == 0)
+	// Req.Epsilon applies to every rotation, as in Compiler.CompileCircuit.
+	Req Request
+	// Workers bounds the Lower pass's pool (0 = GOMAXPROCS).
+	Workers int
+	// Cache is the shared synthesis cache (never nil during a run).
+	Cache *Cache
+	// IR selects the lowering workflow (IRAuto resolves per backend).
+	IR IR
+	// CircuitEpsilon, when positive, is the circuit-level error budget ε:
+	// the Lower pass splits it across the nontrivial rotations with the
+	// Budget strategy instead of using Req.Epsilon per rotation.
+	CircuitEpsilon float64
+	// Budget selects the ε-splitting strategy.
+	Budget BudgetStrategy
+	// Progress, when set, receives pass-start and synthesis-progress
+	// events.
+	Progress func(ProgressEvent)
+	// Stats accumulates across passes.
+	Stats *PipelineStats
+}
+
+// basis resolves the transpile basis for the configured IR and backend —
+// CX+H+RZ for gridsynth under IRAuto (the workflow the paper evaluates it
+// on), CX+U3 otherwise.
+func (pc *PassContext) basis() transpile.Basis {
+	if pc.IR == IRRz || (pc.IR == IRAuto && pc.Backend != nil && pc.Backend.Name() == "gridsynth") {
+		return transpile.BasisRz
+	}
+	return transpile.BasisU3
+}
+
+// event emits a progress event when a hook is installed.
+func (pc *PassContext) event(pass string, done, total int) {
+	if pc.Progress != nil {
+		pc.Progress(ProgressEvent{Pass: pass, Done: done, Total: total})
+	}
+}
+
+// ProgressEvent reports pipeline progress: one event per pass start
+// (Done == Total == 0), plus one per completed synthesis inside the Lower
+// pass (Done in 1..Total over the distinct rotations being synthesized).
+type ProgressEvent struct {
+	Pass        string
+	Done, Total int
+}
+
+// PassTiming records one executed pass.
+type PassTiming struct {
+	Name string
+	Wall time.Duration
+}
+
+// PipelineStats aggregates everything a pipeline run learned.
+type PipelineStats struct {
+	// Setting is the winning transpiler setting; IRRotations counts the
+	// nontrivial rotations in the IR the Transpile pass produced.
+	Setting     transpile.Setting
+	IRRotations int
+	// Rotations counts rotations actually synthesized by Lower; ErrorBound
+	// is the additive sum of realized per-rotation errors (the guarantee
+	// compared against CircuitEpsilon); MaxError is the worst single one.
+	Rotations  int
+	ErrorBound float64
+	MaxError   float64
+	// Epsilon and Strategy echo the circuit-level budget configuration
+	// (Epsilon 0 = per-rotation mode).
+	Epsilon  float64
+	Strategy BudgetStrategy
+	// Unique counts distinct syntheses; Hits and Misses count every cache
+	// lookup the run performed (scan lookups plus any eviction recomputes).
+	Unique       int
+	Hits, Misses int
+	// Resources is filled by the EstimateResources pass.
+	Resources *resource.Estimate
+	// Passes records the executed pass sequence with wall times.
+	Passes []PassTiming
+}
+
+// passFunc adapts a named function to Pass.
+type passFunc struct {
+	name string
+	run  func(*PassContext, *circuit.Circuit) (*circuit.Circuit, error)
+}
+
+func (p passFunc) Name() string { return p.name }
+func (p passFunc) Run(pc *PassContext, c *circuit.Circuit) (*circuit.Circuit, error) {
+	return p.run(pc, c)
+}
+
+// NewPass wraps a function as a custom Pass for WithPasses callers.
+func NewPass(name string, run func(*PassContext, *circuit.Circuit) (*circuit.Circuit, error)) Pass {
+	return passFunc{name: name, run: run}
+}
+
+// Transpile returns the IR-selection pass: the best of the paper's 16
+// transpiler settings (fewest nontrivial rotations) for the workflow
+// basis, recording the winning setting and IR rotation count.
+func Transpile() Pass {
+	return passFunc{name: "transpile", run: func(pc *PassContext, c *circuit.Circuit) (*circuit.Circuit, error) {
+		ir, setting := transpile.BestSetting(c, pc.basis())
+		pc.Stats.Setting = setting
+		pc.Stats.IRRotations = ir.CountRotations()
+		return ir, nil
+	}}
+}
+
+// FuseRotations returns the rotation-fusion pass: adjacent single-qubit
+// gates merge into one rotation (U3 basis) or adjacent RZ/phase gates sum
+// their angles (Rz basis), shrinking the synthesis workload without
+// changing the unitary. Idempotent after Transpile (whose winning setting
+// already merges), but load-bearing in hand-built pipelines that skip it.
+func FuseRotations() Pass {
+	return passFunc{name: "fuse", run: func(pc *PassContext, c *circuit.Circuit) (*circuit.Circuit, error) {
+		if pc.basis() == transpile.BasisRz {
+			return transpile.MergeRz(c), nil
+		}
+		return transpile.Merge1Q(c), nil
+	}}
+}
+
+// SnapTrivial returns the pass replacing every trivial (π/4-multiple)
+// rotation with exact discrete gates, consuming no synthesis budget
+// (footnote 3 of the paper). Lower also snaps trivial rotations it
+// encounters, so this pass is about moving the exact rewrites ahead of
+// budget allocation and about pipelines that lower some other way.
+func SnapTrivial() Pass {
+	return passFunc{name: "snap", run: func(pc *PassContext, c *circuit.Circuit) (*circuit.Circuit, error) {
+		return pipeline.SnapTrivialRotations(c), nil
+	}}
+}
+
+// Lower returns the synthesis pass: one counted cache lookup per
+// nontrivial rotation, a worker pool over the distinct misses, then
+// assembly into a Clifford+T circuit. Under a circuit-level budget
+// (CircuitEpsilon > 0) each rotation synthesizes at its allocated share;
+// otherwise every rotation uses Req.Epsilon.
+func Lower() Pass {
+	return passFunc{name: "lower", run: runLower}
+}
+
+func runLower(pc *PassContext, c *circuit.Circuit) (*circuit.Circuit, error) {
+	if pc.Backend == nil {
+		return nil, fmt.Errorf("no backend configured")
+	}
+	comp := &Compiler{Backend: pc.Backend, Req: pc.Req, Workers: pc.Workers, Cache: pc.Cache}
+	scope := pc.Backend.Name()
+	var epss []float64
+	if pc.CircuitEpsilon > 0 {
+		epss = AllocateBudget(c, pc.CircuitEpsilon, pc.Budget)
+	}
+
+	// One job per nontrivial rotation, in op order.
+	var jobs []opJob
+	for i, op := range c.Ops {
+		if !synthesizable(op) {
+			continue
+		}
+		req := pc.Req
+		if epss != nil {
+			req.Epsilon = epss[i]
+		}
+		jobs = append(jobs, opJob{
+			k:      KeyOf(op, scope, req.Epsilon, req.cacheCfg()),
+			target: op.Matrix1Q(),
+			req:    req,
+		})
+	}
+
+	// Scan: counted lookups; first occurrence of an uncached key is the
+	// miss that schedules its one synthesis.
+	missing, hits, misses := comp.scanJobs(jobs)
+	pc.Stats.Hits += hits
+	pc.Stats.Misses += misses
+	pc.Stats.Unique += len(missing)
+
+	// Pool over the distinct misses, with progress events. Workers report
+	// concurrently, so delivery is serialized here — the user hook never
+	// needs to be goroutine-safe.
+	var pmu sync.Mutex
+	progress := func(done, total int) {
+		pmu.Lock()
+		pc.event("lower", done, total)
+		pmu.Unlock()
+	}
+	if _, err := comp.synthesizeMissing(pc.Ctx, missing, progress); err != nil {
+		return nil, fmt.Errorf("lowering %s IR: %w", scope, err)
+	}
+
+	// Assemble. Lookups were charged in the scan; an entry evicted between
+	// phases is recomputed inline and that extra lookup is itself counted
+	// as a miss (the Hits+Misses invariant: every lookup is charged).
+	out := circuit.New(c.N)
+	cache := comp.cache()
+	ji := 0
+	for _, op := range c.Ops {
+		if !op.G.IsRotation() {
+			out.Add(op)
+			continue
+		}
+		if pipeline.TrivialRotation(op) {
+			one := circuit.New(c.N)
+			one.Add(op)
+			for _, o := range pipeline.SnapTrivialRotations(one).Ops {
+				out.Add(o)
+			}
+			continue
+		}
+		j := jobs[ji]
+		ji++
+		e, ok := cache.peek(j.k)
+		if !ok {
+			cache.creditMiss()
+			pc.Stats.Misses++
+			res, err := comp.Backend.Synthesize(pc.Ctx, j.target, j.derived())
+			if err != nil {
+				return nil, fmt.Errorf("lowering %s IR: %w", scope, err)
+			}
+			cache.Put(j.k, Entry{Seq: res.Seq, Err: res.Error, Backend: res.Backend})
+			e = Entry{Seq: res.Seq, Err: res.Error, Backend: res.Backend}
+		}
+		for _, o := range circuit.FromSequence(e.Seq, op.Q[0]) {
+			out.Add(o)
+		}
+		pc.Stats.Rotations++
+		pc.Stats.ErrorBound += e.Err
+		if e.Err > pc.Stats.MaxError {
+			pc.Stats.MaxError = e.Err
+		}
+	}
+	return out, nil
+}
+
+// EstimateResources returns the pass attaching a surface-code resource
+// estimate (internal/resource's model) for the current circuit to
+// Stats.Resources. The circuit flows through unchanged, so the pass can
+// sit anywhere after Lower.
+func EstimateResources() Pass {
+	return passFunc{name: "estimate", run: func(pc *PassContext, c *circuit.Circuit) (*circuit.Circuit, error) {
+		est := resource.DefaultParams().Estimate(c.N, c.TCount(), c.TDepth())
+		pc.Stats.Resources = &est
+		return c, nil
+	}}
+}
+
+// DefaultPasses is the canned Figure 3(a) workflow: transpile → fuse →
+// snap → lower → estimate.
+func DefaultPasses() []Pass {
+	return []Pass{Transpile(), FuseRotations(), SnapTrivial(), Lower(), EstimateResources()}
+}
+
+// PassNames lists the built-in pass names in canned-pipeline order.
+func PassNames() []string {
+	return []string{"transpile", "fuse", "snap", "lower", "estimate"}
+}
+
+// LookupPass resolves a built-in pass by name (the cmd/compile -passes
+// vocabulary).
+func LookupPass(name string) (Pass, bool) {
+	switch name {
+	case "transpile":
+		return Transpile(), true
+	case "fuse":
+		return FuseRotations(), true
+	case "snap":
+		return SnapTrivial(), true
+	case "lower":
+		return Lower(), true
+	case "estimate":
+		return EstimateResources(), true
+	}
+	return nil, false
+}

@@ -2,21 +2,34 @@
 // repository — trasyn (the paper's tensor-network search), the
 // Ross–Selinger gridsynth baseline, Solovay–Kitaev, and the
 // Synthetiq-style annealer — is exposed as a Backend behind one Request /
-// Result pair, discovered through a named registry, and composed into
-// batch jobs by the Compiler service (worker pool, context cancellation,
-// deterministic per-op seeding, shared bounded synthesis cache).
+// Result pair, discovered through a named registry, and composed two
+// ways: batch jobs through the Compiler service (worker pool, context
+// cancellation, deterministic per-op seeding, shared bounded synthesis
+// cache), and circuit compilation through the pass Pipeline (Transpile →
+// FuseRotations → SnapTrivial → Lower → EstimateResources over a shared
+// PassContext, with circuit-level error budgets).
 //
-// Quick start:
+// Rotation quick start:
 //
 //	be, _ := synth.Lookup("auto")
 //	res, err := be.Synthesize(ctx, qmat.Rz(0.73), synth.Request{Epsilon: 1e-3})
 //	fmt.Println(res.Backend, res.TCount, res.Error)
 //
+// Circuit quick start — compile a circuit to Clifford+T within a total
+// error budget of 1e-2, split across its rotations:
+//
+//	circ, _ := circuit.ParseQASM(src)
+//	pl, _ := synth.NewPipelineFor("auto", synth.WithCircuitEpsilon(1e-2))
+//	out, err := pl.Run(ctx, circ)
+//	fmt.Println(out.Circuit.TCount(), out.Stats.ErrorBound)
+//
 // Layering (see DESIGN.md for the full diagram):
 //
 //	cmd/*, examples/*          — CLIs and demos; talk to synth only
 //	repro (root facade)        — thin deprecated shims over synth
-//	synth                      — Backend, registry, Compiler, Cache
+//	synth                      — Backend, registry, Pipeline + passes,
+//	                             Compiler, Cache
+//	circuit                    — the public circuit IR (QASM in/out)
 //	internal/pipeline          — circuit lowering primitives
 //	internal/{core,gridsynth,sk,anneal} — the engines
 package synth
