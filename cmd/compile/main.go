@@ -11,6 +11,12 @@
 //	compile -ir rz -backend gridsynth -rot-eps 1e-3 circuit.qasm
 //	compile -passes transpile,lower circuit.qasm  # custom pass sequence
 //	compile -o out.qasm -v circuit.qasm           # QASM to file, progress to stderr
+//	compile -remote http://127.0.0.1:8077 circuit.qasm  # compile on a synthd daemon
+//
+// With -remote the compile runs on a synthd daemon (cmd/synthd) instead of
+// in-process, sharing the daemon's warm persistent cache with every other
+// client; the same flags configure the request and the output shape is
+// identical. -workers and -v stay daemon-side concerns and are ignored.
 //
 // The lowered QASM goes to stdout (or -o file); the JSON stats line goes
 // to stderr (or stdout when -o redirects the QASM), so pipelines can
@@ -31,25 +37,13 @@ import (
 
 	"repro/circuit"
 	"repro/synth"
+	"repro/synth/serve"
+	"repro/synth/serve/client"
 )
 
-// stats is the JSON record emitted after a successful compile.
-type stats struct {
-	Backend     string  `json:"backend"`
-	IRRotations int     `json:"ir_rotations"`
-	Rotations   int     `json:"rotations"`
-	Unique      int     `json:"unique"`
-	Hits        int     `json:"cache_hits"`
-	Misses      int     `json:"cache_misses"`
-	TCount      int     `json:"t_count"`
-	TDepth      int     `json:"t_depth"`
-	Clifford    int     `json:"clifford"`
-	ErrorBound  float64 `json:"error_bound"`
-	CircuitEps  float64 `json:"circuit_eps,omitempty"`
-	Budget      string  `json:"budget,omitempty"`
-	Passes      string  `json:"passes"`
-	WallMs      float64 `json:"wall_ms"`
-}
+// stats is the JSON record emitted after a successful compile — the same
+// shape serve.CompileStats uses, so local and remote runs are diffable.
+type stats = serve.CompileStats
 
 func fail(format string, args ...any) {
 	fmt.Fprintf(os.Stderr, "compile: "+format+"\n", args...)
@@ -71,6 +65,7 @@ func main() {
 		timeout = flag.Duration("timeout", 0, "whole-compile wall-clock budget (0 = none)")
 		outPath = flag.String("o", "", "write lowered QASM here instead of stdout")
 		verbose = flag.Bool("v", false, "report pass and synthesis progress on stderr")
+		remote  = flag.String("remote", "", "compile on a synthd daemon at this base URL instead of in-process")
 	)
 	flag.Parse()
 
@@ -78,6 +73,41 @@ func main() {
 	if err != nil {
 		fail("%v", err)
 	}
+
+	if *remote != "" {
+		req := serve.CompileRequest{
+			QASM:      src,
+			Backend:   *backend,
+			Eps:       *eps,
+			RotEps:    *rotEps,
+			Budget:    *budget,
+			IR:        *irFlag,
+			Samples:   *samples,
+			TBudget:   *tbudget,
+			Seed:      synth.Seed(*seed),
+			TimeoutMs: int(*timeout / time.Millisecond),
+		}
+		if *passes != "" {
+			for _, n := range strings.Split(*passes, ",") {
+				req.Passes = append(req.Passes, strings.TrimSpace(n))
+			}
+		}
+		// The flag is forwarded as timeout_ms for the daemon AND enforced
+		// here, so a stalled daemon cannot outlive the local budget.
+		ctx := context.Background()
+		if *timeout > 0 {
+			var cancel context.CancelFunc
+			ctx, cancel = context.WithTimeout(ctx, *timeout)
+			defer cancel()
+		}
+		res, err := client.New(*remote).Compile(ctx, req)
+		if err != nil {
+			fail("remote compile of %s: %v", name, err)
+		}
+		emit(res.QASM, res.Stats, *outPath)
+		return
+	}
+
 	circ, err := circuit.ParseQASM(src)
 	if err != nil {
 		fail("parsing %s: %v", name, err)
@@ -138,10 +168,16 @@ func main() {
 		fail("compiling %s: %v", name, err)
 	}
 
+	emit(res.Circuit.QASM(), serve.NewCompileStats(res, pl.Passes(), *eps, strat), *outPath)
+}
+
+// emit writes the lowered QASM to stdout (or outPath) and the one-line
+// JSON stats record to the other stream, so pipelines can split the two.
+func emit(qasm string, st stats, outPath string) {
 	qasmOut := os.Stdout
 	statsOut := io.Writer(os.Stderr)
-	if *outPath != "" {
-		f, err := os.Create(*outPath)
+	if outPath != "" {
+		f, err := os.Create(outPath)
 		if err != nil {
 			fail("%v", err)
 		}
@@ -149,27 +185,8 @@ func main() {
 		qasmOut = f
 		statsOut = os.Stdout
 	}
-	if _, err := io.WriteString(qasmOut, res.Circuit.QASM()); err != nil {
+	if _, err := io.WriteString(qasmOut, qasm); err != nil {
 		fail("writing QASM: %v", err)
-	}
-
-	st := stats{
-		Backend:     res.Backend,
-		IRRotations: res.Stats.IRRotations,
-		Rotations:   res.Stats.Rotations,
-		Unique:      res.Stats.Unique,
-		Hits:        res.Stats.Hits,
-		Misses:      res.Stats.Misses,
-		TCount:      res.Circuit.TCount(),
-		TDepth:      res.Circuit.TDepth(),
-		Clifford:    res.Circuit.CliffordCount(),
-		ErrorBound:  res.Stats.ErrorBound,
-		Passes:      strings.Join(pl.Passes(), ","),
-		WallMs:      float64(res.Wall) / float64(time.Millisecond),
-	}
-	if *eps > 0 {
-		st.CircuitEps = *eps
-		st.Budget = strat.String()
 	}
 	line, err := json.Marshal(st)
 	if err != nil {

@@ -1,0 +1,126 @@
+// Command synthd is the resident synthesis daemon: one warm pipeline
+// configuration and one shared, sharded synthesis cache behind the
+// synth/serve HTTP/JSON API. Where every cmd/ tool is a cold start that
+// rebuilds its cache and throws away every synthesized sequence, synthd
+// amortizes synthesis across requests, clients, and — via the snapshot
+// file — restarts: gridsynth/trasyn sequences are pure functions of
+// (rotation, ε, config), so a cache entry is valid forever.
+//
+// Usage:
+//
+//	synthd                                    # :8077, auto backend, no persistence
+//	synthd -addr :9000 -backend gridsynth
+//	synthd -snapshot /var/lib/synthd/cache.json   # load at start, flush on shutdown
+//	synthd -addr 127.0.0.1:0                  # random port, printed on stdout
+//
+// Endpoints: POST /v1/compile, POST /v1/synthesize, GET /healthz,
+// GET /metrics. See synth/serve for the request/response shapes and
+// synth/serve/client for the Go client; cmd/compile -remote drives a
+// running daemon from the CLI.
+//
+// On SIGINT/SIGTERM the daemon stops accepting connections, drains
+// in-flight requests (up to -drain), flushes the cache snapshot, and
+// exits 0.
+package main
+
+import (
+	"context"
+	"errors"
+	"flag"
+	"fmt"
+	"log"
+	"net"
+	"net/http"
+	"os"
+	"os/signal"
+	"syscall"
+	"time"
+
+	"repro/synth"
+	"repro/synth/serve"
+)
+
+func main() {
+	var (
+		addr        = flag.String("addr", ":8077", "listen address (host:0 picks a random port, printed on stdout)")
+		backend     = flag.String("backend", "auto", "default backend for requests that name none")
+		cacheSize   = flag.Int("cache-size", 0, "cache capacity in entries (0 = default)")
+		cacheShards = flag.Int("cache-shards", 0, "cache shard count (0 = auto)")
+		snapshot    = flag.String("snapshot", "", "cache snapshot file: loaded at start, flushed on graceful shutdown (empty = no persistence)")
+		workers     = flag.Int("workers", 0, "per-compile synthesis pool size (0 = GOMAXPROCS)")
+		maxInflight = flag.Int("max-inflight", 0, "max concurrently executing requests (0 = GOMAXPROCS)")
+		maxQueue    = flag.Int("queue", 0, "max requests waiting for a slot before 503s (0 = 64)")
+		reqTimeout  = flag.Duration("request-timeout", 10*time.Minute, "per-request deadline cap (0 = none)")
+		drain       = flag.Duration("drain", 30*time.Second, "graceful-shutdown drain budget")
+	)
+	flag.Parse()
+	logger := log.New(os.Stderr, "synthd: ", log.LstdFlags)
+
+	if _, ok := synth.Lookup(*backend); !ok {
+		logger.Fatalf("unknown -backend %q (have %v)", *backend, synth.List())
+	}
+
+	srv := serve.New(serve.Config{
+		DefaultBackend: *backend,
+		Workers:        *workers,
+		CacheSize:      *cacheSize,
+		CacheShards:    *cacheShards,
+		MaxInflight:    *maxInflight,
+		MaxQueue:       *maxQueue,
+		RequestTimeout: *reqTimeout,
+	})
+	cache := srv.Cache()
+	if *snapshot != "" {
+		n, err := cache.LoadFile(*snapshot)
+		switch {
+		case err == nil:
+			logger.Printf("loaded %d cached sequences from %s", n, *snapshot)
+		case os.IsNotExist(err):
+			logger.Printf("no snapshot at %s, starting cold", *snapshot)
+		default:
+			// A corrupt snapshot must not turn the persistence feature into
+			// a startup outage: the cache is pure recomputable state, so
+			// log, start cold, and let the shutdown flush overwrite it.
+			logger.Printf("ignoring unreadable snapshot %s (starting cold): %v", *snapshot, err)
+		}
+	}
+
+	ln, err := net.Listen("tcp", *addr)
+	if err != nil {
+		logger.Fatalf("listen %s: %v", *addr, err)
+	}
+	// The resolved address goes to stdout so scripts (and the e2e smoke
+	// test) can start on :0 and learn the port.
+	fmt.Printf("synthd: listening on http://%s\n", ln.Addr())
+	logger.Printf("backend=%s cache(cap=%d shards=%d)", *backend, cache.Cap(), cache.Shards())
+
+	hs := &http.Server{Handler: srv.Handler()}
+	errc := make(chan error, 1)
+	go func() { errc <- hs.Serve(ln) }()
+
+	ctx, stop := signal.NotifyContext(context.Background(), syscall.SIGINT, syscall.SIGTERM)
+	defer stop()
+	select {
+	case <-ctx.Done():
+		logger.Printf("signal received, draining (budget %s)", *drain)
+	case err := <-errc:
+		logger.Fatalf("serve: %v", err)
+	}
+
+	dctx, cancel := context.WithTimeout(context.Background(), *drain)
+	defer cancel()
+	if err := hs.Shutdown(dctx); err != nil {
+		logger.Printf("drain incomplete: %v", err)
+	}
+	if *snapshot != "" {
+		if err := cache.SaveFile(*snapshot); err != nil {
+			logger.Fatalf("flushing snapshot: %v", err)
+		}
+		st := cache.Stats()
+		logger.Printf("flushed %d cached sequences to %s (lifetime: %d hits / %d misses)",
+			st.Size, *snapshot, st.Hits, st.Misses)
+	}
+	if err := <-errc; err != nil && !errors.Is(err, http.ErrServerClosed) {
+		logger.Fatalf("serve: %v", err)
+	}
+}

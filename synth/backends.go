@@ -7,6 +7,7 @@ import (
 	"math"
 	"math/cmplx"
 	"math/rand"
+	"strings"
 	"sync"
 	"time"
 
@@ -182,14 +183,24 @@ func (annealBackend) Synthesize(ctx context.Context, target qmat.M2, req Request
 // autoBackend races trasyn against gridsynth under the caller's epsilon and
 // returns the lower-T-count result among those meeting it (falling back to
 // the lower-error result when neither does) — the pluggable-search framing
-// of T-count optimization from Kliuchnikov '13 / Davis et al.
-type autoBackend struct{}
+// of T-count optimization from Kliuchnikov '13 / Davis et al. One racer
+// failing is not fatal: the race degrades to whichever racers succeed, and
+// only when all fail does the combined error surface.
+type autoBackend struct {
+	// racers overrides the default trasyn/gridsynth pair (tests inject
+	// failing backends here; nil selects the default).
+	racers []Backend
+}
 
 func (autoBackend) Name() string { return "auto" }
 
-func (autoBackend) Synthesize(ctx context.Context, target qmat.M2, req Request) (Result, error) {
+func (a autoBackend) Synthesize(ctx context.Context, target qmat.M2, req Request) (Result, error) {
 	ctx, cancel := req.budget(ctx)
 	defer cancel()
+	racers := a.racers
+	if racers == nil {
+		racers = []Backend{trasynBackend{}, gridsynthBackend{}}
+	}
 	// trasyn needs an explicit epsilon to early-stop against the same
 	// threshold gridsynth targets.
 	sub := req
@@ -199,8 +210,8 @@ func (autoBackend) Synthesize(ctx context.Context, target qmat.M2, req Request) 
 		err error
 	}
 	var wg sync.WaitGroup
-	outs := make([]out, 2)
-	for i, be := range []Backend{trasynBackend{}, gridsynthBackend{}} {
+	outs := make([]out, len(racers))
+	for i, be := range racers {
 		wg.Add(1)
 		go func(i int, be Backend) {
 			defer wg.Done()
@@ -224,8 +235,11 @@ func (autoBackend) Synthesize(ctx context.Context, target qmat.M2, req Request) 
 		if err := ctx.Err(); err != nil {
 			return Result{}, err
 		}
-		return Result{}, fmt.Errorf("synth: auto: all backends failed (trasyn: %v; gridsynth: %v)",
-			outs[0].err, outs[1].err)
+		parts := make([]string, len(racers))
+		for i, be := range racers {
+			parts[i] = fmt.Sprintf("%s: %v", be.Name(), outs[i].err)
+		}
+		return Result{}, fmt.Errorf("synth: auto: all backends failed (%s)", strings.Join(parts, "; "))
 	}
 	return best, nil
 }

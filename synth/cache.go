@@ -4,6 +4,7 @@ import (
 	"container/list"
 	"math"
 	"sync"
+	"sync/atomic"
 
 	"repro/circuit"
 	"repro/internal/gates"
@@ -13,6 +14,16 @@ import (
 
 // DefaultCacheSize bounds a Cache when NewCache is given no capacity.
 const DefaultCacheSize = 4096
+
+// DefaultCacheShards is the shard count NewCache selects for caches large
+// enough to split (see minShardCap); NewCacheSharded overrides it.
+const DefaultCacheShards = 16
+
+// minShardCap is the smallest per-shard capacity worth sharding for: below
+// it a split cache would evict so early that the LRU working set breaks up,
+// so NewCache keeps small caches on a single shard (which also preserves
+// exact global LRU order for them).
+const minShardCap = 64
 
 // Key identifies one synthesis job up to angle quantization. Two requests
 // with the same Key are interchangeable: same rotation (angles wrapped to
@@ -114,9 +125,24 @@ func (s CacheStats) HitRate() float64 {
 
 // Cache is a bounded, concurrency-safe synthesis cache with LRU eviction —
 // the promotion of internal/pipeline's former private memoizer into a
-// service-level object shared across batch jobs. Every Get counts a hit or
-// a miss; Stats exposes the accounting.
+// service-level object shared across batch jobs and, since the synthd
+// service layer, across daemon requests. Internally the key space is split
+// over independent LRU shards (each with its own lock), so concurrent
+// lookups under different keys proceed without contending on one mutex;
+// recency and eviction are per shard, a standard approximation of global
+// LRU. Every Get counts a hit or a miss; Stats exposes the accounting, and
+// Hits+Misses always equals the number of lookups performed.
 type Cache struct {
+	shards []*cacheShard
+	mask   uint64 // len(shards)-1; shard count is a power of two
+	cap    int
+	// creditHits/creditMisses charge the key-less accounting paths
+	// (creditHit/creditMiss) without electing a shard for them.
+	creditHits, creditMisses atomic.Int64
+}
+
+// cacheShard is one independently locked LRU region.
+type cacheShard struct {
 	mu           sync.Mutex
 	cap          int
 	ll           *list.List // front = most recent
@@ -130,24 +156,73 @@ type cacheNode struct {
 }
 
 // NewCache returns a cache bounded to capacity entries (<= 0 selects
-// DefaultCacheSize).
+// DefaultCacheSize), sharded DefaultCacheShards ways when the capacity
+// leaves each shard at least minShardCap entries; smaller caches stay on a
+// single shard and so keep exact global LRU order.
 func NewCache(capacity int) *Cache {
 	if capacity <= 0 {
 		capacity = DefaultCacheSize
 	}
-	return &Cache{cap: capacity, ll: list.New(), m: map[Key]*list.Element{}}
+	shards := 1
+	for shards < DefaultCacheShards && capacity/(shards*2) >= minShardCap {
+		shards *= 2
+	}
+	return NewCacheSharded(capacity, shards)
+}
+
+// NewCacheSharded returns a cache bounded to capacity entries split over
+// an explicit shard count — the tuning knob for high-concurrency services
+// like synthd. The count is rounded up to a power of two and clamped to
+// [1, capacity] so every shard holds at least one entry; capacity <= 0
+// selects DefaultCacheSize. The total entry count never exceeds capacity.
+func NewCacheSharded(capacity, shards int) *Cache {
+	if capacity <= 0 {
+		capacity = DefaultCacheSize
+	}
+	if shards < 1 {
+		shards = 1
+	}
+	if shards > capacity {
+		shards = capacity
+	}
+	n := 1
+	for n < shards {
+		n *= 2
+	}
+	if n > capacity {
+		n /= 2
+	}
+	c := &Cache{shards: make([]*cacheShard, n), mask: uint64(n - 1), cap: capacity}
+	base, rem := capacity/n, capacity%n
+	for i := range c.shards {
+		sc := base
+		if i < rem {
+			sc++
+		}
+		c.shards[i] = &cacheShard{cap: sc, ll: list.New(), m: map[Key]*list.Element{}}
+	}
+	return c
+}
+
+// Shards returns the shard count (for tuning reports and tests).
+func (c *Cache) Shards() int { return len(c.shards) }
+
+// shard elects the shard owning k.
+func (c *Cache) shard(k Key) *cacheShard {
+	return c.shards[keyHash(k)&c.mask]
 }
 
 // Get looks up k, counting a hit or miss and refreshing recency.
 func (c *Cache) Get(k Key) (Entry, bool) {
-	c.mu.Lock()
-	defer c.mu.Unlock()
-	if el, ok := c.m[k]; ok {
-		c.hits++
-		c.ll.MoveToFront(el)
+	s := c.shard(k)
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if el, ok := s.m[k]; ok {
+		s.hits++
+		s.ll.MoveToFront(el)
 		return el.Value.(*cacheNode).e, true
 	}
-	c.misses++
+	s.misses++
 	return Entry{}, false
 }
 
@@ -155,9 +230,7 @@ func (c *Cache) Get(k Key) (Entry, bool) {
 // a job that reuses one in-flight synthesis for several ops charges the
 // extra ops here.
 func (c *Cache) creditHit() {
-	c.mu.Lock()
-	c.hits++
-	c.mu.Unlock()
+	c.creditHits.Add(1)
 }
 
 // creditMiss records a miss for a lookup performed via peek — a job that
@@ -165,51 +238,71 @@ func (c *Cache) creditHit() {
 // that second lookup here, keeping Hits+Misses equal to the lookups
 // actually performed.
 func (c *Cache) creditMiss() {
-	c.mu.Lock()
-	c.misses++
-	c.mu.Unlock()
+	c.creditMisses.Add(1)
 }
 
 // peek is Get without accounting or recency update; used when assembling
 // output from entries the caller already charged for.
 func (c *Cache) peek(k Key) (Entry, bool) {
-	c.mu.Lock()
-	defer c.mu.Unlock()
-	if el, ok := c.m[k]; ok {
+	s := c.shard(k)
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if el, ok := s.m[k]; ok {
 		return el.Value.(*cacheNode).e, true
 	}
 	return Entry{}, false
 }
 
-// Put stores k → e, evicting the least-recently-used entry when full.
+// Put stores k → e, evicting the owning shard's least-recently-used entry
+// when that shard is full.
 func (c *Cache) Put(k Key, e Entry) {
-	c.mu.Lock()
-	defer c.mu.Unlock()
-	if el, ok := c.m[k]; ok {
+	s := c.shard(k)
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if el, ok := s.m[k]; ok {
 		el.Value.(*cacheNode).e = e
-		c.ll.MoveToFront(el)
+		s.ll.MoveToFront(el)
 		return
 	}
-	c.m[k] = c.ll.PushFront(&cacheNode{k: k, e: e})
-	for len(c.m) > c.cap {
-		last := c.ll.Back()
-		c.ll.Remove(last)
-		delete(c.m, last.Value.(*cacheNode).k)
+	s.m[k] = s.ll.PushFront(&cacheNode{k: k, e: e})
+	for len(s.m) > s.cap {
+		last := s.ll.Back()
+		s.ll.Remove(last)
+		delete(s.m, last.Value.(*cacheNode).k)
 	}
 }
 
 // Len returns the current entry count.
 func (c *Cache) Len() int {
-	c.mu.Lock()
-	defer c.mu.Unlock()
-	return len(c.m)
+	n := 0
+	for _, s := range c.shards {
+		s.mu.Lock()
+		n += len(s.m)
+		s.mu.Unlock()
+	}
+	return n
 }
 
-// Stats snapshots the counters.
+// Cap returns the total capacity bound.
+func (c *Cache) Cap() int { return c.cap }
+
+// Stats snapshots the counters, summing across shards. Shards are read one
+// at a time, so a snapshot taken while lookups are in flight may straddle
+// them; after the cache quiesces it is exact.
 func (c *Cache) Stats() CacheStats {
-	c.mu.Lock()
-	defer c.mu.Unlock()
-	return CacheStats{Hits: c.hits, Misses: c.misses, Size: len(c.m), Cap: c.cap}
+	st := CacheStats{
+		Hits:   c.creditHits.Load(),
+		Misses: c.creditMisses.Load(),
+		Cap:    c.cap,
+	}
+	for _, s := range c.shards {
+		s.mu.Lock()
+		st.Hits += s.hits
+		st.Misses += s.misses
+		st.Size += len(s.m)
+		s.mu.Unlock()
+	}
+	return st
 }
 
 // Wrap memoizes a pipeline lowerer through the cache under the given scope

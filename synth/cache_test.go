@@ -137,6 +137,38 @@ func TestCacheWrapMemoizes(t *testing.T) {
 	}
 }
 
+// TestCacheShardedBound: a sharded cache distributes entries yet never
+// exceeds its total capacity, and the invariant holds: Hits+Misses counts
+// exactly the Get calls made.
+func TestCacheShardedBound(t *testing.T) {
+	c := NewCacheSharded(64, 8)
+	if c.Shards() != 8 || c.Cap() != 64 {
+		t.Fatalf("want 8 shards / cap 64, got %d / %d", c.Shards(), c.Cap())
+	}
+	lookups := 0
+	for i := 0; i < 500; i++ {
+		k := KeyOf(rzOp(float64(i)*0.013+0.004), "t", 1e-3, 0)
+		c.Get(k)
+		lookups++
+		c.Put(k, Entry{Seq: gates.Sequence{gates.T}})
+	}
+	if c.Len() > 64 {
+		t.Fatalf("sharded cache exceeded capacity: %d > 64", c.Len())
+	}
+	st := c.Stats()
+	if st.Hits+st.Misses != int64(lookups) {
+		t.Fatalf("invariant broken: %d hits + %d misses != %d lookups", st.Hits, st.Misses, lookups)
+	}
+	// NewCache auto-shards large capacities and keeps small ones on one
+	// shard (exact LRU).
+	if got := NewCache(0).Shards(); got != DefaultCacheShards {
+		t.Fatalf("default cache has %d shards, want %d", got, DefaultCacheShards)
+	}
+	if got := NewCache(32).Shards(); got != 1 {
+		t.Fatalf("small cache has %d shards, want 1", got)
+	}
+}
+
 // TestCacheConcurrent: concurrent Get/Put/Wrap must be race-free (run
 // under -race in CI) and never exceed the bound.
 func TestCacheConcurrent(t *testing.T) {

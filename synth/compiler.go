@@ -195,14 +195,31 @@ feed:
 	return computed, firstErr
 }
 
+// BatchStats is the cache accounting of one CompileBatchStats call:
+// Unique distinct syntheses performed, and the Hits/Misses charged for
+// this batch's lookups (Hits+Misses counts every lookup the batch made,
+// including eviction recomputes).
+type BatchStats struct {
+	Unique       int
+	Hits, Misses int
+}
+
 // CompileBatch synthesizes every target through the backend, serving
 // repeats — within the batch or from earlier jobs sharing the cache — with
 // a single synthesis each. Results are in input order. On error (including
 // context cancellation) the pool drains and the first error is returned;
 // the result slice then holds zero values for unfinished items.
 func (c *Compiler) CompileBatch(ctx context.Context, targets []qmat.M2) ([]Result, error) {
+	results, _, err := c.CompileBatchStats(ctx, targets)
+	return results, err
+}
+
+// CompileBatchStats is CompileBatch plus this batch's own cache
+// accounting — the per-request numbers a service reports, which a shared
+// cache's global counters cannot provide under concurrent requests.
+func (c *Compiler) CompileBatchStats(ctx context.Context, targets []qmat.M2) ([]Result, BatchStats, error) {
 	if c.Backend == nil {
-		return nil, fmt.Errorf("synth: Compiler has no Backend")
+		return nil, BatchStats{}, fmt.Errorf("synth: Compiler has no Backend")
 	}
 	cache := c.cache()
 	scope := c.Backend.Name()
@@ -211,11 +228,12 @@ func (c *Compiler) CompileBatch(ctx context.Context, targets []qmat.M2) ([]Resul
 	for i, u := range targets {
 		jobs[i] = opJob{k: KeyOfTarget(u, scope, c.Req.Epsilon, cfg), target: u, req: c.Req}
 	}
-	missing, _, _ := c.scanJobs(jobs)
+	missing, hits, misses := c.scanJobs(jobs)
+	stats := BatchStats{Unique: len(missing), Hits: hits, Misses: misses}
 	computed, err := c.synthesizeMissing(ctx, missing, nil)
 	results := make([]Result, len(targets))
 	if err != nil {
-		return results, err
+		return results, stats, err
 	}
 	for i, j := range jobs {
 		if res, ok := computed[j.k]; ok {
@@ -233,14 +251,15 @@ func (c *Compiler) CompileBatch(ctx context.Context, targets []qmat.M2) ([]Resul
 		// angles): recompute inline. The scan never charged this second
 		// lookup, so credit the miss — Hits+Misses must count every lookup.
 		cache.creditMiss()
+		stats.Misses++
 		res, serr := c.Backend.Synthesize(ctx, j.target, j.derived())
 		if serr != nil {
-			return results, serr
+			return results, stats, serr
 		}
 		cache.Put(j.k, Entry{Seq: res.Seq, Err: res.Error, Backend: res.Backend})
 		results[i] = res
 	}
-	return results, nil
+	return results, stats, nil
 }
 
 // fromEntry rebuilds a Result from a cache entry (zero wall time: the work

@@ -1,0 +1,141 @@
+// Package client is the Go client for a synthd daemon (synth/serve): the
+// typed counterpart of the HTTP/JSON API that cmd/compile -remote and the
+// CI smoke test speak. It owns no synthesis state — every call is one
+// round trip to the daemon's shared cache and worker pool.
+package client
+
+import (
+	"bytes"
+	"context"
+	"encoding/json"
+	"fmt"
+	"io"
+	"net/http"
+	"strings"
+
+	"repro/synth/serve"
+)
+
+// Client talks to one synthd base URL.
+type Client struct {
+	base string
+	hc   *http.Client
+}
+
+// Option configures a Client.
+type Option func(*Client)
+
+// WithHTTPClient substitutes the underlying http.Client (custom
+// transports, client-side timeouts). The default has no timeout: compile
+// deadlines belong to the request context and the daemon's own caps.
+func WithHTTPClient(hc *http.Client) Option { return func(c *Client) { c.hc = hc } }
+
+// New returns a client for the daemon at base (e.g. "http://127.0.0.1:8077").
+func New(base string, opts ...Option) *Client {
+	c := &Client{base: strings.TrimRight(base, "/"), hc: &http.Client{}}
+	for _, opt := range opts {
+		opt(c)
+	}
+	return c
+}
+
+// APIError is a non-2xx daemon response.
+type APIError struct {
+	Status  int
+	Message string
+}
+
+func (e *APIError) Error() string {
+	return fmt.Sprintf("synthd: %d: %s", e.Status, e.Message)
+}
+
+// Compile sends one circuit through POST /v1/compile.
+func (c *Client) Compile(ctx context.Context, req serve.CompileRequest) (*serve.CompileResponse, error) {
+	var resp serve.CompileResponse
+	if err := c.post(ctx, "/v1/compile", req, &resp); err != nil {
+		return nil, err
+	}
+	return &resp, nil
+}
+
+// Synthesize sends a rotation batch through POST /v1/synthesize.
+func (c *Client) Synthesize(ctx context.Context, req serve.SynthesizeRequest) (*serve.SynthesizeResponse, error) {
+	var resp serve.SynthesizeResponse
+	if err := c.post(ctx, "/v1/synthesize", req, &resp); err != nil {
+		return nil, err
+	}
+	return &resp, nil
+}
+
+// Health fetches GET /healthz.
+func (c *Client) Health(ctx context.Context) (*serve.Health, error) {
+	var h serve.Health
+	if err := c.get(ctx, "/healthz", &h); err != nil {
+		return nil, err
+	}
+	return &h, nil
+}
+
+// Metrics fetches the raw Prometheus exposition from GET /metrics.
+func (c *Client) Metrics(ctx context.Context) (string, error) {
+	req, err := http.NewRequestWithContext(ctx, http.MethodGet, c.base+"/metrics", nil)
+	if err != nil {
+		return "", err
+	}
+	res, err := c.hc.Do(req)
+	if err != nil {
+		return "", err
+	}
+	defer res.Body.Close()
+	body, err := io.ReadAll(res.Body)
+	if err != nil {
+		return "", err
+	}
+	if res.StatusCode != http.StatusOK {
+		return "", &APIError{Status: res.StatusCode, Message: strings.TrimSpace(string(body))}
+	}
+	return string(body), nil
+}
+
+func (c *Client) post(ctx context.Context, path string, in, out any) error {
+	body, err := json.Marshal(in)
+	if err != nil {
+		return fmt.Errorf("client: encoding request: %w", err)
+	}
+	req, err := http.NewRequestWithContext(ctx, http.MethodPost, c.base+path, bytes.NewReader(body))
+	if err != nil {
+		return err
+	}
+	req.Header.Set("Content-Type", "application/json")
+	return c.do(req, out)
+}
+
+func (c *Client) get(ctx context.Context, path string, out any) error {
+	req, err := http.NewRequestWithContext(ctx, http.MethodGet, c.base+path, nil)
+	if err != nil {
+		return err
+	}
+	return c.do(req, out)
+}
+
+// do executes the request, decoding either the typed response or the
+// daemon's ErrorResponse into an APIError.
+func (c *Client) do(req *http.Request, out any) error {
+	res, err := c.hc.Do(req)
+	if err != nil {
+		return err
+	}
+	defer res.Body.Close()
+	if res.StatusCode != http.StatusOK {
+		var e serve.ErrorResponse
+		msg := res.Status
+		if err := json.NewDecoder(res.Body).Decode(&e); err == nil && e.Error != "" {
+			msg = e.Error
+		}
+		return &APIError{Status: res.StatusCode, Message: msg}
+	}
+	if err := json.NewDecoder(res.Body).Decode(out); err != nil {
+		return fmt.Errorf("client: decoding response: %w", err)
+	}
+	return nil
+}

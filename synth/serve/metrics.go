@@ -1,0 +1,145 @@
+package serve
+
+import (
+	"fmt"
+	"io"
+	"sort"
+	"sync"
+	"time"
+)
+
+// latencyBuckets are the histogram upper bounds in seconds. Synthesis
+// spans ~1ms cache hits to multi-minute tight-epsilon compiles, so the
+// buckets are log-spaced across that range.
+var latencyBuckets = []float64{
+	0.001, 0.005, 0.025, 0.1, 0.5, 2.5, 10, 60, 300,
+}
+
+// histogram is a fixed-bucket latency histogram (cumulative counts, like
+// Prometheus's classic histogram type).
+type histogram struct {
+	counts []int64 // counts[i] = observations <= latencyBuckets[i]
+	sum    float64
+	count  int64
+}
+
+func (h *histogram) observe(seconds float64) {
+	if h.counts == nil {
+		h.counts = make([]int64, len(latencyBuckets))
+	}
+	for i, ub := range latencyBuckets {
+		if seconds <= ub {
+			h.counts[i]++
+		}
+	}
+	h.sum += seconds
+	h.count++
+}
+
+// metrics aggregates the service counters exposed on GET /metrics. All
+// methods are safe for concurrent use.
+type metrics struct {
+	mu sync.Mutex
+	// requests[endpoint][status] counts completed requests.
+	requests map[string]map[int]int64
+	// latency[endpoint] observes successful request durations.
+	latency map[string]*histogram
+	// rejected counts admissions refused because the queue was full.
+	rejected int64
+}
+
+func newMetrics() *metrics {
+	return &metrics{
+		requests: map[string]map[int]int64{},
+		latency:  map[string]*histogram{},
+	}
+}
+
+// record logs one completed request.
+func (m *metrics) record(endpoint string, status int, d time.Duration) {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	byStatus := m.requests[endpoint]
+	if byStatus == nil {
+		byStatus = map[int]int64{}
+		m.requests[endpoint] = byStatus
+	}
+	byStatus[status]++
+	if status < 400 {
+		h := m.latency[endpoint]
+		if h == nil {
+			h = &histogram{}
+			m.latency[endpoint] = h
+		}
+		h.observe(d.Seconds())
+	}
+}
+
+// reject logs one admission-control rejection.
+func (m *metrics) reject() {
+	m.mu.Lock()
+	m.rejected++
+	m.mu.Unlock()
+}
+
+// scrapeMetric is one point-in-time value the server contributes at
+// scrape time (cache counters, queue depth).
+type scrapeMetric struct {
+	name, help, kind string // kind: "gauge" or "counter"
+	value            float64
+}
+
+// write renders the Prometheus text exposition format: the counters and
+// histograms accumulated here plus the caller's scrape-time values.
+func (m *metrics) write(w io.Writer, scraped []scrapeMetric) {
+	for _, g := range scraped {
+		fmt.Fprintf(w, "# HELP %s %s\n# TYPE %s %s\n%s %g\n", g.name, g.help, g.name, g.kind, g.name, g.value)
+	}
+
+	m.mu.Lock()
+	defer m.mu.Unlock()
+
+	fmt.Fprintf(w, "# HELP synthd_rejected_total Requests refused by admission control.\n")
+	fmt.Fprintf(w, "# TYPE synthd_rejected_total counter\n")
+	fmt.Fprintf(w, "synthd_rejected_total %d\n", m.rejected)
+
+	fmt.Fprintf(w, "# HELP synthd_requests_total Completed requests by endpoint and status code.\n")
+	fmt.Fprintf(w, "# TYPE synthd_requests_total counter\n")
+	for _, ep := range sortedKeys(m.requests) {
+		byStatus := m.requests[ep]
+		codes := make([]int, 0, len(byStatus))
+		for c := range byStatus {
+			codes = append(codes, c)
+		}
+		sort.Ints(codes)
+		for _, c := range codes {
+			fmt.Fprintf(w, "synthd_requests_total{endpoint=%q,code=\"%d\"} %d\n", ep, c, byStatus[c])
+		}
+	}
+
+	fmt.Fprintf(w, "# HELP synthd_request_seconds Latency of successful requests.\n")
+	fmt.Fprintf(w, "# TYPE synthd_request_seconds histogram\n")
+	for _, ep := range sortedKeys(m.latency) {
+		h := m.latency[ep]
+		for i, ub := range latencyBuckets {
+			n := int64(0)
+			if h.counts != nil {
+				n = h.counts[i]
+			}
+			fmt.Fprintf(w, "synthd_request_seconds_bucket{endpoint=%q,le=\"%g\"} %d\n", ep, ub, n)
+		}
+		fmt.Fprintf(w, "synthd_request_seconds_bucket{endpoint=%q,le=\"+Inf\"} %d\n", ep, h.count)
+		fmt.Fprintf(w, "synthd_request_seconds_sum{endpoint=%q} %g\n", ep, h.sum)
+		fmt.Fprintf(w, "synthd_request_seconds_count{endpoint=%q} %d\n", ep, h.count)
+	}
+}
+
+// sortedKeys returns the map's keys in sorted order, for a stable scrape.
+func sortedKeys[V any](m map[string]V) []string {
+	ks := make([]string, 0, len(m))
+	for k := range m {
+		ks = append(ks, k)
+	}
+	sort.Strings(ks)
+	return ks
+}

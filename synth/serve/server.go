@@ -1,0 +1,409 @@
+package serve
+
+import (
+	"context"
+	"encoding/json"
+	"errors"
+	"fmt"
+	"net/http"
+	"runtime"
+	"strings"
+	"sync/atomic"
+	"time"
+
+	"repro/circuit"
+	"repro/internal/qmat"
+	"repro/synth"
+)
+
+// Config shapes a Server. The zero value is usable: auto backend, a fresh
+// default-sized sharded cache, GOMAXPROCS-wide admission, and a 64-deep
+// queue.
+type Config struct {
+	// DefaultBackend is used when a request names no backend ("auto").
+	DefaultBackend string
+	// Workers bounds each compile's synthesis pool (0 = GOMAXPROCS).
+	Workers int
+	// Cache, when set, is the resident cache (a daemon injects the one it
+	// loaded from its snapshot). Otherwise NewCacheSharded(CacheSize,
+	// CacheShards) is built.
+	Cache       *synth.Cache
+	CacheSize   int
+	CacheShards int
+	// MaxInflight bounds concurrently executing requests; MaxQueue bounds
+	// how many more may wait for a slot. A request beyond both is refused
+	// with 503 + Retry-After (0 = GOMAXPROCS and 64 respectively).
+	MaxInflight int
+	MaxQueue    int
+	// RequestTimeout caps every request's context deadline; a request's
+	// own timeout_ms can only tighten it (0 = no server-side cap).
+	RequestTimeout time.Duration
+}
+
+func (c Config) withDefaults() Config {
+	if c.DefaultBackend == "" {
+		c.DefaultBackend = "auto"
+	}
+	if c.MaxInflight <= 0 {
+		c.MaxInflight = runtime.GOMAXPROCS(0)
+	}
+	if c.MaxQueue <= 0 {
+		c.MaxQueue = 64
+	}
+	return c
+}
+
+// Server is the resident synthesis service: one shared sharded cache, one
+// admission-controlled worker pool, and the four HTTP endpoints. Create
+// with New, mount via Handler, persist the cache with Cache().SaveFile on
+// shutdown.
+type Server struct {
+	cfg     Config
+	cache   *synth.Cache
+	sem     chan struct{} // held by executing requests
+	pending atomic.Int64  // executing + queued
+	metrics *metrics
+	mux     *http.ServeMux
+	start   time.Time
+}
+
+// New builds a Server from cfg.
+func New(cfg Config) *Server {
+	cfg = cfg.withDefaults()
+	cache := cfg.Cache
+	if cache == nil {
+		if cfg.CacheShards > 0 {
+			cache = synth.NewCacheSharded(cfg.CacheSize, cfg.CacheShards)
+		} else {
+			// Auto-sharded: 16 ways at default capacity, 1 for small caches.
+			cache = synth.NewCache(cfg.CacheSize)
+		}
+	}
+	s := &Server{
+		cfg:     cfg,
+		cache:   cache,
+		sem:     make(chan struct{}, cfg.MaxInflight),
+		metrics: newMetrics(),
+		start:   time.Now(),
+	}
+	s.mux = http.NewServeMux()
+	s.mux.HandleFunc("POST /v1/compile", s.instrument("/v1/compile", s.handleCompile))
+	s.mux.HandleFunc("POST /v1/synthesize", s.instrument("/v1/synthesize", s.handleSynthesize))
+	s.mux.HandleFunc("GET /healthz", s.handleHealthz)
+	s.mux.HandleFunc("GET /metrics", s.handleMetrics)
+	return s
+}
+
+// Handler returns the HTTP handler tree.
+func (s *Server) Handler() http.Handler { return s.mux }
+
+// Cache exposes the resident cache (for snapshot flush and tests).
+func (s *Server) Cache() *synth.Cache { return s.cache }
+
+// apiError carries an HTTP status with a message for the error body.
+type apiError struct {
+	status int
+	msg    string
+}
+
+func (e *apiError) Error() string { return e.msg }
+
+func badRequest(format string, args ...any) *apiError {
+	return &apiError{status: http.StatusBadRequest, msg: fmt.Sprintf(format, args...)}
+}
+
+// handler is the typed shape of the two POST endpoints: admission and
+// metrics live in instrument, the handler just computes a response.
+type handler func(w http.ResponseWriter, r *http.Request) (int, error)
+
+// instrument wraps a handler with admission control and per-endpoint
+// metrics. The handler's returned status (or mapped error status) is what
+// the latency histogram and request counters record.
+func (s *Server) instrument(endpoint string, h handler) http.HandlerFunc {
+	return func(w http.ResponseWriter, r *http.Request) {
+		start := time.Now()
+		release, err := s.admit(r.Context())
+		if err != nil {
+			// Only a genuine capacity refusal counts as a rejection and
+			// advertises Retry-After; a client that vanished while queued
+			// takes the ordinary cancellation status.
+			status := errStatus(err)
+			if status == http.StatusServiceUnavailable {
+				s.metrics.reject()
+				w.Header().Set("Retry-After", "1")
+			}
+			writeJSON(w, status, ErrorResponse{Error: err.Error()})
+			s.metrics.record(endpoint, status, time.Since(start))
+			return
+		}
+		defer release()
+		status, err := h(w, r)
+		if err != nil {
+			status = errStatus(err)
+			writeJSON(w, status, ErrorResponse{Error: err.Error()})
+		}
+		s.metrics.record(endpoint, status, time.Since(start))
+	}
+}
+
+// errStatus maps a handler error to its HTTP status: explicit apiErrors
+// keep theirs, deadline expiry is 504, client cancellation 499 (nginx's
+// convention; the client is gone either way), anything else 500.
+func errStatus(err error) int {
+	var ae *apiError
+	switch {
+	case errors.As(err, &ae):
+		return ae.status
+	case errors.Is(err, context.DeadlineExceeded):
+		return http.StatusGatewayTimeout
+	case errors.Is(err, context.Canceled):
+		return 499
+	default:
+		return http.StatusInternalServerError
+	}
+}
+
+// admit reserves an execution slot, waiting in the bounded queue when the
+// pool is busy. It refuses immediately once executing+queued would exceed
+// MaxInflight+MaxQueue, and gives up when the request's context ends
+// first. The returned release must be called exactly once.
+func (s *Server) admit(ctx context.Context) (func(), error) {
+	limit := int64(s.cfg.MaxInflight + s.cfg.MaxQueue)
+	if s.pending.Add(1) > limit {
+		s.pending.Add(-1)
+		return nil, &apiError{
+			status: http.StatusServiceUnavailable,
+			msg:    fmt.Sprintf("serve: at capacity (%d executing + %d queued)", s.cfg.MaxInflight, s.cfg.MaxQueue),
+		}
+	}
+	select {
+	case s.sem <- struct{}{}:
+		return func() {
+			<-s.sem
+			s.pending.Add(-1)
+		}, nil
+	case <-ctx.Done():
+		s.pending.Add(-1)
+		return nil, fmt.Errorf("serve: canceled while queued: %w", ctx.Err())
+	}
+}
+
+// requestContext layers the server cap and the request's own timeout_ms
+// onto the connection context — the deadline every synthesis under this
+// request sees, all the way down into CompileBatch's worker pool.
+func (s *Server) requestContext(r *http.Request, timeoutMs int) (context.Context, context.CancelFunc) {
+	ctx := r.Context()
+	cancel := context.CancelFunc(func() {})
+	if s.cfg.RequestTimeout > 0 {
+		ctx, cancel = context.WithTimeout(ctx, s.cfg.RequestTimeout)
+	}
+	if timeoutMs > 0 {
+		prev := cancel
+		var inner context.CancelFunc
+		ctx, inner = context.WithTimeout(ctx, time.Duration(timeoutMs)*time.Millisecond)
+		cancel = func() { inner(); prev() }
+	}
+	return ctx, cancel
+}
+
+// maxBody bounds request bodies; QASM for even the largest suite circuits
+// is well under this.
+const maxBody = 32 << 20
+
+// decode parses the JSON body into v.
+func decode(w http.ResponseWriter, r *http.Request, v any) error {
+	dec := json.NewDecoder(http.MaxBytesReader(w, r.Body, maxBody))
+	if err := dec.Decode(v); err != nil {
+		return badRequest("decoding request: %v", err)
+	}
+	return nil
+}
+
+func writeJSON(w http.ResponseWriter, status int, v any) {
+	w.Header().Set("Content-Type", "application/json")
+	w.WriteHeader(status)
+	json.NewEncoder(w).Encode(v)
+}
+
+// backend resolves a request's backend name against the registry.
+func (s *Server) backend(name string) (synth.Backend, string, error) {
+	if name == "" {
+		name = s.cfg.DefaultBackend
+	}
+	be, ok := synth.Lookup(name)
+	if !ok {
+		return nil, name, badRequest("unknown backend %q (have %s)", name, strings.Join(synth.List(), ", "))
+	}
+	return be, name, nil
+}
+
+// handleCompile runs one QASM circuit through a pipeline wired to the
+// resident cache — the warm state every request shares.
+func (s *Server) handleCompile(w http.ResponseWriter, r *http.Request) (int, error) {
+	var req CompileRequest
+	if err := decode(w, r, &req); err != nil {
+		return 0, err
+	}
+	if strings.TrimSpace(req.QASM) == "" {
+		return 0, badRequest("empty qasm")
+	}
+	circ, err := circuit.ParseQASM(req.QASM)
+	if err != nil {
+		return 0, badRequest("parsing qasm: %v", err)
+	}
+	_, name, err := s.backend(req.Backend)
+	if err != nil {
+		return 0, err
+	}
+	ir, ok := synth.ParseIR(req.IR)
+	if !ok {
+		return 0, badRequest("unknown ir %q (have auto, u3, rz)", req.IR)
+	}
+	strat, ok := synth.ParseBudgetStrategy(req.Budget)
+	if !ok {
+		return 0, badRequest("unknown budget %q (have uniform, weighted)", req.Budget)
+	}
+
+	opts := []synth.Option{
+		synth.WithRequest(synth.Request{
+			Epsilon: req.RotEps, Samples: req.Samples, TBudget: req.TBudget, Seed: req.Seed,
+		}),
+		synth.WithWorkers(s.cfg.Workers),
+		synth.WithIR(ir),
+		synth.WithCache(s.cache),
+	}
+	if req.Eps > 0 {
+		opts = append(opts, synth.WithCircuitEpsilon(req.Eps), synth.WithBudgetStrategy(strat))
+	}
+	if len(req.Passes) > 0 {
+		var ps []synth.Pass
+		for _, n := range req.Passes {
+			p, ok := synth.LookupPass(strings.TrimSpace(n))
+			if !ok {
+				return 0, badRequest("unknown pass %q (have %s)", n, strings.Join(synth.PassNames(), ", "))
+			}
+			ps = append(ps, p)
+		}
+		opts = append(opts, synth.WithPasses(ps...))
+	}
+	pl, err := synth.NewPipelineFor(name, opts...)
+	if err != nil {
+		return 0, badRequest("%v", err)
+	}
+
+	ctx, cancel := s.requestContext(r, req.TimeoutMs)
+	defer cancel()
+	res, err := pl.Run(ctx, circ)
+	if err != nil {
+		return 0, err
+	}
+
+	st := NewCompileStats(res, pl.Passes(), req.Eps, strat)
+	writeJSON(w, http.StatusOK, CompileResponse{QASM: res.Circuit.QASM(), Stats: st})
+	return http.StatusOK, nil
+}
+
+// handleSynthesize lowers a batch of rotations through CompileBatch over
+// the resident cache.
+func (s *Server) handleSynthesize(w http.ResponseWriter, r *http.Request) (int, error) {
+	var req SynthesizeRequest
+	if err := decode(w, r, &req); err != nil {
+		return 0, err
+	}
+	if len(req.Rotations) == 0 {
+		return 0, badRequest("empty rotations")
+	}
+	be, _, err := s.backend(req.Backend)
+	if err != nil {
+		return 0, err
+	}
+	targets := make([]qmat.M2, len(req.Rotations))
+	for i, rot := range req.Rotations {
+		op, err := rot.op()
+		if err != nil {
+			return 0, err
+		}
+		targets[i] = op.Matrix1Q()
+	}
+
+	comp := &synth.Compiler{
+		Backend: be,
+		Req:     synth.Request{Epsilon: req.Eps, Samples: req.Samples, TBudget: req.TBudget, Seed: req.Seed},
+		Workers: s.cfg.Workers,
+		Cache:   s.cache,
+	}
+	ctx, cancel := s.requestContext(r, req.TimeoutMs)
+	defer cancel()
+	results, stats, err := comp.CompileBatchStats(ctx, targets)
+	if err != nil {
+		return 0, err
+	}
+
+	resp := SynthesizeResponse{
+		Results: make([]SynthesizeResult, len(results)),
+		Hits:    int64(stats.Hits),
+		Misses:  int64(stats.Misses),
+	}
+	for i, res := range results {
+		resp.Results[i] = SynthesizeResult{
+			Seq:      res.Seq.String(),
+			Error:    res.Error,
+			TCount:   res.TCount,
+			Clifford: res.Clifford,
+			Backend:  res.Backend,
+			WallMs:   float64(res.Wall) / float64(time.Millisecond),
+		}
+	}
+	writeJSON(w, http.StatusOK, resp)
+	return http.StatusOK, nil
+}
+
+// op converts a wire Rotation to a circuit op on qubit 0 (the qubit index
+// is irrelevant to single-qubit synthesis).
+func (rot Rotation) op() (circuit.Op, error) {
+	var g circuit.GateType
+	switch strings.ToLower(rot.Gate) {
+	case "rx":
+		g = circuit.RX
+	case "ry":
+		g = circuit.RY
+	case "rz":
+		g = circuit.RZ
+	case "u3":
+		g = circuit.U3
+	default:
+		return circuit.Op{}, badRequest("unknown rotation gate %q (have rx, ry, rz, u3)", rot.Gate)
+	}
+	return circuit.Op{G: g, Q: [2]int{0, -1}, P: rot.Params}, nil
+}
+
+func (s *Server) handleHealthz(w http.ResponseWriter, r *http.Request) {
+	st := s.cache.Stats()
+	writeJSON(w, http.StatusOK, Health{
+		Status:      "ok",
+		Backends:    synth.List(),
+		Default:     s.cfg.DefaultBackend,
+		CacheSize:   st.Size,
+		CacheCap:    st.Cap,
+		CacheShards: s.cache.Shards(),
+		UptimeMs:    time.Since(s.start).Milliseconds(),
+	})
+}
+
+func (s *Server) handleMetrics(w http.ResponseWriter, r *http.Request) {
+	st := s.cache.Stats()
+	inflight := len(s.sem)
+	queued := int(s.pending.Load()) - inflight
+	if queued < 0 {
+		queued = 0
+	}
+	w.Header().Set("Content-Type", "text/plain; version=0.0.4")
+	s.metrics.write(w, []scrapeMetric{
+		{"synthd_cache_hits_total", "Cache hits across all requests since start.", "counter", float64(st.Hits)},
+		{"synthd_cache_misses_total", "Cache misses across all requests since start.", "counter", float64(st.Misses)},
+		{"synthd_cache_entries", "Live entries in the synthesis cache.", "gauge", float64(st.Size)},
+		{"synthd_cache_capacity", "Entry capacity of the synthesis cache.", "gauge", float64(st.Cap)},
+		{"synthd_inflight", "Requests currently executing.", "gauge", float64(inflight)},
+		{"synthd_queue_depth", "Requests waiting for an execution slot.", "gauge", float64(queued)},
+	})
+}

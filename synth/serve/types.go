@@ -1,0 +1,175 @@
+// Package serve is the synthesis service layer: an HTTP/JSON front end
+// over one resident synth pipeline/compiler and one shared, sharded,
+// snapshot-persistent synthesis cache — the daemon-shaped deployment the
+// paper's amortization argument calls for. Every gridsynth/trasyn sequence
+// is a pure function of (rotation, ε, config), so a long-lived cache turns
+// the per-rotation synthesis cost into a one-time cost across all clients.
+//
+// Endpoints:
+//
+//	POST /v1/compile     QASM in → lowered Clifford+T QASM + stats out
+//	POST /v1/synthesize  batch of rotations → gate sequences
+//	GET  /healthz        liveness + build configuration
+//	GET  /metrics        Prometheus text: cache, queue, latency histograms
+//
+// cmd/synthd wraps this package as a standalone daemon; serve/client is
+// the Go client; cmd/compile -remote routes the CLI through a daemon.
+package serve
+
+import (
+	"strings"
+	"time"
+
+	"repro/synth"
+)
+
+// CompileRequest asks the service to compile an OpenQASM 2.0 circuit down
+// to Clifford+T. Zero-valued fields select the server's defaults, so the
+// minimal request is just {"qasm": "..."}. The knobs mirror cmd/compile's
+// flags one-for-one.
+type CompileRequest struct {
+	// QASM is the OpenQASM 2.0 source of the circuit. Required.
+	QASM string `json:"qasm"`
+	// Backend names a registered backend (empty = server default).
+	Backend string `json:"backend,omitempty"`
+	// Eps, when positive, is the circuit-level error budget split across
+	// rotations; Budget picks the splitting strategy (uniform, weighted).
+	Eps    float64 `json:"eps,omitempty"`
+	Budget string  `json:"budget,omitempty"`
+	// RotEps is the per-rotation epsilon used when Eps is zero (0 = backend
+	// default).
+	RotEps float64 `json:"rot_eps,omitempty"`
+	// IR forces the lowering workflow: "auto", "u3", "rz".
+	IR string `json:"ir,omitempty"`
+	// Passes overrides the pass sequence by name (default: the full
+	// transpile → fuse → snap → lower → estimate pipeline).
+	Passes []string `json:"passes,omitempty"`
+	// Samples/TBudget/Seed are the trasyn sampling knobs and base seed.
+	Samples int    `json:"samples,omitempty"`
+	TBudget int    `json:"tbudget,omitempty"`
+	Seed    *int64 `json:"seed,omitempty"`
+	// TimeoutMs bounds this compile inside the server's own request
+	// timeout; the tighter of the two wins.
+	TimeoutMs int `json:"timeout_ms,omitempty"`
+}
+
+// CompileStats is the stats record of one compile — the same shape
+// cmd/compile prints, so local and remote compiles are diffable.
+type CompileStats struct {
+	Backend     string  `json:"backend"`
+	IRRotations int     `json:"ir_rotations"`
+	Rotations   int     `json:"rotations"`
+	Unique      int     `json:"unique"`
+	Hits        int     `json:"cache_hits"`
+	Misses      int     `json:"cache_misses"`
+	TCount      int     `json:"t_count"`
+	TDepth      int     `json:"t_depth"`
+	Clifford    int     `json:"clifford"`
+	ErrorBound  float64 `json:"error_bound"`
+	CircuitEps  float64 `json:"circuit_eps,omitempty"`
+	Budget      string  `json:"budget,omitempty"`
+	Passes      string  `json:"passes"`
+	WallMs      float64 `json:"wall_ms"`
+}
+
+// NewCompileStats assembles the stats record for one pipeline run — the
+// single construction both the daemon and cmd/compile's local path use,
+// so the two outputs cannot drift apart. circuitEps/strat echo the
+// requested circuit-level budget (circuitEps <= 0 = per-rotation mode,
+// omitted from the JSON).
+func NewCompileStats(res *synth.PipelineResult, passes []string, circuitEps float64, strat synth.BudgetStrategy) CompileStats {
+	st := CompileStats{
+		Backend:     res.Backend,
+		IRRotations: res.Stats.IRRotations,
+		Rotations:   res.Stats.Rotations,
+		Unique:      res.Stats.Unique,
+		Hits:        res.Stats.Hits,
+		Misses:      res.Stats.Misses,
+		TCount:      res.Circuit.TCount(),
+		TDepth:      res.Circuit.TDepth(),
+		Clifford:    res.Circuit.CliffordCount(),
+		ErrorBound:  res.Stats.ErrorBound,
+		Passes:      strings.Join(passes, ","),
+		WallMs:      float64(res.Wall) / float64(time.Millisecond),
+	}
+	if circuitEps > 0 {
+		st.CircuitEps = circuitEps
+		st.Budget = strat.String()
+	}
+	return st
+}
+
+// CompileResponse is the lowered circuit plus its stats.
+type CompileResponse struct {
+	QASM  string       `json:"qasm"`
+	Stats CompileStats `json:"stats"`
+}
+
+// Rotation is one single-qubit rotation to synthesize: gate "rx", "ry",
+// "rz" (Params[0] = θ) or "u3" (θ, φ, λ).
+type Rotation struct {
+	Gate   string     `json:"gate"`
+	Params [3]float64 `json:"params"`
+}
+
+// SynthesizeRequest asks for Clifford+T sequences for a batch of
+// rotations. Repeated rotations inside the batch — and across every past
+// request sharing the daemon's cache — cost one synthesis.
+type SynthesizeRequest struct {
+	// Rotations is the batch. Required, non-empty.
+	Rotations []Rotation `json:"rotations"`
+	// Backend names a registered backend (empty = server default).
+	Backend string `json:"backend,omitempty"`
+	// Eps is the per-rotation error threshold (0 = backend default).
+	Eps float64 `json:"eps,omitempty"`
+	// Samples/TBudget/Seed are the trasyn knobs and base seed.
+	Samples int    `json:"samples,omitempty"`
+	TBudget int    `json:"tbudget,omitempty"`
+	Seed    *int64 `json:"seed,omitempty"`
+	// TimeoutMs bounds the batch inside the server's request timeout.
+	TimeoutMs int `json:"timeout_ms,omitempty"`
+}
+
+// SynthesizeResult is one synthesized rotation, in request order.
+type SynthesizeResult struct {
+	// Seq is the Clifford+T sequence as space-separated mnemonics in
+	// matrix-product order (parse with internal gates.Parse or feed back
+	// into QASM via the client).
+	Seq string `json:"seq"`
+	// Error is the realized unitary distance to the target.
+	Error float64 `json:"error"`
+	// TCount/Clifford are gate counts; Backend is the producing backend
+	// (for "auto", the race winner).
+	TCount   int    `json:"t_count"`
+	Clifford int    `json:"clifford"`
+	Backend  string `json:"backend"`
+	// WallMs is the synthesis wall time; 0 means the sequence was served
+	// from the shared cache.
+	WallMs float64 `json:"wall_ms"`
+}
+
+// SynthesizeResponse carries the batch results plus the cache accounting
+// for this request.
+type SynthesizeResponse struct {
+	Results []SynthesizeResult `json:"results"`
+	Hits    int64              `json:"cache_hits"`
+	Misses  int64              `json:"cache_misses"`
+}
+
+// Health is the GET /healthz body.
+type Health struct {
+	Status   string   `json:"status"`
+	Backends []string `json:"backends"`
+	// Default is the backend used when a request names none.
+	Default string `json:"default_backend"`
+	// CacheSize/CacheCap/CacheShards describe the resident cache.
+	CacheSize   int   `json:"cache_size"`
+	CacheCap    int   `json:"cache_cap"`
+	CacheShards int   `json:"cache_shards"`
+	UptimeMs    int64 `json:"uptime_ms"`
+}
+
+// ErrorResponse is the body of every non-2xx response.
+type ErrorResponse struct {
+	Error string `json:"error"`
+}

@@ -1,0 +1,206 @@
+package synth
+
+// Satellite coverage for the service layer's load-bearing seams: registry
+// error paths surfaced through the constructors, the auto backend's
+// degraded race, and context cancellation leaving the cache's accounting
+// invariant (Hits+Misses == lookups performed) intact.
+
+import (
+	"context"
+	"errors"
+	"fmt"
+	"strings"
+	"testing"
+	"time"
+
+	"repro/circuit"
+	"repro/internal/gates"
+	"repro/internal/qmat"
+)
+
+// TestConstructorUnknownBackend: NewCompilerFor and NewPipelineFor reject
+// unknown names with an error that lists what is registered.
+func TestConstructorUnknownBackend(t *testing.T) {
+	if _, err := NewCompilerFor("no-such-backend", Request{}); err == nil {
+		t.Fatal("NewCompilerFor with unknown backend succeeded")
+	} else if !strings.Contains(err.Error(), "gridsynth") {
+		t.Fatalf("error does not list registered backends: %v", err)
+	}
+	if _, err := NewPipelineFor("no-such-backend"); err == nil {
+		t.Fatal("NewPipelineFor with unknown backend succeeded")
+	} else if !strings.Contains(err.Error(), "no-such-backend") {
+		t.Fatalf("error does not name the offender: %v", err)
+	}
+}
+
+// TestRegisterDuplicateKeepsFirst: a duplicate Register fails AND leaves
+// the original backend in place — a plugin cannot shadow a built-in.
+func TestRegisterDuplicateKeepsFirst(t *testing.T) {
+	name := "dup-test-backend"
+	first := &errBackend{name: name}
+	if err := Register(name, first); err != nil {
+		t.Fatal(err)
+	}
+	if err := Register(name, &errBackend{name: name}); err == nil {
+		t.Fatal("duplicate Register succeeded")
+	}
+	got, ok := Lookup(name)
+	if !ok || got != Backend(first) {
+		t.Fatal("duplicate Register displaced the original backend")
+	}
+}
+
+// errBackend always fails (or, with seq set, always succeeds with it).
+type errBackend struct {
+	name string
+	seq  gates.Sequence
+	errd float64
+}
+
+func (b *errBackend) Name() string { return b.name }
+
+func (b *errBackend) Synthesize(ctx context.Context, u qmat.M2, req Request) (Result, error) {
+	if b.seq == nil {
+		return Result{}, fmt.Errorf("%s: synthetic failure", b.name)
+	}
+	return finish(b.name, time.Now(), b.seq, b.errd, 0), nil
+}
+
+// TestAutoOneRacerFails: the race degrades gracefully — if one racer
+// errors, the other's result wins with its attribution intact.
+func TestAutoOneRacerFails(t *testing.T) {
+	good := &errBackend{name: "good", seq: gates.Sequence{gates.T, gates.H}, errd: 1e-4}
+	bad := &errBackend{name: "bad"}
+	for _, racers := range [][]Backend{{bad, good}, {good, bad}} {
+		a := autoBackend{racers: racers}
+		res, err := a.Synthesize(context.Background(), qmat.Rz(0.3), Request{Epsilon: 1e-3})
+		if err != nil {
+			t.Fatalf("auto failed although one racer succeeded: %v", err)
+		}
+		if res.Backend != "good" || res.TCount != 1 {
+			t.Fatalf("auto returned %+v, want the good racer's result", res)
+		}
+	}
+}
+
+// TestAutoAllRacersFail: when every racer errors, the combined error names
+// each racer and its failure.
+func TestAutoAllRacersFail(t *testing.T) {
+	a := autoBackend{racers: []Backend{
+		&errBackend{name: "badA"},
+		&errBackend{name: "badB"},
+	}}
+	_, err := a.Synthesize(context.Background(), qmat.Rz(0.3), Request{Epsilon: 1e-3})
+	if err == nil {
+		t.Fatal("auto with all racers failing succeeded")
+	}
+	for _, want := range []string{"badA", "badB", "synthetic failure"} {
+		if !strings.Contains(err.Error(), want) {
+			t.Fatalf("combined error missing %q: %v", want, err)
+		}
+	}
+}
+
+// blockingBackend parks until its context is cancelled.
+type blockingBackend struct{}
+
+func (blockingBackend) Name() string { return "blocking" }
+
+func (blockingBackend) Synthesize(ctx context.Context, u qmat.M2, req Request) (Result, error) {
+	<-ctx.Done()
+	return Result{}, ctx.Err()
+}
+
+// TestCompileBatchCancelInvariant: a batch cancelled mid-flight surfaces
+// ctx.Err() promptly, and the cache accounting still balances — the scan
+// charged one lookup per target before the pool started, and cancellation
+// must not add or lose any.
+func TestCompileBatchCancelInvariant(t *testing.T) {
+	comp := NewCompiler(blockingBackend{}, Request{})
+	comp.Workers = 4
+	targets := make([]qmat.M2, 32)
+	for i := range targets {
+		targets[i] = qmat.Rz(float64(i)*0.03 + 0.011)
+	}
+	ctx, cancel := context.WithCancel(context.Background())
+	go func() {
+		time.Sleep(20 * time.Millisecond)
+		cancel()
+	}()
+	start := time.Now()
+	_, stats, err := comp.CompileBatchStats(ctx, targets)
+	if !errors.Is(err, context.Canceled) {
+		t.Fatalf("want context.Canceled, got %v", err)
+	}
+	if elapsed := time.Since(start); elapsed > 2*time.Second {
+		t.Fatalf("cancellation surfaced after %s, want prompt", elapsed)
+	}
+	st := comp.Cache.Stats()
+	if st.Hits+st.Misses != int64(len(targets)) {
+		t.Fatalf("invariant broken: %d hits + %d misses != %d lookups",
+			st.Hits, st.Misses, len(targets))
+	}
+	if stats.Hits+stats.Misses != len(targets) {
+		t.Fatalf("batch stats broken: %d hits + %d misses != %d lookups",
+			stats.Hits, stats.Misses, len(targets))
+	}
+}
+
+// TestPipelineCancelInvariant: a pipeline run cancelled inside Lower
+// returns ctx.Err() wrapped with the failing pass, and the shared cache's
+// invariant holds: every scanned rotation was charged exactly once.
+func TestPipelineCancelInvariant(t *testing.T) {
+	cache := NewCache(0)
+	pl := NewPipeline(blockingBackend{},
+		WithCache(cache),
+		WithWorkers(2),
+		WithPasses(Transpile(), Lower()),
+	)
+	c := randomRotationCircuit(2, 12)
+	rotations := int64(0) // lookups the Lower scan will perform
+	ctx, cancel := context.WithCancel(context.Background())
+	go func() {
+		time.Sleep(20 * time.Millisecond)
+		cancel()
+	}()
+	start := time.Now()
+	_, err := pl.Run(ctx, c)
+	if !errors.Is(err, context.Canceled) {
+		t.Fatalf("want context.Canceled, got %v", err)
+	}
+	if !strings.Contains(err.Error(), "pass lower") {
+		t.Fatalf("error does not attribute the failing pass: %v", err)
+	}
+	if elapsed := time.Since(start); elapsed > 2*time.Second {
+		t.Fatalf("cancellation surfaced after %s, want prompt", elapsed)
+	}
+	st := cache.Stats()
+	rotations = st.Hits + st.Misses
+	if rotations == 0 {
+		t.Fatal("scan never charged a lookup — test circuit has no rotations?")
+	}
+	// Re-running with a fresh context and an instant backend must keep the
+	// books balanced: the aborted run's charges stay, the new run adds
+	// exactly one lookup per scanned rotation.
+	pl2 := NewPipeline(&errBackend{name: "instant", seq: gates.Sequence{gates.T}},
+		WithCache(cache),
+		WithPasses(Transpile(), Lower()),
+	)
+	if _, err := pl2.Run(context.Background(), c); err != nil {
+		t.Fatal(err)
+	}
+	st2 := cache.Stats()
+	if st2.Hits+st2.Misses <= rotations {
+		t.Fatalf("second run charged no lookups: %+v then %+v", st, st2)
+	}
+}
+
+// randomRotationCircuit builds an n-qubit circuit with count distinct
+// nontrivial rotations.
+func randomRotationCircuit(n, count int) *circuit.Circuit {
+	c := circuit.New(n)
+	for i := 0; i < count; i++ {
+		c.RZ(i%n, float64(i)*0.057+0.013)
+	}
+	return c
+}

@@ -1,0 +1,177 @@
+package synth
+
+import (
+	"encoding/json"
+	"fmt"
+	"io"
+	"os"
+	"path/filepath"
+
+	"repro/circuit"
+	"repro/internal/gates"
+)
+
+// SnapshotVersion is the on-disk snapshot format version. LoadSnapshot
+// rejects files written by an incompatible future format instead of
+// guessing at their contents.
+const SnapshotVersion = 1
+
+// snapshotFile is the persisted form of a Cache: the format version plus
+// every live entry, ordered least- to most-recently used (per shard), so a
+// reload reconstructs recency by replaying Puts in file order. Counters
+// are process statistics and are deliberately not persisted — a restarted
+// daemon starts its accounting at zero with a warm entry set.
+type snapshotFile struct {
+	Version int             `json:"version"`
+	Entries []snapshotEntry `json:"entries"`
+}
+
+// snapshotEntry flattens one (Key, Entry) pair. The gate sequence is
+// stored as space-separated mnemonics (gates.Sequence.String), the one
+// stable, human-auditable spelling the gates package already round-trips.
+type snapshotEntry struct {
+	Gate    uint8   `json:"gate"`
+	A       int64   `json:"a"`
+	B       int64   `json:"b,omitempty"`
+	C       int64   `json:"c,omitempty"`
+	Eps     int64   `json:"eps"`
+	Cfg     int64   `json:"cfg"`
+	Scope   string  `json:"scope"`
+	Seq     string  `json:"seq"`
+	Err     float64 `json:"err"`
+	Backend string  `json:"backend,omitempty"`
+}
+
+// Snapshot writes the cache's live entries to w as versioned JSON — the
+// persistence tier synthd flushes on graceful shutdown and reloads at
+// start, so synthesized sequences survive restarts. Entries are emitted
+// least-recently-used first, round-robin across shards, so every shard's
+// hottest entries cluster at the file's tail: LoadSnapshot replays the
+// file in order as Puts, and a reload into a cache with a different shard
+// count or a smaller capacity keeps (approximately — recency is ranked
+// per shard, not globally timestamped) the most-recently-used entries.
+// Concurrent Get/Put during a snapshot are safe; the snapshot then
+// reflects some interleaving of them.
+func (c *Cache) Snapshot(w io.Writer) error {
+	// Collect each shard LRU→MRU, then interleave by recency rank.
+	perShard := make([][]snapshotEntry, len(c.shards))
+	maxLen := 0
+	for i, s := range c.shards {
+		s.mu.Lock()
+		for el := s.ll.Back(); el != nil; el = el.Prev() {
+			n := el.Value.(*cacheNode)
+			perShard[i] = append(perShard[i], snapshotEntry{
+				Gate:    uint8(n.k.Gate),
+				A:       n.k.A,
+				B:       n.k.B,
+				C:       n.k.C,
+				Eps:     n.k.Eps,
+				Cfg:     n.k.Cfg,
+				Scope:   n.k.Scope,
+				Seq:     n.e.Seq.String(),
+				Err:     n.e.Err,
+				Backend: n.e.Backend,
+			})
+		}
+		s.mu.Unlock()
+		if len(perShard[i]) > maxLen {
+			maxLen = len(perShard[i])
+		}
+	}
+	sf := snapshotFile{Version: SnapshotVersion}
+	// Rank r of every shard before rank r+1 of any; shards shorter than
+	// maxLen pad from the cold end (their entries are all relatively hot).
+	for r := 0; r < maxLen; r++ {
+		for i := range perShard {
+			if off := len(perShard[i]) - maxLen + r; off >= 0 {
+				sf.Entries = append(sf.Entries, perShard[i][off])
+			}
+		}
+	}
+	enc := json.NewEncoder(w)
+	if err := enc.Encode(sf); err != nil {
+		return fmt.Errorf("synth: encoding snapshot: %w", err)
+	}
+	return nil
+}
+
+// LoadSnapshot merges a snapshot written by Snapshot into the cache,
+// returning the number of entries loaded. Entries are replayed in file
+// order as ordinary Puts, so recency is reconstructed and a snapshot
+// larger than the cache's capacity keeps its most-recently-used tail.
+// Counters are unaffected: loading is not a lookup. A malformed file or an
+// unknown format version is an error and loads nothing.
+func (c *Cache) LoadSnapshot(r io.Reader) (int, error) {
+	var sf snapshotFile
+	dec := json.NewDecoder(r)
+	if err := dec.Decode(&sf); err != nil {
+		return 0, fmt.Errorf("synth: decoding snapshot: %w", err)
+	}
+	if sf.Version != SnapshotVersion {
+		return 0, fmt.Errorf("synth: snapshot version %d, want %d", sf.Version, SnapshotVersion)
+	}
+	// Validate every entry before inserting any, so a corrupt file really
+	// does load nothing rather than leaving a partial entry set behind.
+	seqs := make([]gates.Sequence, len(sf.Entries))
+	for i, se := range sf.Entries {
+		seq, err := gates.Parse(se.Seq)
+		if err != nil {
+			return 0, fmt.Errorf("synth: snapshot entry %d: %w", i, err)
+		}
+		seqs[i] = seq
+	}
+	for i, se := range sf.Entries {
+		k := Key{
+			Gate:  circuit.GateType(se.Gate),
+			A:     se.A,
+			B:     se.B,
+			C:     se.C,
+			Eps:   se.Eps,
+			Cfg:   se.Cfg,
+			Scope: se.Scope,
+		}
+		c.Put(k, Entry{Seq: seqs[i], Err: se.Err, Backend: se.Backend})
+	}
+	return len(sf.Entries), nil
+}
+
+// SaveFile atomically writes the snapshot to path: the JSON is staged in a
+// temporary file in the same directory, fsynced, and renamed into place,
+// so a crash mid-write never truncates an existing good snapshot (without
+// the fsync, delayed allocation could leave a zero-length file at path
+// after a power loss shortly post-rename).
+func (c *Cache) SaveFile(path string) error {
+	dir := filepath.Dir(path)
+	tmp, err := os.CreateTemp(dir, filepath.Base(path)+".tmp-*")
+	if err != nil {
+		return fmt.Errorf("synth: staging snapshot: %w", err)
+	}
+	defer os.Remove(tmp.Name())
+	if err := c.Snapshot(tmp); err != nil {
+		tmp.Close()
+		return err
+	}
+	if err := tmp.Sync(); err != nil {
+		tmp.Close()
+		return fmt.Errorf("synth: syncing snapshot: %w", err)
+	}
+	if err := tmp.Close(); err != nil {
+		return fmt.Errorf("synth: flushing snapshot: %w", err)
+	}
+	if err := os.Rename(tmp.Name(), path); err != nil {
+		return fmt.Errorf("synth: installing snapshot: %w", err)
+	}
+	return nil
+}
+
+// LoadFile merges the snapshot at path into the cache, returning the entry
+// count loaded. Callers that treat a missing file as a cold start should
+// test the error with os.IsNotExist / errors.Is(err, fs.ErrNotExist).
+func (c *Cache) LoadFile(path string) (int, error) {
+	f, err := os.Open(path)
+	if err != nil {
+		return 0, err
+	}
+	defer f.Close()
+	return c.LoadSnapshot(f)
+}
