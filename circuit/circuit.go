@@ -230,6 +230,33 @@ func (c *Circuit) CliffordCount() int {
 	return n
 }
 
+// Metrics is a point-in-time snapshot of every resource metric the paper
+// reports — the currency of before/after comparisons (the optimize
+// subsystem records one per optimizer run, and stats payloads derive
+// their deltas from a pair).
+type Metrics struct {
+	Qubits    int `json:"qubits"`
+	Ops       int `json:"ops"`
+	Rotations int `json:"rotations"`
+	TCount    int `json:"t_count"`
+	TDepth    int `json:"t_depth"`
+	Clifford  int `json:"clifford"`
+	TwoQubit  int `json:"two_qubit"`
+}
+
+// Metrics computes the full metric snapshot in one pass-friendly call.
+func (c *Circuit) Metrics() Metrics {
+	return Metrics{
+		Qubits:    c.N,
+		Ops:       len(c.Ops),
+		Rotations: c.CountRotations(),
+		TCount:    c.TCount(),
+		TDepth:    c.TDepth(),
+		Clifford:  c.CliffordCount(),
+		TwoQubit:  c.TwoQubitCount(),
+	}
+}
+
 // TwoQubitCount returns the number of CX/CZ gates.
 func (c *Circuit) TwoQubitCount() int {
 	n := 0

@@ -1,0 +1,98 @@
+package gen
+
+import (
+	"testing"
+
+	"repro/circuit"
+)
+
+// TestDeterminism: every seeded generator is a pure function of its
+// arguments — two calls produce byte-identical QASM, and a different
+// seed produces a different circuit.
+func TestDeterminism(t *testing.T) {
+	cases := []struct {
+		name string
+		make func(seed int64) *circuit.Circuit
+	}{
+		{"qaoa", func(s int64) *circuit.Circuit { return QAOAMaxCut(8, 2, s) }},
+		{"molecular", func(s int64) *circuit.Circuit { return Molecular(6, 12, s).EvolutionCircuit(0.3, 1) }},
+		{"ghz", func(s int64) *circuit.Circuit { return GHZWithRotations(5, s) }},
+		{"vqe", func(s int64) *circuit.Circuit { return VQEAnsatz(4, 2, s) }},
+		{"random", func(s int64) *circuit.Circuit { return RandomCircuit(4, 3, s) }},
+		{"cliffordt", func(s int64) *circuit.Circuit { return RandomCliffordT(3, 40, s) }},
+	}
+	for _, tc := range cases {
+		a, b := tc.make(7), tc.make(7)
+		if a.QASM() != b.QASM() {
+			t.Errorf("%s: same seed produced different circuits", tc.name)
+		}
+		if c := tc.make(8); c.QASM() == a.QASM() {
+			t.Errorf("%s: different seed produced an identical circuit", tc.name)
+		}
+	}
+}
+
+// TestQAOAMaxCutShape: H layer on every qubit first, then cost gadgets
+// (CX·RZ·CX) and mixers — with rotations to synthesize.
+func TestQAOAMaxCutShape(t *testing.T) {
+	c := QAOAMaxCut(8, 2, 1)
+	if c.N != 8 {
+		t.Fatalf("qubits: %d", c.N)
+	}
+	for q := 0; q < 8; q++ {
+		if c.Ops[q].G != circuit.H {
+			t.Fatalf("op %d: want initial H layer, got %v", q, c.Ops[q].G)
+		}
+	}
+	if c.CountRotations() == 0 || c.TwoQubitCount() == 0 {
+		t.Fatalf("degenerate QAOA circuit: %d rotations, %d CX", c.CountRotations(), c.TwoQubitCount())
+	}
+}
+
+// TestThreeRegularEdges: every vertex has degree 3 (n even).
+func TestThreeRegularEdges(t *testing.T) {
+	for _, n := range []int{8, 12} {
+		deg := make([]int, n)
+		for _, e := range ThreeRegularEdges(n, 42) {
+			deg[e[0]]++
+			deg[e[1]]++
+		}
+		for v, d := range deg {
+			if d != 3 {
+				t.Fatalf("n=%d vertex %d has degree %d", n, v, d)
+			}
+		}
+	}
+}
+
+// TestRandomCliffordT: the optimizer property-test workload contains
+// only discrete Clifford+T gates and CXs — no rotations to synthesize.
+func TestRandomCliffordT(t *testing.T) {
+	c := RandomCliffordT(3, 80, 5)
+	if c.CountRotations() != 0 {
+		t.Fatalf("RandomCliffordT emitted %d rotations", c.CountRotations())
+	}
+	if c.TCount() == 0 || c.TwoQubitCount() == 0 {
+		t.Fatalf("degenerate circuit: T=%d CX=%d", c.TCount(), c.TwoQubitCount())
+	}
+	for i, op := range c.Ops {
+		if !op.G.IsDiscrete1Q() && !op.G.IsTwoQubit() {
+			t.Fatalf("op %d: unexpected gate %v", i, op.G)
+		}
+	}
+}
+
+// TestChemistryEvolution: a Trotterized Hamiltonian circuit exposes
+// nontrivial RZ rotations (the synthesis workload) and no other
+// rotation kinds.
+func TestChemistryEvolution(t *testing.T) {
+	c := Heisenberg(4, 1.0).EvolutionCircuit(0.4, 2)
+	if c.CountRotations() == 0 {
+		t.Fatal("no rotations in the Trotter circuit")
+	}
+	for i, op := range c.Ops {
+		if op.G == circuit.RX || op.G == circuit.RY || op.G == circuit.U3 {
+			t.Fatalf("op %d: Pauli-gadget compiler emitted %v", i, op.G)
+		}
+	}
+}

@@ -7,6 +7,7 @@
 //
 //	compile circuit.qasm                          # default pipeline, auto backend
 //	compile -backend trasyn -eps 0.01 circuit.qasm
+//	compile -opt 2 circuit.qasm                   # T-count optimizer on
 //	cat circuit.qasm | compile -                  # read from stdin
 //	compile -ir rz -backend gridsynth -rot-eps 1e-3 circuit.qasm
 //	compile -passes transpile,lower circuit.qasm  # custom pass sequence
@@ -36,6 +37,7 @@ import (
 	"time"
 
 	"repro/circuit"
+	"repro/optimize"
 	"repro/synth"
 	"repro/synth/serve"
 	"repro/synth/serve/client"
@@ -58,6 +60,8 @@ func main() {
 		budget  = flag.String("budget", "uniform", "ε-splitting strategy for -eps: uniform, weighted")
 		irFlag  = flag.String("ir", "auto", "lowering IR: auto, u3, rz")
 		passes  = flag.String("passes", "", "comma-separated pass list (default: "+strings.Join(synth.PassNames(), ",")+")")
+		opt     = flag.Int("opt", 0, "T-count optimizer level: 0 off, 1 pre-lowering rotation folding, 2 also post-lowering Clifford+T peephole")
+		optList = flag.String("optimizers", "", "comma-separated post-lowering rule chain (implies -opt 2; have: "+strings.Join(optimize.List(), ", ")+")")
 		workers = flag.Int("workers", 0, "worker-pool size (0 = GOMAXPROCS)")
 		samples = flag.Int("samples", 0, "trasyn samples k (0 = default)")
 		tbudget = flag.Int("tbudget", 0, "trasyn per-tensor T budget m (0 = default)")
@@ -74,18 +78,38 @@ func main() {
 		fail("%v", err)
 	}
 
+	// An explicit -passes list overrides the canned sequence, so the opt
+	// flags would be silently ignored — refuse the combination instead
+	// (compose optrot/optct inside -passes when hand-building).
+	if *passes != "" && (*opt > 0 || *optList != "") {
+		fail("-opt/-optimizers cannot be combined with -passes; add optrot/optct to the -passes list instead")
+	}
+
+	var optimizers []string
+	if *optList != "" {
+		for _, n := range strings.Split(*optList, ",") {
+			n = strings.TrimSpace(n)
+			if _, ok := optimize.Lookup(n); !ok {
+				fail("unknown optimizer %q (have %s)", n, strings.Join(optimize.List(), ", "))
+			}
+			optimizers = append(optimizers, n)
+		}
+	}
+
 	if *remote != "" {
 		req := serve.CompileRequest{
-			QASM:      src,
-			Backend:   *backend,
-			Eps:       *eps,
-			RotEps:    *rotEps,
-			Budget:    *budget,
-			IR:        *irFlag,
-			Samples:   *samples,
-			TBudget:   *tbudget,
-			Seed:      synth.Seed(*seed),
-			TimeoutMs: int(*timeout / time.Millisecond),
+			QASM:       src,
+			Backend:    *backend,
+			Eps:        *eps,
+			RotEps:     *rotEps,
+			Budget:     *budget,
+			IR:         *irFlag,
+			Samples:    *samples,
+			TBudget:    *tbudget,
+			Seed:       synth.Seed(*seed),
+			OptLevel:   *opt,
+			Optimizers: optimizers,
+			TimeoutMs:  int(*timeout / time.Millisecond),
 		}
 		if *passes != "" {
 			for _, n := range strings.Split(*passes, ",") {
@@ -131,6 +155,12 @@ func main() {
 	}
 	if *eps > 0 {
 		opts = append(opts, synth.WithCircuitEpsilon(*eps), synth.WithBudgetStrategy(strat))
+	}
+	if *opt > 0 {
+		opts = append(opts, synth.WithOptimize(*opt))
+	}
+	if len(optimizers) > 0 {
+		opts = append(opts, synth.WithOptimizers(optimizers...))
 	}
 	if *passes != "" {
 		var ps []synth.Pass

@@ -1,0 +1,142 @@
+// Command optbench is the optimizer smoke benchmark: it compiles the
+// QAOA workload (circuit/gen's 8-qubit, depth-2 MaxCut instance) with
+// the T-count optimizer off and on, against both an already-minimal
+// backend (gridsynth) and the suboptimal Solovay–Kitaev baseline,
+// asserts that optimization never regresses the T count — and strictly
+// reclaims T from sk — then records the deltas as JSON (BENCH_opt.json
+// in CI).
+//
+// Usage:
+//
+//	optbench -out BENCH_opt.json            # write the record, exit 0
+//	optbench -qaoa-qasm testdata/q.qasm     # also dump the workload QASM
+//
+// Exit status 1 means an assertion failed — the optimizer regressed a
+// workload — which is what the CI optimizer-smoke job gates on.
+package main
+
+import (
+	"context"
+	"encoding/json"
+	"flag"
+	"fmt"
+	"os"
+	"runtime"
+	"time"
+
+	"repro/circuit/gen"
+	"repro/synth"
+)
+
+// record is one (backend, opt level) measurement.
+type record struct {
+	Backend      string         `json:"backend"`
+	OptLevel     int            `json:"opt_level"`
+	TCount       int            `json:"t_count"`
+	TDepth       int            `json:"t_depth"`
+	Clifford     int            `json:"clifford"`
+	TCountBefore int            `json:"t_count_before,omitempty"`
+	TCountAfter  int            `json:"t_count_after,omitempty"`
+	TSaved       int            `json:"t_saved,omitempty"`
+	Iterations   int            `json:"opt_iterations,omitempty"`
+	RuleHits     map[string]int `json:"rule_hits,omitempty"`
+	WallMs       float64        `json:"wall_ms"`
+}
+
+type report struct {
+	Workload  string   `json:"workload"`
+	Qubits    int      `json:"qubits"`
+	Rotations int      `json:"rotations"`
+	Eps       float64  `json:"circuit_eps"`
+	GoVersion string   `json:"go_version"`
+	Records   []record `json:"records"`
+	Notes     []string `json:"notes"`
+}
+
+func main() {
+	out := flag.String("out", "BENCH_opt.json", "output JSON path")
+	qasmOut := flag.String("qaoa-qasm", "", "also write the QAOA workload QASM here")
+	flag.Parse()
+
+	qaoa := gen.QAOAMaxCut(8, 2, 1)
+	const eps = 0.3
+	if *qasmOut != "" {
+		if err := os.WriteFile(*qasmOut, []byte(qaoa.QASM()), 0o644); err != nil {
+			fatal("writing %s: %v", *qasmOut, err)
+		}
+	}
+
+	rep := report{
+		Workload:  "gen.QAOAMaxCut(8, 2, 1)",
+		Qubits:    qaoa.N,
+		Rotations: qaoa.CountRotations(),
+		Eps:       eps,
+		GoVersion: runtime.Version(),
+	}
+
+	run := func(backend string, level int) record {
+		pl, err := synth.NewPipelineFor(backend,
+			synth.WithCircuitEpsilon(eps), synth.WithOptimize(level))
+		if err != nil {
+			fatal("%v", err)
+		}
+		start := time.Now()
+		res, err := pl.Run(context.Background(), qaoa)
+		if err != nil {
+			fatal("compiling with %s opt=%d: %v", backend, level, err)
+		}
+		r := record{
+			Backend:  backend,
+			OptLevel: level,
+			TCount:   res.Circuit.TCount(),
+			TDepth:   res.Circuit.TDepth(),
+			Clifford: res.Circuit.CliffordCount(),
+			WallMs:   float64(time.Since(start)) / float64(time.Millisecond),
+		}
+		if o := res.Stats.Opt; o != nil {
+			r.TCountBefore = o.TCountBefore
+			r.TCountAfter = o.TCountAfter
+			r.TSaved = o.TSaved()
+			r.Iterations = o.Iterations
+			r.RuleHits = o.RuleHits
+		}
+		return r
+	}
+
+	failed := false
+	for _, backend := range []string{"gridsynth", "sk"} {
+		off := run(backend, 0)
+		on := run(backend, 2)
+		rep.Records = append(rep.Records, off, on)
+		switch {
+		case on.TCount > off.TCount:
+			fmt.Fprintf(os.Stderr, "optbench: FAIL %s: -opt 2 regressed T %d → %d\n", backend, off.TCount, on.TCount)
+			failed = true
+		case backend == "sk" && on.TSaved <= 0:
+			fmt.Fprintf(os.Stderr, "optbench: FAIL sk: expected strict T reclamation, saved %d\n", on.TSaved)
+			failed = true
+		default:
+			fmt.Printf("optbench: %-10s T %6d (off) → %6d (on), optct reclaimed %d in %d sweeps\n",
+				backend, off.TCount, on.TCount, on.TSaved, on.Iterations)
+		}
+	}
+	rep.Notes = append(rep.Notes,
+		"gridsynth/trasyn sequences are per-rotation minimal, so post-lowering reclamation is ~0 — the paper's RQ5 finding",
+		"sk's recursive sequences are far from minimal: the fixed-point foldphases+peephole driver reclaims ~20% of its T gates")
+
+	b, err := json.MarshalIndent(rep, "", "  ")
+	if err != nil {
+		fatal("%v", err)
+	}
+	if err := os.WriteFile(*out, append(b, '\n'), 0o644); err != nil {
+		fatal("writing %s: %v", *out, err)
+	}
+	if failed {
+		os.Exit(1)
+	}
+}
+
+func fatal(format string, args ...any) {
+	fmt.Fprintf(os.Stderr, "optbench: "+format+"\n", args...)
+	os.Exit(1)
+}

@@ -14,7 +14,10 @@
 //	synthd -addr 127.0.0.1:0                  # random port, printed on stdout
 //
 // Endpoints: POST /v1/compile, POST /v1/synthesize, GET /healthz,
-// GET /metrics. See synth/serve for the request/response shapes and
+// GET /metrics. Compile requests can enable the T-count optimizer via
+// opt_level / optimizers (the stats then carry t_count_before /
+// t_count_after, and /metrics totals synthd_t_reclaimed_total across
+// all compiles). See synth/serve for the request/response shapes and
 // synth/serve/client for the Go client; cmd/compile -remote drives a
 // running daemon from the CLI.
 //

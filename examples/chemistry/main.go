@@ -11,13 +11,13 @@ import (
 	"log"
 	"math/rand"
 
+	"repro/circuit/gen"
 	"repro/internal/sim"
-	"repro/internal/suite"
 	"repro/synth"
 )
 
 func main() {
-	h := suite.Heisenberg(5, 1.0)
+	h := gen.Heisenberg(5, 1.0)
 	circ := h.EvolutionCircuit(0.4, 2)
 	fmt.Printf("Heisenberg(5) Trotter circuit: %d ops, %d rotations\n",
 		len(circ.Ops), circ.CountRotations())

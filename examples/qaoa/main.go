@@ -14,12 +14,12 @@ import (
 	"fmt"
 	"log"
 
-	"repro/internal/suite"
+	"repro/circuit/gen"
 	"repro/synth"
 )
 
 func main() {
-	qaoa := suite.QAOAMaxCut(8, 2, 1) // 8 qubits, depth 2
+	qaoa := gen.QAOAMaxCut(8, 2, 1) // 8 qubits, depth 2
 	fmt.Printf("QAOA MaxCut circuit: %d qubits, %d ops, %d rotations\n",
 		qaoa.N, len(qaoa.Ops), qaoa.CountRotations())
 

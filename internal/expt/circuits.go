@@ -8,11 +8,10 @@ import (
 	"sync"
 
 	"repro/circuit"
-	"repro/internal/resynth"
 	"repro/internal/sim"
 	"repro/internal/suite"
 	"repro/internal/transpile"
-	"repro/internal/zxopt"
+	"repro/optimize"
 	"repro/synth"
 )
 
@@ -400,7 +399,10 @@ func Fig12(cfg Config) (*Table, error) {
 		go func(r benchResult) {
 			defer wg.Done()
 			defer func() { <-sem }()
-			bq := resynth.Resynthesize(r.u3IR)
+			bq, err := optimize.ZXZXZ().Optimize(r.u3IR)
+			if err != nil {
+				return
+			}
 			nBq, nU3 := bq.CountRotations(), r.u3IR.CountRotations()
 			if nU3 == 0 {
 				return
@@ -473,11 +475,20 @@ func Fig13(cfg Config) (*Table, error) {
 	return t, t.WriteCSV(cfg.OutDir)
 }
 
-// Fig14 regenerates the before/after post-optimization (PyZX-style) ratios.
+// Fig14 regenerates the before/after post-optimization (PyZX-style) ratios,
+// driving the public optimize package's fixed-point driver (foldphases +
+// peephole at the experiment's enumeration budget).
 func Fig14(cfg Config) (*Table, error) {
 	cfg = cfg.filled()
 	results := cachedStudy(cfg, defaultCircuitEps)
-	tab := cfg.trasynConfig(1, 0, 0).Table
+	rules := []optimize.Optimizer{optimize.FoldPhases(), optimize.NewPeephole(cfg.MaxT)}
+	postOpt := func(c *circuit.Circuit) *circuit.Circuit {
+		res, err := optimize.Run(c, rules...)
+		if err != nil {
+			return c
+		}
+		return res.Circuit
+	}
 	t := &Table{
 		ID:     "fig14",
 		Title:  "trasyn:gridsynth ratios before and after post-optimization",
@@ -496,8 +507,8 @@ func Fig14(cfg Config) (*Table, error) {
 		go func(r benchResult) {
 			defer wg.Done()
 			defer func() { <-sem }()
-			u3Opt := zxopt.Optimize(r.u3Out, tab)
-			rzOpt := zxopt.Optimize(r.rzOut, tab)
+			u3Opt := postOpt(r.u3Out)
+			rzOpt := postOpt(r.rzOut)
 			if u3Opt.TCount() == 0 {
 				return
 			}

@@ -1,11 +1,10 @@
 // Package resynth is the BQSKit-substitute of Figure 12: a
 // partition-and-reinstantiate pass that numerically re-expresses every
-// merged single-qubit unitary in the fixed ZXZXZ template
-// RZ(φ+π)·SX·RZ(θ+π)·SX·RZ(λ) (SX = √X, a Clifford). Like BQSKit's
-// numerical instantiation, this canonicalizes structure at the cost of
-// inflating the number of arbitrary rotations — one U3 becomes three
-// nontrivial RZ gates — which is exactly the behavior the paper measures
-// against.
+// merged single-qubit unitary in the fixed ZXZXZ template.
+//
+// Deprecated: the implementation was promoted to the public optimize
+// package as optimize.ZXZXZ (the "zxzxz" registry entry). This package
+// remains as a thin delegating shim for source compatibility.
 package resynth
 
 import (
@@ -13,44 +12,15 @@ import (
 
 	"repro/circuit"
 	"repro/internal/qmat"
-	"repro/internal/transpile"
+	"repro/optimize"
 )
 
-// Resynthesize merges adjacent 1q gates, then re-instantiates each U3 into
-// the ZXZXZ template, emitting an Rz-basis circuit (SX expanded into
-// H·S·H-form Cliffords via the RZ(π/2) identity).
+// Resynthesize merges adjacent 1q gates, then re-instantiates each U3
+// into the ZXZXZ template, emitting an Rz-basis circuit.
+//
+// Deprecated: use optimize.ZXZXZ.
 func Resynthesize(c *circuit.Circuit) *circuit.Circuit {
-	merged := transpile.Merge1Q(c)
-	out := circuit.New(c.N)
-	for _, op := range merged.Ops {
-		if op.G != circuit.U3 {
-			out.Add(op)
-			continue
-		}
-		th, ph, la := op.P[0], op.P[1], op.P[2]
-		q := op.Q[0]
-		// Time order: RZ(λ), SX, RZ(θ+π), SX, RZ(φ+π); SX = H·RZ(π/2)·H up
-		// to phase (H S H).
-		emit := func(angle float64) {
-			angle = math.Mod(angle, 2*math.Pi)
-			if angle < 0 {
-				angle += 2 * math.Pi
-			}
-			if angle > 1e-12 && 2*math.Pi-angle > 1e-12 {
-				out.RZ(q, angle)
-			}
-		}
-		sx := func() {
-			out.H(q)
-			out.S(q)
-			out.H(q)
-		}
-		emit(la)
-		sx()
-		emit(th + math.Pi)
-		sx()
-		emit(ph + math.Pi)
-	}
+	out, _ := optimize.ZXZXZ().Optimize(c)
 	return out
 }
 

@@ -1,233 +1,57 @@
 // Package zxopt is the post-synthesis T-count optimizer standing in for
-// PyZX in RQ5. It implements the two mechanisms by which ZX-calculus
-// optimizers reclaim T gates from Clifford+T circuits:
+// PyZX in RQ5.
 //
-//  1. phase folding: tracking CNOT parities and merging single-qubit phase
-//     gates (T/S/Z/RZ) applied to the same parity term, and
-//  2. exact peephole rewriting of single-qubit gate runs against the
-//     step-0 enumeration table (minimal Clifford+T forms).
-//
-// Both transformations preserve the circuit unitary exactly (up to global
-// phase), which the tests verify by simulation.
+// Deprecated: the implementation was promoted to the public optimize
+// package — phase folding is optimize.FoldPhases (the "foldphases"
+// registry entry), table peephole is optimize.NewPeephole ("peephole"),
+// and Optimize is a fixed-point optimize.Driver run. This package
+// remains as a thin delegating shim for source compatibility.
 package zxopt
 
 import (
-	"fmt"
-	"math"
-	"sort"
-
 	"repro/circuit"
-	"repro/internal/core"
 	"repro/internal/gates"
+	"repro/optimize"
 )
 
-// Optimize applies phase folding followed by the table peephole until the
-// combined T + Clifford count stops improving.
+// Optimize applies phase folding and the table peephole to a true fixed
+// point (with the driver's safety ceiling), returning the best circuit
+// found. The historical 6-pass cap is gone: the fixed-point driver in
+// the optimize package iterates until a full sweep stops improving.
+//
+// Deprecated: use optimize.Run (which also reports iteration counts,
+// per-rule hit counters, and before/after metric deltas).
 func Optimize(c *circuit.Circuit, tab *gates.Table) *circuit.Circuit {
-	cur := c.Clone()
-	for pass := 0; pass < 6; pass++ {
-		before := cur.TCount()*1000 + cur.CliffordCount()
-		cur = FoldPhases(cur)
-		cur = Peephole(cur, tab)
-		if cur.TCount()*1000+cur.CliffordCount() >= before {
-			break
-		}
+	maxT := 0
+	if tab != nil {
+		maxT = tab.MaxT
 	}
-	return cur
+	res, err := optimize.Run(c, optimize.FoldPhases(), optimize.NewPeephole(maxT))
+	if err != nil {
+		// The promoted rules never error; keep the legacy non-erroring
+		// signature by degrading to the input.
+		return c.Clone()
+	}
+	return res.Circuit
 }
 
-type phaseSlot struct {
-	angle float64
-	qubit int
-}
-
-// FoldPhases merges diagonal phase gates (T, T†, S, S†, Z, RZ) that act on
-// the same CNOT parity of the initial wire variables. CX updates parities
-// by symmetric difference; any other non-diagonal gate allocates a fresh
-// variable for its qubit (ending the foldable region). Parities are exact
-// sorted variable sets, so distinct parities never merge.
+// FoldPhases merges diagonal phase gates acting on the same CNOT parity.
+//
+// Deprecated: use optimize.FoldPhases.
 func FoldPhases(c *circuit.Circuit) *circuit.Circuit {
-	nextVar := 0
-	fresh := func() int { v := nextVar; nextVar++; return v }
-	parity := make([][]int, c.N)
-	for q := range parity {
-		parity[q] = []int{fresh()}
-	}
-	keyOf := func(vars []int) string { return fmt.Sprint(vars) }
-
-	slots := map[string]*phaseSlot{} // parity key → accumulated phase
-	slotAt := map[int]*phaseSlot{}   // output position → slot
-	var outOps []circuit.Op
-
-	angleOf := func(op circuit.Op) (float64, bool) {
-		switch op.G {
-		case circuit.Z:
-			return math.Pi, true
-		case circuit.S:
-			return math.Pi / 2, true
-		case circuit.Sdg:
-			return -math.Pi / 2, true
-		case circuit.T:
-			return math.Pi / 4, true
-		case circuit.Tdg:
-			return -math.Pi / 4, true
-		case circuit.RZ:
-			return op.P[0], true
-		}
-		return 0, false
-	}
-	for _, op := range c.Ops {
-		if a, ok := angleOf(op); ok {
-			q := op.Q[0]
-			k := keyOf(parity[q])
-			if s, exists := slots[k]; exists {
-				s.angle += a
-				continue
-			}
-			s := &phaseSlot{angle: a, qubit: q}
-			slots[k] = s
-			slotAt[len(outOps)] = s
-			outOps = append(outOps, circuit.Op{}) // placeholder
-			continue
-		}
-		switch {
-		case op.G == circuit.CX:
-			parity[op.Q[1]] = symdiff(parity[op.Q[1]], parity[op.Q[0]])
-			outOps = append(outOps, op)
-		case op.G == circuit.CZ:
-			// Diagonal: commutes with Z-phases, parities unchanged.
-			outOps = append(outOps, op)
-		case op.G == circuit.I:
-		default:
-			parity[op.Q[0]] = []int{fresh()}
-			outOps = append(outOps, op)
-		}
-	}
-	out := circuit.New(c.N)
-	for i, op := range outOps {
-		if s, ok := slotAt[i]; ok {
-			emitPhase(out, s.qubit, s.angle)
-			continue
-		}
-		out.Add(op)
-	}
+	out, _ := optimize.FoldPhases().Optimize(c)
 	return out
 }
 
-// symdiff returns the sorted symmetric difference of two sorted sets.
-func symdiff(a, b []int) []int {
-	m := map[int]bool{}
-	for _, x := range a {
-		m[x] = !m[x]
-	}
-	for _, x := range b {
-		m[x] = !m[x]
-	}
-	var out []int
-	for x, keep := range m {
-		if keep {
-			out = append(out, x)
-		}
-	}
-	sort.Ints(out)
-	return out
-}
-
-// emitPhase appends the cheapest discrete gates for an RZ-type phase.
-func emitPhase(c *circuit.Circuit, q int, angle float64) {
-	angle = math.Mod(angle, 2*math.Pi)
-	if angle < 0 {
-		angle += 2 * math.Pi
-	}
-	if angle < 1e-12 || 2*math.Pi-angle < 1e-12 {
-		return
-	}
-	if circuit.TrivialAngle(angle) {
-		m := int(math.Round(angle/(math.Pi/4))) % 8
-		switch m {
-		case 1:
-			c.T(q)
-		case 2:
-			c.S(q)
-		case 3:
-			c.S(q)
-			c.T(q)
-		case 4:
-			c.Z(q)
-		case 5:
-			c.Z(q)
-			c.T(q)
-		case 6:
-			c.Gate1(circuit.Sdg, q)
-		case 7:
-			c.Tdg(q)
-		}
-		return
-	}
-	c.RZ(q, angle)
-}
-
-// Peephole rewrites maximal runs of discrete 1q gates per qubit into their
-// minimal table form (trasyn's step-3 rewriting applied circuit-wide).
+// Peephole rewrites maximal runs of discrete 1q gates per qubit into
+// their minimal table form.
+//
+// Deprecated: use optimize.NewPeephole.
 func Peephole(c *circuit.Circuit, tab *gates.Table) *circuit.Circuit {
-	out := circuit.New(c.N)
-	pending := make([]gates.Sequence, c.N) // time-ordered runs
-	flush := func(q int) {
-		run := pending[q]
-		if len(run) == 0 {
-			return
-		}
-		pending[q] = nil
-		// Convert time order → matrix-product order, rewrite, convert back.
-		rev := make(gates.Sequence, len(run))
-		for i, g := range run {
-			rev[len(run)-1-i] = g
-		}
-		rev = core.Rewrite(rev, tab)
-		for _, op := range circuit.FromSequence(rev, q) {
-			out.Add(op)
-		}
+	maxT := 0
+	if tab != nil {
+		maxT = tab.MaxT
 	}
-	toGate := func(g circuit.GateType) (gates.Gate, bool) {
-		switch g {
-		case circuit.X:
-			return gates.X, true
-		case circuit.Y:
-			return gates.Y, true
-		case circuit.Z:
-			return gates.Z, true
-		case circuit.H:
-			return gates.H, true
-		case circuit.S:
-			return gates.S, true
-		case circuit.Sdg:
-			return gates.Sdg, true
-		case circuit.T:
-			return gates.T, true
-		case circuit.Tdg:
-			return gates.Tdg, true
-		}
-		return 0, false
-	}
-	for _, op := range c.Ops {
-		if op.G.IsTwoQubit() {
-			flush(op.Q[0])
-			flush(op.Q[1])
-			out.Add(op)
-			continue
-		}
-		if g, ok := toGate(op.G); ok {
-			pending[op.Q[0]] = append(pending[op.Q[0]], g)
-			continue
-		}
-		if op.G == circuit.I {
-			continue
-		}
-		flush(op.Q[0])
-		out.Add(op)
-	}
-	for q := 0; q < c.N; q++ {
-		flush(q)
-	}
+	out, _ := optimize.NewPeephole(maxT).Optimize(c)
 	return out
 }

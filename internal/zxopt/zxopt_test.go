@@ -1,7 +1,6 @@
 package zxopt
 
 import (
-	"math"
 	"math/rand"
 	"testing"
 
@@ -119,17 +118,5 @@ func TestOptimizeNeverIncreasesT(t *testing.T) {
 	}
 }
 
-func TestEmitPhaseAngles(t *testing.T) {
-	for m := 0; m < 8; m++ {
-		c := circuit.New(1)
-		emitPhase(c, 0, float64(m)*math.Pi/4)
-		ref := circuit.New(1)
-		ref.RZ(0, float64(m)*math.Pi/4)
-		if d := sim.UnitaryDistance(sim.Unitary(c), sim.Unitary(ref)); d > 1e-7 {
-			t.Fatalf("emitPhase(%dπ/4) wrong: %v", m, d)
-		}
-		if c.CountRotations() != 0 {
-			t.Fatalf("emitPhase(%dπ/4) left a rotation", m)
-		}
-	}
-}
+// The emitPhase angle-table test moved to the optimize package with the
+// implementation (TestEmitPhaseAngles in optimize/optimize_test.go).

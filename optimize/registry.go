@@ -1,0 +1,75 @@
+package optimize
+
+import (
+	"fmt"
+	"sort"
+	"sync"
+)
+
+var (
+	regMu    sync.RWMutex
+	registry = map[string]Optimizer{}
+)
+
+// Register adds an optimizer under its Name(). It fails on a nil
+// optimizer, an empty name, or a name already taken — names are
+// first-come, first-served so a plugin cannot silently shadow a
+// built-in (mirroring synth.Register).
+func Register(o Optimizer) error {
+	if o == nil {
+		return fmt.Errorf("optimize: Register with nil optimizer")
+	}
+	name := o.Name()
+	if name == "" {
+		return fmt.Errorf("optimize: Register with empty name")
+	}
+	regMu.Lock()
+	defer regMu.Unlock()
+	if _, dup := registry[name]; dup {
+		return fmt.Errorf("optimize: optimizer %q already registered", name)
+	}
+	registry[name] = o
+	return nil
+}
+
+// MustRegister is Register that panics on error; for init-time wiring.
+func MustRegister(o Optimizer) {
+	if err := Register(o); err != nil {
+		panic(err)
+	}
+}
+
+// Lookup returns the optimizer registered under name.
+func Lookup(name string) (Optimizer, bool) {
+	regMu.RLock()
+	defer regMu.RUnlock()
+	o, ok := registry[name]
+	return o, ok
+}
+
+// List returns the registered optimizer names, sorted.
+func List() []string {
+	regMu.RLock()
+	defer regMu.RUnlock()
+	names := make([]string, 0, len(registry))
+	for n := range registry {
+		names = append(names, n)
+	}
+	sort.Strings(names)
+	return names
+}
+
+// Defaults returns the default T-count-reducing rule chain: phase
+// folding then table peephole — the pair the Driver iterates to a fixed
+// point and the synth OptimizeCliffordT pass applies post-lowering.
+// (zxzxz is registered but excluded: it inflates rotation count by
+// design.)
+func Defaults() []Optimizer {
+	return []Optimizer{FoldPhases(), NewPeephole(0)}
+}
+
+func init() {
+	MustRegister(FoldPhases())
+	MustRegister(NewPeephole(0))
+	MustRegister(ZXZXZ())
+}

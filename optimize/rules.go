@@ -1,0 +1,306 @@
+package optimize
+
+import (
+	"fmt"
+	"math"
+	"sort"
+	"sync"
+
+	"repro/circuit"
+	"repro/internal/core"
+	"repro/internal/gates"
+	"repro/internal/transpile"
+)
+
+// --- phase folding ---
+
+// foldPhases is the "foldphases" rule: CNOT-parity tracking merges
+// diagonal phase gates applied to the same parity term (promoted from
+// internal/zxopt).
+type foldPhases struct{}
+
+// FoldPhases returns the phase-folding rule: it merges diagonal phase
+// gates (T, T†, S, S†, Z, RZ) that act on the same CNOT parity of the
+// initial wire variables. CX updates parities by symmetric difference;
+// any other non-diagonal gate allocates a fresh variable for its qubit
+// (ending the foldable region). Parities are exact sorted variable sets,
+// so distinct parities never merge.
+func FoldPhases() Optimizer { return foldPhases{} }
+
+func (foldPhases) Name() string { return "foldphases" }
+
+type phaseSlot struct {
+	angle float64
+	qubit int
+}
+
+func (foldPhases) Optimize(c *circuit.Circuit) (*circuit.Circuit, error) {
+	nextVar := 0
+	fresh := func() int { v := nextVar; nextVar++; return v }
+	parity := make([][]int, c.N)
+	for q := range parity {
+		parity[q] = []int{fresh()}
+	}
+	keyOf := func(vars []int) string { return fmt.Sprint(vars) }
+
+	slots := map[string]*phaseSlot{} // parity key → accumulated phase
+	slotAt := map[int]*phaseSlot{}   // output position → slot
+	var outOps []circuit.Op
+
+	angleOf := func(op circuit.Op) (float64, bool) {
+		switch op.G {
+		case circuit.Z:
+			return math.Pi, true
+		case circuit.S:
+			return math.Pi / 2, true
+		case circuit.Sdg:
+			return -math.Pi / 2, true
+		case circuit.T:
+			return math.Pi / 4, true
+		case circuit.Tdg:
+			return -math.Pi / 4, true
+		case circuit.RZ:
+			return op.P[0], true
+		}
+		return 0, false
+	}
+	for _, op := range c.Ops {
+		if a, ok := angleOf(op); ok {
+			q := op.Q[0]
+			k := keyOf(parity[q])
+			if s, exists := slots[k]; exists {
+				s.angle += a
+				continue
+			}
+			s := &phaseSlot{angle: a, qubit: q}
+			slots[k] = s
+			slotAt[len(outOps)] = s
+			outOps = append(outOps, circuit.Op{}) // placeholder
+			continue
+		}
+		switch {
+		case op.G == circuit.CX:
+			parity[op.Q[1]] = symdiff(parity[op.Q[1]], parity[op.Q[0]])
+			outOps = append(outOps, op)
+		case op.G == circuit.CZ:
+			// Diagonal: commutes with Z-phases, parities unchanged.
+			outOps = append(outOps, op)
+		case op.G == circuit.I:
+		default:
+			parity[op.Q[0]] = []int{fresh()}
+			outOps = append(outOps, op)
+		}
+	}
+	out := circuit.New(c.N)
+	for i, op := range outOps {
+		if s, ok := slotAt[i]; ok {
+			emitPhase(out, s.qubit, s.angle)
+			continue
+		}
+		out.Add(op)
+	}
+	return out, nil
+}
+
+// symdiff returns the sorted symmetric difference of two sorted sets.
+func symdiff(a, b []int) []int {
+	m := map[int]bool{}
+	for _, x := range a {
+		m[x] = !m[x]
+	}
+	for _, x := range b {
+		m[x] = !m[x]
+	}
+	var out []int
+	for x, keep := range m {
+		if keep {
+			out = append(out, x)
+		}
+	}
+	sort.Ints(out)
+	return out
+}
+
+// emitPhase appends the cheapest discrete gates for an RZ-type phase.
+func emitPhase(c *circuit.Circuit, q int, angle float64) {
+	angle = math.Mod(angle, 2*math.Pi)
+	if angle < 0 {
+		angle += 2 * math.Pi
+	}
+	if angle < 1e-12 || 2*math.Pi-angle < 1e-12 {
+		return
+	}
+	if circuit.TrivialAngle(angle) {
+		m := int(math.Round(angle/(math.Pi/4))) % 8
+		switch m {
+		case 1:
+			c.T(q)
+		case 2:
+			c.S(q)
+		case 3:
+			c.S(q)
+			c.T(q)
+		case 4:
+			c.Z(q)
+		case 5:
+			c.Z(q)
+			c.T(q)
+		case 6:
+			c.Gate1(circuit.Sdg, q)
+		case 7:
+			c.Tdg(q)
+		}
+		return
+	}
+	c.RZ(q, angle)
+}
+
+// --- table peephole ---
+
+// DefaultPeepholeBudget is the enumeration-table T budget of the
+// registered "peephole" rule: windows of up to this many T gates rewrite
+// to their canonical minimal form (the experiment configuration of RQ5).
+const DefaultPeepholeBudget = 5
+
+// peephole is the "peephole" rule: exact rewriting of maximal
+// single-qubit discrete-gate runs against the step-0 enumeration table.
+type peephole struct {
+	maxT int
+	once sync.Once
+	tab  *gates.Table
+}
+
+// NewPeephole returns the table-peephole rule at the given enumeration
+// T budget (0 selects DefaultPeepholeBudget). The table is the
+// process-wide shared one, built lazily on first use.
+func NewPeephole(maxT int) Optimizer {
+	if maxT <= 0 {
+		maxT = DefaultPeepholeBudget
+	}
+	return &peephole{maxT: maxT}
+}
+
+func (p *peephole) Name() string { return "peephole" }
+
+// Optimize rewrites maximal runs of discrete 1q gates per qubit into
+// their minimal table form (trasyn's step-3 rewriting applied
+// circuit-wide).
+func (p *peephole) Optimize(c *circuit.Circuit) (*circuit.Circuit, error) {
+	p.once.Do(func() { p.tab = gates.Shared(p.maxT) })
+	out := circuit.New(c.N)
+	pending := make([]gates.Sequence, c.N) // time-ordered runs
+	flush := func(q int) {
+		run := pending[q]
+		if len(run) == 0 {
+			return
+		}
+		pending[q] = nil
+		// Convert time order → matrix-product order, rewrite, convert back.
+		rev := make(gates.Sequence, len(run))
+		for i, g := range run {
+			rev[len(run)-1-i] = g
+		}
+		rev = core.Rewrite(rev, p.tab)
+		for _, op := range circuit.FromSequence(rev, q) {
+			out.Add(op)
+		}
+	}
+	toGate := func(g circuit.GateType) (gates.Gate, bool) {
+		switch g {
+		case circuit.X:
+			return gates.X, true
+		case circuit.Y:
+			return gates.Y, true
+		case circuit.Z:
+			return gates.Z, true
+		case circuit.H:
+			return gates.H, true
+		case circuit.S:
+			return gates.S, true
+		case circuit.Sdg:
+			return gates.Sdg, true
+		case circuit.T:
+			return gates.T, true
+		case circuit.Tdg:
+			return gates.Tdg, true
+		}
+		return 0, false
+	}
+	for _, op := range c.Ops {
+		if op.G.IsTwoQubit() {
+			flush(op.Q[0])
+			flush(op.Q[1])
+			out.Add(op)
+			continue
+		}
+		if g, ok := toGate(op.G); ok {
+			pending[op.Q[0]] = append(pending[op.Q[0]], g)
+			continue
+		}
+		if op.G == circuit.I {
+			continue
+		}
+		flush(op.Q[0])
+		out.Add(op)
+	}
+	for q := 0; q < c.N; q++ {
+		flush(q)
+	}
+	return out, nil
+}
+
+// --- ZXZXZ resynthesis ---
+
+// zxzxz is the "zxzxz" rule: partition-and-reinstantiate resynthesis
+// that re-expresses every merged single-qubit unitary in the fixed ZXZXZ
+// template RZ(φ+π)·SX·RZ(θ+π)·SX·RZ(λ) (SX = √X, a Clifford). Like
+// BQSKit's numerical instantiation, this canonicalizes structure at the
+// cost of inflating the number of arbitrary rotations — one U3 becomes
+// three nontrivial RZ gates — which is exactly the behavior the paper
+// measures against in Figure 12.
+type zxzxz struct{}
+
+// ZXZXZ returns the resynthesis rule. It is registered but not part of
+// Defaults(): it trades T-friendly structure for rotation count and
+// exists for resynthesis pipelines and comparisons.
+func ZXZXZ() Optimizer { return zxzxz{} }
+
+func (zxzxz) Name() string { return "zxzxz" }
+
+// Optimize merges adjacent 1q gates, then re-instantiates each U3 into
+// the ZXZXZ template, emitting an Rz-basis circuit (SX expanded into
+// H·S·H-form Cliffords via the RZ(π/2) identity).
+func (zxzxz) Optimize(c *circuit.Circuit) (*circuit.Circuit, error) {
+	merged := transpile.Merge1Q(c)
+	out := circuit.New(c.N)
+	for _, op := range merged.Ops {
+		if op.G != circuit.U3 {
+			out.Add(op)
+			continue
+		}
+		th, ph, la := op.P[0], op.P[1], op.P[2]
+		q := op.Q[0]
+		// Time order: RZ(λ), SX, RZ(θ+π), SX, RZ(φ+π); SX = H·RZ(π/2)·H up
+		// to phase (H S H).
+		emit := func(angle float64) {
+			angle = math.Mod(angle, 2*math.Pi)
+			if angle < 0 {
+				angle += 2 * math.Pi
+			}
+			if angle > 1e-12 && 2*math.Pi-angle > 1e-12 {
+				out.RZ(q, angle)
+			}
+		}
+		sx := func() {
+			out.H(q)
+			out.S(q)
+			out.H(q)
+		}
+		emit(la)
+		sx()
+		emit(th + math.Pi)
+		sx()
+		emit(ph + math.Pi)
+	}
+	return out, nil
+}

@@ -1,0 +1,155 @@
+package synth
+
+import (
+	"context"
+	"strings"
+	"testing"
+
+	"repro/circuit"
+	"repro/circuit/gen"
+	"repro/internal/sim"
+)
+
+// optWorkloads are the gen-package circuits the optimized pipeline must
+// never regress on (small enough for gridsynth at a loose budget).
+func optWorkloads() map[string]*circuit.Circuit {
+	return map[string]*circuit.Circuit{
+		"qaoa":      gen.QAOAMaxCut(6, 1, 1),
+		"chemistry": gen.Heisenberg(3, 1.0).EvolutionCircuit(0.4, 1),
+		"ghz":       gen.GHZWithRotations(4, 7),
+	}
+}
+
+// TestWithOptimizeNeverIncreasesTCount: for every gen workload, the
+// fully optimized pipeline produces a final T count no worse than the
+// unoptimized pipeline's, records the optimizer stats, and brackets the
+// post-lowering pass coherently.
+func TestWithOptimizeNeverIncreasesTCount(t *testing.T) {
+	ctx := context.Background()
+	for name, c := range optWorkloads() {
+		base, err := NewPipelineFor("gridsynth", WithCircuitEpsilon(0.3))
+		if err != nil {
+			t.Fatal(err)
+		}
+		off, err := base.Run(ctx, c)
+		if err != nil {
+			t.Fatalf("%s: %v", name, err)
+		}
+		opt, err := NewPipelineFor("gridsynth", WithCircuitEpsilon(0.3), WithOptimize(2))
+		if err != nil {
+			t.Fatal(err)
+		}
+		on, err := opt.Run(ctx, c)
+		if err != nil {
+			t.Fatalf("%s: %v", name, err)
+		}
+		if on.Circuit.TCount() > off.Circuit.TCount() {
+			t.Errorf("%s: optimized pipeline increased T %d → %d",
+				name, off.Circuit.TCount(), on.Circuit.TCount())
+		}
+		o := on.Stats.Opt
+		if o == nil {
+			t.Fatalf("%s: optimizer passes recorded no stats", name)
+		}
+		if o.TCountAfter > o.TCountBefore {
+			t.Errorf("%s: optct regressed %d → %d", name, o.TCountBefore, o.TCountAfter)
+		}
+		if o.TCountAfter != on.Circuit.TCount() {
+			t.Errorf("%s: TCountAfter %d != final T %d (estimate must not change the circuit)",
+				name, o.TCountAfter, on.Circuit.TCount())
+		}
+		if o.Iterations < 1 {
+			t.Errorf("%s: no driver iterations recorded", name)
+		}
+		if got := strings.Join(opt.Passes(), ","); got != "transpile,optrot,fuse,snap,lower,optct,estimate" {
+			t.Errorf("%s: pass sequence %q", name, got)
+		}
+	}
+}
+
+// TestWithOptimizePreservesUnitary: the optimizer passes must not eat
+// into the error budget — the optimized lowered circuit stays within
+// the circuit epsilon of the original.
+func TestWithOptimizePreservesUnitary(t *testing.T) {
+	c := circuit.New(2)
+	c.H(0).CX(0, 1).RZ(0, 0.73).RZ(1, 0.73).T(0).CX(0, 1).RZ(0, 0.41)
+	const eps = 0.2
+	pl, err := NewPipelineFor("gridsynth", WithCircuitEpsilon(eps), WithOptimize(2))
+	if err != nil {
+		t.Fatal(err)
+	}
+	res, err := pl.Run(context.Background(), c)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if d := sim.UnitaryDistance(sim.Unitary(c), sim.Unitary(res.Circuit)); d > eps {
+		t.Fatalf("optimized pipeline output %v from the input unitary (budget %v)", d, eps)
+	}
+}
+
+// TestWithOptimizeReclaimsFromSK: against the Solovay–Kitaev baseline —
+// whose sequences are far from minimal — the post-lowering pass must
+// strictly reclaim T gates (the acceptance workload of the opt flag).
+func TestWithOptimizeReclaimsFromSK(t *testing.T) {
+	pl, err := NewPipelineFor("sk", WithCircuitEpsilon(0.3), WithOptimize(2))
+	if err != nil {
+		t.Fatal(err)
+	}
+	res, err := pl.Run(context.Background(), gen.QAOAMaxCut(6, 1, 1))
+	if err != nil {
+		t.Fatal(err)
+	}
+	o := res.Stats.Opt
+	if o == nil || o.TCountBefore <= o.TCountAfter {
+		t.Fatalf("expected strict T reclamation from sk output, got %+v", o)
+	}
+	if o.TSaved() != o.TCountBefore-o.TCountAfter {
+		t.Fatalf("TSaved inconsistent: %+v", o)
+	}
+	if len(o.RuleHits) == 0 {
+		t.Fatal("T gates saved with no rule hits recorded")
+	}
+}
+
+// TestOptimizedPassesLevels: the canned sequences per level, and the
+// option interactions (WithOptimizers implies level 2; WithPasses wins).
+func TestOptimizedPassesLevels(t *testing.T) {
+	names := func(ps []Pass) string {
+		var out []string
+		for _, p := range ps {
+			out = append(out, p.Name())
+		}
+		return strings.Join(out, ",")
+	}
+	if got := names(OptimizedPasses(0)); got != "transpile,fuse,snap,lower,estimate" {
+		t.Errorf("level 0: %s", got)
+	}
+	if got := names(OptimizedPasses(1)); got != "transpile,optrot,fuse,snap,lower,estimate" {
+		t.Errorf("level 1: %s", got)
+	}
+	if got := names(OptimizedPasses(2)); got != "transpile,optrot,fuse,snap,lower,optct,estimate" {
+		t.Errorf("level 2: %s", got)
+	}
+	be, _ := Lookup("gridsynth")
+	p := NewPipeline(be, WithOptimizers("foldphases"))
+	if got := strings.Join(p.Passes(), ","); !strings.Contains(got, "optct") {
+		t.Errorf("WithOptimizers did not imply level 2: %s", got)
+	}
+	p = NewPipeline(be, WithOptimize(2), WithPasses(Lower()))
+	if got := strings.Join(p.Passes(), ","); got != "lower" {
+		t.Errorf("WithPasses should win over WithOptimize: %s", got)
+	}
+}
+
+// TestWithOptimizersUnknownName: an unknown rule surfaces as an optct
+// pass error at run time.
+func TestWithOptimizersUnknownName(t *testing.T) {
+	pl, err := NewPipelineFor("gridsynth", WithCircuitEpsilon(0.3), WithOptimizers("nope"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	_, err = pl.Run(context.Background(), gen.GHZWithRotations(2, 1))
+	if err == nil || !strings.Contains(err.Error(), "optct") || !strings.Contains(err.Error(), "nope") {
+		t.Fatalf("want optct pass error naming the unknown rule, got %v", err)
+	}
+}

@@ -10,6 +10,7 @@ import (
 	"repro/internal/pipeline"
 	"repro/internal/resource"
 	"repro/internal/transpile"
+	"repro/optimize"
 )
 
 // Pass is one circuit-to-circuit compilation stage. Passes are composed by
@@ -109,8 +110,44 @@ type PipelineStats struct {
 	Hits, Misses int
 	// Resources is filled by the EstimateResources pass.
 	Resources *resource.Estimate
+	// Opt aggregates what the optimizer passes (OptimizeRotations,
+	// OptimizeCliffordT) did; nil when no optimizer pass ran.
+	Opt *OptStats
 	// Passes records the executed pass sequence with wall times.
 	Passes []PassTiming
+}
+
+// OptStats is the optimizer passes' accounting: the pre-lowering
+// rotation delta (OptimizeRotations) and the post-lowering T-count
+// delta plus fixed-point driver stats (OptimizeCliffordT).
+type OptStats struct {
+	// PreRotationsBefore/After bracket the pre-lowering pass: nontrivial
+	// rotations in the IR before and after parity folding — the
+	// synthesis work the optimizer removed before it was ever paid for.
+	PreRotationsBefore, PreRotationsAfter int
+	// TCountBefore/After bracket the post-lowering pass: T gates in the
+	// lowered Clifford+T circuit before and after the fixed-point run.
+	TCountBefore, TCountAfter int
+	// Iterations counts the driver's full rule sweeps; Converged is
+	// false only when some post-lowering run had its safety ceiling cut
+	// the run short (vacuously true when no optct pass ran).
+	Iterations int
+	Converged  bool
+	// RuleHits counts, per optimizer name, the sweeps in which that rule
+	// strictly improved the circuit.
+	RuleHits map[string]int
+}
+
+// TSaved is the post-lowering pass's headline delta.
+func (o *OptStats) TSaved() int { return o.TCountBefore - o.TCountAfter }
+
+// opt lazily allocates the optimizer stats block (Converged seeds true
+// so repeated optct passes can AND their convergence into it).
+func (s *PipelineStats) opt() *OptStats {
+	if s.Opt == nil {
+		s.Opt = &OptStats{Converged: true}
+	}
+	return s.Opt
 }
 
 // passFunc adapts a named function to Pass.
@@ -267,6 +304,60 @@ func runLower(pc *PassContext, c *circuit.Circuit) (*circuit.Circuit, error) {
 	return out, nil
 }
 
+// OptimizeRotations returns the pre-lowering optimizer pass: parity
+// phase folding (the optimize package's "foldphases" rule) over the IR,
+// merging and cancelling RZ/phase gates that act on the same CNOT
+// parity so fewer rotations ever reach the synthesizer. Adjacency-based
+// fusion (FuseRotations) cannot see these merges — parity tracking
+// commutes phases through entire CX regions. The pass is most effective
+// on the Rz-basis IR; on the CX+U3 IR only explicit phase gates fold.
+// Records the rotation delta in Stats.Opt.
+func OptimizeRotations() Pass {
+	return passFunc{name: "optrot", run: func(pc *PassContext, c *circuit.Circuit) (*circuit.Circuit, error) {
+		before := c.CountRotations()
+		out, err := optimize.FoldPhases().Optimize(c)
+		if err != nil {
+			return nil, err
+		}
+		st := pc.Stats.opt()
+		st.PreRotationsBefore += before
+		st.PreRotationsAfter += out.CountRotations()
+		return out, nil
+	}}
+}
+
+// OptimizeCliffordT returns the post-lowering optimizer pass: a
+// fixed-point optimize.Driver run over the lowered Clifford+T circuit.
+// names select rules from the optimize registry (empty = the default
+// foldphases + peephole chain); unknown names surface as a pass error.
+// Records the T-count delta, iteration count, and per-rule hit counters
+// in Stats.Opt. The optimizer rules preserve the unitary exactly, so
+// the realized error bound is untouched.
+func OptimizeCliffordT(names ...string) Pass {
+	return passFunc{name: "optct", run: func(pc *PassContext, c *circuit.Circuit) (*circuit.Circuit, error) {
+		d, err := optimize.NewDriverNamed(names...)
+		if err != nil {
+			return nil, err
+		}
+		res, err := d.Run(c)
+		if err != nil {
+			return nil, err
+		}
+		st := pc.Stats.opt()
+		st.TCountBefore += res.Before.TCount
+		st.TCountAfter += res.After.TCount
+		st.Iterations += res.Iterations
+		st.Converged = st.Converged && res.Converged
+		if st.RuleHits == nil {
+			st.RuleHits = map[string]int{}
+		}
+		for name, hits := range res.RuleHits {
+			st.RuleHits[name] += hits
+		}
+		return res.Circuit, nil
+	}}
+}
+
 // EstimateResources returns the pass attaching a surface-code resource
 // estimate (internal/resource's model) for the current circuit to
 // Stats.Resources. The circuit flows through unchanged, so the pass can
@@ -285,9 +376,10 @@ func DefaultPasses() []Pass {
 	return []Pass{Transpile(), FuseRotations(), SnapTrivial(), Lower(), EstimateResources()}
 }
 
-// PassNames lists the built-in pass names in canned-pipeline order.
+// PassNames lists the built-in pass names in canned-pipeline order
+// (the optimizer passes sit where WithOptimize inserts them).
 func PassNames() []string {
-	return []string{"transpile", "fuse", "snap", "lower", "estimate"}
+	return []string{"transpile", "optrot", "fuse", "snap", "lower", "optct", "estimate"}
 }
 
 // LookupPass resolves a built-in pass by name (the cmd/compile -passes
@@ -296,12 +388,16 @@ func LookupPass(name string) (Pass, bool) {
 	switch name {
 	case "transpile":
 		return Transpile(), true
+	case "optrot":
+		return OptimizeRotations(), true
 	case "fuse":
 		return FuseRotations(), true
 	case "snap":
 		return SnapTrivial(), true
 	case "lower":
 		return Lower(), true
+	case "optct":
+		return OptimizeCliffordT(), true
 	case "estimate":
 		return EstimateResources(), true
 	}

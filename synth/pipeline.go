@@ -28,6 +28,8 @@ type Pipeline struct {
 	budget     BudgetStrategy
 	progress   func(ProgressEvent)
 	passes     []Pass
+	optLevel   int
+	optNames   []string
 }
 
 // Option configures a Pipeline at construction.
@@ -70,8 +72,11 @@ func WithIR(ir IR) Option { return func(p *Pipeline) { p.ir = ir } }
 func WithProgress(fn func(ProgressEvent)) Option { return func(p *Pipeline) { p.progress = fn } }
 
 // WithPasses replaces the default pass sequence. Compose built-ins
-// (Transpile, FuseRotations, SnapTrivial, Lower, EstimateResources) with
-// custom NewPass stages in any order; an empty call leaves the defaults.
+// (Transpile, OptimizeRotations, FuseRotations, SnapTrivial, Lower,
+// OptimizeCliffordT, EstimateResources) with custom NewPass stages in
+// any order; an empty call leaves the defaults. An explicit pass list
+// wins over WithOptimize/WithOptimizers — compose the optimizer passes
+// yourself when hand-building.
 func WithPasses(passes ...Pass) Option {
 	return func(p *Pipeline) {
 		if len(passes) > 0 {
@@ -80,14 +85,59 @@ func WithPasses(passes ...Pass) Option {
 	}
 }
 
+// WithOptimize sets the T-count optimizer level for the canned pass
+// sequence:
+//
+//	0  off (the default sequence, unchanged)
+//	1  pre-lowering only: OptimizeRotations folds RZ parities in the IR
+//	   so fewer rotations reach the synthesizer
+//	2  level 1 plus post-lowering OptimizeCliffordT: a fixed-point
+//	   foldphases+peephole run reclaims T gates from the lowered circuit
+//
+// Levels above 2 behave like 2. Ignored when WithPasses overrides the
+// sequence.
+func WithOptimize(level int) Option { return func(p *Pipeline) { p.optLevel = level } }
+
+// WithOptimizers selects the post-lowering rule chain by optimize
+// registry name (in application order) and implies WithOptimize(2).
+// Unknown names surface when the optct pass first runs.
+func WithOptimizers(names ...string) Option {
+	return func(p *Pipeline) {
+		if len(names) > 0 {
+			p.optNames = names
+			if p.optLevel < 2 {
+				p.optLevel = 2
+			}
+		}
+	}
+}
+
+// OptimizedPasses is the canned pass sequence at the given optimizer
+// level (the list WithOptimize installs): level <= 0 is DefaultPasses;
+// level 1 inserts OptimizeRotations after Transpile; level >= 2 also
+// inserts OptimizeCliffordT(names...) after Lower.
+func OptimizedPasses(level int, names ...string) []Pass {
+	if level <= 0 {
+		return DefaultPasses()
+	}
+	passes := []Pass{Transpile(), OptimizeRotations(), FuseRotations(), SnapTrivial(), Lower()}
+	if level >= 2 {
+		passes = append(passes, OptimizeCliffordT(names...))
+	}
+	return append(passes, EstimateResources())
+}
+
 // NewPipeline builds a pipeline over backend b with the default pass
 // sequence, then applies opts. Without WithCache it installs one fresh
 // bounded cache owned by the pipeline — shared across its Run calls, like
 // NewCompiler's — so repeated angles across circuits stay hits.
 func NewPipeline(b Backend, opts ...Option) *Pipeline {
-	p := &Pipeline{backend: b, passes: DefaultPasses()}
+	p := &Pipeline{backend: b}
 	for _, opt := range opts {
 		opt(p)
+	}
+	if p.passes == nil {
+		p.passes = OptimizedPasses(p.optLevel, p.optNames...)
 	}
 	if p.cache == nil {
 		p.cache = NewCache(0)

@@ -213,20 +213,31 @@ func TestPipelinePassesAndProgress(t *testing.T) {
 }
 
 // TestLookupPass: every published pass name resolves, and the canned
-// sequence matches DefaultPasses.
+// sequences match PassNames (the full optimized list) and DefaultPasses
+// (the no-optimizer subset).
 func TestLookupPass(t *testing.T) {
 	names := PassNames()
-	defs := DefaultPasses()
-	if len(names) != len(defs) {
-		t.Fatalf("PassNames %d entries, DefaultPasses %d", len(names), len(defs))
+	full := OptimizedPasses(2)
+	if len(names) != len(full) {
+		t.Fatalf("PassNames %d entries, OptimizedPasses(2) %d", len(names), len(full))
 	}
 	for i, n := range names {
 		p, ok := LookupPass(n)
 		if !ok {
 			t.Fatalf("LookupPass(%q) failed", n)
 		}
-		if p.Name() != n || defs[i].Name() != n {
-			t.Fatalf("pass name mismatch at %d: %q / %q / %q", i, n, p.Name(), defs[i].Name())
+		if p.Name() != n || full[i].Name() != n {
+			t.Fatalf("pass name mismatch at %d: %q / %q / %q", i, n, p.Name(), full[i].Name())
+		}
+	}
+	defs := DefaultPasses()
+	want := []string{"transpile", "fuse", "snap", "lower", "estimate"}
+	if len(defs) != len(want) {
+		t.Fatalf("DefaultPasses %d entries, want %d", len(defs), len(want))
+	}
+	for i, n := range want {
+		if defs[i].Name() != n {
+			t.Fatalf("DefaultPasses[%d] = %q, want %q", i, defs[i].Name(), n)
 		}
 	}
 	if _, ok := LookupPass("nope"); ok {

@@ -13,6 +13,7 @@ import (
 
 	"repro/circuit"
 	"repro/internal/qmat"
+	"repro/optimize"
 	"repro/synth"
 )
 
@@ -62,9 +63,13 @@ type Server struct {
 	cache   *synth.Cache
 	sem     chan struct{} // held by executing requests
 	pending atomic.Int64  // executing + queued
-	metrics *metrics
-	mux     *http.ServeMux
-	start   time.Time
+	// tReclaimed totals the T gates the post-lowering optimizer removed
+	// across every compile served (the /metrics
+	// synthd_t_reclaimed_total counter).
+	tReclaimed atomic.Int64
+	metrics    *metrics
+	mux        *http.ServeMux
+	start      time.Time
 }
 
 // New builds a Server from cfg.
@@ -275,6 +280,25 @@ func (s *Server) handleCompile(w http.ResponseWriter, r *http.Request) (int, err
 	if req.Eps > 0 {
 		opts = append(opts, synth.WithCircuitEpsilon(req.Eps), synth.WithBudgetStrategy(strat))
 	}
+	if req.OptLevel < 0 {
+		return 0, badRequest("negative opt_level %d", req.OptLevel)
+	}
+	if len(req.Passes) > 0 && (req.OptLevel > 0 || len(req.Optimizers) > 0) {
+		// An explicit pass list overrides the canned sequence, so the opt
+		// knobs would be silently ignored — refuse the combination.
+		return 0, badRequest("opt_level/optimizers cannot be combined with passes; add optrot/optct to the pass list instead")
+	}
+	if req.OptLevel > 0 {
+		opts = append(opts, synth.WithOptimize(req.OptLevel))
+	}
+	if len(req.Optimizers) > 0 {
+		for _, n := range req.Optimizers {
+			if _, ok := optimize.Lookup(n); !ok {
+				return 0, badRequest("unknown optimizer %q (have %s)", n, strings.Join(optimize.List(), ", "))
+			}
+		}
+		opts = append(opts, synth.WithOptimizers(req.Optimizers...))
+	}
 	if len(req.Passes) > 0 {
 		var ps []synth.Pass
 		for _, n := range req.Passes {
@@ -299,6 +323,9 @@ func (s *Server) handleCompile(w http.ResponseWriter, r *http.Request) (int, err
 	}
 
 	st := NewCompileStats(res, pl.Passes(), req.Eps, strat)
+	if st.TSaved > 0 {
+		s.tReclaimed.Add(int64(st.TSaved))
+	}
 	writeJSON(w, http.StatusOK, CompileResponse{QASM: res.Circuit.QASM(), Stats: st})
 	return http.StatusOK, nil
 }
@@ -405,5 +432,6 @@ func (s *Server) handleMetrics(w http.ResponseWriter, r *http.Request) {
 		{"synthd_cache_capacity", "Entry capacity of the synthesis cache.", "gauge", float64(st.Cap)},
 		{"synthd_inflight", "Requests currently executing.", "gauge", float64(inflight)},
 		{"synthd_queue_depth", "Requests waiting for an execution slot.", "gauge", float64(queued)},
+		{"synthd_t_reclaimed_total", "T gates removed by the post-lowering optimizer across all compiles.", "counter", float64(s.tReclaimed.Load())},
 	})
 }

@@ -10,6 +10,7 @@ import (
 	"testing"
 	"time"
 
+	"repro/circuit/gen"
 	"repro/internal/gates"
 	"repro/internal/qmat"
 	"repro/synth"
@@ -338,5 +339,75 @@ func TestRequestTimeout(t *testing.T) {
 	}
 	if elapsed := time.Since(start); elapsed > 2*time.Second {
 		t.Fatalf("timeout took %s — deadline did not propagate", elapsed)
+	}
+}
+
+// qaoaQASM returns the QAOA acceptance workload as OpenQASM.
+func qaoaQASM() string { return gen.QAOAMaxCut(6, 1, 1).QASM() }
+
+// TestCompileOptLevel: opt_level=2 against the sk baseline strictly
+// reclaims T gates (t_count_before > t_count_after), the daemon's
+// t-reclaimed counter advances, and opt_level=0 reports no optimizer
+// fields. Unknown optimizer names are 400s.
+func TestCompileOptLevel(t *testing.T) {
+	_, cl := newTestServer(t, serve.Config{DefaultBackend: "gridsynth"})
+	ctx := context.Background()
+
+	plain, err := cl.Compile(ctx, serve.CompileRequest{QASM: qaoaQASM(), Eps: 0.3})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if plain.Stats.TCountBefore != 0 || plain.Stats.TCountAfter != 0 || plain.Stats.OptIterations != 0 {
+		t.Fatalf("opt fields set without opt_level: %+v", plain.Stats)
+	}
+
+	opt, err := cl.Compile(ctx, serve.CompileRequest{
+		QASM: qaoaQASM(), Eps: 0.3, Backend: "sk", OptLevel: 2,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	st := opt.Stats
+	if st.TCountBefore <= st.TCountAfter {
+		t.Fatalf("want strict T reclamation on the sk baseline, got before=%d after=%d", st.TCountBefore, st.TCountAfter)
+	}
+	if st.TSaved != st.TCountBefore-st.TCountAfter || st.TCount != st.TCountAfter {
+		t.Fatalf("inconsistent opt stats: %+v", st)
+	}
+	if st.OptIterations < 1 {
+		t.Fatalf("no optimizer iterations reported: %+v", st)
+	}
+	if !strings.Contains(st.Passes, "optct") || !strings.Contains(st.Passes, "optrot") {
+		t.Fatalf("optimizer passes missing from pass list %q", st.Passes)
+	}
+
+	text, err := cl.Metrics(ctx)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var reclaimed int64
+	for _, line := range strings.Split(text, "\n") {
+		if strings.HasPrefix(line, "synthd_t_reclaimed_total ") {
+			fmt.Sscanf(line, "synthd_t_reclaimed_total %d", &reclaimed)
+		}
+	}
+	if want := int64(st.TSaved); reclaimed != want {
+		t.Fatalf("synthd_t_reclaimed_total = %d, want %d", reclaimed, want)
+	}
+
+	// Named rule chains work, and unknown names are refused up front.
+	named, err := cl.Compile(ctx, serve.CompileRequest{
+		QASM: qaoaQASM(), Eps: 0.3, Backend: "sk", Optimizers: []string{"foldphases", "peephole"},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if named.Stats.TCountBefore <= named.Stats.TCountAfter {
+		t.Fatalf("named optimizer chain reclaimed nothing: %+v", named.Stats)
+	}
+	_, err = cl.Compile(ctx, serve.CompileRequest{QASM: qaoaQASM(), Optimizers: []string{"nope"}})
+	var ae *client.APIError
+	if !asAPIError(err, &ae) || ae.Status != http.StatusBadRequest {
+		t.Fatalf("unknown optimizer: want 400 APIError, got %v", err)
 	}
 }

@@ -48,6 +48,13 @@ type CompileRequest struct {
 	Samples int    `json:"samples,omitempty"`
 	TBudget int    `json:"tbudget,omitempty"`
 	Seed    *int64 `json:"seed,omitempty"`
+	// OptLevel sets the T-count optimizer level (synth.WithOptimize):
+	// 0 off, 1 pre-lowering rotation folding, 2 also post-lowering
+	// Clifford+T peephole. Optimizers, when set, selects the
+	// post-lowering rule chain by optimize-registry name and implies
+	// level 2.
+	OptLevel   int      `json:"opt_level,omitempty"`
+	Optimizers []string `json:"optimizers,omitempty"`
 	// TimeoutMs bounds this compile inside the server's own request
 	// timeout; the tighter of the two wins.
 	TimeoutMs int `json:"timeout_ms,omitempty"`
@@ -68,8 +75,18 @@ type CompileStats struct {
 	ErrorBound  float64 `json:"error_bound"`
 	CircuitEps  float64 `json:"circuit_eps,omitempty"`
 	Budget      string  `json:"budget,omitempty"`
-	Passes      string  `json:"passes"`
-	WallMs      float64 `json:"wall_ms"`
+	// Optimizer accounting, present when an optimizer pass ran:
+	// TCountBefore/TCountAfter bracket the post-lowering fixed-point run
+	// (TSaved = the T gates it reclaimed); RotationsFolded counts the IR
+	// rotations the pre-lowering pass removed before synthesis;
+	// OptIterations is the driver's sweep count.
+	TCountBefore    int     `json:"t_count_before,omitempty"`
+	TCountAfter     int     `json:"t_count_after,omitempty"`
+	TSaved          int     `json:"t_saved,omitempty"`
+	RotationsFolded int     `json:"rotations_folded,omitempty"`
+	OptIterations   int     `json:"opt_iterations,omitempty"`
+	Passes          string  `json:"passes"`
+	WallMs          float64 `json:"wall_ms"`
 }
 
 // NewCompileStats assembles the stats record for one pipeline run — the
@@ -95,6 +112,13 @@ func NewCompileStats(res *synth.PipelineResult, passes []string, circuitEps floa
 	if circuitEps > 0 {
 		st.CircuitEps = circuitEps
 		st.Budget = strat.String()
+	}
+	if opt := res.Stats.Opt; opt != nil {
+		st.TCountBefore = opt.TCountBefore
+		st.TCountAfter = opt.TCountAfter
+		st.TSaved = opt.TSaved()
+		st.RotationsFolded = opt.PreRotationsBefore - opt.PreRotationsAfter
+		st.OptIterations = opt.Iterations
 	}
 	return st
 }
