@@ -200,33 +200,19 @@ func bfsTreeFirst(n int, edges [][2]int) [][2]int {
 				}
 				visited[w] = true
 				ordered = append(ordered, [2]int{v, w}) // target = child w
-				key := [2]int{minInt(v, w), maxInt(v, w)}
+				key := [2]int{min(v, w), max(v, w)}
 				used[key] = true
 				queue = append(queue, w)
 			}
 		}
 	}
 	for _, e := range edges {
-		key := [2]int{minInt(e[0], e[1]), maxInt(e[0], e[1])}
+		key := [2]int{min(e[0], e[1]), max(e[0], e[1])}
 		if !used[key] {
 			ordered = append(ordered, e)
 		}
 	}
 	return ordered
-}
-
-func minInt(a, b int) int {
-	if a < b {
-		return a
-	}
-	return b
-}
-
-func maxInt(a, b int) int {
-	if a > b {
-		return a
-	}
-	return b
 }
 
 // --- FT algorithm families (Benchpress/QASMBench-style) ---

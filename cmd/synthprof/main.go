@@ -1,0 +1,168 @@
+// Command synthprof records the gridsynth hot-path benchmark: ns/op,
+// B/op and allocs/op for gridsynth.Rz across the ε ladder, appended as a
+// dated entry to BENCH_gridsynth.json. It drives the exact same workload
+// as BenchmarkGridsynthRz* (angles 1.0 + 0.21·(i mod 5)), so numbers are
+// comparable between `go test -bench` runs, CI and this tool.
+//
+// Usage:
+//
+//	synthprof -out BENCH_gridsynth.json -label after       # full ladder
+//	synthprof -eps 1e-2,1e-4 -benchtime 1s -label ci-smoke # quick subset
+//
+// The "before"/"after" labels are the perf-PR convention: an entry records
+// which side of a refactor it measures; later sessions append fresh
+// entries rather than overwriting history.
+package main
+
+import (
+	"encoding/json"
+	"flag"
+	"fmt"
+	"os"
+	"runtime"
+	"strconv"
+	"strings"
+	"time"
+
+	"repro/internal/gridsynth"
+)
+
+type result struct {
+	Eps         float64 `json:"eps"`
+	NsPerOp     float64 `json:"ns_per_op"`
+	BytesPerOp  int64   `json:"bytes_per_op"`
+	AllocsPerOp int64   `json:"allocs_per_op"`
+	Iters       int     `json:"iters"`
+	// DNF marks a tier that did not finish (hand-recorded entries only;
+	// e.g. the pre-refactor ε=1e-6 runs that OOMed).
+	DNF bool `json:"dnf,omitempty"`
+}
+
+type entry struct {
+	Date      string   `json:"date"`
+	Label     string   `json:"label"`
+	Commit    string   `json:"commit,omitempty"`
+	GoOS      string   `json:"goos"`
+	GoArch    string   `json:"goarch"`
+	CPUs      int      `json:"cpus"`
+	GoVersion string   `json:"go_version"`
+	Benchtime string   `json:"benchtime"`
+	Results   []result `json:"results"`
+	Note      string   `json:"note,omitempty"`
+}
+
+type report struct {
+	Benchmark   string  `json:"benchmark"`
+	Package     string  `json:"package"`
+	Description string  `json:"description"`
+	Entries     []entry `json:"entries"`
+}
+
+func newReport() *report {
+	return &report{
+		Benchmark: "BenchmarkGridsynthRz{1e2,1e4,1e6}",
+		Package:   "repro/internal/gridsynth",
+		Description: "gridsynth.Rz hot-path cost per synthesized rotation at " +
+			"ε ∈ {1e-2, 1e-4, 1e-6} (angles 1.0+0.21·(i mod 5)); allocs/op is " +
+			"the allocation-free-core acceptance metric.",
+	}
+}
+
+func main() {
+	out := flag.String("out", "BENCH_gridsynth.json", "output JSON path (appended to if it exists)")
+	label := flag.String("label", "after", "entry label (before/after/ci-smoke/...)")
+	commit := flag.String("commit", "", "commit describing the measured tree")
+	note := flag.String("note", "", "free-form note stored with the entry")
+	epsFlag := flag.String("eps", "1e-2,1e-4,1e-6", "comma-separated ε ladder")
+	benchtime := flag.Duration("benchtime", 2*time.Second, "per-ε measurement time")
+	maxOps := flag.Int("max-ops", 0, "cap iterations per ε (0 = benchtime-driven)")
+	flag.Parse()
+
+	var epss []float64
+	for _, s := range strings.Split(*epsFlag, ",") {
+		e, err := strconv.ParseFloat(strings.TrimSpace(s), 64)
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "synthprof: bad eps %q: %v\n", s, err)
+			os.Exit(2)
+		}
+		epss = append(epss, e)
+	}
+
+	rep := newReport()
+	if data, err := os.ReadFile(*out); err == nil {
+		if err := json.Unmarshal(data, rep); err != nil {
+			fmt.Fprintf(os.Stderr, "synthprof: %s exists but is not a report: %v\n", *out, err)
+			os.Exit(1)
+		}
+	}
+
+	ent := entry{
+		Date:      time.Now().UTC().Format("2006-01-02"),
+		Label:     *label,
+		Commit:    *commit,
+		GoOS:      runtime.GOOS,
+		GoArch:    runtime.GOARCH,
+		CPUs:      runtime.NumCPU(),
+		GoVersion: runtime.Version(),
+		Benchtime: benchtime.String(),
+		Note:      *note,
+	}
+	for _, eps := range epss {
+		eps := eps
+		fmt.Fprintf(os.Stderr, "synthprof: measuring eps=%g...\n", eps)
+		r := benchmarkEps(eps, *benchtime, *maxOps)
+		ent.Results = append(ent.Results, r)
+		fmt.Fprintf(os.Stderr, "synthprof: eps=%g  %.0f ns/op  %d B/op  %d allocs/op  (%d iters)\n",
+			eps, r.NsPerOp, r.BytesPerOp, r.AllocsPerOp, r.Iters)
+	}
+	rep.Entries = append(rep.Entries, ent)
+
+	data, err := json.MarshalIndent(rep, "", "  ")
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "synthprof: %v\n", err)
+		os.Exit(1)
+	}
+	if err := os.WriteFile(*out, append(data, '\n'), 0o644); err != nil {
+		fmt.Fprintf(os.Stderr, "synthprof: %v\n", err)
+		os.Exit(1)
+	}
+	fmt.Printf("synthprof: appended %q entry (%d ε points) to %s\n", *label, len(ent.Results), *out)
+}
+
+// benchmarkEps measures one ε tier: a warm-up op (table construction,
+// big.Int capacity growth), then a timed loop over the benchmark angle
+// ladder with alloc accounting from runtime.MemStats — the same numbers
+// `go test -bench -benchmem` reports, but with a controllable budget.
+func benchmarkEps(eps float64, benchtime time.Duration, maxOps int) result {
+	op := func(i int) {
+		if _, err := gridsynth.Rz(1.0+float64(i%5)*0.21, eps, gridsynth.Options{}); err != nil {
+			fmt.Fprintf(os.Stderr, "synthprof: Rz failed at eps=%g: %v\n", eps, err)
+			os.Exit(1)
+		}
+	}
+	op(0) // warm-up
+	var before, after runtime.MemStats
+	runtime.GC()
+	runtime.ReadMemStats(&before)
+	start := time.Now()
+	n := 0
+	for {
+		op(n)
+		n++
+		if maxOps > 0 && n >= maxOps {
+			break
+		}
+		if maxOps == 0 && time.Since(start) >= benchtime {
+			break
+		}
+	}
+	elapsed := time.Since(start)
+	runtime.ReadMemStats(&after)
+	return result{
+		Eps:         eps,
+		NsPerOp:     float64(elapsed.Nanoseconds()) / float64(n),
+		BytesPerOp:  int64(after.TotalAlloc-before.TotalAlloc) / int64(n),
+		AllocsPerOp: int64(after.Mallocs-before.Mallocs) / int64(n),
+		Iters:       n,
+	}
+}

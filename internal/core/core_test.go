@@ -11,16 +11,9 @@ import (
 
 func testConfig(t *testing.T, m, sites, k int) Config {
 	t.Helper()
-	cfg := DefaultConfig(gates.Shared(minInt(m, 6)), minInt(m, 6), sites, k)
+	cfg := DefaultConfig(gates.Shared(min(m, 6)), min(m, 6), sites, k)
 	cfg.Rng = rand.New(rand.NewSource(42))
 	return cfg
-}
-
-func minInt(a, b int) int {
-	if a < b {
-		return a
-	}
-	return b
 }
 
 // TestSequenceMatchesError: the returned sequence's product must realize the

@@ -9,6 +9,11 @@
 // exactly. A failed factorization or verification returns ok=false and the
 // caller simply moves to the next grid candidate (standard gridsynth
 // practice; completeness is heuristic, soundness is exact).
+//
+// The Solver type carries all temporaries, a per-search ModSqrt memo and a
+// cheap residue pre-filter, so a search over many candidates performs no
+// steady-state allocation outside math/big growth; SolveNormEquation is
+// the one-shot convenience wrapper.
 package dioph
 
 import (
@@ -21,114 +26,262 @@ import (
 // MaxRhoIter bounds Pollard rho work per composite (tunable for tests).
 var MaxRhoIter = 1 << 17
 
+// Hoisted constants (read-only; never mutated).
+var (
+	bigOne     = big.NewInt(1)
+	bigTwo     = big.NewInt(2)
+	bigNegOne  = big.NewInt(-1)
+	bigNegTwo  = big.NewInt(-2)
+	deltaOmega = ring.NewBOmega(1, 1, 0, 0) // δ = 1 + ω, with δ·δ† = √2·λ
+	rootI      = ring.NewBOmega(0, 0, 1, 0) // ω² = i,      i² = −1
+	rootISqrt2 = ring.NewBOmega(0, 1, 0, 1) // ω + ω³ = i√2, (i√2)² = −2
+)
+
+// preFilterEnabled gates the residue pre-filter. It only exists so the
+// equality tests can prove the filter rejects exactly the candidates the
+// full solver would reject; production code never turns it off.
+var preFilterEnabled = true
+
+// SetPreFilter toggles the residue pre-filter (for tests); it returns the
+// previous setting.
+func SetPreFilter(enabled bool) bool {
+	prev := preFilterEnabled
+	preFilterEnabled = enabled
+	return prev
+}
+
+// prefilterPrimes are the small rational primes p ≡ 7 (mod 8). Such p
+// split in Z[√2] into π·π•, and both π-exponents of ξ must be even for
+// t·t† = ξ to be solvable (π is inert in Z[ω]); an odd valuation
+// v_p(N(ξ)) = e_π + e_π• certifies unsolvability before any factoring.
+var prefilterPrimes = [...]int64{7, 23, 31, 47, 71, 79, 103, 127, 151, 167,
+	191, 199, 223, 239, 263, 271, 311, 359, 367, 383}
+
+// sqrtKey memoizes ModSqrt(square, p) for int64-sized p.
+type sqrtKey struct {
+	square int8
+	p      int64
+}
+
+// Solver carries the scratch state of norm-equation solving: big.Int
+// temporaries, Euclidean gcd rotation slots in both rings, and a per-prime
+// ModSqrt memo. One Solver serves a whole candidate search (it is reused
+// across SolveNormEquation calls); it is not safe for concurrent use.
+type Solver struct {
+	s   ring.Scratch
+	st  ring.EuclidState
+	rem ring.BSqrt2
+	q   ring.BSqrt2
+	xb  ring.BSqrt2
+	pi  ring.BSqrt2
+	piB ring.BSqrt2
+	d   ring.BSqrt2
+	tt  ring.BSqrt2
+	uq  ring.BSqrt2
+	t   ring.BOmega
+	tmp ring.BOmega
+	trg ring.BOmega
+	n   big.Int
+	n2  big.Int
+	h   big.Int
+	e1  big.Int
+	e2  big.Int
+	// Z[√2] gcd rotation slots and Euclid temporaries.
+	ga, gb, gr, gq ring.BSqrt2
+	gnum, gbt      ring.BSqrt2
+	gn             big.Int
+
+	memo map[sqrtKey]*big.Int
+}
+
+// NewSolver returns a Solver ready for a candidate search.
+func NewSolver() *Solver {
+	return &Solver{memo: make(map[sqrtKey]*big.Int, 16)}
+}
+
 // SolveNormEquation returns t with t·t† = ξ, or ok=false if ξ is not
-// expressible (or the factoring budget was exceeded).
+// expressible (or the factoring budget was exceeded). One-shot wrapper
+// over Solver for callers without a search loop.
 func SolveNormEquation(xi ring.BSqrt2) (ring.BOmega, bool) {
+	return NewSolver().Solve(xi)
+}
+
+// modSqrt returns √square mod p (or nil), memoizing per prime for the
+// lifetime of the Solver. square must be small (2, −1 or −2 here); the
+// returned value is shared and must not be mutated.
+func (sv *Solver) modSqrt(square *big.Int, p *big.Int) *big.Int {
+	if p.IsInt64() {
+		k := sqrtKey{square: int8(square.Int64()), p: p.Int64()}
+		if r, ok := sv.memo[k]; ok {
+			return r
+		}
+		r := new(big.Int).ModSqrt(sv.h.Mod(square, p), p)
+		sv.memo[k] = r
+		return r
+	}
+	return new(big.Int).ModSqrt(sv.h.Mod(square, p), p)
+}
+
+// mod8 returns p mod 8 without allocating (p > 0).
+func mod8(p *big.Int) int64 {
+	return int64(p.Bit(0)) | int64(p.Bit(1))<<1 | int64(p.Bit(2))<<2
+}
+
+// preFilter reports whether n = |N(ξ)| passes the cheap necessary
+// conditions (true = may be solvable). It rejects any n with odd
+// valuation at a small prime ≡ 7 (mod 8); the full solver would reject
+// such ξ after factoring, so filtering first only saves work and cannot
+// change the result.
+func (sv *Solver) preFilter(n *big.Int) bool {
+	if v, ok := n.Int64(), n.IsInt64(); ok && v > 0 {
+		for _, p := range prefilterPrimes {
+			if v < p {
+				break
+			}
+			e := 0
+			for v%p == 0 {
+				v /= p
+				e++
+			}
+			if e&1 == 1 {
+				return false
+			}
+		}
+		return true
+	}
+	// Big n: same test with scratch big.Ints (still far cheaper than rho).
+	sv.h.Set(n)
+	for _, p := range prefilterPrimes {
+		sv.e2.SetInt64(p)
+		e := 0
+		for {
+			sv.e1.QuoRem(&sv.h, &sv.e2, &sv.n2)
+			if sv.n2.Sign() != 0 {
+				break
+			}
+			sv.h.Set(&sv.e1)
+			e++
+		}
+		if e&1 == 1 {
+			return false
+		}
+	}
+	return true
+}
+
+// Solve returns t with t·t† = ξ, or ok=false if ξ is not expressible (or
+// the factoring budget was exceeded). The result is freshly allocated and
+// owned by the caller; all intermediates live in the Solver.
+func (sv *Solver) Solve(xi ring.BSqrt2) (ring.BOmega, bool) {
 	if xi.IsZero() {
 		return ring.BOmegaFromInt(0), true
 	}
 	// ξ must be totally non-negative.
-	if xi.Sign() < 0 || xi.Bullet().Sign() < 0 {
+	sv.xb.BulletTo(xi)
+	if xi.Sign() < 0 || sv.xb.Sign() < 0 {
 		return ring.BOmega{}, false
 	}
-	t := ring.BOmegaFromInt(1)
-	rem := xi.Clone()
+	sv.t.SetInt64(1, 0, 0, 0)
+	sv.rem.Set(xi)
 	// Remove √2 factors: √2 | (a + b√2) iff a is even; quotient is b + (a/2)√2.
-	delta := ring.NewBOmega(1, 1, 0, 0) // 1 + ω, with δ·δ† = √2·λ
-	for rem.A.Bit(0) == 0 && !rem.IsZero() {
-		half := new(big.Int).Rsh(rem.A, 1)
-		rem = ring.BSqrt2{A: rem.B, B: half}
-		t = t.Mul(delta)
+	for sv.rem.A.Bit(0) == 0 && !sv.rem.IsZero() {
+		sv.h.Rsh(sv.rem.A, 1)
+		sv.rem.A.Set(sv.rem.B)
+		sv.rem.B.Set(&sv.h)
+		sv.t.MulTo(sv.t, deltaOmega, &sv.s)
 	}
-	n := rem.NormZ()
-	n.Abs(n)
-	if n.Sign() == 0 {
+	sv.rem.NormZTo(&sv.n, &sv.s)
+	sv.n.Abs(&sv.n)
+	if sv.n.Sign() == 0 {
 		return ring.BOmega{}, false
 	}
-	factors, ok := Factor(n)
+	if preFilterEnabled && !sv.preFilter(&sv.n) {
+		return ring.BOmega{}, false
+	}
+	factors, ok := Factor(&sv.n)
 	if !ok {
 		return ring.BOmega{}, false
 	}
 	for _, pf := range factors {
 		p := pf.P
-		mod8 := new(big.Int).And(p, big.NewInt(7)).Int64()
-		switch mod8 {
+		switch mod8(p) {
 		case 1, 7:
 			// p splits in Z[√2]: π = gcd(p, x − √2), x² ≡ 2 (mod p).
-			x := new(big.Int).ModSqrt(big.NewInt(2), p)
+			x := sv.modSqrt(bigTwo, p)
 			if x == nil {
 				return ring.BOmega{}, false
 			}
-			pi := gcdZSqrt2(ring.BSqrt2{A: new(big.Int).Set(p), B: big.NewInt(0)},
-				ring.BSqrt2{A: new(big.Int).Set(x), B: big.NewInt(-1)})
-			if pi.NormZ().CmpAbs(big.NewInt(1)) == 0 {
+			sv.d.SetInt64(0, 0)
+			sv.d.A.Set(p)
+			sv.tt.SetInt64(0, -1)
+			sv.tt.A.Set(x)
+			sv.gcdZSqrt2To(&sv.pi, sv.d, sv.tt)
+			sv.pi.NormZTo(&sv.n2, &sv.s)
+			if sv.n2.CmpAbs(bigOne) == 0 {
 				return ring.BOmega{}, false
 			}
-			for _, prime := range []ring.BSqrt2{pi, pi.Bullet()} {
+			sv.piB.BulletTo(sv.pi)
+			for _, prime := range [2]*ring.BSqrt2{&sv.pi, &sv.piB} {
 				e := 0
-				for {
-					q, divides := rem.DivExact(prime)
-					if !divides {
-						break
-					}
-					rem = q
+				for sv.q.DivExactTo(sv.rem, *prime, &sv.s) {
+					sv.rem, sv.q = sv.q, sv.rem
 					e++
 				}
 				if e == 0 {
 					continue
 				}
-				if mod8 == 7 {
+				if mod8(p) == 7 {
 					// Inert in Z[ω]: even exponent required.
 					if e%2 == 1 {
 						return ring.BOmega{}, false
 					}
-					half := ring.BOmegaFromBSqrt2(prime)
+					sv.tmp.SetBSqrt2(*prime)
 					for i := 0; i < e/2; i++ {
-						t = t.Mul(half)
+						sv.t.MulTo(sv.t, sv.tmp, &sv.s)
 					}
 					continue
 				}
 				// p ≡ 1 (mod 8): split π further in Z[ω] via y² ≡ −1.
-				eta, found := splitOmega(prime, p, big.NewInt(-1), ring.NewBOmega(0, 0, 1, 0))
+				eta, found := sv.splitOmega(*prime, p, bigNegOne, rootI)
 				if !found {
 					return ring.BOmega{}, false
 				}
 				for i := 0; i < e; i++ {
-					t = t.Mul(eta)
+					sv.t.MulTo(sv.t, eta, &sv.s)
 				}
 			}
 		case 3:
 			// Inert in Z[√2]; split in Z[ω] via w² ≡ −2, i√2 = ω + ω³.
-			e, newRem, found := divideOutRational(rem, p)
+			e, found := sv.divideOutRational(p)
 			if !found {
 				return ring.BOmega{}, false
 			}
-			rem = newRem
 			if e > 0 {
-				mu, got := splitOmega(ring.BSqrt2{A: new(big.Int).Set(p), B: big.NewInt(0)},
-					p, big.NewInt(-2), ring.NewBOmega(0, 1, 0, 1))
+				sv.d.SetInt64(0, 0)
+				sv.d.A.Set(p)
+				mu, got := sv.splitOmega(sv.d, p, bigNegTwo, rootISqrt2)
 				if !got {
 					return ring.BOmega{}, false
 				}
 				for i := 0; i < e; i++ {
-					t = t.Mul(mu)
+					sv.t.MulTo(sv.t, mu, &sv.s)
 				}
 			}
 		case 5:
 			// Inert in Z[√2]; split in Z[ω] via y² ≡ −1, i = ω².
-			e, newRem, found := divideOutRational(rem, p)
+			e, found := sv.divideOutRational(p)
 			if !found {
 				return ring.BOmega{}, false
 			}
-			rem = newRem
 			if e > 0 {
-				nu, got := splitOmega(ring.BSqrt2{A: new(big.Int).Set(p), B: big.NewInt(0)},
-					p, big.NewInt(-1), ring.NewBOmega(0, 0, 1, 0))
+				sv.d.SetInt64(0, 0)
+				sv.d.A.Set(p)
+				nu, got := sv.splitOmega(sv.d, p, bigNegOne, rootI)
 				if !got {
 					return ring.BOmega{}, false
 				}
 				for i := 0; i < e; i++ {
-					t = t.Mul(nu)
+					sv.t.MulTo(sv.t, nu, &sv.s)
 				}
 			}
 		default: // p = 2 cannot appear: √2 factors were removed
@@ -136,54 +289,62 @@ func SolveNormEquation(xi ring.BSqrt2) (ring.BOmega, bool) {
 		}
 	}
 	// Fix the leftover unit: ξ/(t·t†) must be λ^{2s} (totally positive unit).
-	tt := t.Norm2()
-	q, divides := xi.DivExact(tt)
-	if !divides {
+	sv.t.Norm2To(&sv.tt, &sv.s)
+	if !sv.uq.DivExactTo(xi, sv.tt, &sv.s) {
 		return ring.BOmega{}, false
 	}
-	j := unitLambdaExponent(q)
+	j := unitLambdaExponent(sv.uq)
 	if j == nil || *j%2 != 0 {
 		return ring.BOmega{}, false
 	}
-	t = t.Mul(ring.BOmegaFromBSqrt2(ring.PowLambda(*j / 2)))
+	sv.tmp.SetBSqrt2(ring.PowLambda(*j / 2))
+	sv.t.MulTo(sv.t, sv.tmp, &sv.s)
 	// Exact verification — the soundness guarantee.
-	if !t.Norm2().Equal(xi) {
+	sv.t.Norm2To(&sv.tt, &sv.s)
+	if !sv.tt.Equal(xi) {
 		return ring.BOmega{}, false
 	}
-	return t, true
+	return sv.t.Clone(), true
 }
 
-// divideOutRational removes all factors of rational prime p from x ∈ Z[√2].
-func divideOutRational(x ring.BSqrt2, p *big.Int) (int, ring.BSqrt2, bool) {
+// divideOutRational removes all factors of rational prime p from sv.rem.
+func (sv *Solver) divideOutRational(p *big.Int) (int, bool) {
 	e := 0
-	d := ring.BSqrt2{A: new(big.Int).Set(p), B: big.NewInt(0)}
+	sv.d.SetInt64(0, 0)
+	sv.d.A.Set(p)
 	for {
-		q, ok := x.DivExact(d)
-		if !ok {
-			return e, x, true
+		if !sv.q.DivExactTo(sv.rem, sv.d, &sv.s) {
+			return e, true
 		}
-		x = q
+		sv.rem, sv.q = sv.q, sv.rem
 		e++
 		if e > 512 {
-			return e, x, false
+			return e, false
 		}
 	}
 }
 
 // splitOmega finds η ∈ Z[ω] with η·η† = π·(unit), where π is a prime of
 // Z[√2] above rational prime p, by computing gcd(π, r − root) with
-// r² ≡ square (mod p) and root² = square in Z[ω].
-func splitOmega(pi ring.BSqrt2, p, square *big.Int, root ring.BOmega) (ring.BOmega, bool) {
-	r := new(big.Int).ModSqrt(new(big.Int).Mod(square, p), p)
+// r² ≡ square (mod p) and root² = square in Z[ω]. The result aliases
+// freshly allocated storage (safe until the caller's next use of it ends).
+func (sv *Solver) splitOmega(pi ring.BSqrt2, p, square *big.Int, root ring.BOmega) (ring.BOmega, bool) {
+	r := sv.modSqrt(square, p)
 	if r == nil {
 		return ring.BOmega{}, false
 	}
-	target := ring.BOmega{A: new(big.Int).Set(r), B: big.NewInt(0), C: big.NewInt(0), D: big.NewInt(0)}.Sub(root)
-	eta := ring.GCD(ring.BOmegaFromBSqrt2(pi), target)
+	sv.trg.Ensure()
+	sv.trg.A.Set(r)
+	sv.trg.B.SetInt64(0)
+	sv.trg.C.SetInt64(0)
+	sv.trg.D.SetInt64(0)
+	sv.trg.SubTo(sv.trg, root)
+	sv.tmp.SetBSqrt2(pi)
+	eta := sv.st.GCD(sv.tmp, sv.trg)
 	// η must be a proper divisor (not a unit, not an associate of π itself
 	// when π splits).
-	normEta := eta.NormZ()
-	if normEta.CmpAbs(big.NewInt(1)) == 0 {
+	eta.NormZTo(&sv.n2, &sv.s)
+	if sv.n2.CmpAbs(bigOne) == 0 {
 		return ring.BOmega{}, false
 	}
 	return eta, true
@@ -209,36 +370,28 @@ func unitLambdaExponent(q ring.BSqrt2) *int {
 	return nil
 }
 
-// gcdZSqrt2 computes a gcd in Z[√2] via the Euclidean algorithm with
-// coefficient-rounding division (always norm-reducing in Z[√2]).
-func gcdZSqrt2(a, b ring.BSqrt2) ring.BSqrt2 {
-	for !b.IsZero() {
-		_, r := euclidZSqrt2(a, b)
-		a, b = b, r
+// gcdZSqrt2To computes gcd(a, b) in Z[√2] into dst via the Euclidean
+// algorithm with coefficient-rounding division (always norm-reducing in
+// Z[√2]), reusing the Solver's rotation slots.
+func (sv *Solver) gcdZSqrt2To(dst *ring.BSqrt2, a, b ring.BSqrt2) {
+	sv.ga.Set(a)
+	sv.gb.Set(b)
+	for !sv.gb.IsZero() {
+		sv.euclidZSqrt2(sv.ga, sv.gb)
+		sv.ga, sv.gb, sv.gr = sv.gb, sv.gr, sv.ga
 	}
-	return a
+	dst.Set(sv.ga)
 }
 
-// euclidZSqrt2 returns q, r with a = q·b + r and |N(r)| < |N(b)|.
-func euclidZSqrt2(a, b ring.BSqrt2) (q, r ring.BSqrt2) {
-	n := b.NormZ() // may be negative
-	num := a.Mul(b.Bullet())
-	q = ring.BSqrt2{A: roundQuo(num.A, n), B: roundQuo(num.B, n)}
-	r = a.Sub(q.Mul(b))
-	return q, r
-}
-
-// roundQuo returns the nearest integer to x/n for nonzero n.
-func roundQuo(x, n *big.Int) *big.Int {
-	q0 := new(big.Int).Quo(x, n)
-	best := new(big.Int).Set(q0)
-	bestErr := new(big.Int).Abs(new(big.Int).Sub(x, new(big.Int).Mul(best, n)))
-	for _, d := range []int64{-1, 1} {
-		c := new(big.Int).Add(q0, big.NewInt(d))
-		e := new(big.Int).Abs(new(big.Int).Sub(x, new(big.Int).Mul(c, n)))
-		if e.Cmp(bestErr) < 0 {
-			best, bestErr = c, e
-		}
-	}
-	return best
+// euclidZSqrt2 computes q, r with a = q·b + r and |N(r)| < |N(b)| into
+// sv.gq and sv.gr.
+func (sv *Solver) euclidZSqrt2(a, b ring.BSqrt2) {
+	b.NormZTo(&sv.gn, &sv.s) // may be negative
+	sv.gbt.BulletTo(b)
+	sv.gnum.MulTo(a, sv.gbt, &sv.s)
+	sv.gq.Ensure()
+	ring.RoundQuoTo(sv.gq.A, sv.gnum.A, &sv.gn, &sv.e1, &sv.e2)
+	ring.RoundQuoTo(sv.gq.B, sv.gnum.B, &sv.gn, &sv.e1, &sv.e2)
+	sv.gbt.MulTo(sv.gq, b, &sv.s)
+	sv.gr.SubTo(a, sv.gbt)
 }

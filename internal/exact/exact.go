@@ -131,6 +131,71 @@ var reducers = func() [4]BUMat {
 	return r
 }()
 
+// reducersU mirrors reducers with int64 coefficients for the fast path.
+// Every reducer coefficient is in {−1, 0, 1} (checked at init), which the
+// overflow-safety argument in mulReducer relies on.
+var reducersU = func() [4]ring.UMat {
+	var r [4]ring.UMat
+	for j := range reducers {
+		u, ok := reducers[j].ToUMat()
+		if !ok {
+			panic("exact: reducer does not fit int64")
+		}
+		for i := 0; i < 2; i++ {
+			for jj := 0; jj < 2; jj++ {
+				e := u.E[i][jj]
+				for _, c := range [4]int64{e.A, e.B, e.C, e.D} {
+					if c < -1 || c > 1 {
+						panic("exact: reducer coefficient outside {-1,0,1}")
+					}
+				}
+			}
+		}
+		r[j] = u
+	}
+	return r
+}()
+
+// uncheckedSafeLimit bounds |coefficient| of w such that a reducer·w
+// product cannot overflow int64 even through the reduce step: reducer
+// coefficients are in {−1,0,1}, so each product entry coefficient is a sum
+// of ≤ 8 terms each ≤ 2^58, i.e. ≤ 2^61, and the DivSqrt2 intermediates of
+// reduce stay ≤ 2^62 < MaxInt64.
+const uncheckedSafeLimit = 1 << 58
+
+// maxAbsCoeff returns the largest coefficient magnitude of u (saturating
+// at MaxInt64 for MinInt64 coefficients).
+func maxAbsCoeff(u ring.UMat) int64 {
+	m := int64(0)
+	for i := 0; i < 2; i++ {
+		for j := 0; j < 2; j++ {
+			e := u.E[i][j]
+			for _, c := range [4]int64{e.A, e.B, e.C, e.D} {
+				if c == -1<<63 {
+					return 1<<63 - 1
+				}
+				if c < 0 {
+					c = -c
+				}
+				if c > m {
+					m = c
+				}
+			}
+		}
+	}
+	return m
+}
+
+// mulReducer returns reducersU[j]·w, using plain int64 arithmetic when w's
+// coefficients are provably too small to overflow and the step-checked
+// path otherwise. Both compute the identical exact product.
+func mulReducer(j int, w ring.UMat) (ring.UMat, bool) {
+	if maxAbsCoeff(w) < uncheckedSafeLimit {
+		return reducersU[j].Mul(w), true
+	}
+	return reducersU[j].MulChecked(w)
+}
+
 // prefixFor returns the emitted gates for reducer j (the peeled factor
 // T^j·H in matrix-product order).
 func prefixFor(j int) gates.Sequence {
@@ -153,17 +218,119 @@ var ErrNotUnitary = errors.New("exact: matrix is not unitary over D[ω]")
 // (cannot happen for genuine unitaries; kept as a loud failure mode).
 var ErrStuck = errors.New("exact: no reduction step applies")
 
+// fastPathEnabled gates the int64 small-coefficient path. It exists so
+// the seed-equality property tests can force the big.Int reference path
+// and prove both produce bit-identical sequences; production code never
+// turns it off.
+var fastPathEnabled = true
+
+// SetFastPath toggles the int64 fast path (for tests and benchmarks);
+// it returns the previous setting.
+func SetFastPath(enabled bool) bool {
+	prev := fastPathEnabled
+	fastPathEnabled = enabled
+	return prev
+}
+
 // Synthesize decomposes the exact unitary m into a Clifford+T sequence
 // whose product equals m up to a global phase ω^g. tab supplies minimal
 // sequences for the residual low-denominator operators (any table with
 // MaxT ≥ 4 works; larger tables trim a few gates).
+//
+// When every coefficient of m fits in int64 (always, for gridsynth at
+// practical ε), the whole peel loop runs in overflow-checked machine
+// arithmetic and performs no big.Int work at all; a coefficient outgrowing
+// int64 promotes the residual to the big.Int loop mid-stream. Both paths
+// perform the identical exact arithmetic, so the emitted sequence is the
+// same gate for gate.
 func Synthesize(m BUMat, tab *gates.Table) (gates.Sequence, error) {
+	if fastPathEnabled {
+		if u, ok := m.ToUMat(); ok {
+			if unitary, fits := isUnitaryChecked(u); fits {
+				if !unitary {
+					return nil, ErrNotUnitary
+				}
+				return synthesizeSmall(u, tab)
+			}
+		}
+	}
 	if !isUnitary(m) {
 		return nil, ErrNotUnitary
 	}
+	return synthesizeBig(m, tab, nil, 0)
+}
+
+// synthesizeSmall is the int64 peel loop. On overflow it promotes the
+// current residual to the big.Int loop, preserving the accumulated prefix
+// and iteration count, so the result is identical to an all-big run.
+func synthesizeSmall(u ring.UMat, tab *gates.Table) (gates.Sequence, error) {
 	var seq gates.Sequence
-	w := m
+	w := u
 	for iter := 0; ; iter++ {
+		if iter > 100000 {
+			return nil, ErrStuck
+		}
+		// Handoff: if the residual fits the enumeration, finish optimally.
+		if w.K <= 4 {
+			if e, found := tab.Find(w); found {
+				return append(seq, e.Sequence()...), nil
+			}
+		}
+		if w.K == 0 {
+			// Every K=0 unitary over Z[ω] is a phase-monomial (diag or
+			// antidiag with ω^j entries) and lives in any table with
+			// MaxT ≥ 1; reaching here means the table was too small.
+			return nil, fmt.Errorf("exact: K=0 residual not in table (MaxT=%d)", tab.MaxT)
+		}
+		reducedAny := false
+		for j := 0; j < 4 && !reducedAny; j++ {
+			cand, ok := mulReducer(j, w)
+			if !ok {
+				return synthesizeBig(fromUMat(w), tab, seq, iter)
+			}
+			if cand.K < w.K {
+				seq = append(seq, prefixFor(j)...)
+				w = cand
+				reducedAny = true
+			}
+		}
+		if !reducedAny {
+			// Same K-neutral-then-reducing pair scan as the big loop.
+		pairs:
+			for j1 := 0; j1 < 4; j1++ {
+				mid, ok := mulReducer(j1, w)
+				if !ok {
+					return synthesizeBig(fromUMat(w), tab, seq, iter)
+				}
+				if mid.K > w.K {
+					continue
+				}
+				for j2 := 0; j2 < 4; j2++ {
+					cand, ok := mulReducer(j2, mid)
+					if !ok {
+						return synthesizeBig(fromUMat(w), tab, seq, iter)
+					}
+					if cand.K < w.K {
+						seq = append(seq, prefixFor(j1)...)
+						seq = append(seq, prefixFor(j2)...)
+						w = cand
+						reducedAny = true
+						break pairs
+					}
+				}
+			}
+		}
+		if !reducedAny {
+			return nil, ErrStuck
+		}
+	}
+}
+
+// synthesizeBig is the arbitrary-precision peel loop (reference path, and
+// the continuation target when the fast path overflows).
+func synthesizeBig(m BUMat, tab *gates.Table, seq gates.Sequence, startIter int) (gates.Sequence, error) {
+	w := m
+	for iter := startIter; ; iter++ {
 		if iter > 100000 {
 			return nil, ErrStuck
 		}
@@ -176,9 +343,6 @@ func Synthesize(m BUMat, tab *gates.Table) (gates.Sequence, error) {
 			}
 		}
 		if w.K == 0 {
-			// Every K=0 unitary over Z[ω] is a phase-monomial (diag or
-			// antidiag with ω^j entries) and lives in any table with
-			// MaxT ≥ 1; reaching here means the table was too small.
 			return nil, fmt.Errorf("exact: K=0 residual not in table (MaxT=%d)", tab.MaxT)
 		}
 		reducedAny := false
@@ -216,6 +380,37 @@ func Synthesize(m BUMat, tab *gates.Table) (gates.Sequence, error) {
 			return nil, ErrStuck
 		}
 	}
+}
+
+// fromUMat lifts an int64 matrix into the big representation.
+func fromUMat(u ring.UMat) BUMat {
+	var b BUMat
+	b.K = u.K
+	for i := 0; i < 2; i++ {
+		for j := 0; j < 2; j++ {
+			b.E[i][j] = ring.BOmegaFromZOmega(u.E[i][j])
+		}
+	}
+	return b
+}
+
+// isUnitaryChecked checks u·u† = I in int64 arithmetic; fits=false means
+// an intermediate overflowed and the caller must use the big.Int check.
+func isUnitaryChecked(u ring.UMat) (unitary, fits bool) {
+	d, ok := u.DaggerChecked()
+	if !ok {
+		return false, false
+	}
+	p, ok := u.MulChecked(d)
+	if !ok {
+		return false, false
+	}
+	if p.K != 0 {
+		return false, true
+	}
+	one := ring.ZOmegaFromInt(1)
+	return p.E[0][0] == one && p.E[1][1] == one &&
+		p.E[0][1].IsZero() && p.E[1][0].IsZero(), true
 }
 
 // isUnitary checks m·m† = I exactly.

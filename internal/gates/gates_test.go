@@ -2,6 +2,7 @@ package gates
 
 import (
 	"math/rand"
+	"sync"
 	"testing"
 	"testing/quick"
 
@@ -193,6 +194,46 @@ func TestSharedCaches(t *testing.T) {
 	b := Shared(3)
 	if a != b {
 		t.Error("Shared should cache tables")
+	}
+}
+
+// TestSharedConcurrentFirstUse hammers Shared from many goroutines across
+// several budgets simultaneously, including budgets no other test touches,
+// so the per-budget construction race is exercised under -race: every
+// caller must observe the same fully built table.
+func TestSharedConcurrentFirstUse(t *testing.T) {
+	budgets := []int{1, 2, 4, 5}
+	const workers = 16
+	got := make([][]*Table, len(budgets))
+	for i := range got {
+		got[i] = make([]*Table, workers)
+	}
+	var wg sync.WaitGroup
+	start := make(chan struct{})
+	for bi, maxT := range budgets {
+		for w := 0; w < workers; w++ {
+			wg.Add(1)
+			go func(bi, w, maxT int) {
+				defer wg.Done()
+				<-start
+				tab := Shared(maxT)
+				// Use the table immediately: a torn/partial table would
+				// trip the race detector or fail the lookup below.
+				if _, found := tab.Find(ring.UIdentity()); !found {
+					t.Errorf("Shared(%d): identity not found", maxT)
+				}
+				got[bi][w] = tab
+			}(bi, w, maxT)
+		}
+	}
+	close(start)
+	wg.Wait()
+	for bi, maxT := range budgets {
+		for w := 1; w < workers; w++ {
+			if got[bi][w] != got[bi][0] {
+				t.Fatalf("Shared(%d) returned distinct tables under concurrency", maxT)
+			}
+		}
 	}
 }
 

@@ -176,18 +176,30 @@ func (t *Table) Collect(loT, hiT int) []*Entry {
 
 var (
 	sharedMu  sync.Mutex
-	sharedTab = map[int]*Table{}
+	sharedTab = map[int]*sharedEntry{}
 )
 
+// sharedEntry is one per-budget construction slot: the once guarantees a
+// single BuildTable per budget no matter how many goroutines race the
+// first use, and the global mutex is held only for the map access, so
+// concurrent first uses of different budgets build in parallel.
+type sharedEntry struct {
+	once sync.Once
+	tab  *Table
+}
+
 // Shared returns a process-wide cached table for the given budget, building
-// it on first use. Tables are immutable after construction.
+// it on first use. Tables are immutable after construction; Shared is safe
+// for concurrent use, including concurrent first use (the table for each
+// budget is built exactly once).
 func Shared(maxT int) *Table {
 	sharedMu.Lock()
-	defer sharedMu.Unlock()
-	if t, ok := sharedTab[maxT]; ok {
-		return t
+	e, ok := sharedTab[maxT]
+	if !ok {
+		e = &sharedEntry{}
+		sharedTab[maxT] = e
 	}
-	t := BuildTable(maxT)
-	sharedTab[maxT] = t
-	return t
+	sharedMu.Unlock()
+	e.once.Do(func() { e.tab = BuildTable(maxT) })
+	return e.tab
 }

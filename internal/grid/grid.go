@@ -36,9 +36,25 @@ const lnLambda = 0.881373587019543 // ln(1+√2)
 // Solve1D returns all α = m + n√2 ∈ Z[√2] with α ∈ a and α• ∈ b.
 // Rescaling by λ = 1+√2 balances the interval lengths first (λ·λ• = −1), so
 // the scan is proportional to the expected number of solutions plus O(1).
-func Solve1D(a, b Interval) []ring.ZSqrt2 {
+func Solve1D(a, b Interval) []ring.ZSqrt2 { return AppendSolve1D(nil, a, b) }
+
+// AppendSolve1D is Solve1D appending into dst (reusing its capacity), the
+// allocation-free form for callers with a scan loop.
+func AppendSolve1D(dst []ring.ZSqrt2, a, b Interval) []ring.ZSqrt2 {
+	each1D(a, b, func(sol ring.ZSqrt2) bool {
+		dst = append(dst, sol)
+		return true
+	})
+	return dst
+}
+
+// each1D is the lazy form of Solve1D: solutions are yielded in scan order
+// without materializing a slice, so callers enumerating enormous candidate
+// ranges (gridsynth at small ε and large k) run in O(1) memory. Yielding
+// false stops the scan; each1D reports whether the scan ran to completion.
+func each1D(a, b Interval, yield func(ring.ZSqrt2) bool) bool {
 	if a.Len() < 0 || b.Len() < 0 {
-		return nil
+		return true
 	}
 	la, lb := a.Len(), b.Len()
 	j := 0
@@ -66,9 +82,8 @@ func Solve1D(a, b Interval) []ring.ZSqrt2 {
 	} else {
 		sb = Interval{-b.Hi * ljInv, -b.Lo * ljInv}
 	}
-	sols := solve1DDirect(sa, sb)
 	if j == 0 {
-		return sols
+		return each1DDirect(sa, sb, yield)
 	}
 	// Map back: α = λ^{−j}·β, exactly in Z[√2].
 	linv := ring.ZSqrt2{A: -1, B: 1} // λ⁻¹
@@ -83,15 +98,13 @@ func Solve1D(a, b Interval) []ring.ZSqrt2 {
 	for i := 0; i < steps; i++ {
 		scale = scale.Mul(linv)
 	}
-	out := sols[:0]
-	for _, s := range sols {
-		out = append(out, s.Mul(scale))
-	}
-	return out
+	return each1DDirect(sa, sb, func(sol ring.ZSqrt2) bool {
+		return yield(sol.Mul(scale))
+	})
 }
 
-// solve1DDirect scans n = (α − α•)/(2√2) over its feasible range.
-func solve1DDirect(a, b Interval) []ring.ZSqrt2 {
+// each1DDirect scans n = (α − α•)/(2√2) over its feasible range.
+func each1DDirect(a, b Interval, yield func(ring.ZSqrt2) bool) bool {
 	const fuzz = 1e-9
 	a = a.widen(fuzz * (1 + math.Abs(a.Lo) + math.Abs(a.Hi)))
 	b = b.widen(fuzz * (1 + math.Abs(b.Lo) + math.Abs(b.Hi)))
@@ -99,18 +112,20 @@ func solve1DDirect(a, b Interval) []ring.ZSqrt2 {
 	nHi := int64(math.Floor((a.Hi - b.Lo) / (2 * ring.Sqrt2)))
 	if nHi-nLo > 1<<22 {
 		// Pathologically unbalanced intervals: refuse rather than spin.
-		return nil
+		// Reported as an incomplete scan — nothing was enumerated.
+		return false
 	}
-	var out []ring.ZSqrt2
 	for n := nLo; n <= nHi; n++ {
 		f := float64(n) * ring.Sqrt2
 		mLo := math.Ceil(math.Max(a.Lo-f, b.Lo+f))
 		mHi := math.Floor(math.Min(a.Hi-f, b.Hi+f))
 		for m := mLo; m <= mHi; m++ {
-			out = append(out, ring.ZSqrt2{A: int64(m), B: n})
+			if !yield(ring.ZSqrt2{A: int64(m), B: n}) {
+				return false
+			}
 		}
 	}
-	return out
+	return true
 }
 
 // Candidate is one Z[ω] grid point u (candidate numerator for gridsynth).
@@ -126,46 +141,82 @@ type SliverParams struct {
 	K     int
 }
 
+// Sliver is the ε-sliver geometry for a fixed (θ, ε), hoisted out of the
+// per-k candidate scan: the chord constant c = √(1−ε²), the half-angle
+// rotation and the chord-normal direction are computed once per search
+// instead of once per candidate enumeration. It also owns the reusable
+// 1-D solve buffer for the inner y scans, so repeated Scan calls (one per
+// denominator exponent k) allocate nothing in steady state; the outer x
+// scan is lazy (each1D) and never materialized, which keeps memory O(1)
+// even at the large k values small ε demands.
+// Not safe for concurrent use.
+type Sliver struct {
+	c, w       float64 // chord distance √(1−ε²) and half-width √(1−c²)
+	cosP, sinP float64 // cos/sin of θ/2
+	ybuf       []ring.ZSqrt2
+}
+
+// NewSliver precomputes the sliver geometry for Rz(θ) at error ε. The
+// sliver is {z : |z| ≤ 1, Re(z·e^{iθ/2}) ≥ c}, c = √(1−ε²).
+func NewSliver(theta, eps float64) *Sliver {
+	c := math.Sqrt(math.Max(0, 1-eps*eps))
+	phi := theta / 2
+	return &Sliver{
+		c:    c,
+		w:    math.Sqrt(math.Max(0, 1-c*c)),
+		cosP: math.Cos(phi),
+		sinP: math.Sin(phi),
+	}
+}
+
 // SliverCandidates enumerates u ∈ Z[ω] with u/√2^k in the ε-sliver for
 // Rz(θ) and u•/√2^k in the unit disk, stopping after limit candidates
-// (limit ≤ 0 means no limit). The sliver is
-// {z : |z| ≤ 1, Re(z·e^{iθ/2}) ≥ c}, c = √(1−ε²).
+// (limit ≤ 0 means no limit). One-shot wrapper over Sliver.
 func SliverCandidates(p SliverParams, limit int) []Candidate {
-	s := math.Pow(2, float64(p.K)/2) // √2^k
-	c := math.Sqrt(math.Max(0, 1-p.Eps*p.Eps))
-	phi := p.Theta / 2
-	cosP, sinP := math.Cos(phi), math.Sin(phi)
+	return NewSliver(p.Theta, p.Eps).AppendCandidates(nil, p.K, limit)
+}
+
+// AppendCandidates enumerates the sliver grid points at denominator
+// exponent k, appending into dst (whose capacity is reused) and stopping
+// after limit candidates (limit ≤ 0 means no limit).
+func (sl *Sliver) AppendCandidates(dst []Candidate, k, limit int) []Candidate {
+	start := len(dst)
+	sl.Scan(k, func(cand Candidate) bool {
+		dst = append(dst, cand)
+		return limit <= 0 || len(dst)-start < limit
+	})
+	return dst
+}
+
+// Scan enumerates the sliver grid points at denominator exponent k in a
+// deterministic order, yielding each candidate as it is found; yielding
+// false stops the scan. Scan reports whether the enumeration ran to
+// completion. Unlike AppendCandidates it holds no candidate storage, so
+// callers that reject most candidates (gridsynth below ε ≈ 1e-4, where the
+// per-k enumeration is large) pay O(1) memory.
+func (sl *Sliver) Scan(k int, yield func(Candidate) bool) bool {
+	s := math.Pow(2, float64(k)/2) // √2^k
+	c, w := sl.c, sl.w
+	cosP, sinP := sl.cosP, sl.sinP
 
 	// Scaled sliver extreme points (see DESIGN.md): chord endpoints z± and
 	// arc apex z0, plus axis-aligned arc extremes when inside the segment.
-	w := math.Sqrt(math.Max(0, 1-c*c))
-	pts := [][2]float64{
+	pts := [3][2]float64{
 		{s * (c*cosP + w*sinP), s * (-c*sinP + w*cosP)}, // z+ = e^{−iφ}(c+iw)·s
 		{s * (c*cosP - w*sinP), s * (-c*sinP - w*cosP)}, // z−
 		{s * cosP, s * -sinP},                           // z0 = e^{−iφ}·s
 	}
 	xLo, xHi := pts[0][0], pts[0][0]
-	yLo, yHi := pts[0][1], pts[0][1]
 	for _, pt := range pts[1:] {
 		xLo, xHi = math.Min(xLo, pt[0]), math.Max(xHi, pt[0])
-		yLo, yHi = math.Min(yLo, pt[1]), math.Max(yHi, pt[1])
 	}
 	// Axis extreme points of the arc (e.g. z = ±s or ±is) belong to the
 	// sliver iff they satisfy the chord constraint.
-	axes := [][2]float64{{s, 0}, {-s, 0}, {0, s}, {0, -s}}
+	axes := [4][2]float64{{s, 0}, {-s, 0}, {0, s}, {0, -s}}
 	for _, pt := range axes {
 		if pt[0]*cosP-pt[1]*sinP >= c*s {
 			xLo, xHi = math.Min(xLo, pt[0]), math.Max(xHi, pt[0])
-			yLo, yHi = math.Min(yLo, pt[1]), math.Max(yHi, pt[1])
 		}
-	}
-
-	inSliver := func(x, y float64) bool {
-		const tol = 1e-9
-		if x*x+y*y > s*s*(1+tol)+tol {
-			return false
-		}
-		return x*cosP-y*sinP >= c*s-tol*s-tol
 	}
 
 	// Work in primed coordinates x' = √2·x so both cosets of Z[ω] are plain
@@ -174,14 +225,13 @@ func SliverCandidates(p SliverParams, limit int) []Candidate {
 	// |x•| ≤ s ⇒ x'• = −√2·x• ∈ [−√2 s, √2 s].
 	xBullet := Interval{-s * ring.Sqrt2, s * ring.Sqrt2}
 
-	var out []Candidate
-	for _, xp := range Solve1D(xInt, xBullet) {
+	return each1D(xInt, xBullet, func(xp ring.ZSqrt2) bool {
 		x := xp.Float() / ring.Sqrt2
 		xb := -xp.Bullet().Float() / ring.Sqrt2 // x• (the bullet of x, not x')
 		// y-range of the sliver section at this x.
 		disc := s*s - x*x
 		if disc < 0 {
-			continue
+			return true
 		}
 		r := math.Sqrt(disc)
 		ylo, yhi := -r, r
@@ -193,21 +243,22 @@ func SliverCandidates(p SliverParams, limit int) []Candidate {
 			ylo = math.Max(ylo, (x*cosP-c*s)/sinP)
 		default:
 			if x*cosP < c*s {
-				continue
+				return true
 			}
 		}
 		if yhi < ylo {
-			continue
+			return true
 		}
 		// y'• section: |y•| ≤ sqrt(s² − x•²).
 		discB := s*s - xb*xb
 		if discB < 0 {
-			continue
+			return true
 		}
 		rb := math.Sqrt(discB)
 		yInt := Interval{ylo * ring.Sqrt2, yhi * ring.Sqrt2}
 		yBullet := Interval{-rb * ring.Sqrt2, rb * ring.Sqrt2}
-		for _, yp := range Solve1D(yInt, yBullet) {
+		sl.ybuf = AppendSolve1D(sl.ybuf[:0], yInt, yBullet)
+		for _, yp := range sl.ybuf {
 			// Parity coupling: int parts of x' and y' must match mod 2.
 			if (xp.A-yp.A)&1 != 0 {
 				continue
@@ -221,18 +272,45 @@ func SliverCandidates(p SliverParams, limit int) []Candidate {
 			// Exact-ish final membership check in float (downstream
 			// verification is exact).
 			z := u.Complex()
-			if !inSliver(real(z), imag(z)) {
+			if !sl.inSliver(real(z), imag(z), s) {
 				continue
 			}
 			zb := u.Bullet().Complex()
 			if real(zb)*real(zb)+imag(zb)*imag(zb) > s*s*(1+1e-9) {
 				continue
 			}
-			out = append(out, Candidate{U: u})
-			if limit > 0 && len(out) >= limit {
-				return out
+			if !yield(Candidate{U: u}) {
+				return false
 			}
 		}
+		return true
+	})
+}
+
+// PreError returns the unitary distance (Eq. (2)) that candidate u will
+// realize at denominator exponent k, computed from u alone: the gridsynth
+// column structure fixes |Tr(Rz(θ_g)†·V)|/2 = |Re(u·e^{iθ_g/2})|/√2^k, so
+// the distance of the assembled unitary is known before the norm equation
+// is solved or any gate is synthesized. Accuracy is a few float64 ulp
+// (~1e-15 absolute), far inside the admission slack at every practical ε —
+// unlike the fuzzy geometric sliver test whose widening exceeds the true
+// sliver depth below ε ≈ 1e-5, this is the authoritative candidate filter.
+func (sl *Sliver) PreError(u ring.ZOmega, k int) float64 {
+	s := math.Pow(2, float64(k)/2)
+	z := u.Complex()
+	t := (real(z)*sl.cosP - imag(z)*sl.sinP) / s
+	d := 1 - t*t
+	if d < 0 {
+		return 0
 	}
-	return out
+	return math.Sqrt(d)
+}
+
+// inSliver tests scaled-sliver membership at scale s = √2^k.
+func (sl *Sliver) inSliver(x, y, s float64) bool {
+	const tol = 1e-9
+	if x*x+y*y > s*s*(1+tol)+tol {
+		return false
+	}
+	return x*sl.cosP-y*sl.sinP >= sl.c*s-tol*s-tol
 }

@@ -17,3 +17,11 @@ func BenchmarkGridsynthRz1e4(b *testing.B) {
 		}
 	}
 }
+
+func BenchmarkGridsynthRz1e6(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		if _, err := Rz(1.0+float64(i%5)*0.21, 1e-6, Options{}); err != nil {
+			b.Fatal(err)
+		}
+	}
+}

@@ -28,7 +28,14 @@ import (
 type Options struct {
 	// MaxK caps the denominator exponent (default 120 ≈ ε ~ 1e-18).
 	MaxK int
-	// CandidatesPerK bounds grid candidates examined per (k, phase grid).
+	// CandidatesPerK bounds the admitted candidates (those passing the
+	// PreError distance screen) attempted per (k, phase grid). The default
+	// 4096 is sized for small ε, where thousands of geometrically valid
+	// candidates per k compete and only ~0.1% of them have a solvable norm
+	// equation; the residue pre-filter keeps a failed attempt at ~1µs, so
+	// a deep budget is cheap and the search terminates within a k or two
+	// of the information-theoretic minimum. Larger ε never fills the
+	// budget — the first admitted candidates solve almost immediately.
 	CandidatesPerK int
 	// Table supplies the residual lookup for exact synthesis (default
 	// gates.Shared(4)).
@@ -58,7 +65,7 @@ func (o Options) filled() Options {
 		o.MaxK = 120
 	}
 	if o.CandidatesPerK <= 0 {
-		o.CandidatesPerK = 24
+		o.CandidatesPerK = 4096
 	}
 	if o.Table == nil {
 		o.Table = gates.Shared(4)
@@ -67,6 +74,22 @@ func (o Options) filled() Options {
 }
 
 // Rz synthesizes Rz(theta) to unitary distance ≤ eps.
+//
+// The hot-path state — sliver geometry per phase grid, the Diophantine
+// solver with its scratch and per-prime memo, and the in-place ring
+// temporaries — is created once here and reused across every
+// (k, candidate) pair, so the search allocates only when it finds a
+// solution (plus unavoidable math/big growth).
+//
+// Candidates stream lazily out of grid.Sliver.Scan and are admitted by
+// grid.Sliver.PreError — the distance the assembled unitary will realize,
+// computed from the numerator alone to float64 accuracy — before any
+// norm-equation or synthesis work is spent on them. Admission ordering is
+// the enumeration ordering, so results are deterministic. (The fuzzy
+// geometric sliver test alone over-admits by orders of magnitude below
+// ε ≈ 1e-5, which used to fill the per-k candidate budget with
+// false positives and drive the search into runaway k; with PreError
+// screening, ε = 1e-6 synthesizes in tens of milliseconds.)
 func Rz(theta, eps float64, opt Options) (Result, error) {
 	opt = opt.filled()
 	if eps <= 0 || eps >= 1 {
@@ -75,6 +98,24 @@ func Rz(theta, eps float64, opt Options) (Result, error) {
 	target := qmat.Rz(theta)
 	pow2k := ring.NewBSqrt2(1, 0)
 	two := ring.NewBSqrt2(2, 0)
+	// Per-search reusable state.
+	var (
+		scr    ring.Scratch
+		u      ring.BOmega
+		n2, xi ring.BSqrt2
+		solver = dioph.NewSolver()
+	)
+	// Phase grid g: direction rotated by ω^{g/2} = e^{igπ/8} (see package
+	// doc); equivalent to synthesizing at θ − gπ/4.
+	slivers := [2]*grid.Sliver{
+		grid.NewSliver(theta, eps),
+		grid.NewSliver(theta-math.Pi/4, eps),
+	}
+	// The final acceptance bound, shared by the PreError admission below
+	// (with a hair of extra slack so borderline candidates reach the
+	// authoritative post-synthesis check rather than being screened out).
+	bound := eps*(1+1e-6) + 1e-7
+	admit := bound + 1e-12
 	for k := 0; k <= opt.MaxK; k++ {
 		if opt.Cancel != nil {
 			select {
@@ -84,40 +125,44 @@ func Rz(theta, eps float64, opt Options) (Result, error) {
 			}
 		}
 		for g := 0; g < 2; g++ {
-			// Phase grid g: direction rotated by ω^{g/2} = e^{igπ/8}
-			// (see package doc); equivalent to synthesizing at θ − gπ/4.
-			cands := grid.SliverCandidates(grid.SliverParams{
-				Theta: theta - float64(g)*math.Pi/4,
-				Eps:   eps,
-				K:     k,
-			}, opt.CandidatesPerK)
-			for _, cand := range cands {
-				u := ring.BOmegaFromZOmega(cand.U)
-				xi := pow2k.Sub(u.Norm2())
-				t, ok := dioph.SolveNormEquation(xi)
-				if !ok {
-					continue
+			var (
+				res      Result
+				found    bool
+				admitted int
+			)
+			sl := slivers[g]
+			sl.Scan(k, func(cand grid.Candidate) bool {
+				if sl.PreError(cand.U, k) > admit {
+					return true // keep scanning; no budget spent
 				}
-				v := exact.FromColumns(u, t, k, g)
-				seq, err := exact.Synthesize(v, opt.Table)
-				if err != nil {
-					continue
+				admitted++
+				u.SetZOmega(cand.U)
+				u.Norm2To(&n2, &scr)
+				xi.SubTo(pow2k, n2)
+				t, ok := solver.Solve(xi)
+				if ok {
+					v := exact.FromColumns(u, t, k, g)
+					if seq, err := exact.Synthesize(v, opt.Table); err == nil {
+						if d := qmat.Distance(target, seq.Matrix()); d <= bound {
+							res = Result{
+								Seq:      seq,
+								Error:    d,
+								TCount:   seq.TCount(),
+								Clifford: seq.CliffordCount(),
+								K:        k,
+							}
+							found = true
+							return false
+						}
+					}
 				}
-				d := qmat.Distance(target, seq.Matrix())
-				if d > eps*(1+1e-6)+1e-7 {
-					// Boundary fuzz pushed us out; try the next candidate.
-					continue
-				}
-				return Result{
-					Seq:      seq,
-					Error:    d,
-					TCount:   seq.TCount(),
-					Clifford: seq.CliffordCount(),
-					K:        k,
-				}, nil
+				return admitted < opt.CandidatesPerK
+			})
+			if found {
+				return res, nil
 			}
 		}
-		pow2k = pow2k.Mul(two)
+		pow2k.MulTo(pow2k, two, &scr)
 	}
 	return Result{}, ErrNoSolution
 }
@@ -154,13 +199,6 @@ func U3(u qmat.M2, eps float64, opt Options) (Result, error) {
 		Error:    d,
 		TCount:   seq.TCount(),
 		Clifford: seq.CliffordCount(),
-		K:        maxInt(r1.K, maxInt(r2.K, r3.K)),
+		K:        max(r1.K, r2.K, r3.K),
 	}, nil
-}
-
-func maxInt(a, b int) int {
-	if a > b {
-		return a
-	}
-	return b
 }

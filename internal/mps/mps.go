@@ -298,7 +298,7 @@ func multinomial(rng *rand.Rand, w []float64, total float64, n int) []idxCount {
 		acc += x
 		cum[i] = acc
 	}
-	m := make(map[int]int, minInt(n, 16))
+	m := make(map[int]int, min(n, 16))
 	for i := 0; i < n; i++ {
 		u := rng.Float64() * total
 		j := sort.SearchFloat64s(cum, u)
@@ -326,7 +326,7 @@ func (c *Chain) SampleBestTail(rng *rand.Rand, k, envCap int) []Sampled {
 		return nil
 	}
 	if len(c.sites) == 1 {
-		return c.Beam(minInt(k, c.sites[0].m))
+		return c.Beam(min(k, c.sites[0].m))
 	}
 	groups := []group{{env: []complex128{1}, count: k}}
 	for i := 0; i < len(c.sites)-1; i++ {
@@ -472,11 +472,4 @@ func Best(samples []Sampled) (Sampled, bool) {
 		}
 	}
 	return best, true
-}
-
-func minInt(a, b int) int {
-	if a < b {
-		return a
-	}
-	return b
 }

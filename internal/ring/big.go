@@ -6,7 +6,9 @@ import (
 )
 
 // BSqrt2 is an element a + b√2 of Z[√2] with arbitrary-precision
-// coefficients. All operations allocate fresh big.Ints (value semantics).
+// coefficients. The value-semantics methods below allocate fresh big.Ints
+// for their results; hot paths use the in-place *To methods in inplace.go
+// (of which these are thin wrappers).
 type BSqrt2 struct {
 	A, B *big.Int
 }
@@ -26,39 +28,46 @@ func (x BSqrt2) Clone() BSqrt2 {
 
 // Add returns x + y.
 func (x BSqrt2) Add(y BSqrt2) BSqrt2 {
-	return BSqrt2{new(big.Int).Add(x.A, y.A), new(big.Int).Add(x.B, y.B)}
+	var z BSqrt2
+	z.AddTo(x, y)
+	return z
 }
 
 // Sub returns x − y.
 func (x BSqrt2) Sub(y BSqrt2) BSqrt2 {
-	return BSqrt2{new(big.Int).Sub(x.A, y.A), new(big.Int).Sub(x.B, y.B)}
+	var z BSqrt2
+	z.SubTo(x, y)
+	return z
 }
 
 // Neg returns −x.
 func (x BSqrt2) Neg() BSqrt2 {
-	return BSqrt2{new(big.Int).Neg(x.A), new(big.Int).Neg(x.B)}
+	var z BSqrt2
+	z.NegTo(x)
+	return z
 }
 
 // Mul returns x·y.
 func (x BSqrt2) Mul(y BSqrt2) BSqrt2 {
-	a := new(big.Int).Mul(x.A, y.A)
-	a.Add(a, new(big.Int).Lsh(new(big.Int).Mul(x.B, y.B), 1))
-	b := new(big.Int).Mul(x.A, y.B)
-	b.Add(b, new(big.Int).Mul(x.B, y.A))
-	return BSqrt2{a, b}
+	var z BSqrt2
+	var s Scratch
+	z.MulTo(x, y, &s)
+	return z
 }
 
 // Bullet returns the conjugate a − b√2.
 func (x BSqrt2) Bullet() BSqrt2 {
-	return BSqrt2{new(big.Int).Set(x.A), new(big.Int).Neg(x.B)}
+	var z BSqrt2
+	z.BulletTo(x)
+	return z
 }
 
 // NormZ returns x·x• = a² − 2b² as a big integer.
 func (x BSqrt2) NormZ() *big.Int {
-	n := new(big.Int).Mul(x.A, x.A)
-	t := new(big.Int).Mul(x.B, x.B)
-	t.Lsh(t, 1)
-	return n.Sub(n, t)
+	n := new(big.Int)
+	var s Scratch
+	x.NormZTo(n, &s)
+	return n
 }
 
 // IsZero reports whether x = 0.
@@ -66,6 +75,15 @@ func (x BSqrt2) IsZero() bool { return x.A.Sign() == 0 && x.B.Sign() == 0 }
 
 // Equal reports x = y.
 func (x BSqrt2) Equal(y BSqrt2) bool { return x.A.Cmp(y.A) == 0 && x.B.Cmp(y.B) == 0 }
+
+// sqrt2Prec200 is the hoisted √2 at the 200-bit precision used by Float
+// (computed once; read-only thereafter, safe for concurrent use).
+var sqrt2Prec200 = func() *big.Float {
+	s := big.NewFloat(2)
+	s.SetPrec(200)
+	s.Sqrt(s)
+	return s
+}()
 
 // Float returns the numeric embedding with ~200-bit intermediate precision.
 func (x BSqrt2) Float() float64 {
@@ -75,9 +93,12 @@ func (x BSqrt2) Float() float64 {
 
 // BigFloat returns the embedding a + b√2 at the given precision.
 func (x BSqrt2) BigFloat(prec uint) *big.Float {
-	s := big.NewFloat(2)
-	s.SetPrec(prec)
-	s.Sqrt(s)
+	s := sqrt2Prec200
+	if prec != 200 {
+		s = big.NewFloat(2)
+		s.SetPrec(prec)
+		s.Sqrt(s)
+	}
 	bf := new(big.Float).SetPrec(prec).SetInt(x.B)
 	bf.Mul(bf, s)
 	af := new(big.Float).SetPrec(prec).SetInt(x.A)
@@ -112,17 +133,12 @@ func (x BSqrt2) Sign() int {
 // DivExact returns x/y if y exactly divides x in Z[√2], with ok=false
 // otherwise. x/y = x·y• / N(y).
 func (x BSqrt2) DivExact(y BSqrt2) (BSqrt2, bool) {
-	n := y.NormZ()
-	if n.Sign() == 0 {
+	var z BSqrt2
+	var s Scratch
+	if !z.DivExactTo(x, y, &s) {
 		return BSqrt2{}, false
 	}
-	p := x.Mul(y.Bullet())
-	qa, ra := new(big.Int).QuoRem(p.A, n, new(big.Int))
-	qb, rb := new(big.Int).QuoRem(p.B, n, new(big.Int))
-	if ra.Sign() != 0 || rb.Sign() != 0 {
-		return BSqrt2{}, false
-	}
-	return BSqrt2{qa, qb}, true
+	return z, true
 }
 
 // PowLambda returns λ^j for any integer j (λ = 1+√2, λ⁻¹ = √2−1).
@@ -132,9 +148,10 @@ func PowLambda(j int) BSqrt2 {
 		base = NewBSqrt2(-1, 1)
 		j = -j
 	}
+	var s Scratch
 	r := NewBSqrt2(1, 0)
 	for i := 0; i < j; i++ {
-		r = r.Mul(base)
+		r.MulTo(r, base, &s)
 	}
 	return r
 }
@@ -158,8 +175,9 @@ func BOmegaFromZOmega(z ZOmega) BOmega { return NewBOmega(z.A, z.B, z.C, z.D) }
 
 // BOmegaFromBSqrt2 embeds x = a + b√2 (√2 = ω − ω³).
 func BOmegaFromBSqrt2(x BSqrt2) BOmega {
-	return BOmega{new(big.Int).Set(x.A), new(big.Int).Set(x.B),
-		big.NewInt(0), new(big.Int).Neg(x.B)}
+	var z BOmega
+	z.SetBSqrt2(x)
+	return z
 }
 
 // BOmegaFromInt returns the rational integer n.
@@ -191,20 +209,23 @@ func (z BOmega) Equal(w BOmega) bool {
 
 // Add returns z + w.
 func (z BOmega) Add(w BOmega) BOmega {
-	return BOmega{new(big.Int).Add(z.A, w.A), new(big.Int).Add(z.B, w.B),
-		new(big.Int).Add(z.C, w.C), new(big.Int).Add(z.D, w.D)}
+	var r BOmega
+	r.AddTo(z, w)
+	return r
 }
 
 // Sub returns z − w.
 func (z BOmega) Sub(w BOmega) BOmega {
-	return BOmega{new(big.Int).Sub(z.A, w.A), new(big.Int).Sub(z.B, w.B),
-		new(big.Int).Sub(z.C, w.C), new(big.Int).Sub(z.D, w.D)}
+	var r BOmega
+	r.SubTo(z, w)
+	return r
 }
 
 // Neg returns −z.
 func (z BOmega) Neg() BOmega {
-	return BOmega{new(big.Int).Neg(z.A), new(big.Int).Neg(z.B),
-		new(big.Int).Neg(z.C), new(big.Int).Neg(z.D)}
+	var r BOmega
+	r.NegTo(z)
+	return r
 }
 
 // MulOmega returns ω·z: (a,b,c,d) ↦ (−d,a,b,c).
@@ -225,80 +246,63 @@ func (z BOmega) MulPhase(j int) BOmega {
 
 // Mul returns z·w.
 func (z BOmega) Mul(w BOmega) BOmega {
-	mul := func(x, y *big.Int) *big.Int { return new(big.Int).Mul(x, y) }
-	a := mul(z.A, w.A)
-	a.Sub(a, mul(z.B, w.D))
-	a.Sub(a, mul(z.C, w.C))
-	a.Sub(a, mul(z.D, w.B))
-	b := mul(z.A, w.B)
-	b.Add(b, mul(z.B, w.A))
-	b.Sub(b, mul(z.C, w.D))
-	b.Sub(b, mul(z.D, w.C))
-	c := mul(z.A, w.C)
-	c.Add(c, mul(z.B, w.B))
-	c.Add(c, mul(z.C, w.A))
-	c.Sub(c, mul(z.D, w.D))
-	d := mul(z.A, w.D)
-	d.Add(d, mul(z.B, w.C))
-	d.Add(d, mul(z.C, w.B))
-	d.Add(d, mul(z.D, w.A))
-	return BOmega{a, b, c, d}
+	var r BOmega
+	var s Scratch
+	r.MulTo(z, w, &s)
+	return r
 }
 
 // Conj returns the complex conjugate: (a,b,c,d) ↦ (a,−d,−c,−b).
 func (z BOmega) Conj() BOmega {
-	return BOmega{new(big.Int).Set(z.A), new(big.Int).Neg(z.D),
-		new(big.Int).Neg(z.C), new(big.Int).Neg(z.B)}
+	var r BOmega
+	r.ConjTo(z)
+	return r
 }
 
 // Bullet returns the √2-conjugate: (a,b,c,d) ↦ (a,−b,c,−d).
 func (z BOmega) Bullet() BOmega {
-	return BOmega{new(big.Int).Set(z.A), new(big.Int).Neg(z.B),
-		new(big.Int).Set(z.C), new(big.Int).Neg(z.D)}
+	var r BOmega
+	r.BulletTo(z)
+	return r
 }
 
 // Norm2 returns z·z̄ = |z|² as an element of Z[√2].
 func (z BOmega) Norm2() BSqrt2 {
-	sq := func(x *big.Int) *big.Int { return new(big.Int).Mul(x, x) }
-	a := sq(z.A)
-	a.Add(a, sq(z.B))
-	a.Add(a, sq(z.C))
-	a.Add(a, sq(z.D))
-	b := new(big.Int).Mul(z.A, z.B)
-	b.Add(b, new(big.Int).Mul(z.B, z.C))
-	b.Add(b, new(big.Int).Mul(z.C, z.D))
-	b.Sub(b, new(big.Int).Mul(z.D, z.A))
-	return BSqrt2{a, b}
+	var n BSqrt2
+	var s Scratch
+	z.Norm2To(&n, &s)
+	return n
 }
 
 // NormZ returns the absolute rational norm N(z) = N_{Z[√2]/Z}(z·z̄) ≥ 0.
 func (z BOmega) NormZ() *big.Int {
-	n := z.Norm2().NormZ()
-	return n.Abs(n)
+	n := new(big.Int)
+	var s Scratch
+	z.NormZTo(n, &s)
+	return n
 }
 
 // DivisibleBySqrt2 reports whether z/√2 ∈ Z[ω].
 func (z BOmega) DivisibleBySqrt2() bool {
-	ac := new(big.Int).Sub(z.A, z.C)
-	bd := new(big.Int).Sub(z.B, z.D)
-	return ac.Bit(0) == 0 && bd.Bit(0) == 0
+	// a − c and b − d must both be even; parity of a difference is the
+	// XOR of the operand parities, so no subtraction is needed.
+	return z.A.Bit(0) == z.C.Bit(0) && z.B.Bit(0) == z.D.Bit(0)
 }
 
 // DivSqrt2 returns z/√2 (caller ensures divisibility).
 func (z BOmega) DivSqrt2() BOmega {
-	half := func(x *big.Int) *big.Int { return new(big.Int).Rsh(x, 1) }
-	bd := new(big.Int).Sub(z.B, z.D)
-	ac := new(big.Int).Add(z.A, z.C)
-	bpd := new(big.Int).Add(z.B, z.D)
-	ca := new(big.Int).Sub(z.C, z.A)
-	// Rsh on negative big.Ints floors, which is exact when even.
-	return BOmega{half(bd), half(ac), half(bpd), half(ca)}
+	var r BOmega
+	var s Scratch
+	r.DivSqrt2To(z, &s)
+	return r
 }
 
 // MulSqrt2 returns z·√2.
 func (z BOmega) MulSqrt2() BOmega {
-	return BOmega{new(big.Int).Sub(z.B, z.D), new(big.Int).Add(z.A, z.C),
-		new(big.Int).Add(z.B, z.D), new(big.Int).Sub(z.C, z.A)}
+	var r BOmega
+	var s Scratch
+	r.MulSqrt2To(z, &s)
+	return r
 }
 
 // Complex returns the float64 embedding (valid while coefficients fit in
@@ -316,44 +320,87 @@ func (z BOmega) String() string {
 	return fmt.Sprintf("(%v%+vω%+vω²%+vω³)", z.A, z.B, z.C, z.D)
 }
 
-// EuclideanDiv returns q, r with z = q·w + r, choosing q near z/w in Q[ω]
-// by coefficient-wise rounding. Coefficient rounding alone does not always
-// give N(r) < N(w) in Z[ω], so neighbors of the rounded quotient are also
-// tried and the smallest-norm remainder wins.
-func EuclideanDiv(z, w BOmega) (q, r BOmega) {
-	// z/w = z·w̄·(w·w̄)• / N(w), with N(w) = N(w·w̄) ∈ Z, positive since
-	// w·w̄ is totally positive.
-	ww := w.Norm2()        // w·w̄ ∈ Z[√2]
-	n := ww.NormZ()        // ∈ Z, > 0 for w ≠ 0
-	num := z.Mul(w.Conj()) // z·w̄
-	num = num.Mul(BOmegaFromBSqrt2(ww.Bullet()))
-	nearest := func(x *big.Int) *big.Int {
-		// Truncated quotient is within 1 of the nearest integer.
-		q0 := new(big.Int).Quo(x, n)
-		best := new(big.Int).Set(q0)
-		bestErr := new(big.Int).Abs(new(big.Int).Sub(x, new(big.Int).Mul(best, n)))
-		for _, delta := range []int64{-1, 1} {
-			cand := new(big.Int).Add(q0, big.NewInt(delta))
-			err := new(big.Int).Abs(new(big.Int).Sub(x, new(big.Int).Mul(cand, n)))
-			if err.Cmp(bestErr) < 0 {
-				best, bestErr = cand, err
-			}
+// EuclidState carries the reusable temporaries of Euclidean division and
+// gcd in Z[ω]. One state serves a whole search; the zero value is ready.
+// Not safe for concurrent use.
+type EuclidState struct {
+	s          Scratch
+	a, b, q, r BOmega // owned rotation slots for the gcd loop
+	t, num     BOmega
+	ww, wb     BSqrt2
+	n, e1, e2  big.Int
+	nb, nr     big.Int
+}
+
+// nearestTo sets dst to the integer nearest x/n (|n| > 0), using the
+// state's temporaries.
+func (st *EuclidState) nearestTo(dst, x *big.Int) {
+	RoundQuoTo(dst, x, &st.n, &st.e1, &st.e2)
+}
+
+// RoundQuoTo sets dst to the integer nearest x/n (n ≠ 0), drawing its two
+// temporaries from the caller (the scratch-threading idiom). It is the
+// single implementation of nearest-integer division shared by the Z[ω]
+// Euclid state here and the Z[√2] Euclid loop in the Diophantine solver.
+func RoundQuoTo(dst, x, n, t1, t2 *big.Int) {
+	dst.Quo(x, n)
+	// Truncated quotient is within 1 of the nearest integer.
+	t1.Mul(dst, n)
+	t1.Sub(x, t1)
+	t1.Abs(t1) // |x − q0·n|
+	bestDelta := int64(0)
+	for _, delta := range [2]int64{-1, 1} {
+		t2.SetInt64(delta)
+		t2.Add(dst, t2)
+		t2.Mul(t2, n)
+		t2.Sub(x, t2)
+		t2.Abs(t2)
+		if t2.Cmp(t1) < 0 {
+			t1.Set(t2)
+			bestDelta = delta
 		}
-		return best
 	}
-	q = BOmega{nearest(num.A), nearest(num.B), nearest(num.C), nearest(num.D)}
-	r = z.Sub(q.Mul(w))
-	if r.IsZero() || r.NormZ().Cmp(w.NormZ()) < 0 {
-		return q, r
+	if bestDelta != 0 {
+		t2.SetInt64(bestDelta)
+		dst.Add(dst, t2)
 	}
-	// Rescue: scan the 3^4 neighborhood of q for a norm-decreasing remainder.
-	bestQ, bestR := q, r
-	bestN := r.NormZ()
+}
+
+// euclidTo computes q, r with z = q·w + r into the state's q/r slots
+// (mirroring EuclideanDiv, including the rare rescue scan).
+func (st *EuclidState) euclidTo(z, w BOmega) {
+	s := &st.s
+	w.Norm2To(&st.ww, s) // w·w̄ ∈ Z[√2]
+	st.ww.NormZTo(&st.n, s)
+	st.t.ConjTo(w)
+	st.num.MulTo(z, st.t, s) // z·w̄
+	st.wb.BulletTo(st.ww)
+	st.t.SetBSqrt2(st.wb)
+	st.num.MulTo(st.num, st.t, s)
+	st.q.ensure()
+	st.nearestTo(st.q.A, st.num.A)
+	st.nearestTo(st.q.B, st.num.B)
+	st.nearestTo(st.q.C, st.num.C)
+	st.nearestTo(st.q.D, st.num.D)
+	st.t.MulTo(st.q, w, s)
+	st.r.SubTo(z, st.t)
+	if st.r.IsZero() {
+		return
+	}
+	st.r.NormZTo(&st.nr, s)
+	w.NormZTo(&st.nb, s)
+	if st.nr.Cmp(&st.nb) < 0 {
+		return
+	}
+	// Rescue: scan the 3^4 neighborhood of q for a norm-decreasing
+	// remainder (rare; value-semantics ops are fine here).
+	bestQ, bestR := st.q.Clone(), st.r.Clone()
+	bestN := new(big.Int).Set(&st.nr)
 	for da := int64(-1); da <= 1; da++ {
 		for db := int64(-1); db <= 1; db++ {
 			for dc := int64(-1); dc <= 1; dc++ {
 				for dd := int64(-1); dd <= 1; dd++ {
-					cand := q.Add(NewBOmega(da, db, dc, dd))
+					cand := st.q.Add(NewBOmega(da, db, dc, dd))
 					cr := z.Sub(cand.Mul(w))
 					if cn := cr.NormZ(); cn.Cmp(bestN) < 0 {
 						bestQ, bestR, bestN = cand, cr, cn
@@ -362,7 +409,39 @@ func EuclideanDiv(z, w BOmega) (q, r BOmega) {
 			}
 		}
 	}
-	return bestQ, bestR
+	st.q.Set(bestQ)
+	st.r.Set(bestR)
+}
+
+// GCD computes a greatest common divisor of z and w (as ring.GCD) reusing
+// the state's storage. The result is freshly allocated and owned by the
+// caller.
+func (st *EuclidState) GCD(z, w BOmega) BOmega {
+	st.a.Set(z)
+	st.b.Set(w)
+	s := &st.s
+	for !st.b.IsZero() {
+		st.euclidTo(st.a, st.b)
+		if !st.r.IsZero() {
+			st.r.NormZTo(&st.nr, s)
+			st.b.NormZTo(&st.nb, s)
+			if st.nr.Cmp(&st.nb) >= 0 {
+				return st.b.Clone()
+			}
+		}
+		st.a, st.b, st.r = st.b, st.r, st.a
+	}
+	return st.a.Clone()
+}
+
+// EuclideanDiv returns q, r with z = q·w + r, choosing q near z/w in Q[ω]
+// by coefficient-wise rounding. Coefficient rounding alone does not always
+// give N(r) < N(w) in Z[ω], so neighbors of the rounded quotient are also
+// tried and the smallest-norm remainder wins.
+func EuclideanDiv(z, w BOmega) (q, r BOmega) {
+	var st EuclidState
+	st.euclidTo(z, w)
+	return st.q.Clone(), st.r.Clone()
 }
 
 // GCD returns a greatest common divisor of z and w in Z[ω] (unique up to
@@ -370,15 +449,8 @@ func EuclideanDiv(z, w BOmega) (q, r BOmega) {
 // norm (possible only through a rounding pathology), the current candidate
 // is returned; callers that need certainty verify divisibility afterwards.
 func GCD(z, w BOmega) BOmega {
-	a, b := z.Clone(), w.Clone()
-	for !b.IsZero() {
-		_, r := EuclideanDiv(a, b)
-		if !r.IsZero() && r.NormZ().Cmp(b.NormZ()) >= 0 {
-			return b
-		}
-		a, b = b, r
-	}
-	return a
+	var st EuclidState
+	return st.GCD(z, w)
 }
 
 // DivExactOmega returns z/w when w exactly divides z in Z[ω].

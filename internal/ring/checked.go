@@ -1,0 +1,307 @@
+package ring
+
+import "math/bits"
+
+// Overflow-checked int64 arithmetic on ZOmega and ZSqrt2 — the
+// small-coefficient fast path of the engine. Every operation returns
+// ok=false instead of silently wrapping, so callers (exact synthesis, the
+// Diophantine solver) can run entirely in machine integers and promote to
+// the math/big representation only when a coefficient actually outgrows
+// int64. The differential fuzz tests in checked_test.go pin these results
+// to the pure-big.Int reference, including at the overflow boundary.
+
+// addInt64 returns a+b with an overflow flag.
+func addInt64(a, b int64) (int64, bool) {
+	r := a + b
+	// Overflow iff operands share a sign and the result sign differs.
+	if (a >= 0) == (b >= 0) && (r >= 0) != (a >= 0) {
+		return 0, false
+	}
+	return r, true
+}
+
+// subInt64 returns a−b with an overflow flag.
+func subInt64(a, b int64) (int64, bool) {
+	if b == -1<<63 {
+		// −b overflows; a − MinInt64 = a + 2^63 overflows unless a < 0.
+		if a >= 0 {
+			return 0, false
+		}
+		return a + (1<<63 - 1) + 1, true
+	}
+	return addInt64(a, -b)
+}
+
+// mulInt64 returns a·b with an overflow flag.
+func mulInt64(a, b int64) (int64, bool) {
+	if a == 0 || b == 0 {
+		return 0, true
+	}
+	hi, lo := bits.Mul64(uint64(a), uint64(b))
+	// Adjust the unsigned 128-bit product for negative operands.
+	if a < 0 {
+		hi -= uint64(b)
+	}
+	if b < 0 {
+		hi -= uint64(a)
+	}
+	r := int64(lo)
+	// Valid iff the high word is the sign extension of the low word.
+	if hi != uint64(r>>63) {
+		return 0, false
+	}
+	return r, true
+}
+
+// negInt64 returns −a with an overflow flag (MinInt64 has no negation).
+func negInt64(a int64) (int64, bool) {
+	if a == -1<<63 {
+		return 0, false
+	}
+	return -a, true
+}
+
+// AddChecked returns z + w with ok=false on coefficient overflow.
+func (z ZOmega) AddChecked(w ZOmega) (ZOmega, bool) {
+	a, ok1 := addInt64(z.A, w.A)
+	b, ok2 := addInt64(z.B, w.B)
+	c, ok3 := addInt64(z.C, w.C)
+	d, ok4 := addInt64(z.D, w.D)
+	return ZOmega{a, b, c, d}, ok1 && ok2 && ok3 && ok4
+}
+
+// SubChecked returns z − w with ok=false on coefficient overflow.
+func (z ZOmega) SubChecked(w ZOmega) (ZOmega, bool) {
+	a, ok1 := subInt64(z.A, w.A)
+	b, ok2 := subInt64(z.B, w.B)
+	c, ok3 := subInt64(z.C, w.C)
+	d, ok4 := subInt64(z.D, w.D)
+	return ZOmega{a, b, c, d}, ok1 && ok2 && ok3 && ok4
+}
+
+// NegChecked returns −z with ok=false on coefficient overflow.
+func (z ZOmega) NegChecked() (ZOmega, bool) {
+	a, ok1 := negInt64(z.A)
+	b, ok2 := negInt64(z.B)
+	c, ok3 := negInt64(z.C)
+	d, ok4 := negInt64(z.D)
+	return ZOmega{a, b, c, d}, ok1 && ok2 && ok3 && ok4
+}
+
+// BulletChecked returns z• with ok=false on coefficient overflow
+// (only MinInt64 coefficients can overflow under negation).
+func (z ZOmega) BulletChecked() (ZOmega, bool) {
+	b, ok1 := negInt64(z.B)
+	d, ok2 := negInt64(z.D)
+	return ZOmega{z.A, b, z.C, d}, ok1 && ok2
+}
+
+// ConjChecked returns z̄ with ok=false on coefficient overflow.
+func (z ZOmega) ConjChecked() (ZOmega, bool) {
+	b, ok1 := negInt64(z.D)
+	c, ok2 := negInt64(z.C)
+	d, ok3 := negInt64(z.B)
+	return ZOmega{z.A, b, c, d}, ok1 && ok2 && ok3
+}
+
+// dot4 returns s1·x1·y1 + s2·x2·y2 + s3·x3·y3 + s4·x4·y4 for signs si ∈
+// {+1,−1}, with overflow checking on every step.
+func dot4(x1, y1, x2, y2, x3, y3, x4, y4 int64, s2, s3, s4 bool) (int64, bool) {
+	t1, ok := mulInt64(x1, y1)
+	if !ok {
+		return 0, false
+	}
+	t2, ok := mulInt64(x2, y2)
+	if !ok {
+		return 0, false
+	}
+	if !s2 {
+		if t2, ok = negInt64(t2); !ok {
+			return 0, false
+		}
+	}
+	acc, ok := addInt64(t1, t2)
+	if !ok {
+		return 0, false
+	}
+	t3, ok := mulInt64(x3, y3)
+	if !ok {
+		return 0, false
+	}
+	if !s3 {
+		if t3, ok = negInt64(t3); !ok {
+			return 0, false
+		}
+	}
+	if acc, ok = addInt64(acc, t3); !ok {
+		return 0, false
+	}
+	t4, ok := mulInt64(x4, y4)
+	if !ok {
+		return 0, false
+	}
+	if !s4 {
+		if t4, ok = negInt64(t4); !ok {
+			return 0, false
+		}
+	}
+	return addInt64(acc, t4)
+}
+
+// MulChecked returns z·w with ok=false on coefficient overflow.
+func (z ZOmega) MulChecked(w ZOmega) (ZOmega, bool) {
+	a, ok1 := dot4(z.A, w.A, z.B, w.D, z.C, w.C, z.D, w.B, false, false, false)
+	b, ok2 := dot4(z.A, w.B, z.B, w.A, z.C, w.D, z.D, w.C, true, false, false)
+	c, ok3 := dot4(z.A, w.C, z.B, w.B, z.C, w.A, z.D, w.D, true, true, false)
+	d, ok4 := dot4(z.A, w.D, z.B, w.C, z.C, w.B, z.D, w.A, true, true, true)
+	return ZOmega{a, b, c, d}, ok1 && ok2 && ok3 && ok4
+}
+
+// Norm2Checked returns z·z̄ ∈ Z[√2] with ok=false on coefficient overflow.
+func (z ZOmega) Norm2Checked() (ZSqrt2, bool) {
+	a, ok1 := dot4(z.A, z.A, z.B, z.B, z.C, z.C, z.D, z.D, true, true, true)
+	b, ok2 := dot4(z.A, z.B, z.B, z.C, z.C, z.D, z.D, z.A, true, true, false)
+	return ZSqrt2{a, b}, ok1 && ok2
+}
+
+// DivSqrt2Checked returns z/√2 with ok=false on intermediate overflow; the
+// caller must ensure divisibility (as with DivSqrt2).
+func (z ZOmega) DivSqrt2Checked() (ZOmega, bool) {
+	bd, ok1 := subInt64(z.B, z.D)
+	ac, ok2 := addInt64(z.A, z.C)
+	bpd, ok3 := addInt64(z.B, z.D)
+	ca, ok4 := subInt64(z.C, z.A)
+	return ZOmega{bd / 2, ac / 2, bpd / 2, ca / 2}, ok1 && ok2 && ok3 && ok4
+}
+
+// MulSqrt2Checked returns z·√2 with ok=false on coefficient overflow.
+func (z ZOmega) MulSqrt2Checked() (ZOmega, bool) {
+	bd, ok1 := subInt64(z.B, z.D)
+	ac, ok2 := addInt64(z.A, z.C)
+	bpd, ok3 := addInt64(z.B, z.D)
+	ca, ok4 := subInt64(z.C, z.A)
+	return ZOmega{bd, ac, bpd, ca}, ok1 && ok2 && ok3 && ok4
+}
+
+// AddChecked returns x + y with ok=false on coefficient overflow.
+func (x ZSqrt2) AddChecked(y ZSqrt2) (ZSqrt2, bool) {
+	a, ok1 := addInt64(x.A, y.A)
+	b, ok2 := addInt64(x.B, y.B)
+	return ZSqrt2{a, b}, ok1 && ok2
+}
+
+// SubChecked returns x − y with ok=false on coefficient overflow.
+func (x ZSqrt2) SubChecked(y ZSqrt2) (ZSqrt2, bool) {
+	a, ok1 := subInt64(x.A, y.A)
+	b, ok2 := subInt64(x.B, y.B)
+	return ZSqrt2{a, b}, ok1 && ok2
+}
+
+// MulChecked returns x·y with ok=false on coefficient overflow.
+func (x ZSqrt2) MulChecked(y ZSqrt2) (ZSqrt2, bool) {
+	aa, ok := mulInt64(x.A, y.A)
+	if !ok {
+		return ZSqrt2{}, false
+	}
+	bb, ok := mulInt64(x.B, y.B)
+	if !ok {
+		return ZSqrt2{}, false
+	}
+	bb2, ok := mulInt64(bb, 2)
+	if !ok {
+		return ZSqrt2{}, false
+	}
+	a, ok1 := addInt64(aa, bb2)
+	ab, ok2 := mulInt64(x.A, y.B)
+	ba, ok3 := mulInt64(x.B, y.A)
+	if !(ok1 && ok2 && ok3) {
+		return ZSqrt2{}, false
+	}
+	b, ok4 := addInt64(ab, ba)
+	return ZSqrt2{a, b}, ok4
+}
+
+// BulletChecked returns x• with ok=false on coefficient overflow.
+func (x ZSqrt2) BulletChecked() (ZSqrt2, bool) {
+	b, ok := negInt64(x.B)
+	return ZSqrt2{x.A, b}, ok
+}
+
+// NormZChecked returns a² − 2b² with ok=false on overflow.
+func (x ZSqrt2) NormZChecked() (int64, bool) {
+	a2, ok := mulInt64(x.A, x.A)
+	if !ok {
+		return 0, false
+	}
+	b2, ok := mulInt64(x.B, x.B)
+	if !ok {
+		return 0, false
+	}
+	b22, ok := mulInt64(b2, 2)
+	if !ok {
+		return 0, false
+	}
+	return subInt64(a2, b22)
+}
+
+// reduceChecked divides out common √2 factors so K is minimal, with
+// overflow checking (the quotients only shrink, but the DivSqrt2
+// intermediates are sums/differences of coefficients).
+func (m *UMat) reduceChecked() bool {
+	for m.K > 0 &&
+		m.E[0][0].DivisibleBySqrt2() && m.E[0][1].DivisibleBySqrt2() &&
+		m.E[1][0].DivisibleBySqrt2() && m.E[1][1].DivisibleBySqrt2() {
+		var n UMat
+		n.K = m.K - 1
+		for i := 0; i < 2; i++ {
+			for j := 0; j < 2; j++ {
+				e, ok := m.E[i][j].DivSqrt2Checked()
+				if !ok {
+					return false
+				}
+				n.E[i][j] = e
+			}
+		}
+		*m = n
+	}
+	return true
+}
+
+// MulChecked returns m·n reduced, with ok=false on coefficient overflow.
+func (m UMat) MulChecked(n UMat) (UMat, bool) {
+	var r UMat
+	r.K = m.K + n.K
+	for i := 0; i < 2; i++ {
+		for j := 0; j < 2; j++ {
+			p0, ok := m.E[i][0].MulChecked(n.E[0][j])
+			if !ok {
+				return UMat{}, false
+			}
+			p1, ok := m.E[i][1].MulChecked(n.E[1][j])
+			if !ok {
+				return UMat{}, false
+			}
+			e, ok := p0.AddChecked(p1)
+			if !ok {
+				return UMat{}, false
+			}
+			r.E[i][j] = e
+		}
+	}
+	if !r.reduceChecked() {
+		return UMat{}, false
+	}
+	return r, true
+}
+
+// DaggerChecked returns m† with ok=false on coefficient overflow.
+func (m UMat) DaggerChecked() (UMat, bool) {
+	var r UMat
+	r.K = m.K
+	e00, ok1 := m.E[0][0].ConjChecked()
+	e01, ok2 := m.E[1][0].ConjChecked()
+	e10, ok3 := m.E[0][1].ConjChecked()
+	e11, ok4 := m.E[1][1].ConjChecked()
+	r.E[0][0], r.E[0][1], r.E[1][0], r.E[1][1] = e00, e01, e10, e11
+	return r, ok1 && ok2 && ok3 && ok4
+}

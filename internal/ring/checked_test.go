@@ -1,0 +1,260 @@
+package ring
+
+import (
+	"math"
+	"math/big"
+	"testing"
+)
+
+// Differential tests for the overflow-checked int64 fast path: every
+// checked operation must agree with the pure-big.Int reference whenever it
+// reports ok, and must report ok whenever the reference result (and, for
+// products, its term-by-term intermediates) fits comfortably in int64.
+
+// boundary are int64 values at and around the overflow boundary, the cases
+// the fast-path promotion logic exists for.
+var boundary = []int64{
+	0, 1, -1, 2, -2, 3, -3,
+	math.MaxInt64, math.MinInt64,
+	math.MaxInt64 - 1, math.MinInt64 + 1,
+	math.MaxInt32, math.MinInt32,
+	1 << 31, -(1 << 31), 1 << 32, -(1 << 32),
+	3037000499, -3037000499, // ≈ √MaxInt64: products straddle the boundary
+	3037000500, -3037000500,
+	1 << 58, -(1 << 58), 1<<58 - 1,
+	1 << 62, -(1 << 62),
+}
+
+// refFitsZOmega converts a big result back to int64 coefficients.
+func refFitsZOmega(z BOmega) (ZOmega, bool) { return z.ToZOmega() }
+
+func refFitsZSqrt2(x BSqrt2) (ZSqrt2, bool) {
+	if !x.A.IsInt64() || !x.B.IsInt64() {
+		return ZSqrt2{}, false
+	}
+	return ZSqrt2{x.A.Int64(), x.B.Int64()}, true
+}
+
+// checkZOmega asserts the fast-path contract for one ZOmega-valued op:
+// ok implies bit-equality with the reference, and ok=false implies the
+// exact result (or an intermediate) genuinely leaves int64 range.
+func checkZOmega(t *testing.T, name string, got ZOmega, ok bool, ref BOmega, small bool) {
+	t.Helper()
+	want, fits := refFitsZOmega(ref)
+	if ok {
+		if !fits {
+			t.Fatalf("%s: fast path claimed ok but reference %v does not fit int64", name, ref)
+		}
+		if got != want {
+			t.Fatalf("%s: fast path %v != reference %v", name, got, want)
+		}
+	} else if small {
+		t.Fatalf("%s: fast path refused small operands (reference %v)", name, ref)
+	}
+}
+
+func checkZSqrt2(t *testing.T, name string, got ZSqrt2, ok bool, ref BSqrt2, small bool) {
+	t.Helper()
+	want, fits := refFitsZSqrt2(ref)
+	if ok {
+		if !fits {
+			t.Fatalf("%s: fast path claimed ok but reference %v does not fit int64", name, ref)
+		}
+		if got != want {
+			t.Fatalf("%s: fast path %v != reference %v", name, got, want)
+		}
+	} else if small {
+		t.Fatalf("%s: fast path refused small operands (reference %v)", name, ref)
+	}
+}
+
+// smallOmega reports whether all coefficients are far enough from the
+// boundary that no checked op in this file may legitimately overflow
+// (|coeff| < 2^30 keeps every dot4 intermediate below 2^63).
+func smallOmega(zs ...ZOmega) bool {
+	for _, z := range zs {
+		for _, c := range [4]int64{z.A, z.B, z.C, z.D} {
+			if c >= 1<<30 || c <= -(1<<30) {
+				return false
+			}
+		}
+	}
+	return true
+}
+
+func smallSqrt2(xs ...ZSqrt2) bool {
+	for _, x := range xs {
+		if x.A >= 1<<30 || x.A <= -(1<<30) || x.B >= 1<<30 || x.B <= -(1<<30) {
+			return false
+		}
+	}
+	return true
+}
+
+func diffOmegaPair(t *testing.T, z, w ZOmega) {
+	t.Helper()
+	bz, bw := BOmegaFromZOmega(z), BOmegaFromZOmega(w)
+	small := smallOmega(z, w)
+
+	got, ok := z.AddChecked(w)
+	checkZOmega(t, "AddChecked", got, ok, bz.Add(bw), small)
+
+	got, ok = z.SubChecked(w)
+	checkZOmega(t, "SubChecked", got, ok, bz.Sub(bw), small)
+
+	got, ok = z.MulChecked(w)
+	checkZOmega(t, "MulChecked", got, ok, bz.Mul(bw), small)
+
+	got, ok = z.NegChecked()
+	checkZOmega(t, "NegChecked", got, ok, bz.Neg(), small)
+
+	got, ok = z.BulletChecked()
+	checkZOmega(t, "BulletChecked", got, ok, bz.Bullet(), small)
+
+	got, ok = z.ConjChecked()
+	checkZOmega(t, "ConjChecked", got, ok, bz.Conj(), small)
+
+	gotS, okS := z.Norm2Checked()
+	checkZSqrt2(t, "Norm2Checked", gotS, okS, bz.Norm2(), small)
+
+	got, ok = z.MulSqrt2Checked()
+	checkZOmega(t, "MulSqrt2Checked", got, ok, bz.MulSqrt2(), small)
+
+	if z.DivisibleBySqrt2() {
+		got, ok = z.DivSqrt2Checked()
+		checkZOmega(t, "DivSqrt2Checked", got, ok, bz.DivSqrt2(), small)
+	}
+}
+
+func diffSqrt2Pair(t *testing.T, x, y ZSqrt2) {
+	t.Helper()
+	bx, by := BSqrt2{big.NewInt(x.A), big.NewInt(x.B)}, BSqrt2{big.NewInt(y.A), big.NewInt(y.B)}
+	small := smallSqrt2(x, y)
+
+	got, ok := x.AddChecked(y)
+	checkZSqrt2(t, "ZSqrt2.AddChecked", got, ok, bx.Add(by), small)
+
+	got, ok = x.SubChecked(y)
+	checkZSqrt2(t, "ZSqrt2.SubChecked", got, ok, bx.Sub(by), small)
+
+	got, ok = x.MulChecked(y)
+	checkZSqrt2(t, "ZSqrt2.MulChecked", got, ok, bx.Mul(by), small)
+
+	got, ok = x.BulletChecked()
+	checkZSqrt2(t, "ZSqrt2.BulletChecked", got, ok, bx.Bullet(), small)
+
+	if n, ok := x.NormZChecked(); ok {
+		if ref := bx.NormZ(); !ref.IsInt64() || ref.Int64() != n {
+			t.Fatalf("NormZChecked(%v) = %d, reference %v", x, n, ref)
+		}
+	} else if small {
+		t.Fatalf("NormZChecked refused small operand %v", x)
+	}
+}
+
+// TestCheckedBoundary sweeps the deterministic boundary grid: every pair of
+// boundary coefficients in a couple of placements, which covers all
+// single-coefficient overflow modes (add, sub, neg, and product terms).
+func TestCheckedBoundary(t *testing.T) {
+	for _, a := range boundary {
+		for _, b := range boundary {
+			diffOmegaPair(t, ZOmega{A: a, B: b}, ZOmega{A: b, D: a})
+			diffOmegaPair(t, ZOmega{A: a, B: a, C: a, D: a}, ZOmega{A: b, B: b, C: b, D: b})
+			diffSqrt2Pair(t, ZSqrt2{A: a, B: b}, ZSqrt2{A: b, B: a})
+		}
+	}
+}
+
+// TestCheckedScalarOverflow pins the three scalar helpers at exact
+// boundary inputs (the fuzzers below then explore around them).
+func TestCheckedScalarOverflow(t *testing.T) {
+	if _, ok := addInt64(math.MaxInt64, 1); ok {
+		t.Error("addInt64(MaxInt64, 1) must overflow")
+	}
+	if r, ok := addInt64(math.MaxInt64, -1); !ok || r != math.MaxInt64-1 {
+		t.Errorf("addInt64(MaxInt64, -1) = %d, %v", r, ok)
+	}
+	if _, ok := subInt64(0, math.MinInt64); ok {
+		t.Error("subInt64(0, MinInt64) must overflow")
+	}
+	if r, ok := subInt64(-1, math.MinInt64); !ok || r != math.MaxInt64 {
+		t.Errorf("subInt64(-1, MinInt64) = %d, %v", r, ok)
+	}
+	if _, ok := mulInt64(3037000500, 3037000500); ok {
+		t.Error("mulInt64(√MaxInt64+ε)² must overflow")
+	}
+	if r, ok := mulInt64(3037000499, 3037000499); !ok || r != 3037000499*3037000499 {
+		t.Errorf("mulInt64(√MaxInt64)² = %d, %v", r, ok)
+	}
+	if _, ok := mulInt64(math.MinInt64, -1); ok {
+		t.Error("mulInt64(MinInt64, -1) must overflow")
+	}
+	if _, ok := negInt64(math.MinInt64); ok {
+		t.Error("negInt64(MinInt64) must overflow")
+	}
+}
+
+// FuzzCheckedZOmega drives the differential property over random (and
+// boundary-seeded) coefficient pairs.
+func FuzzCheckedZOmega(f *testing.F) {
+	f.Add(int64(1), int64(2), int64(3), int64(4), int64(-1), int64(0), int64(7), int64(-3))
+	f.Add(int64(math.MaxInt64), int64(math.MinInt64), int64(1<<58), int64(-(1 << 58)),
+		int64(3037000499), int64(-3037000500), int64(math.MaxInt64-1), int64(2))
+	f.Add(int64(1<<62), int64(1<<62), int64(1<<62), int64(1<<62),
+		int64(2), int64(2), int64(2), int64(2))
+	f.Fuzz(func(t *testing.T, a, b, c, d, e, g, h, i int64) {
+		diffOmegaPair(t, ZOmega{a, b, c, d}, ZOmega{e, g, h, i})
+	})
+}
+
+// FuzzCheckedZSqrt2 is the same property over Z[√2].
+func FuzzCheckedZSqrt2(f *testing.F) {
+	f.Add(int64(1), int64(2), int64(-3), int64(4))
+	f.Add(int64(math.MaxInt64), int64(math.MinInt64+1), int64(1<<58), int64(-(1 << 31)))
+	f.Add(int64(3037000500), int64(3037000500), int64(-3037000499), int64(1))
+	f.Fuzz(func(t *testing.T, a, b, c, d int64) {
+		diffSqrt2Pair(t, ZSqrt2{a, b}, ZSqrt2{c, d})
+	})
+}
+
+// FuzzCheckedUMatMul checks the matrix-level fast path: MulChecked against
+// the big-matrix reference, via small random unitary-shaped entries.
+func FuzzCheckedUMatMul(f *testing.F) {
+	f.Add(int64(1), int64(0), int64(0), int64(1), int64(1), int64(1), int64(-1), int64(1))
+	f.Add(int64(1<<58), int64(1), int64(-1), int64(1<<58),
+		int64(1), int64(0), int64(0), int64(1))
+	f.Fuzz(func(t *testing.T, a, b, c, d, e, g, h, i int64) {
+		m := UMat{E: [2][2]ZOmega{{{A: a}, {A: b}}, {{A: c}, {A: d}}}, K: 1}
+		n := UMat{E: [2][2]ZOmega{{{A: e, B: g}, {}}, {{}, {A: h, D: i}}}, K: 2}
+		got, ok := m.MulChecked(n)
+		if !ok {
+			return // legitimate promotion; correctness covered when ok
+		}
+		// Reference: lift to big, multiply, compare (the lift cannot
+		// overflow and the big product is exact).
+		bigMul := func(x, y UMat) (UMat, bool) {
+			var r UMat
+			r.K = x.K + y.K
+			for ii := 0; ii < 2; ii++ {
+				for jj := 0; jj < 2; jj++ {
+					p := BOmegaFromZOmega(x.E[ii][0]).Mul(BOmegaFromZOmega(y.E[0][jj])).
+						Add(BOmegaFromZOmega(x.E[ii][1]).Mul(BOmegaFromZOmega(y.E[1][jj])))
+					z, fits := p.ToZOmega()
+					if !fits {
+						return UMat{}, false
+					}
+					r.E[ii][jj] = z
+				}
+			}
+			r.reduce()
+			return r, true
+		}
+		want, fits := bigMul(m, n)
+		if !fits {
+			t.Fatalf("MulChecked ok but reference overflows: %v · %v", m, n)
+		}
+		if got != want {
+			t.Fatalf("MulChecked = %v, reference %v", got, want)
+		}
+	})
+}
