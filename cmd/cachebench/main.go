@@ -1,0 +1,180 @@
+// Command cachebench re-records BenchmarkCacheParallel into
+// BENCH_cache.json as a fresh dated entry. It execs the real benchmark
+// (`go test -bench=BenchmarkCacheParallel repro/synth`) at the default
+// GOMAXPROCS and at GOMAXPROCS=8 — the oversubscription point the shard
+// comparison is about — parses the ns/op per case, and appends an entry
+// carrying a machine-info stanza (nproc, GOMAXPROCS, CPU model), so every
+// recorded number is attributable to the host class it ran on: the PR 3/5
+// entries were 1-vCPU recordings whose shard comparison is explicitly
+// meaningless, and the stanza is what lets a reader tell such entries
+// apart from a real multicore measurement.
+//
+// Usage:
+//
+//	cachebench -out BENCH_cache.json -benchtime 2s -note "..."
+package main
+
+import (
+	"bufio"
+	"bytes"
+	"encoding/json"
+	"flag"
+	"fmt"
+	"os"
+	"os/exec"
+	"regexp"
+	"runtime"
+	"strconv"
+	"strings"
+	"time"
+)
+
+type caseResult struct {
+	Case    string  `json:"case"`
+	NsPerOp float64 `json:"ns_per_op"`
+}
+
+type machineInfo struct {
+	NProc      int    `json:"nproc"`
+	GoMaxProcs int    `json:"gomaxprocs"`
+	CPU        string `json:"cpu_model"`
+	GoOS       string `json:"goos"`
+	GoArch     string `json:"goarch"`
+	GoVersion  string `json:"go_version"`
+}
+
+// entry mirrors the hand-written PR 3/5 entries so the file stays one
+// homogeneous history; machine is the stanza this harness adds.
+type entry struct {
+	Date              string       `json:"date"`
+	Commit            string       `json:"commit,omitempty"`
+	GoOS              string       `json:"goos"`
+	GoArch            string       `json:"goarch"`
+	CPU               string       `json:"cpu,omitempty"`
+	CPUs              int          `json:"cpus"`
+	Benchtime         string       `json:"benchtime"`
+	Machine           *machineInfo `json:"machine,omitempty"`
+	Results           []caseResult `json:"results"`
+	ResultsGomaxprocs []caseResult `json:"results_gomaxprocs_8,omitempty"`
+	Note              string       `json:"note,omitempty"`
+}
+
+type report struct {
+	Benchmark   string            `json:"benchmark"`
+	Package     string            `json:"package"`
+	Description string            `json:"description"`
+	Entries     []json.RawMessage `json:"entries"`
+}
+
+// The -N GOMAXPROCS suffix is absent when GOMAXPROCS=1, so it's optional.
+var benchLine = regexp.MustCompile(`^BenchmarkCacheParallel/(\S+?)(?:-\d+)?\s+\d+\s+([0-9.]+) ns/op`)
+
+func main() {
+	out := flag.String("out", "BENCH_cache.json", "report path (appended to if it exists)")
+	benchtime := flag.String("benchtime", "2s", "go test -benchtime value")
+	commit := flag.String("commit", "", "commit describing the measured tree")
+	note := flag.String("note", "", "free-form note stored with the entry")
+	flag.Parse()
+
+	ent := entry{
+		Date:      time.Now().UTC().Format("2006-01-02"),
+		Commit:    *commit,
+		GoOS:      runtime.GOOS,
+		GoArch:    runtime.GOARCH,
+		CPU:       cpuModel(),
+		CPUs:      runtime.NumCPU(),
+		Benchtime: *benchtime,
+		Machine: &machineInfo{
+			NProc:      runtime.NumCPU(),
+			GoMaxProcs: runtime.GOMAXPROCS(0),
+			CPU:        cpuModel(),
+			GoOS:       runtime.GOOS,
+			GoArch:     runtime.GOARCH,
+			GoVersion:  runtime.Version(),
+		},
+		Note: *note,
+	}
+
+	var err error
+	if ent.Results, err = runBench(*benchtime, nil); err != nil {
+		fatalf("%v", err)
+	}
+	if ent.ResultsGomaxprocs, err = runBench(*benchtime, []string{"GOMAXPROCS=8"}); err != nil {
+		fatalf("GOMAXPROCS=8 run: %v", err)
+	}
+
+	rep := &report{}
+	if data, rerr := os.ReadFile(*out); rerr == nil {
+		if err := json.Unmarshal(data, rep); err != nil {
+			fatalf("%s exists but is not a report: %v", *out, err)
+		}
+	} else {
+		rep.Benchmark = "BenchmarkCacheParallel"
+		rep.Package = "repro/synth"
+		rep.Description = "Mixed 90% Get / 10% Put over a 1024-key working set in a " +
+			"4096-entry cache: shards=1 vs shards=16 under 8 and 64 client goroutines."
+	}
+	raw, err := json.Marshal(ent)
+	if err != nil {
+		fatalf("%v", err)
+	}
+	rep.Entries = append(rep.Entries, raw)
+	data, err := json.MarshalIndent(rep, "", "  ")
+	if err != nil {
+		fatalf("%v", err)
+	}
+	if err := os.WriteFile(*out, append(data, '\n'), 0o644); err != nil {
+		fatalf("%v", err)
+	}
+	fmt.Printf("cachebench: appended entry (nproc=%d) to %s\n", runtime.NumCPU(), *out)
+}
+
+// runBench executes the benchmark once and parses the per-case ns/op.
+func runBench(benchtime string, extraEnv []string) ([]caseResult, error) {
+	cmd := exec.Command("go", "test", "-run=NONE",
+		"-bench=BenchmarkCacheParallel", "-benchtime="+benchtime, "repro/synth")
+	cmd.Env = append(os.Environ(), extraEnv...)
+	var buf bytes.Buffer
+	cmd.Stdout = &buf
+	cmd.Stderr = os.Stderr
+	fmt.Fprintf(os.Stderr, "cachebench: go test -bench=BenchmarkCacheParallel -benchtime=%s %s\n",
+		benchtime, strings.Join(extraEnv, " "))
+	if err := cmd.Run(); err != nil {
+		return nil, fmt.Errorf("benchmark run: %w\n%s", err, buf.String())
+	}
+	var results []caseResult
+	sc := bufio.NewScanner(&buf)
+	for sc.Scan() {
+		if m := benchLine.FindStringSubmatch(sc.Text()); m != nil {
+			ns, err := strconv.ParseFloat(m[2], 64)
+			if err != nil {
+				return nil, fmt.Errorf("parsing %q: %w", sc.Text(), err)
+			}
+			results = append(results, caseResult{Case: m[1], NsPerOp: ns})
+			fmt.Fprintf(os.Stderr, "cachebench: %-28s %.1f ns/op\n", m[1], ns)
+		}
+	}
+	if len(results) == 0 {
+		return nil, fmt.Errorf("no benchmark lines in output:\n%s", buf.String())
+	}
+	return results, nil
+}
+
+// cpuModel best-effort reads the CPU model name (linux /proc/cpuinfo).
+func cpuModel() string {
+	data, err := os.ReadFile("/proc/cpuinfo")
+	if err != nil {
+		return ""
+	}
+	for _, line := range strings.Split(string(data), "\n") {
+		if name, ok := strings.CutPrefix(line, "model name"); ok {
+			return strings.TrimSpace(strings.TrimPrefix(strings.TrimSpace(name), ":"))
+		}
+	}
+	return ""
+}
+
+func fatalf(format string, args ...any) {
+	fmt.Fprintf(os.Stderr, "cachebench: "+format+"\n", args...)
+	os.Exit(1)
+}

@@ -13,6 +13,19 @@
 //	synthd -snapshot /var/lib/synthd/cache.json   # load at start, flush on shutdown
 //	synthd -addr 127.0.0.1:0                  # random port, printed on stdout
 //
+// Cluster mode makes N daemons one consistent-hash cache cluster: give
+// every node an ID and the full static peer list, and quantized-angle
+// keys are routed by a virtual-node hash ring — a local miss does a
+// single-hop lookup at the key's owner before synthesizing, fresh
+// syntheses are pushed to the owner, and -warm-seed streams the ring
+// successor's snapshot at start so a joining node answers hot keys
+// without synthesizing. Per-tenant token-bucket quotas (keyed on the
+// X-Tenant header) layer on top of the inflight/queue admission control:
+//
+//	synthd -addr :8077 -node-id a -peers a=http://h1:8077,b=http://h2:8077,c=http://h3:8077
+//	synthd -addr :8078 -node-id b -peers ... -warm-seed      # join warm
+//	synthd -tenant-rps 50 -tenant-burst 100                  # quotas, any mode
+//
 // Endpoints: POST /v1/compile, POST /v1/synthesize, GET /healthz,
 // GET /metrics. Compile requests can enable the T-count optimizer via
 // opt_level / optimizers (the stats then carry t_count_before /
@@ -36,12 +49,32 @@ import (
 	"net/http"
 	"os"
 	"os/signal"
+	"strings"
 	"syscall"
 	"time"
 
 	"repro/synth"
 	"repro/synth/serve"
+	"repro/synth/serve/cluster"
 )
+
+// parsePeers parses "id=url,id=url,...". Self may appear; cluster.New
+// ignores its URL, so one identical -peers value works for every node.
+func parsePeers(s string) (map[string]string, error) {
+	peers := map[string]string{}
+	for _, part := range strings.Split(s, ",") {
+		part = strings.TrimSpace(part)
+		if part == "" {
+			continue
+		}
+		id, base, ok := strings.Cut(part, "=")
+		if !ok || id == "" {
+			return nil, fmt.Errorf("bad peer %q (want id=url)", part)
+		}
+		peers[id] = base
+	}
+	return peers, nil
+}
 
 func main() {
 	var (
@@ -55,12 +88,42 @@ func main() {
 		maxQueue    = flag.Int("queue", 0, "max requests waiting for a slot before 503s (0 = 64)")
 		reqTimeout  = flag.Duration("request-timeout", 10*time.Minute, "per-request deadline cap (0 = none)")
 		drain       = flag.Duration("drain", 30*time.Second, "graceful-shutdown drain budget")
+
+		nodeID      = flag.String("node-id", "", "cluster mode: this node's ring ID (requires -peers)")
+		peers       = flag.String("peers", "", "cluster mode: static peer list id=url,id=url,... (self may be listed; its URL is ignored)")
+		vnodes      = flag.Int("vnodes", 0, "cluster mode: virtual nodes per member on the hash ring (0 = default)")
+		peerTimeout = flag.Duration("peer-timeout", 0, "cluster mode: single-hop peer lookup deadline (0 = default)")
+		warmSeed    = flag.Bool("warm-seed", false, "cluster mode: stream the ring successor's snapshot at start instead of starting cold")
+		seedTimeout = flag.Duration("seed-timeout", 30*time.Second, "cluster mode: -warm-seed transfer budget")
+
+		tenantRPS   = flag.Float64("tenant-rps", 0, "per-tenant quota in requests/second, keyed on X-Tenant (0 = quotas off)")
+		tenantBurst = flag.Int("tenant-burst", 0, "per-tenant quota burst (0 = max(1, ceil(rps)))")
 	)
 	flag.Parse()
 	logger := log.New(os.Stderr, "synthd: ", log.LstdFlags)
 
 	if _, ok := synth.Lookup(*backend); !ok {
 		logger.Fatalf("unknown -backend %q (have %v)", *backend, synth.List())
+	}
+
+	var node *cluster.Node
+	if *nodeID != "" || *peers != "" {
+		if *nodeID == "" {
+			logger.Fatalf("-peers requires -node-id")
+		}
+		peerMap, err := parsePeers(*peers)
+		if err != nil {
+			logger.Fatalf("parsing -peers: %v", err)
+		}
+		node, err = cluster.New(cluster.Config{
+			SelfID:        *nodeID,
+			Peers:         peerMap,
+			VNodes:        *vnodes,
+			LookupTimeout: *peerTimeout,
+		})
+		if err != nil {
+			logger.Fatalf("cluster: %v", err)
+		}
 	}
 
 	srv := serve.New(serve.Config{
@@ -71,6 +134,9 @@ func main() {
 		MaxInflight:    *maxInflight,
 		MaxQueue:       *maxQueue,
 		RequestTimeout: *reqTimeout,
+		Cluster:        node,
+		TenantRPS:      *tenantRPS,
+		TenantBurst:    *tenantBurst,
 	})
 	cache := srv.Cache()
 	if *snapshot != "" {
@@ -88,6 +154,25 @@ func main() {
 		}
 	}
 
+	if *warmSeed {
+		if node == nil {
+			logger.Fatalf("-warm-seed requires cluster mode (-node-id/-peers)")
+		}
+		// Seeding is best effort: the donor may itself still be booting
+		// (a whole cluster starting at once is all cold anyway), and a
+		// cold start is always correct — the cache is pure recomputable
+		// state, so log and carry on.
+		sctx, scancel := context.WithTimeout(context.Background(), *seedTimeout)
+		n, err := node.Seed(sctx)
+		scancel()
+		if err != nil {
+			logger.Printf("warm seed unavailable (starting cold): %v", err)
+		} else {
+			logger.Printf("warm-seeded %d cached sequences from ring successor %s",
+				n, node.Ring().Successor(node.SelfID()))
+		}
+	}
+
 	ln, err := net.Listen("tcp", *addr)
 	if err != nil {
 		logger.Fatalf("listen %s: %v", *addr, err)
@@ -96,6 +181,10 @@ func main() {
 	// test) can start on :0 and learn the port.
 	fmt.Printf("synthd: listening on http://%s\n", ln.Addr())
 	logger.Printf("backend=%s cache(cap=%d shards=%d)", *backend, cache.Cap(), cache.Shards())
+	if node != nil {
+		logger.Printf("cluster node %s: ring %v (%d vnodes/member)",
+			node.SelfID(), node.Ring().Members(), node.Ring().VNodes())
+	}
 
 	hs := &http.Server{Handler: srv.Handler()}
 	errc := make(chan error, 1)
@@ -114,6 +203,11 @@ func main() {
 	defer cancel()
 	if err := hs.Shutdown(dctx); err != nil {
 		logger.Printf("drain incomplete: %v", err)
+	}
+	if node != nil {
+		// Let in-flight owner pushes land so peers keep this node's last
+		// syntheses after it leaves.
+		node.Flush()
 	}
 	if *snapshot != "" {
 		if err := cache.SaveFile(*snapshot); err != nil {

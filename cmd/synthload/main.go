@@ -1,0 +1,366 @@
+// Command synthload is the cluster load generator: it drives one or more
+// synthd nodes at a target request rate with rotation batches drawn from
+// the circuit/gen workload corpus, measures per-request latency
+// client-side, and appends the run — p50/p99, hit rate, throttle and
+// error counts, machine info — as a dated entry to BENCH_serve.json.
+//
+// Arrivals are open-loop: requests launch on the offered schedule
+// (start + i/rps) regardless of how many are still outstanding, so a
+// saturated or degraded cluster shows up as latency and 429/503 counts
+// instead of silently slowing the generator down (closed-loop generators
+// measure their own backpressure, not the service). Targets are hit
+// round-robin, which on a consistent-hash cluster makes every node serve
+// every key — the cache-affinity stress the peer-lookup path exists for.
+//
+// Usage:
+//
+//	synthload -targets http://127.0.0.1:8077 -rps 25 -duration 10s
+//	synthload -targets http://n1:8077,http://n2:8077,http://n3:8077 \
+//	          -rps 25 -duration 30s -eps 1e-2 -backend gridsynth \
+//	          -tenant bench -retries 0 -label 3-node -out BENCH_serve.json
+//
+// The workload is deterministic: the angle pool is extracted from
+// circuit/gen QAOA circuits at fixed seeds, and requests walk the pool
+// round-robin, so a run longer than one pool lap is exactly the repeated
+// workload a warm cache should absorb.
+package main
+
+import (
+	"context"
+	"encoding/json"
+	"flag"
+	"fmt"
+	"math"
+	"os"
+	"runtime"
+	"sort"
+	"strings"
+	"sync"
+	"time"
+
+	"repro/circuit"
+	"repro/circuit/gen"
+	"repro/synth/serve"
+	"repro/synth/serve/client"
+)
+
+type result struct {
+	latencyMs float64
+	status    string // ok | throttled | rejected | error
+	hits      int64
+	misses    int64
+}
+
+type entry struct {
+	Date     string  `json:"date"`
+	Label    string  `json:"label"`
+	Targets  int     `json:"targets"`
+	Backend  string  `json:"backend"`
+	Eps      float64 `json:"eps"`
+	RPS      float64 `json:"offered_rps"`
+	Duration string  `json:"duration"`
+	Batch    int     `json:"batch"`
+	Angles   int     `json:"angle_pool"`
+
+	Requests  int     `json:"requests"`
+	OK        int     `json:"ok"`
+	Throttled int     `json:"throttled"`
+	Rejected  int     `json:"rejected"`
+	Errors    int     `json:"errors"`
+	ErrorRate float64 `json:"error_rate"`
+	HitRate   float64 `json:"hit_rate"`
+
+	P50Ms      float64 `json:"p50_ms"`
+	P95Ms      float64 `json:"p95_ms"`
+	P99Ms      float64 `json:"p99_ms"`
+	MeanMs     float64 `json:"mean_ms"`
+	AchievedR  float64 `json:"achieved_rps"`
+	Machine    machine `json:"machine"`
+	Note       string  `json:"note,omitempty"`
+	TenantsRun string  `json:"tenant,omitempty"`
+}
+
+type machine struct {
+	NProc      int    `json:"nproc"`
+	GoMaxProcs int    `json:"gomaxprocs"`
+	GoOS       string `json:"goos"`
+	GoArch     string `json:"goarch"`
+	GoVersion  string `json:"go_version"`
+}
+
+type report struct {
+	Benchmark   string  `json:"benchmark"`
+	Description string  `json:"description"`
+	Entries     []entry `json:"entries"`
+}
+
+func newReport() *report {
+	return &report{
+		Benchmark: "synthload",
+		Description: "Open-loop load generation against synthd (1..N nodes, round-robin): " +
+			"rotation batches from the circuit/gen QAOA corpus at a fixed offered RPS; " +
+			"client-side p50/p95/p99 latency, cluster-wide cache hit rate, and " +
+			"throttle (429) / rejection (503) / error counts.",
+	}
+}
+
+func main() {
+	var (
+		targets   = flag.String("targets", "http://127.0.0.1:8077", "comma-separated synthd base URLs, hit round-robin")
+		rps       = flag.Float64("rps", 25, "offered request rate (open loop)")
+		duration  = flag.Duration("duration", 10*time.Second, "generation window")
+		eps       = flag.Float64("eps", 1e-2, "per-rotation epsilon")
+		backend   = flag.String("backend", "gridsynth", "backend for every request")
+		batch     = flag.Int("batch", 1, "rotations per request")
+		angles    = flag.Int("angles", 32, "distinct angles in the workload pool")
+		seed      = flag.Int64("seed", 1, "corpus seed (the angle pool is deterministic in it)")
+		tenant    = flag.String("tenant", "", "X-Tenant header value (empty = anonymous)")
+		retries   = flag.Int("retries", 0, "client retries on 429/503 (0 = measure raw rejections)")
+		reqTO     = flag.Duration("req-timeout", 30*time.Second, "per-request deadline")
+		label     = flag.String("label", "", "entry label for BENCH_serve.json (e.g. 1-node, 3-node)")
+		note      = flag.String("note", "", "free-form note stored with the entry")
+		out       = flag.String("out", "BENCH_serve.json", "report path, appended to if it exists (empty = don't record)")
+		warmWaves = flag.Int("warm-waves", 0, "closed-loop laps over the angle pool before the timed window (pre-warms the cluster)")
+	)
+	flag.Parse()
+
+	urls := splitNonEmpty(*targets)
+	if len(urls) == 0 {
+		fatalf("no -targets")
+	}
+	if *rps <= 0 || *batch <= 0 || *angles <= 0 {
+		fatalf("-rps, -batch and -angles must be positive")
+	}
+	pool := anglePool(*angles, *seed)
+
+	clients := make([]*client.Client, len(urls))
+	opts := []client.Option{client.WithRetry(*retries)}
+	if *tenant != "" {
+		opts = append(opts, client.WithTenant(*tenant))
+	}
+	for i, u := range urls {
+		clients[i] = client.New(u, opts...)
+	}
+
+	ctx := context.Background()
+	for i, cl := range clients {
+		if _, err := cl.Health(ctx); err != nil {
+			fatalf("target %s unhealthy: %v", urls[i], err)
+		}
+	}
+
+	request := func(i int) serve.SynthesizeRequest {
+		rots := make([]serve.Rotation, *batch)
+		for j := range rots {
+			rots[j] = serve.Rotation{Gate: "rz", Params: [3]float64{pool[(i**batch+j)%len(pool)]}}
+		}
+		return serve.SynthesizeRequest{Rotations: rots, Backend: *backend, Eps: *eps}
+	}
+
+	// Optional closed-loop warmup: one request per pool angle per wave,
+	// spread over the targets, so the timed window measures the steady
+	// state instead of the cold ramp.
+	for w := 0; w < *warmWaves; w++ {
+		for i := 0; i < (len(pool)+*batch-1)/(*batch); i++ {
+			cl := clients[i%len(clients)]
+			cctx, cancel := context.WithTimeout(ctx, *reqTO)
+			if _, err := cl.Synthesize(cctx, request(i)); err != nil {
+				fmt.Fprintf(os.Stderr, "synthload: warmup: %v\n", err)
+			}
+			cancel()
+		}
+	}
+
+	interval := time.Duration(float64(time.Second) / *rps)
+	total := int(float64(*duration) / float64(interval))
+	fmt.Fprintf(os.Stderr, "synthload: %d requests over %s (%.1f rps, %d targets, pool %d angles)\n",
+		total, *duration, *rps, len(urls), len(pool))
+
+	results := make([]result, total)
+	var wg sync.WaitGroup
+	start := time.Now()
+	for i := 0; i < total; i++ {
+		// Open loop: fire at the scheduled arrival even if earlier
+		// requests are still in flight.
+		if wait := start.Add(time.Duration(i) * interval).Sub(time.Now()); wait > 0 {
+			time.Sleep(wait)
+		}
+		wg.Add(1)
+		go func(i int) {
+			defer wg.Done()
+			cl := clients[i%len(clients)]
+			cctx, cancel := context.WithTimeout(ctx, *reqTO)
+			defer cancel()
+			t0 := time.Now()
+			resp, err := cl.Synthesize(cctx, request(i))
+			lat := time.Since(t0)
+			r := result{latencyMs: float64(lat) / float64(time.Millisecond)}
+			switch {
+			case err == nil:
+				r.status = "ok"
+				r.hits, r.misses = resp.Hits, resp.Misses
+			default:
+				if ae, ok := err.(*client.APIError); ok {
+					switch ae.Status {
+					case 429:
+						r.status = "throttled"
+					case 503:
+						r.status = "rejected"
+					default:
+						r.status = "error"
+					}
+				} else {
+					r.status = "error"
+				}
+			}
+			results[i] = r
+		}(i)
+	}
+	wg.Wait()
+	elapsed := time.Since(start)
+
+	ent := summarize(results, elapsed)
+	ent.Date = time.Now().UTC().Format("2006-01-02")
+	ent.Label = *label
+	ent.Targets = len(urls)
+	ent.Backend = *backend
+	ent.Eps = *eps
+	ent.RPS = *rps
+	ent.Duration = duration.String()
+	ent.Batch = *batch
+	ent.Angles = len(pool)
+	ent.Note = *note
+	ent.TenantsRun = *tenant
+	ent.Machine = machine{
+		NProc:      runtime.NumCPU(),
+		GoMaxProcs: runtime.GOMAXPROCS(0),
+		GoOS:       runtime.GOOS,
+		GoArch:     runtime.GOARCH,
+		GoVersion:  runtime.Version(),
+	}
+
+	fmt.Printf("synthload: %d req  ok=%d throttled=%d rejected=%d errors=%d  "+
+		"p50=%.1fms p99=%.1fms  hit_rate=%.3f  achieved=%.1f rps\n",
+		ent.Requests, ent.OK, ent.Throttled, ent.Rejected, ent.Errors,
+		ent.P50Ms, ent.P99Ms, ent.HitRate, ent.AchievedR)
+
+	if *out == "" {
+		return
+	}
+	rep := newReport()
+	if data, err := os.ReadFile(*out); err == nil {
+		if err := json.Unmarshal(data, rep); err != nil {
+			fatalf("%s exists but is not a synthload report: %v", *out, err)
+		}
+	}
+	rep.Entries = append(rep.Entries, ent)
+	data, err := json.MarshalIndent(rep, "", "  ")
+	if err != nil {
+		fatalf("%v", err)
+	}
+	if err := os.WriteFile(*out, append(data, '\n'), 0o644); err != nil {
+		fatalf("%v", err)
+	}
+	fmt.Printf("synthload: appended %q entry to %s\n", *label, *out)
+}
+
+// anglePool extracts n rotation angles from the deterministic QAOA
+// corpus: the merged RZ/RX angles of gen.QAOAMaxCut circuits at seeds
+// seed, seed+1, … — real workload angles, not synthetic uniforms, so
+// quantization and cache behavior match what a compile endpoint sees.
+func anglePool(n int, seed int64) []float64 {
+	var pool []float64
+	seen := map[int64]bool{}
+	for s := seed; len(pool) < n && s < seed+int64(4*n); s++ {
+		c := gen.QAOAMaxCut(8, 2, s)
+		for _, op := range c.Ops {
+			var theta float64
+			switch op.G {
+			case circuit.RZ, circuit.RX, circuit.RY:
+				theta = op.P[0]
+			default:
+				continue
+			}
+			// Dedup at the cache's own quantization so the pool size is
+			// the real distinct-key count.
+			q := int64(math.Round(theta * 1e12))
+			if seen[q] {
+				continue
+			}
+			seen[q] = true
+			pool = append(pool, theta)
+			if len(pool) == n {
+				break
+			}
+		}
+	}
+	return pool
+}
+
+func summarize(results []result, elapsed time.Duration) entry {
+	var ent entry
+	var lats []float64
+	var hits, misses int64
+	var latSum float64
+	for _, r := range results {
+		ent.Requests++
+		switch r.status {
+		case "ok":
+			ent.OK++
+			lats = append(lats, r.latencyMs)
+			latSum += r.latencyMs
+			hits += r.hits
+			misses += r.misses
+		case "throttled":
+			ent.Throttled++
+		case "rejected":
+			ent.Rejected++
+		default:
+			ent.Errors++
+		}
+	}
+	if ent.Requests > 0 {
+		ent.ErrorRate = float64(ent.Errors) / float64(ent.Requests)
+	}
+	if hits+misses > 0 {
+		ent.HitRate = float64(hits) / float64(hits+misses)
+	}
+	if len(lats) > 0 {
+		sort.Float64s(lats)
+		ent.P50Ms = percentile(lats, 0.50)
+		ent.P95Ms = percentile(lats, 0.95)
+		ent.P99Ms = percentile(lats, 0.99)
+		ent.MeanMs = latSum / float64(len(lats))
+	}
+	if elapsed > 0 {
+		ent.AchievedR = float64(ent.Requests) / elapsed.Seconds()
+	}
+	return ent
+}
+
+// percentile reads the p-quantile from sorted latencies (nearest rank).
+func percentile(sorted []float64, p float64) float64 {
+	i := int(math.Ceil(p*float64(len(sorted)))) - 1
+	if i < 0 {
+		i = 0
+	}
+	if i >= len(sorted) {
+		i = len(sorted) - 1
+	}
+	return sorted[i]
+}
+
+func splitNonEmpty(s string) []string {
+	var out []string
+	for _, part := range strings.Split(s, ",") {
+		if part = strings.TrimSpace(part); part != "" {
+			out = append(out, part)
+		}
+	}
+	return out
+}
+
+func fatalf(format string, args ...any) {
+	fmt.Fprintf(os.Stderr, "synthload: "+format+"\n", args...)
+	os.Exit(2)
+}

@@ -139,7 +139,42 @@ type Cache struct {
 	// creditHits/creditMisses charge the key-less accounting paths
 	// (creditHit/creditMiss) without electing a shard for them.
 	creditHits, creditMisses atomic.Int64
+	// peer holds the optional second-tier hooks a cache cluster installs
+	// (SetPeer): lookup fills local misses from a remote owner, fill
+	// publishes fresh local syntheses to it.
+	peer atomic.Pointer[peerHooks]
 }
+
+// peerHooks is the pair SetPeer installs. Both functions may be nil.
+type peerHooks struct {
+	lookup func(Key) (Entry, bool)
+	fill   func(Key, Entry)
+}
+
+// SetPeer installs a second lookup tier behind this cache — the hook a
+// consistent-hash cache cluster (synth/serve/cluster) uses to make N
+// processes behave as one memo table. On a local miss, Get consults
+// lookup (outside any shard lock; it may do network I/O) and, on a peer
+// hit, stores the entry locally and counts the lookup as a hit — from the
+// caller's perspective the cluster served it without synthesis. Every Put
+// of a locally produced entry is reported to fill (also outside locks),
+// so the cluster can publish it to the key's owning node; entries that
+// arrived *from* the tier — peer hits, snapshot loads — are stored
+// quietly and never re-published. Pass nils to detach. Install before
+// serving traffic: SetPeer itself is safe for concurrent use, but
+// lookups racing the swap may see either tier configuration.
+func (c *Cache) SetPeer(lookup func(Key) (Entry, bool), fill func(Key, Entry)) {
+	if lookup == nil && fill == nil {
+		c.peer.Store(nil)
+		return
+	}
+	c.peer.Store(&peerHooks{lookup: lookup, fill: fill})
+}
+
+// KeyHash is the FNV-1a hash of k — the same value in-process shard
+// election uses, exported so cluster-level routing (consistent-hash node
+// ownership) distributes keys exactly the way the shards already do.
+func KeyHash(k Key) uint64 { return keyHash(k) }
 
 // cacheShard is one independently locked LRU region.
 type cacheShard struct {
@@ -212,17 +247,41 @@ func (c *Cache) shard(k Key) *cacheShard {
 	return c.shards[keyHash(k)&c.mask]
 }
 
-// Get looks up k, counting a hit or miss and refreshing recency.
+// Get looks up k, counting a hit or miss and refreshing recency. When a
+// peer tier is installed (SetPeer), a local miss consults it before being
+// counted: a peer hit is stored locally and counted as a hit, so
+// Hits+Misses still equals the lookups performed and a hit still means
+// "served without synthesis".
 func (c *Cache) Get(k Key) (Entry, bool) {
 	s := c.shard(k)
 	s.mu.Lock()
-	defer s.mu.Unlock()
 	if el, ok := s.m[k]; ok {
 		s.hits++
 		s.ll.MoveToFront(el)
-		return el.Value.(*cacheNode).e, true
+		e := el.Value.(*cacheNode).e
+		s.mu.Unlock()
+		return e, true
 	}
+	p := c.peer.Load()
+	if p == nil || p.lookup == nil {
+		s.misses++
+		s.mu.Unlock()
+		return Entry{}, false
+	}
+	// The peer lookup does network I/O; it must run outside the shard
+	// lock. Concurrent misses on one key may each ask the peer — a
+	// bounded duplication the short lookup deadline keeps cheap.
+	s.mu.Unlock()
+	if e, ok := p.lookup(k); ok {
+		c.putQuiet(k, e)
+		s.mu.Lock()
+		s.hits++
+		s.mu.Unlock()
+		return e, true
+	}
+	s.mu.Lock()
 	s.misses++
+	s.mu.Unlock()
 	return Entry{}, false
 }
 
@@ -241,6 +300,16 @@ func (c *Cache) creditMiss() {
 	c.creditMisses.Add(1)
 }
 
+// Peek is Get without accounting, recency update, or peer consultation —
+// the lookup a remote cluster probe uses, so cross-node traffic neither
+// distorts local LRU order nor inflates the hit/miss counters.
+func (c *Cache) Peek(k Key) (Entry, bool) { return c.peek(k) }
+
+// PutQuiet stores k → e without reporting it to any peer fill hook — the
+// insert path for entries that arrived from another cluster node, which
+// must not bounce back to it.
+func (c *Cache) PutQuiet(k Key, e Entry) { c.putQuiet(k, e) }
+
 // peek is Get without accounting or recency update; used when assembling
 // output from entries the caller already charged for.
 func (c *Cache) peek(k Key) (Entry, bool) {
@@ -254,8 +323,19 @@ func (c *Cache) peek(k Key) (Entry, bool) {
 }
 
 // Put stores k → e, evicting the owning shard's least-recently-used entry
-// when that shard is full.
+// when that shard is full. The entry is treated as locally produced and
+// reported to the peer fill hook when one is installed; use LoadSnapshot
+// (or rely on Get's peer path) for entries that came from the tier.
 func (c *Cache) Put(k Key, e Entry) {
+	c.putQuiet(k, e)
+	if p := c.peer.Load(); p != nil && p.fill != nil {
+		p.fill(k, e)
+	}
+}
+
+// putQuiet is Put without the peer fill notification — the insert path
+// for entries that arrived from the peer tier or a snapshot.
+func (c *Cache) putQuiet(k Key, e Entry) {
 	s := c.shard(k)
 	s.mu.Lock()
 	defer s.mu.Unlock()
@@ -269,6 +349,24 @@ func (c *Cache) Put(k Key, e Entry) {
 		last := s.ll.Back()
 		s.ll.Remove(last)
 		delete(s.m, last.Value.(*cacheNode).k)
+	}
+}
+
+// Range calls f for every live entry until f returns false. Order is
+// unspecified; recency is not refreshed and nothing is counted. One shard
+// is locked at a time, so f must not call back into the cache, and
+// entries inserted or evicted concurrently may or may not be seen.
+func (c *Cache) Range(f func(Key, Entry) bool) {
+	for _, s := range c.shards {
+		s.mu.Lock()
+		for el := s.ll.Front(); el != nil; el = el.Next() {
+			n := el.Value.(*cacheNode)
+			if !f(n.k, n.e) {
+				s.mu.Unlock()
+				return
+			}
+		}
+		s.mu.Unlock()
 	}
 }
 

@@ -194,3 +194,70 @@ func TestCacheConcurrent(t *testing.T) {
 		t.Fatalf("degenerate accounting: %+v", st)
 	}
 }
+
+// TestCachePeerTier: the SetPeer hook pair. A local miss consults the
+// peer lookup — a peer hit counts as a hit (the Hits+Misses==lookups
+// invariant survives the peer tier) and lands in the local cache without
+// re-publishing; a Put of locally produced entries notifies the fill
+// hook; PutQuiet never does.
+func TestCachePeerTier(t *testing.T) {
+	c := NewCache(8)
+	remote := map[Key]Entry{}
+	var fills []Key
+	c.SetPeer(
+		func(k Key) (Entry, bool) { e, ok := remote[k]; return e, ok },
+		func(k Key, e Entry) { fills = append(fills, k) },
+	)
+
+	kRemote := KeyOf(rzOp(0.7), "t", 1e-3, 0)
+	kLocal := KeyOf(rzOp(0.9), "t", 1e-3, 0)
+	kMiss := KeyOf(rzOp(1.1), "t", 1e-3, 0)
+	remote[kRemote] = Entry{Seq: gates.Sequence{gates.T}, Err: 0.001}
+
+	// Peer hit: counted as a hit, no fill notification (peer-served
+	// entries must not echo back to the owner), and now cached locally.
+	if _, ok := c.Get(kRemote); !ok {
+		t.Fatal("peer-held key missed")
+	}
+	if len(fills) != 0 {
+		t.Fatalf("peer hit triggered %d fill notifications, want 0", len(fills))
+	}
+	delete(remote, kRemote)
+	if _, ok := c.Get(kRemote); !ok {
+		t.Fatal("peer-served entry was not cached locally")
+	}
+
+	// Peer miss: counted as a miss.
+	if _, ok := c.Get(kMiss); ok {
+		t.Fatal("hit on a key neither tier holds")
+	}
+
+	// Put publishes through the fill hook exactly once; PutQuiet is the
+	// no-publish path (snapshot loads, peer-pushed entries).
+	c.Put(kLocal, Entry{Seq: gates.Sequence{gates.T}, Err: 0.001})
+	if len(fills) != 1 || fills[0] != kLocal {
+		t.Fatalf("fills after Put = %v, want [%v]", fills, kLocal)
+	}
+	c.PutQuiet(kMiss, Entry{Seq: gates.Sequence{gates.T}, Err: 0.001})
+	if len(fills) != 1 {
+		t.Fatalf("PutQuiet published through the fill hook: %v", fills)
+	}
+
+	st := c.Stats()
+	if st.Hits != 2 || st.Misses != 1 {
+		t.Fatalf("stats %+v, want 2 hits / 1 miss (peer hit counts as hit)", st)
+	}
+
+	// Range sees every live entry.
+	seen := 0
+	c.Range(func(Key, Entry) bool { seen++; return true })
+	if seen != 3 {
+		t.Fatalf("Range visited %d entries, want 3", seen)
+	}
+
+	// Hooks detach cleanly.
+	c.SetPeer(nil, nil)
+	if _, ok := c.Get(KeyOf(rzOp(1.3), "t", 1e-3, 0)); ok {
+		t.Fatal("hit after detaching peer hooks")
+	}
+}

@@ -10,16 +10,21 @@ import (
 	"encoding/json"
 	"fmt"
 	"io"
+	"math/rand"
 	"net/http"
+	"strconv"
 	"strings"
+	"time"
 
 	"repro/synth/serve"
 )
 
 // Client talks to one synthd base URL.
 type Client struct {
-	base string
-	hc   *http.Client
+	base    string
+	hc      *http.Client
+	tenant  string
+	retries int
 }
 
 // Option configures a Client.
@@ -29,6 +34,23 @@ type Option func(*Client)
 // transports, client-side timeouts). The default has no timeout: compile
 // deadlines belong to the request context and the daemon's own caps.
 func WithHTTPClient(hc *http.Client) Option { return func(c *Client) { c.hc = hc } }
+
+// WithTenant sets the X-Tenant header on every request — the identity
+// the daemon's per-tenant quotas meter.
+func WithTenant(tenant string) Option { return func(c *Client) { c.tenant = tenant } }
+
+// WithRetry enables bounded retries of rejected requests: a 429 (tenant
+// quota) or 503 (admission control) response is retried up to n times,
+// sleeping the server's Retry-After (capped at retryAfterCap) with ±25%
+// jitter so a herd of rejected clients doesn't return in lockstep. Off
+// by default — rejection is part of the API, and callers probing the
+// rejection path (tests, load shedding experiments) must see the raw
+// status.
+func WithRetry(n int) Option { return func(c *Client) { c.retries = n } }
+
+// retryAfterCap bounds one retry sleep regardless of what the server
+// advertises.
+const retryAfterCap = 5 * time.Second
 
 // New returns a client for the daemon at base (e.g. "http://127.0.0.1:8077").
 func New(base string, opts ...Option) *Client {
@@ -102,40 +124,81 @@ func (c *Client) post(ctx context.Context, path string, in, out any) error {
 	if err != nil {
 		return fmt.Errorf("client: encoding request: %w", err)
 	}
-	req, err := http.NewRequestWithContext(ctx, http.MethodPost, c.base+path, bytes.NewReader(body))
-	if err != nil {
-		return err
-	}
-	req.Header.Set("Content-Type", "application/json")
-	return c.do(req, out)
+	return c.do(ctx, out, func() (*http.Request, error) {
+		req, err := http.NewRequestWithContext(ctx, http.MethodPost, c.base+path, bytes.NewReader(body))
+		if err != nil {
+			return nil, err
+		}
+		req.Header.Set("Content-Type", "application/json")
+		return req, nil
+	})
 }
 
 func (c *Client) get(ctx context.Context, path string, out any) error {
-	req, err := http.NewRequestWithContext(ctx, http.MethodGet, c.base+path, nil)
-	if err != nil {
-		return err
-	}
-	return c.do(req, out)
+	return c.do(ctx, out, func() (*http.Request, error) {
+		return http.NewRequestWithContext(ctx, http.MethodGet, c.base+path, nil)
+	})
 }
 
-// do executes the request, decoding either the typed response or the
-// daemon's ErrorResponse into an APIError.
-func (c *Client) do(req *http.Request, out any) error {
-	res, err := c.hc.Do(req)
-	if err != nil {
-		return err
-	}
-	defer res.Body.Close()
-	if res.StatusCode != http.StatusOK {
+// do executes the request (rebuilt per attempt, so retried POST bodies
+// replay), decoding either the typed response or the daemon's
+// ErrorResponse into an APIError. With WithRetry, a 429/503 rejection is
+// retried after the advertised Retry-After.
+func (c *Client) do(ctx context.Context, out any, build func() (*http.Request, error)) error {
+	for attempt := 0; ; attempt++ {
+		req, err := build()
+		if err != nil {
+			return err
+		}
+		if c.tenant != "" {
+			req.Header.Set("X-Tenant", c.tenant)
+		}
+		res, err := c.hc.Do(req)
+		if err != nil {
+			return err
+		}
+		if res.StatusCode == http.StatusOK {
+			err := json.NewDecoder(res.Body).Decode(out)
+			res.Body.Close()
+			if err != nil {
+				return fmt.Errorf("client: decoding response: %w", err)
+			}
+			return nil
+		}
 		var e serve.ErrorResponse
 		msg := res.Status
 		if err := json.NewDecoder(res.Body).Decode(&e); err == nil && e.Error != "" {
 			msg = e.Error
 		}
-		return &APIError{Status: res.StatusCode, Message: msg}
+		res.Body.Close()
+		retryable := res.StatusCode == http.StatusTooManyRequests ||
+			res.StatusCode == http.StatusServiceUnavailable
+		if !retryable || attempt >= c.retries {
+			return &APIError{Status: res.StatusCode, Message: msg}
+		}
+		select {
+		case <-time.After(retryDelay(res.Header.Get("Retry-After"), attempt)):
+		case <-ctx.Done():
+			return ctx.Err()
+		}
 	}
-	if err := json.NewDecoder(res.Body).Decode(out); err != nil {
-		return fmt.Errorf("client: decoding response: %w", err)
+}
+
+// retryDelay turns a Retry-After header (integer seconds; the only form
+// the daemon emits) into a capped, jittered sleep. Without the header it
+// backs off exponentially from 100ms.
+func retryDelay(retryAfter string, attempt int) time.Duration {
+	d := 100 * time.Millisecond << min(attempt, 10)
+	if secs, err := strconv.Atoi(retryAfter); err == nil && secs >= 0 {
+		d = time.Duration(secs) * time.Second
 	}
-	return nil
+	if d > retryAfterCap {
+		d = retryAfterCap
+	}
+	if d <= 0 {
+		d = 50 * time.Millisecond
+	}
+	// ±25% jitter de-synchronizes rejected clients.
+	j := int64(d / 4)
+	return d - time.Duration(j/2) + time.Duration(rand.Int63n(j+1))
 }

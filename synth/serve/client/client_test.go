@@ -1,0 +1,111 @@
+package client_test
+
+import (
+	"context"
+	"encoding/json"
+	"errors"
+	"net/http"
+	"net/http/httptest"
+	"sync/atomic"
+	"testing"
+
+	"repro/synth/serve"
+	"repro/synth/serve/client"
+)
+
+var retryReq = serve.SynthesizeRequest{
+	Eps:       1e-2,
+	Rotations: []serve.Rotation{{Gate: "rz", Params: [3]float64{0.41}}},
+}
+
+// rejectingServer answers 429 (with Retry-After) for the first reject
+// calls, then 200. It records the call count and the tenant header.
+func rejectingServer(t *testing.T, reject int64, status int, tenants *[]string) (*httptest.Server, *atomic.Int64) {
+	t.Helper()
+	calls := &atomic.Int64{}
+	hs := httptest.NewServer(http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		*tenants = append(*tenants, r.Header.Get("X-Tenant"))
+		if calls.Add(1) <= reject {
+			w.Header().Set("Retry-After", "0") // keep the test fast; 0 floors to 50ms
+			w.WriteHeader(status)
+			json.NewEncoder(w).Encode(serve.ErrorResponse{Error: "over quota"})
+			return
+		}
+		json.NewEncoder(w).Encode(serve.SynthesizeResponse{
+			Results: []serve.SynthesizeResult{{Seq: "T"}}, Hits: 1,
+		})
+	}))
+	t.Cleanup(hs.Close)
+	return hs, calls
+}
+
+// TestRetryHonorsRetryAfter: a WithRetry client replays the POST after a
+// 429, carries the tenant header on every attempt, and succeeds.
+func TestRetryHonorsRetryAfter(t *testing.T) {
+	var tenants []string
+	hs, calls := rejectingServer(t, 1, http.StatusTooManyRequests, &tenants)
+	cl := client.New(hs.URL, client.WithRetry(2), client.WithTenant("alice"))
+	resp, err := cl.Synthesize(context.Background(), retryReq)
+	if err != nil {
+		t.Fatalf("retry-enabled client failed: %v", err)
+	}
+	if got := calls.Load(); got != 2 {
+		t.Fatalf("server saw %d attempts, want 2 (reject, then success)", got)
+	}
+	if resp.Hits != 1 || len(resp.Results) != 1 || resp.Results[0].Seq != "T" {
+		t.Fatalf("retried request decoded wrong response: %+v", resp)
+	}
+	for i, tn := range tenants {
+		if tn != "alice" {
+			t.Fatalf("attempt %d carried X-Tenant %q, want alice on every attempt", i, tn)
+		}
+	}
+}
+
+// TestNoRetryByDefault: rejection is part of the API — without WithRetry
+// the caller sees the raw 429 after exactly one attempt.
+func TestNoRetryByDefault(t *testing.T) {
+	var tenants []string
+	hs, calls := rejectingServer(t, 1000, http.StatusTooManyRequests, &tenants)
+	cl := client.New(hs.URL)
+	_, err := cl.Synthesize(context.Background(), retryReq)
+	var ae *client.APIError
+	if !errors.As(err, &ae) || ae.Status != http.StatusTooManyRequests {
+		t.Fatalf("want raw 429 APIError, got %v", err)
+	}
+	if got := calls.Load(); got != 1 {
+		t.Fatalf("default client made %d attempts, want 1", got)
+	}
+}
+
+// TestRetryBudgetExhausted: WithRetry(n) means n retries — n+1 attempts —
+// and the final rejection surfaces as the APIError. 503 (admission
+// control) is retryable like 429.
+func TestRetryBudgetExhausted(t *testing.T) {
+	var tenants []string
+	hs, calls := rejectingServer(t, 1000, http.StatusServiceUnavailable, &tenants)
+	cl := client.New(hs.URL, client.WithRetry(2))
+	_, err := cl.Synthesize(context.Background(), retryReq)
+	var ae *client.APIError
+	if !errors.As(err, &ae) || ae.Status != http.StatusServiceUnavailable {
+		t.Fatalf("want 503 APIError after budget, got %v", err)
+	}
+	if got := calls.Load(); got != 3 {
+		t.Fatalf("server saw %d attempts, want 3 (1 + 2 retries)", got)
+	}
+}
+
+// TestNonRetryableStatus: a 400 is never retried even with retries on.
+func TestNonRetryableStatus(t *testing.T) {
+	var tenants []string
+	hs, calls := rejectingServer(t, 1000, http.StatusBadRequest, &tenants)
+	cl := client.New(hs.URL, client.WithRetry(5))
+	_, err := cl.Synthesize(context.Background(), retryReq)
+	var ae *client.APIError
+	if !errors.As(err, &ae) || ae.Status != http.StatusBadRequest {
+		t.Fatalf("want 400 APIError, got %v", err)
+	}
+	if got := calls.Load(); got != 1 {
+		t.Fatalf("client retried a non-retryable status: %d attempts", got)
+	}
+}

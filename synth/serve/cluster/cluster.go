@@ -1,0 +1,464 @@
+// Package cluster turns N synthd processes into one consistent-hash
+// cache cluster — the distributed form of the paper's amortization
+// argument. Synthesized sequences are pure functions of their quantized
+// (angle, ε, backend-config) cache key, so the cluster never needs
+// invalidation or consensus: every node derives key ownership from the
+// same static peer list via a virtual-node hash ring (Ring), misses do a
+// single-hop lookup to the owner before synthesizing locally, fresh
+// syntheses are pushed to the owner so later lookups from any node find
+// them, and a joining node warm-seeds by streaming its ring successor's
+// snapshot instead of starting cold.
+//
+// The package deliberately has no transport of its own beyond three
+// internal HTTP endpoints a Node contributes under /v1/peer/ (mounted by
+// synth/serve next to the public API):
+//
+//	GET /v1/peer/cache?gate=&a=&b=&c=&eps=&cfg=&scope=   one-key lookup
+//	PUT /v1/peer/cache                                    owner fill push
+//	GET /v1/peer/snapshot                                 full snapshot stream
+//
+// A node that cannot reach a peer degrades to local synthesis — a dead
+// node costs its share of cache affinity, never availability.
+package cluster
+
+import (
+	"bytes"
+	"context"
+	"encoding/json"
+	"fmt"
+	"net/http"
+	"net/url"
+	"strconv"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"repro/circuit"
+	"repro/internal/gates"
+	"repro/synth"
+)
+
+// DefaultLookupTimeout bounds one peer cache lookup. It is deliberately
+// tight: a peer hit saves a synthesis (~100µs to minutes), but a peer
+// that cannot answer quickly must not stall the request — local
+// synthesis is always available.
+const DefaultLookupTimeout = 250 * time.Millisecond
+
+// DefaultPushTimeout bounds one asynchronous owner fill push.
+const DefaultPushTimeout = 2 * time.Second
+
+// Config describes this node's place in a static cluster.
+type Config struct {
+	// SelfID is this node's ID on the ring. Required.
+	SelfID string
+	// Peers maps every OTHER member's ID to its base URL
+	// (e.g. "b" → "http://10.0.0.2:8077"). May be empty: a one-node
+	// cluster is valid and behaves like plain synthd.
+	Peers map[string]string
+	// VNodes is the virtual-node count per member (0 = DefaultVNodes).
+	VNodes int
+	// LookupTimeout bounds a peer cache lookup (0 = DefaultLookupTimeout);
+	// PushTimeout bounds an owner fill push (0 = DefaultPushTimeout).
+	LookupTimeout time.Duration
+	PushTimeout   time.Duration
+	// Client overrides the HTTP client used for peer calls (tests inject
+	// httptest transports). Default: a fresh http.Client; timeouts come
+	// from per-call contexts.
+	Client *http.Client
+}
+
+// Stats is a point-in-time snapshot of a node's cluster counters.
+type Stats struct {
+	// PeerHits/PeerMisses/PeerErrors count single-hop owner lookups by
+	// outcome (error includes timeouts and unreachable peers).
+	PeerHits, PeerMisses, PeerErrors int64
+	// Pushes counts owner fill pushes attempted; PushErrors the failures.
+	Pushes, PushErrors int64
+	// Seeded is the entry count loaded by the last Seed call.
+	Seeded int64
+}
+
+// Node is one cluster member: the ring view, the peer HTTP client, and
+// the hook pair it installs into the resident cache (Attach). Create
+// with New, mount Handler under /v1/peer/, Attach the cache, and
+// optionally Seed before serving.
+type Node struct {
+	selfID string
+	ring   *Ring
+	peers  map[string]string
+	hc     *http.Client
+	cfg    Config
+
+	cache atomic.Pointer[synth.Cache]
+
+	peerHits, peerMisses, peerErrors atomic.Int64
+	pushes, pushErrors               atomic.Int64
+	seeded                           atomic.Int64
+	// pending tracks in-flight async fill pushes; Flush waits for them
+	// (tests and graceful shutdown).
+	pending sync.WaitGroup
+}
+
+// New validates cfg and builds the node's ring view (self + peers).
+func New(cfg Config) (*Node, error) {
+	if cfg.SelfID == "" {
+		return nil, fmt.Errorf("cluster: SelfID is required")
+	}
+	ids := []string{cfg.SelfID}
+	peers := make(map[string]string, len(cfg.Peers))
+	for id, base := range cfg.Peers {
+		if id == cfg.SelfID {
+			// Tolerate peer lists that include self (the natural spelling
+			// when every node gets the same -peers flag).
+			continue
+		}
+		if base == "" {
+			return nil, fmt.Errorf("cluster: peer %q has no URL", id)
+		}
+		if _, err := url.Parse(base); err != nil {
+			return nil, fmt.Errorf("cluster: peer %q URL: %w", id, err)
+		}
+		peers[id] = base
+		ids = append(ids, id)
+	}
+	ring, err := NewRing(cfg.VNodes, ids...)
+	if err != nil {
+		return nil, err
+	}
+	if cfg.LookupTimeout <= 0 {
+		cfg.LookupTimeout = DefaultLookupTimeout
+	}
+	if cfg.PushTimeout <= 0 {
+		cfg.PushTimeout = DefaultPushTimeout
+	}
+	hc := cfg.Client
+	if hc == nil {
+		hc = &http.Client{}
+	}
+	return &Node{selfID: cfg.SelfID, ring: ring, peers: peers, hc: hc, cfg: cfg}, nil
+}
+
+// SelfID returns this node's ring ID.
+func (n *Node) SelfID() string { return n.selfID }
+
+// Ring returns the node's (immutable) ring view.
+func (n *Node) Ring() *Ring { return n.ring }
+
+// Stats snapshots the cluster counters.
+func (n *Node) Stats() Stats {
+	return Stats{
+		PeerHits:   n.peerHits.Load(),
+		PeerMisses: n.peerMisses.Load(),
+		PeerErrors: n.peerErrors.Load(),
+		Pushes:     n.pushes.Load(),
+		PushErrors: n.pushErrors.Load(),
+		Seeded:     n.seeded.Load(),
+	}
+}
+
+// KeysOwned counts the live entries in the attached cache whose ring
+// owner is this node — the synthd_ring_keys_owned gauge.
+func (n *Node) KeysOwned() int {
+	c := n.cache.Load()
+	if c == nil {
+		return 0
+	}
+	owned := 0
+	c.Range(func(k synth.Key, _ synth.Entry) bool {
+		if n.ring.OwnerOf(k) == n.selfID {
+			owned++
+		}
+		return true
+	})
+	return owned
+}
+
+// Attach wires the node into c: local misses on keys another node owns
+// do a single-hop peer lookup there, and fresh local syntheses of such
+// keys are pushed (asynchronously) to the owner. Call once, before
+// serving traffic.
+func (n *Node) Attach(c *synth.Cache) {
+	n.cache.Store(c)
+	if len(n.peers) == 0 {
+		return // one-node cluster: nothing to look up or push to
+	}
+	c.SetPeer(n.lookup, n.fill)
+}
+
+// Flush waits for every in-flight fill push to settle — the barrier
+// tests (and a draining daemon) use to make "wave 2 sees wave 1" exact.
+func (n *Node) Flush() { n.pending.Wait() }
+
+// lookup is the cache's miss hook: one GET to the key's owner.
+func (n *Node) lookup(k synth.Key) (synth.Entry, bool) {
+	owner := n.ring.OwnerOf(k)
+	if owner == n.selfID {
+		return synth.Entry{}, false
+	}
+	base := n.peers[owner]
+	ctx, cancel := context.WithTimeout(context.Background(), n.cfg.LookupTimeout)
+	defer cancel()
+	req, err := http.NewRequestWithContext(ctx, http.MethodGet, base+"/v1/peer/cache?"+keyQuery(k), nil)
+	if err != nil {
+		n.peerErrors.Add(1)
+		return synth.Entry{}, false
+	}
+	res, err := n.hc.Do(req)
+	if err != nil {
+		n.peerErrors.Add(1)
+		return synth.Entry{}, false
+	}
+	defer res.Body.Close()
+	switch res.StatusCode {
+	case http.StatusOK:
+	case http.StatusNotFound:
+		n.peerMisses.Add(1)
+		return synth.Entry{}, false
+	default:
+		n.peerErrors.Add(1)
+		return synth.Entry{}, false
+	}
+	var we wireEntry
+	if err := json.NewDecoder(res.Body).Decode(&we); err != nil {
+		n.peerErrors.Add(1)
+		return synth.Entry{}, false
+	}
+	e, err := we.entry()
+	if err != nil {
+		n.peerErrors.Add(1)
+		return synth.Entry{}, false
+	}
+	n.peerHits.Add(1)
+	return e, true
+}
+
+// fill is the cache's put hook: a fresh local synthesis of a key some
+// other node owns is pushed there asynchronously, so the owner answers
+// every future cluster-wide lookup for it. Push failures are counted
+// and dropped — the entry is still cached locally, and determinism
+// means any node can always recompute it.
+func (n *Node) fill(k synth.Key, e synth.Entry) {
+	owner := n.ring.OwnerOf(k)
+	if owner == n.selfID {
+		return
+	}
+	base := n.peers[owner]
+	n.pending.Add(1)
+	n.pushes.Add(1)
+	go func() {
+		defer n.pending.Done()
+		ctx, cancel := context.WithTimeout(context.Background(), n.cfg.PushTimeout)
+		defer cancel()
+		body, err := json.Marshal(wirePut{Key: wireKey(k), Entry: newWireEntry(e)})
+		if err != nil {
+			n.pushErrors.Add(1)
+			return
+		}
+		req, err := http.NewRequestWithContext(ctx, http.MethodPut, base+"/v1/peer/cache", bytes.NewReader(body))
+		if err != nil {
+			n.pushErrors.Add(1)
+			return
+		}
+		req.Header.Set("Content-Type", "application/json")
+		res, err := n.hc.Do(req)
+		if err != nil {
+			n.pushErrors.Add(1)
+			return
+		}
+		res.Body.Close()
+		if res.StatusCode != http.StatusNoContent && res.StatusCode != http.StatusOK {
+			n.pushErrors.Add(1)
+		}
+	}()
+}
+
+// Seed streams the ring successor's snapshot into the attached cache —
+// the warm join: the successor owned most of this node's arcs before it
+// joined, so its snapshot contains the hot entries this node is about
+// to be asked for. Returns the entry count loaded. A one-node cluster
+// (or an unreachable donor) is an error the caller typically logs and
+// survives: a cold start is always safe.
+func (n *Node) Seed(ctx context.Context) (int, error) {
+	c := n.cache.Load()
+	if c == nil {
+		return 0, fmt.Errorf("cluster: Seed before Attach")
+	}
+	donor := n.ring.Successor(n.selfID)
+	if donor == n.selfID {
+		return 0, fmt.Errorf("cluster: no peer to seed from")
+	}
+	base := n.peers[donor]
+	req, err := http.NewRequestWithContext(ctx, http.MethodGet, base+"/v1/peer/snapshot", nil)
+	if err != nil {
+		return 0, err
+	}
+	res, err := n.hc.Do(req)
+	if err != nil {
+		return 0, fmt.Errorf("cluster: seeding from %s: %w", donor, err)
+	}
+	defer res.Body.Close()
+	if res.StatusCode != http.StatusOK {
+		return 0, fmt.Errorf("cluster: seeding from %s: HTTP %d", donor, res.StatusCode)
+	}
+	loaded, err := c.LoadSnapshot(res.Body)
+	if err != nil {
+		return 0, fmt.Errorf("cluster: seeding from %s: %w", donor, err)
+	}
+	n.seeded.Store(int64(loaded))
+	return loaded, nil
+}
+
+// Handler returns the internal peer endpoint tree, to be mounted under
+// /v1/peer/. These endpoints are cluster-internal: serve mounts them
+// outside admission control and tenant quotas, and deployments should
+// not expose them on public load balancers.
+func (n *Node) Handler() http.Handler {
+	mux := http.NewServeMux()
+	mux.HandleFunc("GET /v1/peer/cache", n.handleGet)
+	mux.HandleFunc("PUT /v1/peer/cache", n.handlePut)
+	mux.HandleFunc("GET /v1/peer/snapshot", n.handleSnapshot)
+	return mux
+}
+
+// handleGet answers a one-key peer lookup from the local cache only (no
+// recursion: a miss here is a miss, the asking node synthesizes). Peek
+// semantics — a remote probe neither counts in this node's hit/miss
+// accounting nor refreshes recency, so cluster traffic cannot distort
+// local LRU or stats.
+func (n *Node) handleGet(w http.ResponseWriter, r *http.Request) {
+	c := n.cache.Load()
+	if c == nil {
+		http.Error(w, "no cache attached", http.StatusServiceUnavailable)
+		return
+	}
+	k, err := keyFromQuery(r.URL.Query())
+	if err != nil {
+		http.Error(w, err.Error(), http.StatusBadRequest)
+		return
+	}
+	e, ok := c.Peek(k)
+	if !ok {
+		http.Error(w, "miss", http.StatusNotFound)
+		return
+	}
+	w.Header().Set("Content-Type", "application/json")
+	json.NewEncoder(w).Encode(newWireEntry(e))
+}
+
+// handlePut accepts an owner fill push.
+func (n *Node) handlePut(w http.ResponseWriter, r *http.Request) {
+	c := n.cache.Load()
+	if c == nil {
+		http.Error(w, "no cache attached", http.StatusServiceUnavailable)
+		return
+	}
+	var p wirePut
+	if err := json.NewDecoder(http.MaxBytesReader(w, r.Body, 1<<20)).Decode(&p); err != nil {
+		http.Error(w, err.Error(), http.StatusBadRequest)
+		return
+	}
+	e, err := p.Entry.entry()
+	if err != nil {
+		http.Error(w, err.Error(), http.StatusBadRequest)
+		return
+	}
+	c.PutQuiet(p.Key.key(), e)
+	w.WriteHeader(http.StatusNoContent)
+}
+
+// handleSnapshot streams the local cache's versioned-JSON snapshot — the
+// same format the daemon persists, reused as the seeding wire format.
+func (n *Node) handleSnapshot(w http.ResponseWriter, r *http.Request) {
+	c := n.cache.Load()
+	if c == nil {
+		http.Error(w, "no cache attached", http.StatusServiceUnavailable)
+		return
+	}
+	w.Header().Set("Content-Type", "application/json")
+	if err := c.Snapshot(w); err != nil {
+		// Headers are gone; all we can do is log-by-status via trailer-less
+		// abort. Snapshot only fails on writer errors anyway.
+		return
+	}
+}
+
+// --- wire forms ---
+
+// wireKey flattens a synth.Key for query strings and JSON.
+type wireKeyT struct {
+	Gate  uint8  `json:"gate"`
+	A     int64  `json:"a"`
+	B     int64  `json:"b"`
+	C     int64  `json:"c"`
+	Eps   int64  `json:"eps"`
+	Cfg   int64  `json:"cfg"`
+	Scope string `json:"scope"`
+}
+
+func wireKey(k synth.Key) wireKeyT {
+	return wireKeyT{Gate: uint8(k.Gate), A: k.A, B: k.B, C: k.C, Eps: k.Eps, Cfg: k.Cfg, Scope: k.Scope}
+}
+
+func (wk wireKeyT) key() synth.Key {
+	return synth.Key{Gate: circuit.GateType(wk.Gate), A: wk.A, B: wk.B, C: wk.C, Eps: wk.Eps, Cfg: wk.Cfg, Scope: wk.Scope}
+}
+
+// wireEntry carries one cache entry; the sequence travels as the same
+// space-separated mnemonics the snapshot format uses.
+type wireEntry struct {
+	Seq     string  `json:"seq"`
+	Err     float64 `json:"err"`
+	Backend string  `json:"backend,omitempty"`
+}
+
+func newWireEntry(e synth.Entry) wireEntry {
+	return wireEntry{Seq: e.Seq.String(), Err: e.Err, Backend: e.Backend}
+}
+
+func (we wireEntry) entry() (synth.Entry, error) {
+	seq, err := gates.Parse(we.Seq)
+	if err != nil {
+		return synth.Entry{}, fmt.Errorf("cluster: bad wire sequence: %w", err)
+	}
+	return synth.Entry{Seq: seq, Err: we.Err, Backend: we.Backend}, nil
+}
+
+type wirePut struct {
+	Key   wireKeyT  `json:"key"`
+	Entry wireEntry `json:"entry"`
+}
+
+// keyQuery encodes k as URL query parameters.
+func keyQuery(k synth.Key) string {
+	v := url.Values{}
+	v.Set("gate", strconv.FormatUint(uint64(k.Gate), 10))
+	v.Set("a", strconv.FormatInt(k.A, 10))
+	v.Set("b", strconv.FormatInt(k.B, 10))
+	v.Set("c", strconv.FormatInt(k.C, 10))
+	v.Set("eps", strconv.FormatInt(k.Eps, 10))
+	v.Set("cfg", strconv.FormatInt(k.Cfg, 10))
+	v.Set("scope", k.Scope)
+	return v.Encode()
+}
+
+// keyFromQuery decodes keyQuery's encoding.
+func keyFromQuery(v url.Values) (synth.Key, error) {
+	var k synth.Key
+	gate, err := strconv.ParseUint(v.Get("gate"), 10, 8)
+	if err != nil {
+		return k, fmt.Errorf("bad gate: %v", err)
+	}
+	k.Gate = circuit.GateType(gate)
+	for _, f := range []struct {
+		name string
+		dst  *int64
+	}{{"a", &k.A}, {"b", &k.B}, {"c", &k.C}, {"eps", &k.Eps}, {"cfg", &k.Cfg}} {
+		x, err := strconv.ParseInt(v.Get(f.name), 10, 64)
+		if err != nil {
+			return k, fmt.Errorf("bad %s: %v", f.name, err)
+		}
+		*f.dst = x
+	}
+	k.Scope = v.Get("scope")
+	return k, nil
+}

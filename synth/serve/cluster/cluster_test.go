@@ -1,0 +1,322 @@
+// In-process cluster end-to-end tests: N serve.Servers behind
+// httptest.Servers, wired into one static peer list. External test
+// package because serve imports cluster.
+package cluster_test
+
+import (
+	"context"
+	"net/http"
+	"net/http/httptest"
+	"strings"
+	"sync"
+	"sync/atomic"
+	"testing"
+	"time"
+
+	"repro/internal/qmat"
+	"repro/synth"
+	"repro/synth/serve"
+	"repro/synth/serve/client"
+	"repro/synth/serve/cluster"
+)
+
+// lateHandler lets an httptest.Server exist (so its URL can go into every
+// node's peer list) before the serve.Server behind it is built. Until the
+// real handler is installed the node answers 503 — exactly what a
+// configured-but-not-yet-started cluster member looks like.
+type lateHandler struct {
+	mu sync.Mutex
+	h  http.Handler
+}
+
+func (l *lateHandler) set(h http.Handler) {
+	l.mu.Lock()
+	l.h = h
+	l.mu.Unlock()
+}
+
+func (l *lateHandler) ServeHTTP(w http.ResponseWriter, r *http.Request) {
+	l.mu.Lock()
+	h := l.h
+	l.mu.Unlock()
+	if h == nil {
+		http.Error(w, "node not started", http.StatusServiceUnavailable)
+		return
+	}
+	h.ServeHTTP(w, r)
+}
+
+type testNode struct {
+	id   string
+	hs   *httptest.Server
+	late *lateHandler
+	node *cluster.Node
+	srv  *serve.Server
+	cl   *client.Client
+}
+
+type testCluster struct {
+	t     *testing.T
+	ids   []string
+	urls  map[string]string
+	nodes map[string]*testNode
+}
+
+// newTestCluster allocates listeners (and thus peer URLs) for every ID.
+// No node is serving yet; start() brings members up one at a time.
+func newTestCluster(t *testing.T, ids ...string) *testCluster {
+	t.Helper()
+	tc := &testCluster{t: t, ids: ids, urls: map[string]string{}, nodes: map[string]*testNode{}}
+	for _, id := range ids {
+		lh := &lateHandler{}
+		hs := httptest.NewServer(lh)
+		t.Cleanup(hs.Close)
+		tc.urls[id] = hs.URL
+		tc.nodes[id] = &testNode{id: id, hs: hs, late: lh}
+	}
+	return tc
+}
+
+// start builds id's cluster node and serve.Server (full static peer list)
+// and installs the real handler behind its listener.
+func (tc *testCluster) start(id, backend string) *testNode {
+	tc.t.Helper()
+	tn := tc.nodes[id]
+	node, err := cluster.New(cluster.Config{
+		SelfID: id,
+		Peers:  tc.urls,
+		// Generous for loaded CI runners; the lookups are loopback.
+		LookupTimeout: 2 * time.Second,
+	})
+	if err != nil {
+		tc.t.Fatalf("cluster.New(%s): %v", id, err)
+	}
+	srv := serve.New(serve.Config{DefaultBackend: backend, Cluster: node})
+	tn.node, tn.srv = node, srv
+	tn.cl = client.New(tn.hs.URL)
+	tn.late.set(srv.Handler())
+	return tn
+}
+
+// flush waits for every started node's async owner pushes to land.
+func (tc *testCluster) flush() {
+	for _, tn := range tc.nodes {
+		if tn.node != nil {
+			tn.node.Flush()
+		}
+	}
+}
+
+func (tc *testCluster) synthesize(id, backend string, theta float64) (*serve.SynthesizeResponse, error) {
+	ctx, cancel := context.WithTimeout(context.Background(), 60*time.Second)
+	defer cancel()
+	return tc.nodes[id].cl.Synthesize(ctx, serve.SynthesizeRequest{
+		Backend:   backend,
+		Eps:       1e-2,
+		Rotations: []serve.Rotation{{Gate: "rz", Params: [3]float64{theta}}},
+	})
+}
+
+// countingBackend wraps gridsynth but reports Name() "gridsynth", so its
+// cache keys share the gridsynth scope across every node while the test
+// counts exactly how many syntheses actually ran cluster-wide.
+type countingBackend struct {
+	inner synth.Backend
+	calls atomic.Int64
+}
+
+func (b *countingBackend) Name() string { return "gridsynth" }
+
+func (b *countingBackend) Synthesize(ctx context.Context, target qmat.M2, req synth.Request) (synth.Result, error) {
+	b.calls.Add(1)
+	return b.inner.Synthesize(ctx, target, req)
+}
+
+func registerCounting(t *testing.T, regName string) *countingBackend {
+	t.Helper()
+	inner, ok := synth.Lookup("gridsynth")
+	if !ok {
+		t.Fatal("gridsynth backend not registered")
+	}
+	b := &countingBackend{inner: inner}
+	if err := synth.Register(regName, b); err != nil {
+		t.Fatalf("registering %s: %v", regName, err)
+	}
+	return b
+}
+
+// TestClusterEndToEnd is the 3-node acceptance path: a cold wave
+// synthesizes each angle exactly once cluster-wide, a second wave routed
+// to different nodes is served entirely by peer lookups and owner pushes
+// (zero re-synthesis), and killing a node mid-run degrades that node's
+// partition to local synthesis without taking the cluster down.
+func TestClusterEndToEnd(t *testing.T) {
+	be := registerCounting(t, "count-e2e")
+	ids := []string{"a", "b", "c"}
+	tc := newTestCluster(t, ids...)
+	for _, id := range ids {
+		tc.start(id, "count-e2e")
+	}
+
+	angles := make([]float64, 12)
+	for i := range angles {
+		angles[i] = 0.3 + 0.05*float64(i)
+	}
+
+	// Wave 1: all caches cold; every request round-robins and misses.
+	for i, th := range angles {
+		resp, err := tc.synthesize(ids[i%3], "count-e2e", th)
+		if err != nil {
+			t.Fatalf("wave 1 angle %d: %v", i, err)
+		}
+		if resp.Hits != 0 || resp.Misses != 1 {
+			t.Fatalf("wave 1 angle %d: hits=%d misses=%d, want a cold miss", i, resp.Hits, resp.Misses)
+		}
+	}
+	if got := be.calls.Load(); got != int64(len(angles)) {
+		t.Fatalf("wave 1 ran %d syntheses, want %d (one per distinct angle)", got, len(angles))
+	}
+	tc.flush() // owner pushes land before wave 2
+
+	// Wave 2: same angles, every request deliberately sent to a different
+	// node than wave 1. Each must be a cache hit — either the serving node
+	// owns the key (it got the push) or the single-hop peer lookup finds
+	// it at the owner. No angle is synthesized twice.
+	for i, th := range angles {
+		id := ids[(i+1)%3]
+		resp, err := tc.synthesize(id, "count-e2e", th)
+		if err != nil {
+			t.Fatalf("wave 2 angle %d via %s: %v", i, id, err)
+		}
+		if resp.Hits != 1 || resp.Misses != 0 {
+			t.Fatalf("wave 2 angle %d via %s: hits=%d misses=%d, want a cluster-wide hit",
+				i, id, resp.Hits, resp.Misses)
+		}
+	}
+	if got := be.calls.Load(); got != int64(len(angles)) {
+		t.Fatalf("wave 2 re-synthesized: %d total calls, want still %d", got, len(angles))
+	}
+	var peerHits int64
+	owned := 0
+	for _, id := range ids {
+		peerHits += tc.nodes[id].node.Stats().PeerHits
+		owned += tc.nodes[id].node.KeysOwned()
+	}
+	if peerHits == 0 {
+		t.Fatal("wave 2 produced no peer hits: requests were not served cross-node")
+	}
+	// Exactly one node owns each key, and the owner holds it (local
+	// synthesis or push), so ownership sums to the distinct-key count.
+	if owned != len(angles) {
+		t.Fatalf("ring owns %d keys cluster-wide, want %d", owned, len(angles))
+	}
+
+	metrics, err := tc.nodes["a"].cl.Metrics(context.Background())
+	if err != nil {
+		t.Fatalf("metrics: %v", err)
+	}
+	for _, want := range []string{
+		`synthd_peer_lookups_total{result="hit"}`,
+		"synthd_ring_keys_owned",
+	} {
+		if !strings.Contains(metrics, want) {
+			t.Fatalf("metrics missing %q:\n%s", want, metrics)
+		}
+	}
+
+	// Kill b mid-run. Fresh angles keyed to b's partition now fail their
+	// peer lookup and fall back to local synthesis; the cluster keeps
+	// answering.
+	tc.nodes["b"].hs.Close()
+	fresh := make([]float64, 24)
+	for i := range fresh {
+		fresh[i] = 1.3 + 0.031*float64(i)
+	}
+	live := []string{"a", "c"}
+	for i, th := range fresh {
+		resp, err := tc.synthesize(live[i%2], "count-e2e", th)
+		if err != nil {
+			t.Fatalf("with b dead, request %d to %s failed: %v", i, live[i%2], err)
+		}
+		if len(resp.Results) != 1 || resp.Results[0].Seq == "" {
+			t.Fatalf("with b dead, request %d returned no sequence", i)
+		}
+	}
+	if errs := tc.nodes["a"].node.Stats().PeerErrors + tc.nodes["c"].node.Stats().PeerErrors; errs == 0 {
+		t.Fatal("no peer lookup errors recorded: dead node was never consulted (24 fresh keys)")
+	}
+	// The survivors still serve their own hot sets from local cache.
+	for i, th := range fresh {
+		resp, err := tc.synthesize(live[i%2], "count-e2e", th)
+		if err != nil {
+			t.Fatalf("re-request %d to %s failed: %v", i, live[i%2], err)
+		}
+		if resp.Hits != 1 {
+			t.Fatalf("re-request %d to %s: hits=%d, want local hit", i, live[i%2], resp.Hits)
+		}
+	}
+	tc.flush()
+}
+
+// TestClusterWarmSeeding is the join path: a node configured into a
+// 2-live-node cluster streams its ring successor's snapshot at start and
+// then answers a previously-hot key with a pure cache hit — no local
+// synthesis, no peer lookup.
+func TestClusterWarmSeeding(t *testing.T) {
+	be := registerCounting(t, "count-seed")
+	tc := newTestCluster(t, "a", "b", "c")
+	tc.start("a", "count-seed")
+	tc.start("b", "count-seed")
+	// c stays configured-but-down: a and b run as a 2-live-node cluster.
+
+	const hot = 0.777
+	for _, id := range []string{"a", "b"} {
+		resp, err := tc.synthesize(id, "count-seed", hot)
+		if err != nil {
+			t.Fatalf("warming %s: %v", id, err)
+		}
+		if resp.Hits+resp.Misses != 1 {
+			t.Fatalf("warming %s: hits=%d misses=%d", id, resp.Hits, resp.Misses)
+		}
+		tc.nodes[id].node.Flush()
+	}
+	// However ownership fell (including on the dead c), both live nodes
+	// now hold the hot entry, so any donor choice can seed it.
+	calls := be.calls.Load()
+	if calls == 0 {
+		t.Fatal("hot key was never synthesized")
+	}
+
+	tn := tc.start("c", "count-seed")
+	ctx, cancel := context.WithTimeout(context.Background(), 30*time.Second)
+	defer cancel()
+	n, err := tn.node.Seed(ctx)
+	if err != nil {
+		t.Fatalf("seed: %v", err)
+	}
+	if n == 0 {
+		t.Fatal("seed streamed zero entries")
+	}
+
+	resp, err := tc.synthesize("c", "count-seed", hot)
+	if err != nil {
+		t.Fatalf("hot key via joined node: %v", err)
+	}
+	if resp.Hits != 1 || resp.Misses != 0 {
+		t.Fatalf("joined node: hits=%d misses=%d, want a pure cache hit", resp.Hits, resp.Misses)
+	}
+	if got := be.calls.Load(); got != calls {
+		t.Fatalf("joined node ran %d local syntheses, want 0", got-calls)
+	}
+	if st := tn.node.Stats(); st.PeerHits+st.PeerMisses+st.PeerErrors != 0 {
+		t.Fatalf("joined node did peer lookups (%+v): hot key was not served from the seeded snapshot", st)
+	}
+
+	h, err := tc.nodes["c"].cl.Health(ctx)
+	if err != nil {
+		t.Fatalf("health: %v", err)
+	}
+	if h.NodeID != "c" || h.ClusterSize != 3 {
+		t.Fatalf("health node_id=%q cluster_size=%d, want c/3", h.NodeID, h.ClusterSize)
+	}
+}

@@ -1,0 +1,156 @@
+package cluster
+
+import (
+	"fmt"
+	"sort"
+
+	"repro/synth"
+)
+
+// DefaultVNodes is the virtual-node count per physical node. 128 points
+// per node keeps the ownership split within a few percent of uniform for
+// small clusters, and adding or removing one node moves close to the
+// ideal 1/N of the key space (RingStability's property test bounds it at
+// 1.5/N).
+const DefaultVNodes = 128
+
+// Ring is a consistent-hash ring over node IDs: each node contributes
+// vnodes points (FNV-1a of "id#i", the same hash family synth.Cache uses
+// for shard election), and a key belongs to the first point clockwise
+// from its synth.KeyHash. Membership changes therefore move only the
+// arcs adjacent to the changed node's points — about 1/N of keys — while
+// every node agrees on ownership from the peer list alone, with no
+// coordination protocol.
+//
+// Ring is immutable after construction; build a new one for a new
+// membership (With/Without help tests and joiners do that cheaply).
+type Ring struct {
+	vnodes int
+	points []ringPoint // sorted by hash
+	ids    []string    // sorted member IDs
+}
+
+type ringPoint struct {
+	h  uint64
+	id string
+}
+
+// NewRing builds a ring over the given member IDs (order irrelevant,
+// duplicates rejected). vnodes <= 0 selects DefaultVNodes.
+func NewRing(vnodes int, ids ...string) (*Ring, error) {
+	if vnodes <= 0 {
+		vnodes = DefaultVNodes
+	}
+	if len(ids) == 0 {
+		return nil, fmt.Errorf("cluster: ring needs at least one node")
+	}
+	seen := make(map[string]bool, len(ids))
+	r := &Ring{vnodes: vnodes, points: make([]ringPoint, 0, vnodes*len(ids))}
+	for _, id := range ids {
+		if id == "" {
+			return nil, fmt.Errorf("cluster: empty node ID")
+		}
+		if seen[id] {
+			return nil, fmt.Errorf("cluster: duplicate node ID %q", id)
+		}
+		seen[id] = true
+		r.ids = append(r.ids, id)
+		for i := 0; i < vnodes; i++ {
+			r.points = append(r.points, ringPoint{h: vnodeHash(id, i), id: id})
+		}
+	}
+	sort.Strings(r.ids)
+	sort.Slice(r.points, func(i, j int) bool {
+		if r.points[i].h != r.points[j].h {
+			return r.points[i].h < r.points[j].h
+		}
+		// Ties (astronomically rare) break by ID so every node sorts the
+		// ring identically.
+		return r.points[i].id < r.points[j].id
+	})
+	return r, nil
+}
+
+// vnodeHash is FNV-1a over "id#i". It deliberately shares the FNV family
+// with synth's key hash so the whole system hashes one way, but the
+// "#i" suffix decorrelates a node's points from each other.
+func vnodeHash(id string, i int) uint64 {
+	const (
+		offset = 14695981039346656037
+		prime  = 1099511628211
+	)
+	h := uint64(offset)
+	for j := 0; j < len(id); j++ {
+		h ^= uint64(id[j])
+		h *= prime
+	}
+	h ^= '#'
+	h *= prime
+	for ; ; i /= 10 {
+		h ^= uint64('0' + i%10)
+		h *= prime
+		if i < 10 {
+			return h
+		}
+	}
+}
+
+// Members returns the node IDs on the ring, sorted.
+func (r *Ring) Members() []string {
+	out := make([]string, len(r.ids))
+	copy(out, r.ids)
+	return out
+}
+
+// Size returns the member count.
+func (r *Ring) Size() int { return len(r.ids) }
+
+// VNodes returns the per-node virtual-node count.
+func (r *Ring) VNodes() int { return r.vnodes }
+
+// Owner returns the node owning hash h: the first ring point at or
+// clockwise from h, wrapping at the top of the hash space.
+func (r *Ring) Owner(h uint64) string {
+	i := sort.Search(len(r.points), func(i int) bool { return r.points[i].h >= h })
+	if i == len(r.points) {
+		i = 0
+	}
+	return r.points[i].id
+}
+
+// OwnerOf returns the node owning a synthesis cache key.
+func (r *Ring) OwnerOf(k synth.Key) string { return r.Owner(synth.KeyHash(k)) }
+
+// Successor returns the first node clockwise from id's lowest ring point
+// that is not id itself — the member that owned most of id's lowest arc
+// before id joined, and the natural donor for warm-seeding a joiner. For
+// a single-node ring it returns id.
+func (r *Ring) Successor(id string) string {
+	start := sort.Search(len(r.points), func(i int) bool {
+		return r.points[i].h >= vnodeHash(id, 0)
+	})
+	for i := 0; i < len(r.points); i++ {
+		p := r.points[(start+i)%len(r.points)]
+		if p.id != id {
+			return p.id
+		}
+	}
+	return id
+}
+
+// With returns a new ring with id added; Without returns one with id
+// removed. Both leave r untouched.
+func (r *Ring) With(id string) (*Ring, error) {
+	return NewRing(r.vnodes, append(r.Members(), id)...)
+}
+
+// Without returns a new ring without id.
+func (r *Ring) Without(id string) (*Ring, error) {
+	ids := make([]string, 0, len(r.ids))
+	for _, m := range r.ids {
+		if m != id {
+			ids = append(ids, m)
+		}
+	}
+	return NewRing(r.vnodes, ids...)
+}

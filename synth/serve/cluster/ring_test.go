@@ -1,0 +1,172 @@
+package cluster
+
+import (
+	"fmt"
+	"testing"
+
+	"repro/circuit"
+	"repro/synth"
+)
+
+// sampleKeys builds n distinct realistic cache keys (quantized rz angles
+// under the gridsynth scope, the cluster's dominant key population).
+func sampleKeys(n int) []synth.Key {
+	keys := make([]synth.Key, n)
+	for i := range keys {
+		op := circuit.Op{G: circuit.RZ, Q: [2]int{0, -1}, P: [3]float64{0.001 + float64(i)*0.0007}}
+		keys[i] = synth.KeyOf(op, "gridsynth", 1e-3, 0)
+	}
+	return keys
+}
+
+func ringIDs(n int) []string {
+	ids := make([]string, n)
+	for i := range ids {
+		ids[i] = fmt.Sprintf("node-%d", i)
+	}
+	return ids
+}
+
+// TestRingOwnerAgreement: ownership is a pure function of the member
+// set — every node building a ring from the same peer list (in any
+// order) routes every key identically. This is the property that lets
+// the cluster run with no coordination at all.
+func TestRingOwnerAgreement(t *testing.T) {
+	ids := ringIDs(5)
+	r1, err := NewRing(0, ids...)
+	if err != nil {
+		t.Fatal(err)
+	}
+	rev := []string{ids[3], ids[0], ids[4], ids[2], ids[1]}
+	r2, err := NewRing(0, rev...)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, k := range sampleKeys(2000) {
+		if a, b := r1.OwnerOf(k), r2.OwnerOf(k); a != b {
+			t.Fatalf("owner disagreement for %+v: %q vs %q", k, a, b)
+		}
+	}
+}
+
+// TestRingStability is the membership-churn property the consistent
+// hash exists for: adding or removing one node out of N moves at most
+// ~1.5/N of a 10k-key sample (ideal is 1/(N+1) on add, 1/N on remove),
+// and every moved key moves to/from the changed node — membership churn
+// never reshuffles keys between surviving nodes.
+func TestRingStability(t *testing.T) {
+	const n = 5
+	keys := sampleKeys(10000)
+	base, err := NewRing(0, ringIDs(n)...)
+	if err != nil {
+		t.Fatal(err)
+	}
+	bound := int(1.5 / float64(n) * float64(len(keys)))
+
+	t.Run("add", func(t *testing.T) {
+		grown, err := base.With("node-new")
+		if err != nil {
+			t.Fatal(err)
+		}
+		moved := 0
+		for _, k := range keys {
+			was, is := base.OwnerOf(k), grown.OwnerOf(k)
+			if was == is {
+				continue
+			}
+			moved++
+			if is != "node-new" {
+				t.Fatalf("key moved %q → %q, not to the new node", was, is)
+			}
+		}
+		if moved == 0 || moved > bound {
+			t.Fatalf("add moved %d of %d keys, want (0, %d] (≈1/(N+1) ideal)", moved, len(keys), bound)
+		}
+		t.Logf("add: moved %d/%d (ideal %d, bound %d)", moved, len(keys), len(keys)/(n+1), bound)
+	})
+
+	t.Run("remove", func(t *testing.T) {
+		shrunk, err := base.Without("node-2")
+		if err != nil {
+			t.Fatal(err)
+		}
+		moved := 0
+		for _, k := range keys {
+			was, is := base.OwnerOf(k), shrunk.OwnerOf(k)
+			if was == is {
+				continue
+			}
+			moved++
+			if was != "node-2" {
+				t.Fatalf("key moved %q → %q though its owner survived", was, is)
+			}
+		}
+		if moved == 0 || moved > bound {
+			t.Fatalf("remove moved %d of %d keys, want (0, %d] (≈1/N ideal)", moved, len(keys), bound)
+		}
+		t.Logf("remove: moved %d/%d (ideal %d, bound %d)", moved, len(keys), len(keys)/n, bound)
+	})
+}
+
+// TestRingBalance: with DefaultVNodes virtual nodes the key space splits
+// roughly evenly — no member owns less than a third or more than double
+// its fair share of a 10k-key sample.
+func TestRingBalance(t *testing.T) {
+	const n = 5
+	keys := sampleKeys(10000)
+	r, err := NewRing(0, ringIDs(n)...)
+	if err != nil {
+		t.Fatal(err)
+	}
+	counts := map[string]int{}
+	for _, k := range keys {
+		counts[r.OwnerOf(k)]++
+	}
+	fair := len(keys) / n
+	for id, c := range counts {
+		if c < fair/3 || c > 2*fair {
+			t.Fatalf("node %s owns %d of %d keys (fair share %d): imbalanced ring", id, c, len(keys), fair)
+		}
+	}
+	if len(counts) != n {
+		t.Fatalf("only %d of %d nodes own keys: %v", len(counts), n, counts)
+	}
+}
+
+// TestRingSuccessor: the seeding donor is deterministic, never self on a
+// multi-node ring, and self on a singleton.
+func TestRingSuccessor(t *testing.T) {
+	r, err := NewRing(0, "a", "b", "c")
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, id := range []string{"a", "b", "c"} {
+		s := r.Successor(id)
+		if s == id {
+			t.Fatalf("Successor(%q) = self on a 3-node ring", id)
+		}
+		if s2 := r.Successor(id); s2 != s {
+			t.Fatalf("Successor(%q) not deterministic: %q vs %q", id, s, s2)
+		}
+	}
+	solo, err := NewRing(0, "only")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if s := solo.Successor("only"); s != "only" {
+		t.Fatalf("singleton successor = %q, want self", s)
+	}
+}
+
+// TestRingValidation: empty ring, empty IDs and duplicates are refused.
+func TestRingValidation(t *testing.T) {
+	if _, err := NewRing(0); err == nil {
+		t.Fatal("empty ring accepted")
+	}
+	if _, err := NewRing(0, "a", ""); err == nil {
+		t.Fatal("empty node ID accepted")
+	}
+	if _, err := NewRing(0, "a", "b", "a"); err == nil {
+		t.Fatal("duplicate node ID accepted")
+	}
+}

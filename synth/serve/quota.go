@@ -1,0 +1,76 @@
+package serve
+
+import (
+	"math"
+	"sync"
+	"time"
+)
+
+// tenantLimiter is the per-tenant token-bucket layer on top of the
+// global inflight/queue admission control: capacity protects the node,
+// quotas keep one tenant from starving the rest of it. Tenants are
+// identified by the X-Tenant request header (the empty header is its own
+// "anonymous" tenant, so unlabeled traffic is bounded too). Each tenant
+// gets an independent bucket of Burst tokens refilled at RPS per second;
+// a request with no token is refused with 429 and a Retry-After naming
+// when the next token lands.
+type tenantLimiter struct {
+	rps   float64
+	burst float64
+
+	mu      sync.Mutex
+	buckets map[string]*tokenBucket
+}
+
+type tokenBucket struct {
+	tokens    float64
+	last      time.Time
+	throttled int64
+}
+
+// newTenantLimiter builds a limiter; burst <= 0 defaults to
+// max(1, ceil(rps)) — at least one request always fits a fresh bucket.
+func newTenantLimiter(rps float64, burst int) *tenantLimiter {
+	b := float64(burst)
+	if burst <= 0 {
+		b = math.Max(1, math.Ceil(rps))
+	}
+	return &tenantLimiter{rps: rps, burst: b, buckets: map[string]*tokenBucket{}}
+}
+
+// allow consumes one token from tenant's bucket. When the bucket is
+// empty it returns false plus the wait until a full token has refilled —
+// the Retry-After the 429 advertises.
+func (l *tenantLimiter) allow(tenant string, now time.Time) (bool, time.Duration) {
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	b := l.buckets[tenant]
+	if b == nil {
+		b = &tokenBucket{tokens: l.burst, last: now}
+		l.buckets[tenant] = b
+	}
+	if dt := now.Sub(b.last).Seconds(); dt > 0 {
+		b.tokens = math.Min(l.burst, b.tokens+dt*l.rps)
+		b.last = now
+	}
+	if b.tokens >= 1 {
+		b.tokens--
+		return true, 0
+	}
+	b.throttled++
+	return false, time.Duration((1 - b.tokens) / l.rps * float64(time.Second))
+}
+
+// throttledByTenant snapshots the per-tenant throttle counters (the
+// synthd_tenant_throttled_total series).
+func (l *tenantLimiter) throttledByTenant() map[string]int64 {
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	out := make(map[string]int64, len(l.buckets))
+	for t, b := range l.buckets {
+		if b.throttled > 0 {
+			out[t] = b.throttled
+		}
+	}
+	return out
+}

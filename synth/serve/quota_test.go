@@ -1,0 +1,79 @@
+package serve
+
+import (
+	"testing"
+	"time"
+)
+
+// TestTenantLimiterBucket drives the token bucket on a synthetic clock:
+// burst is honored, refill follows rps, tenants are independent, and the
+// advertised retry delay is the time to the next whole token.
+func TestTenantLimiterBucket(t *testing.T) {
+	lim := newTenantLimiter(2, 3) // 2 tokens/s, burst 3
+	now := time.Unix(1000, 0)
+
+	for i := 0; i < 3; i++ {
+		if ok, _ := lim.allow("a", now); !ok {
+			t.Fatalf("request %d inside burst throttled", i)
+		}
+	}
+	ok, retry := lim.allow("a", now)
+	if ok {
+		t.Fatal("4th instantaneous request allowed past burst 3")
+	}
+	if retry <= 0 || retry > 500*time.Millisecond {
+		t.Fatalf("retry = %v, want (0, 500ms] at 2 rps", retry)
+	}
+
+	// A different tenant has its own untouched bucket.
+	if ok, _ := lim.allow("b", now); !ok {
+		t.Fatal("tenant b throttled by tenant a's spend")
+	}
+
+	// After the advertised wait, exactly one token is back.
+	now = now.Add(retry)
+	if ok, _ := lim.allow("a", now); !ok {
+		t.Fatal("request after advertised Retry-After still throttled")
+	}
+	if ok, _ := lim.allow("a", now); ok {
+		t.Fatal("second request after a one-token refill allowed")
+	}
+
+	// Refill is capped at burst: a long idle stretch doesn't bank tokens.
+	now = now.Add(time.Hour)
+	for i := 0; i < 3; i++ {
+		if ok, _ := lim.allow("a", now); !ok {
+			t.Fatalf("request %d after long idle throttled (burst not restored)", i)
+		}
+	}
+	if ok, _ := lim.allow("a", now); ok {
+		t.Fatal("idle time banked more than burst")
+	}
+
+	got := lim.throttledByTenant()
+	if got["a"] < 2 {
+		t.Fatalf("throttle accounting for a = %d, want >= 2", got["a"])
+	}
+	if _, present := got["b"]; present {
+		t.Fatal("never-throttled tenant appears in throttle counts")
+	}
+}
+
+// TestTenantLimiterBurstDefault: burst <= 0 falls back to max(1, ceil(rps)).
+func TestTenantLimiterBurstDefault(t *testing.T) {
+	now := time.Unix(1000, 0)
+	lim := newTenantLimiter(2.5, 0) // ceil(2.5) = 3
+	allowed := 0
+	for i := 0; i < 10; i++ {
+		if ok, _ := lim.allow("t", now); ok {
+			allowed++
+		}
+	}
+	if allowed != 3 {
+		t.Fatalf("default burst at 2.5 rps allowed %d, want 3", allowed)
+	}
+	slow := newTenantLimiter(0.01, 0) // tiny rps still admits one
+	if ok, _ := slow.allow("t", now); !ok {
+		t.Fatal("sub-1 rps quota admitted nothing")
+	}
+}

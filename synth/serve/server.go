@@ -7,6 +7,7 @@ import (
 	"fmt"
 	"net/http"
 	"runtime"
+	"strconv"
 	"strings"
 	"sync/atomic"
 	"time"
@@ -15,6 +16,7 @@ import (
 	"repro/internal/qmat"
 	"repro/optimize"
 	"repro/synth"
+	"repro/synth/serve/cluster"
 )
 
 // Config shapes a Server. The zero value is usable: auto backend, a fresh
@@ -39,6 +41,21 @@ type Config struct {
 	// RequestTimeout caps every request's context deadline; a request's
 	// own timeout_ms can only tighten it (0 = no server-side cap).
 	RequestTimeout time.Duration
+	// Cluster, when set, makes this server one member of a consistent-hash
+	// cache cluster: the node is attached to the resident cache (peer
+	// lookup on miss, owner push on fill) and its internal endpoints are
+	// mounted under /v1/peer/ — outside admission control and tenant
+	// quotas, since peers must stay reachable exactly when the public
+	// side is saturated.
+	Cluster *cluster.Node
+	// TenantRPS, when positive, enables per-tenant token-bucket quotas on
+	// the public POST endpoints, keyed on the X-Tenant header (absent
+	// header = the anonymous tenant). Each tenant refills at TenantRPS
+	// requests/second up to TenantBurst tokens (0 = max(1, ceil(rps)));
+	// beyond that requests get 429 + Retry-After. Quotas sit in front of
+	// the shared inflight/queue admission control.
+	TenantRPS   float64
+	TenantBurst int
 }
 
 func (c Config) withDefaults() Config {
@@ -68,6 +85,7 @@ type Server struct {
 	// synthd_t_reclaimed_total counter).
 	tReclaimed atomic.Int64
 	metrics    *metrics
+	quota      *tenantLimiter // nil when quotas are disabled
 	mux        *http.ServeMux
 	start      time.Time
 }
@@ -91,11 +109,18 @@ func New(cfg Config) *Server {
 		metrics: newMetrics(),
 		start:   time.Now(),
 	}
+	if cfg.TenantRPS > 0 {
+		s.quota = newTenantLimiter(cfg.TenantRPS, cfg.TenantBurst)
+	}
 	s.mux = http.NewServeMux()
 	s.mux.HandleFunc("POST /v1/compile", s.instrument("/v1/compile", s.handleCompile))
 	s.mux.HandleFunc("POST /v1/synthesize", s.instrument("/v1/synthesize", s.handleSynthesize))
 	s.mux.HandleFunc("GET /healthz", s.handleHealthz)
 	s.mux.HandleFunc("GET /metrics", s.handleMetrics)
+	if cfg.Cluster != nil {
+		cfg.Cluster.Attach(cache)
+		s.mux.Handle("/v1/peer/", cfg.Cluster.Handler())
+	}
 	return s
 }
 
@@ -127,6 +152,18 @@ type handler func(w http.ResponseWriter, r *http.Request) (int, error)
 func (s *Server) instrument(endpoint string, h handler) http.HandlerFunc {
 	return func(w http.ResponseWriter, r *http.Request) {
 		start := time.Now()
+		// Tenant quota first: a throttled tenant must not even occupy a
+		// queue slot, or a flooding tenant would still crowd the queue.
+		if s.quota != nil {
+			if ok, retry := s.quota.allow(r.Header.Get("X-Tenant"), start); !ok {
+				secs := int(retry/time.Second) + 1
+				w.Header().Set("Retry-After", strconv.Itoa(secs))
+				writeJSON(w, http.StatusTooManyRequests,
+					ErrorResponse{Error: fmt.Sprintf("serve: tenant over quota, retry in %ds", secs)})
+				s.metrics.record(endpoint, http.StatusTooManyRequests, time.Since(start))
+				return
+			}
+		}
 		release, err := s.admit(r.Context())
 		if err != nil {
 			// Only a genuine capacity refusal counts as a rejection and
@@ -406,7 +443,7 @@ func (rot Rotation) op() (circuit.Op, error) {
 
 func (s *Server) handleHealthz(w http.ResponseWriter, r *http.Request) {
 	st := s.cache.Stats()
-	writeJSON(w, http.StatusOK, Health{
+	h := Health{
 		Status:      "ok",
 		Backends:    synth.List(),
 		Default:     s.cfg.DefaultBackend,
@@ -414,7 +451,12 @@ func (s *Server) handleHealthz(w http.ResponseWriter, r *http.Request) {
 		CacheCap:    st.Cap,
 		CacheShards: s.cache.Shards(),
 		UptimeMs:    time.Since(s.start).Milliseconds(),
-	})
+	}
+	if n := s.cfg.Cluster; n != nil {
+		h.NodeID = n.SelfID()
+		h.ClusterSize = n.Ring().Size()
+	}
+	writeJSON(w, http.StatusOK, h)
 }
 
 func (s *Server) handleMetrics(w http.ResponseWriter, r *http.Request) {
@@ -434,4 +476,29 @@ func (s *Server) handleMetrics(w http.ResponseWriter, r *http.Request) {
 		{"synthd_queue_depth", "Requests waiting for an execution slot.", "gauge", float64(queued)},
 		{"synthd_t_reclaimed_total", "T gates removed by the post-lowering optimizer across all compiles.", "counter", float64(s.tReclaimed.Load())},
 	})
+	if n := s.cfg.Cluster; n != nil {
+		cs := n.Stats()
+		fmt.Fprintf(w, "# HELP synthd_peer_lookups_total Single-hop peer cache lookups by result (error includes timeouts and dead peers).\n")
+		fmt.Fprintf(w, "# TYPE synthd_peer_lookups_total counter\n")
+		fmt.Fprintf(w, "synthd_peer_lookups_total{result=\"hit\"} %d\n", cs.PeerHits)
+		fmt.Fprintf(w, "synthd_peer_lookups_total{result=\"miss\"} %d\n", cs.PeerMisses)
+		fmt.Fprintf(w, "synthd_peer_lookups_total{result=\"error\"} %d\n", cs.PeerErrors)
+		fmt.Fprintf(w, "# HELP synthd_peer_pushes_total Owner fill pushes attempted after local syntheses.\n")
+		fmt.Fprintf(w, "# TYPE synthd_peer_pushes_total counter\n")
+		fmt.Fprintf(w, "synthd_peer_pushes_total %d\n", cs.Pushes)
+		fmt.Fprintf(w, "# HELP synthd_ring_keys_owned Live local cache entries whose consistent-hash owner is this node.\n")
+		fmt.Fprintf(w, "# TYPE synthd_ring_keys_owned gauge\n")
+		fmt.Fprintf(w, "synthd_ring_keys_owned %d\n", n.KeysOwned())
+		fmt.Fprintf(w, "# HELP synthd_seeded_entries Entries loaded from the ring successor's snapshot at join.\n")
+		fmt.Fprintf(w, "# TYPE synthd_seeded_entries gauge\n")
+		fmt.Fprintf(w, "synthd_seeded_entries %d\n", cs.Seeded)
+	}
+	if s.quota != nil {
+		counts := s.quota.throttledByTenant()
+		fmt.Fprintf(w, "# HELP synthd_tenant_throttled_total Requests refused by per-tenant quota, by tenant.\n")
+		fmt.Fprintf(w, "# TYPE synthd_tenant_throttled_total counter\n")
+		for _, t := range sortedKeys(counts) {
+			fmt.Fprintf(w, "synthd_tenant_throttled_total{tenant=%q} %d\n", t, counts[t])
+		}
+	}
 }

@@ -5,6 +5,7 @@ import (
 	"fmt"
 	"net/http"
 	"net/http/httptest"
+	"strconv"
 	"strings"
 	"sync/atomic"
 	"testing"
@@ -409,5 +410,64 @@ func TestCompileOptLevel(t *testing.T) {
 	var ae *client.APIError
 	if !asAPIError(err, &ae) || ae.Status != http.StatusBadRequest {
 		t.Fatalf("unknown optimizer: want 400 APIError, got %v", err)
+	}
+}
+
+// TestTenantQuota: with per-tenant quotas on, a tenant that exhausts its
+// burst gets 429 + Retry-After and shows up in the throttle metric, while
+// other tenants are untouched.
+func TestTenantQuota(t *testing.T) {
+	s := serve.New(serve.Config{DefaultBackend: "gridsynth", TenantRPS: 0.1, TenantBurst: 1})
+	hs := httptest.NewServer(s.Handler())
+	t.Cleanup(hs.Close)
+	ctx := context.Background()
+	req := serve.SynthesizeRequest{Eps: 1e-2, Rotations: []serve.Rotation{{Gate: "rz", Params: [3]float64{0.41}}}}
+
+	alice := client.New(hs.URL, client.WithTenant("alice"))
+	if _, err := alice.Synthesize(ctx, req); err != nil {
+		t.Fatalf("first request inside the burst: %v", err)
+	}
+	_, err := alice.Synthesize(ctx, req)
+	var ae *client.APIError
+	if !asAPIError(err, &ae) || ae.Status != http.StatusTooManyRequests {
+		t.Fatalf("second request: want 429 APIError, got %v", err)
+	}
+
+	// The raw rejection carries Retry-After (the client API hides headers).
+	hreq, err := http.NewRequestWithContext(ctx, http.MethodPost, hs.URL+"/v1/synthesize",
+		strings.NewReader(`{"eps":0.01,"rotations":[{"gate":"rz","params":[0.41,0,0]}]}`))
+	if err != nil {
+		t.Fatal(err)
+	}
+	hreq.Header.Set("X-Tenant", "alice")
+	res, err := http.DefaultClient.Do(hreq)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer res.Body.Close()
+	if res.StatusCode != http.StatusTooManyRequests {
+		t.Fatalf("raw throttled request: status %d, want 429", res.StatusCode)
+	}
+	ra, err := strconv.Atoi(res.Header.Get("Retry-After"))
+	if err != nil || ra < 1 {
+		t.Fatalf("Retry-After = %q, want integer seconds >= 1", res.Header.Get("Retry-After"))
+	}
+
+	// An unrelated tenant still has its full burst.
+	bob := client.New(hs.URL, client.WithTenant("bob"))
+	if _, err := bob.Synthesize(ctx, req); err != nil {
+		t.Fatalf("other tenant throttled by alice's quota: %v", err)
+	}
+
+	cl := client.New(hs.URL)
+	text, err := cl.Metrics(ctx)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(text, `synthd_tenant_throttled_total{tenant="alice"} 2`) {
+		t.Fatalf("metrics missing alice's throttle count:\n%s", text)
+	}
+	if strings.Contains(text, `synthd_tenant_throttled_total{tenant="bob"}`) {
+		t.Fatal("metrics report throttles for a never-throttled tenant")
 	}
 }

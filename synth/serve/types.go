@@ -191,6 +191,10 @@ type Health struct {
 	CacheCap    int   `json:"cache_cap"`
 	CacheShards int   `json:"cache_shards"`
 	UptimeMs    int64 `json:"uptime_ms"`
+	// NodeID/ClusterSize are set in cluster mode: this node's ring ID and
+	// the ring's member count (self included).
+	NodeID      string `json:"node_id,omitempty"`
+	ClusterSize int    `json:"cluster_size,omitempty"`
 }
 
 // ErrorResponse is the body of every non-2xx response.

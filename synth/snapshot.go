@@ -130,7 +130,9 @@ func (c *Cache) LoadSnapshot(r io.Reader) (int, error) {
 			Cfg:   se.Cfg,
 			Scope: se.Scope,
 		}
-		c.Put(k, Entry{Seq: seqs[i], Err: se.Err, Backend: se.Backend})
+		// putQuiet: snapshot entries came from the tier (a prior run or a
+		// peer), so they must not be re-published through a peer fill hook.
+		c.putQuiet(k, Entry{Seq: seqs[i], Err: se.Err, Backend: se.Backend})
 	}
 	return len(sf.Entries), nil
 }
