@@ -43,11 +43,12 @@ const (
 	U3
 	CX
 	CZ
+	SWAP
 	numGateTypes
 )
 
 var gateNames = [numGateTypes]string{
-	"id", "x", "y", "z", "h", "s", "sdg", "t", "tdg", "rx", "ry", "rz", "u3", "cx", "cz",
+	"id", "x", "y", "z", "h", "s", "sdg", "t", "tdg", "rx", "ry", "rz", "u3", "cx", "cz", "swap",
 }
 
 // String returns the QASM-style mnemonic.
@@ -59,7 +60,7 @@ func (g GateType) String() string {
 }
 
 // IsTwoQubit reports whether g acts on two qubits.
-func (g GateType) IsTwoQubit() bool { return g == CX || g == CZ }
+func (g GateType) IsTwoQubit() bool { return g == CX || g == CZ || g == SWAP }
 
 // IsRotation reports whether g carries a continuous angle parameter.
 func (g GateType) IsRotation() bool { return g == RX || g == RY || g == RZ || g == U3 }
@@ -179,6 +180,9 @@ func (c *Circuit) CX(ctl, tgt int) *Circuit { return c.Add(Op{G: CX, Q: [2]int{c
 // CZ adds a controlled-Z.
 func (c *Circuit) CZ(a, b int) *Circuit { return c.Add(Op{G: CZ, Q: [2]int{a, b}}) }
 
+// Swap adds a SWAP of two qubits.
+func (c *Circuit) Swap(a, b int) *Circuit { return c.Add(Op{G: SWAP, Q: [2]int{a, b}}) }
+
 // TCount returns the number of T/T† gates (rotations are NOT counted; run
 // the synthesis pipeline first to lower them).
 func (c *Circuit) TCount() int {
@@ -225,6 +229,8 @@ func (c *Circuit) CliffordCount() int {
 		switch op.G {
 		case H, S, Sdg, CX, CZ:
 			n++
+		case SWAP:
+			n += 3 // SWAP = 3 CX
 		}
 	}
 	return n
@@ -257,7 +263,7 @@ func (c *Circuit) Metrics() Metrics {
 	}
 }
 
-// TwoQubitCount returns the number of CX/CZ gates.
+// TwoQubitCount returns the number of two-qubit (CX/CZ/SWAP) gates.
 func (c *Circuit) TwoQubitCount() int {
 	n := 0
 	for _, op := range c.Ops {

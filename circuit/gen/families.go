@@ -5,6 +5,7 @@ import (
 	"math/rand"
 
 	"repro/circuit"
+	"repro/internal/qmat"
 )
 
 // --- Hamiltonian families (Hamlib-style) ---
@@ -426,6 +427,37 @@ func Grover(n, iters int, marked int64) *circuit.Circuit {
 		for q := 0; q < n; q++ {
 			c.X(q)
 			c.H(q)
+		}
+	}
+	return c
+}
+
+// RandomSU4Blocks returns a circuit of `blocks` Haar-ish random two-qubit
+// unitaries, each on a random qubit pair as a generic 3-CX KAK skeleton
+// (8 Haar-random single-qubit locals around 3 CXs — a full-measure subset
+// of SU(4)). On few qubits consecutive blocks often land on the same
+// pair, which is exactly the workload two-qubit block fusion collapses:
+// k stacked blocks on one pair are jointly still a single ≤3-CX unitary.
+// n must be ≥ 2; everything is deterministic in seed.
+func RandomSU4Blocks(n, blocks int, seed int64) *circuit.Circuit {
+	rng := rand.New(rand.NewSource(seed))
+	c := circuit.New(n)
+	haarU3 := func(q int) {
+		th, ph, la := qmat.ZYZAngles(qmat.HaarRandom(rng))
+		c.U3Gate(q, th, ph, la)
+	}
+	for i := 0; i < blocks; i++ {
+		a := rng.Intn(n)
+		b := rng.Intn(n - 1)
+		if b >= a {
+			b++
+		}
+		haarU3(a)
+		haarU3(b)
+		for layer := 0; layer < 3; layer++ {
+			c.CX(a, b)
+			haarU3(a)
+			haarU3(b)
 		}
 	}
 	return c

@@ -16,7 +16,7 @@
 //     property-test workload).
 //
 // Everything is deterministic in its seed arguments; nothing reads the
-// clock. internal/suite assembles the 187-circuit corpus from these
+// clock. internal/suite assembles the 192-circuit corpus from these
 // generators and re-exports them as deprecated aliases.
 package gen
 

@@ -20,6 +20,7 @@ func TestDeterminism(t *testing.T) {
 		{"vqe", func(s int64) *circuit.Circuit { return VQEAnsatz(4, 2, s) }},
 		{"random", func(s int64) *circuit.Circuit { return RandomCircuit(4, 3, s) }},
 		{"cliffordt", func(s int64) *circuit.Circuit { return RandomCliffordT(3, 40, s) }},
+		{"su4blocks", func(s int64) *circuit.Circuit { return RandomSU4Blocks(4, 6, s) }},
 	}
 	for _, tc := range cases {
 		a, b := tc.make(7), tc.make(7)
@@ -94,5 +95,29 @@ func TestChemistryEvolution(t *testing.T) {
 		if op.G == circuit.RX || op.G == circuit.RY || op.G == circuit.U3 {
 			t.Fatalf("op %d: Pauli-gadget compiler emitted %v", i, op.G)
 		}
+	}
+}
+
+// TestRandomSU4BlocksShape: each block is a 3-CX KAK skeleton with Haar
+// locals — so blocks·3 CX gates, blocks·8 U3 gates, and no other ops.
+func TestRandomSU4BlocksShape(t *testing.T) {
+	const blocks = 7
+	c := RandomSU4Blocks(5, blocks, 3)
+	if c.N != 5 {
+		t.Fatalf("qubits: %d", c.N)
+	}
+	cx, u3 := 0, 0
+	for _, op := range c.Ops {
+		switch op.G {
+		case circuit.CX:
+			cx++
+		case circuit.U3:
+			u3++
+		default:
+			t.Fatalf("unexpected gate %v", op.G)
+		}
+	}
+	if cx != 3*blocks || u3 != 8*blocks {
+		t.Fatalf("got %d CX / %d U3, want %d / %d", cx, u3, 3*blocks, 8*blocks)
 	}
 }

@@ -9,8 +9,8 @@ import (
 
 // ParseQASM parses the OpenQASM 2.0 subset emitted by (*Circuit).QASM —
 // one quantum register, the discrete/rotation gate alphabet of this IR,
-// and cx/cz — so circuits round-trip through text and external circuits in
-// this dialect can be imported.
+// and cx/cz/swap — so circuits round-trip through text and external
+// circuits in this dialect can be imported.
 func ParseQASM(src string) (*Circuit, error) {
 	var c *Circuit
 	regName := "q"
@@ -230,6 +230,11 @@ func applyParsed(c *Circuit, name string, qubits []int, angles []float64) error 
 			return err
 		}
 		c.CZ(qubits[0], qubits[1])
+	case "swap":
+		if err := need(2, 0); err != nil {
+			return err
+		}
+		c.Swap(qubits[0], qubits[1])
 	default:
 		return fmt.Errorf("unsupported gate %q", name)
 	}

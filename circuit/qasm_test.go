@@ -167,6 +167,19 @@ u2(pi/2,3*pi/2) q[0];
 `,
 			ops: 4, angle0: 3 * math.Pi / 2,
 		},
+		{
+			name: "two-qubit-alphabet",
+			src: `OPENQASM 2.0;
+qreg q[3];
+u3(0.3,1.1,-0.7) q[0];
+cx q[0],q[1];
+cz q[1],q[2];
+swap q[0],q[2];
+cnot q[2],q[0];
+swap q[1],q[0];
+`,
+			ops: 6, angle0: 0.3,
+		},
 	}
 	for _, tc := range cases {
 		t.Run(tc.name, func(t *testing.T) {

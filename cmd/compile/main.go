@@ -61,6 +61,7 @@ func main() {
 		irFlag  = flag.String("ir", "auto", "lowering IR: auto, u3, rz")
 		passes  = flag.String("passes", "", "comma-separated pass list (default: "+strings.Join(synth.PassNames(), ",")+")")
 		opt     = flag.Int("opt", 0, "T-count optimizer level: 0 off, 1 pre-lowering rotation folding, 2 also post-lowering Clifford+T peephole")
+		fuse2q  = flag.Bool("fuse2q", false, "fuse two-qubit blocks via KAK re-synthesis before transpiling")
 		optList = flag.String("optimizers", "", "comma-separated post-lowering rule chain (implies -opt 2; have: "+strings.Join(optimize.List(), ", ")+")")
 		workers = flag.Int("workers", 0, "worker-pool size (0 = GOMAXPROCS)")
 		samples = flag.Int("samples", 0, "trasyn samples k (0 = default)")
@@ -83,6 +84,9 @@ func main() {
 	// (compose optrot/optct inside -passes when hand-building).
 	if *passes != "" && (*opt > 0 || *optList != "") {
 		fail("-opt/-optimizers cannot be combined with -passes; add optrot/optct to the -passes list instead")
+	}
+	if *passes != "" && *fuse2q {
+		fail("-fuse2q cannot be combined with -passes; add fuse2q to the -passes list instead")
 	}
 
 	var optimizers []string
@@ -109,6 +113,7 @@ func main() {
 			Seed:       synth.Seed(*seed),
 			OptLevel:   *opt,
 			Optimizers: optimizers,
+			Fuse2Q:     *fuse2q,
 			TimeoutMs:  int(*timeout / time.Millisecond),
 		}
 		if *passes != "" {
@@ -158,6 +163,9 @@ func main() {
 	}
 	if *opt > 0 {
 		opts = append(opts, synth.WithOptimize(*opt))
+	}
+	if *fuse2q {
+		opts = append(opts, synth.WithFuseBlocks())
 	}
 	if len(optimizers) > 0 {
 		opts = append(opts, synth.WithOptimizers(optimizers...))

@@ -28,7 +28,7 @@ func main() {
 		samples = flag.Int("samples", 0, "trasyn samples k (paper: 40000)")
 		maxt    = flag.Int("maxt", 0, "per-tensor T budget m (paper: 10)")
 		sites   = flag.Int("sites", 0, "max MPS tensors (paper: 3)")
-		benches = flag.Int("benches", 0, "suite circuits to process (0 = default subsample; -1 = all 187)")
+		benches = flag.Int("benches", 0, "suite circuits to process (0 = default subsample; -1 = all 192)")
 		simq    = flag.Int("simq", 0, "max qubits for noisy simulation")
 		out     = flag.String("out", "", "CSV output directory")
 		seed    = flag.Int64("seed", 0, "random seed")
@@ -48,7 +48,7 @@ func main() {
 		SimQubits: *simq, OutDir: *out, Seed: *seed, Workers: *workers,
 	}
 	if *benches == -1 {
-		cfg.BenchLimit = 187
+		cfg.BenchLimit = 192
 	} else {
 		cfg.BenchLimit = *benches
 	}

@@ -1,0 +1,197 @@
+// Command mqbench records the multi-qubit fusion benchmark: fuse-then-lower
+// (the fuse2q pass in front of the canned optimizing pipeline) against
+// lower-then-optimize (the same pipeline without fusion) on QAOA and
+// random-SU(4)-block workloads, appended as a dated entry to
+// BENCH_multiqubit.json. The workloads are the suite's qaoa_maxcut and
+// su4blocks generators at fixed seeds, so numbers are comparable between
+// runs, CI and this tool.
+//
+// Usage:
+//
+//	mqbench -out BENCH_multiqubit.json -label after
+//	mqbench -backend gridsynth -opt 2 -label ci-smoke
+//
+// The "before"/"after" labels are the perf-PR convention: an entry records
+// which side of a change it measures; later sessions append fresh entries
+// rather than overwriting history.
+package main
+
+import (
+	"context"
+	"encoding/json"
+	"flag"
+	"fmt"
+	"os"
+	"runtime"
+	"time"
+
+	"repro/circuit"
+	"repro/circuit/gen"
+	"repro/synth"
+)
+
+type workload struct {
+	Name    string
+	Circuit *circuit.Circuit
+}
+
+// side is one compiled variant of a workload (baseline or fused).
+type side struct {
+	TCount   int     `json:"t_count"`
+	TwoQubit int     `json:"two_qubit"`
+	Clifford int     `json:"clifford"`
+	WallMs   float64 `json:"wall_ms"`
+	// Fusion accounting, present on the fused side only.
+	BlocksFused  int `json:"blocks_fused,omitempty"`
+	BlockCXSaved int `json:"block_cx_saved,omitempty"`
+}
+
+type result struct {
+	Workload string `json:"workload"`
+	Qubits   int    `json:"qubits"`
+	// Baseline is lower-then-optimize; Fused is fuse-then-lower.
+	Baseline side `json:"baseline"`
+	Fused    side `json:"fused"`
+	// TSaved/CXSaved are baseline minus fused (positive = fusion won).
+	TSaved  int `json:"t_saved"`
+	CXSaved int `json:"cx_saved"`
+}
+
+type entry struct {
+	Date      string   `json:"date"`
+	Label     string   `json:"label"`
+	Commit    string   `json:"commit,omitempty"`
+	Backend   string   `json:"backend"`
+	OptLevel  int      `json:"opt_level"`
+	GoOS      string   `json:"goos"`
+	GoArch    string   `json:"goarch"`
+	CPUs      int      `json:"cpus"`
+	GoVersion string   `json:"go_version"`
+	Results   []result `json:"results"`
+	Note      string   `json:"note,omitempty"`
+}
+
+type report struct {
+	Benchmark   string  `json:"benchmark"`
+	Package     string  `json:"package"`
+	Description string  `json:"description"`
+	Entries     []entry `json:"entries"`
+}
+
+func newReport() *report {
+	return &report{
+		Benchmark: "mqbench fuse-then-lower vs lower-then-optimize",
+		Package:   "repro/synth/multiqubit",
+		Description: "T-count and two-qubit count with and without the fuse2q " +
+			"pass (KAK re-synthesis of pair-confined gate runs) in front of the " +
+			"canned optimizing pipeline, on qaoa_maxcut and su4blocks workloads " +
+			"at fixed seeds.",
+	}
+}
+
+func workloads() []workload {
+	return []workload{
+		{"qaoa_maxcut_n8_p2", gen.QAOAMaxCut(8, 2, 802)},
+		{"qaoa_maxcut_n12_p3", gen.QAOAMaxCut(12, 3, 1203)},
+		{"su4blocks_n4_b8", gen.RandomSU4Blocks(4, 8, 48)},
+		{"su4blocks_n6_b12", gen.RandomSU4Blocks(6, 12, 612)},
+	}
+}
+
+func main() {
+	out := flag.String("out", "BENCH_multiqubit.json", "output JSON path (appended to if it exists)")
+	label := flag.String("label", "after", "entry label (before/after/ci-smoke/...)")
+	commit := flag.String("commit", "", "commit describing the measured tree")
+	note := flag.String("note", "", "free-form note stored with the entry")
+	backend := flag.String("backend", "auto", "synthesis backend")
+	opt := flag.Int("opt", 2, "optimizer level for both sides")
+	timeout := flag.Duration("timeout", 5*time.Minute, "per-compile timeout")
+	flag.Parse()
+
+	rep := newReport()
+	if data, err := os.ReadFile(*out); err == nil {
+		if err := json.Unmarshal(data, rep); err != nil {
+			fmt.Fprintf(os.Stderr, "mqbench: %s exists but is not a report: %v\n", *out, err)
+			os.Exit(1)
+		}
+	}
+
+	ent := entry{
+		Date:      time.Now().UTC().Format("2006-01-02"),
+		Label:     *label,
+		Commit:    *commit,
+		Backend:   *backend,
+		OptLevel:  *opt,
+		GoOS:      runtime.GOOS,
+		GoArch:    runtime.GOARCH,
+		CPUs:      runtime.NumCPU(),
+		GoVersion: runtime.Version(),
+		Note:      *note,
+	}
+	for _, w := range workloads() {
+		fmt.Fprintf(os.Stderr, "mqbench: %s (%d qubits, %d ops)...\n", w.Name, w.Circuit.N, len(w.Circuit.Ops))
+		base, err := compile(w.Circuit, *backend, *opt, false, *timeout)
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "mqbench: %s baseline: %v\n", w.Name, err)
+			os.Exit(1)
+		}
+		fused, err := compile(w.Circuit, *backend, *opt, true, *timeout)
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "mqbench: %s fused: %v\n", w.Name, err)
+			os.Exit(1)
+		}
+		r := result{
+			Workload: w.Name,
+			Qubits:   w.Circuit.N,
+			Baseline: base,
+			Fused:    fused,
+			TSaved:   base.TCount - fused.TCount,
+			CXSaved:  base.TwoQubit - fused.TwoQubit,
+		}
+		ent.Results = append(ent.Results, r)
+		fmt.Fprintf(os.Stderr, "mqbench: %s  T %d→%d  2Q %d→%d  (blocks fused %d)\n",
+			w.Name, base.TCount, fused.TCount, base.TwoQubit, fused.TwoQubit, fused.BlocksFused)
+	}
+	rep.Entries = append(rep.Entries, ent)
+
+	data, err := json.MarshalIndent(rep, "", "  ")
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "mqbench: %v\n", err)
+		os.Exit(1)
+	}
+	if err := os.WriteFile(*out, append(data, '\n'), 0o644); err != nil {
+		fmt.Fprintf(os.Stderr, "mqbench: %v\n", err)
+		os.Exit(1)
+	}
+	fmt.Printf("mqbench: appended %q entry (%d workloads) to %s\n", *label, len(ent.Results), *out)
+}
+
+// compile runs one workload through the canned optimizing pipeline, with
+// or without the fuse2q pass in front, and returns the gate accounting.
+func compile(c *circuit.Circuit, backend string, opt int, fuse bool, timeout time.Duration) (side, error) {
+	opts := []synth.Option{synth.WithOptimize(opt)}
+	if fuse {
+		opts = append(opts, synth.WithFuseBlocks())
+	}
+	pl, err := synth.NewPipelineFor(backend, opts...)
+	if err != nil {
+		return side{}, err
+	}
+	ctx, cancel := context.WithTimeout(context.Background(), timeout)
+	defer cancel()
+	res, err := pl.Run(ctx, c)
+	if err != nil {
+		return side{}, err
+	}
+	s := side{
+		TCount:   res.Circuit.TCount(),
+		TwoQubit: res.Circuit.TwoQubitCount(),
+		Clifford: res.Circuit.CliffordCount(),
+		WallMs:   float64(res.Wall) / float64(time.Millisecond),
+	}
+	if f := res.Stats.Fuse; f != nil {
+		s.BlocksFused = f.Blocks
+		s.BlockCXSaved = f.CXSaved
+	}
+	return s, nil
+}

@@ -1,4 +1,4 @@
-// Command suite lists or exports the 187-circuit benchmark corpus, and can
+// Command suite lists or exports the 192-circuit benchmark corpus, and can
 // compile any of its circuits to Clifford+T through the synth pipeline
 // API.
 //

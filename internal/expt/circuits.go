@@ -38,7 +38,7 @@ func lowerOnly(backend string, req synth.Request, cache *synth.Cache) (*synth.Pi
 	)
 }
 
-// selectBenchmarks subsamples the 187-circuit suite evenly (stable order).
+// selectBenchmarks subsamples the 192-circuit suite evenly (stable order).
 func selectBenchmarks(limit int) []suite.Benchmark {
 	all := suite.Suite()
 	if limit <= 0 || limit >= len(all) {
@@ -149,7 +149,7 @@ const defaultCircuitEps = 0.007 // the paper's RQ3 threshold
 // Fig3b regenerates the Rz:U3 rotation-count ratio across the suite.
 func Fig3b(cfg Config) (*Table, error) {
 	cfg = cfg.filled()
-	benches := selectBenchmarks(0) // transpiling is cheap: use all 187
+	benches := selectBenchmarks(0) // transpiling is cheap: use all 192
 	t := &Table{
 		ID:     "fig3b",
 		Title:  "ratio of Rz-basis to U3-basis rotation counts after transpilation",

@@ -19,7 +19,7 @@ type Config struct {
 	MaxT int
 	// Sites is the maximum number of MPS tensors (paper: 3 → T ≤ 30).
 	Sites int
-	// BenchLimit caps how many of the 187 suite circuits the circuit
+	// BenchLimit caps how many of the 192 suite circuits the circuit
 	// experiments process (0 = all; default subsamples evenly).
 	BenchLimit int
 	// SimQubits caps simulation-based experiments (paper: 12 for noisy).

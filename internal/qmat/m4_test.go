@@ -1,0 +1,113 @@
+package qmat
+
+import (
+	"math"
+	"math/cmplx"
+	"math/rand"
+	"testing"
+)
+
+func TestKronConvention(t *testing.T) {
+	// X on the first (high) qubit must map |0b⟩ ↔ |1b⟩, i.e. swap
+	// rows 0↔2 and 1↔3.
+	xi := Kron(X, I2())
+	want := M4{
+		{0, 0, 1, 0},
+		{0, 0, 0, 1},
+		{1, 0, 0, 0},
+		{0, 1, 0, 0},
+	}
+	if !ApproxEqual4(xi, want, 1e-15) {
+		t.Fatalf("Kron(X,I) = %v", xi)
+	}
+	// Z on the second (low) qubit: diag(1,−1,1,−1).
+	iz := Kron(I2(), Z)
+	want = M4{{1, 0, 0, 0}, {0, -1, 0, 0}, {0, 0, 1, 0}, {0, 0, 0, -1}}
+	if !ApproxEqual4(iz, want, 1e-15) {
+		t.Fatalf("Kron(I,Z) = %v", iz)
+	}
+}
+
+func TestCXConjugation(t *testing.T) {
+	cx := CXFirst()
+	// CX (X⊗I) CX = X⊗X: control-X propagates to the target.
+	got := MulAll4(cx, Kron(X, I2()), cx)
+	if !ApproxEqual4(got, Kron(X, X), 1e-14) {
+		t.Fatalf("CX(X⊗I)CX = %v", got)
+	}
+	// CX (I⊗Z) CX = Z⊗Z: target-Z propagates to the control.
+	got = MulAll4(cx, Kron(I2(), Z), cx)
+	if !ApproxEqual4(got, Kron(Z, Z), 1e-14) {
+		t.Fatalf("CX(I⊗Z)CX = %v", got)
+	}
+	// The other orientation mirrors the roles.
+	cx2 := CXSecond()
+	got = MulAll4(cx2, Kron(I2(), X), cx2)
+	if !ApproxEqual4(got, Kron(X, X), 1e-14) {
+		t.Fatalf("CX2(I⊗X)CX2 = %v", got)
+	}
+}
+
+func TestSwapAndCZ(t *testing.T) {
+	sw := SWAP4()
+	if !ApproxEqual4(Mul4(sw, sw), I4(), 1e-15) {
+		t.Fatal("SWAP² != I")
+	}
+	// SWAP = CXFirst·CXSecond·CXFirst.
+	if got := MulAll4(CXFirst(), CXSecond(), CXFirst()); !ApproxEqual4(got, sw, 1e-15) {
+		t.Fatalf("3-CX swap identity: %v", got)
+	}
+	// CZ = (I⊗H)·CX·(I⊗H).
+	ih := Kron(I2(), H())
+	if got := MulAll4(ih, CXFirst(), ih); !ApproxEqual4(got, CZ4(), 1e-14) {
+		t.Fatalf("CZ from CX: %v", got)
+	}
+}
+
+func TestHaarRandom4Unitary(t *testing.T) {
+	rng := rand.New(rand.NewSource(11))
+	for i := 0; i < 50; i++ {
+		u := HaarRandom4(rng)
+		if !IsUnitary4(u, 1e-10) {
+			t.Fatalf("draw %d not unitary", i)
+		}
+		if d := cmplx.Abs(Det4(u) - 1); d > 1e-10 {
+			t.Fatalf("draw %d det off by %g", i, d)
+		}
+	}
+}
+
+func TestKronFactor(t *testing.T) {
+	rng := rand.New(rand.NewSource(7))
+	for i := 0; i < 100; i++ {
+		a, b := HaarRandom(rng), HaarRandom(rng)
+		ph := cmplx.Exp(complex(0, 2*math.Pi*rng.Float64()))
+		u := Scale4(ph, Kron(a, b))
+		fa, fb, fph, ok := KronFactor(u, 1e-10)
+		if !ok {
+			t.Fatalf("draw %d: failed to factor a product state", i)
+		}
+		re := Scale4(fph, Kron(fa, fb))
+		if !ApproxEqual4(re, u, 1e-10) {
+			t.Fatalf("draw %d: factorization inexact", i)
+		}
+	}
+	// Entangling matrices must be rejected.
+	if _, _, _, ok := KronFactor(CXFirst(), 1e-10); ok {
+		t.Fatal("KronFactor accepted CX")
+	}
+	if _, _, _, ok := KronFactor(MulAll4(CXFirst(), Kron(H(), T()), CXSecond()), 1e-10); ok {
+		t.Fatal("KronFactor accepted an entangling product")
+	}
+}
+
+func TestDistance4(t *testing.T) {
+	rng := rand.New(rand.NewSource(3))
+	u := HaarRandom4(rng)
+	if d := Distance4(u, Scale4(cmplx.Exp(1i), u)); d > 1e-12 {
+		t.Fatalf("phase-invariance broken: %g", d)
+	}
+	if d := Distance4(I4(), SWAP4()); d < 0.5 {
+		t.Fatalf("I vs SWAP suspiciously close: %g", d)
+	}
+}

@@ -72,6 +72,17 @@ func (s *State) ApplyCZ(a, b int) {
 	}
 }
 
+// ApplySwap swaps two qubits.
+func (s *State) ApplySwap(a, b int) {
+	ab, bb := 1<<uint(a), 1<<uint(b)
+	for i := 0; i < len(s.Amp); i++ {
+		if i&ab != 0 && i&bb == 0 {
+			j := i&^ab | bb
+			s.Amp[i], s.Amp[j] = s.Amp[j], s.Amp[i]
+		}
+	}
+}
+
 // ApplyOp applies one circuit operation.
 func (s *State) ApplyOp(op circuit.Op) {
 	switch op.G {
@@ -79,6 +90,8 @@ func (s *State) ApplyOp(op circuit.Op) {
 		s.ApplyCX(op.Q[0], op.Q[1])
 	case circuit.CZ:
 		s.ApplyCZ(op.Q[0], op.Q[1])
+	case circuit.SWAP:
+		s.ApplySwap(op.Q[0], op.Q[1])
 	case circuit.I:
 	default:
 		s.Apply1Q(op.Q[0], op.Matrix1Q())

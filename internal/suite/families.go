@@ -26,6 +26,7 @@ var (
 	VQEAnsatz        = gen.VQEAnsatz
 	Grover           = gen.Grover
 	RandomCircuit    = gen.RandomCircuit
+	RandomSU4Blocks  = gen.RandomSU4Blocks
 )
 
 // threeRegularEdges delegates to the promoted generator (kept for the

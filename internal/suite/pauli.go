@@ -1,4 +1,4 @@
-// Package suite generates the 187-circuit benchmark corpus of the
+// Package suite generates the 192-circuit benchmark corpus of the
 // evaluation: QAOA MaxCut circuits with merge-friendly gate ordering,
 // Hamlib-style Hamiltonian-simulation circuits compiled from Pauli strings
 // (a greedy CNOT-ladder compiler standing in for Rustiq), and

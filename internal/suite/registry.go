@@ -23,10 +23,11 @@ type Benchmark struct {
 	Circuit  *circuit.Circuit
 }
 
-// Suite generates the full 187-circuit corpus:
+// Suite generates the full 192-circuit corpus:
 //   - 60 QAOA MaxCut circuits (depths 1–5 × 12 sizes, 4–26 qubits),
 //   - 60 Hamlib-style Hamiltonian circuits (6 families × 10 sizes),
-//   - 67 Benchpress/QASMBench-style algorithm circuits.
+//   - 72 Benchpress/QASMBench-style algorithm circuits (including the
+//     random-SU(4)-block family the multi-qubit fusion bench uses).
 //
 // Everything is generated deterministically from fixed seeds.
 func Suite() []Benchmark {
@@ -130,6 +131,12 @@ func Suite() []Benchmark {
 		out = append(out, Benchmark{
 			Name: fmtName("random", cfg[0], "d", cfg[1]), Category: CatFTAlgorithm, Dataset: "benchpress",
 			Circuit: RandomCircuit(cfg[0], cfg[1], int64(i+11)),
+		})
+	}
+	for i, cfg := range [][2]int{{4, 4}, {4, 8}, {6, 6}, {8, 8}, {10, 10}} { // 5 random SU(4) blocks
+		out = append(out, Benchmark{
+			Name: fmtName("su4blocks", cfg[0], "b", cfg[1]), Category: CatFTAlgorithm, Dataset: "benchpress",
+			Circuit: RandomSU4Blocks(cfg[0], cfg[1], int64(i+29)),
 		})
 	}
 	return out

@@ -9,11 +9,11 @@ import (
 	"repro/internal/sim"
 )
 
-// TestSuiteHas187Circuits: the headline corpus size from the paper.
-func TestSuiteHas187Circuits(t *testing.T) {
+// TestSuiteHas192Circuits: the headline corpus size from the paper.
+func TestSuiteHas192Circuits(t *testing.T) {
 	s := Suite()
-	if len(s) != 187 {
-		t.Fatalf("suite has %d circuits, want 187", len(s))
+	if len(s) != 192 {
+		t.Fatalf("suite has %d circuits, want 192", len(s))
 	}
 	names := map[string]bool{}
 	for _, b := range s {

@@ -85,9 +85,16 @@ func (foldPhases) Optimize(c *circuit.Circuit) (*circuit.Circuit, error) {
 		case op.G == circuit.CZ:
 			// Diagonal: commutes with Z-phases, parities unchanged.
 			outOps = append(outOps, op)
+		case op.G == circuit.SWAP:
+			// Relabeling: the parities travel with the qubits.
+			parity[op.Q[0]], parity[op.Q[1]] = parity[op.Q[1]], parity[op.Q[0]]
+			outOps = append(outOps, op)
 		case op.G == circuit.I:
 		default:
 			parity[op.Q[0]] = []int{fresh()}
+			if op.G.IsTwoQubit() {
+				parity[op.Q[1]] = []int{fresh()}
+			}
 			outOps = append(outOps, op)
 		}
 	}

@@ -4,7 +4,7 @@
 // Clifford+T sequences, together with the full evaluation stack — a
 // Ross–Selinger gridsynth baseline, a Solovay–Kitaev baseline, a
 // Synthetiq-style annealer, a circuit IR and transpiler, simulators and a
-// 187-circuit benchmark suite.
+// 192-circuit benchmark suite.
 //
 // This file is the legacy public facade; new code should use the synth
 // package — a unified Backend interface, named registry, batch Compiler
@@ -54,7 +54,7 @@ var (
 	Distance = qmat.Distance
 	// NewCircuit allocates an empty n-qubit circuit.
 	NewCircuit = circuit.New
-	// BenchmarkSuite generates the 187-circuit evaluation corpus.
+	// BenchmarkSuite generates the 192-circuit evaluation corpus.
 	BenchmarkSuite = suite.Suite
 )
 

@@ -80,7 +80,7 @@ func TestFacadeTranspile(t *testing.T) {
 }
 
 func TestFacadeBenchmarkSuite(t *testing.T) {
-	if got := len(BenchmarkSuite()); got != 187 {
-		t.Fatalf("suite has %d circuits, want 187", got)
+	if got := len(BenchmarkSuite()); got != 192 {
+		t.Fatalf("suite has %d circuits, want 192", got)
 	}
 }

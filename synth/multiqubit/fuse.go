@@ -1,0 +1,144 @@
+package multiqubit
+
+import (
+	"repro/circuit"
+)
+
+// FuseStats reports what one Fuse sweep did.
+type FuseStats struct {
+	// Blocks counts pair-blocks that were actually replaced by their
+	// re-synthesized form; Candidates counts blocks that qualified for a
+	// fusion attempt (≥2 ops, ≥1 two-qubit gate).
+	Blocks     int `json:"blocks"`
+	Candidates int `json:"candidates"`
+	// OpsFused counts input ops absorbed into replaced blocks.
+	OpsFused int `json:"ops_fused"`
+	// CXSaved is the summed two-qubit-cost reduction over replaced blocks
+	// (CX/CZ cost 1, SWAP costs 3 — its lowering cost in CX).
+	CXSaved int `json:"cx_saved"`
+}
+
+// block is a run of ops confined to one qubit pair, open while no gate
+// outside the pair has touched either qubit.
+type block struct {
+	qa, qb int
+	ops    []circuit.Op
+	twoQ   int
+}
+
+// cxWeight is an op's two-qubit cost in CX units.
+func cxWeight(op circuit.Op) int {
+	switch op.G {
+	case circuit.CX, circuit.CZ:
+		return 1
+	case circuit.SWAP:
+		return 3
+	}
+	return 0
+}
+
+func blockCost(ops []circuit.Op, n int) (cx int, rot int) {
+	tmp := circuit.New(n)
+	for _, op := range ops {
+		cx += cxWeight(op)
+		tmp.Add(op)
+	}
+	return cx, tmp.CountRotations()
+}
+
+// Fuse scans c for maximal runs of gates confined to a qubit pair,
+// multiplies each run into its 4x4 unitary, and re-synthesizes it through
+// the KAK decomposition (≤3 CX + U3 rotations). A block is replaced only
+// when the synthesized form is strictly cheaper: fewer two-qubit gates
+// (CX units), or equally many with fewer nontrivial rotations. The
+// returned circuit realizes the same unitary up to global phase.
+//
+// Single-qubit gates between blocks attach to the next two-qubit gate on
+// their qubit; runs that never meet a two-qubit gate pass through
+// untouched (adjacent-gate merging is FuseRotations' job).
+func Fuse(c *circuit.Circuit) (*circuit.Circuit, FuseStats) {
+	var st FuseStats
+	if c.N < 2 {
+		return c.Clone(), st
+	}
+	out := circuit.New(c.N)
+	pending := make([][]circuit.Op, c.N) // 1q ops awaiting a pair
+	active := make(map[int]*block)       // qubit → open block
+
+	emit := func(ops []circuit.Op) {
+		for _, op := range ops {
+			out.Add(op)
+		}
+	}
+	closeBlock := func(b *block) {
+		delete(active, b.qa)
+		delete(active, b.qb)
+		if b.twoQ == 0 || len(b.ops) < 2 {
+			emit(b.ops)
+			return
+		}
+		st.Candidates++
+		u, err := OpsMatrix(b.ops, b.qa, b.qb)
+		if err != nil {
+			emit(b.ops)
+			return
+		}
+		fused, _, err := Synthesize(u, b.qa, b.qb, 0)
+		if err != nil {
+			emit(b.ops)
+			return
+		}
+		oldCX, oldRot := blockCost(b.ops, c.N)
+		newCX, newRot := blockCost(fused, c.N)
+		if newCX > oldCX || (newCX == oldCX && newRot >= oldRot) {
+			emit(b.ops)
+			return
+		}
+		st.Blocks++
+		st.OpsFused += len(b.ops)
+		st.CXSaved += oldCX - newCX
+		emit(fused)
+	}
+	closeQubit := func(q int) {
+		if b := active[q]; b != nil {
+			closeBlock(b)
+		}
+	}
+
+	for _, op := range c.Ops {
+		if !op.G.IsTwoQubit() {
+			if op.G == circuit.I {
+				continue
+			}
+			if b := active[op.Q[0]]; b != nil {
+				b.ops = append(b.ops, op)
+			} else {
+				pending[op.Q[0]] = append(pending[op.Q[0]], op)
+			}
+			continue
+		}
+		x, y := op.Q[0], op.Q[1]
+		if b := active[x]; b != nil && b == active[y] {
+			b.ops = append(b.ops, op)
+			b.twoQ++
+			continue
+		}
+		closeQubit(x)
+		closeQubit(y)
+		b := &block{qa: x, qb: y, twoQ: 1}
+		b.ops = append(b.ops, pending[x]...)
+		b.ops = append(b.ops, pending[y]...)
+		b.ops = append(b.ops, op)
+		pending[x], pending[y] = nil, nil
+		active[x], active[y] = b, b
+	}
+	// Close remaining blocks in first-qubit order for determinism (open
+	// blocks are pairwise disjoint, so any order preserves dependencies).
+	for q := 0; q < c.N; q++ {
+		closeQubit(q)
+	}
+	for q := 0; q < c.N; q++ {
+		emit(pending[q])
+	}
+	return out, st
+}

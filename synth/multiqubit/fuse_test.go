@@ -1,0 +1,152 @@
+package multiqubit
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+
+	"repro/circuit"
+	"repro/internal/sim"
+)
+
+// randomPairCircuit builds a random circuit mixing 1q and 2q gates.
+func randomPairCircuit(n, nops int, rng *rand.Rand) *circuit.Circuit {
+	c := circuit.New(n)
+	for i := 0; i < nops; i++ {
+		q := rng.Intn(n)
+		switch rng.Intn(8) {
+		case 0:
+			c.H(q)
+		case 1:
+			c.T(q)
+		case 2:
+			c.RZ(q, rng.Float64()*2*math.Pi)
+		case 3:
+			c.U3Gate(q, rng.Float64()*math.Pi, rng.Float64()*2*math.Pi, rng.Float64()*2*math.Pi)
+		case 4:
+			c.S(q)
+		default:
+			r := rng.Intn(n - 1)
+			if r >= q {
+				r++
+			}
+			switch rng.Intn(3) {
+			case 0:
+				c.CX(q, r)
+			case 1:
+				c.CZ(q, r)
+			default:
+				c.Swap(q, r)
+			}
+		}
+	}
+	return c
+}
+
+// TestFusePreservesUnitary is the pipeline-level safety property: Fuse
+// never changes the circuit's unitary (up to global phase), across random
+// 2- and 3-qubit circuits dense with fusable runs.
+func TestFusePreservesUnitary(t *testing.T) {
+	rng := rand.New(rand.NewSource(21))
+	for trial := 0; trial < 60; trial++ {
+		n := 2 + trial%2
+		c := randomPairCircuit(n, 12+rng.Intn(20), rng)
+		fused, _ := Fuse(c)
+		d := sim.UnitaryDistance(sim.Unitary(c), sim.Unitary(fused))
+		if d > 1e-6 {
+			t.Fatalf("trial %d (n=%d): unitary distance %g after fusion\n%s", trial, n, d, c.QASM())
+		}
+	}
+}
+
+// TestFuseSavesCX checks a run with redundant entanglers actually fuses:
+// two back-to-back ZZ-interaction blocks cost 4 CX unfused but are jointly
+// a single 2-CX class unitary.
+func TestFuseSavesCX(t *testing.T) {
+	c := circuit.New(2)
+	for i := 0; i < 2; i++ {
+		c.CX(0, 1)
+		c.RZ(1, 0.3+0.2*float64(i))
+		c.CX(0, 1)
+	}
+	fused, st := Fuse(c)
+	if st.Blocks != 1 || st.CXSaved < 2 {
+		t.Fatalf("stats %+v, want 1 block fused saving ≥2 CX", st)
+	}
+	if got := fused.TwoQubitCount(); got > 2 {
+		t.Fatalf("fused circuit has %d two-qubit gates, want ≤2", got)
+	}
+	d := sim.UnitaryDistance(sim.Unitary(c), sim.Unitary(fused))
+	if d > 1e-6 {
+		t.Fatalf("unitary distance %g", d)
+	}
+}
+
+// TestFuseSwapRun checks SWAP's 3-CX weight makes swap-adjacent runs
+// profitable.
+func TestFuseSwapRun(t *testing.T) {
+	c := circuit.New(2)
+	c.Swap(0, 1)
+	c.CX(0, 1) // SWAP·CX is locally equivalent to a 2-CX class unitary
+	fused, st := Fuse(c)
+	if st.Blocks != 1 {
+		t.Fatalf("stats %+v, want a fused block", st)
+	}
+	if before, after := c.TwoQubitCount(), fused.TwoQubitCount(); after >= 4 {
+		t.Fatalf("fusion kept %d→%d two-qubit gates", before, after)
+	}
+	d := sim.UnitaryDistance(sim.Unitary(c), sim.Unitary(fused))
+	if d > 1e-6 {
+		t.Fatalf("unitary distance %g", d)
+	}
+}
+
+// TestFuseKeepsOptimal checks an already-minimal pattern is left alone:
+// one ZZ block is its own 2-CX canonical form, so fusion has nothing to
+// save and must not churn.
+func TestFuseKeepsOptimal(t *testing.T) {
+	c := circuit.New(2)
+	c.CX(0, 1)
+	c.RZ(1, 0.7)
+	c.CX(0, 1)
+	fused, st := Fuse(c)
+	if st.Blocks != 0 {
+		t.Fatalf("stats %+v, want no fusion on an optimal block", st)
+	}
+	if len(fused.Ops) != len(c.Ops) {
+		t.Fatalf("circuit changed: %d → %d ops", len(c.Ops), len(fused.Ops))
+	}
+}
+
+// TestFuseDisjointPairs checks interleaved blocks on disjoint pairs fuse
+// independently and the whole-circuit unitary survives.
+func TestFuseDisjointPairs(t *testing.T) {
+	c := circuit.New(4)
+	for i := 0; i < 2; i++ {
+		c.CX(0, 1)
+		c.CX(2, 3)
+		c.RZ(1, 0.4)
+		c.RZ(3, 0.9)
+		c.CX(0, 1)
+		c.CX(2, 3)
+	}
+	fused, st := Fuse(c)
+	if st.Blocks < 2 {
+		t.Fatalf("stats %+v, want both pair blocks fused", st)
+	}
+	d := sim.UnitaryDistance(sim.Unitary(c), sim.Unitary(fused))
+	if d > 1e-6 {
+		t.Fatalf("unitary distance %g", d)
+	}
+}
+
+// TestFuseSingleQubitOnly checks a circuit with no two-qubit gates passes
+// through unchanged.
+func TestFuseSingleQubitOnly(t *testing.T) {
+	c := circuit.New(2)
+	c.H(0).T(0).H(1).RZ(1, 0.5)
+	fused, st := Fuse(c)
+	if st.Candidates != 0 || len(fused.Ops) != len(c.Ops) {
+		t.Fatalf("stats %+v, ops %d→%d; want untouched", st, len(c.Ops), len(fused.Ops))
+	}
+}

@@ -1,0 +1,177 @@
+package multiqubit
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+
+	"repro/circuit"
+	"repro/internal/qmat"
+)
+
+func TestCanMatrixKnownPoints(t *testing.T) {
+	// Can(0,0,0) = I.
+	if d := qmat.Distance4(CanMatrix(0, 0, 0), qmat.I4()); d > 1e-12 {
+		t.Fatalf("Can(0,0,0) distance to I: %g", d)
+	}
+	// Can(π/4,π/4,π/4) = e^{iπ/4}·SWAP (since XX+YY+ZZ = 2·SWAP − I).
+	if d := qmat.Distance4(CanMatrix(math.Pi/4, math.Pi/4, math.Pi/4), qmat.SWAP4()); d > 1e-12 {
+		t.Fatalf("Can(π/4,π/4,π/4) distance to SWAP: %g", d)
+	}
+	// exp(iπ/4·XX) is locally equivalent to CX: same canonical coordinates.
+	d, err := Decompose(qmat.CXFirst())
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := [3]float64{math.Pi / 4, 0, 0}
+	for k := 0; k < 3; k++ {
+		if math.Abs(d.C[k]-want[k]) > 1e-10 {
+			t.Fatalf("CX coords %v, want %v", d.C, want)
+		}
+	}
+}
+
+// TestKAKProperty is the headline guarantee: on ≥200 seeded Haar-random
+// SU(4) matrices the synthesized 3-CX circuit reconstructs the input to
+// within 1e-10 (phase-invariant distance).
+func TestKAKProperty(t *testing.T) {
+	rng := rand.New(rand.NewSource(7))
+	for i := 0; i < 200; i++ {
+		u := qmat.HaarRandom4(rng)
+		ops, d, err := Synthesize(u, 0, 1, 1e-10)
+		if err != nil {
+			t.Fatalf("sample %d: %v", i, err)
+		}
+		got, err := OpsMatrix(ops, 0, 1)
+		if err != nil {
+			t.Fatalf("sample %d: %v", i, err)
+		}
+		if dist := qmat.MaxAbsDiff4(got, u); dist > 1e-10 {
+			t.Fatalf("sample %d: reconstruction distance %g > 1e-10", i, dist)
+		}
+		ncx := 0
+		for _, op := range ops {
+			if op.G == circuit.CX {
+				ncx++
+			}
+		}
+		if ncx != d.CX || ncx > 3 {
+			t.Fatalf("sample %d: emitted %d CX, decomposition says %d", i, ncx, d.CX)
+		}
+	}
+}
+
+// TestReconstructExact checks the factored form (no class snapping)
+// matches to near machine precision.
+func TestReconstructExact(t *testing.T) {
+	rng := rand.New(rand.NewSource(11))
+	for i := 0; i < 50; i++ {
+		u := qmat.HaarRandom4(rng)
+		d, err := Decompose(u)
+		if err != nil {
+			t.Fatalf("sample %d: %v", i, err)
+		}
+		if diff := qmat.MaxAbsDiff4(d.Reconstruct(), u); diff > 1e-11 {
+			t.Fatalf("sample %d: reconstruct diff %g", i, diff)
+		}
+	}
+}
+
+func TestCXClasses(t *testing.T) {
+	rng := rand.New(rand.NewSource(3))
+	local := func() qmat.M4 {
+		return qmat.Kron(qmat.HaarRandom(rng), qmat.HaarRandom(rng))
+	}
+	cases := []struct {
+		name string
+		u    qmat.M4
+		cx   int
+	}{
+		{"identity", qmat.I4(), 0},
+		{"local", local(), 0},
+		{"cx", qmat.CXFirst(), 1},
+		{"cx-reversed", qmat.CXSecond(), 1},
+		{"cz", qmat.CZ4(), 1},
+		{"dressed-cx", qmat.MulAll4(local(), qmat.CXFirst(), local()), 1},
+		{"can-2cx", CanMatrix(0.31, 0.12, 0), 2},
+		{"dressed-2cx", qmat.MulAll4(local(), CanMatrix(0.43, 0.29, 0), local()), 2},
+		{"swap", qmat.SWAP4(), 3},
+		{"generic", CanMatrix(0.31, 0.22, 0.11), 3},
+	}
+	for _, tc := range cases {
+		ops, d, err := Synthesize(tc.u, 0, 1, 1e-9)
+		if err != nil {
+			t.Fatalf("%s: %v", tc.name, err)
+		}
+		if d.CX != tc.cx {
+			t.Errorf("%s: CX class %d, want %d (coords %v)", tc.name, d.CX, tc.cx, d.C)
+		}
+		ncx := 0
+		for _, op := range ops {
+			if op.G == circuit.CX {
+				ncx++
+			}
+		}
+		if ncx != tc.cx {
+			t.Errorf("%s: emitted %d CX, want %d", tc.name, ncx, tc.cx)
+		}
+	}
+}
+
+// TestCanonicalCoordinates builds U = (k1⊗k2)·Can(c)·(k3⊗k4) for
+// chamber-interior c and checks the analysis recovers exactly c.
+func TestCanonicalCoordinates(t *testing.T) {
+	rng := rand.New(rand.NewSource(5))
+	coords := [][3]float64{
+		{0.7, 0.5, 0.3},  // generic interior (×π/4 below)
+		{0.9, 0.6, -0.2}, // negative c3
+		{0.5, 0.5, 0.25}, // degenerate c1 = c2
+		{0.8, 0.4, 0.4},  // degenerate c2 = |c3|
+		{0.6, 0.35, 0.0}, // c3 = 0 boundary
+	}
+	for _, w := range coords {
+		c := [3]float64{w[0] * math.Pi / 4, w[1] * math.Pi / 4, w[2] * math.Pi / 4}
+		u := qmat.MulAll4(
+			qmat.Kron(qmat.HaarRandom(rng), qmat.HaarRandom(rng)),
+			CanMatrix(c[0], c[1], c[2]),
+			qmat.Kron(qmat.HaarRandom(rng), qmat.HaarRandom(rng)),
+		)
+		d, err := Decompose(u)
+		if err != nil {
+			t.Fatalf("coords %v: %v", c, err)
+		}
+		for k := 0; k < 3; k++ {
+			if math.Abs(d.C[k]-c[k]) > 1e-9 {
+				t.Fatalf("coords %v: recovered %v", c, d.C)
+			}
+		}
+	}
+}
+
+// TestWeylChamber checks every decomposition lands in the canonical cell.
+func TestWeylChamber(t *testing.T) {
+	rng := rand.New(rand.NewSource(13))
+	for i := 0; i < 100; i++ {
+		d, err := Decompose(qmat.HaarRandom4(rng))
+		if err != nil {
+			t.Fatalf("sample %d: %v", i, err)
+		}
+		c := d.C
+		ok := c[0] >= c[1]-1e-12 && c[1] >= math.Abs(c[2])-1e-12 &&
+			c[0] <= math.Pi/4+1e-12 && c[1] >= -1e-12
+		if c[0] > math.Pi/4-1e-12 && c[2] < -1e-12 {
+			ok = false
+		}
+		if !ok {
+			t.Fatalf("sample %d: coords %v outside Weyl chamber", i, c)
+		}
+	}
+}
+
+// TestOpsMatrixRejectsStray checks OpsMatrix refuses ops off the pair.
+func TestOpsMatrixRejectsStray(t *testing.T) {
+	ops := []circuit.Op{{G: circuit.H, Q: [2]int{2, -1}}}
+	if _, err := OpsMatrix(ops, 0, 1); err == nil {
+		t.Fatal("expected error for op off the pair")
+	}
+}

@@ -30,6 +30,7 @@ type Pipeline struct {
 	passes     []Pass
 	optLevel   int
 	optNames   []string
+	fuse2q     bool
 }
 
 // Option configures a Pipeline at construction.
@@ -112,6 +113,14 @@ func WithOptimizers(names ...string) Option {
 	}
 }
 
+// WithFuseBlocks prepends the two-qubit block-fusion pass (FuseBlocks)
+// to the canned pass sequence: runs of gates confined to a qubit pair
+// are multiplied together and re-synthesized via the KAK decomposition
+// into ≤3 CX plus U3 rotations before the transpiler ever sees them.
+// Ignored when WithPasses overrides the sequence — compose FuseBlocks()
+// yourself when hand-building.
+func WithFuseBlocks() Option { return func(p *Pipeline) { p.fuse2q = true } }
+
 // OptimizedPasses is the canned pass sequence at the given optimizer
 // level (the list WithOptimize installs): level <= 0 is DefaultPasses;
 // level 1 inserts OptimizeRotations after Transpile; level >= 2 also
@@ -138,6 +147,9 @@ func NewPipeline(b Backend, opts ...Option) *Pipeline {
 	}
 	if p.passes == nil {
 		p.passes = OptimizedPasses(p.optLevel, p.optNames...)
+		if p.fuse2q {
+			p.passes = append([]Pass{FuseBlocks()}, p.passes...)
+		}
 	}
 	if p.cache == nil {
 		p.cache = NewCache(0)

@@ -217,9 +217,9 @@ func TestPipelinePassesAndProgress(t *testing.T) {
 // (the no-optimizer subset).
 func TestLookupPass(t *testing.T) {
 	names := PassNames()
-	full := OptimizedPasses(2)
+	full := append([]Pass{FuseBlocks()}, OptimizedPasses(2)...)
 	if len(names) != len(full) {
-		t.Fatalf("PassNames %d entries, OptimizedPasses(2) %d", len(names), len(full))
+		t.Fatalf("PassNames %d entries, fuse2q+OptimizedPasses(2) %d", len(names), len(full))
 	}
 	for i, n := range names {
 		p, ok := LookupPass(n)

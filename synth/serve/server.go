@@ -84,10 +84,15 @@ type Server struct {
 	// across every compile served (the /metrics
 	// synthd_t_reclaimed_total counter).
 	tReclaimed atomic.Int64
-	metrics    *metrics
-	quota      *tenantLimiter // nil when quotas are disabled
-	mux        *http.ServeMux
-	start      time.Time
+	// blocksFused / blockCXSaved total what the fuse2q pass did across
+	// every compile served (the synthd_blocks_fused_total and
+	// synthd_block_cx_saved_total counters).
+	blocksFused  atomic.Int64
+	blockCXSaved atomic.Int64
+	metrics      *metrics
+	quota        *tenantLimiter // nil when quotas are disabled
+	mux          *http.ServeMux
+	start        time.Time
 }
 
 // New builds a Server from cfg.
@@ -328,6 +333,12 @@ func (s *Server) handleCompile(w http.ResponseWriter, r *http.Request) (int, err
 	if req.OptLevel > 0 {
 		opts = append(opts, synth.WithOptimize(req.OptLevel))
 	}
+	if req.Fuse2Q {
+		if len(req.Passes) > 0 {
+			return 0, badRequest("fuse_2q cannot be combined with passes; add fuse2q to the pass list instead")
+		}
+		opts = append(opts, synth.WithFuseBlocks())
+	}
 	if len(req.Optimizers) > 0 {
 		for _, n := range req.Optimizers {
 			if _, ok := optimize.Lookup(n); !ok {
@@ -362,6 +373,10 @@ func (s *Server) handleCompile(w http.ResponseWriter, r *http.Request) (int, err
 	st := NewCompileStats(res, pl.Passes(), req.Eps, strat)
 	if st.TSaved > 0 {
 		s.tReclaimed.Add(int64(st.TSaved))
+	}
+	if st.BlocksFused > 0 {
+		s.blocksFused.Add(int64(st.BlocksFused))
+		s.blockCXSaved.Add(int64(st.BlockCXSaved))
 	}
 	writeJSON(w, http.StatusOK, CompileResponse{QASM: res.Circuit.QASM(), Stats: st})
 	return http.StatusOK, nil
@@ -475,6 +490,8 @@ func (s *Server) handleMetrics(w http.ResponseWriter, r *http.Request) {
 		{"synthd_inflight", "Requests currently executing.", "gauge", float64(inflight)},
 		{"synthd_queue_depth", "Requests waiting for an execution slot.", "gauge", float64(queued)},
 		{"synthd_t_reclaimed_total", "T gates removed by the post-lowering optimizer across all compiles.", "counter", float64(s.tReclaimed.Load())},
+		{"synthd_blocks_fused_total", "Two-qubit blocks replaced by KAK re-synthesis across all compiles.", "counter", float64(s.blocksFused.Load())},
+		{"synthd_block_cx_saved_total", "Two-qubit gates (CX units) saved by block fusion across all compiles.", "counter", float64(s.blockCXSaved.Load())},
 	})
 	if n := s.cfg.Cluster; n != nil {
 		cs := n.Stats()

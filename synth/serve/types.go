@@ -55,6 +55,9 @@ type CompileRequest struct {
 	// level 2.
 	OptLevel   int      `json:"opt_level,omitempty"`
 	Optimizers []string `json:"optimizers,omitempty"`
+	// Fuse2Q prepends the two-qubit block-fusion pass (KAK re-synthesis
+	// of pair-confined gate runs) to the canned sequence.
+	Fuse2Q bool `json:"fuse_2q,omitempty"`
 	// TimeoutMs bounds this compile inside the server's own request
 	// timeout; the tighter of the two wins.
 	TimeoutMs int `json:"timeout_ms,omitempty"`
@@ -80,13 +83,18 @@ type CompileStats struct {
 	// (TSaved = the T gates it reclaimed); RotationsFolded counts the IR
 	// rotations the pre-lowering pass removed before synthesis;
 	// OptIterations is the driver's sweep count.
-	TCountBefore    int     `json:"t_count_before,omitempty"`
-	TCountAfter     int     `json:"t_count_after,omitempty"`
-	TSaved          int     `json:"t_saved,omitempty"`
-	RotationsFolded int     `json:"rotations_folded,omitempty"`
-	OptIterations   int     `json:"opt_iterations,omitempty"`
-	Passes          string  `json:"passes"`
-	WallMs          float64 `json:"wall_ms"`
+	TCountBefore    int `json:"t_count_before,omitempty"`
+	TCountAfter     int `json:"t_count_after,omitempty"`
+	TSaved          int `json:"t_saved,omitempty"`
+	RotationsFolded int `json:"rotations_folded,omitempty"`
+	OptIterations   int `json:"opt_iterations,omitempty"`
+	// Block-fusion accounting, present when the fuse2q pass ran:
+	// BlocksFused counts two-qubit runs replaced by their KAK re-synthesis
+	// and BlockCXSaved the two-qubit gates that saved (in CX units).
+	BlocksFused  int     `json:"blocks_fused,omitempty"`
+	BlockCXSaved int     `json:"block_cx_saved,omitempty"`
+	Passes       string  `json:"passes"`
+	WallMs       float64 `json:"wall_ms"`
 }
 
 // NewCompileStats assembles the stats record for one pipeline run — the
@@ -119,6 +127,10 @@ func NewCompileStats(res *synth.PipelineResult, passes []string, circuitEps floa
 		st.TSaved = opt.TSaved()
 		st.RotationsFolded = opt.PreRotationsBefore - opt.PreRotationsAfter
 		st.OptIterations = opt.Iterations
+	}
+	if fuse := res.Stats.Fuse; fuse != nil {
+		st.BlocksFused = fuse.Blocks
+		st.BlockCXSaved = fuse.CXSaved
 	}
 	return st
 }
