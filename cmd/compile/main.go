@@ -41,6 +41,7 @@ import (
 	"repro/synth"
 	"repro/synth/serve"
 	"repro/synth/serve/client"
+	"repro/synth/trace"
 )
 
 // stats is the JSON record emitted after a successful compile — the same
@@ -54,23 +55,24 @@ func fail(format string, args ...any) {
 
 func main() {
 	var (
-		backend = flag.String("backend", "auto", "synthesis backend: "+strings.Join(synth.List(), ", "))
-		eps     = flag.Float64("eps", 0, "circuit-level error budget ε, split across rotations (0 = per-rotation mode)")
-		rotEps  = flag.Float64("rot-eps", 0, "per-rotation epsilon when -eps is 0 (0 = backend default)")
-		budget  = flag.String("budget", "uniform", "ε-splitting strategy for -eps: uniform, weighted")
-		irFlag  = flag.String("ir", "auto", "lowering IR: auto, u3, rz")
-		passes  = flag.String("passes", "", "comma-separated pass list (default: "+strings.Join(synth.PassNames(), ",")+")")
-		opt     = flag.Int("opt", 0, "T-count optimizer level: 0 off, 1 pre-lowering rotation folding, 2 also post-lowering Clifford+T peephole")
-		fuse2q  = flag.Bool("fuse2q", false, "fuse two-qubit blocks via KAK re-synthesis before transpiling")
-		optList = flag.String("optimizers", "", "comma-separated post-lowering rule chain (implies -opt 2; have: "+strings.Join(optimize.List(), ", ")+")")
-		workers = flag.Int("workers", 0, "worker-pool size (0 = GOMAXPROCS)")
-		samples = flag.Int("samples", 0, "trasyn samples k (0 = default)")
-		tbudget = flag.Int("tbudget", 0, "trasyn per-tensor T budget m (0 = default)")
-		seed    = flag.Int64("seed", 1, "base seed for deterministic per-rotation seeding")
-		timeout = flag.Duration("timeout", 0, "whole-compile wall-clock budget (0 = none)")
-		outPath = flag.String("o", "", "write lowered QASM here instead of stdout")
-		verbose = flag.Bool("v", false, "report pass and synthesis progress on stderr")
-		remote  = flag.String("remote", "", "compile on a synthd daemon at this base URL instead of in-process")
+		backend  = flag.String("backend", "auto", "synthesis backend: "+strings.Join(synth.List(), ", "))
+		eps      = flag.Float64("eps", 0, "circuit-level error budget ε, split across rotations (0 = per-rotation mode)")
+		rotEps   = flag.Float64("rot-eps", 0, "per-rotation epsilon when -eps is 0 (0 = backend default)")
+		budget   = flag.String("budget", "uniform", "ε-splitting strategy for -eps: uniform, weighted")
+		irFlag   = flag.String("ir", "auto", "lowering IR: auto, u3, rz")
+		passes   = flag.String("passes", "", "comma-separated pass list (default: "+strings.Join(synth.PassNames(), ",")+")")
+		opt      = flag.Int("opt", 0, "T-count optimizer level: 0 off, 1 pre-lowering rotation folding, 2 also post-lowering Clifford+T peephole")
+		fuse2q   = flag.Bool("fuse2q", false, "fuse two-qubit blocks via KAK re-synthesis before transpiling")
+		optList  = flag.String("optimizers", "", "comma-separated post-lowering rule chain (implies -opt 2; have: "+strings.Join(optimize.List(), ", ")+")")
+		workers  = flag.Int("workers", 0, "worker-pool size (0 = GOMAXPROCS)")
+		samples  = flag.Int("samples", 0, "trasyn samples k (0 = default)")
+		tbudget  = flag.Int("tbudget", 0, "trasyn per-tensor T budget m (0 = default)")
+		seed     = flag.Int64("seed", 1, "base seed for deterministic per-rotation seeding")
+		timeout  = flag.Duration("timeout", 0, "whole-compile wall-clock budget (0 = none)")
+		outPath  = flag.String("o", "", "write lowered QASM here instead of stdout")
+		verbose  = flag.Bool("v", false, "report pass and synthesis progress on stderr")
+		remote   = flag.String("remote", "", "compile on a synthd daemon at this base URL instead of in-process")
+		traceOut = flag.String("trace", "", "write a Chrome trace_event JSON profile of this compile here (open in chrome://tracing)")
 	)
 	flag.Parse()
 
@@ -129,9 +131,17 @@ func main() {
 			ctx, cancel = context.WithTimeout(ctx, *timeout)
 			defer cancel()
 		}
+		tracer, root := startTrace(*traceOut, "compile.remote")
+		ctx = trace.NewContext(ctx, root)
 		res, err := client.New(*remote).Compile(ctx, req)
 		if err != nil {
 			fail("remote compile of %s: %v", name, err)
+		}
+		root.SetAttr("backend", res.Stats.Backend)
+		writeTrace(*traceOut, tracer, root)
+		if *traceOut != "" && res.Stats.TraceID != "" {
+			fmt.Fprintf(os.Stderr, "compile: daemon-side spans: GET %s/debug/trace?id=%s\n",
+				strings.TrimRight(*remote, "/"), res.Stats.TraceID)
 		}
 		emit(res.QASM, res.Stats, *outPath)
 		return
@@ -201,12 +211,45 @@ func main() {
 		ctx, cancel = context.WithTimeout(ctx, *timeout)
 		defer cancel()
 	}
-	res, err := pl.Run(ctx, circ)
+	tracer, root := startTrace(*traceOut, "compile")
+	res, err := pl.Run(trace.NewContext(ctx, root), circ)
 	if err != nil {
 		fail("compiling %s: %v", name, err)
 	}
+	root.SetAttr("backend", res.Backend)
+	writeTrace(*traceOut, tracer, root)
 
 	emit(res.Circuit.QASM(), serve.NewCompileStats(res, pl.Passes(), *eps, strat), *outPath)
+}
+
+// startTrace builds the always-sample tracer behind -trace. Without the
+// flag both returns are nil, and every span operation downstream no-ops.
+func startTrace(path, name string) (*trace.Tracer, *trace.Span) {
+	if path == "" {
+		return nil, nil
+	}
+	tracer := trace.New(trace.Config{SampleRatio: 1})
+	return tracer, tracer.Start(name)
+}
+
+// writeTrace ends the root span and writes the collected trace as Chrome
+// trace_event JSON to path (the -trace flag).
+func writeTrace(path string, tracer *trace.Tracer, root *trace.Span) {
+	if path == "" {
+		return
+	}
+	root.End()
+	f, err := os.Create(path)
+	if err != nil {
+		fail("creating -trace file: %v", err)
+	}
+	if err := trace.WriteChrome(f, tracer.Collect(root.TraceID())...); err != nil {
+		fail("writing -trace file: %v", err)
+	}
+	if err := f.Close(); err != nil {
+		fail("writing -trace file: %v", err)
+	}
+	fmt.Fprintf(os.Stderr, "compile: trace written to %s (open in chrome://tracing)\n", path)
 }
 
 // emit writes the lowered QASM to stdout (or outPath) and the one-line

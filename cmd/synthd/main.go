@@ -26,13 +26,22 @@
 //	synthd -addr :8078 -node-id b -peers ... -warm-seed      # join warm
 //	synthd -tenant-rps 50 -tenant-burst 100                  # quotas, any mode
 //
+// Observability: -trace-sample keeps a ratio of requests as span trees
+// (-trace-slow keeps only roots at least that slow) retrievable from
+// GET /debug/trace?id=<trace id> — text by default, Chrome trace_event
+// JSON with &format=chrome. Traces stitch across cluster hops via the
+// traceparent header, and every request is logged as one structured
+// slog line keyed by request_id (echoed in X-Request-Id). -debug-addr
+// opens a second, private listener carrying net/http/pprof and the same
+// /debug/trace, so profiling never shares a port with the service API.
+//
 // Endpoints: POST /v1/compile, POST /v1/synthesize, GET /healthz,
-// GET /metrics. Compile requests can enable the T-count optimizer via
-// opt_level / optimizers (the stats then carry t_count_before /
-// t_count_after, and /metrics totals synthd_t_reclaimed_total across
-// all compiles). See synth/serve for the request/response shapes and
-// synth/serve/client for the Go client; cmd/compile -remote drives a
-// running daemon from the CLI.
+// GET /metrics, GET /debug/trace. Compile requests can enable the
+// T-count optimizer via opt_level / optimizers (the stats then carry
+// t_count_before / t_count_after, and /metrics totals
+// synthd_t_reclaimed_total across all compiles). See synth/serve for
+// the request/response shapes and synth/serve/client for the Go client;
+// cmd/compile -remote drives a running daemon from the CLI.
 //
 // On SIGINT/SIGTERM the daemon stops accepting connections, drains
 // in-flight requests (up to -drain), flushes the cache snapshot, and
@@ -44,9 +53,10 @@ import (
 	"errors"
 	"flag"
 	"fmt"
-	"log"
+	"log/slog"
 	"net"
 	"net/http"
+	"net/http/pprof"
 	"os"
 	"os/signal"
 	"strings"
@@ -56,6 +66,7 @@ import (
 	"repro/synth"
 	"repro/synth/serve"
 	"repro/synth/serve/cluster"
+	"repro/synth/trace"
 )
 
 // parsePeers parses "id=url,id=url,...". Self may appear; cluster.New
@@ -74,6 +85,13 @@ func parsePeers(s string) (map[string]string, error) {
 		peers[id] = base
 	}
 	return peers, nil
+}
+
+// fatalf logs at Error and exits — the slog counterpart of log.Fatalf
+// for startup failures, where there is nothing to drain.
+func fatalf(logger *slog.Logger, format string, args ...any) {
+	logger.Error(fmt.Sprintf(format, args...))
+	os.Exit(1)
 }
 
 func main() {
@@ -98,31 +116,57 @@ func main() {
 
 		tenantRPS   = flag.Float64("tenant-rps", 0, "per-tenant quota in requests/second, keyed on X-Tenant (0 = quotas off)")
 		tenantBurst = flag.Int("tenant-burst", 0, "per-tenant quota burst (0 = max(1, ceil(rps)))")
+
+		traceSample = flag.Float64("trace-sample", 0, "fraction of requests to trace, 0..1 (0 = tracing off)")
+		traceSlow   = flag.Duration("trace-slow", 0, "with -trace-sample, retain only traces at least this slow (0 = retain all sampled)")
+		traceRing   = flag.Int("trace-ring", 0, "retained-trace ring capacity (0 = default)")
+		debugAddr   = flag.String("debug-addr", "", "private debug listener with net/http/pprof and /debug/trace (empty = off)")
+		logJSON     = flag.Bool("log-json", false, "emit structured logs as JSON instead of logfmt-style text")
 	)
 	flag.Parse()
-	logger := log.New(os.Stderr, "synthd: ", log.LstdFlags)
+
+	var handler slog.Handler
+	if *logJSON {
+		handler = slog.NewJSONHandler(os.Stderr, nil)
+	} else {
+		handler = slog.NewTextHandler(os.Stderr, nil)
+	}
+	logger := slog.New(handler)
 
 	if _, ok := synth.Lookup(*backend); !ok {
-		logger.Fatalf("unknown -backend %q (have %v)", *backend, synth.List())
+		fatalf(logger, "unknown -backend %q (have %v)", *backend, synth.List())
+	}
+	if *traceSample < 0 || *traceSample > 1 {
+		fatalf(logger, "-trace-sample %v out of range [0,1]", *traceSample)
+	}
+
+	var tracer *trace.Tracer
+	if *traceSample > 0 {
+		tracer = trace.New(trace.Config{
+			SampleRatio: *traceSample,
+			SlowOnly:    *traceSlow,
+			RingSize:    *traceRing,
+		})
 	}
 
 	var node *cluster.Node
 	if *nodeID != "" || *peers != "" {
 		if *nodeID == "" {
-			logger.Fatalf("-peers requires -node-id")
+			fatalf(logger, "-peers requires -node-id")
 		}
 		peerMap, err := parsePeers(*peers)
 		if err != nil {
-			logger.Fatalf("parsing -peers: %v", err)
+			fatalf(logger, "parsing -peers: %v", err)
 		}
 		node, err = cluster.New(cluster.Config{
 			SelfID:        *nodeID,
 			Peers:         peerMap,
 			VNodes:        *vnodes,
 			LookupTimeout: *peerTimeout,
+			Tracer:        tracer,
 		})
 		if err != nil {
-			logger.Fatalf("cluster: %v", err)
+			fatalf(logger, "cluster: %v", err)
 		}
 	}
 
@@ -137,26 +181,28 @@ func main() {
 		Cluster:        node,
 		TenantRPS:      *tenantRPS,
 		TenantBurst:    *tenantBurst,
+		Tracer:         tracer,
+		Logger:         logger,
 	})
 	cache := srv.Cache()
 	if *snapshot != "" {
 		n, err := cache.LoadFile(*snapshot)
 		switch {
 		case err == nil:
-			logger.Printf("loaded %d cached sequences from %s", n, *snapshot)
+			logger.Info("snapshot loaded", "entries", n, "path", *snapshot)
 		case os.IsNotExist(err):
-			logger.Printf("no snapshot at %s, starting cold", *snapshot)
+			logger.Info("no snapshot, starting cold", "path", *snapshot)
 		default:
 			// A corrupt snapshot must not turn the persistence feature into
 			// a startup outage: the cache is pure recomputable state, so
 			// log, start cold, and let the shutdown flush overwrite it.
-			logger.Printf("ignoring unreadable snapshot %s (starting cold): %v", *snapshot, err)
+			logger.Warn("ignoring unreadable snapshot, starting cold", "path", *snapshot, "err", err)
 		}
 	}
 
 	if *warmSeed {
 		if node == nil {
-			logger.Fatalf("-warm-seed requires cluster mode (-node-id/-peers)")
+			fatalf(logger, "-warm-seed requires cluster mode (-node-id/-peers)")
 		}
 		// Seeding is best effort: the donor may itself still be booting
 		// (a whole cluster starting at once is all cold anyway), and a
@@ -166,24 +212,49 @@ func main() {
 		n, err := node.Seed(sctx)
 		scancel()
 		if err != nil {
-			logger.Printf("warm seed unavailable (starting cold): %v", err)
+			logger.Warn("warm seed unavailable, starting cold", "err", err)
 		} else {
-			logger.Printf("warm-seeded %d cached sequences from ring successor %s",
-				n, node.Ring().Successor(node.SelfID()))
+			logger.Info("warm-seeded from ring successor",
+				"entries", n, "donor", node.Ring().Successor(node.SelfID()))
 		}
 	}
 
 	ln, err := net.Listen("tcp", *addr)
 	if err != nil {
-		logger.Fatalf("listen %s: %v", *addr, err)
+		fatalf(logger, "listen %s: %v", *addr, err)
 	}
 	// The resolved address goes to stdout so scripts (and the e2e smoke
 	// test) can start on :0 and learn the port.
 	fmt.Printf("synthd: listening on http://%s\n", ln.Addr())
-	logger.Printf("backend=%s cache(cap=%d shards=%d)", *backend, cache.Cap(), cache.Shards())
+	logger.Info("synthd up", "addr", ln.Addr().String(), "backend", *backend,
+		"cache_cap", cache.Cap(), "cache_shards", cache.Shards(),
+		"trace_sample", *traceSample)
 	if node != nil {
-		logger.Printf("cluster node %s: ring %v (%d vnodes/member)",
-			node.SelfID(), node.Ring().Members(), node.Ring().VNodes())
+		logger.Info("cluster joined", "node", node.SelfID(),
+			"ring", fmt.Sprint(node.Ring().Members()), "vnodes", node.Ring().VNodes())
+	}
+
+	var dhs *http.Server
+	if *debugAddr != "" {
+		dln, err := net.Listen("tcp", *debugAddr)
+		if err != nil {
+			fatalf(logger, "listen -debug-addr %s: %v", *debugAddr, err)
+		}
+		dmux := http.NewServeMux()
+		dmux.HandleFunc("/debug/pprof/", pprof.Index)
+		dmux.HandleFunc("/debug/pprof/cmdline", pprof.Cmdline)
+		dmux.HandleFunc("/debug/pprof/profile", pprof.Profile)
+		dmux.HandleFunc("/debug/pprof/symbol", pprof.Symbol)
+		dmux.HandleFunc("/debug/pprof/trace", pprof.Trace)
+		dmux.HandleFunc("GET /debug/trace", srv.HandleDebugTrace)
+		dhs = &http.Server{Handler: dmux}
+		fmt.Printf("synthd: debug on http://%s\n", dln.Addr())
+		logger.Info("debug listener up", "addr", dln.Addr().String())
+		go func() {
+			if err := dhs.Serve(dln); err != nil && !errors.Is(err, http.ErrServerClosed) {
+				logger.Warn("debug listener failed", "err", err)
+			}
+		}()
 	}
 
 	hs := &http.Server{Handler: srv.Handler()}
@@ -194,15 +265,18 @@ func main() {
 	defer stop()
 	select {
 	case <-ctx.Done():
-		logger.Printf("signal received, draining (budget %s)", *drain)
+		logger.Info("signal received, draining", "budget", drain.String())
 	case err := <-errc:
-		logger.Fatalf("serve: %v", err)
+		fatalf(logger, "serve: %v", err)
 	}
 
 	dctx, cancel := context.WithTimeout(context.Background(), *drain)
 	defer cancel()
 	if err := hs.Shutdown(dctx); err != nil {
-		logger.Printf("drain incomplete: %v", err)
+		logger.Warn("drain incomplete", "err", err)
+	}
+	if dhs != nil {
+		dhs.Close()
 	}
 	if node != nil {
 		// Let in-flight owner pushes land so peers keep this node's last
@@ -211,13 +285,13 @@ func main() {
 	}
 	if *snapshot != "" {
 		if err := cache.SaveFile(*snapshot); err != nil {
-			logger.Fatalf("flushing snapshot: %v", err)
+			fatalf(logger, "flushing snapshot: %v", err)
 		}
 		st := cache.Stats()
-		logger.Printf("flushed %d cached sequences to %s (lifetime: %d hits / %d misses)",
-			st.Size, *snapshot, st.Hits, st.Misses)
+		logger.Info("snapshot flushed", "entries", st.Size, "path", *snapshot,
+			"lifetime_hits", st.Hits, "lifetime_misses", st.Misses)
 	}
 	if err := <-errc; err != nil && !errors.Is(err, http.ErrServerClosed) {
-		logger.Fatalf("serve: %v", err)
+		fatalf(logger, "serve: %v", err)
 	}
 }

@@ -22,6 +22,7 @@ import (
 	"repro/internal/grid"
 	"repro/internal/qmat"
 	"repro/internal/ring"
+	"repro/synth/trace"
 )
 
 // Options tunes the search; zero values select sensible defaults.
@@ -43,6 +44,11 @@ type Options struct {
 	// Cancel, when non-nil, aborts the search between denominator
 	// exponents, returning ErrCanceled.
 	Cancel <-chan struct{}
+	// Trace, when non-nil, is the parent span the search records its
+	// per-denominator-exponent candidate scans under (one child span per
+	// k, with the admitted-candidate count). Nil — the normal case —
+	// costs one pointer check per k.
+	Trace *trace.Span
 }
 
 // Result is a synthesized Rz approximation.
@@ -124,6 +130,9 @@ func Rz(theta, eps float64, opt Options) (Result, error) {
 			default:
 			}
 		}
+		ks := opt.Trace.Child("gridsynth.k")
+		ks.SetAttr("k", k)
+		kAdmitted := 0
 		for g := 0; g < 2; g++ {
 			var (
 				res      Result
@@ -158,10 +167,16 @@ func Rz(theta, eps float64, opt Options) (Result, error) {
 				}
 				return admitted < opt.CandidatesPerK
 			})
+			kAdmitted += admitted
 			if found {
+				ks.SetAttr("admitted", kAdmitted)
+				ks.SetAttr("found", true)
+				ks.End()
 				return res, nil
 			}
 		}
+		ks.SetAttr("admitted", kAdmitted)
+		ks.End()
 		pow2k.MulTo(pow2k, two, &scr)
 	}
 	return Result{}, ErrNoSolution
@@ -174,15 +189,29 @@ func Rz(theta, eps float64, opt Options) (Result, error) {
 func U3(u qmat.M2, eps float64, opt Options) (Result, error) {
 	theta, phi, lambda := qmat.ZYZAngles(u)
 	part := eps / 3
-	r1, err := Rz(phi+math.Pi/2, part, opt)
+	// Each of the three Rz legs gets its own span (the per-k scans of a
+	// leg then nest under it) so a trace distinguishes which Euler angle
+	// was expensive.
+	rz := func(angle float64) (Result, error) {
+		o := opt
+		o.Trace = opt.Trace.Child("gridsynth.rz")
+		o.Trace.SetAttr("theta", angle)
+		r, err := Rz(angle, part, o)
+		if err == nil {
+			o.Trace.SetAttr("t_count", r.TCount)
+		}
+		o.Trace.End()
+		return r, err
+	}
+	r1, err := rz(phi + math.Pi/2)
 	if err != nil {
 		return Result{}, err
 	}
-	r2, err := Rz(theta, part, opt)
+	r2, err := rz(theta)
 	if err != nil {
 		return Result{}, err
 	}
-	r3, err := Rz(lambda-math.Pi/2, part, opt)
+	r3, err := rz(lambda - math.Pi/2)
 	if err != nil {
 		return Result{}, err
 	}

@@ -17,6 +17,7 @@ import (
 	"repro/internal/gridsynth"
 	"repro/internal/qmat"
 	"repro/internal/sk"
+	"repro/synth/trace"
 )
 
 // ErrNoSequence is returned when a backend produced nothing usable.
@@ -71,7 +72,7 @@ func (gridsynthBackend) Name() string { return "gridsynth" }
 func (gridsynthBackend) Synthesize(ctx context.Context, target qmat.M2, req Request) (Result, error) {
 	ctx, cancel := req.budget(ctx)
 	defer cancel()
-	opt := gridsynth.Options{Cancel: ctx.Done()}
+	opt := gridsynth.Options{Cancel: ctx.Done(), Trace: trace.FromContext(ctx)}
 	start := time.Now()
 	var (
 		r   gridsynth.Result
@@ -209,13 +210,22 @@ func (a autoBackend) Synthesize(ctx context.Context, target qmat.M2, req Request
 		res Result
 		err error
 	}
+	span := trace.FromContext(ctx)
 	var wg sync.WaitGroup
 	outs := make([]out, len(racers))
 	for i, be := range racers {
 		wg.Add(1)
 		go func(i int, be Backend) {
 			defer wg.Done()
-			r, err := be.Synthesize(ctx, target, sub)
+			rs := span.Child("race:" + be.Name())
+			r, err := be.Synthesize(trace.NewContext(ctx, rs), target, sub)
+			if err != nil {
+				rs.SetAttr("error", err.Error())
+			} else {
+				rs.SetAttr("t_count", r.TCount)
+				rs.SetAttr("err_dist", r.Error)
+			}
+			rs.End()
 			outs[i] = out{r, err}
 		}(i, be)
 	}
@@ -241,6 +251,7 @@ func (a autoBackend) Synthesize(ctx context.Context, target qmat.M2, req Request
 		}
 		return Result{}, fmt.Errorf("synth: auto: all backends failed (%s)", strings.Join(parts, "; "))
 	}
+	span.SetAttr("auto_winner", best.Backend)
 	return best, nil
 }
 

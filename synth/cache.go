@@ -2,6 +2,7 @@ package synth
 
 import (
 	"container/list"
+	"context"
 	"math"
 	"sync"
 	"sync/atomic"
@@ -146,9 +147,12 @@ type Cache struct {
 }
 
 // peerHooks is the pair SetPeer installs. Both functions may be nil.
+// Both receive the caller's context, so a hook that does network I/O
+// (the cluster tier) can honor cancellation and propagate the request's
+// trace span across the hop.
 type peerHooks struct {
-	lookup func(Key) (Entry, bool)
-	fill   func(Key, Entry)
+	lookup func(context.Context, Key) (Entry, bool)
+	fill   func(context.Context, Key, Entry)
 }
 
 // SetPeer installs a second lookup tier behind this cache — the hook a
@@ -162,8 +166,11 @@ type peerHooks struct {
 // arrived *from* the tier — peer hits, snapshot loads — are stored
 // quietly and never re-published. Pass nils to detach. Install before
 // serving traffic: SetPeer itself is safe for concurrent use, but
-// lookups racing the swap may see either tier configuration.
-func (c *Cache) SetPeer(lookup func(Key) (Entry, bool), fill func(Key, Entry)) {
+// lookups racing the swap may see either tier configuration. Hooks
+// receive the context of the GetCtx/PutCtx call that triggered them
+// (context.Background() for plain Get/Put), which carries cancellation
+// and any trace span the request is under.
+func (c *Cache) SetPeer(lookup func(context.Context, Key) (Entry, bool), fill func(context.Context, Key, Entry)) {
 	if lookup == nil && fill == nil {
 		c.peer.Store(nil)
 		return
@@ -252,7 +259,12 @@ func (c *Cache) shard(k Key) *cacheShard {
 // counted: a peer hit is stored locally and counted as a hit, so
 // Hits+Misses still equals the lookups performed and a hit still means
 // "served without synthesis".
-func (c *Cache) Get(k Key) (Entry, bool) {
+func (c *Cache) Get(k Key) (Entry, bool) { return c.GetCtx(context.Background(), k) }
+
+// GetCtx is Get under the caller's context: a peer lookup triggered by a
+// local miss receives ctx, so it is cancelled with the request and its
+// network hop lands under the request's trace span.
+func (c *Cache) GetCtx(ctx context.Context, k Key) (Entry, bool) {
 	s := c.shard(k)
 	s.mu.Lock()
 	if el, ok := s.m[k]; ok {
@@ -272,7 +284,7 @@ func (c *Cache) Get(k Key) (Entry, bool) {
 	// lock. Concurrent misses on one key may each ask the peer — a
 	// bounded duplication the short lookup deadline keeps cheap.
 	s.mu.Unlock()
-	if e, ok := p.lookup(k); ok {
+	if e, ok := p.lookup(ctx, k); ok {
 		c.putQuiet(k, e)
 		s.mu.Lock()
 		s.hits++
@@ -326,10 +338,15 @@ func (c *Cache) peek(k Key) (Entry, bool) {
 // when that shard is full. The entry is treated as locally produced and
 // reported to the peer fill hook when one is installed; use LoadSnapshot
 // (or rely on Get's peer path) for entries that came from the tier.
-func (c *Cache) Put(k Key, e Entry) {
+func (c *Cache) Put(k Key, e Entry) { c.PutCtx(context.Background(), k, e) }
+
+// PutCtx is Put under the caller's context, handed to the peer fill hook
+// so a cluster push can be traced back to the request that produced the
+// entry.
+func (c *Cache) PutCtx(ctx context.Context, k Key, e Entry) {
 	c.putQuiet(k, e)
 	if p := c.peer.Load(); p != nil && p.fill != nil {
-		p.fill(k, e)
+		p.fill(ctx, k, e)
 	}
 }
 

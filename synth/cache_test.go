@@ -1,6 +1,7 @@
 package synth
 
 import (
+	"context"
 	"fmt"
 	"sync"
 	"testing"
@@ -205,8 +206,8 @@ func TestCachePeerTier(t *testing.T) {
 	remote := map[Key]Entry{}
 	var fills []Key
 	c.SetPeer(
-		func(k Key) (Entry, bool) { e, ok := remote[k]; return e, ok },
-		func(k Key, e Entry) { fills = append(fills, k) },
+		func(_ context.Context, k Key) (Entry, bool) { e, ok := remote[k]; return e, ok },
+		func(_ context.Context, k Key, e Entry) { fills = append(fills, k) },
 	)
 
 	kRemote := KeyOf(rzOp(0.7), "t", 1e-3, 0)

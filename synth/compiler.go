@@ -4,6 +4,7 @@ import (
 	"context"
 	"fmt"
 	"runtime"
+	"strconv"
 	"sync"
 	"time"
 
@@ -11,6 +12,7 @@ import (
 	"repro/internal/pipeline"
 	"repro/internal/qmat"
 	"repro/internal/transpile"
+	"repro/synth/trace"
 )
 
 // IR selects the intermediate representation circuit compilation lowers
@@ -57,10 +59,25 @@ type Compiler struct {
 	Cache *Cache
 	// IR selects the lowering workflow for CompileCircuit.
 	IR IR
+	// Observe, when set, fires after every successful synthesis this
+	// compiler performs (worker pool and inline recomputes alike) — the
+	// metrics hook a service uses to histogram synthesis latency by
+	// backend and epsilon without depending on trace sampling. It is
+	// called from worker goroutines and must be safe for concurrent use.
+	Observe func(SynthObservation)
 
 	// mu guards the lazy Cache initialization for zero-value compilers
 	// used concurrently.
 	mu sync.Mutex
+}
+
+// SynthObservation is one completed synthesis, as reported to
+// Compiler.Observe: the backend that produced the result (the winner, for
+// racing backends), the epsilon it ran under, and its wall-clock time.
+type SynthObservation struct {
+	Backend string
+	Epsilon float64
+	Wall    time.Duration
 }
 
 // NewCompiler returns a Compiler over b with a fresh bounded cache.
@@ -114,7 +131,9 @@ func (j opJob) derived() Request {
 // scanJobs performs the counted cache lookups for a job list: the first
 // occurrence of an uncached key is a miss (and scheduled once); later
 // occurrences are hits — they will be served by that one synthesis.
-func (c *Compiler) scanJobs(jobs []opJob) (missing []opJob, hits, misses int) {
+// Lookups run under ctx, so peer-tier consultations are cancellable and
+// traced.
+func (c *Compiler) scanJobs(ctx context.Context, jobs []opJob) (missing []opJob, hits, misses int) {
 	cache := c.cache()
 	pending := map[Key]bool{}
 	for _, j := range jobs {
@@ -123,7 +142,7 @@ func (c *Compiler) scanJobs(jobs []opJob) (missing []opJob, hits, misses int) {
 			hits++
 			continue
 		}
-		if _, ok := cache.Get(j.k); ok {
+		if _, ok := cache.GetCtx(ctx, j.k); ok {
 			hits++
 			continue
 		}
@@ -164,12 +183,12 @@ func (c *Compiler) synthesizeMissing(ctx context.Context, missing []opJob, progr
 		go func() {
 			defer wg.Done()
 			for j := range jobs {
-				res, err := c.Backend.Synthesize(wctx, j.target, j.derived())
+				res, err := c.synthOne(wctx, j)
 				if err != nil {
 					fail(err)
 					return
 				}
-				cache.Put(j.k, Entry{Seq: res.Seq, Err: res.Error, Backend: res.Backend})
+				cache.PutCtx(wctx, j.k, Entry{Seq: res.Seq, Err: res.Error, Backend: res.Backend})
 				mu.Lock()
 				computed[j.k] = res
 				done++
@@ -193,6 +212,49 @@ feed:
 	close(jobs)
 	wg.Wait()
 	return computed, firstErr
+}
+
+// synthOne runs one synthesis under a per-op trace span (when ctx carries
+// one) and reports it to the Observe hook. The span is named "synth" and
+// records the op's angle class, epsilon, the producing backend (the race
+// winner for "auto"), and the outcome; the backend call itself sees the
+// span in its context, so backend-internal spans (gridsynth's per-k scan,
+// auto's racer spans) nest under it.
+func (c *Compiler) synthOne(ctx context.Context, j opJob) (Result, error) {
+	req := j.derived()
+	sp := trace.FromContext(ctx).Child("synth")
+	if sp != nil {
+		sp.SetAttr("class", j.k.angleClass())
+		sp.SetAttr("eps", req.eps())
+		ctx = trace.NewContext(ctx, sp)
+	}
+	res, err := c.Backend.Synthesize(ctx, j.target, req)
+	if sp != nil {
+		if err != nil {
+			sp.SetAttr("error", err.Error())
+		} else {
+			sp.SetAttr("backend", res.Backend)
+			sp.SetAttr("t_count", res.TCount)
+			sp.SetAttr("err_dist", res.Error)
+		}
+		sp.End()
+	}
+	if err == nil && c.Observe != nil {
+		c.Observe(SynthObservation{Backend: res.Backend, Epsilon: req.eps(), Wall: res.Wall})
+	}
+	return res, err
+}
+
+// angleClass renders the key's gate and quantized angles — the budget
+// package's angle-class identity — as a human-readable trace attribute.
+func (k Key) angleClass() string {
+	const q = 1e-12 // inverse of quantizeAngle's scale
+	s := k.Gate.String() + "(" + strconv.FormatFloat(float64(k.A)*q, 'g', 6, 64)
+	if k.B != 0 || k.C != 0 {
+		s += "," + strconv.FormatFloat(float64(k.B)*q, 'g', 6, 64) +
+			"," + strconv.FormatFloat(float64(k.C)*q, 'g', 6, 64)
+	}
+	return s + ")"
 }
 
 // BatchStats is the cache accounting of one CompileBatchStats call:
@@ -228,7 +290,7 @@ func (c *Compiler) CompileBatchStats(ctx context.Context, targets []qmat.M2) ([]
 	for i, u := range targets {
 		jobs[i] = opJob{k: KeyOfTarget(u, scope, c.Req.Epsilon, cfg), target: u, req: c.Req}
 	}
-	missing, hits, misses := c.scanJobs(jobs)
+	missing, hits, misses := c.scanJobs(ctx, jobs)
 	stats := BatchStats{Unique: len(missing), Hits: hits, Misses: misses}
 	computed, err := c.synthesizeMissing(ctx, missing, nil)
 	results := make([]Result, len(targets))
@@ -252,11 +314,11 @@ func (c *Compiler) CompileBatchStats(ctx context.Context, targets []qmat.M2) ([]
 		// lookup, so credit the miss — Hits+Misses must count every lookup.
 		cache.creditMiss()
 		stats.Misses++
-		res, serr := c.Backend.Synthesize(ctx, j.target, j.derived())
+		res, serr := c.synthOne(ctx, j)
 		if serr != nil {
 			return results, stats, serr
 		}
-		cache.Put(j.k, Entry{Seq: res.Seq, Err: res.Error, Backend: res.Backend})
+		cache.PutCtx(ctx, j.k, Entry{Seq: res.Seq, Err: res.Error, Backend: res.Backend})
 		results[i] = res
 	}
 	return results, stats, nil

@@ -12,6 +12,7 @@ import (
 	"repro/internal/transpile"
 	"repro/optimize"
 	"repro/synth/multiqubit"
+	"repro/synth/trace"
 )
 
 // Pass is one circuit-to-circuit compilation stage. Passes are composed by
@@ -54,6 +55,14 @@ type PassContext struct {
 	// Progress, when set, receives pass-start and synthesis-progress
 	// events.
 	Progress func(ProgressEvent)
+	// Span is the trace span of the pass currently running (nil when the
+	// run is untraced — all span operations then no-op). Pipeline.Run
+	// repoints it at a fresh child of the run's span before each pass, so
+	// a pass that opens sub-spans always nests under its own timing.
+	Span *trace.Span
+	// Observe, when set, is handed to the Lower pass's compiler as its
+	// per-synthesis metrics hook (see Compiler.Observe).
+	Observe func(SynthObservation)
 	// Stats accumulates across passes.
 	Stats *PipelineStats
 }
@@ -248,8 +257,11 @@ func runLower(pc *PassContext, c *circuit.Circuit) (*circuit.Circuit, error) {
 	if pc.Backend == nil {
 		return nil, fmt.Errorf("no backend configured")
 	}
-	comp := &Compiler{Backend: pc.Backend, Req: pc.Req, Workers: pc.Workers, Cache: pc.Cache}
+	comp := &Compiler{Backend: pc.Backend, Req: pc.Req, Workers: pc.Workers, Cache: pc.Cache, Observe: pc.Observe}
 	scope := pc.Backend.Name()
+	// Everything below runs under the pass span: scan-phase peer lookups,
+	// the per-op synthesis spans the workers open, and cluster pushes.
+	ctx := trace.NewContext(pc.Ctx, pc.Span)
 	var epss []float64
 	if pc.CircuitEpsilon > 0 {
 		epss = AllocateBudget(c, pc.CircuitEpsilon, pc.Budget)
@@ -274,7 +286,11 @@ func runLower(pc *PassContext, c *circuit.Circuit) (*circuit.Circuit, error) {
 
 	// Scan: counted lookups; first occurrence of an uncached key is the
 	// miss that schedules its one synthesis.
-	missing, hits, misses := comp.scanJobs(jobs)
+	scanSpan := pc.Span.Child("scan")
+	missing, hits, misses := comp.scanJobs(trace.NewContext(pc.Ctx, scanSpan), jobs)
+	scanSpan.SetAttr("hits", hits)
+	scanSpan.SetAttr("misses", misses)
+	scanSpan.End()
 	pc.Stats.Hits += hits
 	pc.Stats.Misses += misses
 	pc.Stats.Unique += len(missing)
@@ -288,7 +304,7 @@ func runLower(pc *PassContext, c *circuit.Circuit) (*circuit.Circuit, error) {
 		pc.event("lower", done, total)
 		pmu.Unlock()
 	}
-	if _, err := comp.synthesizeMissing(pc.Ctx, missing, progress); err != nil {
+	if _, err := comp.synthesizeMissing(ctx, missing, progress); err != nil {
 		return nil, fmt.Errorf("lowering %s IR: %w", scope, err)
 	}
 
@@ -317,11 +333,11 @@ func runLower(pc *PassContext, c *circuit.Circuit) (*circuit.Circuit, error) {
 		if !ok {
 			cache.creditMiss()
 			pc.Stats.Misses++
-			res, err := comp.Backend.Synthesize(pc.Ctx, j.target, j.derived())
+			res, err := comp.synthOne(ctx, j)
 			if err != nil {
 				return nil, fmt.Errorf("lowering %s IR: %w", scope, err)
 			}
-			cache.Put(j.k, Entry{Seq: res.Seq, Err: res.Error, Backend: res.Backend})
+			cache.PutCtx(ctx, j.k, Entry{Seq: res.Seq, Err: res.Error, Backend: res.Backend})
 			e = Entry{Seq: res.Seq, Err: res.Error, Backend: res.Backend}
 		}
 		for _, o := range circuit.FromSequence(e.Seq, op.Q[0]) {

@@ -6,6 +6,7 @@ import (
 	"time"
 
 	"repro/circuit"
+	"repro/synth/trace"
 )
 
 // Pipeline is the composable circuit-compilation API: an ordered list of
@@ -27,6 +28,7 @@ type Pipeline struct {
 	circuitEps float64
 	budget     BudgetStrategy
 	progress   func(ProgressEvent)
+	observe    func(SynthObservation)
 	passes     []Pass
 	optLevel   int
 	optNames   []string
@@ -71,6 +73,15 @@ func WithIR(ir IR) Option { return func(p *Pipeline) { p.ir = ir } }
 // worker goroutines report through a lock — so the hook does not need to
 // be goroutine-safe.
 func WithProgress(fn func(ProgressEvent)) Option { return func(p *Pipeline) { p.progress = fn } }
+
+// WithSynthObserver installs a per-synthesis metrics hook: fn fires after
+// every successful synthesis the Lower pass performs, with the producing
+// backend, epsilon, and wall time. Unlike tracing (which samples), the
+// hook sees every synthesis; it is called from worker goroutines and must
+// be safe for concurrent use.
+func WithSynthObserver(fn func(SynthObservation)) Option {
+	return func(p *Pipeline) { p.observe = fn }
+}
 
 // WithPasses replaces the default pass sequence. Compose built-ins
 // (Transpile, OptimizeRotations, FuseRotations, SnapTrivial, Lower,
@@ -190,6 +201,11 @@ type PipelineResult struct {
 
 // Run executes the pass sequence on c. The input circuit is never
 // mutated. On error the failing pass's name wraps the cause.
+//
+// When ctx carries a trace span (trace.NewContext), every pass runs under
+// a child span named "pass:<name>", and the Lower pass's synthesis work
+// nests under its pass span — the pipeline segment of an end-to-end
+// request trace. An untraced ctx costs one nil check per pass.
 func (p *Pipeline) Run(ctx context.Context, c *circuit.Circuit) (*PipelineResult, error) {
 	if p.backend == nil {
 		return nil, fmt.Errorf("synth: Pipeline has no Backend")
@@ -211,8 +227,10 @@ func (p *Pipeline) Run(ctx context.Context, c *circuit.Circuit) (*PipelineResult
 		CircuitEpsilon: p.circuitEps,
 		Budget:         p.budget,
 		Progress:       p.progress,
+		Observe:        p.observe,
 		Stats:          &PipelineStats{Epsilon: p.circuitEps, Strategy: p.budget},
 	}
+	runSpan := trace.FromContext(ctx)
 	cur := c
 	for _, pass := range p.passes {
 		if err := ctx.Err(); err != nil {
@@ -220,7 +238,9 @@ func (p *Pipeline) Run(ctx context.Context, c *circuit.Circuit) (*PipelineResult
 		}
 		t0 := time.Now()
 		pc.event(pass.Name(), 0, 0)
+		pc.Span = runSpan.Child("pass:" + pass.Name())
 		next, err := pass.Run(pc, cur)
+		pc.Span.End()
 		if err != nil {
 			return nil, fmt.Errorf("synth: pass %s: %w", pass.Name(), err)
 		}

@@ -17,6 +17,7 @@ import (
 	"time"
 
 	"repro/synth/serve"
+	"repro/synth/trace"
 )
 
 // Client talks to one synthd base URL.
@@ -152,6 +153,11 @@ func (c *Client) do(ctx context.Context, out any, build func() (*http.Request, e
 		}
 		if c.tenant != "" {
 			req.Header.Set("X-Tenant", c.tenant)
+		}
+		// When the caller's context carries an active span, propagate its
+		// identity so the daemon's root span joins the caller's trace.
+		if sp := trace.FromContext(ctx); sp != nil {
+			req.Header.Set(trace.Header, sp.HeaderValue())
 		}
 		res, err := c.hc.Do(req)
 		if err != nil {

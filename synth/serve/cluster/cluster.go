@@ -36,6 +36,7 @@ import (
 	"repro/circuit"
 	"repro/internal/gates"
 	"repro/synth"
+	"repro/synth/trace"
 )
 
 // DefaultLookupTimeout bounds one peer cache lookup. It is deliberately
@@ -65,6 +66,12 @@ type Config struct {
 	// httptest transports). Default: a fresh http.Client; timeouts come
 	// from per-call contexts.
 	Client *http.Client
+	// Tracer, when set, records a remote trace fragment for every peer
+	// request that arrives carrying a traceparent header, so a trace
+	// started on one node can be stitched together from every node's
+	// /debug/trace ring. Outbound peer calls propagate the header
+	// regardless (they read the span from the caller's context).
+	Tracer *trace.Tracer
 }
 
 // Stats is a point-in-time snapshot of a node's cluster counters.
@@ -189,23 +196,40 @@ func (n *Node) Attach(c *synth.Cache) {
 // tests (and a draining daemon) use to make "wave 2 sees wave 1" exact.
 func (n *Node) Flush() { n.pending.Wait() }
 
-// lookup is the cache's miss hook: one GET to the key's owner.
-func (n *Node) lookup(k synth.Key) (synth.Entry, bool) {
+// lookup is the cache's miss hook: one GET to the key's owner. It runs
+// under the triggering request's context — cancelled with it, and traced
+// as a "peer.lookup" span whose identity travels to the owner in the
+// traceparent header (the owner records the matching "peer.serve"
+// fragment in its own ring).
+func (n *Node) lookup(ctx context.Context, k synth.Key) (synth.Entry, bool) {
 	owner := n.ring.OwnerOf(k)
 	if owner == n.selfID {
 		return synth.Entry{}, false
 	}
+	sp := trace.FromContext(ctx).Child("peer.lookup")
+	sp.SetAttr("peer", owner)
+	e, ok := n.lookupSpan(ctx, k, owner, sp)
+	sp.SetAttr("hit", ok)
+	sp.End()
+	return e, ok
+}
+
+func (n *Node) lookupSpan(ctx context.Context, k synth.Key, owner string, sp *trace.Span) (synth.Entry, bool) {
 	base := n.peers[owner]
-	ctx, cancel := context.WithTimeout(context.Background(), n.cfg.LookupTimeout)
+	ctx, cancel := context.WithTimeout(ctx, n.cfg.LookupTimeout)
 	defer cancel()
 	req, err := http.NewRequestWithContext(ctx, http.MethodGet, base+"/v1/peer/cache?"+keyQuery(k), nil)
 	if err != nil {
 		n.peerErrors.Add(1)
 		return synth.Entry{}, false
 	}
+	if h := sp.HeaderValue(); h != "" {
+		req.Header.Set(trace.Header, h)
+	}
 	res, err := n.hc.Do(req)
 	if err != nil {
 		n.peerErrors.Add(1)
+		sp.SetAttr("error", err.Error())
 		return synth.Entry{}, false
 	}
 	defer res.Body.Close()
@@ -236,17 +260,25 @@ func (n *Node) lookup(k synth.Key) (synth.Entry, bool) {
 // other node owns is pushed there asynchronously, so the owner answers
 // every future cluster-wide lookup for it. Push failures are counted
 // and dropped — the entry is still cached locally, and determinism
-// means any node can always recompute it.
-func (n *Node) fill(k synth.Key, e synth.Entry) {
+// means any node can always recompute it. The push is traced as a
+// "peer.push" child of the span in ctx; because it is asynchronous the
+// span may end after the request's root was reported, which the trace
+// ring tolerates (late child ends update the retained tree). The HTTP
+// call itself deliberately does NOT use the request's context — the
+// push must survive the request completing.
+func (n *Node) fill(ctx context.Context, k synth.Key, e synth.Entry) {
 	owner := n.ring.OwnerOf(k)
 	if owner == n.selfID {
 		return
 	}
+	sp := trace.FromContext(ctx).Child("peer.push")
+	sp.SetAttr("peer", owner)
 	base := n.peers[owner]
 	n.pending.Add(1)
 	n.pushes.Add(1)
 	go func() {
 		defer n.pending.Done()
+		defer sp.End()
 		ctx, cancel := context.WithTimeout(context.Background(), n.cfg.PushTimeout)
 		defer cancel()
 		body, err := json.Marshal(wirePut{Key: wireKey(k), Entry: newWireEntry(e)})
@@ -260,9 +292,13 @@ func (n *Node) fill(k synth.Key, e synth.Entry) {
 			return
 		}
 		req.Header.Set("Content-Type", "application/json")
+		if h := sp.HeaderValue(); h != "" {
+			req.Header.Set(trace.Header, h)
+		}
 		res, err := n.hc.Do(req)
 		if err != nil {
 			n.pushErrors.Add(1)
+			sp.SetAttr("error", err.Error())
 			return
 		}
 		res.Body.Close()
@@ -270,6 +306,23 @@ func (n *Node) fill(k synth.Key, e synth.Entry) {
 			n.pushErrors.Add(1)
 		}
 	}()
+}
+
+// remoteFragment opens a trace fragment for an inbound peer request
+// carrying a traceparent header (nil otherwise, and all span use
+// no-ops). The fragment lands in this node's ring under the propagated
+// trace ID, tagged with this node's ID so stitched exports name it.
+func (n *Node) remoteFragment(r *http.Request, name string) *trace.Span {
+	if n.cfg.Tracer == nil {
+		return nil
+	}
+	tid, sid, ok := trace.ParseHeaderValue(r.Header.Get(trace.Header))
+	if !ok {
+		return nil
+	}
+	sp := n.cfg.Tracer.StartRemote(tid, sid, name)
+	sp.SetAttr("node", n.selfID)
+	return sp
 }
 
 // Seed streams the ring successor's snapshot into the attached cache —
@@ -326,6 +379,8 @@ func (n *Node) Handler() http.Handler {
 // accounting nor refreshes recency, so cluster traffic cannot distort
 // local LRU or stats.
 func (n *Node) handleGet(w http.ResponseWriter, r *http.Request) {
+	sp := n.remoteFragment(r, "peer.serve.get")
+	defer sp.End()
 	c := n.cache.Load()
 	if c == nil {
 		http.Error(w, "no cache attached", http.StatusServiceUnavailable)
@@ -337,6 +392,7 @@ func (n *Node) handleGet(w http.ResponseWriter, r *http.Request) {
 		return
 	}
 	e, ok := c.Peek(k)
+	sp.SetAttr("hit", ok)
 	if !ok {
 		http.Error(w, "miss", http.StatusNotFound)
 		return
@@ -347,6 +403,8 @@ func (n *Node) handleGet(w http.ResponseWriter, r *http.Request) {
 
 // handlePut accepts an owner fill push.
 func (n *Node) handlePut(w http.ResponseWriter, r *http.Request) {
+	sp := n.remoteFragment(r, "peer.serve.put")
+	defer sp.End()
 	c := n.cache.Load()
 	if c == nil {
 		http.Error(w, "no cache attached", http.StatusServiceUnavailable)

@@ -1,0 +1,181 @@
+package cluster_test
+
+import (
+	"context"
+	"io"
+	"net/http"
+	"sort"
+	"strings"
+	"testing"
+	"time"
+
+	"repro/synth/serve"
+	"repro/synth/serve/client"
+	"repro/synth/serve/cluster"
+	"repro/synth/trace"
+)
+
+// startTraced is start() with an always-sample tracer wired into both the
+// cluster node and the serve.Server, the way cmd/synthd does it.
+func (tc *testCluster) startTraced(id, backend string, tr *trace.Tracer) *testNode {
+	tc.t.Helper()
+	tn := tc.nodes[id]
+	node, err := cluster.New(cluster.Config{
+		SelfID:        id,
+		Peers:         tc.urls,
+		LookupTimeout: 2 * time.Second,
+		Tracer:        tr,
+	})
+	if err != nil {
+		tc.t.Fatalf("cluster.New(%s): %v", id, err)
+	}
+	srv := serve.New(serve.Config{DefaultBackend: backend, Cluster: node, Tracer: tr})
+	tn.node, tn.srv = node, srv
+	tn.cl = client.New(tn.hs.URL)
+	tn.late.set(srv.Handler())
+	return tn
+}
+
+// traceQASM holds eight distinct rotation angles so a cold compile fans
+// out across the ring: under the fixed a/b/c hash ring some keys land on
+// peers, forcing cross-node lookups inside one request.
+const traceQASM = `OPENQASM 2.0;
+include "qelib1.inc";
+qreg q[2];
+rz(0.31) q[0];
+rz(0.47) q[1];
+rz(0.59) q[0];
+rz(0.73) q[1];
+rz(0.89) q[0];
+rz(1.01) q[1];
+rz(1.13) q[0];
+rz(1.27) q[1];
+`
+
+// coverage returns the fraction of root's duration covered by the union
+// of its direct children's intervals — the acceptance measure that the
+// trace accounts for the request's wall-clock, not just fragments of it.
+func coverage(root *trace.Span) float64 {
+	kids := root.Children()
+	if len(kids) == 0 || root.Duration() <= 0 {
+		return 0
+	}
+	type iv struct{ a, b time.Time }
+	ivs := make([]iv, 0, len(kids))
+	for _, k := range kids {
+		ivs = append(ivs, iv{k.Start(), k.Start().Add(k.Duration())})
+	}
+	sort.Slice(ivs, func(i, j int) bool { return ivs[i].a.Before(ivs[j].a) })
+	var covered time.Duration
+	cur := ivs[0]
+	for _, v := range ivs[1:] {
+		if v.a.After(cur.b) {
+			covered += cur.b.Sub(cur.a)
+			cur = v
+		} else if v.b.After(cur.b) {
+			cur.b = v.b
+		}
+	}
+	covered += cur.b.Sub(cur.a)
+	return float64(covered) / float64(root.Duration())
+}
+
+// TestClusterStitchedTrace is the tracing acceptance path: one compile
+// against a cold 3-node cluster yields a single trace ID under which the
+// serving node holds a root covering >= 95% of the request wall-clock,
+// and the peers hold remote fragments — proof the traceparent header
+// crossed the wire — while the serving node's tree shows the peer
+// lookups themselves.
+func TestClusterStitchedTrace(t *testing.T) {
+	ids := []string{"a", "b", "c"}
+	tc := newTestCluster(t, ids...)
+	tracers := map[string]*trace.Tracer{}
+	for _, id := range ids {
+		tracers[id] = trace.New(trace.Config{SampleRatio: 1})
+		tc.startTraced(id, "gridsynth", tracers[id])
+	}
+
+	ctx, cancel := context.WithTimeout(context.Background(), 60*time.Second)
+	defer cancel()
+	resp, err := tc.nodes["a"].cl.Compile(ctx, serve.CompileRequest{
+		QASM: traceQASM, Backend: "gridsynth", Eps: 0.5,
+	})
+	if err != nil {
+		t.Fatalf("compile: %v", err)
+	}
+	if resp.Stats.TraceID == "" {
+		t.Fatal("compile response carries no trace_id with sampling at 1")
+	}
+	tid, ok := trace.ParseID(resp.Stats.TraceID)
+	if !ok {
+		t.Fatalf("unparsable trace_id %q", resp.Stats.TraceID)
+	}
+	tc.flush() // let async owner pushes (and their spans) land
+
+	// The serving node holds the root, and its direct children account
+	// for >= 95% of the request's wall-clock.
+	rootsA := tracers["a"].Collect(tid)
+	if len(rootsA) == 0 {
+		t.Fatal("serving node kept no trace")
+	}
+	root := rootsA[0]
+	if root.Name() != "/v1/compile" {
+		t.Fatalf("root span %q, want /v1/compile", root.Name())
+	}
+	if cov := coverage(root); cov < 0.95 {
+		t.Fatalf("trace covers %.1f%% of request wall-clock, want >= 95%%", cov*100)
+	}
+
+	// The serving node's own tree shows the cross-node traffic.
+	var lookups, pushes int
+	root.Walk(func(sp *trace.Span) {
+		switch sp.Name() {
+		case "peer.lookup":
+			lookups++
+			if p := sp.Attr("peer"); p != "b" && p != "c" {
+				t.Errorf("peer.lookup against %q, want b or c", p)
+			}
+		case "peer.push":
+			pushes++
+		}
+	})
+	if lookups == 0 {
+		t.Fatal("no peer.lookup spans in the serving node's trace: compile never crossed nodes")
+	}
+
+	// At least one peer holds a remote fragment under the SAME trace ID:
+	// the propagated traceparent header stitched the hops together.
+	var fragments []*trace.Span
+	for _, id := range []string{"b", "c"} {
+		fragments = append(fragments, tracers[id].Collect(tid)...)
+	}
+	if len(fragments) == 0 {
+		t.Fatal("no remote fragments on peers: traceparent did not propagate")
+	}
+	sawServe := false
+	for _, f := range fragments {
+		if f.TraceID() != tid {
+			t.Fatalf("fragment %q under trace %x, want %x", f.Name(), f.TraceID(), tid)
+		}
+		if strings.HasPrefix(f.Name(), "peer.serve.") {
+			sawServe = true
+			if f.Attr("node") == "" {
+				t.Errorf("fragment %q missing node attr", f.Name())
+			}
+		}
+	}
+	if !sawServe {
+		t.Fatalf("no peer.serve.* fragments among %d peer fragments", len(fragments))
+	}
+
+	// The stitched trace is retrievable over HTTP from the serving node.
+	res, err := http.Get(tc.nodes["a"].hs.URL + "/debug/trace?id=" + resp.Stats.TraceID)
+	if err != nil {
+		t.Fatal(err)
+	}
+	body, _ := io.ReadAll(res.Body)
+	res.Body.Close()
+	if res.StatusCode != http.StatusOK || !strings.Contains(string(body), "peer.lookup") {
+		t.Fatalf("/debug/trace: status %d, body missing peer.lookup:\n%s", res.StatusCode, body)
+	}
+}

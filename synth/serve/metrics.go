@@ -3,31 +3,50 @@ package serve
 import (
 	"fmt"
 	"io"
+	"math"
 	"sort"
+	"strings"
 	"sync"
 	"time"
 )
 
-// latencyBuckets are the histogram upper bounds in seconds. Synthesis
-// spans ~1ms cache hits to multi-minute tight-epsilon compiles, so the
-// buckets are log-spaced across that range.
+// latencyBuckets are the request-histogram upper bounds in seconds.
+// Synthesis spans ~1ms cache hits to multi-minute tight-epsilon compiles,
+// so the buckets are log-spaced across that range.
 var latencyBuckets = []float64{
 	0.001, 0.005, 0.025, 0.1, 0.5, 2.5, 10, 60, 300,
 }
 
+// queueWaitBuckets resolve the admission queue: waits are usually
+// microseconds (free slot) but stretch to seconds under saturation.
+var queueWaitBuckets = []float64{
+	0.0001, 0.0005, 0.001, 0.005, 0.025, 0.1, 0.5, 2.5, 10,
+}
+
+// fineBuckets resolve per-pass and per-synthesis times, which start well
+// under a millisecond (transpile on a small circuit, a warm gridsynth
+// call) and top out around a minute.
+var fineBuckets = []float64{
+	0.00001, 0.0001, 0.001, 0.005, 0.025, 0.1, 0.5, 2.5, 10, 60,
+}
+
 // histogram is a fixed-bucket latency histogram (cumulative counts, like
-// Prometheus's classic histogram type).
+// Prometheus's classic histogram type). Each histogram owns its bucket
+// bounds, so coarse request latencies and sub-millisecond pass times
+// don't share one resolution.
 type histogram struct {
-	counts []int64 // counts[i] = observations <= latencyBuckets[i]
-	sum    float64
-	count  int64
+	buckets []float64
+	counts  []int64 // counts[i] = observations <= buckets[i]
+	sum     float64
+	count   int64
+}
+
+func newHistogram(buckets []float64) *histogram {
+	return &histogram{buckets: buckets, counts: make([]int64, len(buckets))}
 }
 
 func (h *histogram) observe(seconds float64) {
-	if h.counts == nil {
-		h.counts = make([]int64, len(latencyBuckets))
-	}
-	for i, ub := range latencyBuckets {
+	for i, ub := range h.buckets {
 		if seconds <= ub {
 			h.counts[i]++
 		}
@@ -44,14 +63,25 @@ type metrics struct {
 	requests map[string]map[int]int64
 	// latency[endpoint] observes successful request durations.
 	latency map[string]*histogram
+	// queueWait observes admission-queue waits — the time split out of
+	// service latency, across all endpoints.
+	queueWait *histogram
+	// synth[backend|eps_band] observes individual synthesis calls; pass
+	// [pass] observes pipeline pass wall times. Both are fed by hooks
+	// that fire on every occurrence, independent of trace sampling.
+	synth map[string]*histogram
+	pass  map[string]*histogram
 	// rejected counts admissions refused because the queue was full.
 	rejected int64
 }
 
 func newMetrics() *metrics {
 	return &metrics{
-		requests: map[string]map[int]int64{},
-		latency:  map[string]*histogram{},
+		requests:  map[string]map[int]int64{},
+		latency:   map[string]*histogram{},
+		queueWait: newHistogram(queueWaitBuckets),
+		synth:     map[string]*histogram{},
+		pass:      map[string]*histogram{},
 	}
 }
 
@@ -68,11 +98,45 @@ func (m *metrics) record(endpoint string, status int, d time.Duration) {
 	if status < 400 {
 		h := m.latency[endpoint]
 		if h == nil {
-			h = &histogram{}
+			h = newHistogram(latencyBuckets)
 			m.latency[endpoint] = h
 		}
 		h.observe(d.Seconds())
 	}
+}
+
+// observeQueueWait logs one admission wait (every admitted request,
+// including those whose handler later fails).
+func (m *metrics) observeQueueWait(d time.Duration) {
+	m.mu.Lock()
+	m.queueWait.observe(d.Seconds())
+	m.mu.Unlock()
+}
+
+// observeSynth logs one completed synthesis under its backend and
+// epsilon decade band.
+func (m *metrics) observeSynth(backend, epsBand string, d time.Duration) {
+	key := backend + "|" + epsBand
+	m.mu.Lock()
+	h := m.synth[key]
+	if h == nil {
+		h = newHistogram(fineBuckets)
+		m.synth[key] = h
+	}
+	h.observe(d.Seconds())
+	m.mu.Unlock()
+}
+
+// observePass logs one executed pipeline pass.
+func (m *metrics) observePass(pass string, d time.Duration) {
+	m.mu.Lock()
+	h := m.pass[pass]
+	if h == nil {
+		h = newHistogram(fineBuckets)
+		m.pass[pass] = h
+	}
+	h.observe(d.Seconds())
+	m.mu.Unlock()
 }
 
 // reject logs one admission-control rejection.
@@ -82,12 +146,48 @@ func (m *metrics) reject() {
 	m.mu.Unlock()
 }
 
+// epsBand buckets an epsilon into its decade ("1e-7"), the label
+// granularity of synthd_synth_seconds. Zero (backend default) is its own
+// band.
+func epsBand(eps float64) string {
+	if eps <= 0 {
+		return "default"
+	}
+	return fmt.Sprintf("1e%d", int(math.Floor(math.Log10(eps)+1e-9)))
+}
+
 // scrapeMetric is one point-in-time value the server contributes at
 // scrape time (cache counters, queue depth).
 type scrapeMetric struct {
 	name, help, kind string // kind: "gauge" or "counter"
 	value            float64
 }
+
+// writeHistogram renders one histogram series with the given label
+// string ("" or `name="value",...` without braces).
+func writeHistogram(w io.Writer, name, labels string, h *histogram) {
+	sep := func(extra string) string {
+		switch {
+		case labels == "" && extra == "":
+			return ""
+		case labels == "":
+			return "{" + extra + "}"
+		case extra == "":
+			return "{" + labels + "}"
+		default:
+			return "{" + labels + "," + extra + "}"
+		}
+	}
+	for i, ub := range h.buckets {
+		fmt.Fprintf(w, "%s_bucket%s %d\n", name, sep(fmt.Sprintf("le=%q", trimFloat(ub))), h.counts[i])
+	}
+	fmt.Fprintf(w, "%s_bucket%s %d\n", name, sep(`le="+Inf"`), h.count)
+	fmt.Fprintf(w, "%s_sum%s %g\n", name, sep(""), h.sum)
+	fmt.Fprintf(w, "%s_count%s %d\n", name, sep(""), h.count)
+}
+
+// trimFloat renders a bucket bound the way Prometheus clients do (%g).
+func trimFloat(v float64) string { return fmt.Sprintf("%g", v) }
 
 // write renders the Prometheus text exposition format: the counters and
 // histograms accumulated here plus the caller's scrape-time values.
@@ -117,20 +217,28 @@ func (m *metrics) write(w io.Writer, scraped []scrapeMetric) {
 		}
 	}
 
-	fmt.Fprintf(w, "# HELP synthd_request_seconds Latency of successful requests.\n")
+	fmt.Fprintf(w, "# HELP synthd_request_seconds Latency of successful requests (service time, queue wait excluded).\n")
 	fmt.Fprintf(w, "# TYPE synthd_request_seconds histogram\n")
 	for _, ep := range sortedKeys(m.latency) {
-		h := m.latency[ep]
-		for i, ub := range latencyBuckets {
-			n := int64(0)
-			if h.counts != nil {
-				n = h.counts[i]
-			}
-			fmt.Fprintf(w, "synthd_request_seconds_bucket{endpoint=%q,le=\"%g\"} %d\n", ep, ub, n)
-		}
-		fmt.Fprintf(w, "synthd_request_seconds_bucket{endpoint=%q,le=\"+Inf\"} %d\n", ep, h.count)
-		fmt.Fprintf(w, "synthd_request_seconds_sum{endpoint=%q} %g\n", ep, h.sum)
-		fmt.Fprintf(w, "synthd_request_seconds_count{endpoint=%q} %d\n", ep, h.count)
+		writeHistogram(w, "synthd_request_seconds", fmt.Sprintf("endpoint=%q", ep), m.latency[ep])
+	}
+
+	fmt.Fprintf(w, "# HELP synthd_queue_wait_seconds Time admitted requests spent waiting for an execution slot.\n")
+	fmt.Fprintf(w, "# TYPE synthd_queue_wait_seconds histogram\n")
+	writeHistogram(w, "synthd_queue_wait_seconds", "", m.queueWait)
+
+	fmt.Fprintf(w, "# HELP synthd_synth_seconds Wall time of individual syntheses by producing backend and epsilon decade.\n")
+	fmt.Fprintf(w, "# TYPE synthd_synth_seconds histogram\n")
+	for _, key := range sortedKeys(m.synth) {
+		backend, band, _ := strings.Cut(key, "|")
+		writeHistogram(w, "synthd_synth_seconds",
+			fmt.Sprintf("backend=%q,eps_band=%q", backend, band), m.synth[key])
+	}
+
+	fmt.Fprintf(w, "# HELP synthd_pass_seconds Wall time of pipeline passes by pass name.\n")
+	fmt.Fprintf(w, "# TYPE synthd_pass_seconds histogram\n")
+	for _, p := range sortedKeys(m.pass) {
+		writeHistogram(w, "synthd_pass_seconds", fmt.Sprintf("pass=%q", p), m.pass[p])
 	}
 }
 

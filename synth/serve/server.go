@@ -5,6 +5,8 @@ import (
 	"encoding/json"
 	"errors"
 	"fmt"
+	"log/slog"
+	"math/rand/v2"
 	"net/http"
 	"runtime"
 	"strconv"
@@ -17,6 +19,7 @@ import (
 	"repro/optimize"
 	"repro/synth"
 	"repro/synth/serve/cluster"
+	"repro/synth/trace"
 )
 
 // Config shapes a Server. The zero value is usable: auto backend, a fresh
@@ -56,6 +59,17 @@ type Config struct {
 	// the shared inflight/queue admission control.
 	TenantRPS   float64
 	TenantBurst int
+	// Tracer, when set, samples request traces: each sampled POST request
+	// gets a span tree from admission down to individual syntheses,
+	// retrievable from GET /debug/trace. Requests arriving with a
+	// traceparent header join the originating trace regardless of the
+	// local sample ratio. Nil = tracing off (span plumbing then costs nil
+	// checks only).
+	Tracer *trace.Tracer
+	// Logger, when set, receives one structured line per completed public
+	// request (request_id, endpoint, status, queue wait, duration, and
+	// trace_id when sampled).
+	Logger *slog.Logger
 }
 
 func (c Config) withDefaults() Config {
@@ -122,11 +136,21 @@ func New(cfg Config) *Server {
 	s.mux.HandleFunc("POST /v1/synthesize", s.instrument("/v1/synthesize", s.handleSynthesize))
 	s.mux.HandleFunc("GET /healthz", s.handleHealthz)
 	s.mux.HandleFunc("GET /metrics", s.handleMetrics)
+	s.mux.HandleFunc("GET /debug/trace", s.HandleDebugTrace)
 	if cfg.Cluster != nil {
 		cfg.Cluster.Attach(cache)
 		s.mux.Handle("/v1/peer/", cfg.Cluster.Handler())
 	}
 	return s
+}
+
+// nodeName is the "node" attribute stamped on trace roots and fragments —
+// the ring ID in cluster mode, the daemon name otherwise.
+func (s *Server) nodeName() string {
+	if s.cfg.Cluster != nil {
+		return s.cfg.Cluster.SelfID()
+	}
+	return "synthd"
 }
 
 // Handler returns the HTTP handler tree.
@@ -151,12 +175,39 @@ func badRequest(format string, args ...any) *apiError {
 // metrics live in instrument, the handler just computes a response.
 type handler func(w http.ResponseWriter, r *http.Request) (int, error)
 
-// instrument wraps a handler with admission control and per-endpoint
-// metrics. The handler's returned status (or mapped error status) is what
-// the latency histogram and request counters record.
+// reqInfo is what instrument learned about a request before its handler
+// ran, stashed in the request context so handlers can fill the
+// wait/service response fields and attach sub-spans to the trace.
+type reqInfo struct {
+	id       string        // request_id (also the X-Request-Id header)
+	wait     time.Duration // admission-queue wait
+	admitted time.Time     // when the execution slot was acquired
+	span     *trace.Span   // the "serve" span (nil when unsampled)
+	traceID  string        // root trace ID ("" when unsampled)
+}
+
+type reqInfoKey struct{}
+
+// info returns the reqInfo instrument attached (zero value on contexts
+// that never passed through instrument, e.g. direct handler tests).
+func info(ctx context.Context) reqInfo {
+	ri, _ := ctx.Value(reqInfoKey{}).(reqInfo)
+	return ri
+}
+
+// newRequestID draws a 16-hex-digit request ID.
+func newRequestID() string { return trace.FormatID(rand.Uint64() | 1) }
+
+// instrument wraps a handler with request identity, tracing, admission
+// control and per-endpoint metrics. The handler's returned status (or
+// mapped error status) is what the latency histogram and request counters
+// record; the latency histogram sees service time only — queue wait is
+// split into synthd_queue_wait_seconds.
 func (s *Server) instrument(endpoint string, h handler) http.HandlerFunc {
 	return func(w http.ResponseWriter, r *http.Request) {
 		start := time.Now()
+		reqID := newRequestID()
+		w.Header().Set("X-Request-Id", reqID)
 		// Tenant quota first: a throttled tenant must not even occupy a
 		// queue slot, or a flooding tenant would still crowd the queue.
 		if s.quota != nil {
@@ -169,7 +220,26 @@ func (s *Server) instrument(endpoint string, h handler) http.HandlerFunc {
 				return
 			}
 		}
+		// Root span: join a propagated trace when the request carries a
+		// traceparent header (the origin already sampled), else apply the
+		// local sample ratio. Both no-op to nil when Tracer is unset.
+		var root *trace.Span
+		if tid, sid, ok := trace.ParseHeaderValue(r.Header.Get(trace.Header)); ok {
+			root = s.cfg.Tracer.StartRemote(tid, sid, endpoint)
+		} else {
+			root = s.cfg.Tracer.Start(endpoint)
+		}
+		root.SetAttr("request_id", reqID)
+		root.SetAttr("node", s.nodeName())
+		if root != nil {
+			w.Header().Set("X-Trace-Id", trace.FormatID(root.TraceID()))
+		}
+		defer root.End()
+
+		waitSpan := root.Child("queue.wait")
 		release, err := s.admit(r.Context())
+		wait := time.Since(start)
+		waitSpan.End()
 		if err != nil {
 			// Only a genuine capacity refusal counts as a rejection and
 			// advertises Retry-After; a client that vanished while queued
@@ -179,18 +249,52 @@ func (s *Server) instrument(endpoint string, h handler) http.HandlerFunc {
 				s.metrics.reject()
 				w.Header().Set("Retry-After", "1")
 			}
+			root.SetAttr("status", status)
 			writeJSON(w, status, ErrorResponse{Error: err.Error()})
 			s.metrics.record(endpoint, status, time.Since(start))
+			s.logRequest(reqID, endpoint, status, wait, time.Since(start), root)
 			return
 		}
 		defer release()
-		status, err := h(w, r)
+		s.metrics.observeQueueWait(wait)
+
+		admitted := time.Now()
+		serveSpan := root.Child("serve")
+		ri := reqInfo{id: reqID, wait: wait, admitted: admitted, span: serveSpan}
+		if root != nil {
+			ri.traceID = trace.FormatID(root.TraceID())
+		}
+		ctx := context.WithValue(trace.NewContext(r.Context(), serveSpan), reqInfoKey{}, ri)
+		status, err := h(w, r.WithContext(ctx))
+		serveSpan.End()
 		if err != nil {
 			status = errStatus(err)
 			writeJSON(w, status, ErrorResponse{Error: err.Error()})
 		}
-		s.metrics.record(endpoint, status, time.Since(start))
+		root.SetAttr("status", status)
+		service := time.Since(admitted)
+		s.metrics.record(endpoint, status, service)
+		s.logRequest(reqID, endpoint, status, wait, service, root)
 	}
+}
+
+// logRequest emits the per-request structured log line when a logger is
+// configured.
+func (s *Server) logRequest(reqID, endpoint string, status int, wait, service time.Duration, root *trace.Span) {
+	if s.cfg.Logger == nil {
+		return
+	}
+	attrs := []any{
+		"request_id", reqID,
+		"endpoint", endpoint,
+		"status", status,
+		"queue_wait_ms", float64(wait) / float64(time.Millisecond),
+		"service_ms", float64(service) / float64(time.Millisecond),
+	}
+	if root != nil {
+		attrs = append(attrs, "trace_id", trace.FormatID(root.TraceID()))
+	}
+	s.cfg.Logger.Info("request", attrs...)
 }
 
 // errStatus maps a handler error to its HTTP status: explicit apiErrors
@@ -318,6 +422,9 @@ func (s *Server) handleCompile(w http.ResponseWriter, r *http.Request) (int, err
 		synth.WithWorkers(s.cfg.Workers),
 		synth.WithIR(ir),
 		synth.WithCache(s.cache),
+		synth.WithSynthObserver(func(o synth.SynthObservation) {
+			s.metrics.observeSynth(o.Backend, epsBand(o.Epsilon), o.Wall)
+		}),
 	}
 	if req.Eps > 0 {
 		opts = append(opts, synth.WithCircuitEpsilon(req.Eps), synth.WithBudgetStrategy(strat))
@@ -369,8 +476,17 @@ func (s *Server) handleCompile(w http.ResponseWriter, r *http.Request) (int, err
 	if err != nil {
 		return 0, err
 	}
+	for _, pt := range res.Stats.Passes {
+		s.metrics.observePass(pt.Name, pt.Wall)
+	}
 
 	st := NewCompileStats(res, pl.Passes(), req.Eps, strat)
+	ri := info(r.Context())
+	st.QueueWaitMs = float64(ri.wait) / float64(time.Millisecond)
+	if !ri.admitted.IsZero() {
+		st.ServiceMs = float64(time.Since(ri.admitted)) / float64(time.Millisecond)
+	}
+	st.TraceID = ri.traceID
 	if st.TSaved > 0 {
 		s.tReclaimed.Add(int64(st.TSaved))
 	}
@@ -410,6 +526,9 @@ func (s *Server) handleSynthesize(w http.ResponseWriter, r *http.Request) (int, 
 		Req:     synth.Request{Epsilon: req.Eps, Samples: req.Samples, TBudget: req.TBudget, Seed: req.Seed},
 		Workers: s.cfg.Workers,
 		Cache:   s.cache,
+		Observe: func(o synth.SynthObservation) {
+			s.metrics.observeSynth(o.Backend, epsBand(o.Epsilon), o.Wall)
+		},
 	}
 	ctx, cancel := s.requestContext(r, req.TimeoutMs)
 	defer cancel()
@@ -418,10 +537,16 @@ func (s *Server) handleSynthesize(w http.ResponseWriter, r *http.Request) (int, 
 		return 0, err
 	}
 
+	ri := info(r.Context())
 	resp := SynthesizeResponse{
-		Results: make([]SynthesizeResult, len(results)),
-		Hits:    int64(stats.Hits),
-		Misses:  int64(stats.Misses),
+		Results:     make([]SynthesizeResult, len(results)),
+		Hits:        int64(stats.Hits),
+		Misses:      int64(stats.Misses),
+		QueueWaitMs: float64(ri.wait) / float64(time.Millisecond),
+		TraceID:     ri.traceID,
+	}
+	if !ri.admitted.IsZero() {
+		resp.ServiceMs = float64(time.Since(ri.admitted)) / float64(time.Millisecond)
 	}
 	for i, res := range results {
 		resp.Results[i] = SynthesizeResult{
@@ -518,4 +643,53 @@ func (s *Server) handleMetrics(w http.ResponseWriter, r *http.Request) {
 			fmt.Fprintf(w, "synthd_tenant_throttled_total{tenant=%q} %d\n", t, counts[t])
 		}
 	}
+}
+
+// HandleDebugTrace serves GET /debug/trace: without ?id= it lists the
+// ring of recent kept traces (newest first, one line each); with
+// ?id=<trace id> it renders every retained span tree of that trace —
+// local roots and remote fragments alike — as the compact text format,
+// or as Chrome trace_event JSON with &format=chrome (load the saved body
+// in chrome://tracing or Perfetto). Exported so a daemon can also mount
+// it on a private -debug-addr listener next to net/http/pprof.
+func (s *Server) HandleDebugTrace(w http.ResponseWriter, r *http.Request) {
+	tr := s.cfg.Tracer
+	if tr == nil {
+		http.Error(w, "tracing disabled (start with -trace-sample > 0)", http.StatusNotFound)
+		return
+	}
+	idStr := r.URL.Query().Get("id")
+	if idStr == "" {
+		w.Header().Set("Content-Type", "text/plain; charset=utf-8")
+		n := 0
+		for _, root := range tr.Recent(0) {
+			fmt.Fprintf(w, "%s %12s %s", trace.FormatID(root.TraceID()), root.Duration().Round(time.Microsecond), root.Name())
+			if id := root.Attr("request_id"); id != "" {
+				fmt.Fprintf(w, " request_id=%s", id)
+			}
+			fmt.Fprintln(w)
+			n++
+		}
+		if n == 0 {
+			fmt.Fprintln(w, "no traces retained yet")
+		}
+		return
+	}
+	id, ok := trace.ParseID(idStr)
+	if !ok {
+		http.Error(w, "bad id (want 16 or 32 hex digits)", http.StatusBadRequest)
+		return
+	}
+	roots := tr.Collect(id)
+	if len(roots) == 0 {
+		http.Error(w, "trace not found (evicted from ring, or never sampled)", http.StatusNotFound)
+		return
+	}
+	if r.URL.Query().Get("format") == "chrome" {
+		w.Header().Set("Content-Type", "application/json")
+		trace.WriteChrome(w, roots...)
+		return
+	}
+	w.Header().Set("Content-Type", "text/plain; charset=utf-8")
+	trace.WriteText(w, roots...)
 }

@@ -1,0 +1,196 @@
+package serve_test
+
+import (
+	"bytes"
+	"encoding/json"
+	"io"
+	"net/http"
+	"net/http/httptest"
+	"strings"
+	"testing"
+
+	"repro/synth/serve"
+	"repro/synth/trace"
+)
+
+// postCompile does a raw POST /v1/compile so the test can read response
+// headers (the typed client hides them).
+func postCompile(t *testing.T, base string, req serve.CompileRequest, hdr map[string]string) (*http.Response, serve.CompileResponse) {
+	t.Helper()
+	body, err := json.Marshal(req)
+	if err != nil {
+		t.Fatal(err)
+	}
+	hreq, err := http.NewRequest(http.MethodPost, base+"/v1/compile", bytes.NewReader(body))
+	if err != nil {
+		t.Fatal(err)
+	}
+	hreq.Header.Set("Content-Type", "application/json")
+	for k, v := range hdr {
+		hreq.Header.Set(k, v)
+	}
+	res, err := http.DefaultClient.Do(hreq)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer res.Body.Close()
+	raw, err := io.ReadAll(res.Body)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.StatusCode != http.StatusOK {
+		t.Fatalf("POST /v1/compile: status %d: %s", res.StatusCode, raw)
+	}
+	var cr serve.CompileResponse
+	if err := json.Unmarshal(raw, &cr); err != nil {
+		t.Fatalf("decoding compile response: %v", err)
+	}
+	return res, cr
+}
+
+// TestTraceEndToEnd: with sampling at 1, one compile produces a root span
+// tree reaching from the HTTP endpoint down to individual syntheses,
+// retrievable from /debug/trace in both text and Chrome form, and the
+// response carries the request/trace identity and the wait/service split.
+func TestTraceEndToEnd(t *testing.T) {
+	tracer := trace.New(trace.Config{SampleRatio: 1})
+	s := serve.New(serve.Config{DefaultBackend: "gridsynth", Tracer: tracer})
+	hs := httptest.NewServer(s.Handler())
+	t.Cleanup(hs.Close)
+
+	res, cr := postCompile(t, hs.URL, serve.CompileRequest{QASM: testQASM, Eps: 0.3}, nil)
+
+	if res.Header.Get("X-Request-Id") == "" {
+		t.Fatal("no X-Request-Id header")
+	}
+	traceID := res.Header.Get("X-Trace-Id")
+	if traceID == "" {
+		t.Fatal("no X-Trace-Id header with sampling at 1")
+	}
+	if cr.Stats.TraceID != traceID {
+		t.Fatalf("stats trace_id %q != X-Trace-Id %q", cr.Stats.TraceID, traceID)
+	}
+	if cr.Stats.ServiceMs <= 0 {
+		t.Fatalf("service_ms = %v, want > 0", cr.Stats.ServiceMs)
+	}
+	if cr.Stats.QueueWaitMs < 0 {
+		t.Fatalf("queue_wait_ms = %v, want >= 0", cr.Stats.QueueWaitMs)
+	}
+
+	id, ok := trace.ParseID(traceID)
+	if !ok {
+		t.Fatalf("unparsable trace id %q", traceID)
+	}
+	roots := tracer.Collect(id)
+	if len(roots) != 1 {
+		t.Fatalf("collected %d roots, want 1", len(roots))
+	}
+	root := roots[0]
+	if root.Name() != "/v1/compile" {
+		t.Fatalf("root span %q, want /v1/compile", root.Name())
+	}
+	if root.Attr("request_id") != res.Header.Get("X-Request-Id") {
+		t.Fatalf("root request_id attr %q != header %q", root.Attr("request_id"), res.Header.Get("X-Request-Id"))
+	}
+	var sawWait, sawServe, sawPass, sawScan, sawSynth bool
+	root.Walk(func(sp *trace.Span) {
+		switch {
+		case sp.Name() == "queue.wait":
+			sawWait = true
+		case sp.Name() == "serve":
+			sawServe = true
+		case strings.HasPrefix(sp.Name(), "pass:"):
+			sawPass = true
+		case sp.Name() == "scan":
+			sawScan = true
+		case sp.Name() == "synth":
+			sawSynth = true
+			if sp.Attr("backend") == "" || sp.Attr("eps") == "" {
+				t.Errorf("synth span missing backend/eps attrs: %v", sp.Attrs())
+			}
+		}
+	})
+	if !sawWait || !sawServe || !sawPass || !sawScan || !sawSynth {
+		t.Fatalf("span tree incomplete: wait=%v serve=%v pass=%v scan=%v synth=%v",
+			sawWait, sawServe, sawPass, sawScan, sawSynth)
+	}
+
+	// The debug endpoint renders the same trace: text by default, valid
+	// JSON with format=chrome, and an index without an id.
+	get := func(path string) (int, string) {
+		r, err := http.Get(hs.URL + path)
+		if err != nil {
+			t.Fatal(err)
+		}
+		defer r.Body.Close()
+		b, _ := io.ReadAll(r.Body)
+		return r.StatusCode, string(b)
+	}
+	if code, body := get("/debug/trace?id=" + traceID); code != http.StatusOK || !strings.Contains(body, "pass:") {
+		t.Fatalf("/debug/trace?id: status %d body %q", code, body)
+	}
+	if code, body := get("/debug/trace?id=" + traceID + "&format=chrome"); code != http.StatusOK || !json.Valid([]byte(body)) {
+		t.Fatalf("/debug/trace chrome export: status %d, valid JSON = %v", code, json.Valid([]byte(body)))
+	}
+	if code, body := get("/debug/trace"); code != http.StatusOK || !strings.Contains(body, traceID) {
+		t.Fatalf("/debug/trace index: status %d missing %s:\n%s", code, traceID, body)
+	}
+	if code, _ := get("/debug/trace?id=ffffffffffffffff"); code != http.StatusNotFound {
+		t.Fatalf("unknown trace id: status %d, want 404", code)
+	}
+}
+
+// TestTraceParentJoin: a request carrying a traceparent header joins the
+// caller's trace — the daemon's root is kept under the propagated ID
+// regardless of sampling, which is what stitches cluster hops together.
+func TestTraceParentJoin(t *testing.T) {
+	// SampleRatio 0: only the propagated header can produce a kept trace.
+	tracer := trace.New(trace.Config{SampleRatio: 0})
+	s := serve.New(serve.Config{DefaultBackend: "gridsynth", Tracer: tracer})
+	hs := httptest.NewServer(s.Handler())
+	t.Cleanup(hs.Close)
+
+	const tid = "00000000000000000123456789abcdef"
+	parent := "00-" + tid + "-00000000000000ab-01"
+	res, cr := postCompile(t, hs.URL, serve.CompileRequest{QASM: testQASM, Eps: 0.3},
+		map[string]string{trace.Header: parent})
+
+	want := tid[16:] // low 64 bits, the wire trace id
+	if got := res.Header.Get("X-Trace-Id"); got != want {
+		t.Fatalf("X-Trace-Id %q, want propagated %q", got, want)
+	}
+	if cr.Stats.TraceID != want {
+		t.Fatalf("stats trace_id %q, want %q", cr.Stats.TraceID, want)
+	}
+	id, _ := trace.ParseID(want)
+	if roots := tracer.Collect(id); len(roots) != 1 {
+		t.Fatalf("propagated trace kept %d fragments, want 1", len(roots))
+	}
+}
+
+// TestTraceOff: without a Tracer the request still gets an ID, but no
+// trace identity leaks into headers or stats, and /debug/trace is a 404.
+func TestTraceOff(t *testing.T) {
+	s := serve.New(serve.Config{DefaultBackend: "gridsynth"})
+	hs := httptest.NewServer(s.Handler())
+	t.Cleanup(hs.Close)
+
+	res, cr := postCompile(t, hs.URL, serve.CompileRequest{QASM: testQASM, Eps: 0.3}, nil)
+	if res.Header.Get("X-Request-Id") == "" {
+		t.Fatal("no X-Request-Id header with tracing off")
+	}
+	if got := res.Header.Get("X-Trace-Id"); got != "" {
+		t.Fatalf("X-Trace-Id %q with tracing off, want none", got)
+	}
+	if cr.Stats.TraceID != "" {
+		t.Fatalf("stats trace_id %q with tracing off, want empty", cr.Stats.TraceID)
+	}
+	r, err := http.Get(hs.URL + "/debug/trace")
+	if err != nil {
+		t.Fatal(err)
+	}
+	r.Body.Close()
+	if r.StatusCode != http.StatusNotFound {
+		t.Fatalf("/debug/trace with tracing off: status %d, want 404", r.StatusCode)
+	}
+}

@@ -95,6 +95,14 @@ type CompileStats struct {
 	BlockCXSaved int     `json:"block_cx_saved,omitempty"`
 	Passes       string  `json:"passes"`
 	WallMs       float64 `json:"wall_ms"`
+	// QueueWaitMs is how long the request waited for an execution slot;
+	// ServiceMs is the execution time after admission. The server fills
+	// both (WallMs is the pipeline's own measure and excludes decode).
+	QueueWaitMs float64 `json:"queue_wait_ms"`
+	ServiceMs   float64 `json:"service_ms"`
+	// TraceID is the request's trace ID when it was sampled — fetch the
+	// span tree from GET /debug/trace?id=<TraceID>.
+	TraceID string `json:"trace_id,omitempty"`
 }
 
 // NewCompileStats assembles the stats record for one pipeline run — the
@@ -190,6 +198,11 @@ type SynthesizeResponse struct {
 	Results []SynthesizeResult `json:"results"`
 	Hits    int64              `json:"cache_hits"`
 	Misses  int64              `json:"cache_misses"`
+	// QueueWaitMs/ServiceMs split the request's admission wait from its
+	// execution time; TraceID is set when the request was sampled.
+	QueueWaitMs float64 `json:"queue_wait_ms"`
+	ServiceMs   float64 `json:"service_ms"`
+	TraceID     string  `json:"trace_id,omitempty"`
 }
 
 // Health is the GET /healthz body.

@@ -1,0 +1,161 @@
+package trace
+
+import (
+	"encoding/json"
+	"fmt"
+	"io"
+	"sort"
+	"time"
+)
+
+// chromeEvent is one Chrome trace_event record. Only the "X" (complete)
+// and "M" (metadata) phases are emitted; timestamps and durations are in
+// microseconds, as the format requires.
+type chromeEvent struct {
+	Name string            `json:"name"`
+	Ph   string            `json:"ph"`
+	Ts   float64           `json:"ts"`
+	Dur  float64           `json:"dur,omitempty"`
+	Pid  int               `json:"pid"`
+	Tid  int               `json:"tid"`
+	Args map[string]string `json:"args,omitempty"`
+}
+
+// chromeFile is the JSON object form chrome://tracing and Perfetto load.
+type chromeFile struct {
+	TraceEvents     []chromeEvent `json:"traceEvents"`
+	DisplayTimeUnit string        `json:"displayTimeUnit"`
+}
+
+// WriteChrome renders the given trace roots (typically one local root
+// plus the remote fragments Collect returned on peer nodes) as Chrome
+// trace_event JSON. Each root becomes its own process row, named by the
+// span's "node" attribute when present (so a stitched cluster trace shows
+// one row per node); overlapping sibling spans are spread across thread
+// lanes so concurrent synthesis work renders side by side.
+func WriteChrome(w io.Writer, roots ...*Span) error {
+	var (
+		events []chromeEvent
+		base   time.Time
+	)
+	for _, r := range roots {
+		if r == nil {
+			continue
+		}
+		if base.IsZero() || r.start.Before(base) {
+			base = r.start
+		}
+	}
+	pid := 0
+	for _, r := range roots {
+		if r == nil {
+			continue
+		}
+		pid++
+		name := r.Attr("node")
+		if name == "" {
+			name = r.Name()
+		}
+		events = append(events, chromeEvent{
+			Name: "process_name", Ph: "M", Pid: pid, Tid: 0,
+			Args: map[string]string{"name": name},
+		})
+		nextLane := 2 // lane 1 is the root's; concurrent siblings overflow here
+		emitChrome(&events, r, base, pid, 1, &nextLane)
+	}
+	return json.NewEncoder(w).Encode(chromeFile{TraceEvents: events, DisplayTimeUnit: "ms"})
+}
+
+func emitChrome(events *[]chromeEvent, s *Span, base time.Time, pid, lane int, nextLane *int) {
+	dur := s.Duration()
+	args := map[string]string{
+		"trace_id": FormatID(s.traceID),
+		"span_id":  FormatID(s.id),
+	}
+	if s.parent != 0 {
+		args["parent_id"] = FormatID(s.parent)
+	}
+	for _, a := range s.Attrs() {
+		args[a.Key] = a.Value
+	}
+	*events = append(*events, chromeEvent{
+		Name: s.Name(),
+		Ph:   "X",
+		Ts:   float64(s.start.Sub(base)) / float64(time.Microsecond),
+		Dur:  float64(dur) / float64(time.Microsecond),
+		Pid:  pid,
+		Tid:  lane,
+		Args: args,
+	})
+	children := s.Children()
+	sort.Slice(children, func(i, j int) bool { return children[i].start.Before(children[j].start) })
+	// A child nested in time renders inside the parent only on the same
+	// thread lane, so the first concurrent chain of children inherits the
+	// parent's lane; siblings that overlap an already-busy lane overflow to
+	// fresh lanes (concurrent synthesis workers render side by side).
+	type laneState struct {
+		lane int
+		busy time.Time
+	}
+	var lanes []laneState
+	for _, c := range children {
+		slot := -1
+		for i := range lanes {
+			if !c.start.Before(lanes[i].busy) {
+				slot = i
+				break
+			}
+		}
+		if slot < 0 {
+			l := lane
+			if len(lanes) > 0 {
+				l = *nextLane
+				*nextLane++
+			}
+			lanes = append(lanes, laneState{lane: l})
+			slot = len(lanes) - 1
+		}
+		lanes[slot].busy = c.start.Add(c.Duration())
+		emitChrome(events, c, base, pid, lanes[slot].lane, nextLane)
+	}
+}
+
+// WriteText renders the trace roots as a compact one-line-per-span log:
+// indentation is tree depth, offsets are relative to the earliest root.
+//
+//	a1b2... +0.000ms 12.450ms /v1/compile request_id=...
+//	  ·     +0.031ms  0.002ms queue.wait
+//	  ·     +0.040ms 12.400ms serve
+func WriteText(w io.Writer, roots ...*Span) {
+	var base time.Time
+	for _, r := range roots {
+		if r != nil && (base.IsZero() || r.start.Before(base)) {
+			base = r.start
+		}
+	}
+	for _, r := range roots {
+		if r != nil {
+			writeTextSpan(w, r, base, 0, true)
+		}
+	}
+}
+
+func writeTextSpan(w io.Writer, s *Span, base time.Time, depth int, root bool) {
+	id := "      ·         "
+	if root {
+		id = FormatID(s.traceID)
+	}
+	fmt.Fprintf(w, "%s %*s+%.3fms %.3fms %s", id, depth*2, "",
+		float64(s.start.Sub(base))/float64(time.Millisecond),
+		float64(s.Duration())/float64(time.Millisecond),
+		s.Name())
+	for _, a := range s.Attrs() {
+		fmt.Fprintf(w, " %s=%s", a.Key, a.Value)
+	}
+	fmt.Fprintln(w)
+	children := s.Children()
+	sort.Slice(children, func(i, j int) bool { return children[i].start.Before(children[j].start) })
+	for _, c := range children {
+		writeTextSpan(w, c, base, depth+1, false)
+	}
+}

@@ -1,0 +1,423 @@
+// Package trace is the repository's zero-dependency request-tracing
+// layer: a Span tree with wall-clock start/duration and string attributes,
+// a sampling Tracer (always / ratio / slow-only-over-threshold) with a
+// ring buffer of recent completed traces, and two exporters — Chrome
+// trace_event JSON (load the file in chrome://tracing or Perfetto) and a
+// compact one-line-per-span text log.
+//
+// The design discipline mirrors serve/metrics.go: hand-rolled, no
+// third-party deps, and free when off. Every Span method is nil-safe —
+// an unsampled request carries a nil *Span and every instrumentation
+// point degrades to a pointer check — so the overhead of compiled-in
+// tracing is unmeasurable when sampling is off.
+//
+// Propagation: spans travel in-process inside a context.Context
+// (NewContext/FromContext) and across processes in a traceparent-style
+// HTTP header (Header, (*Span).HeaderValue, ParseHeaderValue). A node
+// that receives a header joins the originating trace via
+// (*Tracer).StartRemote; the resulting fragment lands in that node's ring
+// buffer under the propagated trace ID, so fragments from every node a
+// request touched can be stitched into one trace (Collect on each node's
+// tracer, then export together).
+package trace
+
+import (
+	"context"
+	"math/rand/v2"
+	"strconv"
+	"sync"
+	"time"
+)
+
+// Attr is one key/value annotation on a span. Values are stored as
+// strings: attributes exist to be read by humans and exporters, not to be
+// computed on.
+type Attr struct {
+	Key, Value string
+}
+
+// Span is one timed operation in a trace tree. Create roots with
+// (*Tracer).Start, children with (*Span).Child, and close every span with
+// End. All methods are safe for concurrent use and safe on a nil
+// receiver — a nil span is "tracing off" and every operation no-ops.
+type Span struct {
+	tracer  *Tracer
+	traceID uint64
+	id      uint64
+	parent  uint64
+	name    string
+	start   time.Time
+	remote  bool // created by StartRemote (a fragment of a foreign trace)
+
+	mu       sync.Mutex
+	dur      time.Duration
+	ended    bool
+	attrs    []Attr
+	children []*Span
+}
+
+// Child opens a sub-span. A nil receiver returns nil, so call sites never
+// guard.
+func (s *Span) Child(name string) *Span {
+	if s == nil {
+		return nil
+	}
+	c := &Span{
+		traceID: s.traceID,
+		id:      randID(),
+		parent:  s.id,
+		name:    name,
+		start:   time.Now(),
+	}
+	s.mu.Lock()
+	s.children = append(s.children, c)
+	s.mu.Unlock()
+	return c
+}
+
+// End closes the span, fixing its duration. Ending a root span reports
+// the finished trace to its Tracer, which decides (slow-only mode)
+// whether to keep it in the ring buffer. End is idempotent; late child
+// ends after the root was reported (async work) still update the tree the
+// ring holds.
+func (s *Span) End() {
+	if s == nil {
+		return
+	}
+	s.mu.Lock()
+	if s.ended {
+		s.mu.Unlock()
+		return
+	}
+	s.ended = true
+	s.dur = time.Since(s.start)
+	s.mu.Unlock()
+	if s.tracer != nil {
+		s.tracer.finish(s)
+	}
+}
+
+// SetAttr annotates the span. Accepted value kinds: string, int, int64,
+// uint64, float64, bool, time.Duration; anything else is ignored (this is
+// a tracing annotation, not an error path).
+func (s *Span) SetAttr(key string, value any) {
+	if s == nil {
+		return
+	}
+	var v string
+	switch x := value.(type) {
+	case string:
+		v = x
+	case int:
+		v = strconv.Itoa(x)
+	case int64:
+		v = strconv.FormatInt(x, 10)
+	case uint64:
+		v = strconv.FormatUint(x, 10)
+	case float64:
+		v = strconv.FormatFloat(x, 'g', -1, 64)
+	case bool:
+		v = strconv.FormatBool(x)
+	case time.Duration:
+		v = x.String()
+	default:
+		return
+	}
+	s.mu.Lock()
+	s.attrs = append(s.attrs, Attr{Key: key, Value: v})
+	s.mu.Unlock()
+}
+
+// TraceID returns the 64-bit trace ID (0 on a nil span).
+func (s *Span) TraceID() uint64 {
+	if s == nil {
+		return 0
+	}
+	return s.traceID
+}
+
+// Name returns the span name ("" on a nil span).
+func (s *Span) Name() string {
+	if s == nil {
+		return ""
+	}
+	return s.name
+}
+
+// Start returns the span's start time (zero on a nil span).
+func (s *Span) Start() time.Time {
+	if s == nil {
+		return time.Time{}
+	}
+	return s.start
+}
+
+// Duration returns the span's duration: final after End, the running
+// elapsed time before it, 0 on nil.
+func (s *Span) Duration() time.Duration {
+	if s == nil {
+		return 0
+	}
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if s.ended {
+		return s.dur
+	}
+	return time.Since(s.start)
+}
+
+// Attrs returns a copy of the span's attributes.
+func (s *Span) Attrs() []Attr {
+	if s == nil {
+		return nil
+	}
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	out := make([]Attr, len(s.attrs))
+	copy(out, s.attrs)
+	return out
+}
+
+// Attr returns the value of the first attribute named key ("" when
+// absent).
+func (s *Span) Attr(key string) string {
+	for _, a := range s.Attrs() {
+		if a.Key == key {
+			return a.Value
+		}
+	}
+	return ""
+}
+
+// Children returns a copy of the span's direct children.
+func (s *Span) Children() []*Span {
+	if s == nil {
+		return nil
+	}
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	out := make([]*Span, len(s.children))
+	copy(out, s.children)
+	return out
+}
+
+// Walk visits the span and every descendant depth-first.
+func (s *Span) Walk(f func(*Span)) {
+	if s == nil {
+		return
+	}
+	f(s)
+	for _, c := range s.Children() {
+		c.Walk(f)
+	}
+}
+
+// Config shapes a Tracer.
+type Config struct {
+	// SampleRatio is the fraction of Start calls that produce a real
+	// span: <= 0 never samples (Start always returns nil), >= 1 always
+	// does, in between samples that fraction at random. Propagated
+	// traces (StartRemote) bypass the ratio — the originating node
+	// already made the decision.
+	SampleRatio float64
+	// SlowOnly, when positive, keeps only locally rooted traces whose
+	// total duration is at least this threshold in the ring buffer;
+	// faster traces are recorded (so children measure real time) but
+	// dropped at the root's End. Remote fragments are always kept: they
+	// exist only because some origin sampled the trace.
+	SlowOnly time.Duration
+	// RingSize bounds the ring of recent kept traces (0 = DefaultRingSize).
+	RingSize int
+}
+
+// DefaultRingSize is the kept-trace ring capacity when Config.RingSize
+// is zero.
+const DefaultRingSize = 64
+
+// Tracer makes sampling decisions and retains recent completed traces.
+// Safe for concurrent use. A nil *Tracer is valid and never samples.
+type Tracer struct {
+	cfg Config
+
+	mu   sync.Mutex
+	ring []*Span // completed kept roots and fragments, oldest first
+}
+
+// New builds a Tracer from cfg.
+func New(cfg Config) *Tracer {
+	if cfg.RingSize <= 0 {
+		cfg.RingSize = DefaultRingSize
+	}
+	return &Tracer{cfg: cfg}
+}
+
+// Start opens a new locally rooted trace, applying the sample ratio:
+// an unsampled call returns nil and the whole request traces for free.
+func (t *Tracer) Start(name string) *Span {
+	if t == nil || t.cfg.SampleRatio <= 0 {
+		return nil
+	}
+	if t.cfg.SampleRatio < 1 && rand.Float64() >= t.cfg.SampleRatio {
+		return nil
+	}
+	return &Span{
+		tracer:  t,
+		traceID: randID(),
+		id:      randID(),
+		name:    name,
+		start:   time.Now(),
+	}
+}
+
+// StartRemote opens a fragment of a trace that originated elsewhere
+// (traceID/parentID from a propagated header). The origin's sampling
+// decision is honored: fragments are always recorded and always kept.
+func (t *Tracer) StartRemote(traceID, parentID uint64, name string) *Span {
+	if t == nil || traceID == 0 {
+		return nil
+	}
+	return &Span{
+		tracer:  t,
+		traceID: traceID,
+		id:      randID(),
+		parent:  parentID,
+		name:    name,
+		start:   time.Now(),
+		remote:  true,
+	}
+}
+
+// finish is the root-End hook: apply the slow-only keep filter and ring
+// the survivors.
+func (t *Tracer) finish(s *Span) {
+	if !s.remote && t.cfg.SlowOnly > 0 && s.Duration() < t.cfg.SlowOnly {
+		return
+	}
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	t.ring = append(t.ring, s)
+	if n := len(t.ring) - t.cfg.RingSize; n > 0 {
+		t.ring = append(t.ring[:0], t.ring[n:]...)
+	}
+}
+
+// Collect returns every kept trace (roots and remote fragments) with the
+// given trace ID, oldest first.
+func (t *Tracer) Collect(traceID uint64) []*Span {
+	if t == nil {
+		return nil
+	}
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	var out []*Span
+	for _, s := range t.ring {
+		if s.traceID == traceID {
+			out = append(out, s)
+		}
+	}
+	return out
+}
+
+// Recent returns up to n of the most recently kept traces, newest first
+// (n <= 0 = all).
+func (t *Tracer) Recent(n int) []*Span {
+	if t == nil {
+		return nil
+	}
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	if n <= 0 || n > len(t.ring) {
+		n = len(t.ring)
+	}
+	out := make([]*Span, 0, n)
+	for i := len(t.ring) - 1; i >= len(t.ring)-n; i-- {
+		out = append(out, t.ring[i])
+	}
+	return out
+}
+
+// --- context propagation ---
+
+type ctxKey struct{}
+
+// NewContext returns ctx carrying s (which may be nil: downstream
+// FromContext then reports tracing off, shadowing any outer span).
+func NewContext(ctx context.Context, s *Span) context.Context {
+	return context.WithValue(ctx, ctxKey{}, s)
+}
+
+// FromContext returns the span carried by ctx, or nil.
+func FromContext(ctx context.Context) *Span {
+	s, _ := ctx.Value(ctxKey{}).(*Span)
+	return s
+}
+
+// --- header propagation ---
+
+// Header is the HTTP header spans propagate in, using the W3C
+// traceparent shape: version "00", a 128-bit trace-id field (the high 64
+// bits are zero — IDs here are 64-bit), the 64-bit parent span ID, and
+// the sampled flag.
+const Header = "traceparent"
+
+// HeaderValue renders the span's identity for the Header ("" on nil).
+func (s *Span) HeaderValue() string {
+	if s == nil {
+		return ""
+	}
+	return "00-" + pad32(s.traceID) + "-" + pad16(s.id) + "-01"
+}
+
+// ParseHeaderValue decodes a HeaderValue (or any W3C traceparent whose
+// trace-id fits 64 bits after dropping the high half).
+func ParseHeaderValue(v string) (traceID, spanID uint64, ok bool) {
+	if len(v) != 55 || v[:3] != "00-" || v[35] != '-' || v[52] != '-' {
+		return 0, 0, false
+	}
+	tid, err := strconv.ParseUint(v[3+16:35], 16, 64) // low 64 bits of the 128-bit field
+	if err != nil {
+		return 0, 0, false
+	}
+	sid, err := strconv.ParseUint(v[36:52], 16, 64)
+	if err != nil || tid == 0 {
+		return 0, 0, false
+	}
+	return tid, sid, true
+}
+
+// FormatID renders a trace ID the way /debug/trace?id= accepts it.
+func FormatID(id uint64) string { return pad16(id) }
+
+// ParseID accepts a 16- or 32-hex-digit trace ID (the 32 form keeps only
+// the low 64 bits, matching HeaderValue's padding).
+func ParseID(s string) (uint64, bool) {
+	if len(s) == 32 {
+		s = s[16:]
+	}
+	if len(s) != 16 {
+		return 0, false
+	}
+	id, err := strconv.ParseUint(s, 16, 64)
+	return id, err == nil && id != 0
+}
+
+func pad16(v uint64) string {
+	const hexdigits = "0123456789abcdef"
+	var b [16]byte
+	for i := 15; i >= 0; i-- {
+		b[i] = hexdigits[v&0xf]
+		v >>= 4
+	}
+	return string(b[:])
+}
+
+func pad32(v uint64) string { return "0000000000000000" + pad16(v) }
+
+// randID draws a nonzero 64-bit ID.
+func randID() uint64 {
+	for {
+		if v := rand.Uint64(); v != 0 {
+			return v
+		}
+	}
+}

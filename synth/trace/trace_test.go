@@ -1,0 +1,348 @@
+package trace
+
+import (
+	"bytes"
+	"context"
+	"encoding/json"
+	"strings"
+	"testing"
+	"time"
+)
+
+func TestSpanTree(t *testing.T) {
+	tr := New(Config{SampleRatio: 1})
+	root := tr.Start("request")
+	if root == nil {
+		t.Fatal("SampleRatio=1 must always sample")
+	}
+	root.SetAttr("request_id", "abc")
+	root.SetAttr("eps", 1e-3)
+	root.SetAttr("ops", 7)
+	root.SetAttr("hit", true)
+	root.SetAttr("wait", 5*time.Millisecond)
+	root.SetAttr("ignored", struct{}{})
+
+	c1 := root.Child("pass:lower")
+	c2 := c1.Child("synth")
+	c2.End()
+	c1.End()
+	root.End()
+
+	if got := root.Attr("request_id"); got != "abc" {
+		t.Errorf("Attr(request_id) = %q", got)
+	}
+	if got := root.Attr("eps"); got != "0.001" {
+		t.Errorf("Attr(eps) = %q", got)
+	}
+	if got := root.Attr("ignored"); got != "" {
+		t.Errorf("unsupported attr type should be dropped, got %q", got)
+	}
+	if len(root.Attrs()) != 5 {
+		t.Errorf("want 5 attrs, got %d", len(root.Attrs()))
+	}
+
+	var names []string
+	root.Walk(func(s *Span) { names = append(names, s.Name()) })
+	want := []string{"request", "pass:lower", "synth"}
+	if len(names) != len(want) {
+		t.Fatalf("walk visited %v, want %v", names, want)
+	}
+	for i := range want {
+		if names[i] != want[i] {
+			t.Fatalf("walk visited %v, want %v", names, want)
+		}
+	}
+	for _, s := range []*Span{c1, c2} {
+		if s.TraceID() != root.TraceID() {
+			t.Errorf("child trace id %x != root %x", s.TraceID(), root.TraceID())
+		}
+	}
+	if c2.parent != c1.id {
+		t.Errorf("child parent id not linked")
+	}
+	if root.Duration() <= 0 {
+		t.Errorf("ended root must have positive duration")
+	}
+
+	kept := tr.Collect(root.TraceID())
+	if len(kept) != 1 || kept[0] != root {
+		t.Fatalf("Collect returned %d spans", len(kept))
+	}
+	if rec := tr.Recent(0); len(rec) != 1 || rec[0] != root {
+		t.Fatalf("Recent returned %d spans", len(rec))
+	}
+}
+
+func TestNilSafety(t *testing.T) {
+	var s *Span
+	var tr *Tracer
+	// None of these may panic, and all must degrade to "tracing off".
+	if tr.Start("x") != nil {
+		t.Error("nil tracer must not sample")
+	}
+	if tr.StartRemote(1, 2, "x") != nil {
+		t.Error("nil tracer must not start remote fragments")
+	}
+	if tr.Collect(1) != nil || tr.Recent(5) != nil {
+		t.Error("nil tracer must return no traces")
+	}
+	if c := s.Child("y"); c != nil {
+		t.Error("nil span must produce nil children")
+	}
+	s.End()
+	s.SetAttr("k", "v")
+	s.Walk(func(*Span) { t.Error("walk on nil must not visit") })
+	if s.TraceID() != 0 || s.Name() != "" || s.Duration() != 0 || s.HeaderValue() != "" {
+		t.Error("nil span accessors must return zero values")
+	}
+	if s.Attrs() != nil || s.Children() != nil || s.Attr("k") != "" {
+		t.Error("nil span collections must be empty")
+	}
+	if !s.Start().IsZero() {
+		t.Error("nil span start must be zero")
+	}
+	ctx := NewContext(context.Background(), s)
+	if FromContext(ctx) != nil {
+		t.Error("nil span must round-trip through context as nil")
+	}
+}
+
+func TestSamplingRatio(t *testing.T) {
+	never := New(Config{SampleRatio: 0})
+	for i := 0; i < 100; i++ {
+		if never.Start("x") != nil {
+			t.Fatal("ratio 0 sampled")
+		}
+	}
+	always := New(Config{SampleRatio: 1})
+	for i := 0; i < 100; i++ {
+		s := always.Start("x")
+		if s == nil {
+			t.Fatal("ratio 1 skipped")
+		}
+		s.End()
+	}
+	half := New(Config{SampleRatio: 0.5, RingSize: 4096})
+	n := 0
+	for i := 0; i < 2000; i++ {
+		if s := half.Start("x"); s != nil {
+			n++
+			s.End()
+		}
+	}
+	if n < 800 || n > 1200 {
+		t.Errorf("ratio 0.5 sampled %d/2000", n)
+	}
+}
+
+func TestSlowOnly(t *testing.T) {
+	tr := New(Config{SampleRatio: 1, SlowOnly: 20 * time.Millisecond})
+	fast := tr.Start("fast")
+	fast.End()
+	if got := tr.Collect(fast.TraceID()); len(got) != 0 {
+		t.Errorf("fast trace kept despite SlowOnly")
+	}
+	slow := tr.Start("slow")
+	slow.start = slow.start.Add(-time.Second) // synthesize a slow request
+	slow.End()
+	if got := tr.Collect(slow.TraceID()); len(got) != 1 {
+		t.Errorf("slow trace dropped")
+	}
+	// Remote fragments bypass the slow-only filter: the origin sampled.
+	frag := tr.StartRemote(slow.TraceID(), slow.id, "peer.serve")
+	frag.End()
+	if got := tr.Collect(slow.TraceID()); len(got) != 2 {
+		t.Errorf("remote fragment dropped, got %d spans", len(got))
+	}
+}
+
+func TestRingTrim(t *testing.T) {
+	tr := New(Config{SampleRatio: 1, RingSize: 3})
+	var last *Span
+	for i := 0; i < 10; i++ {
+		last = tr.Start("x")
+		last.End()
+	}
+	rec := tr.Recent(0)
+	if len(rec) != 3 {
+		t.Fatalf("ring holds %d, want 3", len(rec))
+	}
+	if rec[0] != last {
+		t.Errorf("Recent must be newest first")
+	}
+}
+
+func TestHeaderRoundTrip(t *testing.T) {
+	tr := New(Config{SampleRatio: 1})
+	s := tr.Start("req")
+	defer s.End()
+	h := s.HeaderValue()
+	if len(h) != 55 || !strings.HasPrefix(h, "00-") {
+		t.Fatalf("bad header %q", h)
+	}
+	tid, sid, ok := ParseHeaderValue(h)
+	if !ok || tid != s.TraceID() || sid != s.id {
+		t.Fatalf("round trip got (%x,%x,%v), want (%x,%x)", tid, sid, ok, s.TraceID(), s.id)
+	}
+	for _, bad := range []string{
+		"", "garbage", h[:54], h + "0",
+		"01-" + h[3:],
+		strings.Replace(h, "-", "_", 1),
+		"00-00000000000000000000000000000000-0000000000000000-01",
+	} {
+		if _, _, ok := ParseHeaderValue(bad); ok {
+			t.Errorf("ParseHeaderValue accepted %q", bad)
+		}
+	}
+}
+
+func TestParseID(t *testing.T) {
+	id := uint64(0xdeadbeef12345678)
+	f := FormatID(id)
+	if len(f) != 16 {
+		t.Fatalf("FormatID length %d", len(f))
+	}
+	if got, ok := ParseID(f); !ok || got != id {
+		t.Fatalf("ParseID(16) = %x,%v", got, ok)
+	}
+	if got, ok := ParseID("0000000000000000" + f); !ok || got != id {
+		t.Fatalf("ParseID(32) = %x,%v", got, ok)
+	}
+	for _, bad := range []string{"", "xyz", "0000000000000000", f[:15]} {
+		if _, ok := ParseID(bad); ok {
+			t.Errorf("ParseID accepted %q", bad)
+		}
+	}
+}
+
+func TestContextPropagation(t *testing.T) {
+	tr := New(Config{SampleRatio: 1})
+	s := tr.Start("req")
+	defer s.End()
+	ctx := NewContext(context.Background(), s)
+	if FromContext(ctx) != s {
+		t.Fatal("context did not carry span")
+	}
+	if FromContext(context.Background()) != nil {
+		t.Fatal("empty context must yield nil span")
+	}
+}
+
+func TestWriteChrome(t *testing.T) {
+	tr := New(Config{SampleRatio: 1})
+	root := tr.Start("/v1/compile")
+	root.SetAttr("node", "node-a")
+	p := root.Child("pipeline")
+	p.Child("pass:lower").End()
+	p.End()
+	root.End()
+	frag := tr.StartRemote(root.TraceID(), root.id, "peer.serve")
+	frag.SetAttr("node", "node-b")
+	frag.End()
+
+	var buf bytes.Buffer
+	if err := WriteChrome(&buf, root, frag); err != nil {
+		t.Fatal(err)
+	}
+	var f struct {
+		TraceEvents []struct {
+			Name string            `json:"name"`
+			Ph   string            `json:"ph"`
+			Pid  int               `json:"pid"`
+			Tid  int               `json:"tid"`
+			Args map[string]string `json:"args"`
+		} `json:"traceEvents"`
+		DisplayTimeUnit string `json:"displayTimeUnit"`
+	}
+	if err := json.Unmarshal(buf.Bytes(), &f); err != nil {
+		t.Fatalf("exporter wrote invalid JSON: %v", err)
+	}
+	if f.DisplayTimeUnit != "ms" {
+		t.Errorf("displayTimeUnit = %q", f.DisplayTimeUnit)
+	}
+	// 2 process_name metadata + 4 spans.
+	var meta, spans int
+	pids := map[int]bool{}
+	for _, e := range f.TraceEvents {
+		switch e.Ph {
+		case "M":
+			meta++
+		case "X":
+			spans++
+			pids[e.Pid] = true
+			if e.Args["trace_id"] != FormatID(root.TraceID()) {
+				t.Errorf("span %q trace_id = %q", e.Name, e.Args["trace_id"])
+			}
+		default:
+			t.Errorf("unexpected phase %q", e.Ph)
+		}
+	}
+	if meta != 2 || spans != 4 {
+		t.Errorf("got %d metadata + %d span events, want 2+4", meta, spans)
+	}
+	if len(pids) != 2 {
+		t.Errorf("stitched roots must land on distinct pids, got %v", pids)
+	}
+}
+
+func TestWriteChromeLanes(t *testing.T) {
+	// Two children overlapping in time must land on different lanes;
+	// a nested child must share its parent's lane so Chrome nests it.
+	tr := New(Config{SampleRatio: 1})
+	root := tr.Start("root")
+	a := root.Child("a")
+	b := root.Child("b") // starts before a ends -> overlap
+	inner := a.Child("a.inner")
+	inner.End()
+	a.End()
+	b.End()
+	root.End()
+
+	var buf bytes.Buffer
+	if err := WriteChrome(&buf, root); err != nil {
+		t.Fatal(err)
+	}
+	var f chromeFile
+	if err := json.Unmarshal(buf.Bytes(), &f); err != nil {
+		t.Fatal(err)
+	}
+	lane := map[string]int{}
+	for _, e := range f.TraceEvents {
+		if e.Ph == "X" {
+			lane[e.Name] = e.Tid
+		}
+	}
+	if lane["a"] == lane["b"] {
+		t.Errorf("overlapping siblings share lane %d", lane["a"])
+	}
+	if lane["a.inner"] != lane["a"] {
+		t.Errorf("nested child on lane %d, parent on %d", lane["a.inner"], lane["a"])
+	}
+	if lane["root"] != lane["a"] {
+		t.Errorf("first child chain must inherit root lane")
+	}
+}
+
+func TestWriteText(t *testing.T) {
+	tr := New(Config{SampleRatio: 1})
+	root := tr.Start("/v1/compile")
+	root.SetAttr("request_id", "r1")
+	root.Child("queue.wait").End()
+	root.End()
+
+	var buf bytes.Buffer
+	WriteText(&buf, root)
+	out := buf.String()
+	lines := strings.Split(strings.TrimRight(out, "\n"), "\n")
+	if len(lines) != 2 {
+		t.Fatalf("want 2 lines, got %d:\n%s", len(lines), out)
+	}
+	if !strings.Contains(lines[0], FormatID(root.TraceID())) ||
+		!strings.Contains(lines[0], "/v1/compile") ||
+		!strings.Contains(lines[0], "request_id=r1") {
+		t.Errorf("root line malformed: %q", lines[0])
+	}
+	if !strings.Contains(lines[1], "queue.wait") || strings.Contains(lines[1], FormatID(root.TraceID())) {
+		t.Errorf("child line malformed: %q", lines[1])
+	}
+}
