@@ -36,7 +36,10 @@
 // /debug/trace, so profiling never shares a port with the service API.
 //
 // Endpoints: POST /v1/compile, POST /v1/synthesize, GET /healthz,
-// GET /metrics, GET /debug/trace. Compile requests can enable the
+// GET /metrics, GET /v1/stats (add ?cluster=1 for the federated fleet
+// view; cmd/synthtop renders it live), GET /debug/trace. With -snapshot,
+// fleet statistics persist across restarts in the <snapshot>.stats
+// sidecar. Compile requests can enable the
 // T-count optimizer via opt_level / optimizers (the stats then carry
 // t_count_before / t_count_after, and /metrics totals
 // synthd_t_reclaimed_total across all compiles). See synth/serve for
@@ -185,6 +188,7 @@ func main() {
 		Logger:         logger,
 	})
 	cache := srv.Cache()
+	statsPath := ""
 	if *snapshot != "" {
 		n, err := cache.LoadFile(*snapshot)
 		switch {
@@ -197,6 +201,19 @@ func main() {
 			// a startup outage: the cache is pure recomputable state, so
 			// log, start cold, and let the shutdown flush overwrite it.
 			logger.Warn("ignoring unreadable snapshot, starting cold", "path", *snapshot, "err", err)
+		}
+		// Fleet statistics persist as a sidecar next to the cache snapshot,
+		// with the same degrade discipline: a corrupt or prior-version file
+		// means empty statistics, never a startup failure — and never stops
+		// the warm cache itself from loading.
+		statsPath = *snapshot + ".stats"
+		switch err := srv.Obs().LoadFile(statsPath); {
+		case err == nil:
+			logger.Info("stats sidecar loaded", "path", statsPath)
+		case os.IsNotExist(err):
+			logger.Info("no stats sidecar, starting empty", "path", statsPath)
+		default:
+			logger.Warn("ignoring unreadable stats sidecar, starting empty", "path", statsPath, "err", err)
 		}
 	}
 
@@ -290,6 +307,13 @@ func main() {
 		st := cache.Stats()
 		logger.Info("snapshot flushed", "entries", st.Size, "path", *snapshot,
 			"lifetime_hits", st.Hits, "lifetime_misses", st.Misses)
+		if err := srv.Obs().SaveFile(statsPath); err != nil {
+			// Statistics are advisory; losing them must not fail shutdown
+			// after the cache flushed fine.
+			logger.Warn("flushing stats sidecar failed", "path", statsPath, "err", err)
+		} else {
+			logger.Info("stats sidecar flushed", "path", statsPath)
+		}
 	}
 	if err := <-errc; err != nil && !errors.Is(err, http.ErrServerClosed) {
 		fatalf(logger, "serve: %v", err)

@@ -78,6 +78,27 @@ type entry struct {
 	Machine    machine `json:"machine"`
 	Note       string  `json:"note,omitempty"`
 	TenantsRun string  `json:"tenant,omitempty"`
+
+	// Backends is the server-side attribution scraped from /v1/stats
+	// after the run (federated when multiple targets were driven): which
+	// backend actually served each (ε-band, class) cell and at what
+	// latency quantiles — numbers client-side timing cannot see.
+	Backends []backendStat `json:"backends,omitempty"`
+}
+
+// backendStat is one /v1/stats cell flattened for the bench record.
+type backendStat struct {
+	Backend     string  `json:"backend"`
+	EpsBand     string  `json:"eps_band"`
+	Class       string  `json:"class"`
+	Count       int64   `json:"count"`
+	CacheHits   int64   `json:"cache_hits"`
+	Synthesized int64   `json:"synthesized"`
+	Wins        int64   `json:"wins"`
+	Losses      int64   `json:"losses"`
+	P50Ms       float64 `json:"p50_ms"`
+	P95Ms       float64 `json:"p95_ms"`
+	P99Ms       float64 `json:"p99_ms"`
 }
 
 type machine struct {
@@ -239,10 +260,34 @@ func main() {
 		GoVersion:  runtime.Version(),
 	}
 
+	// Server-side backend attribution: scrape /v1/stats from the first
+	// target (federated when the run drove several — any cluster member
+	// answers for the fleet). Best effort: a daemon predating the endpoint
+	// costs the table, not the run.
+	sctx, scancel := context.WithTimeout(ctx, *reqTO)
+	if stats, err := clients[0].Stats(sctx, len(urls) > 1); err != nil {
+		fmt.Fprintf(os.Stderr, "synthload: scraping /v1/stats: %v (skipping backend table)\n", err)
+	} else {
+		for _, c := range stats.Fleet.Cells {
+			ent.Backends = append(ent.Backends, backendStat{
+				Backend: c.Backend, EpsBand: c.EpsBand, Class: c.Class,
+				Count: c.Count, CacheHits: c.CacheHits, Synthesized: c.Synthesized,
+				Wins: c.Wins, Losses: c.Losses,
+				P50Ms: c.P50Ms, P95Ms: c.P95Ms, P99Ms: c.P99Ms,
+			})
+		}
+	}
+	scancel()
+
 	fmt.Printf("synthload: %d req  ok=%d throttled=%d rejected=%d errors=%d  "+
 		"p50=%.1fms p99=%.1fms  hit_rate=%.3f  achieved=%.1f rps\n",
 		ent.Requests, ent.OK, ent.Throttled, ent.Rejected, ent.Errors,
 		ent.P50Ms, ent.P99Ms, ent.HitRate, ent.AchievedR)
+	for _, b := range ent.Backends {
+		fmt.Printf("synthload:   %s %s/%s n=%d hits=%d synth=%d p50=%.2fms p95=%.2fms p99=%.2fms\n",
+			b.Backend, b.EpsBand, b.Class, b.Count, b.CacheHits, b.Synthesized,
+			b.P50Ms, b.P95Ms, b.P99Ms)
+	}
 
 	if *out == "" {
 		return

@@ -1,0 +1,121 @@
+// Command synthtop is a polling terminal dashboard over a synthd fleet's
+// GET /v1/stats: per-node service gauges (cache hit rate, admission
+// queue depth) and the per-backend win-rate/latency table by ε band and
+// angle class, fleet-wide when the target is clustered.
+//
+// Usage:
+//
+//	synthtop -target http://127.0.0.1:8077            # refresh every 2s
+//	synthtop -target http://127.0.0.1:8077 -once      # one shot (CI)
+//	synthtop -target http://node-a:8077 -local        # this node only
+//
+// Against a cluster member the dashboard asks for ?cluster=1, so any one
+// node renders the whole ring: the per-node table lists every member
+// (unreachable peers show their error) and the cell table is the merged
+// fleet view — counts are exact sums, quantiles come from merged
+// sketches. -once renders a single frame and exits 0 on success, nonzero
+// if the target cannot be scraped — the shape CI smoke tests want.
+package main
+
+import (
+	"context"
+	"flag"
+	"fmt"
+	"io"
+	"os"
+	"os/signal"
+	"syscall"
+	"time"
+
+	"repro/synth/serve"
+	"repro/synth/serve/client"
+)
+
+func main() {
+	var (
+		target   = flag.String("target", "http://127.0.0.1:8077", "synthd base URL to scrape")
+		once     = flag.Bool("once", false, "render one frame and exit (no screen clearing)")
+		interval = flag.Duration("interval", 2*time.Second, "refresh interval")
+		local    = flag.Bool("local", false, "show only the target node (skip ?cluster=1 federation)")
+	)
+	flag.Parse()
+
+	cl := client.New(*target)
+	ctx, stop := signal.NotifyContext(context.Background(), syscall.SIGINT, syscall.SIGTERM)
+	defer stop()
+
+	frame := func() error {
+		fctx, cancel := context.WithTimeout(ctx, 30*time.Second)
+		defer cancel()
+		resp, err := cl.Stats(fctx, !*local)
+		if err != nil {
+			return err
+		}
+		if !*once {
+			fmt.Print("\033[H\033[2J") // home + clear
+		}
+		render(os.Stdout, *target, resp)
+		return nil
+	}
+
+	if *once {
+		if err := frame(); err != nil {
+			fmt.Fprintf(os.Stderr, "synthtop: %v\n", err)
+			os.Exit(1)
+		}
+		return
+	}
+	for {
+		if err := frame(); err != nil {
+			// A refreshing dashboard rides out a restarting daemon instead
+			// of dying mid-deploy.
+			fmt.Fprintf(os.Stderr, "synthtop: %v (retrying)\n", err)
+		}
+		select {
+		case <-ctx.Done():
+			return
+		case <-time.After(*interval):
+		}
+	}
+}
+
+// render writes one dashboard frame: a header, the per-node table, and
+// the per-cell statistics table of the fleet view.
+func render(w io.Writer, target string, resp *serve.StatsResponse) {
+	mode := "local"
+	if resp.Cluster {
+		mode = fmt.Sprintf("cluster of %d", len(resp.Nodes))
+	}
+	f := resp.Fleet
+	fmt.Fprintf(w, "synthtop — %s (%s) at %s\n", target, mode, time.Now().Format("15:04:05"))
+	fmt.Fprintf(w, "fleet: cache %d entries, hit rate %.1f%%, inflight %d, queued %d\n\n",
+		f.CacheSize, 100*f.HitRate, f.Inflight, f.QueueDepth)
+
+	fmt.Fprintf(w, "%-10s %10s %8s %9s %9s %7s %7s\n",
+		"NODE", "UPTIME", "CACHE", "HITRATE", "INFLIGHT", "QUEUE", "CELLS")
+	for _, n := range resp.Nodes {
+		if n.Error != "" {
+			fmt.Fprintf(w, "%-10s unreachable: %s\n", n.Node, n.Error)
+			continue
+		}
+		fmt.Fprintf(w, "%-10s %10s %8d %8.1f%% %9d %7d %7d\n",
+			n.Node, (time.Duration(n.UptimeMs) * time.Millisecond).Round(time.Second),
+			n.CacheSize, 100*n.HitRate, n.Inflight, n.QueueDepth, len(n.Cells))
+	}
+
+	fmt.Fprintf(w, "\n%-10s %-8s %-8s %7s %6s %6s %6s %7s %7s %8s %8s %8s\n",
+		"BACKEND", "EPS", "CLASS", "N", "WIN%", "HITS", "SYNTH", "ERRS", "meanT", "p50ms", "p95ms", "p99ms")
+	if len(f.Cells) == 0 {
+		fmt.Fprintln(w, "(no observations yet)")
+		return
+	}
+	for _, c := range f.Cells {
+		winRate := 0.0
+		if races := c.Wins + c.Losses; races > 0 {
+			winRate = 100 * float64(c.Wins) / float64(races)
+		}
+		fmt.Fprintf(w, "%-10s %-8s %-8s %7d %5.1f%% %6d %6d %7d %7.1f %8.2f %8.2f %8.2f\n",
+			c.Backend, c.EpsBand, c.Class, c.Count, winRate,
+			c.CacheHits, c.Synthesized, c.Errors, c.MeanT, c.P50Ms, c.P95Ms, c.P99Ms)
+	}
+}

@@ -1,0 +1,60 @@
+package main
+
+import (
+	"bytes"
+	"strings"
+	"testing"
+
+	"repro/synth/serve"
+)
+
+func TestRenderClusterFrame(t *testing.T) {
+	resp := &serve.StatsResponse{
+		Cluster: true,
+		Fleet: serve.NodeStats{
+			Node: "fleet", CacheSize: 12, CacheHits: 9, CacheMisses: 3, HitRate: 0.75,
+			Cells: []serve.StatsCell{
+				{Backend: "gridsynth", EpsBand: "1e-2", Class: "generic",
+					Count: 10, CacheHits: 4, Synthesized: 6, Wins: 5, Losses: 1,
+					MeanT: 41.5, P50Ms: 2.2, P95Ms: 8.1, P99Ms: 12.4},
+				{Backend: "trasyn", EpsBand: "1e-3", Class: "pi4",
+					Count: 3, Synthesized: 3, Wins: 1, Losses: 2, MeanT: 7},
+			},
+		},
+		Nodes: []serve.NodeStats{
+			{Node: "a", UptimeMs: 60000, CacheSize: 8, HitRate: 0.8,
+				Cells: []serve.StatsCell{{Backend: "gridsynth"}}},
+			{Node: "b", Error: "connection refused"},
+		},
+	}
+	var buf bytes.Buffer
+	render(&buf, "http://node-a:8077", resp)
+	out := buf.String()
+
+	for _, want := range []string{
+		"cluster of 2",
+		"hit rate 75.0%",
+		"BACKEND", "NODE", // both table headers
+		"gridsynth", "trasyn", // every backend that ran appears
+		"1e-2", "pi4",
+		"unreachable: connection refused", // dead peer shows its error
+		"1m0s",                            // node a's uptime
+	} {
+		if !strings.Contains(out, want) {
+			t.Errorf("frame missing %q:\n%s", want, out)
+		}
+	}
+	// Win rate for gridsynth: 5 of 6 races.
+	if !strings.Contains(out, "83.3%") {
+		t.Errorf("win rate not rendered:\n%s", out)
+	}
+}
+
+func TestRenderEmpty(t *testing.T) {
+	var buf bytes.Buffer
+	render(&buf, "http://x", &serve.StatsResponse{Nodes: []serve.NodeStats{{Node: "solo"}}})
+	out := buf.String()
+	if !strings.Contains(out, "(no observations yet)") || !strings.Contains(out, "local") {
+		t.Errorf("empty frame:\n%s", out)
+	}
+}

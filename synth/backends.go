@@ -207,8 +207,9 @@ func (a autoBackend) Synthesize(ctx context.Context, target qmat.M2, req Request
 	sub := req
 	sub.Epsilon = req.eps()
 	type out struct {
-		res Result
-		err error
+		res  Result
+		err  error
+		wall time.Duration
 	}
 	span := trace.FromContext(ctx)
 	var wg sync.WaitGroup
@@ -218,6 +219,7 @@ func (a autoBackend) Synthesize(ctx context.Context, target qmat.M2, req Request
 		go func(i int, be Backend) {
 			defer wg.Done()
 			rs := span.Child("race:" + be.Name())
+			start := time.Now()
 			r, err := be.Synthesize(trace.NewContext(ctx, rs), target, sub)
 			if err != nil {
 				rs.SetAttr("error", err.Error())
@@ -226,22 +228,39 @@ func (a autoBackend) Synthesize(ctx context.Context, target qmat.M2, req Request
 				rs.SetAttr("err_dist", r.Error)
 			}
 			rs.End()
-			outs[i] = out{r, err}
+			outs[i] = out{r, err, time.Since(start)}
 		}(i, be)
 	}
 	wg.Wait()
-	best, found := Result{Error: math.Inf(1)}, false
-	for _, o := range outs {
+	best, bestIdx := Result{Error: math.Inf(1)}, -1
+	for i, o := range outs {
 		if o.err != nil {
 			continue
 		}
-		if !found {
-			best, found = o.res, true
-			continue
+		if bestIdx < 0 || beats(o.res, best, sub.Epsilon) {
+			best, bestIdx = o.res, i
 		}
-		best = pickWinner(best, o.res, sub.Epsilon)
 	}
-	if !found {
+	// Report every non-winning racer — losers with their own timing,
+	// failures flagged — so win-rate statistics see both sides of every
+	// race. The winner itself is reported by the compiler, which also
+	// stamps the angle class on these.
+	if obs := raceObserver(ctx); obs != nil {
+		for i, o := range outs {
+			if i == bestIdx {
+				continue
+			}
+			so := SynthObservation{Backend: racers[i].Name(), Epsilon: sub.eps(), Wall: o.wall}
+			if o.err != nil {
+				so.Failed = true
+			} else {
+				so.TCount = o.res.TCount
+				so.ErrDist = o.res.Error
+			}
+			obs(so)
+		}
+	}
+	if bestIdx < 0 {
 		if err := ctx.Err(); err != nil {
 			return Result{}, err
 		}
@@ -258,21 +277,24 @@ func (a autoBackend) Synthesize(ctx context.Context, target qmat.M2, req Request
 // pickWinner prefers the lower T count among results meeting eps, then the
 // lower error.
 func pickWinner(a, b Result, eps float64) Result {
+	if beats(b, a, eps) {
+		return b
+	}
+	return a
+}
+
+// beats reports whether b strictly wins over a: meeting eps beats
+// missing it, then lower T count, then lower error. Ties keep a.
+func beats(b, a Result, eps float64) bool {
 	aOK, bOK := a.Error <= eps, b.Error <= eps
 	switch {
-	case aOK && !bOK:
-		return a
 	case bOK && !aOK:
-		return b
+		return true
+	case aOK && !bOK:
+		return false
 	case aOK && bOK:
-		if b.TCount < a.TCount || (b.TCount == a.TCount && b.Error < a.Error) {
-			return b
-		}
-		return a
+		return b.TCount < a.TCount || (b.TCount == a.TCount && b.Error < a.Error)
 	default:
-		if b.Error < a.Error {
-			return b
-		}
-		return a
+		return b.Error < a.Error
 	}
 }

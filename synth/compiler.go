@@ -3,6 +3,7 @@ package synth
 import (
 	"context"
 	"fmt"
+	"math"
 	"runtime"
 	"strconv"
 	"sync"
@@ -71,13 +72,35 @@ type Compiler struct {
 	mu sync.Mutex
 }
 
-// SynthObservation is one completed synthesis, as reported to
-// Compiler.Observe: the backend that produced the result (the winner, for
-// racing backends), the epsilon it ran under, and its wall-clock time.
+// SynthObservation is one synthesis event, as reported to
+// Compiler.Observe. Successful syntheses report the producing backend
+// with Won=true; racing backends additionally report each loser
+// (Won=false) and each failed racer (Failed=true), so win-rate
+// statistics see both sides of every race. Cache hits are reported with
+// CacheHit=true and zero Wall — the work was amortized, not performed.
 type SynthObservation struct {
+	// Backend produced (or attempted) the sequence — the individual racer
+	// for auto's loser/error reports, never "auto" itself.
 	Backend string
+	// Epsilon is the threshold the synthesis ran under.
 	Epsilon float64
-	Wall    time.Duration
+	// Wall is the synthesis wall-clock time (zero for cache hits).
+	Wall time.Duration
+	// Class is the op's bounded angle class (ObsClass vocabulary).
+	Class string
+	// TCount is the result's T-gate count; -1 when unknown (a cache hit
+	// on an entry still being synthesized by a concurrent job).
+	TCount int
+	// ErrDist is the realized operator-distance error of the sequence.
+	ErrDist float64
+	// CacheHit marks a lookup served from cache instead of synthesis.
+	CacheHit bool
+	// Won is true for the result actually used (every non-racing
+	// synthesis, or the race winner); false for a race loser.
+	Won bool
+	// Failed marks a racer that returned an error; only Backend, Epsilon,
+	// Class and Wall are meaningful then.
+	Failed bool
 }
 
 // NewCompiler returns a Compiler over b with a fresh bounded cache.
@@ -140,10 +163,12 @@ func (c *Compiler) scanJobs(ctx context.Context, jobs []opJob) (missing []opJob,
 		if pending[j.k] {
 			cache.creditHit()
 			hits++
+			c.observeHit(j, Entry{}, false)
 			continue
 		}
-		if _, ok := cache.GetCtx(ctx, j.k); ok {
+		if e, ok := cache.GetCtx(ctx, j.k); ok {
 			hits++
+			c.observeHit(j, e, true)
 			continue
 		}
 		misses++
@@ -151,6 +176,31 @@ func (c *Compiler) scanJobs(ctx context.Context, jobs []opJob) (missing []opJob,
 		missing = append(missing, j)
 	}
 	return missing, hits, misses
+}
+
+// observeHit reports a cache hit to the Observe hook. On the
+// pending-dedup path the entry does not exist yet (a concurrent job is
+// still synthesizing it), so TCount is the -1 "unknown" sentinel and
+// ErrDist is zero; a materialized entry reports its real metadata.
+func (c *Compiler) observeHit(j opJob, e Entry, materialized bool) {
+	if c.Observe == nil {
+		return
+	}
+	o := SynthObservation{
+		Backend:  c.Backend.Name(),
+		Epsilon:  j.req.eps(),
+		Class:    j.k.obsClass(),
+		TCount:   -1,
+		CacheHit: true,
+	}
+	if materialized {
+		if e.Backend != "" {
+			o.Backend = e.Backend
+		}
+		o.TCount = e.Seq.TCount()
+		o.ErrDist = e.Err
+	}
+	c.Observe(o)
 }
 
 // synthesizeMissing runs the worker pool over the distinct missing jobs,
@@ -222,11 +272,22 @@ feed:
 // auto's racer spans) nest under it.
 func (c *Compiler) synthOne(ctx context.Context, j opJob) (Result, error) {
 	req := j.derived()
+	class := j.k.obsClass()
 	sp := trace.FromContext(ctx).Child("synth")
 	if sp != nil {
 		sp.SetAttr("class", j.k.angleClass())
 		sp.SetAttr("eps", req.eps())
 		ctx = trace.NewContext(ctx, sp)
+	}
+	if c.Observe != nil {
+		// Racing backends report losers and failed racers through the
+		// context; the hook stamps the op's class, which only the compiler
+		// knows.
+		obs := c.Observe
+		ctx = withRaceObserver(ctx, func(o SynthObservation) {
+			o.Class = class
+			obs(o)
+		})
 	}
 	res, err := c.Backend.Synthesize(ctx, j.target, req)
 	if sp != nil {
@@ -240,9 +301,65 @@ func (c *Compiler) synthOne(ctx context.Context, j opJob) (Result, error) {
 		sp.End()
 	}
 	if err == nil && c.Observe != nil {
-		c.Observe(SynthObservation{Backend: res.Backend, Epsilon: req.eps(), Wall: res.Wall})
+		c.Observe(SynthObservation{
+			Backend: res.Backend,
+			Epsilon: req.eps(),
+			Wall:    res.Wall,
+			Class:   class,
+			TCount:  res.TCount,
+			ErrDist: res.Error,
+			Won:     true,
+		})
 	}
 	return res, err
+}
+
+// ObsClasses is the bounded angle-class vocabulary statistics are keyed
+// on: unlike angleClass (one string per distinct quantized angle,
+// unbounded), obsClass buckets every op into one of these five, so a
+// per-(backend, ε-band, class) statistics table stays bounded no matter
+// the traffic.
+var ObsClasses = []string{"pi2", "pi4", "dyadic", "generic", "u3"}
+
+// obsClass buckets the key's angle: exact multiples of π/2 ("pi2") or
+// π/4 ("pi4") — the Clifford and Clifford+T fixed points — then other
+// dyadic fractions k·π/2^j, j ≤ 12 ("dyadic", the angles iterative
+// phase estimation and QFT produce), then everything else ("generic").
+// Genuinely three-angle (U3) keys are their own class: their synthesis
+// splits the budget three ways, so their latency is not comparable to
+// single-Rz. A diagonal U3 key — θ a multiple of 2π — is an Rz in
+// disguise (U3(0,φ,λ) = e^{iα}·Rz(φ+λ)) and classes by its net angle:
+// both the transpiler's U3 basis and matrix-level batch keys (ZYZ
+// angles) express pure-Rz traffic this way, and it must not all
+// collapse into "u3".
+func (k Key) obsClass() string {
+	const q = 1e-12 // inverse of quantizeAngle's scale
+	// Quantization leaves ~1e-12 absolute noise; 1e-9 on the ratio
+	// comfortably covers it without absorbing genuinely nearby angles.
+	mult := func(x, unit float64) bool {
+		r := x / unit
+		return math.Abs(r-math.Round(r)) < 1e-9
+	}
+	theta := float64(k.A) * q
+	if k.B != 0 || k.C != 0 {
+		if !mult(theta, 2*math.Pi) {
+			return "u3"
+		}
+		theta = float64(k.B)*q + float64(k.C)*q
+	}
+	switch {
+	case mult(theta, math.Pi/2):
+		return "pi2"
+	case mult(theta, math.Pi/4):
+		return "pi4"
+	default:
+		for j := 3; j <= 12; j++ {
+			if mult(theta, math.Pi/float64(int64(1)<<j)) {
+				return "dyadic"
+			}
+		}
+		return "generic"
+	}
 }
 
 // angleClass renders the key's gate and quantized angles — the budget
@@ -385,6 +502,7 @@ func (c *Compiler) CompileCircuit(ctx context.Context, circ *circuit.Circuit) (C
 		WithCache(c.cache()),
 		WithIR(c.IR),
 		WithPasses(Transpile(), Lower()),
+		WithSynthObserver(c.Observe),
 	)
 	res, err := pl.Run(ctx, circ)
 	if err != nil {

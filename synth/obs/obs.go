@@ -1,0 +1,212 @@
+package obs
+
+import (
+	"fmt"
+	"math"
+	"sort"
+	"sync"
+
+	"repro/synth"
+)
+
+// DefaultMaxCells bounds the statistics table. The natural cardinality
+// is small — backends × ε decades × the five angle classes — so the cap
+// only matters if a bug floods the cell space; beyond it observations
+// are counted in Dropped rather than growing memory.
+const DefaultMaxCells = 4096
+
+// Cell is the statistics key: which backend, which ε decade, which
+// angle class. Bounded vocabulary in every coordinate keeps the table
+// bounded.
+type Cell struct {
+	Backend string `json:"backend"`
+	EpsBand string `json:"eps_band"`
+	Class   string `json:"class"`
+}
+
+// EpsBand buckets an epsilon into its decade ("1e-3" covers
+// [1e-3, 1e-2)); non-positive epsilons — requests leaving the backend
+// default in force — band to "default".
+func EpsBand(eps float64) string {
+	if eps <= 0 {
+		return "default"
+	}
+	return fmt.Sprintf("1e%d", int(math.Floor(math.Log10(eps)+1e-9)))
+}
+
+// CellStats is one cell's accumulated statistics. Exported fields are
+// the snapshot/wire form; Stats owns all mutation.
+type CellStats struct {
+	// Count is every observation charged to the cell.
+	Count int64 `json:"count"`
+	// Wins/Losses count race outcomes among performed syntheses (a
+	// non-racing synthesis is a win by walkover); Errors counts failed
+	// racers.
+	Wins   int64 `json:"wins"`
+	Losses int64 `json:"losses"`
+	Errors int64 `json:"errors"`
+	// Hits counts cache hits, Synthesized actual syntheses — the
+	// amortization split per cell.
+	Hits        int64 `json:"hits"`
+	Synthesized int64 `json:"synthesized"`
+	// TSum sums T counts over TObs observations with a known T count
+	// (hits on in-flight entries report -1 and are excluded).
+	TSum int64 `json:"t_sum"`
+	TObs int64 `json:"t_obs"`
+	// Wall sketches synthesis wall time; cache hits (zero wall) stay out.
+	Wall Sketch `json:"wall"`
+}
+
+// MeanT returns the mean T count, or 0 with no T observations.
+func (c *CellStats) MeanT() float64 {
+	if c.TObs == 0 {
+		return 0
+	}
+	return float64(c.TSum) / float64(c.TObs)
+}
+
+// merge folds other into c; sketches add losslessly.
+func (c *CellStats) merge(other *CellStats) {
+	c.Count += other.Count
+	c.Wins += other.Wins
+	c.Losses += other.Losses
+	c.Errors += other.Errors
+	c.Hits += other.Hits
+	c.Synthesized += other.Synthesized
+	c.TSum += other.TSum
+	c.TObs += other.TObs
+	c.Wall.Merge(&other.Wall)
+}
+
+// validate is the snapshot-load guard.
+func (c *CellStats) validate() error {
+	for _, v := range []struct {
+		name string
+		n    int64
+	}{
+		{"count", c.Count}, {"wins", c.Wins}, {"losses", c.Losses},
+		{"errors", c.Errors}, {"hits", c.Hits}, {"synthesized", c.Synthesized},
+		{"t_obs", c.TObs},
+	} {
+		if v.n < 0 {
+			return fmt.Errorf("obs: cell %s %d < 0", v.name, v.n)
+		}
+	}
+	if c.Hits+c.Synthesized+c.Errors != c.Count {
+		return fmt.Errorf("obs: cell hits %d + synthesized %d + errors %d != count %d",
+			c.Hits, c.Synthesized, c.Errors, c.Count)
+	}
+	if err := c.Wall.validate(); err != nil {
+		return err
+	}
+	if c.Wall.N != c.Synthesized {
+		return fmt.Errorf("obs: cell wall sketch count %d != synthesized %d", c.Wall.N, c.Synthesized)
+	}
+	return nil
+}
+
+// Stats is the concurrent-safe statistics table a daemon feeds from its
+// SynthObservation hook. The zero value is not usable; call New.
+type Stats struct {
+	mu       sync.Mutex
+	cells    map[Cell]*CellStats
+	dropped  int64
+	maxCells int
+}
+
+// New returns an empty table with the default cell cap.
+func New() *Stats {
+	return &Stats{cells: map[Cell]*CellStats{}, maxCells: DefaultMaxCells}
+}
+
+// Observe charges one observation to its cell. Safe for concurrent use —
+// it is called from synthesis worker goroutines.
+func (s *Stats) Observe(o synth.SynthObservation) {
+	cell := Cell{Backend: o.Backend, EpsBand: EpsBand(o.Epsilon), Class: o.Class}
+	if cell.Class == "" {
+		cell.Class = "generic"
+	}
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	cs := s.cells[cell]
+	if cs == nil {
+		if len(s.cells) >= s.maxCells {
+			s.dropped++
+			return
+		}
+		cs = &CellStats{}
+		s.cells[cell] = cs
+	}
+	cs.Count++
+	switch {
+	case o.Failed:
+		cs.Errors++
+	case o.CacheHit:
+		cs.Hits++
+		if o.TCount >= 0 {
+			cs.TSum += int64(o.TCount)
+			cs.TObs++
+		}
+	default:
+		cs.Synthesized++
+		cs.Wall.Observe(o.Wall)
+		if o.Won {
+			cs.Wins++
+		} else {
+			cs.Losses++
+		}
+		cs.TSum += int64(o.TCount)
+		cs.TObs++
+	}
+}
+
+// Snapshot deep-copies the table into its serializable form, cells
+// sorted by (backend, eps_band, class) for stable output.
+func (s *Stats) Snapshot() *Snapshot {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	sn := &Snapshot{Version: SnapshotVersion, Dropped: s.dropped}
+	for cell, cs := range s.cells {
+		sn.Cells = append(sn.Cells, CellSnapshot{
+			Cell: cell,
+			CellStats: CellStats{
+				Count: cs.Count, Wins: cs.Wins, Losses: cs.Losses, Errors: cs.Errors,
+				Hits: cs.Hits, Synthesized: cs.Synthesized,
+				TSum: cs.TSum, TObs: cs.TObs,
+				Wall: cs.Wall.clone(),
+			},
+		})
+	}
+	sort.Slice(sn.Cells, func(i, j int) bool { return sn.Cells[i].Cell.less(sn.Cells[j].Cell) })
+	return sn
+}
+
+// LoadSnapshot validates sn in full and then replaces the table's
+// contents with it — all-or-nothing, so a corrupt snapshot cannot
+// half-install.
+func (s *Stats) LoadSnapshot(sn *Snapshot) error {
+	if err := sn.Validate(); err != nil {
+		return err
+	}
+	cells := make(map[Cell]*CellStats, len(sn.Cells))
+	for _, c := range sn.Cells {
+		cs := c.CellStats
+		cs.Wall = cs.Wall.clone()
+		cells[c.Cell] = &cs
+	}
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	s.cells = cells
+	s.dropped = sn.Dropped
+	return nil
+}
+
+func (a Cell) less(b Cell) bool {
+	if a.Backend != b.Backend {
+		return a.Backend < b.Backend
+	}
+	if a.EpsBand != b.EpsBand {
+		return a.EpsBand < b.EpsBand
+	}
+	return a.Class < b.Class
+}

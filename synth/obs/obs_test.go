@@ -1,0 +1,206 @@
+package obs
+
+import (
+	"os"
+	"path/filepath"
+	"reflect"
+	"testing"
+	"time"
+
+	"repro/synth"
+)
+
+// seedStats builds a table with one of every observation kind: race
+// winner, race loser, failed racer, materialized cache hit, and a hit
+// on an in-flight entry (unknown T count).
+func seedStats() *Stats {
+	s := New()
+	s.Observe(synth.SynthObservation{ // race winner
+		Backend: "gridsynth", Epsilon: 1e-3, Class: "generic",
+		Wall: 3 * time.Millisecond, TCount: 40, ErrDist: 5e-4, Won: true,
+	})
+	s.Observe(synth.SynthObservation{ // race loser, same cell
+		Backend: "gridsynth", Epsilon: 1e-3, Class: "generic",
+		Wall: 9 * time.Millisecond, TCount: 52, ErrDist: 7e-4,
+	})
+	s.Observe(synth.SynthObservation{ // failed racer
+		Backend: "gridsynth", Epsilon: 1e-3, Class: "generic", Failed: true,
+	})
+	s.Observe(synth.SynthObservation{ // materialized cache hit
+		Backend: "gridsynth", Epsilon: 1e-3, Class: "generic",
+		TCount: 40, ErrDist: 5e-4, CacheHit: true,
+	})
+	s.Observe(synth.SynthObservation{ // hit on in-flight entry: T unknown
+		Backend: "gridsynth", Epsilon: 1e-3, Class: "generic",
+		TCount: -1, CacheHit: true,
+	})
+	s.Observe(synth.SynthObservation{ // different cell: other band+class
+		Backend: "trasyn", Epsilon: 0.3, Class: "pi4",
+		Wall: time.Millisecond, TCount: 8, Won: true,
+	})
+	return s
+}
+
+func TestObserveAccounting(t *testing.T) {
+	sn := seedStats().Snapshot()
+	if len(sn.Cells) != 2 {
+		t.Fatalf("got %d cells, want 2: %+v", len(sn.Cells), sn.Cells)
+	}
+	// Sorted order puts gridsynth first.
+	g := sn.Cells[0]
+	if g.Cell != (Cell{Backend: "gridsynth", EpsBand: "1e-3", Class: "generic"}) {
+		t.Fatalf("unexpected first cell %+v", g.Cell)
+	}
+	if g.Count != 5 || g.Wins != 1 || g.Losses != 1 || g.Errors != 1 || g.Hits != 2 || g.Synthesized != 2 {
+		t.Errorf("gridsynth counters off: %+v", g.CellStats)
+	}
+	// TSum = 40+52 (syntheses) + 40 (materialized hit); the -1 hit is excluded.
+	if g.TSum != 132 || g.TObs != 3 {
+		t.Errorf("T accounting: sum %d obs %d, want 132/3", g.TSum, g.TObs)
+	}
+	if got, want := g.MeanT(), 44.0; got != want {
+		t.Errorf("MeanT %g, want %g", got, want)
+	}
+	if g.Wall.N != 2 {
+		t.Errorf("wall sketch holds %d samples, want 2 (hits and failures stay out)", g.Wall.N)
+	}
+	tr := sn.Cells[1]
+	if tr.Cell != (Cell{Backend: "trasyn", EpsBand: "1e-1", Class: "pi4"}) {
+		t.Fatalf("unexpected second cell %+v", tr.Cell)
+	}
+	if err := sn.Validate(); err != nil {
+		t.Fatalf("live snapshot fails its own validation: %v", err)
+	}
+}
+
+func TestEpsBand(t *testing.T) {
+	for _, tc := range []struct {
+		eps  float64
+		want string
+	}{
+		{0, "default"}, {-1, "default"},
+		{1e-2, "1e-2"}, {0.03, "1e-2"}, {0.3, "1e-1"},
+		{1e-10, "1e-10"}, {1, "1e0"},
+	} {
+		if got := EpsBand(tc.eps); got != tc.want {
+			t.Errorf("EpsBand(%g) = %q, want %q", tc.eps, got, tc.want)
+		}
+	}
+}
+
+func TestSnapshotFileRoundTrip(t *testing.T) {
+	path := filepath.Join(t.TempDir(), "snap.stats")
+	s := seedStats()
+	if err := s.SaveFile(path); err != nil {
+		t.Fatalf("SaveFile: %v", err)
+	}
+	// "Restart": a fresh table loads the sidecar and matches exactly.
+	s2 := New()
+	if err := s2.LoadFile(path); err != nil {
+		t.Fatalf("LoadFile: %v", err)
+	}
+	if !reflect.DeepEqual(s.Snapshot(), s2.Snapshot()) {
+		t.Fatalf("snapshot changed across save/load round trip")
+	}
+	// And the restored table keeps accumulating.
+	s2.Observe(synth.SynthObservation{Backend: "gridsynth", Epsilon: 1e-3, Class: "generic", CacheHit: true, TCount: -1})
+	if got := s2.Snapshot().Cells[0].Count; got != 6 {
+		t.Fatalf("post-restore count %d, want 6", got)
+	}
+}
+
+// TestLoadDegradesToEmpty: corrupt bytes, a prior-version snapshot, and
+// an invariant-violating snapshot all error out of LoadFile without
+// touching the table — the daemon logs and starts with empty stats.
+func TestLoadDegradesToEmpty(t *testing.T) {
+	good := seedStats()
+	goodPath := filepath.Join(t.TempDir(), "good.stats")
+	if err := good.SaveFile(goodPath); err != nil {
+		t.Fatal(err)
+	}
+	goodBytes, err := os.ReadFile(goodPath)
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	cases := map[string][]byte{
+		"garbage":        []byte("not json {"),
+		"truncated":      goodBytes[:len(goodBytes)/2],
+		"prior-version":  []byte(`{"version":0,"cells":[]}`),
+		"future-version": []byte(`{"version":99,"cells":[]}`),
+		"count-mismatch": []byte(`{"version":1,"cells":[{"backend":"g","eps_band":"1e-3","class":"generic","count":5,"hits":1,"synthesized":1,"errors":1,"wall":{"n":1,"b":[1]}}]}`),
+		"empty-key":      []byte(`{"version":1,"cells":[{"backend":"","eps_band":"1e-3","class":"generic","count":0,"wall":{"n":0}}]}`),
+		"dup-cell": []byte(`{"version":1,"cells":[` +
+			`{"backend":"g","eps_band":"1e-3","class":"generic","count":0,"wall":{"n":0}},` +
+			`{"backend":"g","eps_band":"1e-3","class":"generic","count":0,"wall":{"n":0}}]}`),
+		"sketch-mismatch": []byte(`{"version":1,"cells":[{"backend":"g","eps_band":"1e-3","class":"generic","count":1,"synthesized":1,"wall":{"n":0}}]}`),
+	}
+	for name, raw := range cases {
+		t.Run(name, func(t *testing.T) {
+			path := filepath.Join(t.TempDir(), "bad.stats")
+			if err := os.WriteFile(path, raw, 0o644); err != nil {
+				t.Fatal(err)
+			}
+			s := New()
+			s.Observe(synth.SynthObservation{Backend: "pre", Epsilon: 1e-2, Class: "generic", Won: true})
+			before := s.Snapshot()
+			if err := s.LoadFile(path); err == nil {
+				t.Fatal("bad snapshot loaded without error")
+			}
+			if !reflect.DeepEqual(before, s.Snapshot()) {
+				t.Fatal("failed load mutated the table")
+			}
+		})
+	}
+
+	// Missing file is the fresh-start path: an error the caller maps to
+	// "starting empty", distinguishable via os.IsNotExist.
+	s := New()
+	err = s.LoadFile(filepath.Join(t.TempDir(), "absent.stats"))
+	if !os.IsNotExist(err) {
+		t.Fatalf("missing file: got %v, want not-exist", err)
+	}
+}
+
+func TestMergeSumsCells(t *testing.T) {
+	a, b := seedStats().Snapshot(), seedStats().Snapshot()
+	b.Dropped = 3
+	merged := Merge(a, nil, b)
+	if err := merged.Validate(); err != nil {
+		t.Fatalf("merged snapshot invalid: %v", err)
+	}
+	if merged.Dropped != 3 {
+		t.Errorf("merged dropped %d, want 3", merged.Dropped)
+	}
+	if len(merged.Cells) != len(a.Cells) {
+		t.Fatalf("merged has %d cells, want %d", len(merged.Cells), len(a.Cells))
+	}
+	for i, c := range merged.Cells {
+		if c.Count != a.Cells[i].Count+b.Cells[i].Count {
+			t.Errorf("cell %+v merged count %d != %d+%d", c.Cell, c.Count, a.Cells[i].Count, b.Cells[i].Count)
+		}
+		if c.Wall.N != a.Cells[i].Wall.N+b.Cells[i].Wall.N {
+			t.Errorf("cell %+v merged sketch count off", c.Cell)
+		}
+	}
+}
+
+func TestMaxCellsDrops(t *testing.T) {
+	s := New()
+	s.maxCells = 2
+	for i, backend := range []string{"a", "b", "c", "d"} {
+		s.Observe(synth.SynthObservation{Backend: backend, Epsilon: 1e-2, Class: "generic", Won: true, Wall: time.Duration(i+1) * time.Millisecond})
+	}
+	// Existing cells still accept observations at the cap.
+	s.Observe(synth.SynthObservation{Backend: "a", Epsilon: 1e-2, Class: "generic", CacheHit: true, TCount: -1})
+	sn := s.Snapshot()
+	if len(sn.Cells) != 2 {
+		t.Fatalf("table grew to %d cells past cap 2", len(sn.Cells))
+	}
+	if sn.Dropped != 2 {
+		t.Fatalf("dropped %d, want 2", sn.Dropped)
+	}
+	if sn.Cells[0].Count != 2 {
+		t.Fatalf("existing cell rejected observation at cap: count %d", sn.Cells[0].Count)
+	}
+}

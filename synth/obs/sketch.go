@@ -1,0 +1,142 @@
+// Package obs is the fleet-statistics subsystem: bounded-memory online
+// statistics over synthesis observations, keyed by (backend, ε-decade
+// band, angle class). Each cell carries win/loss/error counters from the
+// auto race, the cache-hit vs synthesized split, a T-count mean, and a
+// streaming quantile sketch of synthesis wall time. Statistics persist
+// as a versioned snapshot next to the cache snapshot and merge losslessly
+// across cluster nodes, so any node can answer for the fleet.
+package obs
+
+import (
+	"fmt"
+	"math"
+	"time"
+)
+
+// The sketch is a log-bucketed histogram: bucket i covers
+// [sketchMin·γ^i, sketchMin·γ^(i+1)) with γ = 2^(1/8). A quantile
+// estimate is the geometric midpoint of the bucket holding that rank,
+// so the estimate is within a factor γ^(1/2) of the true sample
+// quantile — a guaranteed relative error of at most γ^(1/2)−1 ≈ 4.4%
+// (RelativeErrorBound), independent of the distribution. Merging two
+// sketches is bucket-wise addition, which is *exactly* the sketch of
+// the concatenated streams — federation loses nothing.
+const (
+	// sketchGamma is the bucket growth factor, 2^(1/8).
+	sketchGamma = 1.0905077326652577
+	// sketchMin is the lower edge of bucket 0; anything faster clamps
+	// there (a synthesis under a microsecond is measurement noise).
+	sketchMin = time.Microsecond
+	// sketchBuckets spans sketchMin·γ^240 ≈ 18 minutes; slower
+	// observations clamp into the last bucket.
+	sketchBuckets = 240
+)
+
+// RelativeErrorBound is the documented worst-case relative error of
+// Sketch.Quantile against the true sample quantile, for values inside
+// the sketch range: γ^(1/2) − 1.
+var RelativeErrorBound = math.Sqrt(sketchGamma) - 1
+
+// Sketch is a bounded-memory streaming quantile sketch over durations.
+// The zero value is empty and ready to use. Fields are exported for JSON
+// snapshot and wire transport only; use the methods. Not safe for
+// concurrent use — Stats serializes access.
+type Sketch struct {
+	// N counts every observation, including clamped ones.
+	N int64 `json:"n"`
+	// B holds per-bucket counts; trailing zero buckets are trimmed on
+	// snapshot, so len(B) ≤ sketchBuckets.
+	B []int64 `json:"b,omitempty"`
+}
+
+// bucketOf maps a duration to its bucket index, clamping to the range.
+func bucketOf(d time.Duration) int {
+	if d <= sketchMin {
+		return 0
+	}
+	i := int(math.Log(float64(d)/float64(sketchMin)) / math.Log(sketchGamma))
+	if i >= sketchBuckets {
+		return sketchBuckets - 1
+	}
+	return i
+}
+
+// Observe adds one duration.
+func (s *Sketch) Observe(d time.Duration) {
+	i := bucketOf(d)
+	if len(s.B) <= i {
+		grown := make([]int64, i+1)
+		copy(grown, s.B)
+		s.B = grown
+	}
+	s.B[i]++
+	s.N++
+}
+
+// Quantile returns the q-quantile estimate (q in [0,1]) — the geometric
+// midpoint of the bucket containing rank ⌈q·N⌉ — or 0 on an empty
+// sketch. For values inside the sketch range the estimate is within
+// RelativeErrorBound of the true sample quantile.
+func (s *Sketch) Quantile(q float64) time.Duration {
+	if s.N == 0 {
+		return 0
+	}
+	rank := int64(math.Ceil(q * float64(s.N)))
+	if rank < 1 {
+		rank = 1
+	}
+	var seen int64
+	for i, c := range s.B {
+		seen += c
+		if seen >= rank {
+			mid := float64(sketchMin) * math.Pow(sketchGamma, float64(i)+0.5)
+			return time.Duration(mid)
+		}
+	}
+	// Unreachable when N == sum(B); defend against a corrupt load.
+	return time.Duration(float64(sketchMin) * math.Pow(sketchGamma, sketchBuckets))
+}
+
+// Merge adds other's observations into s — bucket-wise addition, exactly
+// equivalent to having observed both streams in one sketch.
+func (s *Sketch) Merge(other *Sketch) {
+	if other == nil || other.N == 0 {
+		return
+	}
+	if len(s.B) < len(other.B) {
+		grown := make([]int64, len(other.B))
+		copy(grown, s.B)
+		s.B = grown
+	}
+	for i, c := range other.B {
+		s.B[i] += c
+	}
+	s.N += other.N
+}
+
+// clone deep-copies the sketch (snapshots must not alias live buckets).
+func (s *Sketch) clone() Sketch {
+	return Sketch{N: s.N, B: append([]int64(nil), s.B...)}
+}
+
+// validate rejects sketches no Observe/Merge sequence could produce —
+// the guard LoadSnapshot runs before installing foreign data.
+func (s *Sketch) validate() error {
+	if s.N < 0 {
+		return fmt.Errorf("obs: sketch count %d < 0", s.N)
+	}
+	if len(s.B) > sketchBuckets {
+		return fmt.Errorf("obs: sketch has %d buckets, max %d", len(s.B), sketchBuckets)
+	}
+	var sum int64
+	for i, c := range s.B {
+		if c < 0 {
+			return fmt.Errorf("obs: sketch bucket %d count %d < 0", i, c)
+		}
+		sum += c
+	}
+	if sum != s.N {
+		return fmt.Errorf("obs: sketch bucket sum %d != count %d", sum, s.N)
+	}
+	return nil
+}

@@ -1,0 +1,189 @@
+package obs
+
+import (
+	"math"
+	"math/rand"
+	"reflect"
+	"sort"
+	"testing"
+	"time"
+)
+
+// trueQuantile is the nearest-rank sample quantile — the ground truth
+// the sketch's documented bound is measured against.
+func trueQuantile(sorted []time.Duration, q float64) time.Duration {
+	rank := int(math.Ceil(q * float64(len(sorted))))
+	if rank < 1 {
+		rank = 1
+	}
+	return sorted[rank-1]
+}
+
+// relErr returns the symmetric relative error between estimate and truth.
+func relErr(est, truth time.Duration) float64 {
+	a, b := float64(est), float64(truth)
+	if a < b {
+		a, b = b, a
+	}
+	return a/b - 1
+}
+
+// genDurations draws a heavy-tailed workload: lognormal around ~160µs
+// spanning microseconds to seconds — the shape synthesis wall times
+// actually have (warm gridsynth calls vs tight-ε trasyn runs). Values
+// are clamped into the sketch range, where the bound applies.
+func genDurations(n int, seed int64) []time.Duration {
+	rng := rand.New(rand.NewSource(seed))
+	out := make([]time.Duration, n)
+	for i := range out {
+		d := time.Duration(math.Exp(rng.NormFloat64()*2.0 + 12.0)) // ns
+		// Clamp into sketch range, off the exact bucket boundary at 2µs
+		// (powers of two sit on edges for γ = 2^(1/8), where nanosecond
+		// truncation can tip the measured ratio a hair past the bound).
+		if d < 3*time.Microsecond {
+			d = 3 * time.Microsecond
+		}
+		out[i] = d
+	}
+	return out
+}
+
+// TestSketchQuantileErrorBound is the documented guarantee: for every
+// tested quantile the sketch estimate is within RelativeErrorBound of
+// the true sample quantile.
+func TestSketchQuantileErrorBound(t *testing.T) {
+	data := genDurations(20000, 1)
+	var s Sketch
+	for _, d := range data {
+		s.Observe(d)
+	}
+	sorted := append([]time.Duration(nil), data...)
+	sort.Slice(sorted, func(i, j int) bool { return sorted[i] < sorted[j] })
+
+	for _, q := range []float64{0.01, 0.25, 0.5, 0.9, 0.95, 0.99, 0.999} {
+		est := s.Quantile(q)
+		truth := trueQuantile(sorted, q)
+		if e := relErr(est, truth); e > RelativeErrorBound+1e-12 {
+			t.Errorf("q=%g: estimate %v vs true %v: relative error %.4f > bound %.4f",
+				q, est, truth, e, RelativeErrorBound)
+		}
+	}
+	if s.N != int64(len(data)) {
+		t.Fatalf("sketch count %d, want %d", s.N, len(data))
+	}
+}
+
+func TestSketchEmptyAndClamp(t *testing.T) {
+	var s Sketch
+	if got := s.Quantile(0.5); got != 0 {
+		t.Fatalf("empty sketch quantile = %v, want 0", got)
+	}
+	// Below-range and above-range observations clamp, not panic or drop.
+	s.Observe(0)
+	s.Observe(time.Nanosecond)
+	s.Observe(time.Hour)
+	if s.N != 3 {
+		t.Fatalf("count %d after clamped observations, want 3", s.N)
+	}
+	if err := s.validate(); err != nil {
+		t.Fatalf("clamped sketch invalid: %v", err)
+	}
+}
+
+// TestSketchMergeAdversarialSplits: merging per-shard sketches must be
+// exactly the sketch of the concatenated stream — bucket-for-bucket —
+// no matter how adversarially the stream is split (all-small vs
+// all-large, interleaved, empty shards, many shards). Consequently the
+// merged quantiles also stay within the documented bound of the true
+// quantiles of the union.
+func TestSketchMergeAdversarialSplits(t *testing.T) {
+	data := genDurations(8000, 7)
+	sorted := append([]time.Duration(nil), data...)
+	sort.Slice(sorted, func(i, j int) bool { return sorted[i] < sorted[j] })
+
+	var whole Sketch
+	for _, d := range data {
+		whole.Observe(d)
+	}
+
+	splits := map[string]func() []*Sketch{
+		// Sorted halves: one shard gets every small value, the other
+		// every large one — the split that breaks naive mergeable
+		// summaries.
+		"sorted-halves": func() []*Sketch {
+			a, b := &Sketch{}, &Sketch{}
+			for i, d := range sorted {
+				if i < len(sorted)/2 {
+					a.Observe(d)
+				} else {
+					b.Observe(d)
+				}
+			}
+			return []*Sketch{a, b}
+		},
+		"interleaved": func() []*Sketch {
+			a, b := &Sketch{}, &Sketch{}
+			for i, d := range data {
+				if i%2 == 0 {
+					a.Observe(d)
+				} else {
+					b.Observe(d)
+				}
+			}
+			return []*Sketch{a, b}
+		},
+		"empty-shards": func() []*Sketch {
+			a := &Sketch{}
+			for _, d := range data {
+				a.Observe(d)
+			}
+			return []*Sketch{{}, a, {}}
+		},
+		"seven-way": func() []*Sketch {
+			shards := make([]*Sketch, 7)
+			for i := range shards {
+				shards[i] = &Sketch{}
+			}
+			for i, d := range sorted {
+				shards[i%7].Observe(d)
+			}
+			return shards
+		},
+	}
+
+	for name, mk := range splits {
+		var merged Sketch
+		for _, sh := range mk() {
+			merged.Merge(sh)
+		}
+		if merged.N != whole.N {
+			t.Fatalf("%s: merged count %d != whole %d", name, merged.N, whole.N)
+		}
+		if !reflect.DeepEqual(merged.B, whole.B) {
+			t.Fatalf("%s: merged buckets differ from single-stream sketch", name)
+		}
+		for _, q := range []float64{0.5, 0.95, 0.99} {
+			if got, want := merged.Quantile(q), whole.Quantile(q); got != want {
+				t.Fatalf("%s: q=%g merged %v != whole %v", name, q, got, want)
+			}
+			truth := trueQuantile(sorted, q)
+			if e := relErr(merged.Quantile(q), truth); e > RelativeErrorBound+1e-12 {
+				t.Errorf("%s: q=%g merged relative error %.4f > bound %.4f", name, q, e, RelativeErrorBound)
+			}
+		}
+	}
+}
+
+func TestSketchValidate(t *testing.T) {
+	bad := []Sketch{
+		{N: -1},
+		{N: 2, B: []int64{1}},           // sum mismatch
+		{N: 1, B: []int64{-1, 2}},       // negative bucket
+		{N: 0, B: make([]int64, 10000)}, // too many buckets
+	}
+	for i, s := range bad {
+		if err := s.validate(); err == nil {
+			t.Errorf("bad sketch %d validated", i)
+		}
+	}
+}

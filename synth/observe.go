@@ -1,0 +1,22 @@
+package synth
+
+import "context"
+
+// raceObserverKey carries the per-op observation hook from synthOne down
+// into a racing backend, so the race can report its losers and failed
+// racers without the Backend interface growing an observer parameter.
+type raceObserverKey struct{}
+
+// withRaceObserver installs fn as the context's race observer. synthOne
+// installs a hook that stamps the op's angle class and forwards to
+// Compiler.Observe; backends that race (auto) read it back and call it
+// once per non-winning racer.
+func withRaceObserver(ctx context.Context, fn func(SynthObservation)) context.Context {
+	return context.WithValue(ctx, raceObserverKey{}, fn)
+}
+
+// raceObserver returns the context's race observer, or nil.
+func raceObserver(ctx context.Context) func(SynthObservation) {
+	fn, _ := ctx.Value(raceObserverKey{}).(func(SynthObservation))
+	return fn
+}

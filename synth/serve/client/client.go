@@ -99,6 +99,21 @@ func (c *Client) Health(ctx context.Context) (*serve.Health, error) {
 	return &h, nil
 }
 
+// Stats fetches GET /v1/stats — the fleet-statistics table. With
+// cluster=true it asks the daemon to federate across its hash ring
+// (?cluster=1); a non-clustered daemon just answers with its local view.
+func (c *Client) Stats(ctx context.Context, cluster bool) (*serve.StatsResponse, error) {
+	path := "/v1/stats"
+	if cluster {
+		path += "?cluster=1"
+	}
+	var resp serve.StatsResponse
+	if err := c.get(ctx, path, &resp); err != nil {
+		return nil, err
+	}
+	return &resp, nil
+}
+
 // Metrics fetches the raw Prometheus exposition from GET /metrics.
 func (c *Client) Metrics(ctx context.Context) (string, error) {
 	req, err := http.NewRequestWithContext(ctx, http.MethodGet, c.base+"/metrics", nil)

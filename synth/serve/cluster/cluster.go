@@ -9,13 +9,19 @@
 // them, and a joining node warm-seeds by streaming its ring successor's
 // snapshot instead of starting cold.
 //
-// The package deliberately has no transport of its own beyond three
+// The package deliberately has no transport of its own beyond four
 // internal HTTP endpoints a Node contributes under /v1/peer/ (mounted by
 // synth/serve next to the public API):
 //
 //	GET /v1/peer/cache?gate=&a=&b=&c=&eps=&cfg=&scope=   one-key lookup
 //	PUT /v1/peer/cache                                    owner fill push
 //	GET /v1/peer/snapshot                                 full snapshot stream
+//	GET /v1/peer/stats                                    node statistics (opaque JSON)
+//
+// The stats endpoint serves whatever payload the mounting layer provides
+// (SetStatsProvider) — the cluster only moves the bytes, so the peer
+// protocol stays agnostic of the statistics schema. PeerStats fans the
+// GET out to every peer for the federated /v1/stats?cluster=1 view.
 //
 // A node that cannot reach a peer degrades to local synthesis — a dead
 // node costs its share of cache affinity, never availability.
@@ -26,6 +32,7 @@ import (
 	"context"
 	"encoding/json"
 	"fmt"
+	"io"
 	"net/http"
 	"net/url"
 	"strconv"
@@ -97,6 +104,9 @@ type Node struct {
 	cfg    Config
 
 	cache atomic.Pointer[synth.Cache]
+	// statsProvider renders this node's statistics payload for
+	// GET /v1/peer/stats (installed by the serving layer; nil = 503).
+	statsProvider atomic.Pointer[func() ([]byte, error)]
 
 	peerHits, peerMisses, peerErrors atomic.Int64
 	pushes, pushErrors               atomic.Int64
@@ -195,6 +205,79 @@ func (n *Node) Attach(c *synth.Cache) {
 // Flush waits for every in-flight fill push to settle — the barrier
 // tests (and a draining daemon) use to make "wave 2 sees wave 1" exact.
 func (n *Node) Flush() { n.pending.Wait() }
+
+// SetStatsProvider installs the function that renders this node's
+// statistics payload for GET /v1/peer/stats. The cluster treats the
+// bytes as opaque JSON — the serving layer owns the schema on both ends
+// (it provides here and decodes what PeerStats fetched).
+func (n *Node) SetStatsProvider(fn func() ([]byte, error)) {
+	n.statsProvider.Store(&fn)
+}
+
+// Peers returns a copy of the peer map (every OTHER member's ID → base
+// URL).
+func (n *Node) Peers() map[string]string {
+	out := make(map[string]string, len(n.peers))
+	for id, base := range n.peers {
+		out[id] = base
+	}
+	return out
+}
+
+// PeerStat is one peer's answer to a stats fan-out: its raw payload, or
+// the error that kept it from answering. Exactly one field is set.
+type PeerStat struct {
+	Raw json.RawMessage
+	Err error
+}
+
+// PeerStats fans GET /v1/peer/stats out to every peer concurrently and
+// returns each answer by peer ID. An unreachable peer contributes its
+// error, never blocks the map: a dead node degrades the fleet view by
+// its own share and nothing else. Each call is bounded by the push
+// timeout (stats are heavier than a one-key lookup but must not hang a
+// dashboard).
+func (n *Node) PeerStats(ctx context.Context) map[string]PeerStat {
+	out := make(map[string]PeerStat, len(n.peers))
+	var (
+		mu sync.Mutex
+		wg sync.WaitGroup
+	)
+	for id, base := range n.peers {
+		wg.Add(1)
+		go func(id, base string) {
+			defer wg.Done()
+			raw, err := n.fetchPeerStats(ctx, base)
+			mu.Lock()
+			out[id] = PeerStat{Raw: raw, Err: err}
+			mu.Unlock()
+		}(id, base)
+	}
+	wg.Wait()
+	return out
+}
+
+func (n *Node) fetchPeerStats(ctx context.Context, base string) (json.RawMessage, error) {
+	ctx, cancel := context.WithTimeout(ctx, n.cfg.PushTimeout)
+	defer cancel()
+	req, err := http.NewRequestWithContext(ctx, http.MethodGet, base+"/v1/peer/stats", nil)
+	if err != nil {
+		return nil, err
+	}
+	res, err := n.hc.Do(req)
+	if err != nil {
+		return nil, err
+	}
+	defer res.Body.Close()
+	if res.StatusCode != http.StatusOK {
+		return nil, fmt.Errorf("cluster: peer stats: HTTP %d", res.StatusCode)
+	}
+	raw, err := io.ReadAll(io.LimitReader(res.Body, 16<<20))
+	if err != nil {
+		return nil, err
+	}
+	return raw, nil
+}
 
 // lookup is the cache's miss hook: one GET to the key's owner. It runs
 // under the triggering request's context — cancelled with it, and traced
@@ -370,7 +453,25 @@ func (n *Node) Handler() http.Handler {
 	mux.HandleFunc("GET /v1/peer/cache", n.handleGet)
 	mux.HandleFunc("PUT /v1/peer/cache", n.handlePut)
 	mux.HandleFunc("GET /v1/peer/snapshot", n.handleSnapshot)
+	mux.HandleFunc("GET /v1/peer/stats", n.handleStats)
 	return mux
+}
+
+// handleStats serves the mounting layer's statistics payload. The bytes
+// are opaque here; 503 until a provider is installed.
+func (n *Node) handleStats(w http.ResponseWriter, r *http.Request) {
+	fn := n.statsProvider.Load()
+	if fn == nil {
+		http.Error(w, "no stats provider attached", http.StatusServiceUnavailable)
+		return
+	}
+	body, err := (*fn)()
+	if err != nil {
+		http.Error(w, err.Error(), http.StatusInternalServerError)
+		return
+	}
+	w.Header().Set("Content-Type", "application/json")
+	w.Write(body)
 }
 
 // handleGet answers a one-key peer lookup from the local cache only (no

@@ -1,0 +1,147 @@
+package cluster_test
+
+import (
+	"context"
+	"testing"
+	"time"
+
+	"repro/synth/serve"
+)
+
+// TestClusterFederatedStats is the federation acceptance check: after
+// mixed-ε traffic lands on every member of a three-node cluster,
+// /v1/stats?cluster=1 asked of ANY node returns a merged view whose
+// per-cell observation counts equal the sum of that cell across the
+// per-node views — the lossless-merge property of the sketches and
+// counters.
+func TestClusterFederatedStats(t *testing.T) {
+	tc := newTestCluster(t, "a", "b", "c")
+	for _, id := range tc.ids {
+		tc.start(id, "gridsynth")
+	}
+
+	synth := func(id string, eps, theta float64) {
+		t.Helper()
+		ctx, cancel := context.WithTimeout(context.Background(), 60*time.Second)
+		defer cancel()
+		_, err := tc.nodes[id].cl.Synthesize(ctx, serve.SynthesizeRequest{
+			Backend:   "gridsynth",
+			Eps:       eps,
+			Rotations: []serve.Rotation{{Gate: "rz", Params: [3]float64{theta}}},
+		})
+		if err != nil {
+			t.Fatalf("synthesize on %s: %v", id, err)
+		}
+	}
+
+	// Every node sees both ε decades; angles vary per node so cells
+	// populate across the ring, with one repeat for cache-hit traffic.
+	for i, id := range tc.ids {
+		base := 0.31 + 0.17*float64(i)
+		synth(id, 1e-2, base)
+		synth(id, 1e-2, base) // warm repeat
+		synth(id, 0.3, base+0.05)
+	}
+	tc.flush()
+
+	type cellKey struct{ backend, band, class string }
+	for _, askID := range tc.ids {
+		ctx, cancel := context.WithTimeout(context.Background(), 30*time.Second)
+		st, err := tc.nodes[askID].cl.Stats(ctx, true)
+		cancel()
+		if err != nil {
+			t.Fatalf("stats via %s: %v", askID, err)
+		}
+		if !st.Cluster {
+			t.Fatalf("node %s did not federate", askID)
+		}
+		if len(st.Nodes) != 3 {
+			t.Fatalf("node %s sees %d nodes, want 3: %+v", askID, len(st.Nodes), st.Nodes)
+		}
+
+		// Sum every cell across the per-node views.
+		nodeSums := map[cellKey]int64{}
+		seen := map[string]bool{}
+		for _, n := range st.Nodes {
+			seen[n.Node] = true
+			if n.Error != "" {
+				t.Fatalf("node %s unreachable in %s's view: %s", n.Node, askID, n.Error)
+			}
+			for _, c := range n.Cells {
+				nodeSums[cellKey{c.Backend, c.EpsBand, c.Class}] += c.Count
+			}
+		}
+		for _, id := range tc.ids {
+			if !seen[id] {
+				t.Fatalf("node %s missing from %s's cluster view", id, askID)
+			}
+		}
+
+		// The merged fleet view must match those sums cell for cell.
+		if len(st.Fleet.Cells) == 0 {
+			t.Fatalf("node %s: empty fleet view after traffic", askID)
+		}
+		fleet := map[cellKey]int64{}
+		bands := map[string]bool{}
+		for _, c := range st.Fleet.Cells {
+			if c.Backend != "gridsynth" {
+				t.Errorf("unexpected backend %q in fleet view", c.Backend)
+			}
+			fleet[cellKey{c.Backend, c.EpsBand, c.Class}] = c.Count
+			bands[c.EpsBand] = true
+			if c.CacheHits+c.Synthesized+c.Errors != c.Count {
+				t.Errorf("fleet cell %+v violates hits+synth+errors=count", c)
+			}
+		}
+		if len(fleet) != len(nodeSums) {
+			t.Fatalf("node %s: fleet has %d cells, node sums have %d", askID, len(fleet), len(nodeSums))
+		}
+		for k, want := range nodeSums {
+			if got := fleet[k]; got != want {
+				t.Errorf("node %s: cell %+v fleet count %d != per-node sum %d", askID, k, got, want)
+			}
+		}
+		if !bands["1e-2"] || !bands["1e-1"] {
+			t.Errorf("node %s: missing ε bands in fleet view: %v", askID, bands)
+		}
+	}
+}
+
+// TestClusterStatsPartialFailure: an unstarted member degrades to an
+// error entry in the cluster view; the fleet merge covers the live
+// nodes instead of failing outright.
+func TestClusterStatsPartialFailure(t *testing.T) {
+	tc := newTestCluster(t, "a", "b", "c")
+	tc.start("a", "gridsynth")
+	tc.start("b", "gridsynth")
+	// "c" stays a 503 listener.
+
+	if _, err := tc.synthesize("a", "gridsynth", 0.41); err != nil {
+		t.Fatal(err)
+	}
+	tc.flush()
+
+	ctx, cancel := context.WithTimeout(context.Background(), 30*time.Second)
+	defer cancel()
+	st, err := tc.nodes["a"].cl.Stats(ctx, true)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var dead, live int
+	for _, n := range st.Nodes {
+		if n.Error != "" {
+			dead++
+			if n.Node != "c" {
+				t.Errorf("wrong node reported dead: %+v", n)
+			}
+		} else {
+			live++
+		}
+	}
+	if dead != 1 || live != 2 {
+		t.Fatalf("want 1 dead / 2 live nodes, got %d/%d: %+v", dead, live, st.Nodes)
+	}
+	if len(st.Fleet.Cells) == 0 {
+		t.Fatal("fleet view empty despite live traffic")
+	}
+}

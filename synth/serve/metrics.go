@@ -3,11 +3,12 @@ package serve
 import (
 	"fmt"
 	"io"
-	"math"
 	"sort"
 	"strings"
 	"sync"
 	"time"
+
+	"repro/synth/obs"
 )
 
 // latencyBuckets are the request-histogram upper bounds in seconds.
@@ -147,14 +148,9 @@ func (m *metrics) reject() {
 }
 
 // epsBand buckets an epsilon into its decade ("1e-7"), the label
-// granularity of synthd_synth_seconds. Zero (backend default) is its own
-// band.
-func epsBand(eps float64) string {
-	if eps <= 0 {
-		return "default"
-	}
-	return fmt.Sprintf("1e%d", int(math.Floor(math.Log10(eps)+1e-9)))
-}
+// granularity of synthd_synth_seconds — the same banding the fleet
+// statistics key on, so metrics and /v1/stats rows line up.
+func epsBand(eps float64) string { return obs.EpsBand(eps) }
 
 // scrapeMetric is one point-in-time value the server contributes at
 // scrape time (cache counters, queue depth).

@@ -258,4 +258,39 @@ func TestMetricsWellFormed(t *testing.T) {
 			t.Fatalf("synthd_queue_wait_seconds count %g, want >= 3", h.count)
 		}
 	}
+
+	// The fleet-statistics families: per-cell observation counters with
+	// the full (backend, eps_band, class) key, cache-hit counters (the
+	// warm recompile guarantees at least one), and the sketch quantile
+	// gauges for every cell with synthesis wall times.
+	var obsCount, obsHits bool
+	quantiles := map[string]bool{}
+	for _, s := range series {
+		full := s.labels["backend"] == "gridsynth" && s.labels["eps_band"] != "" && s.labels["class"] != ""
+		switch family(s.name) {
+		case "synthd_obs_observations_total":
+			if full && s.value > 0 {
+				obsCount = true
+			}
+		case "synthd_obs_cache_hits_total":
+			if full && s.value > 0 {
+				obsHits = true
+			}
+		case "synthd_obs_wall_quantile_seconds":
+			if full && s.value > 0 {
+				quantiles[s.labels["q"]] = true
+			}
+		}
+	}
+	if !obsCount {
+		t.Fatal("synthd_obs_observations_total missing full-key series")
+	}
+	if !obsHits {
+		t.Fatal("synthd_obs_cache_hits_total missing despite warm recompile")
+	}
+	for _, q := range []string{"0.5", "0.95", "0.99"} {
+		if !quantiles[q] {
+			t.Fatalf("synthd_obs_wall_quantile_seconds missing q=%s (got %v)", q, quantiles)
+		}
+	}
 }

@@ -18,6 +18,7 @@ import (
 	"repro/internal/qmat"
 	"repro/optimize"
 	"repro/synth"
+	"repro/synth/obs"
 	"repro/synth/serve/cluster"
 	"repro/synth/trace"
 )
@@ -59,6 +60,12 @@ type Config struct {
 	// the shared inflight/queue admission control.
 	TenantRPS   float64
 	TenantBurst int
+	// Obs, when set, is the resident fleet-statistics table (a daemon
+	// injects the one it loaded from its stats sidecar). Otherwise a
+	// fresh empty table is built. Every synthesis observation — winners,
+	// race losers, failed racers, cache hits — feeds it, and GET /v1/stats
+	// reads it.
+	Obs *obs.Stats
 	// Tracer, when set, samples request traces: each sampled POST request
 	// gets a span tree from admission down to individual syntheses,
 	// retrievable from GET /debug/trace. Requests arriving with a
@@ -104,6 +111,7 @@ type Server struct {
 	blocksFused  atomic.Int64
 	blockCXSaved atomic.Int64
 	metrics      *metrics
+	obs          *obs.Stats
 	quota        *tenantLimiter // nil when quotas are disabled
 	mux          *http.ServeMux
 	start        time.Time
@@ -121,11 +129,16 @@ func New(cfg Config) *Server {
 			cache = synth.NewCache(cfg.CacheSize)
 		}
 	}
+	ob := cfg.Obs
+	if ob == nil {
+		ob = obs.New()
+	}
 	s := &Server{
 		cfg:     cfg,
 		cache:   cache,
 		sem:     make(chan struct{}, cfg.MaxInflight),
 		metrics: newMetrics(),
+		obs:     ob,
 		start:   time.Now(),
 	}
 	if cfg.TenantRPS > 0 {
@@ -136,9 +149,15 @@ func New(cfg Config) *Server {
 	s.mux.HandleFunc("POST /v1/synthesize", s.instrument("/v1/synthesize", s.handleSynthesize))
 	s.mux.HandleFunc("GET /healthz", s.handleHealthz)
 	s.mux.HandleFunc("GET /metrics", s.handleMetrics)
+	s.mux.HandleFunc("GET /v1/stats", s.handleStats)
 	s.mux.HandleFunc("GET /debug/trace", s.HandleDebugTrace)
 	if cfg.Cluster != nil {
 		cfg.Cluster.Attach(cache)
+		// The peer stats payload is this node's local view in wire form;
+		// the schema is ours on both ends, the cluster just moves bytes.
+		cfg.Cluster.SetStatsProvider(func() ([]byte, error) {
+			return json.Marshal(s.localStats())
+		})
 		s.mux.Handle("/v1/peer/", cfg.Cluster.Handler())
 	}
 	return s
@@ -158,6 +177,10 @@ func (s *Server) Handler() http.Handler { return s.mux }
 
 // Cache exposes the resident cache (for snapshot flush and tests).
 func (s *Server) Cache() *synth.Cache { return s.cache }
+
+// Obs exposes the resident statistics table (for sidecar persistence on
+// shutdown and tests).
+func (s *Server) Obs() *obs.Stats { return s.obs }
 
 // apiError carries an HTTP status with a message for the error body.
 type apiError struct {
@@ -422,9 +445,7 @@ func (s *Server) handleCompile(w http.ResponseWriter, r *http.Request) (int, err
 		synth.WithWorkers(s.cfg.Workers),
 		synth.WithIR(ir),
 		synth.WithCache(s.cache),
-		synth.WithSynthObserver(func(o synth.SynthObservation) {
-			s.metrics.observeSynth(o.Backend, epsBand(o.Epsilon), o.Wall)
-		}),
+		synth.WithSynthObserver(s.observe),
 	}
 	if req.Eps > 0 {
 		opts = append(opts, synth.WithCircuitEpsilon(req.Eps), synth.WithBudgetStrategy(strat))
@@ -526,9 +547,7 @@ func (s *Server) handleSynthesize(w http.ResponseWriter, r *http.Request) (int, 
 		Req:     synth.Request{Epsilon: req.Eps, Samples: req.Samples, TBudget: req.TBudget, Seed: req.Seed},
 		Workers: s.cfg.Workers,
 		Cache:   s.cache,
-		Observe: func(o synth.SynthObservation) {
-			s.metrics.observeSynth(o.Backend, epsBand(o.Epsilon), o.Wall)
-		},
+		Observe: s.observe,
 	}
 	ctx, cancel := s.requestContext(r, req.TimeoutMs)
 	defer cancel()
@@ -643,6 +662,7 @@ func (s *Server) handleMetrics(w http.ResponseWriter, r *http.Request) {
 			fmt.Fprintf(w, "synthd_tenant_throttled_total{tenant=%q} %d\n", t, counts[t])
 		}
 	}
+	s.writeObsMetrics(w)
 }
 
 // HandleDebugTrace serves GET /debug/trace: without ?id= it lists the

@@ -1,0 +1,116 @@
+package serve_test
+
+import (
+	"context"
+	"testing"
+
+	"repro/synth/serve"
+)
+
+// statsTotals sums per-cell counters across a node view.
+func statsTotals(n serve.NodeStats) (count, hits, synthesized int64) {
+	for _, c := range n.Cells {
+		count += c.Count
+		hits += c.CacheHits
+		synthesized += c.Synthesized
+	}
+	return
+}
+
+// TestStatsEndpoint: compiles populate the statistics table; the warm
+// recompile shows up as cache hits; local and cluster forms agree on a
+// single node.
+func TestStatsEndpoint(t *testing.T) {
+	_, cl := newTestServer(t, serve.Config{DefaultBackend: "gridsynth"})
+	ctx := context.Background()
+
+	empty, err := cl.Stats(ctx, false)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(empty.Fleet.Cells) != 0 {
+		t.Fatalf("fresh daemon has cells: %+v", empty.Fleet.Cells)
+	}
+
+	req := serve.CompileRequest{QASM: testQASM, Eps: 0.3}
+	if _, err := cl.Compile(ctx, req); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := cl.Compile(ctx, req); err != nil {
+		t.Fatal(err)
+	}
+
+	st, err := cl.Stats(ctx, false)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if st.Cluster {
+		t.Fatal("non-clustered daemon reported cluster view")
+	}
+	if len(st.Nodes) != 1 || st.Nodes[0].Error != "" {
+		t.Fatalf("nodes: %+v", st.Nodes)
+	}
+	count, hits, synthesized := statsTotals(st.Fleet)
+	if synthesized == 0 || hits == 0 {
+		t.Fatalf("want syntheses and warm hits recorded, got count=%d hits=%d synth=%d",
+			count, hits, synthesized)
+	}
+	for _, c := range st.Fleet.Cells {
+		if c.Backend != "gridsynth" {
+			t.Errorf("unexpected backend %q in cell %+v", c.Backend, c)
+		}
+		if c.EpsBand != "1e-1" {
+			t.Errorf("eps 0.3 banded to %q, want 1e-1", c.EpsBand)
+		}
+		if c.Synthesized > 0 && (c.P50Ms <= 0 || c.P99Ms < c.P50Ms) {
+			t.Errorf("implausible quantiles in cell %+v", c)
+		}
+	}
+	// The service gauges ride along.
+	if st.Fleet.CacheHits == 0 || st.Fleet.CacheSize == 0 || st.Fleet.UptimeMs < 0 {
+		t.Errorf("fleet gauges: %+v", st.Fleet)
+	}
+
+	// ?cluster=1 on a non-clustered daemon degrades to the local view.
+	solo, err := cl.Stats(ctx, true)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if solo.Cluster {
+		t.Fatal("daemon without a cluster claims one")
+	}
+	c2, h2, s2 := statsTotals(solo.Fleet)
+	if c2 != count || h2 != hits || s2 != synthesized {
+		t.Fatalf("cluster=1 view diverged: %d/%d/%d vs %d/%d/%d", c2, h2, s2, count, hits, synthesized)
+	}
+}
+
+// TestStatsObservationsAccount: per-cell counters are internally
+// consistent — hits + synthesized + errors = count — the invariant the
+// snapshot validator enforces on every load and merge.
+func TestStatsObservationsAccount(t *testing.T) {
+	_, cl := newTestServer(t, serve.Config{DefaultBackend: "auto"})
+	ctx := context.Background()
+	if _, err := cl.Compile(ctx, serve.CompileRequest{QASM: testQASM, Eps: 0.1}); err != nil {
+		t.Fatal(err)
+	}
+	st, err := cl.Stats(ctx, false)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(st.Fleet.Cells) == 0 {
+		t.Fatal("auto compile produced no cells")
+	}
+	var wins, losses int64
+	for _, c := range st.Fleet.Cells {
+		if c.CacheHits+c.Synthesized+c.Errors != c.Count {
+			t.Errorf("cell %+v violates hits+synth+errors=count", c)
+		}
+		wins += c.Wins
+		losses += c.Losses
+	}
+	// The auto race reports both sides: winners and losers both land.
+	if wins == 0 || losses == 0 {
+		t.Errorf("auto race recorded wins=%d losses=%d — loser observations missing", wins, losses)
+	}
+}

@@ -11,6 +11,8 @@
 //	POST /v1/synthesize  batch of rotations → gate sequences
 //	GET  /healthz        liveness + build configuration
 //	GET  /metrics        Prometheus text: cache, queue, latency histograms
+//	GET  /v1/stats       fleet statistics (per-backend win/latency cells);
+//	                     ?cluster=1 federates across the hash ring
 //
 // cmd/synthd wraps this package as a standalone daemon; serve/client is
 // the Go client; cmd/compile -remote routes the CLI through a daemon.
@@ -220,6 +222,64 @@ type Health struct {
 	// the ring's member count (self included).
 	NodeID      string `json:"node_id,omitempty"`
 	ClusterSize int    `json:"cluster_size,omitempty"`
+}
+
+// StatsCell is one (backend, ε-band, angle-class) row of GET /v1/stats:
+// the counters plus the sketch quantiles rendered in milliseconds.
+// Quantiles cover performed syntheses only (cache hits are counted, not
+// timed) and carry the sketch's documented relative error bound.
+type StatsCell struct {
+	Backend string `json:"backend"`
+	EpsBand string `json:"eps_band"`
+	Class   string `json:"class"`
+	// Count is every observation in the cell; CacheHits + Synthesized +
+	// Errors always equals Count.
+	Count       int64 `json:"count"`
+	CacheHits   int64 `json:"cache_hits"`
+	Synthesized int64 `json:"synthesized"`
+	// Wins/Losses split performed syntheses by race outcome (a non-racing
+	// backend's syntheses all count as wins); Errors counts failed racers.
+	Wins   int64 `json:"wins"`
+	Losses int64 `json:"losses"`
+	Errors int64 `json:"errors"`
+	// MeanT averages T counts over observations where it was known.
+	MeanT float64 `json:"mean_t"`
+	// P50Ms/P95Ms/P99Ms are synthesis wall-time quantiles (0 when the
+	// cell has no performed synthesis).
+	P50Ms float64 `json:"p50_ms"`
+	P95Ms float64 `json:"p95_ms"`
+	P99Ms float64 `json:"p99_ms"`
+}
+
+// NodeStats is one node's view in GET /v1/stats: service gauges plus the
+// per-cell statistics table. In the federated response an unreachable
+// peer appears with Error set and everything else zero.
+type NodeStats struct {
+	Node  string `json:"node"`
+	Error string `json:"error,omitempty"`
+	// UptimeMs is the node's uptime; CacheSize/CacheHits/CacheMisses and
+	// HitRate describe its resident cache; Inflight/QueueDepth its
+	// admission state at scrape time.
+	UptimeMs    int64       `json:"uptime_ms,omitempty"`
+	CacheSize   int         `json:"cache_size"`
+	CacheHits   int64       `json:"cache_hits"`
+	CacheMisses int64       `json:"cache_misses"`
+	HitRate     float64     `json:"hit_rate"`
+	Inflight    int         `json:"inflight"`
+	QueueDepth  int         `json:"queue_depth"`
+	Cells       []StatsCell `json:"cells"`
+}
+
+// StatsResponse is the GET /v1/stats body. Without ?cluster=1 (or on a
+// non-clustered daemon) Fleet and the single Nodes entry are the same
+// local view. With it, Nodes holds every ring member's own view and
+// Fleet the lossless merge: each Fleet cell's counts equal the sum of
+// that cell across Nodes, and its quantiles are computed from the merged
+// sketches, not averaged.
+type StatsResponse struct {
+	Cluster bool        `json:"cluster"`
+	Fleet   NodeStats   `json:"fleet"`
+	Nodes   []NodeStats `json:"nodes"`
 }
 
 // ErrorResponse is the body of every non-2xx response.
