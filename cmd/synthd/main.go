@@ -46,9 +46,20 @@
 // the request/response shapes and synth/serve/client for the Go client;
 // cmd/compile -remote drives a running daemon from the CLI.
 //
+// Fault containment: panics in backends, racers, and handlers are
+// recovered at the goroutine that owns the op and surface as per-op
+// errors (synthd_panics_total on /metrics), and in cluster mode every
+// peer gets a circuit breaker (-breaker-failures / -breaker-cooldown;
+// state on /healthz and /metrics) so a dead peer costs microseconds,
+// not a lookup timeout, per miss. -fault-spec arms the deterministic
+// fault-injection harness (see synth/fault) for chaos drills:
+//
+//	synthd -fault-spec 'backend:gridsynth panic every=5; peer:b* latency=300ms'
+//
 // On SIGINT/SIGTERM the daemon stops accepting connections, drains
-// in-flight requests (up to -drain), flushes the cache snapshot, and
-// exits 0.
+// in-flight requests (up to -drain), flushes the cache snapshot and
+// stats sidecar, and exits 0 — or nonzero if a flush failed, so
+// supervisors notice lost state.
 package main
 
 import (
@@ -67,10 +78,25 @@ import (
 	"time"
 
 	"repro/synth"
+	"repro/synth/fault"
 	"repro/synth/serve"
 	"repro/synth/serve/cluster"
 	"repro/synth/trace"
 )
+
+// newHTTPServer wraps a handler with the slow-client protections every
+// listener gets: a bound on header dribble, on reading a request body,
+// and on idle keep-alive connections. WriteTimeout stays 0 on purpose —
+// a long compile legitimately holds the response open for minutes, and
+// the per-request deadline (-request-timeout) already bounds it.
+func newHTTPServer(h http.Handler) *http.Server {
+	return &http.Server{
+		Handler:           h,
+		ReadHeaderTimeout: 10 * time.Second,
+		ReadTimeout:       2 * time.Minute,
+		IdleTimeout:       2 * time.Minute,
+	}
+}
 
 // parsePeers parses "id=url,id=url,...". Self may appear; cluster.New
 // ignores its URL, so one identical -peers value works for every node.
@@ -117,6 +143,11 @@ func main() {
 		warmSeed    = flag.Bool("warm-seed", false, "cluster mode: stream the ring successor's snapshot at start instead of starting cold")
 		seedTimeout = flag.Duration("seed-timeout", 30*time.Second, "cluster mode: -warm-seed transfer budget")
 
+		breakerFails    = flag.Int("breaker-failures", 0, "cluster mode: consecutive peer failures before the circuit breaker opens (0 = default, -1 = breakers off)")
+		breakerCooldown = flag.Duration("breaker-cooldown", 0, "cluster mode: initial open-state cooldown before a half-open probe; doubles per failed probe (0 = default)")
+
+		faultSpec = flag.String("fault-spec", "", "fault-injection rules for chaos testing, e.g. 'backend:gridsynth panic every=5; peer:b* latency=300ms' (empty = off)")
+
 		tenantRPS   = flag.Float64("tenant-rps", 0, "per-tenant quota in requests/second, keyed on X-Tenant (0 = quotas off)")
 		tenantBurst = flag.Int("tenant-burst", 0, "per-tenant quota burst (0 = max(1, ceil(rps)))")
 
@@ -143,6 +174,16 @@ func main() {
 		fatalf(logger, "-trace-sample %v out of range [0,1]", *traceSample)
 	}
 
+	var injector *fault.Injector
+	if *faultSpec != "" {
+		var err error
+		injector, err = fault.Parse(*faultSpec)
+		if err != nil {
+			fatalf(logger, "parsing -fault-spec: %v", err)
+		}
+		logger.Warn("fault injection armed", "spec", *faultSpec)
+	}
+
 	var tracer *trace.Tracer
 	if *traceSample > 0 {
 		tracer = trace.New(trace.Config{
@@ -167,6 +208,12 @@ func main() {
 			VNodes:        *vnodes,
 			LookupTimeout: *peerTimeout,
 			Tracer:        tracer,
+			Logger:        logger,
+			Fault:         injector,
+			Breaker: cluster.BreakerConfig{
+				Threshold: *breakerFails,
+				Cooldown:  *breakerCooldown,
+			},
 		})
 		if err != nil {
 			fatalf(logger, "cluster: %v", err)
@@ -186,6 +233,7 @@ func main() {
 		TenantBurst:    *tenantBurst,
 		Tracer:         tracer,
 		Logger:         logger,
+		Fault:          injector,
 	})
 	cache := srv.Cache()
 	statsPath := ""
@@ -264,7 +312,7 @@ func main() {
 		dmux.HandleFunc("/debug/pprof/symbol", pprof.Symbol)
 		dmux.HandleFunc("/debug/pprof/trace", pprof.Trace)
 		dmux.HandleFunc("GET /debug/trace", srv.HandleDebugTrace)
-		dhs = &http.Server{Handler: dmux}
+		dhs = newHTTPServer(dmux)
 		fmt.Printf("synthd: debug on http://%s\n", dln.Addr())
 		logger.Info("debug listener up", "addr", dln.Addr().String())
 		go func() {
@@ -274,7 +322,7 @@ func main() {
 		}()
 	}
 
-	hs := &http.Server{Handler: srv.Handler()}
+	hs := newHTTPServer(srv.Handler())
 	errc := make(chan error, 1)
 	go func() { errc <- hs.Serve(ln) }()
 
@@ -300,17 +348,23 @@ func main() {
 		// syntheses after it leaves.
 		node.Flush()
 	}
+	// Persistence failures must not abort the rest of the shutdown (both
+	// flushes are attempted, the listener error is still collected), but
+	// they must be visible to supervisors: the process exits nonzero so a
+	// restart loop or CI harness notices the lost state.
+	exitCode := 0
 	if *snapshot != "" {
 		if err := cache.SaveFile(*snapshot); err != nil {
-			fatalf(logger, "flushing snapshot: %v", err)
+			logger.Error("flushing snapshot failed", "path", *snapshot, "err", err)
+			exitCode = 1
+		} else {
+			st := cache.Stats()
+			logger.Info("snapshot flushed", "entries", st.Size, "path", *snapshot,
+				"lifetime_hits", st.Hits, "lifetime_misses", st.Misses)
 		}
-		st := cache.Stats()
-		logger.Info("snapshot flushed", "entries", st.Size, "path", *snapshot,
-			"lifetime_hits", st.Hits, "lifetime_misses", st.Misses)
 		if err := srv.Obs().SaveFile(statsPath); err != nil {
-			// Statistics are advisory; losing them must not fail shutdown
-			// after the cache flushed fine.
-			logger.Warn("flushing stats sidecar failed", "path", statsPath, "err", err)
+			logger.Error("flushing stats sidecar failed", "path", statsPath, "err", err)
+			exitCode = 1
 		} else {
 			logger.Info("stats sidecar flushed", "path", statsPath)
 		}
@@ -318,4 +372,5 @@ func main() {
 	if err := <-errc; err != nil && !errors.Is(err, http.ErrServerClosed) {
 		fatalf(logger, "serve: %v", err)
 	}
+	os.Exit(exitCode)
 }

@@ -1,0 +1,40 @@
+package main
+
+import (
+	"testing"
+	"time"
+)
+
+// Every listener — service and debug alike — must bound slow clients:
+// a peer that dribbles headers or never finishes a body ties up a
+// connection forever without these. WriteTimeout must stay 0 because a
+// long compile legitimately streams its response for minutes and is
+// already bounded by the per-request deadline.
+func TestNewHTTPServerTimeouts(t *testing.T) {
+	hs := newHTTPServer(nil)
+	if hs.ReadHeaderTimeout != 10*time.Second {
+		t.Errorf("ReadHeaderTimeout = %v, want 10s", hs.ReadHeaderTimeout)
+	}
+	if hs.ReadTimeout != 2*time.Minute {
+		t.Errorf("ReadTimeout = %v, want 2m", hs.ReadTimeout)
+	}
+	if hs.IdleTimeout != 2*time.Minute {
+		t.Errorf("IdleTimeout = %v, want 2m", hs.IdleTimeout)
+	}
+	if hs.WriteTimeout != 0 {
+		t.Errorf("WriteTimeout = %v, want 0 (long compiles hold the response open)", hs.WriteTimeout)
+	}
+}
+
+func TestParsePeers(t *testing.T) {
+	peers, err := parsePeers("a=http://h1:8077, b=http://h2:8077,")
+	if err != nil {
+		t.Fatalf("parsePeers: %v", err)
+	}
+	if len(peers) != 2 || peers["a"] != "http://h1:8077" || peers["b"] != "http://h2:8077" {
+		t.Fatalf("parsePeers = %v", peers)
+	}
+	if _, err := parsePeers("nourl"); err == nil {
+		t.Fatal("parsePeers accepted a peer without id=url")
+	}
+}

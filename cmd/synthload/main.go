@@ -2,7 +2,9 @@
 // synthd nodes at a target request rate with rotation batches drawn from
 // the circuit/gen workload corpus, measures per-request latency
 // client-side, and appends the run — p50/p99, hit rate, throttle and
-// error counts, machine info — as a dated entry to BENCH_serve.json.
+// error counts (with a per-status-code breakdown, and transport-level
+// failures tallied separately), machine info — as a dated entry to
+// BENCH_serve.json.
 //
 // Arrivals are open-loop: requests launch on the offered schedule
 // (start + i/rps) regardless of how many are still outstanding, so a
@@ -28,12 +30,14 @@ package main
 import (
 	"context"
 	"encoding/json"
+	"errors"
 	"flag"
 	"fmt"
 	"math"
 	"os"
 	"runtime"
 	"sort"
+	"strconv"
 	"strings"
 	"sync"
 	"time"
@@ -47,6 +51,7 @@ import (
 type result struct {
 	latencyMs float64
 	status    string // ok | throttled | rejected | error
+	code      int    // HTTP status, or 0 for a transport-level failure
 	hits      int64
 	misses    int64
 }
@@ -69,6 +74,14 @@ type entry struct {
 	Errors    int     `json:"errors"`
 	ErrorRate float64 `json:"error_rate"`
 	HitRate   float64 `json:"hit_rate"`
+
+	// TransportErrors are failures that never produced an HTTP status —
+	// refused/reset connections, timeouts — i.e. a dead or unreachable
+	// node, as distinct from a node that answered with a rejection.
+	// ByCode counts every non-200 HTTP status the run saw ("429", "503",
+	// "500", …), so a chaos run can bound specific failure classes.
+	TransportErrors int            `json:"transport_errors"`
+	ByCode          map[string]int `json:"by_code,omitempty"`
 
 	P50Ms      float64 `json:"p50_ms"`
 	P95Ms      float64 `json:"p95_ms"`
@@ -219,9 +232,12 @@ func main() {
 			switch {
 			case err == nil:
 				r.status = "ok"
+				r.code = 200
 				r.hits, r.misses = resp.Hits, resp.Misses
 			default:
-				if ae, ok := err.(*client.APIError); ok {
+				var ae *client.APIError
+				if errors.As(err, &ae) {
+					r.code = ae.Status
 					switch ae.Status {
 					case 429:
 						r.status = "throttled"
@@ -231,7 +247,7 @@ func main() {
 						r.status = "error"
 					}
 				} else {
-					r.status = "error"
+					r.status = "error" // transport-level: no status reached us
 				}
 			}
 			results[i] = r
@@ -279,10 +295,22 @@ func main() {
 	}
 	scancel()
 
-	fmt.Printf("synthload: %d req  ok=%d throttled=%d rejected=%d errors=%d  "+
+	fmt.Printf("synthload: %d req  ok=%d throttled=%d rejected=%d errors=%d (transport=%d)  "+
 		"p50=%.1fms p99=%.1fms  hit_rate=%.3f  achieved=%.1f rps\n",
-		ent.Requests, ent.OK, ent.Throttled, ent.Rejected, ent.Errors,
+		ent.Requests, ent.OK, ent.Throttled, ent.Rejected, ent.Errors, ent.TransportErrors,
 		ent.P50Ms, ent.P99Ms, ent.HitRate, ent.AchievedR)
+	if len(ent.ByCode) > 0 {
+		codes := make([]string, 0, len(ent.ByCode))
+		for c := range ent.ByCode {
+			codes = append(codes, c)
+		}
+		sort.Strings(codes)
+		var parts []string
+		for _, c := range codes {
+			parts = append(parts, fmt.Sprintf("%s=%d", c, ent.ByCode[c]))
+		}
+		fmt.Printf("synthload:   by code: %s\n", strings.Join(parts, " "))
+	}
 	for _, b := range ent.Backends {
 		fmt.Printf("synthload:   %s %s/%s n=%d hits=%d synth=%d p50=%.2fms p95=%.2fms p99=%.2fms\n",
 			b.Backend, b.EpsBand, b.Class, b.Count, b.CacheHits, b.Synthesized,
@@ -362,6 +390,15 @@ func summarize(results []result, elapsed time.Duration) entry {
 			ent.Rejected++
 		default:
 			ent.Errors++
+			if r.code == 0 {
+				ent.TransportErrors++
+			}
+		}
+		if r.code != 200 && r.code != 0 {
+			if ent.ByCode == nil {
+				ent.ByCode = map[string]int{}
+			}
+			ent.ByCode[strconv.Itoa(r.code)]++
 		}
 	}
 	if ent.Requests > 0 {

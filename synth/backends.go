@@ -17,6 +17,7 @@ import (
 	"repro/internal/gridsynth"
 	"repro/internal/qmat"
 	"repro/internal/sk"
+	"repro/synth/fault"
 	"repro/synth/trace"
 )
 
@@ -220,7 +221,7 @@ func (a autoBackend) Synthesize(ctx context.Context, target qmat.M2, req Request
 			defer wg.Done()
 			rs := span.Child("race:" + be.Name())
 			start := time.Now()
-			r, err := be.Synthesize(trace.NewContext(ctx, rs), target, sub)
+			r, err := race(trace.NewContext(ctx, rs), be, target, sub)
 			if err != nil {
 				rs.SetAttr("error", err.Error())
 			} else {
@@ -272,6 +273,19 @@ func (a autoBackend) Synthesize(ctx context.Context, target qmat.M2, req Request
 	}
 	span.SetAttr("auto_winner", best.Backend)
 	return best, nil
+}
+
+// race runs one racer under the race-boundary containment: the fault
+// injector's racer site fires first, and a panicking racer is recovered
+// into an error — it loses the race (reported Failed through the race
+// observer like any failing racer) instead of killing the process.
+func race(ctx context.Context, be Backend, target qmat.M2, req Request) (res Result, err error) {
+	site := "racer:" + be.Name()
+	defer fault.Recover(ctx, site, &err)
+	if ferr := fault.At(ctx, site); ferr != nil {
+		return Result{}, ferr
+	}
+	return be.Synthesize(ctx, target, req)
 }
 
 // pickWinner prefers the lower T count among results meeting eps, then the

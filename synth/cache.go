@@ -70,6 +70,14 @@ func KeyOfTarget(u qmat.M2, scope string, eps float64, cfg int64) Key {
 	return KeyOf(circuit.Op{G: circuit.U3, P: [3]float64{theta, phi, lambda}}, scope, eps, cfg)
 }
 
+// KeyForTarget builds the exact key a Compiler with this request caches
+// target under — KeyOfTarget with the request's config hash filled in.
+// Ownership-aware callers (cluster chaos tests, load generators that
+// route by ring owner) use it to predict where an entry will live.
+func KeyForTarget(u qmat.M2, scope string, req Request) Key {
+	return KeyOfTarget(u, scope, req.Epsilon, req.cacheCfg())
+}
+
 // cacheCfg hashes every Request knob that changes synthesis output —
 // budget shape, sampler, time budget, and the base seed (per-op seeds are
 // derived from the base seed and the key, so compilers with different base

@@ -2,6 +2,7 @@ package synth
 
 import (
 	"context"
+	"errors"
 	"fmt"
 	"math"
 	"runtime"
@@ -13,6 +14,7 @@ import (
 	"repro/internal/pipeline"
 	"repro/internal/qmat"
 	"repro/internal/transpile"
+	"repro/synth/fault"
 	"repro/synth/trace"
 )
 
@@ -207,7 +209,9 @@ func (c *Compiler) observeHit(j opJob, e Entry, materialized bool) {
 // storing entries in the cache and returning the per-key Results. The
 // optional progress hook fires after each completed synthesis with
 // (done, total). The first error (including context cancellation) drains
-// the pool.
+// the pool — except contained backend panics, which fail only their own
+// op: the key's Result carries Err, nothing is cached for it, and the
+// pool keeps running.
 func (c *Compiler) synthesizeMissing(ctx context.Context, missing []opJob, progress func(done, total int)) (map[Key]Result, error) {
 	computed := make(map[Key]Result, len(missing))
 	if len(missing) == 0 {
@@ -235,10 +239,18 @@ func (c *Compiler) synthesizeMissing(ctx context.Context, missing []opJob, progr
 			for j := range jobs {
 				res, err := c.synthOne(wctx, j)
 				if err != nil {
-					fail(err)
-					return
+					var pe *fault.PanicError
+					if !errors.As(err, &pe) {
+						fail(err)
+						return
+					}
+					// A recovered panic costs one op, not the batch: record
+					// the failure under its key (repeats share it) and keep
+					// going. Nothing is cached — a later batch retries fresh.
+					res = Result{Err: err, Backend: c.Backend.Name()}
+				} else {
+					cache.PutCtx(wctx, j.k, Entry{Seq: res.Seq, Err: res.Error, Backend: res.Backend})
 				}
-				cache.PutCtx(wctx, j.k, Entry{Seq: res.Seq, Err: res.Error, Backend: res.Backend})
 				mu.Lock()
 				computed[j.k] = res
 				done++
@@ -289,7 +301,7 @@ func (c *Compiler) synthOne(ctx context.Context, j opJob) (Result, error) {
 			obs(o)
 		})
 	}
-	res, err := c.Backend.Synthesize(ctx, j.target, req)
+	res, err := c.synthesizeContained(ctx, j.target, req)
 	if sp != nil {
 		if err != nil {
 			sp.SetAttr("error", err.Error())
@@ -300,18 +312,45 @@ func (c *Compiler) synthOne(ctx context.Context, j opJob) (Result, error) {
 		}
 		sp.End()
 	}
-	if err == nil && c.Observe != nil {
-		c.Observe(SynthObservation{
-			Backend: res.Backend,
-			Epsilon: req.eps(),
-			Wall:    res.Wall,
-			Class:   class,
-			TCount:  res.TCount,
-			ErrDist: res.Error,
-			Won:     true,
-		})
+	if c.Observe != nil {
+		var pe *fault.PanicError
+		switch {
+		case err == nil:
+			c.Observe(SynthObservation{
+				Backend: res.Backend,
+				Epsilon: req.eps(),
+				Wall:    res.Wall,
+				Class:   class,
+				TCount:  res.TCount,
+				ErrDist: res.Error,
+				Won:     true,
+			})
+		case errors.As(err, &pe):
+			// A contained panic is a failed synthesis the statistics must
+			// see (the same Failed shape a failed racer reports).
+			c.Observe(SynthObservation{
+				Backend: c.Backend.Name(),
+				Epsilon: req.eps(),
+				Class:   class,
+				Failed:  true,
+			})
+		}
 	}
 	return res, err
+}
+
+// synthesizeContained is the backend call under the worker-boundary
+// containment: the fault injector's backend site fires first (the chaos
+// harness's hook), and a panic anywhere below — backend code, injected
+// or genuine — is recovered into a *fault.PanicError instead of killing
+// the worker goroutine and with it the process.
+func (c *Compiler) synthesizeContained(ctx context.Context, target qmat.M2, req Request) (res Result, err error) {
+	site := "backend:" + c.Backend.Name()
+	defer fault.Recover(ctx, site, &err)
+	if ferr := fault.At(ctx, site); ferr != nil {
+		return Result{}, ferr
+	}
+	return c.Backend.Synthesize(ctx, target, req)
 }
 
 // ObsClasses is the bounded angle-class vocabulary statistics are keyed
@@ -387,7 +426,10 @@ type BatchStats struct {
 // repeats — within the batch or from earlier jobs sharing the cache — with
 // a single synthesis each. Results are in input order. On error (including
 // context cancellation) the pool drains and the first error is returned;
-// the result slice then holds zero values for unfinished items.
+// the result slice then holds zero values for unfinished items. A backend
+// panic is contained at the worker boundary and fails only its own op:
+// the batch still returns nil error and that op's Result carries Err (a
+// *fault.PanicError) with an empty Seq.
 func (c *Compiler) CompileBatch(ctx context.Context, targets []qmat.M2) ([]Result, error) {
 	results, _, err := c.CompileBatchStats(ctx, targets)
 	return results, err
@@ -417,9 +459,13 @@ func (c *Compiler) CompileBatchStats(ctx context.Context, targets []qmat.M2) ([]
 	for i, j := range jobs {
 		if res, ok := computed[j.k]; ok {
 			// The freshly synthesized occurrence keeps its full metadata
-			// (wall time, evals); repeats read the amortized entry.
+			// (wall time, evals); repeats read the amortized entry. A
+			// failed op's record stays put so its repeats report the same
+			// failure instead of falling through to an inline recompute.
 			results[i] = res
-			delete(computed, j.k)
+			if res.Err == nil {
+				delete(computed, j.k)
+			}
 			continue
 		}
 		if e, ok := cache.peek(j.k); ok {
@@ -433,7 +479,12 @@ func (c *Compiler) CompileBatchStats(ctx context.Context, targets []qmat.M2) ([]
 		stats.Misses++
 		res, serr := c.synthOne(ctx, j)
 		if serr != nil {
-			return results, stats, serr
+			var pe *fault.PanicError
+			if !errors.As(serr, &pe) {
+				return results, stats, serr
+			}
+			results[i] = Result{Err: serr, Backend: c.Backend.Name()}
+			continue
 		}
 		cache.PutCtx(ctx, j.k, Entry{Seq: res.Seq, Err: res.Error, Backend: res.Backend})
 		results[i] = res

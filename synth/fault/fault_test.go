@@ -1,0 +1,252 @@
+package fault
+
+import (
+	"context"
+	"errors"
+	"strings"
+	"sync"
+	"testing"
+	"time"
+)
+
+func TestParseSpec(t *testing.T) {
+	in, err := Parse("backend:gridsynth panic every=3; peer:b latency=400ms; handler:/v1/synthesize error=boom prob=0.5 seed=42")
+	if err != nil {
+		t.Fatalf("Parse: %v", err)
+	}
+	rules := in.Rules()
+	if len(rules) != 3 {
+		t.Fatalf("got %d rules, want 3", len(rules))
+	}
+	if r := rules[0]; r.Site != "backend:gridsynth" || r.Action != ActPanic || r.Every != 3 {
+		t.Fatalf("rule 0 = %+v", r)
+	}
+	if r := rules[1]; r.Action != ActLatency || r.Latency != 400*time.Millisecond {
+		t.Fatalf("rule 1 = %+v", r)
+	}
+	if r := rules[2]; r.Action != ActError || r.Msg != "boom" || r.Prob != 0.5 || r.Seed != 42 {
+		t.Fatalf("rule 2 = %+v", r)
+	}
+}
+
+func TestParseEmptyAndErrors(t *testing.T) {
+	if in, err := Parse("  "); err != nil || in != nil {
+		t.Fatalf("empty spec: injector=%v err=%v, want nil/nil", in, err)
+	}
+	for _, bad := range []string{
+		"justasite",
+		"site explode",
+		"site latency",
+		"site latency=notadur",
+		"site error every=x",
+		"site error prob=1.5",
+		"site error frequency=2",
+	} {
+		if _, err := Parse(bad); err == nil {
+			t.Errorf("Parse(%q) accepted, want error", bad)
+		}
+	}
+}
+
+func TestErrorInjection(t *testing.T) {
+	in, err := Parse("peer:b error=down")
+	if err != nil {
+		t.Fatal(err)
+	}
+	ctx := NewContext(context.Background(), in)
+	if err := At(ctx, "peer:a"); err != nil {
+		t.Fatalf("non-matching site injected: %v", err)
+	}
+	err = At(ctx, "peer:b")
+	var ie *InjectedError
+	if !errors.As(err, &ie) || ie.Site != "peer:b" || !strings.Contains(ie.Error(), "down") {
+		t.Fatalf("got %v, want InjectedError at peer:b", err)
+	}
+}
+
+func TestWildcardSite(t *testing.T) {
+	in, _ := Parse("peer:* error")
+	for _, site := range []string{"peer:a", "peer:bb"} {
+		if in.At(context.Background(), site) == nil {
+			t.Errorf("wildcard did not match %q", site)
+		}
+	}
+	if err := in.At(context.Background(), "backend:peer"); err != nil {
+		t.Errorf("wildcard matched %q: %v", "backend:peer", err)
+	}
+}
+
+func TestEveryAfterCount(t *testing.T) {
+	in, _ := Parse("s error every=3 after=2 count=2")
+	var fires []int
+	for i := 1; i <= 14; i++ {
+		if in.At(context.Background(), "s") != nil {
+			fires = append(fires, i)
+		}
+	}
+	// after=2 skips calls 1-2; every=3 then fires on calls 5, 8, 11, ...;
+	// count=2 keeps only the first two.
+	want := []int{5, 8}
+	if len(fires) != len(want) || fires[0] != want[0] || fires[1] != want[1] {
+		t.Fatalf("fired on calls %v, want %v", fires, want)
+	}
+	if got := in.Rules()[0].Fired(); got != 2 {
+		t.Fatalf("Fired() = %d, want 2", got)
+	}
+}
+
+func TestProbDeterministic(t *testing.T) {
+	run := func() []int {
+		in, _ := Parse("s error prob=0.3 seed=7")
+		var fires []int
+		for i := 0; i < 100; i++ {
+			if in.At(context.Background(), "s") != nil {
+				fires = append(fires, i)
+			}
+		}
+		return fires
+	}
+	a, b := run(), run()
+	if len(a) == 0 || len(a) == 100 {
+		t.Fatalf("prob=0.3 fired %d/100 times", len(a))
+	}
+	if len(a) != len(b) {
+		t.Fatalf("two seeded runs differ: %d vs %d fires", len(a), len(b))
+	}
+	for i := range a {
+		if a[i] != b[i] {
+			t.Fatalf("two seeded runs diverge at fire %d: %d vs %d", i, a[i], b[i])
+		}
+	}
+}
+
+func TestPanicInjectionAndRecover(t *testing.T) {
+	in, _ := Parse("backend:x panic=kaboom")
+	var observed *PanicError
+	ctx := WithPanicObserver(NewContext(context.Background(), in), func(pe *PanicError) {
+		observed = pe
+	})
+	call := func() (err error) {
+		defer Recover(ctx, "backend:x", &err)
+		if ferr := At(ctx, "backend:x"); ferr != nil {
+			return ferr
+		}
+		return nil
+	}
+	err := call()
+	var pe *PanicError
+	if !errors.As(err, &pe) {
+		t.Fatalf("got %v, want PanicError", err)
+	}
+	if pe.Site != "backend:x" || !strings.Contains(pe.Error(), "kaboom") {
+		t.Fatalf("PanicError = %+v", pe)
+	}
+	if pe.Stack == "" || strings.HasPrefix(pe.Stack, "goroutine ") {
+		t.Fatalf("stack not trimmed:\n%s", pe.Stack)
+	}
+	if observed != pe {
+		t.Fatalf("observer saw %v, want the same PanicError", observed)
+	}
+}
+
+func TestRecoverGenuinePanic(t *testing.T) {
+	call := func() (err error) {
+		defer Recover(context.Background(), "worker", &err)
+		var m map[string]int
+		m["boom"] = 1 // nil map write panics
+		return nil
+	}
+	err := call()
+	var pe *PanicError
+	if !errors.As(err, &pe) || pe.Site != "worker" {
+		t.Fatalf("got %v, want PanicError at worker", err)
+	}
+	if !strings.Contains(pe.Stack, "fault_test.go") {
+		t.Fatalf("stack does not reach the panicking frame:\n%s", pe.Stack)
+	}
+}
+
+func TestRecoverNoPanic(t *testing.T) {
+	call := func() (err error) {
+		defer Recover(context.Background(), "worker", &err)
+		return nil
+	}
+	if err := call(); err != nil {
+		t.Fatalf("Recover invented an error: %v", err)
+	}
+}
+
+func TestLatencyInjection(t *testing.T) {
+	in, _ := Parse("s latency=50ms")
+	start := time.Now()
+	if err := in.At(context.Background(), "s"); err != nil {
+		t.Fatalf("latency returned error: %v", err)
+	}
+	if d := time.Since(start); d < 40*time.Millisecond {
+		t.Fatalf("latency slept %v, want ~50ms", d)
+	}
+	// Bounded by the context: a tighter deadline cuts the sleep short.
+	in2, _ := Parse("s latency=10s")
+	ctx, cancel := context.WithTimeout(context.Background(), 30*time.Millisecond)
+	defer cancel()
+	start = time.Now()
+	err := in2.At(ctx, "s")
+	if !errors.Is(err, context.DeadlineExceeded) {
+		t.Fatalf("got %v, want DeadlineExceeded", err)
+	}
+	if d := time.Since(start); d > time.Second {
+		t.Fatalf("latency ignored the context (%v)", d)
+	}
+}
+
+func TestTimeoutInjection(t *testing.T) {
+	in, _ := Parse("s timeout")
+	ctx, cancel := context.WithTimeout(context.Background(), 30*time.Millisecond)
+	defer cancel()
+	if err := in.At(ctx, "s"); !errors.Is(err, context.DeadlineExceeded) {
+		t.Fatalf("got %v, want DeadlineExceeded", err)
+	}
+}
+
+func TestNilInjectorInert(t *testing.T) {
+	var in *Injector
+	if err := in.At(context.Background(), "anything"); err != nil {
+		t.Fatalf("nil injector injected: %v", err)
+	}
+	if err := At(context.Background(), "anything"); err != nil {
+		t.Fatalf("bare context injected: %v", err)
+	}
+	if ctx := NewContext(context.Background(), nil); FromContext(ctx) != nil {
+		t.Fatal("NewContext(nil) installed something")
+	}
+}
+
+func TestConcurrentCountExact(t *testing.T) {
+	in, _ := Parse("s error count=10")
+	var wg sync.WaitGroup
+	var fired atomic64
+	for w := 0; w < 8; w++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for i := 0; i < 100; i++ {
+				if in.At(context.Background(), "s") != nil {
+					fired.add(1)
+				}
+			}
+		}()
+	}
+	wg.Wait()
+	if got := fired.load(); got != 10 {
+		t.Fatalf("count=10 fired %d times under concurrency", got)
+	}
+}
+
+// atomic64 avoids importing sync/atomic twice under different idioms.
+type atomic64 struct {
+	mu sync.Mutex
+	n  int64
+}
+
+func (a *atomic64) add(d int64) { a.mu.Lock(); a.n += d; a.mu.Unlock() }
+func (a *atomic64) load() int64 { a.mu.Lock(); defer a.mu.Unlock(); return a.n }

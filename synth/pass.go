@@ -304,7 +304,8 @@ func runLower(pc *PassContext, c *circuit.Circuit) (*circuit.Circuit, error) {
 		pc.event("lower", done, total)
 		pmu.Unlock()
 	}
-	if _, err := comp.synthesizeMissing(ctx, missing, progress); err != nil {
+	computed, err := comp.synthesizeMissing(ctx, missing, progress)
+	if err != nil {
 		return nil, fmt.Errorf("lowering %s IR: %w", scope, err)
 	}
 
@@ -329,6 +330,12 @@ func runLower(pc *PassContext, c *circuit.Circuit) (*circuit.Circuit, error) {
 		}
 		j := jobs[ji]
 		ji++
+		// A contained backend panic fails only its op in batch mode, but a
+		// circuit cannot be assembled around a hole — surface it as this
+		// compile's error (the process survives; the request does not).
+		if res, ok := computed[j.k]; ok && res.Err != nil {
+			return nil, fmt.Errorf("lowering %s IR: %w", scope, res.Err)
+		}
 		e, ok := cache.peek(j.k)
 		if !ok {
 			cache.creditMiss()

@@ -8,12 +8,15 @@ import (
 	"bytes"
 	"context"
 	"encoding/json"
+	"errors"
 	"fmt"
 	"io"
 	"math/rand"
+	"net"
 	"net/http"
 	"strconv"
 	"strings"
+	"syscall"
 	"time"
 
 	"repro/synth/serve"
@@ -43,10 +46,13 @@ func WithTenant(tenant string) Option { return func(c *Client) { c.tenant = tena
 // WithRetry enables bounded retries of rejected requests: a 429 (tenant
 // quota) or 503 (admission control) response is retried up to n times,
 // sleeping the server's Retry-After (capped at retryAfterCap) with ±25%
-// jitter so a herd of rejected clients doesn't return in lockstep. Off
-// by default — rejection is part of the API, and callers probing the
-// rejection path (tests, load shedding experiments) must see the raw
-// status.
+// jitter so a herd of rejected clients doesn't return in lockstep. The
+// same budget covers transport-level connection failures — refused or
+// reset connections, EOF before a response — which a restarting daemon
+// emits for a few hundred milliseconds; those back off exponentially
+// from 100ms. Off by default — rejection is part of the API, and
+// callers probing the rejection path (tests, load shedding experiments)
+// must see the raw status.
 func WithRetry(n int) Option { return func(c *Client) { c.retries = n } }
 
 // retryAfterCap bounds one retry sleep regardless of what the server
@@ -176,7 +182,15 @@ func (c *Client) do(ctx context.Context, out any, build func() (*http.Request, e
 		}
 		res, err := c.hc.Do(req)
 		if err != nil {
-			return err
+			if attempt >= c.retries || !transportRetryable(err) {
+				return err
+			}
+			select {
+			case <-time.After(retryDelay("", attempt)):
+				continue
+			case <-ctx.Done():
+				return ctx.Err()
+			}
 		}
 		if res.StatusCode == http.StatusOK {
 			err := json.NewDecoder(res.Body).Decode(out)
@@ -203,6 +217,32 @@ func (c *Client) do(ctx context.Context, out any, build func() (*http.Request, e
 			return ctx.Err()
 		}
 	}
+}
+
+// transportRetryable reports whether a c.hc.Do error is a connection
+// failure worth replaying: the request never produced a response, so a
+// retry cannot double-execute it... except for an EOF/reset racing a
+// response the daemon had already started — acceptable here because
+// every synthd POST is idempotent (synthesis is a pure function and
+// the cache absorbs repeats). Context cancellation and deadlines are
+// the caller's verdict and are never retried.
+func transportRetryable(err error) bool {
+	if errors.Is(err, context.Canceled) || errors.Is(err, context.DeadlineExceeded) {
+		return false
+	}
+	if errors.Is(err, io.EOF) || errors.Is(err, io.ErrUnexpectedEOF) || errors.Is(err, net.ErrClosed) ||
+		errors.Is(err, syscall.ECONNREFUSED) || errors.Is(err, syscall.ECONNRESET) || errors.Is(err, syscall.EPIPE) {
+		return true
+	}
+	// A pooled keep-alive connection the daemon closed while idle. The
+	// transport auto-replays this only for idempotent methods, so POSTs
+	// see it raw; the sentinel is unexported, leaving the message.
+	if strings.Contains(err.Error(), "server closed idle connection") {
+		return true
+	}
+	// Any dial failure means no bytes reached a server — always safe.
+	var op *net.OpError
+	return errors.As(err, &op) && op.Op == "dial"
 }
 
 // retryDelay turns a Retry-After header (integer seconds; the only form

@@ -4,10 +4,13 @@ import (
 	"context"
 	"encoding/json"
 	"errors"
+	"net"
 	"net/http"
 	"net/http/httptest"
 	"sync/atomic"
+	"syscall"
 	"testing"
+	"time"
 
 	"repro/synth/serve"
 	"repro/synth/serve/client"
@@ -92,6 +95,126 @@ func TestRetryBudgetExhausted(t *testing.T) {
 	}
 	if got := calls.Load(); got != 3 {
 		t.Fatalf("server saw %d attempts, want 3 (1 + 2 retries)", got)
+	}
+}
+
+// killingListener closes the first kills accepted connections before a
+// byte is exchanged — the client sees ECONNRESET or EOF, exactly what a
+// daemon dropping mid-restart looks like — then passes connections
+// through. accepts counts every connection attempt that reached us.
+type killingListener struct {
+	net.Listener
+	kills   atomic.Int64
+	accepts atomic.Int64
+}
+
+func (l *killingListener) Accept() (net.Conn, error) {
+	for {
+		conn, err := l.Listener.Accept()
+		if err != nil {
+			return conn, err
+		}
+		l.accepts.Add(1)
+		if l.kills.Add(-1) < 0 {
+			return conn, nil
+		}
+		conn.Close()
+	}
+}
+
+// killingServer serves the usual one-T response behind a listener that
+// kills the first n connections.
+func killingServer(t *testing.T, n int64) (*httptest.Server, *killingListener) {
+	t.Helper()
+	hs := httptest.NewUnstartedServer(http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		json.NewEncoder(w).Encode(serve.SynthesizeResponse{
+			Results: []serve.SynthesizeResult{{Seq: "T"}}, Hits: 1,
+		})
+	}))
+	kl := &killingListener{Listener: hs.Listener}
+	kl.kills.Store(n)
+	hs.Listener = kl
+	hs.Start()
+	t.Cleanup(hs.Close)
+	return hs, kl
+}
+
+// TestRetryTransportReset: connections reset before a response replay
+// under the WithRetry budget — the POST body is rebuilt per attempt and
+// the call ultimately succeeds.
+func TestRetryTransportReset(t *testing.T) {
+	hs, kl := killingServer(t, 2)
+	cl := client.New(hs.URL, client.WithRetry(3))
+	resp, err := cl.Synthesize(context.Background(), retryReq)
+	if err != nil {
+		t.Fatalf("retry-enabled client failed across resets: %v", err)
+	}
+	if resp.Hits != 1 || len(resp.Results) != 1 || resp.Results[0].Seq != "T" {
+		t.Fatalf("retried request decoded wrong response: %+v", resp)
+	}
+	if got := kl.accepts.Load(); got != 3 {
+		t.Fatalf("server saw %d connections, want 3 (2 killed + 1 served)", got)
+	}
+}
+
+// TestNoTransportRetryByDefault: without WithRetry a reset surfaces
+// immediately as a transport error, not an APIError, after one attempt.
+func TestNoTransportRetryByDefault(t *testing.T) {
+	hs, kl := killingServer(t, 1000)
+	cl := client.New(hs.URL)
+	_, err := cl.Synthesize(context.Background(), retryReq)
+	if err == nil {
+		t.Fatal("want a transport error, got success")
+	}
+	var ae *client.APIError
+	if errors.As(err, &ae) {
+		t.Fatalf("transport failure surfaced as APIError: %v", err)
+	}
+	if got := kl.accepts.Load(); got != 1 {
+		t.Fatalf("default client made %d connection attempts, want 1", got)
+	}
+}
+
+// TestTransportRetryRefusedExhaustsBudget: nothing listening at all —
+// every dial is refused, the budget runs out, and the last refusal is
+// what the caller sees.
+func TestTransportRetryRefusedExhaustsBudget(t *testing.T) {
+	ln, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	addr := ln.Addr().String()
+	ln.Close()
+	cl := client.New("http://"+addr, client.WithRetry(2))
+	_, err = cl.Synthesize(context.Background(), retryReq)
+	if !errors.Is(err, syscall.ECONNREFUSED) {
+		t.Fatalf("want connection refused after budget, got %v", err)
+	}
+}
+
+// TestTransportRetryStopsOnDeadline: the caller's deadline overrides
+// any remaining retry budget — an unreachable daemon must not pin the
+// caller for 1000 backoffs.
+func TestTransportRetryStopsOnDeadline(t *testing.T) {
+	ln, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	addr := ln.Addr().String()
+	ln.Close()
+	cl := client.New("http://"+addr, client.WithRetry(1000))
+	ctx, cancel := context.WithTimeout(context.Background(), 250*time.Millisecond)
+	defer cancel()
+	start := time.Now()
+	_, err = cl.Synthesize(ctx, retryReq)
+	if err == nil {
+		t.Fatal("want an error, got success")
+	}
+	if !errors.Is(err, context.DeadlineExceeded) {
+		t.Fatalf("want context.DeadlineExceeded, got %v", err)
+	}
+	if el := time.Since(start); el > 5*time.Second {
+		t.Fatalf("deadline ignored: returned after %v", el)
 	}
 }
 

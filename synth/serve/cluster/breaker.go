@@ -1,0 +1,228 @@
+package cluster
+
+import (
+	"math/rand"
+	"sync"
+	"time"
+)
+
+// Default breaker tuning. The threshold is deliberately small: with a
+// 250ms lookup timeout, five consecutive timeouts against a dead peer
+// cost 1.25s of added latency spread over five requests before the
+// breaker opens and every later miss falls through to local synthesis
+// in microseconds.
+const (
+	DefaultBreakerThreshold   = 5
+	DefaultBreakerCooldown    = 1 * time.Second
+	DefaultBreakerMaxCooldown = 30 * time.Second
+)
+
+// BreakerConfig tunes the per-peer circuit breakers.
+type BreakerConfig struct {
+	// Threshold is the consecutive-failure count that opens a peer's
+	// breaker. 0 selects DefaultBreakerThreshold; negative disables
+	// breakers entirely (every call goes to the wire).
+	Threshold int
+	// Cooldown is the open interval before the first half-open probe;
+	// it doubles on every consecutive re-open up to MaxCooldown, with
+	// ±25% jitter so a fleet does not probe a recovering peer in
+	// lockstep. Zero selects the defaults.
+	Cooldown    time.Duration
+	MaxCooldown time.Duration
+}
+
+func (c BreakerConfig) withDefaults() BreakerConfig {
+	if c.Threshold == 0 {
+		c.Threshold = DefaultBreakerThreshold
+	}
+	if c.Cooldown <= 0 {
+		c.Cooldown = DefaultBreakerCooldown
+	}
+	if c.MaxCooldown <= 0 {
+		c.MaxCooldown = DefaultBreakerMaxCooldown
+	}
+	if c.MaxCooldown < c.Cooldown {
+		c.MaxCooldown = c.Cooldown
+	}
+	return c
+}
+
+// breakerState is the classic three-state machine: closed (traffic
+// flows, failures counted) → open (traffic skipped until a cooldown
+// expires) → half-open (exactly one probe in flight decides).
+type breakerState int
+
+const (
+	stateClosed breakerState = iota
+	stateHalfOpen
+	stateOpen
+)
+
+func (s breakerState) String() string {
+	switch s {
+	case stateHalfOpen:
+		return "half-open"
+	case stateOpen:
+		return "open"
+	default:
+		return "closed"
+	}
+}
+
+// PeerBreaker is one peer's breaker snapshot, as exposed on /healthz.
+type PeerBreaker struct {
+	Peer  string `json:"peer"`
+	State string `json:"state"`
+	// ConsecutiveFailures is the current failure streak (resets on any
+	// success); Trips counts closed/half-open → open transitions since
+	// start.
+	ConsecutiveFailures int   `json:"consecutive_failures"`
+	Trips               int64 `json:"trips"`
+	// RetryInMs, for an open breaker, is the time until the next
+	// half-open probe is admitted.
+	RetryInMs int64 `json:"retry_in_ms,omitempty"`
+}
+
+// breaker guards one peer. All methods are cheap (a mutex and a few
+// fields) next to the network call they gate.
+type breaker struct {
+	mu    sync.Mutex
+	cfg   BreakerConfig
+	peer  string
+	state breakerState
+	fails int   // consecutive failures
+	trips int64 // lifetime → open transitions
+	// cooldown is the open interval the NEXT trip will use; it doubles
+	// per consecutive re-open and resets on a confirmed recovery.
+	cooldown time.Duration
+	probeAt  time.Time
+	probing  bool
+	rng      *rand.Rand
+	// onChange observes every state transition (under mu: keep it to
+	// counters and logging).
+	onChange func(peer string, from, to breakerState)
+}
+
+func newBreaker(peer string, cfg BreakerConfig, onChange func(peer string, from, to breakerState)) *breaker {
+	return &breaker{
+		peer:     peer,
+		cfg:      cfg,
+		cooldown: cfg.Cooldown,
+		rng:      rand.New(rand.NewSource(int64(hashID(peer)) | 1)),
+		onChange: onChange,
+	}
+}
+
+// Allow reports whether a call to this peer may go to the wire now.
+// An open breaker whose cooldown has expired admits exactly one
+// half-open probe; further calls are skipped until that probe settles
+// via Success or Failure.
+func (b *breaker) Allow(now time.Time) bool {
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	switch b.state {
+	case stateClosed:
+		return true
+	case stateOpen:
+		if now.Before(b.probeAt) {
+			return false
+		}
+		b.transition(stateHalfOpen)
+		b.probing = true
+		return true
+	default: // half-open
+		if b.probing {
+			return false
+		}
+		b.probing = true
+		return true
+	}
+}
+
+// Success records a successful call: any state collapses back to
+// closed and the backoff resets.
+func (b *breaker) Success() {
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	b.fails = 0
+	b.probing = false
+	b.cooldown = b.cfg.Cooldown
+	if b.state != stateClosed {
+		b.transition(stateClosed)
+	}
+}
+
+// Failure records a failed call. A failed half-open probe re-opens
+// immediately with a doubled cooldown; in the closed state the breaker
+// opens once the consecutive-failure streak reaches the threshold.
+func (b *breaker) Failure(now time.Time) {
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	b.fails++
+	switch b.state {
+	case stateHalfOpen:
+		b.probing = false
+		b.trip(now, true)
+	case stateClosed:
+		if b.fails >= b.cfg.Threshold {
+			b.trip(now, false)
+		}
+	}
+	// Already open: a straggler from before the trip; the streak was
+	// counted, nothing else to do.
+}
+
+// trip opens the breaker. redouble marks a failed recovery probe, which
+// escalates the backoff.
+func (b *breaker) trip(now time.Time, redouble bool) {
+	cd := b.cooldown
+	if redouble {
+		if cd *= 2; cd > b.cfg.MaxCooldown {
+			cd = b.cfg.MaxCooldown
+		}
+		b.cooldown = cd
+	}
+	// ±25% jitter: a fleet that lost the same peer at the same moment
+	// must not re-probe it in lockstep.
+	jittered := time.Duration(float64(cd) * (0.75 + 0.5*b.rng.Float64()))
+	b.probeAt = now.Add(jittered)
+	b.trips++
+	b.transition(stateOpen)
+}
+
+// transition must be called with mu held.
+func (b *breaker) transition(to breakerState) {
+	from := b.state
+	b.state = to
+	if b.onChange != nil && from != to {
+		b.onChange(b.peer, from, to)
+	}
+}
+
+// snapshot renders the breaker for /healthz and /metrics.
+func (b *breaker) snapshot(now time.Time) PeerBreaker {
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	pb := PeerBreaker{
+		Peer:                b.peer,
+		State:               b.state.String(),
+		ConsecutiveFailures: b.fails,
+		Trips:               b.trips,
+	}
+	if b.state == stateOpen {
+		if d := b.probeAt.Sub(now); d > 0 {
+			pb.RetryInMs = d.Milliseconds()
+		}
+	}
+	return pb
+}
+
+// hashID is FNV-1a over a peer ID — a stable jitter seed.
+func hashID(s string) uint64 {
+	h := uint64(14695981039346656037)
+	for i := 0; i < len(s); i++ {
+		h ^= uint64(s[i])
+		h *= 1099511628211
+	}
+	return h
+}

@@ -1,0 +1,167 @@
+package cluster
+
+import (
+	"testing"
+	"time"
+)
+
+func newTestBreaker(th int, cd time.Duration, trans *[]string) *breaker {
+	cfg := BreakerConfig{Threshold: th, Cooldown: cd, MaxCooldown: 100 * cd}.withDefaults()
+	return newBreaker("p", cfg, func(peer string, from, to breakerState) {
+		if trans != nil {
+			*trans = append(*trans, from.String()+">"+to.String())
+		}
+	})
+}
+
+func TestBreakerOpensAtThreshold(t *testing.T) {
+	var trans []string
+	b := newTestBreaker(3, time.Second, &trans)
+	now := time.Now()
+	for i := 0; i < 2; i++ {
+		if !b.Allow(now) {
+			t.Fatalf("closed breaker denied call %d", i)
+		}
+		b.Failure(now)
+	}
+	if s := b.snapshot(now); s.State != "closed" || s.ConsecutiveFailures != 2 {
+		t.Fatalf("below threshold: %+v", s)
+	}
+	b.Failure(now) // third consecutive failure trips it
+	s := b.snapshot(now)
+	if s.State != "open" || s.Trips != 1 {
+		t.Fatalf("at threshold: %+v", s)
+	}
+	if s.RetryInMs <= 0 {
+		t.Fatalf("open breaker with no retry horizon: %+v", s)
+	}
+	if b.Allow(now) {
+		t.Fatal("open breaker admitted a call before cooldown")
+	}
+	if len(trans) != 1 || trans[0] != "closed>open" {
+		t.Fatalf("transitions: %v", trans)
+	}
+}
+
+func TestBreakerSuccessResetsStreak(t *testing.T) {
+	b := newTestBreaker(3, time.Second, nil)
+	now := time.Now()
+	b.Failure(now)
+	b.Failure(now)
+	b.Success()
+	b.Failure(now)
+	b.Failure(now)
+	if s := b.snapshot(now); s.State != "open" && s.ConsecutiveFailures != 2 {
+		t.Fatalf("streak did not reset: %+v", s)
+	}
+	if s := b.snapshot(now); s.State == "open" {
+		t.Fatalf("non-consecutive failures tripped the breaker: %+v", s)
+	}
+}
+
+func TestBreakerHalfOpenSingleProbe(t *testing.T) {
+	var trans []string
+	b := newTestBreaker(1, 10*time.Millisecond, &trans)
+	now := time.Now()
+	b.Failure(now) // trips at threshold 1
+	// Past the maximum jittered cooldown (1.25×): exactly one probe.
+	later := now.Add(20 * time.Millisecond)
+	if !b.Allow(later) {
+		t.Fatal("expired cooldown denied the probe")
+	}
+	if b.Allow(later) {
+		t.Fatal("half-open breaker admitted a second concurrent probe")
+	}
+	if s := b.snapshot(later); s.State != "half-open" {
+		t.Fatalf("state after probe admit: %+v", s)
+	}
+	b.Success()
+	if s := b.snapshot(later); s.State != "closed" || s.ConsecutiveFailures != 0 {
+		t.Fatalf("probe success did not close: %+v", s)
+	}
+	want := []string{"closed>open", "open>half-open", "half-open>closed"}
+	if len(trans) != 3 || trans[0] != want[0] || trans[1] != want[1] || trans[2] != want[2] {
+		t.Fatalf("transitions: %v, want %v", trans, want)
+	}
+}
+
+func TestBreakerFailedProbeDoublesCooldown(t *testing.T) {
+	b := newTestBreaker(1, 100*time.Millisecond, nil)
+	now := time.Now()
+	b.Failure(now)
+	first := b.probeAt.Sub(now)
+	later := now.Add(time.Second)
+	if !b.Allow(later) {
+		t.Fatal("probe denied")
+	}
+	b.Failure(later)
+	s := b.snapshot(later)
+	if s.State != "open" || s.Trips != 2 {
+		t.Fatalf("failed probe did not re-open: %+v", s)
+	}
+	second := b.probeAt.Sub(later)
+	// Jitter is ±25%, doubling is ×2: the re-open horizon strictly
+	// exceeds the worst-case first horizon (200×0.75 > 100×1.25).
+	if second <= first {
+		t.Fatalf("cooldown did not escalate: first %v, second %v", first, second)
+	}
+	// A recovery resets the backoff to the configured base.
+	if !b.Allow(later.Add(time.Second)) {
+		t.Fatal("second probe denied")
+	}
+	b.Success()
+	if b.cooldown != b.cfg.Cooldown {
+		t.Fatalf("cooldown not reset on recovery: %v", b.cooldown)
+	}
+}
+
+func TestBreakerCooldownCap(t *testing.T) {
+	cfg := BreakerConfig{Threshold: 1, Cooldown: time.Second, MaxCooldown: 3 * time.Second}.withDefaults()
+	b := newBreaker("p", cfg, nil)
+	now := time.Now()
+	b.Failure(now)
+	for i := 0; i < 5; i++ {
+		now = now.Add(time.Minute)
+		if !b.Allow(now) {
+			t.Fatalf("probe %d denied", i)
+		}
+		b.Failure(now)
+	}
+	if b.cooldown != cfg.MaxCooldown {
+		t.Fatalf("cooldown %v, want capped at %v", b.cooldown, cfg.MaxCooldown)
+	}
+}
+
+func TestBreakerDisabled(t *testing.T) {
+	n, err := New(Config{
+		SelfID:  "a",
+		Peers:   map[string]string{"b": "http://localhost:1"},
+		Breaker: BreakerConfig{Threshold: -1},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(n.breakers) != 0 {
+		t.Fatalf("Threshold<0 still built %d breakers", len(n.breakers))
+	}
+	if n.BreakerStates() != nil {
+		t.Fatal("disabled breakers still report states")
+	}
+	if _, ok := n.allowPeer("b"); !ok {
+		t.Fatal("disabled breakers denied a call")
+	}
+}
+
+func TestBreakerDefaults(t *testing.T) {
+	cfg := BreakerConfig{}.withDefaults()
+	if cfg.Threshold != DefaultBreakerThreshold ||
+		cfg.Cooldown != DefaultBreakerCooldown ||
+		cfg.MaxCooldown != DefaultBreakerMaxCooldown {
+		t.Fatalf("defaults: %+v", cfg)
+	}
+	// MaxCooldown never undercuts Cooldown.
+	cfg = BreakerConfig{Cooldown: time.Minute, MaxCooldown: time.Second}.withDefaults()
+	if cfg.MaxCooldown != time.Minute {
+		t.Fatalf("MaxCooldown %v < Cooldown %v", cfg.MaxCooldown, cfg.Cooldown)
+	}
+}

@@ -1,0 +1,322 @@
+// Chaos tests: the fault-containment acceptance path. A dead peer, a
+// slow peer, and a panicking backend each cost exactly what the design
+// says they cost — never a process, never an unrelated request.
+package cluster_test
+
+import (
+	"context"
+	"strings"
+	"testing"
+	"time"
+
+	"repro/internal/qmat"
+	"repro/synth"
+	"repro/synth/fault"
+	"repro/synth/serve"
+	"repro/synth/serve/cluster"
+)
+
+// chaosBreaker is the tight tuning chaos tests use: trip fast, probe
+// fast, so a full open → half-open → closed cycle fits in a test.
+func chaosBreaker() cluster.BreakerConfig {
+	return cluster.BreakerConfig{
+		Threshold:   3,
+		Cooldown:    200 * time.Millisecond,
+		MaxCooldown: time.Second,
+	}
+}
+
+// angleCursor yields an endless stream of fresh rotation angles owned
+// by one ring member, under the exact key the serving compiler will
+// use. start varies per call site so tests never collide on cached
+// entries.
+type angleCursor struct {
+	tn    *testNode
+	owner string
+	next  float64
+}
+
+func (c *angleCursor) angle() float64 {
+	req := synth.Request{Epsilon: 1e-2}
+	for {
+		th := c.next
+		c.next += 0.0137
+		k := synth.KeyForTarget(qmat.Rz(th), "gridsynth", req)
+		if c.tn.node.Ring().OwnerOf(k) == c.owner {
+			return th
+		}
+	}
+}
+
+// anglesOwnedBy returns the cursor's next n angles.
+func anglesOwnedBy(t *testing.T, tn *testNode, owner string, n int, start float64) []float64 {
+	t.Helper()
+	c := &angleCursor{tn: tn, owner: owner, next: start}
+	out := make([]float64, n)
+	for i := range out {
+		out[i] = c.angle()
+	}
+	return out
+}
+
+// breakerFor extracts peer's breaker snapshot from a /healthz body.
+func breakerFor(t *testing.T, tn *testNode, peer string) cluster.PeerBreaker {
+	t.Helper()
+	h, err := tn.cl.Health(context.Background())
+	if err != nil {
+		t.Fatalf("healthz: %v", err)
+	}
+	for _, br := range h.Breakers {
+		if br.Peer == peer {
+			return br
+		}
+	}
+	t.Fatalf("healthz has no breaker for peer %q: %+v", peer, h.Breakers)
+	return cluster.PeerBreaker{}
+}
+
+// TestChaosDeadPeerBreakerCycle: killing a peer opens its breaker on
+// the survivor after Threshold failed lookups, open-breaker misses fall
+// through to local synthesis in microseconds, and restarting the peer
+// recloses the breaker via a half-open probe. Every request along the
+// way succeeds.
+func TestChaosDeadPeerBreakerCycle(t *testing.T) {
+	tc := newTestCluster(t, "a", "b", "c")
+	a := tc.startWith("a", cluster.Config{
+		LookupTimeout: 2 * time.Second,
+		PushTimeout:   500 * time.Millisecond,
+		Breaker:       chaosBreaker(),
+	}, serve.Config{DefaultBackend: "gridsynth"})
+	tc.start("b", "gridsynth")
+	c := tc.start("c", "gridsynth")
+
+	// Kill c: its listener stays up but answers 503 to everything —
+	// a crashed process behind a live load balancer.
+	cHandler := c.srv.Handler()
+	c.late.set(nil)
+
+	// Phase 1: fresh c-owned keys miss locally, consult dead c, fail.
+	// After Threshold failures the breaker opens. The requests
+	// themselves all succeed by local synthesis.
+	warm := anglesOwnedBy(t, a, "c", 3, 0.31)
+	for i, th := range warm {
+		resp, err := tc.synthesize("a", "gridsynth", th)
+		if err != nil {
+			t.Fatalf("request %d with c dead: %v", i, err)
+		}
+		if resp.Results[0].Seq == "" {
+			t.Fatalf("request %d with c dead returned no sequence", i)
+		}
+	}
+	if br := breakerFor(t, a, "c"); br.State != "open" || br.Trips < 1 {
+		t.Fatalf("after %d failed lookups, c's breaker: %+v", len(warm), br)
+	}
+	if st := a.node.Stats(); st.BreakerTrips < 1 {
+		t.Fatalf("stats trips = %d, want >= 1", st.BreakerTrips)
+	}
+
+	// Phase 2: with the breaker open, fresh c-owned misses skip the
+	// peer entirely. The fastest of five requests bounds the
+	// fall-through cost — microseconds of breaker check plus a warm
+	// gridsynth synthesis, well under 5ms.
+	fast := anglesOwnedBy(t, a, "c", 5, 1.11)
+	best := time.Hour
+	for i, th := range fast {
+		t0 := time.Now()
+		resp, err := tc.synthesize("a", "gridsynth", th)
+		if d := time.Since(t0); d < best {
+			best = d
+		}
+		if err != nil || resp.Results[0].Seq == "" {
+			t.Fatalf("open-breaker request %d: %v", i, err)
+		}
+	}
+	if best >= 5*time.Millisecond {
+		t.Fatalf("open-breaker fall-through: fastest of %d requests took %v, want < 5ms", len(fast), best)
+	}
+	if st := a.node.Stats(); st.BreakerSkips == 0 {
+		t.Fatal("open breaker recorded no skips")
+	}
+
+	// Phase 3: restart c and keep driving fresh c-owned keys (fresh, so
+	// every one is a miss that can drive a half-open probe); within a
+	// few cooldowns a probe reaches the live peer and the breaker
+	// recloses.
+	c.late.set(cHandler)
+	cur := &angleCursor{tn: a, owner: "c", next: 2.03}
+	deadline := time.Now().Add(15 * time.Second)
+	reclosed := false
+	for i := 0; time.Now().Before(deadline); i++ {
+		if _, err := tc.synthesize("a", "gridsynth", cur.angle()); err != nil {
+			t.Fatalf("post-restart request %d: %v", i, err)
+		}
+		if breakerFor(t, a, "c").State == "closed" {
+			reclosed = true
+			break
+		}
+		time.Sleep(50 * time.Millisecond)
+	}
+	if !reclosed {
+		t.Fatalf("breaker never reclosed after c restarted: %+v", breakerFor(t, a, "c"))
+	}
+	tc.flush()
+}
+
+// TestChaosSlowPeerTimeout: a peer slowed past the lookup deadline
+// burns that deadline on every miss until the breaker opens, after
+// which misses become instant — the latency cliff is the whole point
+// of the breaker. The wildcard rule slows ALL operations against b
+// (lookups and fill pushes alike, as a genuinely slow peer would) and
+// self-clears after count fires, so the recovery probe eventually
+// finds a healthy peer and recloses the breaker.
+func TestChaosSlowPeerTimeout(t *testing.T) {
+	in, err := fault.Parse("peer:b* latency=400ms count=6")
+	if err != nil {
+		t.Fatal(err)
+	}
+	tc := newTestCluster(t, "a", "b")
+	a := tc.startWith("a", cluster.Config{
+		LookupTimeout: 150 * time.Millisecond,
+		PushTimeout:   300 * time.Millisecond,
+		Breaker:       chaosBreaker(),
+		Fault:         in,
+	}, serve.Config{DefaultBackend: "gridsynth", Fault: in})
+	tc.start("b", "gridsynth")
+
+	// Phase 1: the first fresh b-owned miss stalls the full lookup
+	// timeout before local synthesis answers; within Threshold requests
+	// the breaker opens (slow pushes shorten the streak, never reset
+	// it — every operation against b is failing).
+	slow := anglesOwnedBy(t, a, "b", 4, 0.47)
+	t0 := time.Now()
+	if resp, err := tc.synthesize("a", "gridsynth", slow[0]); err != nil || resp.Results[0].Seq == "" {
+		t.Fatalf("first slow-peer request: %v", err)
+	}
+	if d := time.Since(t0); d < 100*time.Millisecond {
+		t.Fatalf("first slow-peer request took %v, expected to burn the 150ms lookup timeout", d)
+	}
+	for _, th := range slow[1:] {
+		if breakerFor(t, a, "b").State == "open" {
+			break
+		}
+		if _, err := tc.synthesize("a", "gridsynth", th); err != nil {
+			t.Fatalf("slow-peer request: %v", err)
+		}
+	}
+	if br := breakerFor(t, a, "b"); br.State != "open" {
+		t.Fatalf("breaker never opened against the slowed peer: %+v", br)
+	}
+
+	// Phase 2: the breaker is open — fresh b-owned misses no longer
+	// wait on b. The fastest of five bounds the fall-through cost (at
+	// most one of the five can be a half-open probe and pay latency).
+	fast := anglesOwnedBy(t, a, "b", 5, 1.57)
+	best := time.Hour
+	for i, th := range fast {
+		t0 := time.Now()
+		if _, err := tc.synthesize("a", "gridsynth", th); err != nil {
+			t.Fatalf("open-breaker request %d: %v", i, err)
+		}
+		if d := time.Since(t0); d < best {
+			best = d
+		}
+	}
+	if best >= 5*time.Millisecond {
+		t.Fatalf("open-breaker fall-through: fastest request took %v, want < 5ms", best)
+	}
+
+	// Phase 3: keep driving fresh b-owned misses until the latency
+	// rule's count exhausts and a half-open probe reaches the healthy
+	// b — the breaker recloses.
+	cur := &angleCursor{tn: a, owner: "b", next: 2.71}
+	deadline := time.Now().Add(15 * time.Second)
+	reclosed := false
+	for i := 0; time.Now().Before(deadline); i++ {
+		if _, err := tc.synthesize("a", "gridsynth", cur.angle()); err != nil {
+			t.Fatalf("recovery request %d: %v", i, err)
+		}
+		if breakerFor(t, a, "b").State == "closed" {
+			reclosed = true
+			break
+		}
+		time.Sleep(50 * time.Millisecond)
+	}
+	if !reclosed {
+		t.Fatalf("breaker never reclosed after stall cleared: %+v", breakerFor(t, a, "b"))
+	}
+	if st := a.node.Stats(); st.BreakerTrips < 1 || st.PeerErrors < 3 {
+		t.Fatalf("stats after cycle: %+v", st)
+	}
+	tc.flush()
+}
+
+// TestChaosPanickingBackendWithDeadPeer is the combined acceptance
+// scenario: one peer dead AND the backend panicking on every third
+// synthesis. The surviving node answers every request with 200 — the
+// panicked ops as per-op failures — while its breaker contains the
+// dead peer and /metrics records both pathologies.
+func TestChaosPanickingBackendWithDeadPeer(t *testing.T) {
+	in, err := fault.Parse("backend:gridsynth panic=chaos every=3")
+	if err != nil {
+		t.Fatal(err)
+	}
+	tc := newTestCluster(t, "a", "b", "c")
+	a := tc.startWith("a", cluster.Config{
+		LookupTimeout: 2 * time.Second,
+		PushTimeout:   500 * time.Millisecond,
+		Breaker:       chaosBreaker(),
+	}, serve.Config{DefaultBackend: "gridsynth", Fault: in, Workers: 1})
+	tc.start("b", "gridsynth")
+	tc.start("c", "gridsynth")
+	tc.nodes["c"].late.set(nil) // crash c
+
+	// Nine fresh c-owned keys through a: every one consults the dead
+	// peer (until the breaker opens) and every third synthesis panics.
+	// All nine requests are 200s; requests 3, 6, 9 carry the failure.
+	angles := anglesOwnedBy(t, a, "c", 9, 0.53)
+	var failed, ok int
+	for i, th := range angles {
+		resp, err := tc.synthesize("a", "gridsynth", th)
+		if err != nil {
+			t.Fatalf("request %d under chaos: %v", i, err)
+		}
+		r := resp.Results[0]
+		switch {
+		case r.Failure != "":
+			failed++
+			if !strings.Contains(r.Failure, "backend:gridsynth") {
+				t.Fatalf("request %d failure %q names no site", i, r.Failure)
+			}
+			if r.Seq != "" {
+				t.Fatalf("request %d: failed op carries a sequence", i)
+			}
+		case r.Seq != "":
+			ok++
+		default:
+			t.Fatalf("request %d: neither sequence nor failure: %+v", i, r)
+		}
+	}
+	if failed != 3 || ok != 6 {
+		t.Fatalf("got %d failed / %d ok, want 3/6 (panic every=3 over 9 ops)", failed, ok)
+	}
+
+	// The process is alive, the dead peer is contained, and both
+	// pathologies are on /metrics.
+	if br := breakerFor(t, a, "c"); br.Trips < 1 {
+		t.Fatalf("c's breaker never tripped: %+v", br)
+	}
+	body, err := a.cl.Metrics(context.Background())
+	if err != nil {
+		t.Fatalf("metrics after chaos: %v", err)
+	}
+	for _, want := range []string{
+		`synthd_panics_total{site="backend:gridsynth"} 3`,
+		`synthd_peer_breaker_trips_total`,
+		`synthd_peer_breaker_state{peer="c"}`,
+	} {
+		if !strings.Contains(body, want) {
+			t.Fatalf("metrics missing %q after chaos", want)
+		}
+	}
+	tc.flush()
+}

@@ -24,7 +24,12 @@
 // GET out to every peer for the federated /v1/stats?cluster=1 view.
 //
 // A node that cannot reach a peer degrades to local synthesis — a dead
-// node costs its share of cache affinity, never availability.
+// node costs its share of cache affinity, never availability. A
+// per-peer circuit breaker (BreakerConfig) makes that degradation
+// cheap: after Threshold consecutive failures the peer's breaker opens
+// and every outbound call to it is skipped in microseconds instead of
+// burning the lookup timeout, until a half-open probe after a jittered
+// cooldown confirms recovery.
 package cluster
 
 import (
@@ -33,8 +38,10 @@ import (
 	"encoding/json"
 	"fmt"
 	"io"
+	"log/slog"
 	"net/http"
 	"net/url"
+	"sort"
 	"strconv"
 	"sync"
 	"sync/atomic"
@@ -43,6 +50,7 @@ import (
 	"repro/circuit"
 	"repro/internal/gates"
 	"repro/synth"
+	"repro/synth/fault"
 	"repro/synth/trace"
 )
 
@@ -79,6 +87,18 @@ type Config struct {
 	// /debug/trace ring. Outbound peer calls propagate the header
 	// regardless (they read the span from the caller's context).
 	Tracer *trace.Tracer
+	// Breaker tunes the per-peer circuit breakers that gate every
+	// outbound peer call (lookups, fills, stats fan-out). The zero value
+	// selects the defaults; Threshold < 0 disables breakers.
+	Breaker BreakerConfig
+	// Logger, when set, records breaker state transitions.
+	Logger *slog.Logger
+	// Fault, when set, is the node-level fault injector consulted at the
+	// "peer:<id>:{lookup,push,stats}" sites before every outbound peer
+	// call that has no injector on its context (detached fill pushes);
+	// request-scoped injectors on the context take precedence. A
+	// "peer:<id>*" wildcard rule covers all three operations.
+	Fault *fault.Injector
 }
 
 // Stats is a point-in-time snapshot of a node's cluster counters.
@@ -90,6 +110,10 @@ type Stats struct {
 	Pushes, PushErrors int64
 	// Seeded is the entry count loaded by the last Seed call.
 	Seeded int64
+	// BreakerTrips counts breaker open transitions across all peers;
+	// BreakerSkips counts outbound calls skipped because a peer's
+	// breaker was open (each skip is a fast local fall-through).
+	BreakerTrips, BreakerSkips int64
 }
 
 // Node is one cluster member: the ring view, the peer HTTP client, and
@@ -108,9 +132,15 @@ type Node struct {
 	// GET /v1/peer/stats (installed by the serving layer; nil = 503).
 	statsProvider atomic.Pointer[func() ([]byte, error)]
 
+	// breakers guards each peer with a circuit breaker (nil map entries
+	// never exist; the map itself is empty when breakers are disabled).
+	// Immutable after New.
+	breakers map[string]*breaker
+
 	peerHits, peerMisses, peerErrors atomic.Int64
 	pushes, pushErrors               atomic.Int64
 	seeded                           atomic.Int64
+	breakerTrips, breakerSkips       atomic.Int64
 	// pending tracks in-flight async fill pushes; Flush waits for them
 	// (tests and graceful shutdown).
 	pending sync.WaitGroup
@@ -152,7 +182,28 @@ func New(cfg Config) (*Node, error) {
 	if hc == nil {
 		hc = &http.Client{}
 	}
-	return &Node{selfID: cfg.SelfID, ring: ring, peers: peers, hc: hc, cfg: cfg}, nil
+	n := &Node{selfID: cfg.SelfID, ring: ring, peers: peers, hc: hc, cfg: cfg}
+	n.breakers = make(map[string]*breaker, len(peers))
+	if cfg.Breaker.Threshold >= 0 {
+		bcfg := cfg.Breaker.withDefaults()
+		for id := range peers {
+			n.breakers[id] = newBreaker(id, bcfg, n.breakerChanged)
+		}
+	}
+	return n, nil
+}
+
+// breakerChanged observes every breaker transition: trips feed the
+// counter and every edge is logged, so "peer b went dark at 14:02 and
+// recovered at 14:07" is reconstructable from one node's log.
+func (n *Node) breakerChanged(peer string, from, to breakerState) {
+	if to == stateOpen {
+		n.breakerTrips.Add(1)
+	}
+	if n.cfg.Logger != nil {
+		n.cfg.Logger.Warn("peer breaker transition",
+			"peer", peer, "from", from.String(), "to", to.String())
+	}
 }
 
 // SelfID returns this node's ring ID.
@@ -170,6 +221,62 @@ func (n *Node) Stats() Stats {
 		Pushes:     n.pushes.Load(),
 		PushErrors: n.pushErrors.Load(),
 		Seeded:     n.seeded.Load(),
+
+		BreakerTrips: n.breakerTrips.Load(),
+		BreakerSkips: n.breakerSkips.Load(),
+	}
+}
+
+// BreakerStates snapshots every peer breaker, sorted by peer ID — the
+// /healthz "breakers" field and the per-peer state gauge on /metrics.
+func (n *Node) BreakerStates() []PeerBreaker {
+	if len(n.breakers) == 0 {
+		return nil
+	}
+	now := time.Now()
+	out := make([]PeerBreaker, 0, len(n.breakers))
+	for _, br := range n.breakers {
+		out = append(out, br.snapshot(now))
+	}
+	sort.Slice(out, func(i, j int) bool { return out[i].Peer < out[j].Peer })
+	return out
+}
+
+// inject consults the fault injector for an outbound peer call: a
+// request-scoped injector on ctx wins; otherwise the node-level one
+// from Config.Fault (reached by detached push goroutines, whose fresh
+// contexts carry nothing). Nil-safe on both.
+func (n *Node) inject(ctx context.Context, site string) error {
+	if in := fault.FromContext(ctx); in != nil {
+		return in.At(ctx, site)
+	}
+	return n.cfg.Fault.At(ctx, site)
+}
+
+// allowPeer is the breaker gate before an outbound call to peer id;
+// a skip is counted (it stands for a sub-millisecond local
+// fall-through where a timeout would have been).
+func (n *Node) allowPeer(id string) (*breaker, bool) {
+	br := n.breakers[id]
+	if br == nil {
+		return nil, true
+	}
+	if !br.Allow(time.Now()) {
+		n.breakerSkips.Add(1)
+		return br, false
+	}
+	return br, true
+}
+
+func brSuccess(br *breaker) {
+	if br != nil {
+		br.Success()
+	}
+}
+
+func brFailure(br *breaker) {
+	if br != nil {
+		br.Failure(time.Now())
 	}
 }
 
@@ -247,7 +354,7 @@ func (n *Node) PeerStats(ctx context.Context) map[string]PeerStat {
 		wg.Add(1)
 		go func(id, base string) {
 			defer wg.Done()
-			raw, err := n.fetchPeerStats(ctx, base)
+			raw, err := n.fetchPeerStats(ctx, id, base)
 			mu.Lock()
 			out[id] = PeerStat{Raw: raw, Err: err}
 			mu.Unlock()
@@ -257,25 +364,36 @@ func (n *Node) PeerStats(ctx context.Context) map[string]PeerStat {
 	return out
 }
 
-func (n *Node) fetchPeerStats(ctx context.Context, base string) (json.RawMessage, error) {
+func (n *Node) fetchPeerStats(ctx context.Context, id, base string) (json.RawMessage, error) {
+	br, ok := n.allowPeer(id)
+	if !ok {
+		return nil, fmt.Errorf("cluster: peer %s: breaker open", id)
+	}
 	ctx, cancel := context.WithTimeout(ctx, n.cfg.PushTimeout)
 	defer cancel()
+	if err := n.inject(ctx, "peer:"+id+":stats"); err != nil {
+		brFailure(br)
+		return nil, err
+	}
 	req, err := http.NewRequestWithContext(ctx, http.MethodGet, base+"/v1/peer/stats", nil)
 	if err != nil {
 		return nil, err
 	}
 	res, err := n.hc.Do(req)
 	if err != nil {
+		brFailure(br)
 		return nil, err
 	}
 	defer res.Body.Close()
 	if res.StatusCode != http.StatusOK {
+		brFailure(br)
 		return nil, fmt.Errorf("cluster: peer stats: HTTP %d", res.StatusCode)
 	}
 	raw, err := io.ReadAll(io.LimitReader(res.Body, 16<<20))
 	if err != nil {
 		return nil, err
 	}
+	brSuccess(br)
 	return raw, nil
 }
 
@@ -298,9 +416,25 @@ func (n *Node) lookup(ctx context.Context, k synth.Key) (synth.Entry, bool) {
 }
 
 func (n *Node) lookupSpan(ctx context.Context, k synth.Key, owner string, sp *trace.Span) (synth.Entry, bool) {
+	br, ok := n.allowPeer(owner)
+	if !ok {
+		// The owner's breaker is open: fall through to local synthesis
+		// without paying the lookup timeout. Not a peer error — the
+		// error already happened when the breaker tripped.
+		sp.SetAttr("breaker", "open")
+		return synth.Entry{}, false
+	}
 	base := n.peers[owner]
 	ctx, cancel := context.WithTimeout(ctx, n.cfg.LookupTimeout)
 	defer cancel()
+	// Injection sits inside the lookup-timeout scope so latency/timeout
+	// faults race the real deadline, exactly as a slow peer would.
+	if err := n.inject(ctx, "peer:"+owner+":lookup"); err != nil {
+		n.peerErrors.Add(1)
+		brFailure(br)
+		sp.SetAttr("error", err.Error())
+		return synth.Entry{}, false
+	}
 	req, err := http.NewRequestWithContext(ctx, http.MethodGet, base+"/v1/peer/cache?"+keyQuery(k), nil)
 	if err != nil {
 		n.peerErrors.Add(1)
@@ -312,6 +446,7 @@ func (n *Node) lookupSpan(ctx context.Context, k synth.Key, owner string, sp *tr
 	res, err := n.hc.Do(req)
 	if err != nil {
 		n.peerErrors.Add(1)
+		brFailure(br)
 		sp.SetAttr("error", err.Error())
 		return synth.Entry{}, false
 	}
@@ -319,23 +454,30 @@ func (n *Node) lookupSpan(ctx context.Context, k synth.Key, owner string, sp *tr
 	switch res.StatusCode {
 	case http.StatusOK:
 	case http.StatusNotFound:
+		// A miss is a healthy answer: the peer is up, it just doesn't
+		// have the key.
 		n.peerMisses.Add(1)
+		brSuccess(br)
 		return synth.Entry{}, false
 	default:
 		n.peerErrors.Add(1)
+		brFailure(br)
 		return synth.Entry{}, false
 	}
 	var we wireEntry
 	if err := json.NewDecoder(res.Body).Decode(&we); err != nil {
 		n.peerErrors.Add(1)
+		brFailure(br)
 		return synth.Entry{}, false
 	}
 	e, err := we.entry()
 	if err != nil {
 		n.peerErrors.Add(1)
+		brFailure(br)
 		return synth.Entry{}, false
 	}
 	n.peerHits.Add(1)
+	brSuccess(br)
 	return e, true
 }
 
@@ -356,6 +498,16 @@ func (n *Node) fill(ctx context.Context, k synth.Key, e synth.Entry) {
 	}
 	sp := trace.FromContext(ctx).Child("peer.push")
 	sp.SetAttr("peer", owner)
+	br, ok := n.allowPeer(owner)
+	if !ok {
+		// Owner's breaker is open: skip the push entirely. The entry is
+		// cached locally and determinism lets any node recompute it, so
+		// nothing is lost but affinity — which the dead owner has
+		// already lost anyway.
+		sp.SetAttr("breaker", "open")
+		sp.End()
+		return
+	}
 	base := n.peers[owner]
 	n.pending.Add(1)
 	n.pushes.Add(1)
@@ -364,6 +516,12 @@ func (n *Node) fill(ctx context.Context, k synth.Key, e synth.Entry) {
 		defer sp.End()
 		ctx, cancel := context.WithTimeout(context.Background(), n.cfg.PushTimeout)
 		defer cancel()
+		if err := n.inject(ctx, "peer:"+owner+":push"); err != nil {
+			n.pushErrors.Add(1)
+			brFailure(br)
+			sp.SetAttr("error", err.Error())
+			return
+		}
 		body, err := json.Marshal(wirePut{Key: wireKey(k), Entry: newWireEntry(e)})
 		if err != nil {
 			n.pushErrors.Add(1)
@@ -381,13 +539,17 @@ func (n *Node) fill(ctx context.Context, k synth.Key, e synth.Entry) {
 		res, err := n.hc.Do(req)
 		if err != nil {
 			n.pushErrors.Add(1)
+			brFailure(br)
 			sp.SetAttr("error", err.Error())
 			return
 		}
 		res.Body.Close()
 		if res.StatusCode != http.StatusNoContent && res.StatusCode != http.StatusOK {
 			n.pushErrors.Add(1)
+			brFailure(br)
+			return
 		}
+		brSuccess(br)
 	}()
 }
 

@@ -81,17 +81,26 @@ func newTestCluster(t *testing.T, ids ...string) *testCluster {
 // and installs the real handler behind its listener.
 func (tc *testCluster) start(id, backend string) *testNode {
 	tc.t.Helper()
-	tn := tc.nodes[id]
-	node, err := cluster.New(cluster.Config{
-		SelfID: id,
-		Peers:  tc.urls,
+	return tc.startWith(id, cluster.Config{
 		// Generous for loaded CI runners; the lookups are loopback.
 		LookupTimeout: 2 * time.Second,
-	})
+	}, serve.Config{DefaultBackend: backend})
+}
+
+// startWith is start with explicit cluster/serve configs (chaos tests
+// tune breakers and inject faults); SelfID, Peers and the Cluster
+// wiring are filled here.
+func (tc *testCluster) startWith(id string, ccfg cluster.Config, scfg serve.Config) *testNode {
+	tc.t.Helper()
+	tn := tc.nodes[id]
+	ccfg.SelfID = id
+	ccfg.Peers = tc.urls
+	node, err := cluster.New(ccfg)
 	if err != nil {
 		tc.t.Fatalf("cluster.New(%s): %v", id, err)
 	}
-	srv := serve.New(serve.Config{DefaultBackend: backend, Cluster: node})
+	scfg.Cluster = node
+	srv := serve.New(scfg)
 	tn.node, tn.srv = node, srv
 	tn.cl = client.New(tn.hs.URL)
 	tn.late.set(srv.Handler())

@@ -3,6 +3,7 @@ package serve_test
 import (
 	"bufio"
 	"context"
+	"io"
 	"os"
 	"os/exec"
 	"path/filepath"
@@ -26,8 +27,15 @@ type daemon struct {
 // boots synthd on a random port, parsing the listen line from stdout.
 func startDaemon(t *testing.T, bin string, args ...string) *daemon {
 	t.Helper()
+	return startDaemonStderr(t, bin, os.Stderr, args...)
+}
+
+// startDaemonStderr is startDaemon with the subprocess's stderr routed
+// to an arbitrary writer, for tests that assert on the daemon's logs.
+func startDaemonStderr(t *testing.T, bin string, stderr io.Writer, args ...string) *daemon {
+	t.Helper()
 	cmd := exec.Command(bin, append([]string{"-addr", "127.0.0.1:0"}, args...)...)
-	cmd.Stderr = os.Stderr
+	cmd.Stderr = stderr
 	stdout, err := cmd.StdoutPipe()
 	if err != nil {
 		t.Fatal(err)

@@ -1,0 +1,153 @@
+package serve_test
+
+import (
+	"bytes"
+	"context"
+	"log/slog"
+	"net/http"
+	"strings"
+	"testing"
+
+	"repro/synth/fault"
+	"repro/synth/serve"
+	"repro/synth/serve/client"
+)
+
+// TestBackendPanicIsPerOp: an injected backend panic fails only its ops
+// inside a 200 batch — the request succeeds, the failed results say why,
+// and the panic shows up on /metrics and in the log.
+func TestBackendPanicIsPerOp(t *testing.T) {
+	in, err := fault.Parse("backend:gridsynth panic=chaos every=2")
+	if err != nil {
+		t.Fatal(err)
+	}
+	var logBuf bytes.Buffer
+	_, cl := newTestServer(t, serve.Config{
+		Fault:   in,
+		Workers: 1,
+		Logger:  slog.New(slog.NewTextHandler(&logBuf, nil)),
+	})
+	resp, err := cl.Synthesize(context.Background(), serve.SynthesizeRequest{
+		Backend: "gridsynth",
+		Eps:     1e-2,
+		Rotations: []serve.Rotation{
+			{Gate: "rz", Params: [3]float64{0.11}},
+			{Gate: "rz", Params: [3]float64{0.22}},
+			{Gate: "rz", Params: [3]float64{0.33}},
+			{Gate: "rz", Params: [3]float64{0.44}},
+		},
+	})
+	if err != nil {
+		t.Fatalf("batch with contained panics must still be a 200: %v", err)
+	}
+	if resp.Failed != 2 {
+		t.Fatalf("failed = %d, want 2 (every=2 over 4 ops)", resp.Failed)
+	}
+	var ok, bad int
+	for i, res := range resp.Results {
+		if res.Failure != "" {
+			bad++
+			if res.Seq != "" || res.TCount != 0 {
+				t.Fatalf("result %d: failed op carries a sequence: %+v", i, res)
+			}
+			if !strings.Contains(res.Failure, "backend:gridsynth") {
+				t.Fatalf("result %d failure %q names no site", i, res.Failure)
+			}
+			continue
+		}
+		ok++
+		if res.Seq == "" {
+			t.Fatalf("result %d: no failure but no sequence", i)
+		}
+	}
+	if ok != 2 || bad != 2 {
+		t.Fatalf("got %d ok / %d failed, want 2/2", ok, bad)
+	}
+
+	body, err := cl.Metrics(context.Background())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(body, `synthd_panics_total{site="backend:gridsynth"} 2`) {
+		t.Fatalf("metrics missing panic counter:\n%s", grepLines(body, "panics"))
+	}
+	logged := logBuf.String()
+	if !strings.Contains(logged, "recovered panic") || !strings.Contains(logged, "chaos") {
+		t.Fatalf("panic not logged: %s", logged)
+	}
+}
+
+// TestHandlerPanicIs500: a panic at the handler boundary is one 500, and
+// the next request on the same server works.
+func TestHandlerPanicIs500(t *testing.T) {
+	in, err := fault.Parse("handler:/v1/synthesize panic count=1")
+	if err != nil {
+		t.Fatal(err)
+	}
+	_, cl := newTestServer(t, serve.Config{Fault: in})
+	req := serve.SynthesizeRequest{
+		Eps:       1e-2,
+		Backend:   "gridsynth",
+		Rotations: []serve.Rotation{{Gate: "rz", Params: [3]float64{0.5}}},
+	}
+	_, err = cl.Synthesize(context.Background(), req)
+	var ae *client.APIError
+	if !asAPIError(err, &ae) || ae.Status != http.StatusInternalServerError {
+		t.Fatalf("want 500 APIError, got %v", err)
+	}
+	if !strings.Contains(ae.Message, "panic") {
+		t.Fatalf("500 body hides the panic: %q", ae.Message)
+	}
+	// count=1 exhausted: the server survived and serves normally.
+	resp, err := cl.Synthesize(context.Background(), req)
+	if err != nil || resp.Results[0].Seq == "" {
+		t.Fatalf("server broken after contained handler panic: %v", err)
+	}
+
+	body, err := cl.Metrics(context.Background())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(body, `synthd_panics_total{site="handler:/v1/synthesize"} 1`) {
+		t.Fatalf("metrics missing handler panic:\n%s", grepLines(body, "panics"))
+	}
+}
+
+// TestInjectedHandlerError: an error-action fault surfaces as a clean 500
+// without any panic accounting.
+func TestInjectedHandlerError(t *testing.T) {
+	in, err := fault.Parse("handler:* error=synthetic-outage count=1")
+	if err != nil {
+		t.Fatal(err)
+	}
+	_, cl := newTestServer(t, serve.Config{Fault: in})
+	_, err = cl.Compile(context.Background(), serve.CompileRequest{QASM: testQASM, Eps: 0.3})
+	var ae *client.APIError
+	if !asAPIError(err, &ae) || ae.Status != http.StatusInternalServerError {
+		t.Fatalf("want 500 APIError, got %v", err)
+	}
+	if !strings.Contains(ae.Message, "synthetic-outage") {
+		t.Fatalf("error body: %q", ae.Message)
+	}
+	body, err := cl.Metrics(context.Background())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if strings.Contains(body, "synthd_panics_total{") {
+		t.Fatalf("injected error counted as a panic:\n%s", grepLines(body, "panics"))
+	}
+}
+
+// grepLines filters body to lines containing substr, for failure output.
+func grepLines(body, substr string) string {
+	var out []string
+	for _, ln := range strings.Split(body, "\n") {
+		if strings.Contains(ln, substr) {
+			out = append(out, ln)
+		}
+	}
+	if len(out) == 0 {
+		return "(no matching lines)"
+	}
+	return strings.Join(out, "\n")
+}

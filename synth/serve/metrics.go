@@ -74,6 +74,11 @@ type metrics struct {
 	pass  map[string]*histogram
 	// rejected counts admissions refused because the queue was full.
 	rejected int64
+	// panics[site] counts panics recovered at a containment boundary
+	// ("backend:gridsynth", "racer:trasyn", "handler:/v1/compile").
+	// Any nonzero value is a latent bug being survived, not business
+	// as usual.
+	panics map[string]int64
 }
 
 func newMetrics() *metrics {
@@ -83,7 +88,15 @@ func newMetrics() *metrics {
 		queueWait: newHistogram(queueWaitBuckets),
 		synth:     map[string]*histogram{},
 		pass:      map[string]*histogram{},
+		panics:    map[string]int64{},
 	}
+}
+
+// panicAt logs one recovered panic at a containment site.
+func (m *metrics) panicAt(site string) {
+	m.mu.Lock()
+	m.panics[site]++
+	m.mu.Unlock()
 }
 
 // record logs one completed request.
@@ -235,6 +248,12 @@ func (m *metrics) write(w io.Writer, scraped []scrapeMetric) {
 	fmt.Fprintf(w, "# TYPE synthd_pass_seconds histogram\n")
 	for _, p := range sortedKeys(m.pass) {
 		writeHistogram(w, "synthd_pass_seconds", fmt.Sprintf("pass=%q", p), m.pass[p])
+	}
+
+	fmt.Fprintf(w, "# HELP synthd_panics_total Panics recovered at containment boundaries, by site.\n")
+	fmt.Fprintf(w, "# TYPE synthd_panics_total counter\n")
+	for _, site := range sortedKeys(m.panics) {
+		fmt.Fprintf(w, "synthd_panics_total{site=%q} %d\n", site, m.panics[site])
 	}
 }
 

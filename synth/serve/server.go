@@ -18,6 +18,7 @@ import (
 	"repro/internal/qmat"
 	"repro/optimize"
 	"repro/synth"
+	"repro/synth/fault"
 	"repro/synth/obs"
 	"repro/synth/serve/cluster"
 	"repro/synth/trace"
@@ -77,6 +78,11 @@ type Config struct {
 	// request (request_id, endpoint, status, queue wait, duration, and
 	// trace_id when sampled).
 	Logger *slog.Logger
+	// Fault, when set, is the fault injector every public request carries
+	// on its context (synthd -fault-spec). Sites fire down the whole
+	// stack — handlers, backend calls, racers, peer lookups. Nil costs a
+	// nil check per request.
+	Fault *fault.Injector
 }
 
 func (c Config) withDefaults() Config {
@@ -288,7 +294,22 @@ func (s *Server) instrument(endpoint string, h handler) http.HandlerFunc {
 			ri.traceID = trace.FormatID(root.TraceID())
 		}
 		ctx := context.WithValue(trace.NewContext(r.Context(), serveSpan), reqInfoKey{}, ri)
-		status, err := h(w, r.WithContext(ctx))
+		ctx = fault.NewContext(ctx, s.cfg.Fault)
+		// Every panic recovered below this point — a backend, a racer, or
+		// the handler itself — lands here: one counter bump, one log line
+		// with the trimmed stack and the request it happened under.
+		ctx = fault.WithPanicObserver(ctx, func(pe *fault.PanicError) {
+			s.metrics.panicAt(pe.Site)
+			if s.cfg.Logger != nil {
+				s.cfg.Logger.Error("recovered panic",
+					"site", pe.Site,
+					"request_id", reqID,
+					"endpoint", endpoint,
+					"value", fmt.Sprint(pe.Value),
+					"stack", pe.Stack)
+			}
+		})
+		status, err := s.serveContained(endpoint, h, w, r.WithContext(ctx))
 		serveSpan.End()
 		if err != nil {
 			status = errStatus(err)
@@ -299,6 +320,21 @@ func (s *Server) instrument(endpoint string, h handler) http.HandlerFunc {
 		s.metrics.record(endpoint, status, service)
 		s.logRequest(reqID, endpoint, status, wait, service, root)
 	}
+}
+
+// serveContained is the handler containment boundary: a panic anywhere
+// in handler code that no inner boundary caught becomes this request's
+// 500 — with its stack logged and counted — instead of killing the
+// process (net/http would otherwise also kill just the connection, but
+// silently and without the metric). The handler:<endpoint> fault site
+// fires here.
+func (s *Server) serveContained(endpoint string, h handler, w http.ResponseWriter, r *http.Request) (status int, err error) {
+	site := "handler:" + endpoint
+	defer fault.Recover(r.Context(), site, &err)
+	if ferr := fault.At(r.Context(), site); ferr != nil {
+		return 0, ferr
+	}
+	return h(w, r)
 }
 
 // logRequest emits the per-request structured log line when a logger is
@@ -568,7 +604,7 @@ func (s *Server) handleSynthesize(w http.ResponseWriter, r *http.Request) (int, 
 		resp.ServiceMs = float64(time.Since(ri.admitted)) / float64(time.Millisecond)
 	}
 	for i, res := range results {
-		resp.Results[i] = SynthesizeResult{
+		sr := SynthesizeResult{
 			Seq:      res.Seq.String(),
 			Error:    res.Error,
 			TCount:   res.TCount,
@@ -576,6 +612,16 @@ func (s *Server) handleSynthesize(w http.ResponseWriter, r *http.Request) (int, 
 			Backend:  res.Backend,
 			WallMs:   float64(res.Wall) / float64(time.Millisecond),
 		}
+		if res.Err != nil {
+			// A contained backend panic: this op failed, the batch did
+			// not. The client sees which rotations to resubmit. Seq is
+			// cleared — the empty sequence would otherwise render as
+			// the identity "I", which reads as a (wrong) result.
+			sr.Failure = res.Err.Error()
+			sr.Seq = ""
+			resp.Failed++
+		}
+		resp.Results[i] = sr
 	}
 	writeJSON(w, http.StatusOK, resp)
 	return http.StatusOK, nil
@@ -614,6 +660,7 @@ func (s *Server) handleHealthz(w http.ResponseWriter, r *http.Request) {
 	if n := s.cfg.Cluster; n != nil {
 		h.NodeID = n.SelfID()
 		h.ClusterSize = n.Ring().Size()
+		h.Breakers = n.BreakerStates()
 	}
 	writeJSON(w, http.StatusOK, h)
 }
@@ -653,6 +700,26 @@ func (s *Server) handleMetrics(w http.ResponseWriter, r *http.Request) {
 		fmt.Fprintf(w, "# HELP synthd_seeded_entries Entries loaded from the ring successor's snapshot at join.\n")
 		fmt.Fprintf(w, "# TYPE synthd_seeded_entries gauge\n")
 		fmt.Fprintf(w, "synthd_seeded_entries %d\n", cs.Seeded)
+		if brs := n.BreakerStates(); len(brs) > 0 {
+			fmt.Fprintf(w, "# HELP synthd_peer_breaker_state Per-peer circuit breaker state (0 closed, 1 half-open, 2 open).\n")
+			fmt.Fprintf(w, "# TYPE synthd_peer_breaker_state gauge\n")
+			for _, br := range brs {
+				v := 0
+				switch br.State {
+				case "half-open":
+					v = 1
+				case "open":
+					v = 2
+				}
+				fmt.Fprintf(w, "synthd_peer_breaker_state{peer=%q} %d\n", br.Peer, v)
+			}
+			fmt.Fprintf(w, "# HELP synthd_peer_breaker_trips_total Breaker open transitions across all peers.\n")
+			fmt.Fprintf(w, "# TYPE synthd_peer_breaker_trips_total counter\n")
+			fmt.Fprintf(w, "synthd_peer_breaker_trips_total %d\n", cs.BreakerTrips)
+			fmt.Fprintf(w, "# HELP synthd_peer_breaker_skips_total Outbound peer calls skipped because the peer's breaker was open.\n")
+			fmt.Fprintf(w, "# TYPE synthd_peer_breaker_skips_total counter\n")
+			fmt.Fprintf(w, "synthd_peer_breaker_skips_total %d\n", cs.BreakerSkips)
+		}
 	}
 	if s.quota != nil {
 		counts := s.quota.throttledByTenant()

@@ -1,0 +1,162 @@
+// Shutdown fault tests against the real synthd binary: SIGTERM under
+// load must drain every accepted request to a 200, and a failed
+// snapshot flush must exit nonzero — promptly — so supervisors notice.
+package serve_test
+
+import (
+	"bytes"
+	"context"
+	"errors"
+	"os"
+	"os/exec"
+	"path/filepath"
+	"strings"
+	"sync"
+	"syscall"
+	"testing"
+	"time"
+
+	"repro/synth/serve"
+	"repro/synth/serve/client"
+)
+
+func buildSynthd(t *testing.T) string {
+	t.Helper()
+	bin := filepath.Join(t.TempDir(), "synthd")
+	build := exec.Command("go", "build", "-o", bin, "repro/cmd/synthd")
+	if out, err := build.CombinedOutput(); err != nil {
+		t.Fatalf("building synthd: %v\n%s", err, out)
+	}
+	return bin
+}
+
+// syncBuffer is a bytes.Buffer safe for the exec stderr-copy goroutine.
+type syncBuffer struct {
+	mu  sync.Mutex
+	buf bytes.Buffer
+}
+
+func (b *syncBuffer) Write(p []byte) (int, error) {
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	return b.buf.Write(p)
+}
+
+func (b *syncBuffer) String() string {
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	return b.buf.String()
+}
+
+// TestSynthdDrainsInflightOnSigterm proves the graceful path under
+// load: requests accepted before the signal all complete with real
+// sequences — none are dropped mid-drain — and the process exits 0.
+func TestSynthdDrainsInflightOnSigterm(t *testing.T) {
+	if testing.Short() {
+		t.Skip("builds and boots the synthd binary")
+	}
+	// Gridsynth alone finishes a batch in single-digit milliseconds —
+	// too fast to still be running when the signal lands — so the fault
+	// harness slows every 4th synthesis by 300ms. This also exercises
+	// the -fault-spec flag through the real binary.
+	// -workers/-max-inflight are pinned up so the sleeps overlap even on
+	// a GOMAXPROCS=1 runner and the drain stays a couple of seconds.
+	d := startDaemon(t, buildSynthd(t), "-backend", "gridsynth",
+		"-fault-spec", "backend:gridsynth latency=200ms every=8",
+		"-workers", "8", "-max-inflight", "8")
+	cl := client.New(d.base)
+	const clients = 6
+	var wg sync.WaitGroup
+	errs := make([]error, clients)
+	resps := make([]*serve.SynthesizeResponse, clients)
+	for i := 0; i < clients; i++ {
+		wg.Add(1)
+		go func(i int) {
+			defer wg.Done()
+			rots := make([]serve.Rotation, 24)
+			for j := range rots {
+				rots[j] = serve.Rotation{Gate: "rz", Params: [3]float64{0.11 + 0.013*float64(i) + 0.0007*float64(j)}}
+			}
+			ctx, cancel := context.WithTimeout(context.Background(), 60*time.Second)
+			defer cancel()
+			resps[i], errs[i] = cl.Synthesize(ctx, serve.SynthesizeRequest{
+				Backend: "gridsynth", Eps: 1e-3, Rotations: rots,
+			})
+		}(i)
+	}
+
+	// Give the requests time to be accepted, then pull the plug. stop()
+	// itself asserts a clean (zero) exit within the drain budget.
+	time.Sleep(100 * time.Millisecond)
+	d.stop(t)
+	wg.Wait()
+
+	for i := range errs {
+		if errs[i] != nil {
+			t.Fatalf("request %d dropped during drain: %v", i, errs[i])
+		}
+		if len(resps[i].Results) != 24 || resps[i].Failed != 0 {
+			t.Fatalf("request %d: %d results, %d failed; want 24 clean", i, len(resps[i].Results), resps[i].Failed)
+		}
+		for _, r := range resps[i].Results {
+			if r.Seq == "" {
+				t.Fatalf("request %d returned an empty sequence", i)
+			}
+		}
+	}
+}
+
+// TestSynthdExitsNonzeroOnFlushFailure points -snapshot at a path that
+// cannot be written (an existing directory — immune to running as
+// root, unlike permission bits) and proves the failed flush is loud:
+// logged, exit code nonzero, and no hang — the drain and stats flush
+// still run.
+func TestSynthdExitsNonzeroOnFlushFailure(t *testing.T) {
+	if testing.Short() {
+		t.Skip("builds and boots the synthd binary")
+	}
+	dir := t.TempDir()
+	snap := filepath.Join(dir, "cache.json")
+	if err := os.Mkdir(snap, 0o755); err != nil {
+		t.Fatal(err)
+	}
+
+	var stderr syncBuffer
+	d := startDaemonStderr(t, buildSynthd(t), &stderr, "-backend", "gridsynth", "-snapshot", snap)
+	cl := client.New(d.base)
+
+	// One real synthesis so there is cache state worth flushing.
+	ctx, cancel := context.WithTimeout(context.Background(), 60*time.Second)
+	defer cancel()
+	if _, err := cl.Synthesize(ctx, serve.SynthesizeRequest{
+		Backend: "gridsynth", Eps: 1e-2,
+		Rotations: []serve.Rotation{{Gate: "rz", Params: [3]float64{0.42}}},
+	}); err != nil {
+		t.Fatalf("synthesize: %v", err)
+	}
+
+	if err := d.cmd.Process.Signal(syscall.SIGTERM); err != nil {
+		t.Fatal(err)
+	}
+	done := make(chan error, 1)
+	go func() { done <- d.cmd.Wait() }()
+	select {
+	case err := <-done:
+		var ee *exec.ExitError
+		if !errors.As(err, &ee) || ee.ExitCode() != 1 {
+			t.Fatalf("exit after failed flush = %v, want exit code 1", err)
+		}
+	case <-time.After(60 * time.Second):
+		d.kill()
+		t.Fatal("synthd hung after failed snapshot flush")
+	}
+	logs := stderr.String()
+	if !strings.Contains(logs, "flushing snapshot failed") {
+		t.Fatalf("stderr missing snapshot-failure log:\n%s", logs)
+	}
+	// The stats sidecar is a sibling file, so its flush still succeeds —
+	// proof that one failed flush does not abort the rest of shutdown.
+	if !strings.Contains(logs, "stats sidecar flushed") {
+		t.Fatalf("stats sidecar flush did not run after snapshot failure:\n%s", logs)
+	}
+}

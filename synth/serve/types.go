@@ -23,6 +23,7 @@ import (
 	"time"
 
 	"repro/synth"
+	"repro/synth/serve/cluster"
 )
 
 // CompileRequest asks the service to compile an OpenQASM 2.0 circuit down
@@ -192,6 +193,11 @@ type SynthesizeResult struct {
 	// WallMs is the synthesis wall time; 0 means the sequence was served
 	// from the shared cache.
 	WallMs float64 `json:"wall_ms"`
+	// Failure, when non-empty, marks a contained per-op failure (a
+	// backend panic recovered at the worker boundary): Seq is empty and
+	// the gate counts are zero, but the rest of the batch — and the
+	// request — succeeded. Error (the realized distance) stays 0.
+	Failure string `json:"failure,omitempty"`
 }
 
 // SynthesizeResponse carries the batch results plus the cache accounting
@@ -200,6 +206,8 @@ type SynthesizeResponse struct {
 	Results []SynthesizeResult `json:"results"`
 	Hits    int64              `json:"cache_hits"`
 	Misses  int64              `json:"cache_misses"`
+	// Failed counts results carrying a Failure — 0 on the happy path.
+	Failed int `json:"failed,omitempty"`
 	// QueueWaitMs/ServiceMs split the request's admission wait from its
 	// execution time; TraceID is set when the request was sampled.
 	QueueWaitMs float64 `json:"queue_wait_ms"`
@@ -219,9 +227,12 @@ type Health struct {
 	CacheShards int   `json:"cache_shards"`
 	UptimeMs    int64 `json:"uptime_ms"`
 	// NodeID/ClusterSize are set in cluster mode: this node's ring ID and
-	// the ring's member count (self included).
-	NodeID      string `json:"node_id,omitempty"`
-	ClusterSize int    `json:"cluster_size,omitempty"`
+	// the ring's member count (self included). Breakers is the per-peer
+	// circuit-breaker state (closed / half-open / open), so one /healthz
+	// poll shows which peers this node currently considers dead.
+	NodeID      string                `json:"node_id,omitempty"`
+	ClusterSize int                   `json:"cluster_size,omitempty"`
+	Breakers    []cluster.PeerBreaker `json:"breakers,omitempty"`
 }
 
 // StatsCell is one (backend, ε-band, angle-class) row of GET /v1/stats:

@@ -138,6 +138,11 @@ type Result struct {
 	// Backend names the backend that produced the result; for "auto" it is
 	// the winning sub-backend.
 	Backend string
+	// Err, when non-nil, marks a contained per-op failure — a backend
+	// panic recovered at the worker boundary. Seq is then empty and every
+	// other field is zero except Backend; batch APIs report such ops
+	// individually instead of failing the whole batch.
+	Err error
 }
 
 // Backend is one synthesis engine. Implementations must be safe for
